@@ -1,0 +1,239 @@
+//! Base-heating diagnostics: the quantity of engineering interest behind
+//! the paper's demonstration problem.
+//!
+//! §3 of the paper: "The exhaust plumes of densely packed engines can
+//! interact, propelling hot gas toward the rocket base and heating it. This
+//! so-called base heating can cause mission failure... Mitigating base
+//! heating most cost-effectively requires understanding the mechanism by
+//! which engine exhaust is reflected towards the rocket and identifying
+//! which parts are most affected."
+//!
+//! [`BaseHeatingReport`] measures exactly that on the base plane (the first
+//! interior cell layer adjacent to the inflow face, excluding the engine
+//! exits): how much gas flows *back* toward the rocket, how hot it is, and
+//! where it lands.
+
+use crate::jets::JetArrayInflow;
+use igr_core::State;
+use igr_grid::{Axis, Domain};
+use igr_prec::{Real, Storage};
+
+/// Aggregated base-plane measurements at one instant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaseHeatingReport {
+    /// Area fraction of the (non-engine) base plane with flow toward the
+    /// base.
+    pub heated_fraction: f64,
+    /// Mass flux of back-flowing gas per unit base area, `∫ρ max(−u_n,0)`.
+    pub recirculation_flux: f64,
+    /// Back-flow-weighted mean stagnation enthalpy `h₀ = (E + p)/ρ` of the
+    /// recirculating gas (0 when nothing recirculates) — the thermal load
+    /// proxy.
+    pub mean_backflow_enthalpy: f64,
+    /// Peak temperature proxy `T ∝ p/ρ` over the non-engine base plane.
+    pub peak_temperature: f64,
+    /// Mean pressure over the non-engine base plane (base drag/load).
+    pub mean_pressure: f64,
+    /// Centroid of the back-flow footprint in the two in-plane coordinates
+    /// (where the heating concentrates; `[0, 0]` for symmetric arrays).
+    pub footprint_centroid: [f64; 2],
+    /// Number of base-plane cells sampled (outside engine exits).
+    pub cells_sampled: usize,
+}
+
+impl BaseHeatingReport {
+    /// Measure the base plane of `q`: the first interior layer adjacent to
+    /// the low face of `inflow.flow_dim`. Cells whose in-plane position lies
+    /// inside an engine exit (blend > 0.5) are excluded — they are nozzle
+    /// flow, not rocket base.
+    pub fn measure<R: Real, S: Storage<R>>(
+        q: &State<R, S>,
+        domain: &Domain,
+        gamma: f64,
+        inflow: &JetArrayInflow,
+    ) -> Self {
+        let shape = q.shape();
+        let g = R::from_f64(gamma);
+        let flow = inflow.flow_dim;
+        let (pa, pb) = inflow.plane_dims;
+        let axes = [Axis::X, Axis::Y, Axis::Z];
+
+        // Iterate the c = 0 layer along the flow axis.
+        let (na, nb) = (
+            shape.extent(axes[pa]) as i32,
+            shape.extent(axes[pb]) as i32,
+        );
+        let mut rep = BaseHeatingReport::default();
+        let mut backflow_cells = 0usize;
+        let mut h0_flux = 0.0f64;
+        let mut cx = 0.0f64;
+        let mut cy = 0.0f64;
+        for b in 0..nb {
+            for a in 0..na {
+                let mut ijk = [0i32; 3];
+                ijk[pa] = a;
+                ijk[pb] = b;
+                ijk[flow] = 0;
+                let pos = domain.cell_center(ijk[0], ijk[1], ijk[2]);
+                if inflow.engine_fraction(pos) > 0.5 {
+                    continue; // engine exit, not base
+                }
+                let pr = q.prim_at(ijk[0], ijk[1], ijk[2], g);
+                let rho = pr.rho.to_f64();
+                let p = pr.p.to_f64();
+                let un = pr.vel[flow].to_f64(); // outward (away from base)
+                rep.cells_sampled += 1;
+                rep.mean_pressure += p;
+                rep.peak_temperature = rep.peak_temperature.max(p / rho);
+                if un < 0.0 {
+                    // Flow toward the base: recirculation.
+                    backflow_cells += 1;
+                    let flux = rho * (-un);
+                    rep.recirculation_flux += flux;
+                    let speed2 = pr.vel.iter().map(|v| v.to_f64().powi(2)).sum::<f64>();
+                    let e_int = p / ((gamma - 1.0) * rho);
+                    let h0 = e_int + p / rho + 0.5 * speed2;
+                    h0_flux += flux * h0;
+                    cx += flux * pos[pa];
+                    cy += flux * pos[pb];
+                }
+            }
+        }
+        if rep.cells_sampled > 0 {
+            rep.heated_fraction = backflow_cells as f64 / rep.cells_sampled as f64;
+            rep.mean_pressure /= rep.cells_sampled as f64;
+            // Per-unit-area normalization of the flux sum.
+            let da = domain.dx(axes[pa]) * domain.dx(axes[pb]);
+            let area = rep.cells_sampled as f64 * da;
+            if rep.recirculation_flux > 0.0 {
+                rep.mean_backflow_enthalpy = h0_flux / rep.recirculation_flux;
+                rep.footprint_centroid =
+                    [cx / rep.recirculation_flux, cy / rep.recirculation_flux];
+            }
+            rep.recirculation_flux = rep.recirculation_flux * da / area;
+        }
+        rep
+    }
+
+    /// One-line rendering for sweep tables.
+    pub fn row(&self) -> Vec<f64> {
+        vec![
+            self.heated_fraction,
+            self.recirculation_flux,
+            self.mean_backflow_enthalpy,
+            self.peak_temperature,
+            self.mean_pressure,
+            self.footprint_centroid[0],
+            self.footprint_centroid[1],
+        ]
+    }
+
+    /// Column headers matching [`Self::row`].
+    pub fn headers() -> [&'static str; 7] {
+        [
+            "heated_fraction",
+            "recirc_flux",
+            "backflow_h0",
+            "peak_T",
+            "mean_p_base",
+            "centroid_a",
+            "centroid_b",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jets::{single_engine, three_engine_row, JetArrayInflow, JetConditions};
+    use igr_core::eos::Prim;
+    use igr_grid::GridShape;
+    use igr_prec::StoreF64;
+
+    fn plane_inflow(engines: Vec<crate::jets::Engine>) -> JetArrayInflow {
+        JetArrayInflow {
+            engines,
+            conditions: JetConditions::mach10(),
+            plane_dims: (0, 2),
+            flow_dim: 1,
+            lip_width: 0.01,
+        }
+    }
+
+    #[test]
+    fn quiescent_base_has_no_recirculation() {
+        let shape = GridShape::new(32, 16, 1, 3);
+        let domain = Domain::new([-1.0, 0.0, -0.5], [1.0, 1.0, 0.5], shape);
+        let mut q: State<f64, StoreF64> = State::zeros(shape);
+        q.set_prim_field(&domain, 1.4, |_| Prim::new(1.0, [0.0; 3], 1.0));
+        let inflow = plane_inflow(single_engine(0.1));
+        let rep = BaseHeatingReport::measure(&q, &domain, 1.4, &inflow);
+        assert_eq!(rep.heated_fraction, 0.0);
+        assert_eq!(rep.recirculation_flux, 0.0);
+        assert!((rep.mean_pressure - 1.0).abs() < 1e-12);
+        assert!((rep.peak_temperature - 1.0).abs() < 1e-12);
+        assert!(rep.cells_sampled > 0);
+    }
+
+    #[test]
+    fn engine_exit_cells_are_excluded() {
+        let shape = GridShape::new(32, 16, 1, 3);
+        let domain = Domain::new([-1.0, 0.0, -0.5], [1.0, 1.0, 0.5], shape);
+        let mut q: State<f64, StoreF64> = State::zeros(shape);
+        q.set_prim_field(&domain, 1.4, |_| Prim::new(1.0, [0.0; 3], 1.0));
+        let small = plane_inflow(single_engine(0.05));
+        let big = plane_inflow(single_engine(0.5));
+        let rs = BaseHeatingReport::measure(&q, &domain, 1.4, &small);
+        let rb = BaseHeatingReport::measure(&q, &domain, 1.4, &big);
+        assert!(rb.cells_sampled < rs.cells_sampled, "bigger engine, smaller base");
+    }
+
+    #[test]
+    fn imposed_backflow_is_detected_and_weighted_by_heat() {
+        let shape = GridShape::new(64, 16, 1, 3);
+        let domain = Domain::new([-1.0, 0.0, -0.5], [1.0, 1.0, 0.5], shape);
+        let mut q: State<f64, StoreF64> = State::zeros(shape);
+        // Hot back-flow on the right half of the base (x > 0.3): v = -0.5.
+        q.set_prim_field(&domain, 1.4, |p| {
+            if p[0] > 0.3 && p[1] < 0.1 {
+                Prim::new(0.5, [0.0, -0.5, 0.0], 2.0) // hot, low-density
+            } else {
+                Prim::new(1.0, [0.0; 3], 1.0)
+            }
+        });
+        let inflow = plane_inflow(three_engine_row(0.05, 0.3));
+        let rep = BaseHeatingReport::measure(&q, &domain, 1.4, &inflow);
+        assert!(rep.heated_fraction > 0.2 && rep.heated_fraction < 0.5);
+        assert!(rep.recirculation_flux > 0.0);
+        // Stagnation enthalpy of the hot gas: e + p/rho + ke/rho
+        // = 2/(0.4*0.5) + 2/0.5 + 0.5*0.25 = 10 + 4 + 0.125.
+        assert!((rep.mean_backflow_enthalpy - 14.125).abs() < 1e-9);
+        // Footprint concentrates on the right half.
+        assert!(rep.footprint_centroid[0] > 0.3);
+        // Peak temperature sees the hot patch: T = p/rho = 4.
+        assert!((rep.peak_temperature - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_backflow_has_centered_footprint() {
+        let shape = GridShape::new(64, 16, 1, 3);
+        let domain = Domain::new([-1.0, 0.0, -0.5], [1.0, 1.0, 0.5], shape);
+        let mut q: State<f64, StoreF64> = State::zeros(shape);
+        q.set_prim_field(&domain, 1.4, |p| {
+            if p[0].abs() > 0.3 && p[1] < 0.1 {
+                Prim::new(1.0, [0.0, -0.2, 0.0], 1.0)
+            } else {
+                Prim::new(1.0, [0.0; 3], 1.0)
+            }
+        });
+        let inflow = plane_inflow(single_engine(0.05));
+        let rep = BaseHeatingReport::measure(&q, &domain, 1.4, &inflow);
+        assert!(rep.footprint_centroid[0].abs() < 1e-9, "symmetric footprint");
+    }
+
+    #[test]
+    fn headers_match_row_width() {
+        let rep = BaseHeatingReport::default();
+        assert_eq!(rep.row().len(), BaseHeatingReport::headers().len());
+    }
+}

@@ -1,0 +1,361 @@
+//! Checkpoint / restart: binary field dumps with exact (bit-level) state
+//! round-tripping.
+//!
+//! Production campaigns at the paper's scale run for many wall-clock hours
+//! (the Fig. 1 case ran 16 hours on 9.2 K GH200s) and restart from
+//! checkpoints. This module serializes the conserved state — *in its
+//! storage precision*, so an FP16-storage run restarts from exactly the
+//! bits it would have had — plus the entropic pressure Σ (part of the
+//! paper's 17 N persistent state: restoring it keeps the warm-started
+//! elliptic solve on the same trajectory) and metadata to refuse
+//! mismatched restarts.
+
+use igr_core::State;
+use igr_grid::{Field, GridShape};
+use igr_prec::{f16, Real, Storage};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// Magic bytes + format version.
+const MAGIC: &[u8; 8] = b"IGRCKPT\x02";
+/// Header: magic(8) + width-tag(1) + has-sigma(1) + dims(4×8) + t(8) + step(8).
+const HEADER: usize = 8 + 1 + 1 + 32 + 8 + 8;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    /// Not a checkpoint file or wrong version.
+    BadMagic,
+    /// Grid shape or precision of the file does not match the solver.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::BadMagic => write!(f, "not an IGR checkpoint (bad magic/version)"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Storage scalars that can be dumped bit-exactly.
+pub trait CheckpointScalar: Copy {
+    const TAG: u8;
+    const WIDTH: usize;
+    fn write_to(&self, out: &mut Vec<u8>);
+    fn read_from(bytes: &[u8]) -> Self;
+}
+
+impl CheckpointScalar for f64 {
+    const TAG: u8 = 8;
+    const WIDTH: usize = 8;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes.try_into().unwrap())
+    }
+}
+
+impl CheckpointScalar for f32 {
+    const TAG: u8 = 4;
+    const WIDTH: usize = 4;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes.try_into().unwrap())
+    }
+}
+
+impl CheckpointScalar for f16 {
+    const TAG: u8 = 2;
+    const WIDTH: usize = 2;
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn read_from(bytes: &[u8]) -> Self {
+        f16::from_bits(u16::from_le_bytes(bytes.try_into().unwrap()))
+    }
+}
+
+/// A restartable snapshot: simulation time, step count, the packed
+/// conserved state (interior + ghosts), and optionally Σ.
+pub struct Checkpoint {
+    pub t: f64,
+    pub step: usize,
+    bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Capture a snapshot of `q` (and optionally the scheme's Σ field) at
+    /// time `t` / step `step`.
+    pub fn capture<R, S>(
+        q: &State<R, S>,
+        sigma: Option<&Field<R, S>>,
+        t: f64,
+        step: usize,
+    ) -> Self
+    where
+        R: Real,
+        S: Storage<R>,
+        S::Packed: CheckpointScalar,
+    {
+        let shape = q.shape();
+        let n_fields = 5 + usize::from(sigma.is_some());
+        let mut bytes =
+            Vec::with_capacity(HEADER + n_fields * shape.n_total() * S::Packed::WIDTH);
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(S::Packed::TAG);
+        bytes.push(u8::from(sigma.is_some()));
+        for dim in [shape.nx, shape.ny, shape.nz, shape.ng] {
+            bytes.extend_from_slice(&(dim as u64).to_le_bytes());
+        }
+        bytes.extend_from_slice(&t.to_le_bytes());
+        bytes.extend_from_slice(&(step as u64).to_le_bytes());
+        for f in q.fields() {
+            for p in f.packed() {
+                p.write_to(&mut bytes);
+            }
+        }
+        if let Some(sig) = sigma {
+            for p in sig.packed() {
+                p.write_to(&mut bytes);
+            }
+        }
+        Checkpoint { t, step, bytes }
+    }
+
+    /// Write to disk.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.bytes)?;
+        Ok(())
+    }
+
+    /// Read from disk (validation happens at [`Checkpoint::restore`]).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER || &bytes[..8] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let t = f64::from_le_bytes(bytes[42..50].try_into().unwrap());
+        let step = u64::from_le_bytes(bytes[50..58].try_into().unwrap()) as usize;
+        Ok(Checkpoint { t, step, bytes })
+    }
+
+    /// Shape recorded in the snapshot.
+    pub fn shape(&self) -> GridShape {
+        let dim = |o: usize| u64::from_le_bytes(self.bytes[o..o + 8].try_into().unwrap()) as usize;
+        GridShape::new(dim(10), dim(18), dim(26), dim(34))
+    }
+
+    /// Whether the snapshot carries a Σ field.
+    pub fn has_sigma(&self) -> bool {
+        self.bytes[9] != 0
+    }
+
+    /// Restore into a state (and optional Σ) of matching shape and storage
+    /// precision, bit-exactly.
+    pub fn restore<R, S>(
+        &self,
+        q: &mut State<R, S>,
+        sigma: Option<&mut Field<R, S>>,
+    ) -> Result<(), CheckpointError>
+    where
+        R: Real,
+        S: Storage<R>,
+        S::Packed: CheckpointScalar,
+    {
+        if self.bytes[8] != S::Packed::TAG {
+            return Err(CheckpointError::Mismatch(format!(
+                "storage width {} vs file {}",
+                S::Packed::TAG,
+                self.bytes[8]
+            )));
+        }
+        let shape = q.shape();
+        if self.shape() != shape {
+            return Err(CheckpointError::Mismatch(format!(
+                "grid {:?} vs file {:?}",
+                shape,
+                self.shape()
+            )));
+        }
+        if sigma.is_some() && !self.has_sigma() {
+            return Err(CheckpointError::Mismatch(
+                "snapshot carries no sigma field".into(),
+            ));
+        }
+        let w = S::Packed::WIDTH;
+        let n_fields = 5 + usize::from(self.has_sigma());
+        let expected = HEADER + n_fields * shape.n_total() * w;
+        if self.bytes.len() != expected {
+            return Err(CheckpointError::Mismatch(format!(
+                "payload {} bytes, expected {expected}",
+                self.bytes.len()
+            )));
+        }
+        let mut off = HEADER;
+        for f in q.fields_mut() {
+            for p in f.packed_mut() {
+                *p = S::Packed::read_from(&self.bytes[off..off + w]);
+                off += w;
+            }
+        }
+        if let Some(sig) = sigma {
+            for p in sig.packed_mut() {
+                *p = S::Packed::read_from(&self.bytes[off..off + w]);
+                off += w;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+    use igr_prec::{StoreF16, StoreF64};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("igr_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_f64() {
+        let case = cases::steepening_wave(48, 0.3);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        for _ in 0..3 {
+            solver.step().unwrap();
+        }
+        let ck = Checkpoint::capture(&solver.q, None, solver.t(), solver.steps_taken());
+        let path = tmp("rt64.ckpt");
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.t, solver.t());
+        assert_eq!(loaded.step, 3);
+        assert!(!loaded.has_sigma());
+        let mut q2: State<f64, StoreF64> = State::zeros(case.domain.shape);
+        loaded.restore(&mut q2, None).unwrap();
+        assert_eq!(solver.q.max_diff(&q2), 0.0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_f16_bits() {
+        let case = cases::steepening_wave(32, 0.3);
+        let mut solver = case.igr_solver::<f32, StoreF16>();
+        solver.step().unwrap();
+        let ck = Checkpoint::capture(&solver.q, Some(solver.scheme.sigma()), solver.t(), 1);
+        let path = tmp("rt16.ckpt");
+        ck.save(&path).unwrap();
+        let mut q2: State<f32, StoreF16> = State::zeros(case.domain.shape);
+        let mut sig2: Field<f32, StoreF16> = Field::zeros(case.domain.shape);
+        let loaded = Checkpoint::load(&path).unwrap();
+        loaded.restore(&mut q2, Some(&mut sig2)).unwrap();
+        for (a, b) in solver.q.fields().into_iter().zip(q2.fields()) {
+            for (x, y) in a.packed().iter().zip(b.packed()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (x, y) in solver.scheme.sigma().packed().iter().zip(sig2.packed()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The production property: run N steps straight == run k steps,
+    /// checkpoint (state + Σ), restore into a FRESH solver, run N-k more —
+    /// bit for bit.
+    #[test]
+    fn restart_reproduces_uninterrupted_run_bitwise() {
+        let case = cases::steepening_wave(64, 0.25);
+
+        let mut straight = case.igr_solver::<f64, StoreF64>();
+        for _ in 0..8 {
+            straight.step().unwrap();
+        }
+
+        let mut first = case.igr_solver::<f64, StoreF64>();
+        for _ in 0..4 {
+            first.step().unwrap();
+        }
+        let ck = Checkpoint::capture(
+            &first.q,
+            Some(first.scheme.sigma()),
+            first.t(),
+            first.steps_taken(),
+        );
+        let path = tmp("restart.ckpt");
+        ck.save(&path).unwrap();
+
+        let loaded = Checkpoint::load(&path).unwrap();
+        let mut resumed = case.igr_solver::<f64, StoreF64>();
+        loaded
+            .restore(&mut resumed.q, Some(resumed.scheme.sigma_mut()))
+            .unwrap();
+        for _ in 0..4 {
+            resumed.step().unwrap();
+        }
+        assert_eq!(
+            straight.q.max_diff(&resumed.q),
+            0.0,
+            "restart must reproduce the uninterrupted run bitwise"
+        );
+    }
+
+    #[test]
+    fn mismatched_shape_is_refused() {
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let ck = Checkpoint::capture(&solver.q, None, 0.0, 0);
+        let mut wrong: State<f64, StoreF64> = State::zeros(GridShape::new(16, 1, 1, 3));
+        assert!(matches!(ck.restore(&mut wrong, None), Err(CheckpointError::Mismatch(_))));
+    }
+
+    #[test]
+    fn mismatched_precision_is_refused() {
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let ck = Checkpoint::capture(&solver.q, None, 0.0, 0);
+        let mut wrong: State<f32, StoreF16> = State::zeros(case.domain.shape);
+        assert!(matches!(ck.restore(&mut wrong, None), Err(CheckpointError::Mismatch(_))));
+    }
+
+    #[test]
+    fn sigma_request_without_sigma_payload_is_refused() {
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let ck = Checkpoint::capture(&solver.q, None, 0.0, 0);
+        let mut q2: State<f64, StoreF64> = State::zeros(case.domain.shape);
+        let mut sig: Field<f64, StoreF64> = Field::zeros(case.domain.shape);
+        assert!(matches!(
+            ck.restore(&mut q2, Some(&mut sig)),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_file_is_refused() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        assert!(matches!(Checkpoint::load(&path), Err(CheckpointError::BadMagic)));
+    }
+
+    use igr_core::State;
+    use igr_grid::{Field, GridShape};
+}

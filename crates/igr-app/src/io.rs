@@ -1,0 +1,136 @@
+//! Output: CSV series and field slices.
+//!
+//! The paper reports "whole application including I/O"; these writers are
+//! what the example binaries and bench harnesses use to emit the series
+//! behind every figure.
+
+use igr_core::State;
+use igr_grid::{Axis, Field};
+use igr_prec::{Real, Storage};
+use std::io::Write;
+use std::path::Path;
+
+/// Write a CSV file: `headers` then one row per record.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: &[Vec<f64>],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match headers");
+        let cells: Vec<String> = row.iter().map(|x| format!("{x:.12e}")).collect();
+        writeln!(f, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Render a CSV to a string (for tests and stdout reporting).
+pub fn csv_string(headers: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match headers");
+        let cells: Vec<String> = row.iter().map(|x| format!("{x:.12e}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract the 1-D line of a field along `axis` through `(a, b)` (the
+/// other two coordinates in x→y→z order).
+pub fn line_profile<R: Real, S: Storage<R>>(
+    field: &Field<R, S>,
+    axis: Axis,
+    a: i32,
+    b: i32,
+) -> Vec<f64> {
+    igr_core::state::line_values(field, axis, a, b)
+}
+
+/// Extract a z-plane slice `[j][i]` of a field.
+pub fn plane_slice<R: Real, S: Storage<R>>(field: &Field<R, S>, k: i32) -> Vec<Vec<f64>> {
+    let shape = field.shape();
+    (0..shape.ny as i32)
+        .map(|j| (0..shape.nx as i32).map(|i| field.at(i, j, k).to_f64()).collect())
+        .collect()
+}
+
+/// Primitive-variable profiles (ρ, u, p) along the x axis of a 1-D state.
+pub fn primitive_profiles<R: Real, S: Storage<R>>(
+    q: &State<R, S>,
+    gamma: f64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let shape = q.shape();
+    let g = R::from_f64(gamma);
+    let mut rho = Vec::with_capacity(shape.nx);
+    let mut u = Vec::with_capacity(shape.nx);
+    let mut p = Vec::with_capacity(shape.nx);
+    for i in 0..shape.nx as i32 {
+        let pr = q.prim_at(i, 0, 0, g);
+        rho.push(pr.rho.to_f64());
+        u.push(pr.vel[0].to_f64());
+        p.push(pr.p.to_f64());
+    }
+    (rho, u, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igr_grid::GridShape;
+    use igr_prec::StoreF64;
+
+    #[test]
+    fn csv_roundtrip_format() {
+        let s = csv_string(&["x", "y"], &[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        let mut lines = s.lines();
+        assert_eq!(lines.next().unwrap(), "x,y");
+        assert!(lines.next().unwrap().starts_with("1.0"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn write_csv_creates_readable_file() {
+        let dir = std::env::temp_dir().join("igr_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        write_csv(&path, &["a"], &[vec![0.5]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a\n"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_is_rejected() {
+        csv_string(&["a", "b"], &[vec![1.0]]);
+    }
+
+    #[test]
+    fn plane_slice_and_line_profile_agree() {
+        let shape = GridShape::new(4, 3, 1, 2);
+        let mut f: Field<f64, StoreF64> = Field::zeros(shape);
+        f.map_interior(|i, j, _, _| (i + 10 * j) as f64);
+        let slice = plane_slice(&f, 0);
+        assert_eq!(slice.len(), 3);
+        assert_eq!(slice[2][3], 23.0);
+        let line = line_profile(&f, Axis::X, 1, 0);
+        assert_eq!(line, vec![10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn primitive_profiles_extract_1d_state() {
+        let case = crate::cases::sod_sharp(16);
+        let q: State<f64, StoreF64> = case.init_state();
+        let (rho, u, p) = primitive_profiles(&q, case.gamma);
+        assert_eq!(rho.len(), 16);
+        assert!((rho[0] - 1.0).abs() < 1e-14);
+        assert!((rho[15] - 0.125).abs() < 1e-12);
+        assert!(u.iter().all(|&v| v.abs() < 1e-14));
+        assert!((p[0] - 1.0).abs() < 1e-12);
+    }
+}

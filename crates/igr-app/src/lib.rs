@@ -1,0 +1,38 @@
+//! Application layer: the workloads of the paper and the machinery to run
+//! them.
+//!
+//! * [`cases`] — the case library: Sod tube, steepening waves, acoustic
+//!   packets (Fig. 2 workloads), the single Mach-10 jet (Table 3's
+//!   representative problem), and the 3-/33-engine arrays (Figs. 1 and 5);
+//! * [`jets`] — engine layouts and inflow profiles, including the
+//!   Super-Heavy-inspired 33-engine pattern, per-engine gimbal (thrust
+//!   vectoring), altitude (ambient-backpressure) conditions, and engine-out
+//!   scenarios;
+//! * [`base`] — base-heating diagnostics (recirculation flux, thermal load,
+//!   heating footprint), the engineering quantity behind §3 of the paper;
+//! * [`parallel`] — the decomposed (multi-rank) solver driver: halo-
+//!   exchanging ghost ops over `igr-comm`, global time-step reduction, and
+//!   state gathering;
+//! * [`grind`] — wall-clock grind-time measurement (ns per cell per step,
+//!   Table 3's metric);
+//! * [`io`] — CSV series and field-slice output ("results reported based on
+//!   whole application including I/O");
+//! * [`vtk`] — legacy-VTK structured-points writer for 3-D visualization
+//!   (the Fig. 1 rendering path at laptop scale).
+
+pub mod base;
+pub mod cases;
+pub mod checkpoint;
+pub mod diagnostics;
+pub mod grind;
+pub mod io;
+pub mod jets;
+pub mod parallel;
+pub mod vtk;
+
+pub use base::BaseHeatingReport;
+pub use cases::CaseSetup;
+pub use checkpoint::Checkpoint;
+pub use diagnostics::History;
+pub use grind::{measure_grind, GrindResult};
+pub use parallel::{run_decomposed, DecomposedRun};

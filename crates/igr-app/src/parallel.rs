@@ -1,0 +1,352 @@
+//! The decomposed (multi-rank) solver driver.
+//!
+//! Runs the same `igr_core::Solver` on each rank's block, with ghost cells
+//! coming from halo exchange (interior faces) or boundary conditions
+//! (physical faces). The fill proceeds axis by axis in x → y → z order with
+//! *extended* slabs (transverse ghosts included), so edge/corner ghosts end
+//! up identical to the single-block fill — decomposed runs reproduce
+//! single-rank runs bit for bit in FP64, which the integration tests assert.
+
+use igr_comm::{CartComm, Comm, CommData, ReduceOp, Universe};
+use igr_core::bc::{fill_ghosts_axis, fill_scalar_ghosts_axis, BcSet, FaceMask};
+use igr_core::eos::Prim;
+use igr_core::solver::{GhostOps, Solver};
+use igr_core::{IgrConfig, IgrScheme, State, GHOST_WIDTH};
+use igr_grid::{Axis, Decomp, Domain, Field};
+use igr_prec::{Real, Storage};
+
+/// Halo-exchanging ghost ops for one rank.
+pub struct HaloGhostOps {
+    pub cart: CartComm,
+    pub domain: Domain,
+    pub bcs: BcSet,
+    pub gamma: f64,
+    /// Faces owned by a physical boundary (no neighbor) per axis/side.
+    wall_mask: FaceMask,
+    send_lo: Vec<f64>, // staging reused across calls (never reallocates)
+    send_hi: Vec<f64>,
+}
+
+impl HaloGhostOps {
+    pub fn new(cart: CartComm, domain: Domain, bcs: BcSet, gamma: f64) -> Self {
+        let rank = cart.rank();
+        let wall_mask: FaceMask = std::array::from_fn(|d| {
+            let axis = Axis::ALL[d];
+            [
+                cart.decomp.neighbor(rank, axis, -1).is_none(),
+                cart.decomp.neighbor(rank, axis, 1).is_none(),
+            ]
+        });
+        HaloGhostOps {
+            cart,
+            domain,
+            bcs,
+            gamma,
+            wall_mask,
+            send_lo: Vec::new(),
+            send_hi: Vec::new(),
+        }
+    }
+
+    /// Exchange one field's halos along one axis (phase-tagged), then leave
+    /// wall faces for the BC fill.
+    fn exchange_field<R: Real + CommData, S: Storage<R>>(
+        &mut self,
+        f: &mut Field<R, S>,
+        axis: Axis,
+        phase: u64,
+    ) {
+        let ng = GHOST_WIDTH;
+        // Pack into f64 staging for a uniform wire format.
+        let mut lo_r: Vec<R> = Vec::new();
+        let mut hi_r: Vec<R> = Vec::new();
+        f.pack_slab_ext(axis, -1, ng, &mut lo_r);
+        f.pack_slab_ext(axis, 1, ng, &mut hi_r);
+        self.send_lo.clear();
+        self.send_lo.extend(lo_r.iter().map(|x| x.to_f64()));
+        self.send_hi.clear();
+        self.send_hi.extend(hi_r.iter().map(|x| x.to_f64()));
+        let (from_lo, from_hi) = self.cart.exchange(axis, phase, &self.send_lo, &self.send_hi);
+        if let Some(buf) = from_lo {
+            let vals: Vec<R> = buf.iter().map(|&x| R::from_f64(x)).collect();
+            f.unpack_slab_ext(axis, -1, ng, &vals);
+        }
+        if let Some(buf) = from_hi {
+            let vals: Vec<R> = buf.iter().map(|&x| R::from_f64(x)).collect();
+            f.unpack_slab_ext(axis, 1, ng, &vals);
+        }
+    }
+}
+
+impl<R: Real + CommData, S: Storage<R>> GhostOps<R, S> for HaloGhostOps {
+    fn fill_state(&mut self, q: &mut State<R, S>, t: f64) {
+        let shape = q.shape();
+        for axis in Axis::ALL {
+            if !shape.is_active(axis) {
+                continue;
+            }
+            for (phase, f) in q.fields_mut().into_iter().enumerate() {
+                self.exchange_field(f, axis, phase as u64);
+            }
+            let domain = self.domain;
+            let bcs = self.bcs.clone();
+            fill_ghosts_axis(q, &domain, &bcs, self.gamma, t, axis, &self.wall_mask);
+        }
+    }
+
+    fn fill_scalar(&mut self, f: &mut Field<R, S>) {
+        let shape = f.shape();
+        for axis in Axis::ALL {
+            if !shape.is_active(axis) {
+                continue;
+            }
+            self.exchange_field(f, axis, 5); // phase 5: the sigma channel
+            let bcs = self.bcs.clone();
+            fill_scalar_ghosts_axis(f, &bcs, axis, &self.wall_mask);
+        }
+    }
+}
+
+/// Initialize a rank's state so every cell value is *identical* to the
+/// single-block initialization: evaluate the init function at the global
+/// cell-center formula using global indices.
+pub fn init_state_global<R: Real, S: Storage<R>>(
+    decomp: &Decomp,
+    rank: usize,
+    global_domain: &Domain,
+    gamma: f64,
+    init: &(impl Fn([f64; 3]) -> Prim<f64> + ?Sized),
+) -> State<R, S> {
+    let sd = decomp.subdomain(rank);
+    let shape = decomp.local_shape(rank, GHOST_WIDTH);
+    let mut q = State::zeros(shape);
+    let g = R::from_f64(gamma);
+    for k in 0..shape.nz as i32 {
+        for j in 0..shape.ny as i32 {
+            for i in 0..shape.nx as i32 {
+                let pos = [
+                    global_domain.center(Axis::X, sd.offset[0] as i32 + i),
+                    global_domain.center(Axis::Y, sd.offset[1] as i32 + j),
+                    global_domain.center(Axis::Z, sd.offset[2] as i32 + k),
+                ];
+                let pr64 = init(pos);
+                let pr: Prim<R> = Prim::from_f64(pr64.rho, pr64.vel, pr64.p);
+                q.set_cons(i, j, k, pr.to_cons(g));
+            }
+        }
+    }
+    q
+}
+
+/// Gather the interior of every rank's field into a global state on rank 0.
+pub fn gather_state<R: Real + CommData, S: Storage<R>>(
+    comm: &mut Comm,
+    decomp: &Decomp,
+    q: &State<R, S>,
+) -> Option<State<R, S>> {
+    const TAG_GATHER: u64 = 4000;
+    let rank = comm.rank();
+    // Serialize this rank's interior, variable-major then x-fastest.
+    let shape = q.shape();
+    let mut payload: Vec<R> = Vec::with_capacity(5 * shape.n_interior());
+    for f in q.fields() {
+        for lin in shape.interior_indices() {
+            payload.push(f.at_lin(lin));
+        }
+    }
+    if rank != 0 {
+        comm.send(0, TAG_GATHER, &payload);
+        return None;
+    }
+    let global_shape = igr_grid::GridShape::new(
+        decomp.global[0],
+        decomp.global[1],
+        decomp.global[2],
+        GHOST_WIDTH,
+    );
+    let mut global = State::zeros(global_shape);
+    for src in 0..comm.size() {
+        let data: Vec<R> = if src == 0 {
+            std::mem::take(&mut payload)
+        } else {
+            comm.recv(src, TAG_GATHER)
+        };
+        let sd = decomp.subdomain(src);
+        let n_int = sd.extent[0] * sd.extent[1] * sd.extent[2];
+        assert_eq!(data.len(), 5 * n_int, "gather size mismatch from rank {src}");
+        let mut it = data.into_iter();
+        for f in global.fields_mut() {
+            for k in 0..sd.extent[2] as i32 {
+                for j in 0..sd.extent[1] as i32 {
+                    for i in 0..sd.extent[0] as i32 {
+                        f.set(
+                            sd.offset[0] as i32 + i,
+                            sd.offset[1] as i32 + j,
+                            sd.offset[2] as i32 + k,
+                            it.next().unwrap(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Some(global)
+}
+
+/// Result of a decomposed run.
+pub struct DecomposedRun<R: Real, S: Storage<R>> {
+    /// Gathered final state (rank 0's assembly).
+    pub state: State<R, S>,
+    pub steps: usize,
+    pub t: f64,
+    /// Total bytes sent over the "network" across ranks.
+    pub total_bytes_sent: u64,
+}
+
+/// Run an IGR case decomposed over `n_ranks` thread-ranks for `steps`
+/// steps, with the global CFL time step reduced across ranks each step.
+pub fn run_decomposed<R, S>(
+    cfg: &IgrConfig,
+    global_domain: &Domain,
+    n_ranks: usize,
+    steps: usize,
+    init: impl Fn([f64; 3]) -> Prim<f64> + Send + Sync,
+) -> DecomposedRun<R, S>
+where
+    R: Real + CommData,
+    S: Storage<R>,
+{
+    let global = [
+        global_domain.shape.nx,
+        global_domain.shape.ny,
+        global_domain.shape.nz,
+    ];
+    let decomp = Decomp::auto(global, n_ranks, cfg.bc.periodic_axes());
+    let init = &init;
+
+    let mut results = Universe::run(n_ranks, move |comm| {
+        let rank = comm.rank();
+        let cart = CartComm::new(comm, decomp.clone());
+        let local_domain = decomp.local_domain(rank, global_domain, GHOST_WIDTH);
+        let q = init_state_global::<R, S>(&decomp, rank, global_domain, cfg.gamma, init);
+        let ghost = HaloGhostOps::new(cart, local_domain, cfg.bc.clone(), cfg.gamma);
+        let scheme = IgrScheme::new(cfg.clone(), local_domain);
+        let mut solver: Solver<R, S, _, _> = Solver::new(scheme, ghost, local_domain, q);
+        solver.nan_check_every = 0; // checked after gather
+
+        let mut t = 0.0;
+        for _ in 0..steps {
+            let local_dt = solver.stable_dt();
+            let dt = solver.ghost.cart.comm.allreduce_f64(local_dt, ReduceOp::Min);
+            solver.fixed_dt = Some(dt);
+            match solver.step() {
+                Ok(info) => t = info.t,
+                Err(e) => panic!("rank {rank} failed: {e}"),
+            }
+        }
+        let bytes = solver.ghost.cart.comm.bytes_sent();
+        let gathered = gather_state(&mut solver.ghost.cart.comm, &decomp, &solver.q);
+        (gathered, t, bytes)
+    });
+
+    let total_bytes: u64 = results.iter().map(|(_, _, b)| *b).sum();
+    let (state, t, _) = results.swap_remove(0);
+    DecomposedRun {
+        state: state.expect("rank 0 gathers"),
+        steps,
+        t,
+        total_bytes_sent: total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+    use igr_prec::StoreF64;
+
+    /// Run the same case single-rank through the same driver (n_ranks = 1).
+    fn single_rank_reference(
+        cfg: &IgrConfig,
+        domain: &Domain,
+        steps: usize,
+        init: impl Fn([f64; 3]) -> Prim<f64> + Send + Sync,
+    ) -> State<f64, StoreF64> {
+        run_decomposed::<f64, StoreF64>(cfg, domain, 1, steps, init).state
+    }
+
+    #[test]
+    fn two_rank_run_matches_single_rank_bitwise_1d() {
+        let case = cases::steepening_wave(64, 0.3);
+        let cfg = case.igr_config();
+        let init = case.init.clone();
+        let init2 = case.init.clone();
+        let single = single_rank_reference(&cfg, &case.domain, 10, move |p| init(p));
+        let multi =
+            run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 2, 10, move |p| init2(p));
+        assert_eq!(
+            single.max_diff(&multi.state),
+            0.0,
+            "decomposed run must be bitwise identical"
+        );
+        assert!(multi.total_bytes_sent > 0, "halos must actually travel");
+    }
+
+    #[test]
+    fn four_rank_3d_run_matches_single_rank_bitwise() {
+        let shape = igr_grid::GridShape::new(16, 12, 8, 3);
+        let domain = Domain::unit(shape);
+        let cfg = IgrConfig::default();
+        let tau = std::f64::consts::TAU;
+        let init = move |p: [f64; 3]| {
+            Prim::new(
+                1.0 + 0.2 * (tau * p[0]).sin() * (tau * p[1]).cos(),
+                [0.3 * (tau * p[2]).sin(), -0.1, 0.2],
+                1.0 + 0.1 * (tau * p[1]).sin(),
+            )
+        };
+        let single = single_rank_reference(&cfg, &domain, 5, init);
+        let multi = run_decomposed::<f64, StoreF64>(&cfg, &domain, 4, 5, init);
+        assert_eq!(single.max_diff(&multi.state), 0.0);
+    }
+
+    #[test]
+    fn outflow_boundaries_also_match_across_rank_counts() {
+        let case = cases::sod(48);
+        let cfg = case.igr_config();
+        let i1 = case.init.clone();
+        let i3 = case.init.clone();
+        let single = single_rank_reference(&cfg, &case.domain, 8, move |p| i1(p));
+        let multi = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 3, 8, move |p| i3(p));
+        assert_eq!(single.max_diff(&multi.state), 0.0);
+    }
+
+    #[test]
+    fn gather_reassembles_ranks_in_the_right_places() {
+        // Tag each cell with its global index through init, run 0 steps,
+        // and verify the gathered state equals the direct global init.
+        let shape = igr_grid::GridShape::new(10, 6, 4, 3);
+        let domain = Domain::unit(shape);
+        let cfg = IgrConfig::default();
+        let init = |p: [f64; 3]| Prim::new(1.0 + p[0] + 10.0 * p[1] + 100.0 * p[2], [0.0; 3], 1.0);
+        let single = single_rank_reference(&cfg, &domain, 0, init);
+        let multi = run_decomposed::<f64, StoreF64>(&cfg, &domain, 6, 0, init);
+        assert_eq!(single.max_diff(&multi.state), 0.0);
+    }
+
+    #[test]
+    fn comm_volume_grows_with_rank_count() {
+        let case = cases::steepening_wave(96, 0.2);
+        let cfg = case.igr_config();
+        let i2 = case.init.clone();
+        let i4 = case.init.clone();
+        let two = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 2, 3, move |p| i2(p));
+        let four = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 4, 3, move |p| i4(p));
+        assert!(
+            four.total_bytes_sent > two.total_bytes_sent,
+            "more ranks, more halo traffic: {} vs {}",
+            four.total_bytes_sent,
+            two.total_bytes_sent
+        );
+    }
+}

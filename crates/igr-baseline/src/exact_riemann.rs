@@ -1,0 +1,291 @@
+//! Exact Riemann solver for the 1-D Euler equations (Toro, ch. 4).
+//!
+//! Ground truth for shock-tube validation of both the IGR solver and the
+//! WENO+HLLC baseline, and the "Exact" curve of the Fig. 2 reproduction.
+
+/// A 1-D primitive state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrimitiveState {
+    pub rho: f64,
+    pub u: f64,
+    pub p: f64,
+}
+
+impl PrimitiveState {
+    pub fn new(rho: f64, u: f64, p: f64) -> Self {
+        assert!(rho > 0.0 && p > 0.0, "exact solver needs positive rho, p");
+        PrimitiveState { rho, u, p }
+    }
+
+    fn sound_speed(&self, gamma: f64) -> f64 {
+        (gamma * self.p / self.rho).sqrt()
+    }
+}
+
+/// The solved wave structure of one Riemann problem.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactRiemann {
+    pub gamma: f64,
+    pub left: PrimitiveState,
+    pub right: PrimitiveState,
+    /// Star-region pressure.
+    pub p_star: f64,
+    /// Star-region (contact) velocity.
+    pub u_star: f64,
+}
+
+impl ExactRiemann {
+    /// Solve the pressure equation by Newton iteration with a positivity
+    /// guard (Toro's two-rarefaction initial guess).
+    pub fn solve(left: PrimitiveState, right: PrimitiveState, gamma: f64) -> Self {
+        let (cl, cr) = (left.sound_speed(gamma), right.sound_speed(gamma));
+        // Vacuum check: pressure positivity condition.
+        let du = right.u - left.u;
+        assert!(
+            2.0 * (cl + cr) / (gamma - 1.0) > du,
+            "initial states generate vacuum; exact solver does not cover it"
+        );
+
+        // Two-rarefaction guess.
+        let z = (gamma - 1.0) / (2.0 * gamma);
+        let mut p = ((cl + cr - 0.5 * (gamma - 1.0) * du)
+            / (cl / left.p.powf(z) + cr / right.p.powf(z)))
+        .powf(1.0 / z);
+        p = p.max(1e-12);
+
+        for _ in 0..100 {
+            let (fl, dfl) = pressure_function(p, &left, gamma);
+            let (fr, dfr) = pressure_function(p, &right, gamma);
+            let f = fl + fr + du;
+            let step = f / (dfl + dfr);
+            let p_new = (p - step).max(1e-14);
+            if (p_new - p).abs() / (0.5 * (p_new + p)) < 1e-14 {
+                p = p_new;
+                break;
+            }
+            p = p_new;
+        }
+
+        let (fl, _) = pressure_function(p, &left, gamma);
+        let (fr, _) = pressure_function(p, &right, gamma);
+        let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+        ExactRiemann {
+            gamma,
+            left,
+            right,
+            p_star: p,
+            u_star,
+        }
+    }
+
+    /// Sample the self-similar solution at `xi = x / t`.
+    pub fn sample(&self, xi: f64) -> PrimitiveState {
+        let g = self.gamma;
+        if xi <= self.u_star {
+            sample_side(&self.left, self.p_star, self.u_star, g, xi, -1.0)
+        } else {
+            sample_side(&self.right, self.p_star, self.u_star, g, xi, 1.0)
+        }
+    }
+
+    /// Sample onto `n` cell centers of the domain `[x0, x1]` with the
+    /// initial discontinuity at `x_disc`, at time `t`.
+    pub fn sample_profile(&self, n: usize, x0: f64, x1: f64, x_disc: f64, t: f64) -> Vec<PrimitiveState> {
+        assert!(t > 0.0, "profile sampling needs t > 0");
+        let dx = (x1 - x0) / n as f64;
+        (0..n)
+            .map(|i| {
+                let x = x0 + (i as f64 + 0.5) * dx;
+                self.sample((x - x_disc) / t)
+            })
+            .collect()
+    }
+}
+
+/// Toro's `f_K(p)` and its derivative: shock branch for `p > p_K`,
+/// rarefaction branch otherwise.
+fn pressure_function(p: f64, s: &PrimitiveState, gamma: f64) -> (f64, f64) {
+    let c = s.sound_speed(gamma);
+    if p > s.p {
+        // Shock.
+        let a = 2.0 / ((gamma + 1.0) * s.rho);
+        let b = (gamma - 1.0) / (gamma + 1.0) * s.p;
+        let sq = (a / (p + b)).sqrt();
+        let f = (p - s.p) * sq;
+        let df = sq * (1.0 - 0.5 * (p - s.p) / (p + b));
+        (f, df)
+    } else {
+        // Rarefaction.
+        let z = (gamma - 1.0) / (2.0 * gamma);
+        let f = 2.0 * c / (gamma - 1.0) * ((p / s.p).powf(z) - 1.0);
+        let df = 1.0 / (s.rho * c) * (p / s.p).powf(-(gamma + 1.0) / (2.0 * gamma));
+        (f, df)
+    }
+}
+
+/// Sample one side of the contact. `sign = -1` for left, `+1` for right.
+fn sample_side(
+    s: &PrimitiveState,
+    p_star: f64,
+    u_star: f64,
+    gamma: f64,
+    xi: f64,
+    sign: f64,
+) -> PrimitiveState {
+    let c = s.sound_speed(gamma);
+    let gm1 = gamma - 1.0;
+    let gp1 = gamma + 1.0;
+
+    if p_star > s.p {
+        // Shock on this side.
+        let ratio = p_star / s.p;
+        let shock_speed = s.u + sign * c * (gp1 / (2.0 * gamma) * ratio + gm1 / (2.0 * gamma)).sqrt();
+        let outside = if sign < 0.0 { xi < shock_speed } else { xi > shock_speed };
+        if outside {
+            *s
+        } else {
+            let rho_star = s.rho * ((ratio + gm1 / gp1) / (gm1 / gp1 * ratio + 1.0));
+            PrimitiveState { rho: rho_star, u: u_star, p: p_star }
+        }
+    } else {
+        // Rarefaction fan on this side.
+        let c_star = c * (p_star / s.p).powf(gm1 / (2.0 * gamma));
+        let head = s.u + sign * c;
+        let tail = u_star + sign * c_star;
+        let before_head = if sign < 0.0 { xi < head } else { xi > head };
+        let after_tail = if sign < 0.0 { xi > tail } else { xi < tail };
+        if before_head {
+            *s
+        } else if after_tail {
+            let rho_star = s.rho * (p_star / s.p).powf(1.0 / gamma);
+            PrimitiveState { rho: rho_star, u: u_star, p: p_star }
+        } else {
+            // Inside the fan.
+            let u = 2.0 / gp1 * (-sign * c + gm1 / 2.0 * s.u + xi);
+            let c_local = 2.0 / gp1 * (c - sign * gm1 / 2.0 * (s.u - xi));
+            let rho = s.rho * (c_local / c).powf(2.0 / gm1);
+            let p = s.p * (c_local / c).powf(2.0 * gamma / gm1);
+            PrimitiveState { rho, u, p }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: f64 = 1.4;
+
+    fn sod() -> ExactRiemann {
+        ExactRiemann::solve(
+            PrimitiveState::new(1.0, 0.0, 1.0),
+            PrimitiveState::new(0.125, 0.0, 0.1),
+            G,
+        )
+    }
+
+    #[test]
+    fn sod_star_values_match_literature() {
+        // Toro's table 4.2: p* = 0.30313, u* = 0.92745.
+        let r = sod();
+        assert!((r.p_star - 0.30313).abs() < 1e-4, "p* = {}", r.p_star);
+        assert!((r.u_star - 0.92745).abs() < 1e-4, "u* = {}", r.u_star);
+    }
+
+    #[test]
+    fn sod_density_plateaus() {
+        let r = sod();
+        // Left star density (through rarefaction): 0.42632;
+        // right star density (through shock): 0.26557.
+        let left_star = r.sample(r.u_star - 1e-6);
+        let right_star = r.sample(r.u_star + 1e-6);
+        assert!((left_star.rho - 0.42632).abs() < 1e-4, "{}", left_star.rho);
+        assert!((right_star.rho - 0.26557).abs() < 1e-4, "{}", right_star.rho);
+    }
+
+    #[test]
+    fn symmetric_expansion_has_zero_contact_velocity() {
+        let r = ExactRiemann::solve(
+            PrimitiveState::new(1.0, -1.0, 0.4),
+            PrimitiveState::new(1.0, 1.0, 0.4),
+            G,
+        );
+        assert!(r.u_star.abs() < 1e-12);
+        assert!(r.p_star < 0.4, "two rarefactions drop the pressure");
+    }
+
+    #[test]
+    fn symmetric_compression_produces_two_shocks() {
+        let r = ExactRiemann::solve(
+            PrimitiveState::new(1.0, 1.0, 1.0),
+            PrimitiveState::new(1.0, -1.0, 1.0),
+            G,
+        );
+        assert!(r.u_star.abs() < 1e-12);
+        assert!(r.p_star > 1.0, "compression raises the pressure");
+        // Post-shock density bounded by the strong-shock limit (gp1/gm1 = 6).
+        let mid = r.sample(0.0);
+        assert!(mid.rho > 1.0 && mid.rho < 6.0);
+    }
+
+    #[test]
+    fn far_field_recovers_initial_states() {
+        let r = sod();
+        let l = r.sample(-10.0);
+        let rr = r.sample(10.0);
+        assert_eq!(l, r.left);
+        assert_eq!(rr, r.right);
+    }
+
+    #[test]
+    fn rankine_hugoniot_holds_across_the_right_shock() {
+        let r = sod();
+        // Right shock speed from the sampled jump itself.
+        let ratio = r.p_star / r.right.p;
+        let c = (G * r.right.p / r.right.rho).sqrt();
+        let s_shock = r.right.u + c * ((G + 1.0) / (2.0 * G) * ratio + (G - 1.0) / (2.0 * G)).sqrt();
+        let pre = r.right;
+        let post = r.sample(s_shock - 1e-9);
+        // Mass: rho1(u1 - s) = rho2(u2 - s).
+        let m1 = pre.rho * (pre.u - s_shock);
+        let m2 = post.rho * (post.u - s_shock);
+        assert!((m1 - m2).abs() < 1e-6, "mass jump {m1} vs {m2}");
+        // Momentum: m*u + p continuous.
+        let mo1 = m1 * pre.u + pre.p;
+        let mo2 = m2 * post.u + post.p;
+        assert!((mo1 - mo2).abs() < 1e-6, "momentum jump {mo1} vs {mo2}");
+    }
+
+    #[test]
+    fn riemann_invariant_constant_through_left_rarefaction() {
+        let r = sod();
+        // u + 2c/(gamma-1) is constant across a left rarefaction.
+        let inv = |s: &PrimitiveState| s.u + 2.0 * (G * s.p / s.rho).sqrt() / (G - 1.0);
+        let head = r.sample(-1.18); // just inside the fan
+        let tail = r.sample(-0.1);
+        assert!((inv(&head) - inv(&r.left)).abs() < 1e-9);
+        assert!((inv(&tail) - inv(&r.left)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_sampling_matches_pointwise_sampling() {
+        let r = sod();
+        let prof = r.sample_profile(100, 0.0, 1.0, 0.5, 0.2);
+        assert_eq!(prof.len(), 100);
+        let x = 0.0 + 37.5 * 0.01 + 0.005; // center of cell 37... direct check:
+        let xi = (x - 0.5) / 0.2;
+        let _ = xi;
+        let direct = r.sample(((0.0 + (37.0 + 0.5) * 0.01) - 0.5) / 0.2);
+        assert_eq!(prof[37], direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuum")]
+    fn vacuum_generating_data_is_rejected() {
+        ExactRiemann::solve(
+            PrimitiveState::new(1.0, -10.0, 0.01),
+            PrimitiveState::new(1.0, 10.0, 0.01),
+            G,
+        );
+    }
+}

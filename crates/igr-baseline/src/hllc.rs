@@ -1,0 +1,181 @@
+//! HLLC approximate Riemann solver (Harten–Lax–van Leer–Contact; Toro 2019),
+//! the flux used by the paper's baseline ("MFC's optimized implementation of
+//! WENO nonlinear reconstructions and HLLC approximate Riemann solves").
+
+use igr_core::eos::{cons_to_prim, inviscid_flux, Cons, Prim, NV};
+use igr_prec::Real;
+
+/// HLLC numerical flux along axis `d` for left/right conservative states.
+///
+/// Wave-speed estimates follow Davis/Einfeldt:
+/// `S_L = min(u_L − c_L, u_R − c_R)`, `S_R = max(u_L + c_L, u_R + c_R)`,
+/// with the contact speed `S_*` from Toro's pressure-based formula.
+#[inline(always)]
+pub fn hllc_flux<R: Real>(d: usize, ql: &Cons<R>, qr: &Cons<R>, gamma: R) -> Cons<R> {
+    let pl = cons_to_prim(ql, gamma);
+    let pr = cons_to_prim(qr, gamma);
+    hllc_flux_prim(d, ql, &pl, qr, &pr, gamma)
+}
+
+/// HLLC flux with precomputed primitives.
+#[inline(always)]
+pub fn hllc_flux_prim<R: Real>(
+    d: usize,
+    ql: &Cons<R>,
+    pl: &Prim<R>,
+    qr: &Cons<R>,
+    pr: &Prim<R>,
+    gamma: R,
+) -> Cons<R> {
+    let cl = pl.sound_speed(gamma);
+    let cr = pr.sound_speed(gamma);
+    let (ul, ur) = (pl.vel[d], pr.vel[d]);
+
+    let sl = (ul - cl).min(ur - cr);
+    let sr = (ul + cl).max(ur + cr);
+
+    if sl >= R::ZERO {
+        return inviscid_flux(d, ql, pl, pl.p);
+    }
+    if sr <= R::ZERO {
+        return inviscid_flux(d, qr, pr, pr.p);
+    }
+
+    // Contact wave speed (Toro eq. 10.37).
+    let num = pr.p - pl.p + pl.rho * ul * (sl - ul) - pr.rho * ur * (sr - ur);
+    let den = pl.rho * (sl - ul) - pr.rho * (sr - ur);
+    let s_star = num / den;
+
+    if s_star >= R::ZERO {
+        let f = inviscid_flux(d, ql, pl, pl.p);
+        let q_star = star_state(d, ql, pl, sl, s_star);
+        let mut out = [R::ZERO; NV];
+        for v in 0..NV {
+            out[v] = f[v] + sl * (q_star[v] - ql[v]);
+        }
+        out
+    } else {
+        let f = inviscid_flux(d, qr, pr, pr.p);
+        let q_star = star_state(d, qr, pr, sr, s_star);
+        let mut out = [R::ZERO; NV];
+        for v in 0..NV {
+            out[v] = f[v] + sr * (q_star[v] - qr[v]);
+        }
+        out
+    }
+}
+
+/// The star-region state behind wave `s_k` (Toro eq. 10.39).
+#[inline(always)]
+fn star_state<R: Real>(d: usize, q: &Cons<R>, p: &Prim<R>, s_k: R, s_star: R) -> Cons<R> {
+    let u_k = p.vel[d];
+    let factor = p.rho * (s_k - u_k) / (s_k - s_star);
+    let mut out = [R::ZERO; NV];
+    out[0] = factor;
+    for a in 0..3 {
+        out[1 + a] = factor * if a == d { s_star } else { p.vel[a] };
+    }
+    let e_term = q[4] / p.rho
+        + (s_star - u_k) * (s_star + p.p / (p.rho * (s_k - u_k)));
+    out[4] = factor * e_term;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igr_core::eos::Prim;
+
+    const G: f64 = 1.4;
+
+    fn cons(rho: f64, vel: [f64; 3], p: f64) -> (Cons<f64>, Prim<f64>) {
+        let pr = Prim::new(rho, vel, p);
+        (pr.to_cons(G), pr)
+    }
+
+    #[test]
+    fn identical_states_give_exact_flux() {
+        let (q, pr) = cons(1.3, [0.4, -0.2, 0.1], 0.9);
+        for d in 0..3 {
+            let f = hllc_flux(d, &q, &q, G);
+            let exact = inviscid_flux(d, &q, &pr, pr.p);
+            for v in 0..5 {
+                assert!((f[v] - exact[v]).abs() < 1e-13, "d={d} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_flux_is_upwind_for_supersonic_flow() {
+        // Mach 3 to the right: the flux must be the left state's physical flux.
+        let (ql, prl) = cons(1.0, [3.0 * G.sqrt(), 0.0, 0.0], 1.0);
+        let (qr, _) = cons(0.5, [3.0 * G.sqrt(), 0.0, 0.0], 0.3);
+        let f = hllc_flux(0, &ql, &qr, G);
+        let exact = inviscid_flux(0, &ql, &prl, prl.p);
+        for v in 0..5 {
+            assert!((f[v] - exact[v]).abs() < 1e-12, "v={v}: {} vs {}", f[v], exact[v]);
+        }
+    }
+
+    #[test]
+    fn symmetry_under_mirror_reflection() {
+        // Mirroring both states about the interface flips the sign of mass
+        // and energy flux and preserves the normal-momentum flux.
+        let (ql, _) = cons(1.0, [0.3, 0.1, 0.0], 1.0);
+        let (qr, _) = cons(0.6, [-0.2, -0.4, 0.0], 0.5);
+        let mirror = |q: &Cons<f64>| [q[0], -q[1], -q[2], -q[3], q[4]];
+        let f = hllc_flux(0, &ql, &qr, G);
+        let fm = hllc_flux(0, &mirror(&qr), &mirror(&ql), G);
+        assert!((f[0] + fm[0]).abs() < 1e-12, "mass flux antisymmetric");
+        assert!((f[1] - fm[1]).abs() < 1e-12, "normal momentum flux symmetric");
+        assert!((f[4] + fm[4]).abs() < 1e-12, "energy flux antisymmetric");
+    }
+
+    #[test]
+    fn contact_preservation() {
+        // A stationary contact (equal p and u = 0, different rho) must
+        // produce zero mass/energy flux and pure pressure momentum flux —
+        // the property HLLC adds over HLL.
+        let (ql, _) = cons(1.0, [0.0; 3], 0.7);
+        let (qr, _) = cons(0.125, [0.0; 3], 0.7);
+        let f = hllc_flux(0, &ql, &qr, G);
+        assert!(f[0].abs() < 1e-14, "mass flux {}", f[0]);
+        assert!((f[1] - 0.7).abs() < 1e-14, "momentum flux {}", f[1]);
+        assert!(f[4].abs() < 1e-14, "energy flux {}", f[4]);
+    }
+
+    #[test]
+    fn moving_contact_advects_exactly() {
+        // Contact moving at u > 0: upwind side is left; flux must be the
+        // left state's physical flux.
+        let u = 0.3;
+        let (ql, prl) = cons(1.0, [u, 0.0, 0.0], 1.0);
+        let (qr, _) = cons(0.25, [u, 0.0, 0.0], 1.0);
+        let f = hllc_flux(0, &ql, &qr, G);
+        let exact = inviscid_flux(0, &ql, &prl, prl.p);
+        for v in 0..5 {
+            assert!((f[v] - exact[v]).abs() < 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    fn tangential_momentum_upwinds_with_the_contact() {
+        // s* > 0 => tangential velocity comes from the left state.
+        let (ql, _) = cons(1.0, [0.5, 0.9, 0.0], 1.0);
+        let (qr, _) = cons(1.0, [0.5, -0.7, 0.0], 1.0);
+        let f = hllc_flux(0, &ql, &qr, G);
+        // Tangential momentum flux = (mass flux) * v_left.
+        assert!((f[2] - f[0] * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sod_interface_flux_is_sane() {
+        let (ql, _) = cons(1.0, [0.0; 3], 1.0);
+        let (qr, _) = cons(0.125, [0.0; 3], 0.1);
+        let f = hllc_flux(0, &ql, &qr, G);
+        // Flow accelerates rightward through the interface.
+        assert!(f[0] > 0.0, "mass flows right: {}", f[0]);
+        assert!(f[1] > 0.0 && f[1] < 1.0, "momentum flux between the two pressures");
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+}

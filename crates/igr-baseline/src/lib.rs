@@ -1,0 +1,28 @@
+//! The state-of-the-art baseline the paper benchmarks IGR against.
+//!
+//! MFC's production path — and the "Baseline" rows/curves of Table 3, Fig. 5,
+//! and Fig. 8 — is 5th-order WENO reconstruction plus an HLLC approximate
+//! Riemann solver. This crate implements that scheme as a [`igr_core::RhsScheme`],
+//! in the *staged* (stored-intermediate) form whose memory footprint the
+//! paper's fused IGR kernel beats 25-fold, plus the supporting numerics:
+//!
+//! * [`weno`] — WENO5-JS nonlinear reconstruction, whose smoothness
+//!   indicators are the ill-conditioned operation that makes the baseline
+//!   FP64-only in practice (§4.3);
+//! * [`hllc`] — the HLLC approximate Riemann solver (Toro);
+//! * [`scheme`] — [`scheme::WenoHllcScheme`]: staged RHS with persistent
+//!   reconstruction/flux arrays and the associated memory accounting;
+//! * [`exact_riemann`] — Toro's exact Riemann solver (shock-tube ground
+//!   truth for validation and Fig. 2's "Exact" curves);
+//! * [`lad`] — localized artificial diffusivity (Cook–Cabot-style), the
+//!   viscous regularization IGR is contrasted with in Fig. 2.
+
+pub mod exact_riemann;
+pub mod hllc;
+pub mod lad;
+pub mod scheme;
+pub mod staged_igr;
+pub mod weno;
+
+pub use exact_riemann::ExactRiemann;
+pub use scheme::{WenoConfig, WenoHllcScheme};

@@ -1,0 +1,166 @@
+//! WENO5-JS reconstruction (Jiang & Shu), the paper's reference for
+//! "state-of-the-art numerical shock capturing".
+//!
+//! The scheme blends three 3rd-order candidate stencils with nonlinear
+//! weights derived from smoothness indicators `β_k`. The `β_k` are sums of
+//! squares of small differences of near-equal numbers — the catastrophic-
+//! cancellation-prone operation that makes WENO effectively FP64-only
+//! (paper §4.3, citing Brogi et al.): in FP32 the indicators lose most of
+//! their significant bits in smooth regions, and in FP16-storage mode the
+//! storage rounding itself masquerades as non-smoothness.
+
+use igr_prec::Real;
+
+/// Jiang–Shu sensitivity constant. Scaled like the square of the data, it
+/// guards the division; the classic choice 1e-6 is used in MFC.
+pub const WENO_EPS: f64 = 1e-6;
+
+/// Linear (optimal) weights of the three candidate stencils for the left
+/// state at `i+1/2`.
+const D: [f64; 3] = [0.1, 0.6, 0.3];
+
+/// The Jiang–Shu smoothness indicators `β_0..β_2` of the left-biased stencil.
+///
+/// Differences of near-equal numbers, squared: the relative error of a `β`
+/// computed in precision `R` is roughly `ε_R · (q/Δq)`, which for
+/// small-amplitude data on top of an O(1) mean loses most significant bits —
+/// the conditioning argument for why WENO is FP64-only (§4.3).
+#[inline(always)]
+pub fn smoothness_indicators<R: Real>(w: &[R; 5]) -> [R; 3] {
+    let c13_12 = R::from_f64(13.0 / 12.0);
+    let quarter = R::from_f64(0.25);
+    let b0 = c13_12 * (w[0] - R::TWO * w[1] + w[2]).powi(2)
+        + quarter * (w[0] - R::from_f64(4.0) * w[1] + R::from_f64(3.0) * w[2]).powi(2);
+    let b1 = c13_12 * (w[1] - R::TWO * w[2] + w[3]).powi(2) + quarter * (w[1] - w[3]).powi(2);
+    let b2 = c13_12 * (w[2] - R::TWO * w[3] + w[4]).powi(2)
+        + quarter * (R::from_f64(3.0) * w[2] - R::from_f64(4.0) * w[3] + w[4]).powi(2);
+    [b0, b1, b2]
+}
+
+/// Reconstruct the left-biased WENO5 value at `i+1/2` from the window
+/// `w = q[i-2..=i+2]`.
+#[inline(always)]
+pub fn weno5_left<R: Real>(w: &[R; 5]) -> R {
+    let eps = R::from_f64(WENO_EPS);
+    let [b0, b1, b2] = smoothness_indicators(w);
+
+    let a0 = R::from_f64(D[0]) / (eps + b0).powi(2);
+    let a1 = R::from_f64(D[1]) / (eps + b1).powi(2);
+    let a2 = R::from_f64(D[2]) / (eps + b2).powi(2);
+    let inv_sum = R::ONE / (a0 + a1 + a2);
+
+    // Candidate reconstructions.
+    let q0 = (R::TWO * w[0] - R::from_f64(7.0) * w[1] + R::from_f64(11.0) * w[2])
+        / R::from_f64(6.0);
+    let q1 = (-w[1] + R::from_f64(5.0) * w[2] + R::TWO * w[3]) / R::from_f64(6.0);
+    let q2 = (R::TWO * w[2] + R::from_f64(5.0) * w[3] - w[4]) / R::from_f64(6.0);
+
+    (a0 * q0 + a1 * q1 + a2 * q2) * inv_sum
+}
+
+/// Reconstruct the right-biased WENO5 value at `i+1/2` from the window
+/// `w = q[i-1..=i+3]` (mirror of [`weno5_left`]).
+#[inline(always)]
+pub fn weno5_right<R: Real>(w: &[R; 5]) -> R {
+    let rev = [w[4], w[3], w[2], w[1], w[0]];
+    weno5_left(&rev)
+}
+
+/// Left/right states at interface `i+1/2` from the 6-cell window
+/// `q[i-2..=i+3]` — same window contract as `igr_core::recon::recon5`.
+#[inline(always)]
+pub fn weno5_pair<R: Real>(w6: &[R; 6]) -> (R, R) {
+    let wl = [w6[0], w6[1], w6[2], w6[3], w6[4]];
+    let wr = [w6[1], w6[2], w6[3], w6[4], w6[5]];
+    (weno5_left(&wl), weno5_right(&wr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igr_core::recon::recon5;
+
+    #[test]
+    fn constant_data_reconstructs_exactly() {
+        let w = [3.25f64; 5];
+        assert!((weno5_left(&w) - 3.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn smooth_data_recovers_the_linear_scheme() {
+        // On smooth data the nonlinear weights collapse to the optimal
+        // weights, so WENO5 matches the 5th-order linear reconstruction to
+        // high accuracy.
+        let h = 0.01f64;
+        let avg = |i: f64| (((i + 0.5) * h + 1.0).sin() - ((i - 0.5) * h + 1.0).sin()) / h;
+        let w6: [f64; 6] = std::array::from_fn(|q| avg(q as f64 - 2.0));
+        let (l_weno, r_weno) = weno5_pair(&w6);
+        let (l_lin, r_lin) = recon5(&w6);
+        assert!((l_weno - l_lin).abs() < 1e-9, "{l_weno} vs {l_lin}");
+        assert!((r_weno - r_lin).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discontinuity_does_not_overshoot() {
+        // Step data: the reconstruction must stay within the data range
+        // (ENO property), unlike the linear scheme which overshoots.
+        let w6 = [0.0f64, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let (l_weno, r_weno) = weno5_pair(&w6);
+        assert!((-1e-12..=1.0 + 1e-12).contains(&l_weno), "left {l_weno}");
+        assert!((-1e-12..=1.0 + 1e-12).contains(&r_weno), "right {r_weno}");
+        let (l_lin, _) = recon5(&w6);
+        assert!(l_lin < 0.0 || l_lin > 1.0 || (l_weno - l_lin).abs() > 1e-3,
+            "linear recon should overshoot or differ markedly at a step");
+    }
+
+    #[test]
+    fn near_discontinuity_prefers_smooth_stencil() {
+        // Window with a jump between cells 0 and 1: stencil 2 (rightmost) is
+        // smooth; its weight must dominate.
+        let w = [10.0f64, 1.0, 1.0, 1.0, 1.0];
+        let v = weno5_left(&w);
+        assert!((v - 1.0).abs() < 1e-2, "should reconstruct from smooth side: {v}");
+    }
+
+    #[test]
+    fn fifth_order_on_smooth_data() {
+        let err = |h: f64| {
+            let phase = 0.7;
+            let avg =
+                |i: f64| (((i + 0.5) * h + phase).sin() - ((i - 0.5) * h + phase).sin()) / h;
+            let w: [f64; 5] = std::array::from_fn(|q| avg(q as f64 - 2.0));
+            (weno5_left(&w) - (0.5 * h + phase).cos()).abs()
+        };
+        let order = (err(0.02) / err(0.01)).log2();
+        assert!(order > 4.3, "WENO5 must be ~5th order on smooth data, got {order}");
+    }
+
+    /// The precision pathology the paper leans on (§4.3, citing Brogi et
+    /// al.): the smoothness indicators are differences of near-equal numbers,
+    /// squared. For small-amplitude data on an O(1) mean, FP32 destroys most
+    /// of their significant bits — the *relative* error of β computed in
+    /// FP32 is orders of magnitude above FP32 roundoff.
+    #[test]
+    fn fp32_smoothness_indicators_lose_their_significance() {
+        let mean = 1.0f64;
+        let amp = 1e-5; // plausible turbulence-level fluctuation
+        let data = |i: f64| mean + amp * (1.7 * i).sin();
+        let w64: [f64; 5] = std::array::from_fn(|q| data(q as f64 - 2.0));
+        let w32: [f32; 5] = std::array::from_fn(|q| data(q as f64 - 2.0) as f32);
+        let b64 = smoothness_indicators(&w64);
+        let b32 = smoothness_indicators(&w32);
+        let mut worst_rel = 0.0f64;
+        for k in 0..3 {
+            let rel = ((b32[k] as f64 - b64[k]) / b64[k]).abs();
+            worst_rel = worst_rel.max(rel);
+        }
+        // Well-conditioned FP32 arithmetic would give rel ~ 1e-7; the
+        // cancellation inflates it by orders of magnitude.
+        assert!(
+            worst_rel > 1e-3,
+            "beta conditioning: worst relative error {worst_rel:.3e} should be >> FP32 eps"
+        );
+        // Sanity: in FP64 the indicators are meaningful (positive, finite).
+        assert!(b64.iter().all(|&b| b > 0.0 && b.is_finite()));
+    }
+}

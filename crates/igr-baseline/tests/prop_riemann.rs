@@ -1,0 +1,138 @@
+//! Property-based tests for the Riemann machinery: the exact solver's
+//! mathematical invariants and HLLC's consistency with it.
+
+use igr_baseline::exact_riemann::{ExactRiemann, PrimitiveState};
+use igr_baseline::hllc::hllc_flux;
+use igr_core::eos::{inviscid_flux, Prim};
+use proptest::prelude::*;
+
+const G: f64 = 1.4;
+
+/// Random non-vacuum-generating states.
+fn state_strategy() -> impl Strategy<Value = (PrimitiveState, PrimitiveState)> {
+    (
+        0.1..4.0f64,
+        -1.0..1.0f64,
+        0.1..4.0f64,
+        0.1..4.0f64,
+        -1.0..1.0f64,
+        0.1..4.0f64,
+    )
+        .prop_map(|(rl, ul, pl, rr, ur, pr)| {
+            (
+                PrimitiveState::new(rl, ul, pl),
+                PrimitiveState::new(rr, ur, pr),
+            )
+        })
+        .prop_filter("no vacuum", |(l, r)| {
+            let cl = (G * l.p / l.rho).sqrt();
+            let cr = (G * r.p / r.rho).sqrt();
+            2.0 * (cl + cr) / (G - 1.0) > (r.u - l.u) + 0.2
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The star pressure is positive and the sampled solution matches the
+    /// input states in the far field.
+    #[test]
+    fn exact_solver_far_field_and_positivity((l, r) in state_strategy()) {
+        let sol = ExactRiemann::solve(l, r, G);
+        prop_assert!(sol.p_star > 0.0);
+        let far_l = sol.sample(-100.0);
+        let far_r = sol.sample(100.0);
+        prop_assert!((far_l.rho - l.rho).abs() < 1e-12);
+        prop_assert!((far_r.p - r.p).abs() < 1e-12);
+    }
+
+    /// Pressure and velocity are continuous across the contact; density may
+    /// jump (the defining structure of the solution).
+    #[test]
+    fn exact_solver_contact_jump_structure((l, r) in state_strategy()) {
+        let sol = ExactRiemann::solve(l, r, G);
+        let eps = 1e-9;
+        let a = sol.sample(sol.u_star - eps);
+        let b = sol.sample(sol.u_star + eps);
+        prop_assert!((a.p - b.p).abs() < 1e-6, "pressure continuous: {} vs {}", a.p, b.p);
+        prop_assert!((a.u - b.u).abs() < 1e-6, "velocity continuous");
+    }
+
+    /// Every sampled state is physically admissible.
+    #[test]
+    fn exact_solver_samples_are_admissible((l, r) in state_strategy(), xi in -3.0..3.0f64) {
+        let sol = ExactRiemann::solve(l, r, G);
+        let s = sol.sample(xi);
+        prop_assert!(s.rho > 0.0 && s.p > 0.0);
+        prop_assert!(s.rho.is_finite() && s.u.is_finite() && s.p.is_finite());
+    }
+
+    /// Mirror symmetry: solving the reflected problem gives the reflected
+    /// solution (u* flips sign, p* invariant).
+    #[test]
+    fn exact_solver_mirror_symmetry((l, r) in state_strategy()) {
+        let sol = ExactRiemann::solve(l, r, G);
+        let mirrored = ExactRiemann::solve(
+            PrimitiveState::new(r.rho, -r.u, r.p),
+            PrimitiveState::new(l.rho, -l.u, l.p),
+            G,
+        );
+        prop_assert!((sol.p_star - mirrored.p_star).abs() < 1e-9 * sol.p_star.max(1.0));
+        prop_assert!((sol.u_star + mirrored.u_star).abs() < 1e-9);
+    }
+
+    /// HLLC consistency: for identical inputs it returns the physical flux.
+    #[test]
+    fn hllc_is_consistent(rho in 0.1..4.0f64, u in -2.0..2.0f64, v in -1.0..1.0f64, p in 0.1..4.0f64) {
+        let pr = Prim::new(rho, [u, v, 0.0], p);
+        let q = pr.to_cons(G);
+        let f = hllc_flux(0, &q, &q, G);
+        let exact = inviscid_flux(0, &q, &pr, pr.p);
+        for vv in 0..5 {
+            prop_assert!((f[vv] - exact[vv]).abs() < 1e-11 * (1.0 + exact[vv].abs()));
+        }
+    }
+
+    /// HLLC's interface signal respects upwinding: for strongly supersonic
+    /// flow the flux equals the upwind state's physical flux.
+    #[test]
+    fn hllc_upwinds_supersonic_flow(rho in 0.2..2.0f64, p in 0.2..2.0f64, mach in 1.5..4.0f64) {
+        let c = (G * p / rho).sqrt();
+        let u = mach * c;
+        let left = Prim::new(rho, [u, 0.1, 0.0], p);
+        let right = Prim::new(0.7 * rho, [u, -0.2, 0.0], 1.3 * p);
+        // Right-moving supersonic: but the wave bound is min(uL-cL, uR-cR);
+        // choose both states supersonic so SL > 0 for sure.
+        let ql = left.to_cons(G);
+        let qr = right.to_cons(G);
+        let cr = (G * right.p / right.rho).sqrt();
+        prop_assume!(u - cr > 0.0);
+        let f = hllc_flux(0, &ql, &qr, G);
+        let exact = inviscid_flux(0, &ql, &left, left.p);
+        for vv in 0..5 {
+            prop_assert!((f[vv] - exact[vv]).abs() < 1e-10 * (1.0 + exact[vv].abs()));
+        }
+    }
+
+    /// HLLC flux agrees with the exact Riemann solution's interface flux to
+    /// leading order for weak jumps (both converge to the linearized flux).
+    #[test]
+    fn hllc_matches_exact_for_weak_waves(rho in 0.5..2.0f64, p in 0.5..2.0f64, eps in 0.0..0.05f64) {
+        let l = PrimitiveState::new(rho, 0.0, p);
+        let r = PrimitiveState::new(rho * (1.0 + eps), 0.0, p * (1.0 + eps));
+        let sol = ExactRiemann::solve(l, r, G);
+        let s0 = sol.sample(0.0);
+        let exact_pr = Prim::new(s0.rho, [s0.u, 0.0, 0.0], s0.p);
+        let exact_flux = inviscid_flux(0, &exact_pr.to_cons(G), &exact_pr, exact_pr.p);
+        let ql = Prim::new(l.rho, [l.u, 0.0, 0.0], l.p).to_cons(G);
+        let qr = Prim::new(r.rho, [r.u, 0.0, 0.0], r.p).to_cons(G);
+        let f = hllc_flux(0, &ql, &qr, G);
+        for vv in 0..5 {
+            let scale = 1.0 + exact_flux[vv].abs();
+            prop_assert!(
+                (f[vv] - exact_flux[vv]).abs() < 0.05 * scale + 2.0 * eps * eps,
+                "var {}: hllc {} vs exact {}", vv, f[vv], exact_flux[vv]
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! IGR elliptic-solve ablation: Jacobi vs Gauss–Seidel, and sweep-count
+//! scaling (the paper uses ≤ 5 warm-started sweeps; this shows why more
+//! would be wasted time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igr_core::bc::{fill_ghosts, BcSet, ALL_FACES};
+use igr_core::eos::Prim;
+use igr_core::sigma::{compute_igr_source, gauss_seidel_sweep, jacobi_sweep};
+use igr_core::State;
+use igr_grid::{Axis, Domain, Field, GridShape};
+use igr_prec::StoreF64;
+
+fn setup(n: usize) -> (State<f64, StoreF64>, Domain, Field<f64, StoreF64>, f64) {
+    let shape = GridShape::new(n, n, n, 3);
+    let domain = Domain::unit(shape);
+    let mut q = State::zeros(shape);
+    let tau = std::f64::consts::TAU;
+    q.set_prim_field(&domain, 1.4, |p| {
+        Prim::new(
+            1.0 + 0.3 * (tau * p[0]).sin(),
+            [(tau * p[1]).cos(), 0.2, (tau * p[2]).sin()],
+            1.0,
+        )
+    });
+    fill_ghosts(&mut q, &domain, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+    let alpha = 10.0 * domain.dx(Axis::X).powi(2);
+    let mut b = Field::zeros(shape);
+    compute_igr_source(&q, &domain, alpha, &mut b);
+    (q, domain, b, alpha)
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let n = 32;
+    let (q, domain, b, alpha) = setup(n);
+    let shape = q.shape();
+
+    let mut group = c.benchmark_group("elliptic");
+    group.sample_size(10);
+
+    for sweeps in [1usize, 3, 5, 10] {
+        group.bench_function(BenchmarkId::new("jacobi", sweeps), |bch| {
+            let mut sigma = Field::zeros(shape);
+            let mut tmp = Field::zeros(shape);
+            bch.iter(|| {
+                for _ in 0..sweeps {
+                    jacobi_sweep(&q.rho, &b, &sigma, &mut tmp, &domain, alpha);
+                    std::mem::swap(&mut sigma, &mut tmp);
+                }
+            });
+        });
+    }
+    group.bench_function("gauss_seidel_5", |bch| {
+        let mut sigma = Field::zeros(shape);
+        bch.iter(|| {
+            for _ in 0..5 {
+                gauss_seidel_sweep(&q.rho, &b, &mut sigma, &domain, alpha);
+            }
+        });
+    });
+    group.bench_function("source_term", |bch| {
+        let mut out = Field::zeros(shape);
+        bch.iter(|| compute_igr_source(&q, &domain, alpha, &mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

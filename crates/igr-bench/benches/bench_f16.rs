@@ -1,0 +1,46 @@
+//! FP16 storage-path microbenchmark: conversion throughput of the software
+//! binary16 (the cost the FP16/32 mixed mode pays on every load/store).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use igr_prec::f16;
+
+fn bench_conversions(c: &mut Criterion) {
+    let data_f32: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.371).sin() * 100.0).collect();
+    let data_f16: Vec<f16> = data_f32.iter().map(|&x| f16::from_f32(x)).collect();
+
+    let mut group = c.benchmark_group("f16");
+    group.throughput(Throughput::Elements(data_f32.len() as u64));
+
+    group.bench_function("narrow_f32_to_f16", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for &x in black_box(&data_f32) {
+                acc ^= f16::from_f32(x).to_bits();
+            }
+            acc
+        })
+    });
+    group.bench_function("widen_f16_to_f32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &h in black_box(&data_f16) {
+                acc += h.to_f32();
+            }
+            acc
+        })
+    });
+    group.bench_function("roundtrip_rmw", |b| {
+        // The RHS accumulation pattern: load, add, store.
+        let mut buf = data_f16.clone();
+        b.iter(|| {
+            for h in buf.iter_mut() {
+                *h = f16::from_f32(h.to_f32() + 0.5);
+            }
+            buf[0].to_bits()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversions);
+criterion_main!(benches);

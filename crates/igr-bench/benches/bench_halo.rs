@@ -1,0 +1,58 @@
+//! Halo-exchange cost: slab pack/unpack and a full rank-pair exchange —
+//! the communication side of the scaling model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use igr_comm::Universe;
+use igr_grid::{Axis, Decomp, Field, GridShape};
+use igr_prec::StoreF64;
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_pack");
+    for n in [16usize, 32] {
+        let shape = GridShape::new(n, n, n, 3);
+        let mut f: Field<f64, StoreF64> = Field::zeros(shape);
+        f.map_interior(|i, j, k, _| (i + j + k) as f64);
+        let slab = f.slab_len_ext(Axis::X, 3);
+        group.throughput(Throughput::Elements(slab as u64));
+        group.bench_function(BenchmarkId::new("pack_ext_x", n), |b| {
+            let mut buf = Vec::with_capacity(slab);
+            b.iter(|| {
+                f.pack_slab_ext(Axis::X, -1, 3, &mut buf);
+                buf.len()
+            })
+        });
+        group.bench_function(BenchmarkId::new("unpack_ext_x", n), |b| {
+            let mut buf = Vec::with_capacity(slab);
+            f.pack_slab_ext(Axis::X, -1, 3, &mut buf);
+            let mut g = f.clone();
+            b.iter(|| {
+                g.unpack_slab_ext(Axis::X, 1, 3, &buf);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_exchange");
+    group.sample_size(10);
+    for len in [1024usize, 16384] {
+        group.throughput(Throughput::Bytes((len * 8) as u64));
+        group.bench_function(BenchmarkId::new("pair_roundtrip", len), |b| {
+            b.iter(|| {
+                let decomp = Decomp::with_dims([len, 1, 1], [2, 1, 1], [true, false, false]);
+                let out = Universe::run(2, |comm| {
+                    let mut cart = igr_comm::CartComm::new(comm, decomp.clone());
+                    let data = vec![cart.rank() as f64; len / 2];
+                    let (lo, hi) = cart.exchange(Axis::X, 0, &data, &data);
+                    lo.map(|v| v.len()).unwrap_or(0) + hi.map(|v| v.len()).unwrap_or(0)
+                });
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack_unpack, bench_exchange);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Interface-reconstruction microbenchmark: the linear schemes IGR enables
+//! vs the nonlinear WENO5 the baseline needs. The per-interface cost gap is
+//! one of the two ingredients of the 4× grind-time factor (the other being
+//! the Riemann solver).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use igr_baseline::weno::weno5_pair;
+use igr_core::recon::{recon1, recon3, recon5};
+
+fn bench_recon(c: &mut Criterion) {
+    // A realistic window: smooth data with a gradient.
+    let w = [1.00f64, 1.05, 1.11, 1.18, 1.26, 1.35];
+    let n_iters = 1024u64;
+
+    let mut group = c.benchmark_group("recon_per_interface");
+    group.throughput(Throughput::Elements(n_iters));
+    group.bench_function("linear_1st", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..n_iters {
+                let (l, r) = recon1(black_box(&w));
+                acc += l + r;
+            }
+            acc
+        })
+    });
+    group.bench_function("linear_3rd", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..n_iters {
+                let (l, r) = recon3(black_box(&w));
+                acc += l + r;
+            }
+            acc
+        })
+    });
+    group.bench_function("linear_5th", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..n_iters {
+                let (l, r) = recon5(black_box(&w));
+                acc += l + r;
+            }
+            acc
+        })
+    });
+    group.bench_function("weno5_js", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..n_iters {
+                let (l, r) = weno5_pair(black_box(&w));
+                acc += l + r;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_flux(c: &mut Criterion) {
+    use igr_baseline::hllc::hllc_flux;
+    use igr_core::eos::{cons_to_prim, inviscid_flux, max_wave_speed, Prim};
+
+    let ql = Prim::new(1.0, [0.3, 0.1, -0.2], 1.0).to_cons(1.4);
+    let qr = Prim::new(0.9, [0.2, 0.0, -0.1], 0.8).to_cons(1.4);
+    let n_iters = 1024u64;
+
+    let mut group = c.benchmark_group("flux_per_interface");
+    group.throughput(Throughput::Elements(n_iters));
+    group.bench_function("lax_friedrichs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..n_iters {
+                let (ql, qr) = (black_box(&ql), black_box(&qr));
+                let pl = cons_to_prim(ql, 1.4);
+                let pr = cons_to_prim(qr, 1.4);
+                let lam = f64::max(max_wave_speed(0, &pl, 0.0, 1.4), max_wave_speed(0, &pr, 0.0, 1.4));
+                let fl = inviscid_flux(0, ql, &pl, pl.p);
+                let fr = inviscid_flux(0, qr, &pr, pr.p);
+                for v in 0..5 {
+                    acc += 0.5 * (fl[v] + fr[v]) - 0.5 * lam * (qr[v] - ql[v]);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("hllc", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..n_iters {
+                let f = hllc_flux(0, black_box(&ql), black_box(&qr), 1.4);
+                for v in 0..5 {
+                    acc += f[v];
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recon, bench_flux);
+criterion_main!(benches);

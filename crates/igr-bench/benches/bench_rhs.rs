@@ -1,0 +1,93 @@
+//! Kernel-level grind benchmark: the fused IGR RHS vs the staged WENO+HLLC
+//! RHS on the same block — the measured anchor behind Table 3, and the
+//! fused-vs-staged ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use igr_app::cases;
+use igr_prec::{StoreF16, StoreF32, StoreF64};
+
+fn bench_full_step(c: &mut Criterion) {
+    let n = 16; // 32x16x16 cells
+    let case = cases::single_jet_3d(n);
+    let cells = (2 * n * n * n) as u64;
+
+    let mut group = c.benchmark_group("full_step");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+
+    group.bench_function(BenchmarkId::new("igr", "fp64"), |b| {
+        let mut s = case.igr_solver::<f64, StoreF64>();
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    group.bench_function(BenchmarkId::new("igr", "fp32"), |b| {
+        let mut s = case.igr_solver::<f32, StoreF32>();
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    group.bench_function(BenchmarkId::new("igr", "fp16_storage"), |b| {
+        let mut s = case.igr_solver::<f32, StoreF16>();
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    group.bench_function(BenchmarkId::new("weno_hllc", "fp64"), |b| {
+        let mut s = case.weno_solver::<f64, StoreF64>();
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    // The fused-vs-staged ablation: identical IGR numerics, materialized
+    // intermediates. Separates the fusion effect from the numerics effect.
+    group.bench_function(BenchmarkId::new("igr_staged", "fp64"), |b| {
+        let mut s = igr_baseline::staged_igr::staged_igr_solver::<f64, StoreF64>(
+            case.igr_config(),
+            case.domain,
+            case.init_state(),
+        );
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    group.finish();
+}
+
+fn bench_recon_order_ablation(c: &mut Criterion) {
+    use igr_core::config::ReconOrder;
+    let n = 16;
+    let cells = (2 * n * n * n) as u64;
+    let mut group = c.benchmark_group("recon_order");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+    for (name, order) in [
+        ("first", ReconOrder::First),
+        ("third", ReconOrder::Third),
+        ("fifth", ReconOrder::Fifth),
+    ] {
+        group.bench_function(name, |b| {
+            let case = cases::single_jet_3d(n);
+            let mut cfg = case.igr_config();
+            cfg.order = order;
+            let mut s = igr_core::solver::igr_solver::<f64, StoreF64>(
+                cfg,
+                case.domain,
+                case.init_state(),
+            );
+            s.nan_check_every = 0;
+            s.step().unwrap();
+            s.fixed_dt = Some(s.stable_dt());
+            b.iter(|| s.step().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_step, bench_recon_order_ablation);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Multicomponent-extension ablation: the cost of the two-fluid
+//! five-equation model relative to the single-fluid solver on the same
+//! grid.
+//!
+//! The paper's storage accounting is "for a single species (advected
+//! fluid) case"; the two-fluid model streams 7 instead of 5 state arrays
+//! and adds the non-conservative α term, so its grind time should sit
+//! ~25–50 % above single-fluid — far from the 4× gap to the WENO baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use igr_app::cases;
+use igr_prec::{StoreF32, StoreF64};
+use igr_species::{species_solver, MixEos, MixPrim, SpeciesConfig, SpeciesState};
+
+fn species_setup<S: igr_prec::Storage<f32>>(
+    n: usize,
+) -> igr_species::SpeciesSolver<f32, S> {
+    species_setup_generic::<f32, S>(n)
+}
+
+fn species_setup_generic<R: igr_prec::Real, S: igr_prec::Storage<R>>(
+    n: usize,
+) -> igr_species::SpeciesSolver<R, S> {
+    let shape = igr_grid::GridShape::new(2 * n, n, n, 3);
+    let domain = igr_grid::Domain::new([0.0, -0.5, -0.5], [2.0, 0.5, 0.5], shape);
+    let eos = MixEos { gamma1: 1.4, gamma2: 1.25 };
+    let cfg = SpeciesConfig { eos, ..Default::default() };
+    let tau = std::f64::consts::TAU;
+    let mut q = SpeciesState::zeros(shape);
+    q.set_prim_field(&domain, &eos, |p| {
+        let a = (0.5 + 0.4 * (tau * p[0]).sin() * (tau * p[1]).cos()).clamp(0.01, 0.99);
+        MixPrim::new(
+            [a * 1.0, (1.0 - a) * 0.5],
+            [0.5 * (tau * p[2]).sin(), 0.2, 0.0],
+            1.0 + 0.1 * (tau * p[0]).cos(),
+            a,
+        )
+    });
+    species_solver(cfg, domain, q)
+}
+
+fn bench_two_fluid_step(c: &mut Criterion) {
+    let n = 16; // 32x16x16 cells, matching bench_rhs
+    let case = cases::single_jet_3d(n);
+    let cells = (2 * n * n * n) as u64;
+
+    let mut group = c.benchmark_group("two_fluid_step");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+
+    group.bench_function(BenchmarkId::new("single_fluid", "fp64"), |b| {
+        let mut s = case.igr_solver::<f64, StoreF64>();
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    group.bench_function(BenchmarkId::new("two_fluid", "fp64"), |b| {
+        let mut s = species_setup_generic::<f64, StoreF64>(n);
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    group.bench_function(BenchmarkId::new("two_fluid", "fp32"), |b| {
+        let mut s = species_setup::<StoreF32>(n);
+        s.nan_check_every = 0;
+        s.step().unwrap();
+        s.fixed_dt = Some(s.stable_dt());
+        b.iter(|| s.step().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_fluid_step);
+criterion_main!(benches);

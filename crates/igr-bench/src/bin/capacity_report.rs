@@ -1,0 +1,78 @@
+//! §7.2 record-size reproduction: maximum problem sizes per device and per
+//! system, including the 200 T-cell / 1-quadrillion-DoF Frontier run and
+//! the JUPITER extrapolation.
+
+use igr_bench::{fmt_g, section, TextTable};
+use igr_perf::{CapacityModel, MemoryLayout, System};
+
+fn main() {
+    section("Capacity report: IGR with unified memory, FP16 storage");
+    let mut t = TextTable::new(vec![
+        "System",
+        "layout",
+        "cells/device (model)",
+        "edge/device",
+        "edge (paper)",
+        "system cells",
+        "system DoF",
+    ]);
+    let paper_edges = [
+        (System::EL_CAPITAN, MemoryLayout::igr_in_core(2.0), 1380.0),
+        (System::FRONTIER, MemoryLayout::igr_unified_12_17(2.0), 1386.0),
+        (System::ALPS, MemoryLayout::igr_unified_12_17(2.0), 1611.0),
+        (System::JUPITER, MemoryLayout::igr_unified_12_17(2.0), 1611.0),
+    ];
+    for (sys, layout, paper_edge) in paper_edges {
+        let m = CapacityModel::new(layout).with_usable_fraction(0.93);
+        let per_dev = m.max_cells_on(&sys) / sys.total_devices() as f64;
+        t.row(vec![
+            sys.name.to_string(),
+            layout.name.to_string(),
+            fmt_g(per_dev),
+            format!("{:.0}", per_dev.cbrt()),
+            format!("{paper_edge:.0}"),
+            fmt_g(m.max_cells_on(&sys)),
+            fmt_g(5.0 * m.max_cells_on(&sys)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    section("Headline records (from the paper's per-device grids)");
+    let mut h = TextTable::new(vec!["Claim", "value", "threshold", "met?"]);
+    let frontier_cells = 1386f64.powi(3) * 75264.0;
+    h.row(vec![
+        "Frontier run, grid cells".to_string(),
+        fmt_g(frontier_cells),
+        "2.0e14 (200T)".to_string(),
+        (frontier_cells > 200e12).to_string(),
+    ]);
+    h.row(vec![
+        "Frontier run, DoF".to_string(),
+        fmt_g(5.0 * frontier_cells),
+        "1.0e15 (1Q)".to_string(),
+        (5.0 * frontier_cells > 1e15).to_string(),
+    ]);
+    let alps_cells = 1611f64.powi(3) * System::ALPS.total_devices() as f64;
+    h.row(vec![
+        "Alps full-system cells".to_string(),
+        fmt_g(alps_cells),
+        "45e12".to_string(),
+        ((alps_cells / 45e12 - 1.0).abs() < 0.05).to_string(),
+    ]);
+    let jupiter_cells = 1611f64.powi(3) * System::JUPITER.total_devices() as f64;
+    h.row(vec![
+        "JUPITER extrapolation cells".to_string(),
+        fmt_g(jupiter_cells),
+        "100.3e12".to_string(),
+        ((jupiter_cells / 100.3e12 - 1.0).abs() < 0.05).to_string(),
+    ]);
+    let elcap_cells = 1380f64.powi(3) * 4.0 * 10750.0;
+    h.row(vec![
+        "El Capitan run cells".to_string(),
+        fmt_g(elcap_cells),
+        "113e12".to_string(),
+        ((elcap_cells / 113e12 - 1.0).abs() < 0.05).to_string(),
+    ]);
+    println!("{}", h.render());
+    println!("Factor over the prior largest compressible CFD run (10T cells): {:.0}x", frontier_cells / 10e12);
+}

@@ -1,0 +1,228 @@
+//! Fig. 2 reproduction: inviscid regularization (IGR) vs localized
+//! artificial diffusivity (LAD), on (a) a shock problem and (b) an
+//! oscillatory problem.
+//!
+//! (a) A double Sod tube on a periodic domain (discontinuities at x = 0.25
+//!     and 0.75) has an exact solution from the Riemann solver while the
+//!     waves are separated. LAD spreads the shock over a user-set width
+//!     with a profile that is not high-order smooth; IGR's shock is smooth
+//!     at the grid scale. Both are quantified against the exact profile.
+//! (b) A high-wavenumber acoustic packet: widening LAD's shock support
+//!     (larger C_β) dissipates the oscillation amplitude; IGR preserves it.
+
+use igr_app::cases;
+use igr_app::io::{csv_string, primitive_profiles};
+use igr_baseline::exact_riemann::{ExactRiemann, PrimitiveState};
+use igr_baseline::lad::Lad1d;
+use igr_bench::{fmt_g, section, TextTable};
+use igr_core::bc::BcSet;
+use igr_core::eos::Prim;
+use igr_core::{IgrConfig, State};
+use igr_grid::{Domain, GridShape};
+use igr_prec::StoreF64;
+
+const GAMMA: f64 = 1.4;
+
+/// Double Sod data, with the jumps smoothed over width `w` (a sharp jump is
+/// not an admissible initial state for the *regularized* equations: its
+/// O(1/Δx) velocity gradient pumps a transient Σ spike that survives as an
+/// acoustic artifact; the IGR shock has a smooth internal structure of
+/// width ~√α ≈ 2–3 cells, so we initialize at that width — an O(Δx)
+/// perturbation of the exact-solution comparison).
+fn double_sod_init(x: f64, w: f64) -> (f64, f64, f64) {
+    let blend = if w > 0.0 {
+        0.5 * (((x - 0.25) / w).tanh() - ((x - 0.75) / w).tanh())
+    } else if (0.25..0.75).contains(&x) {
+        1.0
+    } else {
+        0.0
+    };
+    (0.125 + 0.875 * blend, 0.0, 0.1 + 0.9 * blend)
+}
+
+/// Exact pressure profile of the double Sod tube at time `t` (valid while
+/// the fans from the two discontinuities stay separated).
+fn exact_pressure(n: usize, t: f64) -> Vec<f64> {
+    let right = ExactRiemann::solve(
+        PrimitiveState::new(1.0, 0.0, 1.0),
+        PrimitiveState::new(0.125, 0.0, 0.1),
+        GAMMA,
+    );
+    let dx = 1.0 / n as f64;
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 + 0.5) * dx;
+            // The problem is mirror-symmetric about x = 0.5: fold the left
+            // half onto the right discontinuity's frame.
+            let xi = if x >= 0.5 {
+                (x - 0.75) / t
+            } else {
+                -(x - 0.25) / t
+            };
+            right.sample(xi).p
+        })
+        .collect()
+}
+
+fn run_igr(n: usize, t_end: f64, alpha_factor: f64) -> Vec<f64> {
+    let shape = GridShape::new(n, 1, 1, 3);
+    let domain = Domain::unit(shape);
+    let cfg = IgrConfig {
+        alpha_factor,
+        bc: BcSet::all_periodic(),
+        ..IgrConfig::default()
+    };
+    let w = 2.0 / n as f64;
+    let mut q: State<f64, StoreF64> = State::zeros(shape);
+    q.set_prim_field(&domain, GAMMA, |p| {
+        let (r, u, pr) = double_sod_init(p[0], w);
+        Prim::new(r, [u, 0.0, 0.0], pr)
+    });
+    let mut solver = igr_core::solver::igr_solver(cfg, domain, q);
+    solver.run_until(t_end, 100_000).unwrap();
+    let (_, _, p) = primitive_profiles(&solver.q, GAMMA);
+    p
+}
+
+fn run_lad(n: usize, t_end: f64, c_beta: f64) -> Vec<f64> {
+    let w = 2.0 / n as f64;
+    let mut s = Lad1d::new(n, 1.0, GAMMA, c_beta, |x| double_sod_init(x, w));
+    while s.t() < t_end {
+        let dt = s.stable_dt(0.35).min(t_end - s.t());
+        s.step(dt);
+    }
+    (0..n).map(|i| s.p(i)).collect()
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Smoothness of the captured shock: the max second difference of p over
+/// the shock region, normalized by the pressure jump. A profile that is
+/// high-order smooth at the grid scale scores low; a viscous profile with
+/// sensor kinks (LAD) scores high — the paper's Fig. 2(a,i) vs (a,ii)
+/// distinction.
+fn shock_roughness(p: &[f64], x: &[f64], shock_window: (f64, f64), jump: f64) -> f64 {
+    let mut m = 0.0f64;
+    for i in 1..p.len() - 1 {
+        if x[i] > shock_window.0 && x[i] < shock_window.1 {
+            m = m.max((p[i + 1] - 2.0 * p[i] + p[i - 1]).abs());
+        }
+    }
+    m / jump
+}
+
+/// Oscillation excess: total variation beyond the reference's (Gibbs
+/// ringing indicator).
+fn tv_excess(p: &[f64], reference: &[f64]) -> f64 {
+    let tv = |v: &[f64]| -> f64 {
+        v.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+    };
+    (tv(p) - tv(reference)).max(0.0)
+}
+
+fn main() {
+    let n = 512;
+    let t_end = 0.1;
+
+    section("Fig. 2(a): shock problem — pressure profiles");
+    let exact = exact_pressure(n, t_end);
+    let igr = run_igr(n, t_end, 10.0);
+    let lad_narrow = run_lad(n, t_end, 1.0);
+    let lad_wide = run_lad(n, t_end, 5.0);
+
+    // The left-moving shock at t=0.1 sits near x = 0.09 (mirror at 0.91).
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+    let window = (0.04, 0.14);
+    let jump = 0.30313 - 0.1; // p* - p_ambient
+    let mut t = TextTable::new(vec![
+        "Method",
+        "L1(p) vs exact",
+        "TV excess (ringing)",
+        "shock roughness",
+    ]);
+    for (name, p) in [
+        ("IGR", &igr),
+        ("LAD (narrow)", &lad_narrow),
+        ("LAD (wide)", &lad_wide),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            fmt_g(l1(p, &exact)),
+            fmt_g(tv_excess(p, &exact)),
+            fmt_g(shock_roughness(p, &xs, window, jump)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("IGR's L1 is dominated by its *designed* smooth shock broadening (Fig. 2(a,ii));");
+    println!("'shock roughness' (normalized max 2nd difference in the shock region) is the");
+    println!("paper's smoothness contrast: LAD profiles carry sensor kinks, IGR is smooth.");
+
+    // Emit the series (the actual figure data).
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                (i as f64 + 0.5) / n as f64,
+                exact[i],
+                igr[i],
+                lad_narrow[i],
+                lad_wide[i],
+            ]
+        })
+        .collect();
+    let csv = csv_string(&["x", "p_exact", "p_igr", "p_lad_narrow", "p_lad_wide"], &rows);
+    let path = "fig2a_shock.csv";
+    std::fs::write(path, csv).ok();
+    println!("series written to {path}");
+
+    section("Fig. 2(b): oscillatory problem — amplitude preservation");
+    // Acoustic packet advected for one domain transit.
+    let k = 16;
+    let amp = 5e-3;
+    let n_osc = 256;
+    let c = (GAMMA_OSC).sqrt();
+    let t_osc = 0.5 / c;
+
+    let igr_amp = {
+        let case = cases::acoustic_packet(n_osc, k, amp);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        solver.run_until(t_osc, 100_000).unwrap();
+        let (rho, _, _) = primitive_profiles(&solver.q, GAMMA);
+        amplitude(&rho)
+    };
+    let lad_amp = |c_beta: f64| -> f64 {
+        let mut s = Lad1d::new(n_osc, 1.0, GAMMA, c_beta, |x| {
+            let sft = amp * (std::f64::consts::TAU * k as f64 * x).sin();
+            (1.0 + sft, c * sft, 1.0 + GAMMA * sft)
+        });
+        while s.t() < t_osc {
+            let dt = s.stable_dt(0.3).min(t_osc - s.t());
+            s.step(dt);
+        }
+        let rho: Vec<f64> = s.rho.clone();
+        amplitude(&rho)
+    };
+
+    let mut o = TextTable::new(vec!["Method", "retained amplitude", "fraction of initial"]);
+    let a_igr = igr_amp;
+    let a_narrow = lad_amp(1.0);
+    let a_wide = lad_amp(50.0);
+    for (name, a) in [("IGR", a_igr), ("LAD (narrow)", a_narrow), ("LAD (wide)", a_wide)] {
+        o.row(vec![name.to_string(), fmt_g(a), fmt_g(a / amp)]);
+    }
+    println!("{}", o.render());
+    println!(
+        "Shape check: IGR preserves the oscillation ({:.0}%) while wide LAD dissipates it ({:.0}%),",
+        100.0 * a_igr / amp,
+        100.0 * a_wide / amp
+    );
+    println!("matching Fig. 2(b)'s message that viscous widening destroys fine-scale features.");
+}
+
+const GAMMA_OSC: f64 = GAMMA;
+
+fn amplitude(rho: &[f64]) -> f64 {
+    let mean = rho.iter().sum::<f64>() / rho.len() as f64;
+    rho.iter().map(|r| (r - mean).abs()).fold(0.0, f64::max)
+}

@@ -1,0 +1,95 @@
+//! Fig. 3 reproduction: flow-map trajectories under IGR in the 1-D
+//! pressureless system, for regularization strengths α ∈ {0, 1e-5, 1e-4,
+//! 1e-3}.
+//!
+//! Two tracer particles straddle a forming shock. With α = 0 (the exact
+//! free-streaming characteristics) the trajectories cross; with IGR they
+//! converge asymptotically without crossing, faster for smaller α.
+
+use igr_bench::{fmt_g, section, TextTable};
+use igr_core::pressureless::{ballistic_trajectory, Pressureless1d, SigmaSolve, TracerSet};
+
+fn u0(x: f64) -> f64 {
+    0.5 * (std::f64::consts::TAU * x).sin()
+}
+
+fn main() {
+    let n = 512;
+    let (x1, x2) = (0.40, 0.60);
+    let t_end = 1.2;
+    let alphas = [1e-5, 1e-4, 1e-3];
+
+    section("Fig. 3: tracer trajectories, pressureless IGR");
+
+    // Ballistic (alpha = 0, exact characteristics).
+    let mut series: Vec<(String, Vec<(f64, f64, f64)>)> = Vec::new();
+    let times: Vec<f64> = (0..=120).map(|i| i as f64 * t_end / 120.0).collect();
+    let ballistic: Vec<(f64, f64, f64)> = times
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                ballistic_trajectory(x1, u0(x1), t),
+                ballistic_trajectory(x2, u0(x2), t),
+            )
+        })
+        .collect();
+    series.push(("alpha=0 (exact)".to_string(), ballistic.clone()));
+
+    for &alpha in &alphas {
+        let mut flow = Pressureless1d::new(n, 1.0, alpha, SigmaSolve::Jacobi(5), u0);
+        let mut tracers = TracerSet::new(&[x1, x2]);
+        let mut rec: Vec<(f64, f64, f64)> = vec![(0.0, x1, x2)];
+        while flow.t() < t_end {
+            let dt = flow.stable_dt(0.3).min(t_end - flow.t());
+            tracers.advect(&flow, dt);
+            flow.step(dt);
+            rec.push((flow.t(), tracers.x[0], tracers.x[1]));
+        }
+        series.push((format!("alpha={alpha:.0e}"), rec));
+    }
+
+    // Report the trajectory gap at a few times.
+    let mut t = TextTable::new(vec!["series", "gap@t=0", "gap@t=0.6", "gap@t=1.2", "crossed?"]);
+    for (name, rec) in &series {
+        let gap_at = |tq: f64| -> f64 {
+            let (_, a, b) = rec
+                .iter()
+                .min_by(|x, y| {
+                    (x.0 - tq).abs().partial_cmp(&(y.0 - tq).abs()).unwrap()
+                })
+                .unwrap();
+            b - a
+        };
+        let crossed = rec.iter().any(|&(_, a, b)| b < a);
+        t.row(vec![
+            name.clone(),
+            fmt_g(gap_at(0.0)),
+            fmt_g(gap_at(0.6)),
+            fmt_g(gap_at(1.2)),
+            if crossed { "YES".into() } else { "no".to_string() },
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper's Fig. 3 shape: the exact (alpha=0) characteristics cross; IGR");
+    println!("trajectories converge without crossing, with the gap at fixed t");
+    println!("shrinking as alpha decreases (vanishing-viscosity limit).");
+
+    // Emit the full trajectory series.
+    let mut csv = String::from("t");
+    for (name, _) in &series {
+        csv.push_str(&format!(",x1[{name}],x2[{name}]"));
+    }
+    csv.push('\n');
+    for (i, &tq) in times.iter().enumerate() {
+        csv.push_str(&format!("{tq:.5}"));
+        for (_, rec) in &series {
+            let idx = ((i as f64 / (times.len() - 1) as f64) * (rec.len() - 1) as f64) as usize;
+            let (_, a, b) = rec[idx];
+            csv.push_str(&format!(",{a:.8},{b:.8}"));
+        }
+        csv.push('\n');
+    }
+    std::fs::write("fig3_flow_map.csv", csv).ok();
+    println!("series written to fig3_flow_map.csv");
+}

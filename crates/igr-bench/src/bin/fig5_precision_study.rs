@@ -1,0 +1,170 @@
+//! Fig. 5 reproduction: a three-engine plume simulated with FP16/32 mixed,
+//! FP32, and FP64 storage under IGR, plus the FP64 baseline numerics.
+//!
+//! The paper's finding: FP32 and FP64 are visually indistinguishable; FP16
+//! storage seeds hydrodynamic instabilities earlier (its rounding noise acts
+//! as a perturbation) but remains faithful; the baseline shows grid-aligned
+//! artifacts. We quantify: per-precision deviation from the FP64 IGR run,
+//! instability onset (growth of transverse kinetic energy), and stability.
+
+use igr_app::cases;
+use igr_app::io::plane_slice;
+use igr_bench::{fmt_g, section, TextTable};
+use igr_core::solver::{GhostOps, RhsScheme, Solver};
+use igr_prec::{Real, StoreF16, StoreF32, StoreF64, Storage};
+
+/// Transverse (x-direction) kinetic energy: the jet flows along +y, so
+/// x-momentum growth tracks shear-layer instability onset.
+fn transverse_ke<R: Real, S: Storage<R>, Sch: RhsScheme<R, S>, G: GhostOps<R, S>>(
+    s: &Solver<R, S, Sch, G>,
+) -> f64 {
+    let shape = s.q.shape();
+    let mut ke = 0.0;
+    for k in 0..shape.nz as i32 {
+        for j in 0..shape.ny as i32 {
+            for i in 0..shape.nx as i32 {
+                let rho = s.q.rho.at(i, j, k).to_f64();
+                let mx = s.q.mx.at(i, j, k).to_f64();
+                ke += 0.5 * mx * mx / rho;
+            }
+        }
+    }
+    ke
+}
+
+fn rho_slice_f64<R: Real, S: Storage<R>, Sch: RhsScheme<R, S>, G: GhostOps<R, S>>(
+    s: &Solver<R, S, Sch, G>,
+) -> Vec<Vec<f64>> {
+    plane_slice(&s.q.rho, 0)
+}
+
+fn max_abs_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    let mut m = 0.0f64;
+    for (ra, rb) in a.iter().zip(b) {
+        for (x, y) in ra.iter().zip(rb) {
+            m = m.max((x - y).abs());
+        }
+    }
+    m
+}
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48usize);
+    let steps = 60;
+    let noise = 1e-4;
+    let seed = 7;
+
+    section(&format!(
+        "Fig. 5: three-engine configuration, {}x{} cells, {} steps, noise {:.0e}",
+        2 * n,
+        n,
+        steps,
+        noise
+    ));
+
+    let case = cases::three_engine_2d(n, noise, seed);
+
+    // Reference: FP64 IGR.
+    let mut ref64 = case.igr_solver::<f64, StoreF64>();
+    let mut onset64 = Vec::new();
+    let mut ok64 = true;
+    for _ in 0..steps {
+        if ref64.step().is_err() {
+            ok64 = false;
+            break;
+        }
+        onset64.push(transverse_ke(&ref64));
+    }
+    let slice64 = rho_slice_f64(&ref64);
+
+    // FP32 IGR.
+    let mut s32 = case.igr_solver::<f32, StoreF32>();
+    let mut onset32 = Vec::new();
+    let mut ok32 = true;
+    for _ in 0..steps {
+        if s32.step().is_err() {
+            ok32 = false;
+            break;
+        }
+        onset32.push(transverse_ke(&s32));
+    }
+    let slice32 = rho_slice_f64(&s32);
+
+    // FP16-storage IGR.
+    let mut s16 = case.igr_solver::<f32, StoreF16>();
+    let mut onset16 = Vec::new();
+    let mut ok16 = true;
+    for _ in 0..steps {
+        if s16.step().is_err() {
+            ok16 = false;
+            break;
+        }
+        onset16.push(transverse_ke(&s16));
+    }
+    let slice16 = rho_slice_f64(&s16);
+
+    // FP64 baseline numerics.
+    let mut sb = case.weno_solver::<f64, StoreF64>();
+    let mut okb = true;
+    for _ in 0..steps {
+        if sb.step().is_err() {
+            okb = false;
+            break;
+        }
+    }
+    let slice_b = rho_slice_f64(&sb);
+
+    let mut t = TextTable::new(vec![
+        "Run",
+        "stable?",
+        "max |rho - rho_fp64_igr|",
+        "transverse KE (final)",
+    ]);
+    t.row(vec![
+        "IGR FP64 (reference)".to_string(),
+        ok64.to_string(),
+        "0".to_string(),
+        fmt_g(*onset64.last().unwrap_or(&0.0)),
+    ]);
+    t.row(vec![
+        "IGR FP32".to_string(),
+        ok32.to_string(),
+        fmt_g(max_abs_diff(&slice32, &slice64)),
+        fmt_g(*onset32.last().unwrap_or(&0.0)),
+    ]);
+    t.row(vec![
+        "IGR FP16/32".to_string(),
+        ok16.to_string(),
+        fmt_g(max_abs_diff(&slice16, &slice64)),
+        fmt_g(*onset16.last().unwrap_or(&0.0)),
+    ]);
+    t.row(vec![
+        "Baseline FP64".to_string(),
+        okb.to_string(),
+        fmt_g(max_abs_diff(&slice_b, &slice64)),
+        "-".to_string(),
+    ]);
+    println!("{}", t.render());
+
+    println!("Shape checks vs the paper:");
+    println!(
+        "  FP32 deviation from FP64 ({:.2e}) << FP16 deviation ({:.2e})  [paper: FP32/FP64 visually identical]",
+        max_abs_diff(&slice32, &slice64),
+        max_abs_diff(&slice16, &slice64),
+    );
+    println!(
+        "  Baseline deviates from IGR reference by {:.2e}  [different numerics: grid-aligned artifacts]",
+        max_abs_diff(&slice_b, &slice64)
+    );
+
+    // Emit instability-onset series.
+    let mut csv = String::from("step,ke_fp64,ke_fp32,ke_fp16\n");
+    for i in 0..onset64.len().min(onset32.len()).min(onset16.len()) {
+        csv.push_str(&format!("{i},{:.6e},{:.6e},{:.6e}\n", onset64[i], onset32[i], onset16[i]));
+    }
+    std::fs::write("fig5_onset.csv", csv).ok();
+    println!("instability-onset series written to fig5_onset.csv");
+}

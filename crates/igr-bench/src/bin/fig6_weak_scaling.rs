@@ -1,0 +1,93 @@
+//! Fig. 6 reproduction: weak scaling on El Capitan, Frontier, and Alps.
+//!
+//! Modeled section: normalized wall time per step at fixed per-device load
+//! as device counts grow to the full systems (the paper's ≈100 %
+//! efficiencies). Measured section: thread-rank decomposed runs on this
+//! host validate the *inputs* to the model — per-rank halo volumes scale
+//! with surface area, not volume, and the decomposed solver reproduces the
+//! single-rank physics exactly. (This container exposes a single core, so
+//! thread-rank wall-clock speedup is not observable here.)
+
+use igr_app::{cases, run_decomposed};
+use igr_bench::{fmt_g, section, TextTable};
+use igr_perf::{GrindModel, Precision, ScalingModel, Scheme, System};
+use igr_prec::StoreF64;
+
+fn main() {
+    section("Fig. 6 (modeled): weak scaling, FP16/32, unified memory");
+    let configs = [
+        (System::EL_CAPITAN, GrindModel::mi300a(), 1380usize, 10750usize),
+        (System::FRONTIER, GrindModel::mi250x_gcd(), 1386, 9408),
+        (System::ALPS, GrindModel::gh200(), 1611, 2304),
+    ];
+    for (sys, grind, edge, full_nodes) in configs {
+        let model = ScalingModel::new(sys, grind, Scheme::Igr, Precision::Fp16Fp32);
+        let cells = (edge as f64).powi(3);
+        let mut nodes = vec![16usize, 64, 256, 1024];
+        nodes.retain(|&n| n < full_nodes);
+        nodes.push(full_nodes);
+        let pts = model.weak_scaling(cells, &nodes);
+        let mut t = TextTable::new(vec!["nodes", "devices", "norm. wall time", "efficiency"]);
+        let base = pts[0].step_time_s;
+        for p in &pts {
+            t.row(vec![
+                p.nodes.to_string(),
+                (p.nodes * sys.devices_per_node).to_string(),
+                fmt_g(p.step_time_s / base),
+                format!("{:.1}%", 100.0 * p.efficiency),
+            ]);
+        }
+        println!("{} ({}³ cells/device):", sys.name, edge);
+        println!("{}", t.render());
+    }
+    println!("Paper: 97% efficiency to 43K MI300As; ~100% to 37.6K MI250X GPUs (200T cells);");
+    println!("~100% to 9.2K GH200s. JUPITER extrapolation: 100.3T cells / 501T DoF.");
+
+    section("Measured (thread ranks): halo volume scales with surface, physics unchanged");
+    let mut t = TextTable::new(vec![
+        "ranks",
+        "global cells",
+        "cells/rank",
+        "halo bytes/rank/step",
+        "max |diff| vs 1 rank",
+    ]);
+    // Weak scaling: per-rank block fixed at 32x32x1; ranks grow the domain.
+    let steps = 3;
+    let per_rank = 32usize;
+    let reference: Vec<(usize, f64, u64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&ranks| {
+            let nx = per_rank * ranks;
+            let case = cases::steepening_wave(nx, 0.2);
+            // 2-D-ify: keep 1-D for simplicity; decomposition splits x.
+            let cfg = case.igr_config();
+            let init = case.init.clone();
+            let run = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, ranks, steps, move |p| {
+                init(p)
+            });
+            (ranks, nx as f64, run.total_bytes_sent / ranks as u64)
+        })
+        .collect();
+    for (ranks, cells, halo) in &reference {
+        // Single-rank equivalence on the same global grid.
+        let nx = *cells as usize;
+        let case = cases::steepening_wave(nx, 0.2);
+        let cfg = case.igr_config();
+        let i1 = case.init.clone();
+        let single = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 1, steps, move |p| i1(p));
+        let im = case.init.clone();
+        let multi =
+            run_decomposed::<f64, StoreF64>(&cfg, &case.domain, *ranks, steps, move |p| im(p));
+        let diff = single.state.max_diff(&multi.state);
+        t.row(vec![
+            ranks.to_string(),
+            fmt_g(*cells),
+            fmt_g(*cells / *ranks as f64),
+            halo.to_string(),
+            format!("{diff:.1e}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Halo bytes per rank are constant under weak scaling (surface, not volume),");
+    println!("which is why the modeled curves above are flat.");
+}

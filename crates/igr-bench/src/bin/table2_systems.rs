@@ -1,0 +1,41 @@
+//! Table 2 reproduction: node and full-system properties of the machines.
+
+use igr_bench::{section, TextTable};
+use igr_perf::System;
+
+fn main() {
+    section("Table 2: Node and full system properties");
+    let mut t = TextTable::new(vec![
+        "System",
+        "Nodes",
+        "Devices",
+        "Device",
+        "HBM/dev [GB]",
+        "Host/dev [GB]",
+        "Sys HBM [PB]",
+        "Sys host [PB]",
+        "Peak power [MW]",
+        "Rmax [PF]",
+        "TOP500",
+    ]);
+    const GB: f64 = (1u64 << 30) as f64;
+    const PB: f64 = (1u64 << 50) as f64;
+    for sys in System::PAPER_SYSTEMS.iter().chain([&System::JUPITER]) {
+        t.row(vec![
+            sys.name.to_string(),
+            sys.nodes.to_string(),
+            sys.total_devices().to_string(),
+            sys.device.name.to_string(),
+            format!("{:.0}", sys.device.device_mem_bytes as f64 / GB),
+            format!("{:.0}", sys.device.host_mem_bytes as f64 / GB),
+            format!("{:.2}", sys.total_device_memory() as f64 / PB),
+            format!("{:.2}", sys.total_host_memory() as f64 / PB),
+            format!("{:.1}", sys.peak_power_mw),
+            format!("{:.0}", sys.rmax_pflops),
+            sys.top500_rank.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper values (Table 2): El Capitan 11136 nodes / 5.6 PB APU / 34.8 MW / 1742 PF / #1;");
+    println!("Frontier 9472 nodes / 4.8+4.8 PB / 24.6 MW / 1353 PF / #2; Alps 2688 nodes / 1.0+1.3 PB / 7.1 MW / 435 PF / #8.");
+}

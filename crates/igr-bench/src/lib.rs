@@ -1,0 +1,114 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index): it prints a *measured*
+//! section (real runs of this repo's solvers at laptop scale) and a
+//! *modeled* section (the `igr-perf` machine models at paper scale), in the
+//! same rows/series layout as the paper.
+
+use std::fmt::Write as _;
+
+/// Fixed-width text table writer (the binaries print paper-like tables).
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for c in 0..ncol {
+                let _ = write!(out, "{:>width$}  ", cells[c], width = widths[c]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncol;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn fmt_g(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if (0.01..10000.0).contains(&a) {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Format an optional value, with the paper's footnote for unstable cells.
+pub fn fmt_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => fmt_g(v),
+        None => "*N/A".into(),
+    }
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["100", "20000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[3].contains("20000"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_g(0.0), "0");
+        assert_eq!(fmt_g(3.14159), "3.142");
+        assert!(fmt_g(1e12).contains('e'));
+        assert_eq!(fmt_opt(None), "*N/A");
+        assert_eq!(fmt_opt(Some(2.0)), "2.000");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+}

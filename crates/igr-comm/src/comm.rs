@@ -1,0 +1,284 @@
+//! Point-to-point messaging and collectives.
+
+use crossbeam::channel::{Receiver, Sender};
+use igr_prec::f16;
+use std::sync::{Arc, Barrier};
+
+/// Element types that can travel through a message.
+pub trait CommData: Copy + Send + 'static {
+    fn to_bytes(slice: &[Self]) -> Vec<u8>;
+    fn from_bytes(bytes: &[u8]) -> Vec<Self>;
+}
+
+macro_rules! impl_comm_data {
+    ($t:ty, $width:expr, $to:expr, $from:expr) => {
+        impl CommData for $t {
+            fn to_bytes(slice: &[Self]) -> Vec<u8> {
+                let mut out = Vec::with_capacity(slice.len() * $width);
+                for &x in slice {
+                    out.extend_from_slice(&($to)(x));
+                }
+                out
+            }
+            fn from_bytes(bytes: &[u8]) -> Vec<Self> {
+                assert_eq!(bytes.len() % $width, 0, "byte length not a multiple of element width");
+                bytes
+                    .chunks_exact($width)
+                    .map(|c| ($from)(c.try_into().unwrap()))
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_comm_data!(f64, 8, f64::to_le_bytes, f64::from_le_bytes);
+impl_comm_data!(f32, 4, f32::to_le_bytes, f32::from_le_bytes);
+impl_comm_data!(u64, 8, u64::to_le_bytes, u64::from_le_bytes);
+impl_comm_data!(u8, 1, |x: u8| [x], |c: [u8; 1]| c[0]);
+
+impl CommData for f16 {
+    fn to_bytes(slice: &[Self]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(slice.len() * 2);
+        for &x in slice {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        out
+    }
+    fn from_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes
+            .chunks_exact(2)
+            .map(|c| f16::from_bits(u16::from_le_bytes(c.try_into().unwrap())))
+            .collect()
+    }
+}
+
+/// Reduction operator for [`Comm::allreduce_f64`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+pub(crate) struct Packet {
+    pub src: usize,
+    pub tag: u64,
+    pub data: Vec<u8>,
+}
+
+/// Internal tags (top bit set) are reserved for collectives.
+const INTERNAL: u64 = 1 << 63;
+
+/// A rank's communicator handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet>>,
+    inbox: Receiver<Packet>,
+    /// Out-of-order messages awaiting a matching recv.
+    pending: Vec<Packet>,
+    barrier: Arc<Barrier>,
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Packet>>,
+        inbox: Receiver<Packet>,
+        barrier: Arc<Barrier>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            senders,
+            inbox,
+            pending: Vec::new(),
+            barrier,
+            bytes_sent: 0,
+            messages_sent: 0,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total payload bytes this rank has sent (traffic metering for the
+    /// scaling model).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Buffered (never-blocking) send, like a small-message `MPI_Send`.
+    pub fn send<T: CommData>(&mut self, to: usize, tag: u64, data: &[T]) {
+        assert!(tag & INTERNAL == 0, "user tags must not set the top bit");
+        self.send_raw(to, tag, T::to_bytes(data));
+    }
+
+    fn send_raw(&mut self, to: usize, tag: u64, bytes: Vec<u8>) {
+        assert!(to < self.size, "destination rank {to} out of range");
+        self.bytes_sent += bytes.len() as u64;
+        self.messages_sent += 1;
+        self.senders[to]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                data: bytes,
+            })
+            .expect("destination rank hung up");
+    }
+
+    /// Blocking receive matching `(from, tag)`; out-of-order arrivals are
+    /// buffered.
+    pub fn recv<T: CommData>(&mut self, from: usize, tag: u64) -> Vec<T> {
+        assert!(tag & INTERNAL == 0, "user tags must not set the top bit");
+        T::from_bytes(&self.recv_raw(from, tag))
+    }
+
+    fn recv_raw(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        if let Some(idx) = self
+            .pending
+            .iter()
+            .position(|p| p.src == from && p.tag == tag)
+        {
+            return self.pending.swap_remove(idx).data;
+        }
+        loop {
+            let p = self.inbox.recv().expect("universe shut down mid-recv");
+            if p.src == from && p.tag == tag {
+                return p.data;
+            }
+            self.pending.push(p);
+        }
+    }
+
+    /// Exchange buffers with a partner in one call (deadlock-free because
+    /// sends are buffered).
+    pub fn sendrecv<T: CommData>(
+        &mut self,
+        to: usize,
+        send_tag: u64,
+        data: &[T],
+        from: usize,
+        recv_tag: u64,
+    ) -> Vec<T> {
+        self.send(to, send_tag, data);
+        self.recv(from, recv_tag)
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Reduce a scalar over all ranks in deterministic rank order and
+    /// broadcast the result.
+    pub fn allreduce_f64(&mut self, x: f64, op: ReduceOp) -> f64 {
+        const TAG_GATHER: u64 = INTERNAL | 1;
+        const TAG_RESULT: u64 = INTERNAL | 2;
+        if self.rank == 0 {
+            let mut acc = x;
+            for src in 1..self.size {
+                let v = f64::from_bytes(&self.recv_raw(src, TAG_GATHER))[0];
+                acc = op.apply(acc, v);
+            }
+            for dst in 1..self.size {
+                self.send_raw(dst, TAG_RESULT, f64::to_bytes(&[acc]));
+            }
+            acc
+        } else {
+            self.send_raw(0, TAG_GATHER, f64::to_bytes(&[x]));
+            f64::from_bytes(&self.recv_raw(0, TAG_RESULT))[0]
+        }
+    }
+
+    /// Broadcast a buffer from `root` to all ranks.
+    pub fn broadcast<T: CommData>(&mut self, root: usize, data: &[T]) -> Vec<T> {
+        const TAG_BCAST: u64 = INTERNAL | 3;
+        if self.rank == root {
+            let bytes = T::to_bytes(data);
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send_raw(dst, TAG_BCAST, bytes.clone());
+                }
+            }
+            data.to_vec()
+        } else {
+            T::from_bytes(&self.recv_raw(root, TAG_BCAST))
+        }
+    }
+
+    /// Gather per-rank scalars to `root` (rank order); other ranks get an
+    /// empty vec.
+    pub fn gather_f64(&mut self, root: usize, x: f64) -> Vec<f64> {
+        const TAG: u64 = INTERNAL | 4;
+        if self.rank == root {
+            let mut out = vec![0.0; self.size];
+            out[self.rank] = x;
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = f64::from_bytes(&self.recv_raw(src, TAG))[0];
+                }
+            }
+            out
+        } else {
+            self.send_raw(root, TAG, f64::to_bytes(&[x]));
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_data_roundtrips() {
+        let f = [1.5f64, -2.25, 0.0];
+        assert_eq!(f64::from_bytes(&f64::to_bytes(&f)), f);
+        let g = [1.5f32, -2.25];
+        assert_eq!(f32::from_bytes(&f32::to_bytes(&g)), g);
+        let h = [f16::from_f32(0.5), f16::from_f32(-3.0)];
+        let rt = f16::from_bytes(&f16::to_bytes(&h));
+        assert_eq!(rt[0].to_bits(), h[0].to_bits());
+        assert_eq!(rt[1].to_bits(), h[1].to_bits());
+        let b = [1u8, 2, 255];
+        assert_eq!(u8::from_bytes(&u8::to_bytes(&b)), b);
+        let u = [u64::MAX, 0, 42];
+        assert_eq!(u64::from_bytes(&u64::to_bytes(&u)), u);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of element width")]
+    fn misaligned_bytes_rejected() {
+        let _ = f64::from_bytes(&[0u8; 7]);
+    }
+}

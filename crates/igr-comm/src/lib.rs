@@ -1,0 +1,26 @@
+//! Message-passing substrate: the repo's MPI stand-in.
+//!
+//! The paper runs on Cray MPICH over Slingshot with GPU-aware halo
+//! exchanges. Here, ranks are OS threads in one process, point-to-point
+//! messages travel over lock-free channels with `(source, tag)` matching,
+//! and the same decomposition/halo-exchange code paths run for real — so
+//! the decomposed solver can be validated bit-for-bit against single-block
+//! runs, and the scaling harnesses measure genuine parallel execution.
+//!
+//! Deliberate semantic matches with MPI:
+//! * buffered non-blocking sends (an unbounded channel never blocks);
+//! * blocking receives with out-of-order `(src, tag)` matching;
+//! * collectives (barrier, allreduce, broadcast, gather) that every rank of
+//!   the universe must enter;
+//! * deterministic reduction order (rank order) so FP64 results are
+//!   bit-reproducible run to run — stronger than MPI, deliberately, because
+//!   tests rely on it;
+//! * per-rank traffic counters (the scaling model consumes these).
+
+mod cart;
+mod comm;
+mod universe;
+
+pub use cart::CartComm;
+pub use comm::{Comm, CommData, ReduceOp};
+pub use universe::Universe;

@@ -1,0 +1,156 @@
+//! Rank spawning: one OS thread per rank, scoped so panics propagate.
+
+use crate::comm::{Comm, Packet};
+use crossbeam::channel::unbounded;
+use std::sync::{Arc, Barrier};
+
+/// Factory for rank worlds.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f(comm)` on `n_ranks` concurrent ranks and return their results
+    /// in rank order. Panics in any rank propagate (failing the test/run).
+    pub fn run<T, F>(n_ranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        assert!(n_ranks >= 1, "need at least one rank");
+        let mut senders = Vec::with_capacity(n_ranks);
+        let mut inboxes = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let (tx, rx) = unbounded::<Packet>();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(n_ranks));
+
+        let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_ranks);
+            for (rank, inbox) in inboxes.into_iter().enumerate() {
+                let senders = senders.clone();
+                let barrier = Arc::clone(&barrier);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let comm = Comm::new(rank, n_ranks, senders, inbox, barrier);
+                    f(comm)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank panicked"));
+            }
+        });
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+
+    #[test]
+    fn single_rank_universe_works() {
+        let out = Universe::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.rank() + 10
+        });
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let n = 5;
+        let out = Universe::run(n, |mut comm| {
+            let next = (comm.rank() + 1) % n;
+            let prev = (comm.rank() + n - 1) % n;
+            let payload = vec![comm.rank() as f64 * 1.5];
+            let got = comm.sendrecv(next, 7, &payload, prev, 7);
+            got[0]
+        });
+        for (rank, v) in out.iter().enumerate() {
+            let prev = (rank + n - 1) % n;
+            assert_eq!(*v, prev as f64 * 1.5);
+        }
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        // Rank 0 sends two messages with different tags; rank 1 receives
+        // them in the opposite order.
+        let out = Universe::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 100, &[1.0f64]);
+                comm.send(1, 200, &[2.0f64]);
+                0.0
+            } else {
+                let second = comm.recv::<f64>(0, 200)[0];
+                let first = comm.recv::<f64>(0, 100)[0];
+                second * 10.0 + first
+            }
+        });
+        assert_eq!(out[1], 21.0);
+    }
+
+    #[test]
+    fn allreduce_agrees_on_all_ranks() {
+        let n = 7;
+        for (op, expect) in [
+            (ReduceOp::Sum, (0..7).sum::<i32>() as f64),
+            (ReduceOp::Min, 0.0),
+            (ReduceOp::Max, 6.0),
+        ] {
+            let out = Universe::run(n, |mut comm| comm.allreduce_f64(comm.rank() as f64, op));
+            for v in &out {
+                assert_eq!(*v, expect, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_roots_buffer() {
+        let out = Universe::run(4, |mut comm| {
+            let data = if comm.rank() == 2 { vec![3.5f64, 4.5] } else { vec![] };
+            comm.broadcast(2, &data)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.5, 4.5]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Universe::run(4, |mut comm| comm.gather_f64(0, (comm.rank() * comm.rank()) as f64));
+        assert_eq!(out[0], vec![0.0, 1.0, 4.0, 9.0]);
+        assert!(out[1].is_empty());
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Universe::run(8, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must see all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn traffic_counters_track_sends() {
+        let out = Universe::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, &[0.0f64; 100]);
+                (comm.bytes_sent(), comm.messages_sent())
+            } else {
+                let _ = comm.recv::<f64>(0, 5);
+                (comm.bytes_sent(), comm.messages_sent())
+            }
+        });
+        assert_eq!(out[0], (800, 1));
+        assert_eq!(out[1], (0, 0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Randomized stress tests of the message-passing substrate: all-to-all
+//! traffic with adversarial tag/payload patterns, and collective results
+//! checked against serial reductions.
+
+use igr_comm::{Comm, ReduceOp, Universe};
+use proptest::prelude::*;
+
+/// Deterministic payload for a (from, to, tag) triple.
+fn payload(from: usize, to: usize, tag: u64, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| (from * 1000 + to * 100 + i) as f64 + tag as f64 * 0.5)
+        .collect()
+}
+
+proptest! {
+    // Thread spawning per case: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full all-to-all with distinct tags per pair: every payload arrives
+    /// intact regardless of send interleaving.
+    #[test]
+    fn all_to_all_delivers_every_payload(
+        n_ranks in 2usize..6,
+        base_len in 1usize..64,
+    ) {
+        let ok = Universe::run(n_ranks, |mut comm: Comm| {
+            let me = comm.rank();
+            // Send to everyone else first (unbounded channels: no deadlock).
+            for to in 0..n_ranks {
+                if to == me {
+                    continue;
+                }
+                let tag = (me * n_ranks + to) as u64;
+                let data = payload(me, to, tag, base_len + to);
+                comm.send(to, tag, &data);
+            }
+            // Receive from everyone, in *reverse* rank order to stress the
+            // tag-matching queue.
+            let mut all_ok = true;
+            for from in (0..n_ranks).rev() {
+                if from == me {
+                    continue;
+                }
+                let tag = (from * n_ranks + me) as u64;
+                let got: Vec<f64> = comm.recv(from, tag);
+                all_ok &= got == payload(from, me, tag, base_len + me);
+            }
+            all_ok
+        });
+        prop_assert!(ok.into_iter().all(|x| x));
+    }
+
+    /// Allreduce agrees with the serial reduction for every op and any
+    /// rank count.
+    #[test]
+    fn allreduce_matches_serial_reduction(
+        values in prop::collection::vec(-1e3f64..1e3, 2..6),
+    ) {
+        let n = values.len();
+        for (op, serial) in [
+            (ReduceOp::Sum, values.iter().sum::<f64>()),
+            (ReduceOp::Min, values.iter().cloned().fold(f64::INFINITY, f64::min)),
+            (ReduceOp::Max, values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
+        ] {
+            let vals = values.clone();
+            let results = Universe::run(n, move |mut comm: Comm| {
+                comm.allreduce_f64(vals[comm.rank()], op)
+            });
+            for r in results {
+                prop_assert!(
+                    (r - serial).abs() < 1e-9 * serial.abs().max(1.0),
+                    "op {op:?}: {r} vs serial {serial}"
+                );
+            }
+        }
+    }
+
+    /// A ring rotation via sendrecv moves each rank's token exactly one
+    /// step without deadlock, for any ring size.
+    #[test]
+    fn sendrecv_ring_rotates_tokens(n_ranks in 2usize..7) {
+        let results = Universe::run(n_ranks, |mut comm: Comm| {
+            let me = comm.rank();
+            let right = (me + 1) % n_ranks;
+            let left = (me + n_ranks - 1) % n_ranks;
+            let token = [me as f64 * 3.0 + 1.0];
+            let got: Vec<f64> = comm.sendrecv(right, 7, &token, left, 7);
+            got[0]
+        });
+        for (me, got) in results.into_iter().enumerate() {
+            let left = (me + n_ranks - 1) % n_ranks;
+            assert_eq!(got, left as f64 * 3.0 + 1.0);
+        }
+    }
+
+    /// Broadcast from any root replicates the root's buffer bit-exactly.
+    #[test]
+    fn broadcast_from_any_root(
+        n_ranks in 2usize..6,
+        root_pick in 0usize..16,
+        data in prop::collection::vec(-1e6f64..1e6, 1..32),
+    ) {
+        let root = root_pick % n_ranks;
+        let data_c = data.clone();
+        let results = Universe::run(n_ranks, move |mut comm: Comm| {
+            let mine = if comm.rank() == root {
+                data_c.clone()
+            } else {
+                vec![0.0; data_c.len()]
+            };
+            comm.broadcast(root, &mine)
+        });
+        for r in results {
+            prop_assert_eq!(&r, &data);
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Boundary conditions: ghost-cell fill.
+//!
+//! The paper's thruster cases use inflow boundaries for the engine exits
+//! ("We model them through inflow boundary conditions", Fig. 1 caption),
+//! outflow elsewhere, and periodic boundaries for the scaling kernels.
+//!
+//! Ghost layers are filled axis-by-axis (x, then y, then z) over the *full*
+//! stored extent of the previously filled axes, so edge and corner ghosts
+//! get consistent values — required by the transverse derivatives of the
+//! viscous stress and the IGR source term.
+
+use crate::eos::Prim;
+use crate::state::State;
+use igr_grid::{Axis, Domain, Field, GridShape};
+use igr_prec::{Real, Storage};
+use std::sync::Arc;
+
+/// A spatially varying, time-dependent inflow state (e.g. a jet array).
+pub trait InflowProfile: Send + Sync {
+    /// Primitive state imposed at position `pos` and time `t`.
+    fn prim(&self, pos: [f64; 3], t: f64) -> Prim<f64>;
+}
+
+impl<F> InflowProfile for F
+where
+    F: Fn([f64; 3], f64) -> Prim<f64> + Send + Sync,
+{
+    fn prim(&self, pos: [f64; 3], t: f64) -> Prim<f64> {
+        self(pos, t)
+    }
+}
+
+/// Boundary condition on one face.
+#[derive(Clone)]
+pub enum Bc {
+    /// Wrap around to the opposite side (single-block only; decomposed runs
+    /// realize periodicity through halo exchange instead).
+    Periodic,
+    /// Zero-gradient extrapolation (non-reflecting outflow approximation).
+    Outflow,
+    /// Slip wall: mirror the interior, negate the normal momentum.
+    Reflective,
+    /// Uniform Dirichlet inflow.
+    Inflow(Prim<f64>),
+    /// Spatially varying Dirichlet inflow (jet arrays).
+    InflowProfile(Arc<dyn InflowProfile>),
+}
+
+impl std::fmt::Debug for Bc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bc::Periodic => write!(f, "Periodic"),
+            Bc::Outflow => write!(f, "Outflow"),
+            Bc::Reflective => write!(f, "Reflective"),
+            Bc::Inflow(p) => write!(f, "Inflow({p:?})"),
+            Bc::InflowProfile(_) => write!(f, "InflowProfile(..)"),
+        }
+    }
+}
+
+/// Boundary conditions on all six faces: `faces[axis][0]` is the low side,
+/// `faces[axis][1]` the high side.
+#[derive(Clone, Debug)]
+pub struct BcSet {
+    pub faces: [[Bc; 2]; 3],
+}
+
+impl BcSet {
+    pub fn all_periodic() -> Self {
+        BcSet {
+            faces: std::array::from_fn(|_| [Bc::Periodic, Bc::Periodic]),
+        }
+    }
+
+    pub fn all_outflow() -> Self {
+        BcSet {
+            faces: std::array::from_fn(|_| [Bc::Outflow, Bc::Outflow]),
+        }
+    }
+
+    pub fn with_face(mut self, axis: Axis, side: usize, bc: Bc) -> Self {
+        self.faces[axis.dim()][side] = bc;
+        self
+    }
+
+    pub fn face(&self, axis: Axis, side: usize) -> &Bc {
+        &self.faces[axis.dim()][side]
+    }
+
+    /// Periodicity flags per axis (used by the decomposition). A face pair is
+    /// periodic only if *both* sides are periodic.
+    pub fn periodic_axes(&self) -> [bool; 3] {
+        std::array::from_fn(|d| {
+            matches!(self.faces[d][0], Bc::Periodic) && matches!(self.faces[d][1], Bc::Periodic)
+        })
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        for d in 0..3 {
+            let lo = matches!(self.faces[d][0], Bc::Periodic);
+            let hi = matches!(self.faces[d][1], Bc::Periodic);
+            if lo != hi {
+                return Err(format!("axis {d}: periodic BCs must come in pairs"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which faces the ghost fill should touch. Decomposed runs mask off faces
+/// owned by a neighbouring rank (those ghosts come from halo exchange).
+pub type FaceMask = [[bool; 2]; 3];
+
+pub const ALL_FACES: FaceMask = [[true; 2]; 3];
+
+/// Fill ghost layers of the conserved state on the masked faces.
+pub fn fill_ghosts<R: Real, S: Storage<R>>(
+    state: &mut State<R, S>,
+    domain: &Domain,
+    bcs: &BcSet,
+    gamma: f64,
+    t: f64,
+    mask: &FaceMask,
+) {
+    let shape = state.shape();
+    for axis in [Axis::X, Axis::Y, Axis::Z] {
+        if !shape.is_active(axis) {
+            continue;
+        }
+        fill_ghosts_axis(state, domain, bcs, gamma, t, axis, mask);
+    }
+}
+
+/// Fill one axis's ghost layers on the masked faces. Decomposed runs call
+/// this per axis, interleaved with halo exchanges, so the x → y → z fill
+/// order (and thus every corner ghost) matches the single-block path.
+pub fn fill_ghosts_axis<R: Real, S: Storage<R>>(
+    state: &mut State<R, S>,
+    domain: &Domain,
+    bcs: &BcSet,
+    gamma: f64,
+    t: f64,
+    axis: Axis,
+    mask: &FaceMask,
+) {
+    for side in 0..2 {
+        if !mask[axis.dim()][side] {
+            continue;
+        }
+        fill_face(state, domain, bcs.face(axis, side), gamma, t, axis, side);
+    }
+}
+
+fn fill_face<R: Real, S: Storage<R>>(
+    state: &mut State<R, S>,
+    domain: &Domain,
+    bc: &Bc,
+    gamma: f64,
+    t: f64,
+    axis: Axis,
+    side: usize,
+) {
+    let shape = state.shape();
+    let n = shape.extent(axis) as i32;
+    let ng = shape.ghosts(axis) as i32;
+    let g = R::from_f64(gamma);
+
+    // Ghost index and its source interior index per BC kind, for layer
+    // l = 1..=ng measured outward from the boundary.
+    for l in 1..=ng {
+        let ghost = if side == 0 { -l } else { n - 1 + l };
+        for (b, a) in cross_section(shape, axis) {
+            let (i, j, k) = assemble(axis, ghost, a, b);
+            match bc {
+                Bc::Periodic => {
+                    let src = if side == 0 { n - l } else { l - 1 };
+                    let (si, sj, sk) = assemble(axis, src, a, b);
+                    let q = state.cons_at(si, sj, sk);
+                    state.set_cons(i, j, k, q);
+                }
+                Bc::Outflow => {
+                    let src = if side == 0 { 0 } else { n - 1 };
+                    let (si, sj, sk) = assemble(axis, src, a, b);
+                    let q = state.cons_at(si, sj, sk);
+                    state.set_cons(i, j, k, q);
+                }
+                Bc::Reflective => {
+                    let src = if side == 0 { l - 1 } else { n - l };
+                    let (si, sj, sk) = assemble(axis, src, a, b);
+                    let mut q = state.cons_at(si, sj, sk);
+                    q[1 + axis.dim()] = -q[1 + axis.dim()];
+                    state.set_cons(i, j, k, q);
+                }
+                Bc::Inflow(pr) => {
+                    let prr: Prim<R> = Prim::from_f64(pr.rho, [pr.vel[0], pr.vel[1], pr.vel[2]], pr.p);
+                    state.set_cons(i, j, k, prr.to_cons(g));
+                }
+                Bc::InflowProfile(profile) => {
+                    let pos = domain.cell_center(i, j, k);
+                    let pr = profile.prim(pos, t);
+                    let prr: Prim<R> = Prim::from_f64(pr.rho, [pr.vel[0], pr.vel[1], pr.vel[2]], pr.p);
+                    state.set_cons(i, j, k, prr.to_cons(g));
+                }
+            }
+        }
+    }
+}
+
+/// Fill ghost layers of a scalar field (the entropic pressure Σ).
+///
+/// Periodic axes wrap; every other BC kind gets zero-gradient, which is the
+/// natural Neumann closure of the elliptic operator at physical boundaries.
+pub fn fill_scalar_ghosts<R: Real, S: Storage<R>>(
+    field: &mut Field<R, S>,
+    bcs: &BcSet,
+    mask: &FaceMask,
+) {
+    let shape = field.shape();
+    for axis in [Axis::X, Axis::Y, Axis::Z] {
+        if !shape.is_active(axis) {
+            continue;
+        }
+        fill_scalar_ghosts_axis(field, bcs, axis, mask);
+    }
+}
+
+/// One axis of [`fill_scalar_ghosts`] (decomposed-run building block).
+pub fn fill_scalar_ghosts_axis<R: Real, S: Storage<R>>(
+    field: &mut Field<R, S>,
+    bcs: &BcSet,
+    axis: Axis,
+    mask: &FaceMask,
+) {
+    let shape = field.shape();
+    let n = shape.extent(axis) as i32;
+    let ng = shape.ghosts(axis) as i32;
+    for side in 0..2 {
+        if !mask[axis.dim()][side] {
+            continue;
+        }
+        let periodic = matches!(bcs.face(axis, side), Bc::Periodic);
+        for l in 1..=ng {
+            let ghost = if side == 0 { -l } else { n - 1 + l };
+            let src = match (periodic, side) {
+                (true, 0) => n - l,
+                (true, _) => l - 1,
+                (false, 0) => 0,
+                (false, _) => n - 1,
+            };
+            for (b, a) in cross_section(shape, axis) {
+                let (i, j, k) = assemble(axis, ghost, a, b);
+                let (si, sj, sk) = assemble(axis, src, a, b);
+                let v = field.at(si, sj, sk);
+                field.set(i, j, k, v);
+            }
+        }
+    }
+}
+
+/// Iterate over the full stored cross-section perpendicular to `axis`
+/// (including ghost rows of other axes, so corners get filled).
+fn cross_section(shape: GridShape, axis: Axis) -> impl Iterator<Item = (i32, i32)> {
+    let (ea, eb) = match axis {
+        Axis::X => (Axis::Y, Axis::Z),
+        Axis::Y => (Axis::X, Axis::Z),
+        Axis::Z => (Axis::X, Axis::Y),
+    };
+    let (ga, gb) = (shape.ghosts(ea) as i32, shape.ghosts(eb) as i32);
+    let (na, nb) = (shape.extent(ea) as i32, shape.extent(eb) as i32);
+    (-gb..nb + gb).flat_map(move |b| (-ga..na + ga).map(move |a| (b, a)))
+}
+
+/// Build `(i, j, k)` from the axis coordinate `c` and cross-section coords.
+/// For `axis = X`, `(a, b) = (j... )`: a is the first non-axis coordinate in
+/// x,y,z order, b the second.
+#[inline]
+fn assemble(axis: Axis, c: i32, a: i32, b: i32) -> (i32, i32, i32) {
+    match axis {
+        Axis::X => (c, a, b),
+        Axis::Y => (a, c, b),
+        Axis::Z => (a, b, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igr_prec::StoreF64;
+
+    type St = State<f64, StoreF64>;
+
+    fn linear_state(shape: GridShape) -> (St, Domain) {
+        let domain = Domain::unit(shape);
+        let mut s = St::zeros(shape);
+        s.set_prim_field(&domain, 1.4, |p| {
+            Prim::new(1.0 + 0.1 * p[0] + 0.2 * p[1], [0.5, -0.25, 0.1], 1.0)
+        });
+        (s, domain)
+    }
+
+    #[test]
+    fn periodic_fill_wraps_interior() {
+        let shape = GridShape::new(8, 4, 1, 3);
+        let (mut s, d) = linear_state(shape);
+        fill_ghosts(&mut s, &d, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+        for j in 0..4 {
+            for l in 1..=3 {
+                assert_eq!(s.rho.at(-l, j, 0), s.rho.at(8 - l, j, 0));
+                assert_eq!(s.rho.at(7 + l, j, 0), s.rho.at(l - 1, j, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn outflow_fill_is_zero_gradient() {
+        let shape = GridShape::new(8, 1, 1, 3);
+        let (mut s, d) = linear_state(shape);
+        fill_ghosts(&mut s, &d, &BcSet::all_outflow(), 1.4, 0.0, &ALL_FACES);
+        for l in 1..=3 {
+            assert_eq!(s.rho.at(-l, 0, 0), s.rho.at(0, 0, 0));
+            assert_eq!(s.en.at(7 + l, 0, 0), s.en.at(7, 0, 0));
+        }
+    }
+
+    #[test]
+    fn reflective_fill_mirrors_and_negates_normal_momentum() {
+        let shape = GridShape::new(8, 1, 1, 3);
+        let (mut s, d) = linear_state(shape);
+        let bcs = BcSet::all_outflow()
+            .with_face(Axis::X, 0, Bc::Reflective)
+            .with_face(Axis::X, 1, Bc::Reflective);
+        fill_ghosts(&mut s, &d, &bcs, 1.4, 0.0, &ALL_FACES);
+        for l in 1..=3i32 {
+            assert_eq!(s.rho.at(-l, 0, 0), s.rho.at(l - 1, 0, 0));
+            assert_eq!(s.mx.at(-l, 0, 0), -s.mx.at(l - 1, 0, 0));
+            // Tangential momentum is preserved.
+            assert_eq!(s.my.at(-l, 0, 0), s.my.at(l - 1, 0, 0));
+        }
+    }
+
+    #[test]
+    fn inflow_fill_imposes_dirichlet_state() {
+        let shape = GridShape::new(8, 1, 1, 3);
+        let (mut s, d) = linear_state(shape);
+        let jet = Prim::new(2.0, [3.0, 0.0, 0.0], 5.0);
+        let bcs = BcSet::all_outflow().with_face(Axis::X, 0, Bc::Inflow(jet));
+        fill_ghosts(&mut s, &d, &bcs, 1.4, 0.0, &ALL_FACES);
+        let pr = s.prim_at(-1, 0, 0, 1.4);
+        assert!((pr.rho - 2.0).abs() < 1e-14);
+        assert!((pr.vel[0] - 3.0).abs() < 1e-14);
+        assert!((pr.p - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inflow_profile_sees_ghost_positions_and_time() {
+        let shape = GridShape::new(4, 4, 1, 2);
+        let (mut s, d) = linear_state(shape);
+        let profile = Arc::new(|pos: [f64; 3], t: f64| {
+            Prim::new(1.0 + pos[1] + 10.0 * t, [0.0; 3], 1.0)
+        });
+        let bcs = BcSet::all_outflow().with_face(Axis::X, 0, Bc::InflowProfile(profile));
+        fill_ghosts(&mut s, &d, &bcs, 1.4, 0.25, &ALL_FACES);
+        // Ghost at j=1: y-center = 0.375 -> rho = 1 + 0.375 + 2.5.
+        let pr = s.prim_at(-1, 1, 0, 1.4);
+        assert!((pr.rho - 3.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn face_mask_skips_masked_faces() {
+        let shape = GridShape::new(8, 1, 1, 3);
+        let (mut s, d) = linear_state(shape);
+        // Poison the ghosts, then fill only the high side.
+        for l in 1..=3 {
+            s.rho.set(-l, 0, 0, -99.0);
+            s.rho.set(7 + l, 0, 0, -99.0);
+        }
+        let mask: FaceMask = [[false, true], [true, true], [true, true]];
+        fill_ghosts(&mut s, &d, &BcSet::all_outflow(), 1.4, 0.0, &mask);
+        assert_eq!(s.rho.at(-1, 0, 0), -99.0, "low face must stay untouched");
+        assert_eq!(s.rho.at(8, 0, 0), s.rho.at(7, 0, 0));
+    }
+
+    #[test]
+    fn corner_ghosts_are_consistent_for_periodic_fill() {
+        let shape = GridShape::new(4, 4, 1, 2);
+        let (mut s, d) = linear_state(shape);
+        fill_ghosts(&mut s, &d, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+        // Corner ghost (-1,-1) must equal interior (3,3) under double wrap.
+        assert_eq!(s.rho.at(-1, -1, 0), s.rho.at(3, 3, 0));
+        assert_eq!(s.rho.at(5, -2, 0), s.rho.at(1, 2, 0));
+    }
+
+    #[test]
+    fn scalar_ghost_fill_periodic_and_neumann() {
+        let shape = GridShape::new(6, 1, 1, 3);
+        let mut f: Field<f64, StoreF64> = Field::zeros(shape);
+        for i in 0..6 {
+            f.set(i, 0, 0, i as f64);
+        }
+        let mut fp = f.clone();
+        fill_scalar_ghosts(&mut fp, &BcSet::all_periodic(), &ALL_FACES);
+        assert_eq!(fp.at(-1, 0, 0), 5.0);
+        assert_eq!(fp.at(6, 0, 0), 0.0);
+        let mut fn_ = f.clone();
+        fill_scalar_ghosts(&mut fn_, &BcSet::all_outflow(), &ALL_FACES);
+        assert_eq!(fn_.at(-1, 0, 0), 0.0);
+        assert_eq!(fn_.at(6, 0, 0), 5.0);
+        assert_eq!(fn_.at(8, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn periodicity_must_be_paired() {
+        let bad = BcSet::all_periodic().with_face(Axis::Y, 0, Bc::Outflow);
+        assert!(bad.validate().is_err());
+        assert!(BcSet::all_periodic().validate().is_ok());
+        let flags = BcSet::all_periodic().periodic_axes();
+        assert_eq!(flags, [true, true, true]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Ideal-gas thermodynamics and inviscid flux vectors (eqs. 1–4 of the paper).
+
+use igr_prec::Real;
+
+/// Number of conserved variables.
+pub const NV: usize = 5;
+
+/// Conserved state at one point: `(ρ, ρu, ρv, ρw, E)`.
+pub type Cons<R> = [R; NV];
+
+/// Primitive state at one point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prim<R: Real> {
+    pub rho: R,
+    pub vel: [R; 3],
+    pub p: R,
+}
+
+impl<R: Real> Prim<R> {
+    pub fn new(rho: R, vel: [R; 3], p: R) -> Self {
+        Prim { rho, vel, p }
+    }
+
+    /// Convert from f64 components (case setup convenience).
+    pub fn from_f64(rho: f64, vel: [f64; 3], p: f64) -> Self {
+        Prim {
+            rho: R::from_f64(rho),
+            vel: [R::from_f64(vel[0]), R::from_f64(vel[1]), R::from_f64(vel[2])],
+            p: R::from_f64(p),
+        }
+    }
+
+    /// Conserved variables for ratio of specific heats `gamma`.
+    pub fn to_cons(&self, gamma: R) -> Cons<R> {
+        let ke = R::HALF
+            * self.rho
+            * (self.vel[0] * self.vel[0] + self.vel[1] * self.vel[1] + self.vel[2] * self.vel[2]);
+        [
+            self.rho,
+            self.rho * self.vel[0],
+            self.rho * self.vel[1],
+            self.rho * self.vel[2],
+            self.p / (gamma - R::ONE) + ke,
+        ]
+    }
+
+    /// Sound speed `c = sqrt(γ p / ρ)`.
+    pub fn sound_speed(&self, gamma: R) -> R {
+        (gamma * self.p / self.rho).sqrt()
+    }
+}
+
+/// Primitive variables from conserved (eq. 4): `p = (γ−1) ρ e`,
+/// `e = E/ρ − |u|²/2`.
+#[inline(always)]
+pub fn cons_to_prim<R: Real>(q: &Cons<R>, gamma: R) -> Prim<R> {
+    let rho = q[0];
+    let inv_rho = R::ONE / rho;
+    let vel = [q[1] * inv_rho, q[2] * inv_rho, q[3] * inv_rho];
+    let ke = R::HALF * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+    let p = (gamma - R::ONE) * (q[4] - ke);
+    Prim { rho, vel, p }
+}
+
+/// Inviscid flux along axis `d` with total pressure `ptot = p + Σ`
+/// (eqs. 6–8: Σ enters exactly where p does).
+#[inline(always)]
+pub fn inviscid_flux<R: Real>(d: usize, q: &Cons<R>, pr: &Prim<R>, ptot: R) -> Cons<R> {
+    let un = pr.vel[d];
+    let mut f = [q[0] * un, q[1] * un, q[2] * un, q[3] * un, (q[4] + ptot) * un];
+    f[1 + d] += ptot;
+    f
+}
+
+/// Largest signal speed of a state along axis `d`, including the entropic
+/// pressure's contribution to the effective sound speed.
+#[inline(always)]
+pub fn max_wave_speed<R: Real>(d: usize, pr: &Prim<R>, sigma: R, gamma: R) -> R {
+    let p_eff = (pr.p + sigma).max(R::from_f64(1e-300));
+    pr.vel[d].abs() + (gamma * p_eff / pr.rho).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GAMMA: f64 = 1.4;
+
+    #[test]
+    fn prim_cons_roundtrip() {
+        let pr = Prim::new(1.2, [0.3, -0.5, 2.0], 0.7);
+        let q = pr.to_cons(GAMMA);
+        let back = cons_to_prim(&q, GAMMA);
+        assert!((back.rho - pr.rho).abs() < 1e-14);
+        assert!((back.p - pr.p).abs() < 1e-14);
+        for d in 0..3 {
+            assert!((back.vel[d] - pr.vel[d]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn stationary_gas_energy_is_internal_only() {
+        let pr = Prim::new(1.0, [0.0; 3], 1.0);
+        let q = pr.to_cons(GAMMA);
+        assert!((q[4] - 1.0 / (GAMMA - 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sound_speed_of_standard_air() {
+        let pr = Prim::new(1.0, [0.0; 3], 1.0);
+        assert!((pr.sound_speed(GAMMA) - GAMMA.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn flux_of_uniform_stationary_gas_is_pressure_only() {
+        let pr = Prim::new(1.0, [0.0; 3], 2.5);
+        let q = pr.to_cons(GAMMA);
+        for d in 0..3 {
+            let f = inviscid_flux(d, &q, &pr, pr.p);
+            assert_eq!(f[0], 0.0);
+            assert_eq!(f[4], 0.0);
+            for a in 0..3 {
+                let expect = if a == d { 2.5 } else { 0.0 };
+                assert_eq!(f[1 + a], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn entropic_pressure_enters_flux_like_pressure() {
+        let pr = Prim::new(1.0, [1.0, 0.0, 0.0], 1.0);
+        let q = pr.to_cons(GAMMA);
+        let sigma = 0.25;
+        let f_plain = inviscid_flux(0, &q, &pr, pr.p);
+        let f_igr = inviscid_flux(0, &q, &pr, pr.p + sigma);
+        // Momentum flux picks up Σ; energy flux picks up Σ·u.
+        assert!((f_igr[1] - f_plain[1] - sigma).abs() < 1e-15);
+        assert!((f_igr[4] - f_plain[4] - sigma * 1.0).abs() < 1e-15);
+        // Mass flux is Σ-independent.
+        assert_eq!(f_igr[0], f_plain[0]);
+    }
+
+    #[test]
+    fn wave_speed_grows_with_sigma() {
+        let pr = Prim::new(1.0, [0.5, 0.0, 0.0], 1.0);
+        let s0 = max_wave_speed(0, &pr, 0.0, GAMMA);
+        let s1 = max_wave_speed(0, &pr, 0.5, GAMMA);
+        assert!(s1 > s0);
+        assert!((s0 - (0.5 + GAMMA.sqrt())).abs() < 1e-14);
+    }
+
+    #[test]
+    fn flux_in_f32_matches_f64_to_single_precision() {
+        let pr64 = Prim::new(1.3, [0.4, -0.2, 0.1], 0.9);
+        let q64 = pr64.to_cons(1.4);
+        let f64v = inviscid_flux(1, &q64, &pr64, pr64.p);
+
+        let pr32: Prim<f32> = Prim::from_f64(1.3, [0.4, -0.2, 0.1], 0.9);
+        let q32 = pr32.to_cons(1.4f32);
+        let f32v = inviscid_flux(1, &q32, &pr32, pr32.p);
+        for v in 0..NV {
+            assert!((f32v[v] as f64 - f64v[v]).abs() < 1e-6);
+        }
+    }
+}

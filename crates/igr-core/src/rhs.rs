@@ -1,0 +1,657 @@
+//! The fused, dimension-split right-hand-side kernel (Algorithm 1 + §5.4).
+//!
+//! One pass per coordinate direction accumulates the flux divergence into the
+//! RHS arrays. All reconstructed states, primitive conversions, velocity
+//! gradients, and interface fluxes are *thread-local temporaries* — nothing
+//! is materialized to memory, which is the paper's key memory optimization
+//! (25× footprint reduction vs. a staged WENO implementation).
+//!
+//! Parallel structure: the RHS arrays are split into contiguous slabs along
+//! the outermost active axis (`rayon` `par_chunks_mut`), and each task
+//! computes every flux its slab needs, recomputing interface fluxes at slab
+//! boundaries instead of sharing them. Per-cell arithmetic order is fixed, so
+//! results are bitwise independent of the thread count — this is what the
+//! decomposed-vs-single-rank equality tests rely on.
+
+use crate::config::ReconOrder;
+use crate::eos::{cons_to_prim, inviscid_flux, max_wave_speed, Cons, Prim, NV};
+use crate::recon::{recon1, recon3, recon5};
+use crate::state::State;
+use igr_grid::{Axis, Domain, Field, GridShape};
+use igr_prec::{Real, Storage};
+use rayon::prelude::*;
+
+/// Everything the flux kernel needs, borrowed immutably and shared across
+/// tasks.
+pub struct FluxParams<'a, R: Real, S: Storage<R>> {
+    pub q: &'a State<R, S>,
+    /// Entropic pressure field; read only when `use_sigma`.
+    pub sigma: &'a Field<R, S>,
+    pub gamma: R,
+    pub mu: R,
+    pub zeta: R,
+    pub viscous: bool,
+    pub use_sigma: bool,
+    pub order: ReconOrder,
+    pub inv_dx: [R; 3],
+    pub inv2dx: [R; 3],
+    pub strides: [usize; 3],
+    pub shape: GridShape,
+}
+
+impl<'a, R: Real, S: Storage<R>> FluxParams<'a, R, S> {
+    pub fn new(
+        q: &'a State<R, S>,
+        sigma: &'a Field<R, S>,
+        domain: &Domain,
+        gamma: f64,
+        mu: f64,
+        zeta: f64,
+        order: ReconOrder,
+        use_sigma: bool,
+    ) -> Self {
+        let shape = q.shape();
+        let dx = [domain.dx(Axis::X), domain.dx(Axis::Y), domain.dx(Axis::Z)];
+        FluxParams {
+            q,
+            sigma,
+            gamma: R::from_f64(gamma),
+            mu: R::from_f64(mu),
+            zeta: R::from_f64(zeta),
+            viscous: mu != 0.0 || zeta != 0.0,
+            use_sigma,
+            order,
+            inv_dx: [
+                R::from_f64(1.0 / dx[0]),
+                R::from_f64(1.0 / dx[1]),
+                R::from_f64(1.0 / dx[2]),
+            ],
+            inv2dx: [
+                R::from_f64(0.5 / dx[0]),
+                R::from_f64(0.5 / dx[1]),
+                R::from_f64(0.5 / dx[2]),
+            ],
+            strides: [
+                shape.stride(Axis::X),
+                shape.stride(Axis::Y),
+                shape.stride(Axis::Z),
+            ],
+            shape,
+        }
+    }
+
+    /// Cell-centred velocity at a linear index.
+    #[inline(always)]
+    fn vel_at(&self, lin: usize) -> [R; 3] {
+        let inv_rho = R::ONE / self.q.rho.at_lin(lin);
+        [
+            self.q.mx.at_lin(lin) * inv_rho,
+            self.q.my.at_lin(lin) * inv_rho,
+            self.q.mz.at_lin(lin) * inv_rho,
+        ]
+    }
+
+    /// Numerical flux through the interface between cell `lin_c` and its
+    /// successor along axis `d` (Lax–Friedrichs on reconstructed states,
+    /// eqs. 6–8; plus the viscous flux of eq. 5 when active).
+    #[inline(always)]
+    fn interface_flux(&self, d: usize, lin_c: usize) -> Cons<R> {
+        let st = self.strides[d];
+        let base = lin_c - 2 * st; // cell c-2; in-bounds by ghost-width construction
+
+        // Load the 6-cell conservative windows (Algorithm 1's q <- -2..3).
+        let mut w = [[R::ZERO; 6]; NV];
+        for (o, wo) in (0..6).zip(0..6) {
+            let lin = base + o * st;
+            let qq = self.q.cons_at_lin(lin);
+            for v in 0..NV {
+                w[v][wo] = qq[v];
+            }
+        }
+
+        // Reconstruct left/right conservative states at the interface.
+        let mut ql = [R::ZERO; NV];
+        let mut qr = [R::ZERO; NV];
+        for v in 0..NV {
+            let (l, r) = match self.order {
+                ReconOrder::First => recon1(&w[v]),
+                ReconOrder::Third => recon3(&w[v]),
+                ReconOrder::Fifth => recon5(&w[v]),
+            };
+            ql[v] = l;
+            qr[v] = r;
+        }
+
+        // Entropic pressure at the interface: same reconstruction (the
+        // Σ(-2:3) lines of Algorithm 1).
+        let (mut sl, mut sr) = (R::ZERO, R::ZERO);
+        if self.use_sigma {
+            let mut sw = [R::ZERO; 6];
+            for (o, swo) in (0..6).zip(0..6) {
+                sw[swo] = self.sigma.at_lin(base + o * st);
+            }
+            let (l, r) = match self.order {
+                ReconOrder::First => recon1(&sw),
+                ReconOrder::Third => recon3(&sw),
+                ReconOrder::Fifth => recon5(&sw),
+            };
+            sl = l;
+            sr = r;
+        }
+
+        let mut prl = cons_to_prim(&ql, self.gamma);
+        let mut prr = cons_to_prim(&qr, self.gamma);
+
+        // Positivity safeguard: a linear reconstruction can overshoot into
+        // negative density/pressure at under-resolved fronts (e.g. the sharp
+        // edge of a jet inflow). Fall back to the donor-cell states for this
+        // interface; IGR smooths the front within a few cells so this path is
+        // cold.
+        if !(prl.rho > R::ZERO && prr.rho > R::ZERO && prl.p > R::ZERO && prr.p > R::ZERO) {
+            for v in 0..NV {
+                ql[v] = w[v][2];
+                qr[v] = w[v][3];
+            }
+            prl = cons_to_prim(&ql, self.gamma);
+            prr = cons_to_prim(&qr, self.gamma);
+            if self.use_sigma {
+                sl = self.sigma.at_lin(lin_c);
+                sr = self.sigma.at_lin(lin_c + st);
+            }
+        }
+
+        let lam = max_wave_speed(d, &prl, sl, self.gamma)
+            .max(max_wave_speed(d, &prr, sr, self.gamma));
+        let fl = inviscid_flux(d, &ql, &prl, prl.p + sl);
+        let fr = inviscid_flux(d, &qr, &prr, prr.p + sr);
+
+        let mut f = [R::ZERO; NV];
+        for v in 0..NV {
+            f[v] = R::HALF * (fl[v] + fr[v]) - R::HALF * lam * (qr[v] - ql[v]);
+        }
+
+        if self.viscous {
+            self.subtract_viscous_flux(d, lin_c, &prl, &prr, &mut f);
+        }
+        f
+    }
+
+    /// Viscous contribution at the interface: 2nd-order central velocity
+    /// gradients (eq. 5's stress tensor), subtracted from the momentum and
+    /// energy fluxes.
+    #[inline(always)]
+    fn subtract_viscous_flux(
+        &self,
+        d: usize,
+        lin_c: usize,
+        prl: &Prim<R>,
+        prr: &Prim<R>,
+        f: &mut Cons<R>,
+    ) {
+        let st = self.strides[d];
+        let lin_p = lin_c + st;
+        let u_c = self.vel_at(lin_c);
+        let u_p = self.vel_at(lin_p);
+
+        // grad[a][b] = d u_a / d x_b at the interface.
+        let mut grad = [[R::ZERO; 3]; 3];
+        for a in 0..3 {
+            grad[a][d] = (u_p[a] - u_c[a]) * self.inv_dx[d];
+        }
+        for (e, axis) in Axis::ALL.iter().enumerate() {
+            if e == d || !self.shape.is_active(*axis) {
+                continue;
+            }
+            let se = self.strides[e];
+            let up_c = self.vel_at(lin_c + se);
+            let dn_c = self.vel_at(lin_c - se);
+            let up_p = self.vel_at(lin_p + se);
+            let dn_p = self.vel_at(lin_p - se);
+            for a in 0..3 {
+                let g_c = (up_c[a] - dn_c[a]) * self.inv2dx[e];
+                let g_p = (up_p[a] - dn_p[a]) * self.inv2dx[e];
+                grad[a][e] = R::HALF * (g_c + g_p);
+            }
+        }
+
+        let div = grad[0][0] + grad[1][1] + grad[2][2];
+        let bulk = (self.zeta - R::TWO * self.mu / R::from_f64(3.0)) * div;
+        let u_avg = [
+            R::HALF * (prl.vel[0] + prr.vel[0]),
+            R::HALF * (prl.vel[1] + prr.vel[1]),
+            R::HALF * (prl.vel[2] + prr.vel[2]),
+        ];
+        for a in 0..3 {
+            let mut tau_ad = self.mu * (grad[a][d] + grad[d][a]);
+            if a == d {
+                tau_ad += bulk;
+            }
+            f[1 + a] -= tau_ad;
+            f[4] -= u_avg[a] * tau_ad;
+        }
+    }
+}
+
+/// Accumulate `−∇·F` into `rhs` for all active directions.
+///
+/// `rhs` must be zeroed (or hold contributions to be added to); ghosts of `q`
+/// and `sigma` must be filled.
+pub fn accumulate_fluxes<R: Real, S: Storage<R>>(p: &FluxParams<'_, R, S>, rhs: &mut State<R, S>) {
+    let shape = p.shape;
+    let threads = rayon::current_num_threads();
+
+    if shape.is_active(Axis::Z) {
+        // Chunk over z-layers (full xy-planes).
+        let sxy = shape.stride(Axis::Z);
+        let n_layers = shape.total(Axis::Z);
+        let lpc = layers_per_chunk(n_layers, threads);
+        let gz = shape.ghosts(Axis::Z) as i32;
+        par_over_chunks(rhs, lpc * sxy, |ci, chunks| {
+            let l0 = (ci * lpc) as i32;
+            let l1 = (l0 + lpc as i32).min(n_layers as i32);
+            let k0 = (l0 - gz).max(0);
+            let k1 = (l1 - gz).min(shape.nz as i32);
+            if k0 >= k1 {
+                return;
+            }
+            let off = l0 as usize * sxy;
+            let mut scratch = Scratch::new(shape.nx);
+            process_block(p, chunks, off, 0..shape.ny as i32, k0..k1, &mut scratch);
+        });
+    } else if shape.is_active(Axis::Y) {
+        // 2-D grid (nz == 1): chunk over y-rows.
+        let sx = shape.stride(Axis::Y);
+        let n_layers = shape.total(Axis::Y);
+        let lpc = layers_per_chunk(n_layers, threads);
+        let gy = shape.ghosts(Axis::Y) as i32;
+        par_over_chunks(rhs, lpc * sx, |ci, chunks| {
+            let l0 = (ci * lpc) as i32;
+            let l1 = (l0 + lpc as i32).min(n_layers as i32);
+            let j0 = (l0 - gy).max(0);
+            let j1 = (l1 - gy).min(shape.ny as i32);
+            if j0 >= j1 {
+                return;
+            }
+            let off = l0 as usize * sx;
+            let mut scratch = Scratch::new(shape.nx);
+            process_block(p, chunks, off, j0..j1, 0..1, &mut scratch);
+        });
+    } else {
+        // 1-D problem: single serial block.
+        let chunks = rhs.split_mut_packed();
+        let mut scratch = Scratch::new(shape.nx);
+        process_block(p, chunks, 0, 0..1, 0..1, &mut scratch);
+    }
+}
+
+fn layers_per_chunk(n_layers: usize, threads: usize) -> usize {
+    let target_chunks = (4 * threads).max(1);
+    n_layers.div_ceil(target_chunks).max(1)
+}
+
+/// Split the five arrays of a [`State`] into aligned chunks and run `f` on
+/// each set in parallel. Shared by the fused IGR kernel and the staged
+/// baseline pipeline in `igr-baseline`.
+pub fn par_over_chunks<R: Real, S: Storage<R>>(
+    rhs: &mut State<R, S>,
+    csize: usize,
+    f: impl Fn(usize, [&mut [S::Packed]; NV]) + Sync,
+) {
+    let [r0, r1, r2, r3, r4] = rhs.split_mut_packed();
+    r0.par_chunks_mut(csize)
+        .zip(r1.par_chunks_mut(csize))
+        .zip(r2.par_chunks_mut(csize))
+        .zip(r3.par_chunks_mut(csize))
+        .zip(r4.par_chunks_mut(csize))
+        .enumerate()
+        .for_each(|(ci, ((((c0, c1), c2), c3), c4))| f(ci, [c0, c1, c2, c3, c4]));
+}
+
+/// Per-task flux-row buffers — the thread-local temporaries of §5.4.
+struct Scratch<R: Real> {
+    lo: Vec<Cons<R>>,
+    hi: Vec<Cons<R>>,
+}
+
+impl<R: Real> Scratch<R> {
+    fn new(nx: usize) -> Self {
+        Scratch {
+            lo: vec![[R::ZERO; NV]; nx],
+            hi: vec![[R::ZERO; NV]; nx],
+        }
+    }
+}
+
+/// Run all active sweeps for one block: interior rows `j_range x k_range`,
+/// writing into `chunks` whose first element corresponds to linear index
+/// `off`.
+fn process_block<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    mut chunks: [&mut [S::Packed]; NV],
+    off: usize,
+    j_range: std::ops::Range<i32>,
+    k_range: std::ops::Range<i32>,
+    scratch: &mut Scratch<R>,
+) {
+    let shape = p.shape;
+
+    if shape.is_active(Axis::X) {
+        sweep_x(p, &mut chunks, off, j_range.clone(), k_range.clone());
+    }
+    if shape.is_active(Axis::Y) {
+        sweep_row_buffered(p, &mut chunks, off, Axis::Y, j_range.clone(), k_range.clone(), scratch);
+    }
+    if shape.is_active(Axis::Z) {
+        sweep_row_buffered(p, &mut chunks, off, Axis::Z, j_range, k_range, scratch);
+    }
+}
+
+/// X sweep: walk each x-row keeping the previous interface flux in registers.
+fn sweep_x<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    chunks: &mut [&mut [S::Packed]; NV],
+    off: usize,
+    j_range: std::ops::Range<i32>,
+    k_range: std::ops::Range<i32>,
+) {
+    let shape = p.shape;
+    let inv_dx = p.inv_dx[0];
+    for k in k_range {
+        for j in j_range.clone() {
+            let base = shape.idx(0, j, k);
+            let mut f_prev = p.interface_flux(0, base - 1); // interface -1/2
+            for c in 0..shape.nx {
+                let lin = base + c;
+                let f_cur = p.interface_flux(0, lin);
+                let loc = lin - off;
+                for v in 0..NV {
+                    let acc = S::unpack(chunks[v][loc]) + (f_prev[v] - f_cur[v]) * inv_dx;
+                    chunks[v][loc] = S::pack(acc);
+                }
+                f_prev = f_cur;
+            }
+        }
+    }
+}
+
+/// Y/Z sweep: compute one row of interface fluxes at a time (vectorizable
+/// over the contiguous x index) and difference consecutive rows.
+fn sweep_row_buffered<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    chunks: &mut [&mut [S::Packed]; NV],
+    off: usize,
+    axis: Axis,
+    j_range: std::ops::Range<i32>,
+    k_range: std::ops::Range<i32>,
+    scratch: &mut Scratch<R>,
+) {
+    let shape = p.shape;
+    let d = axis.dim();
+    let st = p.strides[d];
+    let inv_dx = p.inv_dx[d];
+    let nx = shape.nx;
+
+    match axis {
+        Axis::Y => {
+            for k in k_range {
+                // flux row at interface (j_range.start - 1/2)
+                let row0 = shape.idx(0, j_range.start - 1, k);
+                for i in 0..nx {
+                    scratch.lo[i] = p.interface_flux(d, row0 + i);
+                }
+                for j in j_range.clone() {
+                    let row = shape.idx(0, j, k);
+                    for i in 0..nx {
+                        scratch.hi[i] = p.interface_flux(d, row + i);
+                    }
+                    for i in 0..nx {
+                        let loc = row + i - off;
+                        for v in 0..NV {
+                            let acc = S::unpack(chunks[v][loc])
+                                + (scratch.lo[i][v] - scratch.hi[i][v]) * inv_dx;
+                            chunks[v][loc] = S::pack(acc);
+                        }
+                    }
+                    std::mem::swap(&mut scratch.lo, &mut scratch.hi);
+                }
+            }
+        }
+        Axis::Z => {
+            for j in j_range {
+                let row0 = shape.idx(0, j, k_range.start - 1);
+                for i in 0..nx {
+                    scratch.lo[i] = p.interface_flux(d, row0 + i);
+                }
+                for k in k_range.clone() {
+                    let row = shape.idx(0, j, k);
+                    debug_assert_eq!(row, row0 + ((k - (k_range.start - 1)) as usize) * st);
+                    for i in 0..nx {
+                        scratch.hi[i] = p.interface_flux(d, row + i);
+                    }
+                    for i in 0..nx {
+                        let loc = row + i - off;
+                        for v in 0..NV {
+                            let acc = S::unpack(chunks[v][loc])
+                                + (scratch.lo[i][v] - scratch.hi[i][v]) * inv_dx;
+                            chunks[v][loc] = S::pack(acc);
+                        }
+                    }
+                    std::mem::swap(&mut scratch.lo, &mut scratch.hi);
+                }
+            }
+        }
+        Axis::X => unreachable!("x uses sweep_x"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bc::{fill_ghosts, BcSet, ALL_FACES};
+    use crate::eos::Prim;
+    use igr_prec::StoreF64;
+
+    type St = State<f64, StoreF64>;
+    type F = Field<f64, StoreF64>;
+
+    fn rhs_of(
+        shape: GridShape,
+        init: impl Fn([f64; 3]) -> Prim<f64>,
+        order: ReconOrder,
+        mu: f64,
+    ) -> (St, Domain) {
+        let domain = Domain::unit(shape);
+        let mut q = St::zeros(shape);
+        q.set_prim_field(&domain, 1.4, init);
+        fill_ghosts(&mut q, &domain, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+        let sigma = F::zeros(shape);
+        let params = FluxParams::new(&q, &sigma, &domain, 1.4, mu, 0.0, order, false);
+        let mut rhs = St::zeros(shape);
+        accumulate_fluxes(&params, &mut rhs);
+        (rhs, domain)
+    }
+
+    #[test]
+    fn uniform_state_has_zero_rhs() {
+        for shape in [
+            GridShape::new(16, 1, 1, 3),
+            GridShape::new(8, 8, 1, 3),
+            GridShape::new(6, 6, 6, 3),
+        ] {
+            let (rhs, _) = rhs_of(shape, |_| Prim::new(1.0, [0.3, -0.2, 0.7], 2.0), ReconOrder::Fifth, 0.0);
+            for f in rhs.fields() {
+                assert!(
+                    f.max_interior(|x| x.abs()) < 1e-13,
+                    "uniform flow must be an equilibrium, shape {shape:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_conserves_totals_on_periodic_grid() {
+        // Flux-difference form: the sum of the RHS over a periodic box
+        // telescopes to zero for every conserved variable.
+        let shape = GridShape::new(12, 10, 8, 3);
+        let tau = std::f64::consts::TAU;
+        let (rhs, _) = rhs_of(
+            shape,
+            |p| {
+                Prim::new(
+                    1.0 + 0.3 * (tau * p[0]).sin() * (tau * p[1]).cos(),
+                    [0.5 * (tau * p[2]).sin(), -0.2, 0.1 * (tau * p[0]).cos()],
+                    1.0 + 0.2 * (tau * p[1]).sin(),
+                )
+            },
+            ReconOrder::Fifth,
+            0.0,
+        );
+        for (v, f) in rhs.fields().into_iter().enumerate() {
+            let total = f.sum_interior(|x| x);
+            let scale = f.max_interior(|x| x.abs()).max(1.0);
+            assert!(
+                total.abs() < 1e-10 * scale * shape.n_interior() as f64,
+                "var {v}: total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn viscous_terms_conserve_too() {
+        let shape = GridShape::new(10, 8, 6, 3);
+        let tau = std::f64::consts::TAU;
+        let (rhs, _) = rhs_of(
+            shape,
+            |p| Prim::new(1.0, [(tau * p[1]).sin(), (tau * p[2]).cos(), 0.0], 1.0),
+            ReconOrder::Fifth,
+            0.05,
+        );
+        for (v, f) in rhs.fields().into_iter().enumerate() {
+            let total = f.sum_interior(|x| x);
+            assert!(total.abs() < 1e-9, "var {v}: total {total}");
+        }
+    }
+
+    #[test]
+    fn rhs_is_independent_of_thread_count_bitwise() {
+        let shape = GridShape::new(16, 12, 10, 3);
+        let tau = std::f64::consts::TAU;
+        let init = |p: [f64; 3]| {
+            Prim::new(
+                1.0 + 0.2 * (tau * p[0]).sin(),
+                [0.4 * (tau * p[1]).cos(), 0.1, -0.3 * (tau * p[2]).sin()],
+                1.0,
+            )
+        };
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r1 = pool1.install(|| rhs_of(shape, init, ReconOrder::Fifth, 0.01).0);
+        let r4 = pool4.install(|| rhs_of(shape, init, ReconOrder::Fifth, 0.01).0);
+        assert_eq!(r1.max_diff(&r4), 0.0, "flux accumulation must be deterministic");
+    }
+
+    #[test]
+    fn advection_rhs_matches_analytic_derivative() {
+        // Pure density advection: rho = 1 + eps sin(2 pi x), u = const, p
+        // uniform. d rho/dt = -u d rho/dx. With eps small the problem is
+        // smooth and 5th-order recon should nail the derivative.
+        let n = 64;
+        let shape = GridShape::new(n, 1, 1, 3);
+        let tau = std::f64::consts::TAU;
+        let u0 = 0.7;
+        let eps = 1e-3;
+        let (rhs, domain) = rhs_of(
+            shape,
+            |p| Prim::new(1.0 + eps * (tau * p[0]).sin(), [u0, 0.0, 0.0], 1.0),
+            ReconOrder::Fifth,
+            0.0,
+        );
+        let mut max_err = 0.0f64;
+        for i in 0..n as i32 {
+            let x = domain.center(Axis::X, i);
+            let expect = -u0 * eps * tau * (tau * x).cos();
+            max_err = max_err.max((rhs.rho.at(i, 0, 0) - expect).abs());
+        }
+        // Error has two parts: recon truncation O(h^5) and the pressure-free
+        // linearization O(eps^2); both are far below eps here.
+        assert!(max_err < 1e-6 * eps.max(1e-9) / 1e-3, "max_err {max_err}");
+    }
+
+    #[test]
+    fn sigma_gradient_accelerates_momentum() {
+        // Uniform gas at rest with a linear sigma profile: the momentum RHS
+        // must equal -d(sigma)/dx and energy RHS must be -d(sigma*u)/dx = 0.
+        let n = 32;
+        let shape = GridShape::new(n, 1, 1, 3);
+        let domain = Domain::unit(shape);
+        let mut q = St::zeros(shape);
+        q.set_prim_field(&domain, 1.4, |_| Prim::new(1.0, [0.0; 3], 1.0));
+        fill_ghosts(&mut q, &domain, &BcSet::all_outflow(), 1.4, 0.0, &ALL_FACES);
+        let mut sigma = F::zeros(shape);
+        let slope = 0.3;
+        // Linear in x, including ghosts so the reconstruction sees the trend.
+        let gx = shape.ghosts(Axis::X) as i32;
+        for i in -gx..(n as i32 + gx) {
+            let x = domain.center(Axis::X, i);
+            sigma.set(i, 0, 0, slope * x);
+        }
+        let params = FluxParams::new(&q, &sigma, &domain, 1.4, 0.0, 0.0, ReconOrder::Fifth, true);
+        let mut rhs = St::zeros(shape);
+        accumulate_fluxes(&params, &mut rhs);
+        for i in 2..(n as i32 - 2) {
+            assert!(
+                (rhs.mx.at(i, 0, 0) + slope).abs() < 1e-11,
+                "d(m)/dt = -dSigma/dx at i={i}: {}",
+                rhs.mx.at(i, 0, 0)
+            );
+            assert!(rhs.en.at(i, 0, 0).abs() < 1e-12, "no energy flux at rest");
+            assert!(rhs.rho.at(i, 0, 0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn positivity_fallback_keeps_flux_finite() {
+        // A near-vacuum cell adjacent to a dense one: linear recon would
+        // produce a negative density; the donor-cell fallback must keep
+        // everything finite.
+        let shape = GridShape::new(16, 1, 1, 3);
+        let domain = Domain::unit(shape);
+        let mut q = St::zeros(shape);
+        q.set_prim_field(&domain, 1.4, |p| {
+            if p[0] < 0.5 {
+                Prim::new(1.0, [0.0; 3], 1.0)
+            } else {
+                Prim::new(1e-6, [0.0; 3], 1e-6)
+            }
+        });
+        fill_ghosts(&mut q, &domain, &BcSet::all_outflow(), 1.4, 0.0, &ALL_FACES);
+        let sigma = F::zeros(shape);
+        let params = FluxParams::new(&q, &sigma, &domain, 1.4, 0.0, 0.0, ReconOrder::Fifth, false);
+        let mut rhs = St::zeros(shape);
+        accumulate_fluxes(&params, &mut rhs);
+        assert!(rhs.find_non_finite().is_none());
+    }
+
+    #[test]
+    fn lower_order_recon_gives_larger_advection_error() {
+        let n = 32;
+        let shape = GridShape::new(n, 1, 1, 3);
+        let tau = std::f64::consts::TAU;
+        let init =
+            |p: [f64; 3]| Prim::new(1.0 + 0.1 * (tau * p[0]).sin(), [1.0, 0.0, 0.0], 1.0);
+        let err = |order: ReconOrder| {
+            let (rhs, domain) = rhs_of(shape, init, order, 0.0);
+            let mut e = 0.0f64;
+            for i in 0..n as i32 {
+                let x = domain.center(Axis::X, i);
+                let expect = -0.1 * tau * (tau * x).cos();
+                e = e.max((rhs.rho.at(i, 0, 0) - expect).abs());
+            }
+            e
+        };
+        let e1 = err(ReconOrder::First);
+        let e3 = err(ReconOrder::Third);
+        let e5 = err(ReconOrder::Fifth);
+        assert!(e5 < e3 && e3 < e1, "e5={e5} e3={e3} e1={e1}");
+    }
+}

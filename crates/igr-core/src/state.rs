@@ -1,0 +1,384 @@
+//! The five conserved fields `(ρ, ρu, ρv, ρw, E)` as structure-of-arrays.
+
+use crate::eos::{cons_to_prim, Cons, Prim, NV};
+use igr_grid::{Axis, Domain, Field, GridShape};
+use igr_prec::{Real, Storage};
+use rayon::prelude::*;
+
+/// Conserved state (or RHS accumulator) on one grid block.
+///
+/// Held as five separate [`Field`]s (SoA), matching the paper's array layout;
+/// storage precision `S` is independent of compute precision `R`
+/// (FP16-storage mode stores these in binary16).
+#[derive(Clone, Debug)]
+pub struct State<R: Real, S: Storage<R>> {
+    pub rho: Field<R, S>,
+    pub mx: Field<R, S>,
+    pub my: Field<R, S>,
+    pub mz: Field<R, S>,
+    pub en: Field<R, S>,
+    shape: GridShape,
+}
+
+impl<R: Real, S: Storage<R>> State<R, S> {
+    pub fn zeros(shape: GridShape) -> Self {
+        State {
+            rho: Field::zeros(shape),
+            mx: Field::zeros(shape),
+            my: Field::zeros(shape),
+            mz: Field::zeros(shape),
+            en: Field::zeros(shape),
+            shape,
+        }
+    }
+
+    #[inline]
+    pub fn shape(&self) -> GridShape {
+        self.shape
+    }
+
+    /// Total storage bytes of the five fields.
+    pub fn storage_bytes(&self) -> usize {
+        self.fields().iter().map(|f| f.storage_bytes()).sum()
+    }
+
+    pub fn fields(&self) -> [&Field<R, S>; NV] {
+        [&self.rho, &self.mx, &self.my, &self.mz, &self.en]
+    }
+
+    pub fn fields_mut(&mut self) -> [&mut Field<R, S>; NV] {
+        [
+            &mut self.rho,
+            &mut self.mx,
+            &mut self.my,
+            &mut self.mz,
+            &mut self.en,
+        ]
+    }
+
+    /// The five packed arrays as mutable slices (for chunked parallel writes).
+    pub fn split_mut_packed(&mut self) -> [&mut [S::Packed]; NV] {
+        [
+            self.rho.packed_mut(),
+            self.mx.packed_mut(),
+            self.my.packed_mut(),
+            self.mz.packed_mut(),
+            self.en.packed_mut(),
+        ]
+    }
+
+    /// Conserved tuple at a (possibly ghost) cell.
+    #[inline(always)]
+    pub fn cons_at(&self, i: i32, j: i32, k: i32) -> Cons<R> {
+        [
+            self.rho.at(i, j, k),
+            self.mx.at(i, j, k),
+            self.my.at(i, j, k),
+            self.mz.at(i, j, k),
+            self.en.at(i, j, k),
+        ]
+    }
+
+    /// Conserved tuple at a linear index.
+    #[inline(always)]
+    pub fn cons_at_lin(&self, lin: usize) -> Cons<R> {
+        [
+            self.rho.at_lin(lin),
+            self.mx.at_lin(lin),
+            self.my.at_lin(lin),
+            self.mz.at_lin(lin),
+            self.en.at_lin(lin),
+        ]
+    }
+
+    #[inline(always)]
+    pub fn set_cons(&mut self, i: i32, j: i32, k: i32, q: Cons<R>) {
+        self.rho.set(i, j, k, q[0]);
+        self.mx.set(i, j, k, q[1]);
+        self.my.set(i, j, k, q[2]);
+        self.mz.set(i, j, k, q[3]);
+        self.en.set(i, j, k, q[4]);
+    }
+
+    /// Primitive state at a cell.
+    #[inline]
+    pub fn prim_at(&self, i: i32, j: i32, k: i32, gamma: R) -> Prim<R> {
+        cons_to_prim(&self.cons_at(i, j, k), gamma)
+    }
+
+    /// Initialize every interior cell from a primitive-state function of the
+    /// cell-center position.
+    pub fn set_prim_field(
+        &mut self,
+        domain: &Domain,
+        gamma: f64,
+        f: impl Fn([f64; 3]) -> Prim<f64>,
+    ) {
+        let shape = self.shape;
+        let g = R::from_f64(gamma);
+        for k in 0..shape.nz as i32 {
+            for j in 0..shape.ny as i32 {
+                for i in 0..shape.nx as i32 {
+                    let p64 = f(domain.cell_center(i, j, k));
+                    let pr: Prim<R> = Prim::from_f64(p64.rho, [p64.vel[0], p64.vel[1], p64.vel[2]], p64.p);
+                    self.set_cons(i, j, k, pr.to_cons(g));
+                }
+            }
+        }
+    }
+
+    /// Set every stored (interior + ghost) cell to zero.
+    pub fn zero(&mut self) {
+        for f in self.fields_mut() {
+            f.fill(R::ZERO);
+        }
+    }
+
+    /// `self = src + dt * rhs` elementwise (RK stage 1), parallel.
+    pub fn euler_from(&mut self, src: &State<R, S>, dt: R, rhs: &State<R, S>) {
+        let [d0, d1, d2, d3, d4] = self.split_mut_packed();
+        let dsts = [d0, d1, d2, d3, d4];
+        let srcs = src.fields();
+        let rs = rhs.fields();
+        for ((dst, s), r) in dsts.into_iter().zip(srcs).zip(rs) {
+            dst.par_iter_mut()
+                .zip(s.packed().par_iter())
+                .zip(r.packed().par_iter())
+                .for_each(|((d, &sv), &rv)| {
+                    *d = S::pack(S::unpack(sv) + dt * S::unpack(rv));
+                });
+        }
+    }
+
+    /// `self = a*base + b*(self + dt*rhs)` elementwise (SSP-RK combine),
+    /// parallel. This is the paper's two-buffer arrangement (§5.5.3): the
+    /// "previous state" buffer updates the current RK stage in place.
+    pub fn rk_combine(&mut self, a: R, base: &State<R, S>, b: R, dt: R, rhs: &State<R, S>) {
+        let [d0, d1, d2, d3, d4] = self.split_mut_packed();
+        let dsts = [d0, d1, d2, d3, d4];
+        let bases = base.fields();
+        let rs = rhs.fields();
+        for ((dst, s), r) in dsts.into_iter().zip(bases).zip(rs) {
+            dst.par_iter_mut()
+                .zip(s.packed().par_iter())
+                .zip(r.packed().par_iter())
+                .for_each(|((d, &sv), &rv)| {
+                    let cur = S::unpack(*d);
+                    *d = S::pack(a * S::unpack(sv) + b * (cur + dt * S::unpack(rv)));
+                });
+        }
+    }
+
+    /// Integrals of the conserved quantities over the interior (for
+    /// conservation checks): `(mass, momentum[3], energy)` times cell volume.
+    pub fn totals(&self, domain: &Domain) -> [f64; NV] {
+        let vol = domain.cell_volume();
+        [
+            self.rho.sum_interior(|x| x.to_f64()) * vol,
+            self.mx.sum_interior(|x| x.to_f64()) * vol,
+            self.my.sum_interior(|x| x.to_f64()) * vol,
+            self.mz.sum_interior(|x| x.to_f64()) * vol,
+            self.en.sum_interior(|x| x.to_f64()) * vol,
+        ]
+    }
+
+    /// Largest admissible time step: `cfl / max_cells Σ_d (|u_d|+c)/Δx_d`,
+    /// with a parabolic term when viscosity is active. Parallel reduction
+    /// over z-layers.
+    pub fn max_dt(&self, domain: &Domain, gamma: f64, mu: f64, zeta: f64, cfl: f64) -> f64 {
+        let shape = self.shape;
+        let g = R::from_f64(gamma);
+        let inv_dx: Vec<(usize, f64)> = shape
+            .active_axes()
+            .map(|a| (a.dim(), 1.0 / domain.dx(a)))
+            .collect();
+        let diff = mu.max(zeta); // diffusivity scale for the parabolic limit
+        let max_signal = (0..shape.nz as i32)
+            .into_par_iter()
+            .map(|k| {
+                let mut local_max = 0.0f64;
+                for j in 0..shape.ny as i32 {
+                    for i in 0..shape.nx as i32 {
+                        let pr = self.prim_at(i, j, k, g);
+                        let c = pr.sound_speed(g).to_f64();
+                        let mut s = 0.0;
+                        for &(d, idx) in &inv_dx {
+                            s += (pr.vel[d].to_f64().abs() + c) * idx;
+                            if diff > 0.0 {
+                                s += 2.0 * diff / pr.rho.to_f64() * idx * idx;
+                            }
+                        }
+                        local_max = local_max.max(s);
+                    }
+                }
+                local_max
+            })
+            .reduce(|| 0.0, f64::max);
+        assert!(max_signal > 0.0 && max_signal.is_finite(), "degenerate wave speeds");
+        cfl / max_signal
+    }
+
+    /// First non-finite interior value, if any (instability detection).
+    pub fn find_non_finite(&self) -> Option<(usize, (i32, i32, i32))> {
+        let shape = self.shape;
+        for (v, f) in self.fields().into_iter().enumerate() {
+            for lin in shape.interior_indices() {
+                if !f.at_lin(lin).is_finite() {
+                    return Some((v, shape.coords(lin)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Max-norm of the difference to another state over interior cells.
+    pub fn max_diff(&self, other: &State<R, S>) -> f64 {
+        assert_eq!(self.shape, other.shape);
+        let mut m = 0.0f64;
+        for (a, b) in self.fields().into_iter().zip(other.fields()) {
+            for lin in self.shape.interior_indices() {
+                m = m.max((a.at_lin(lin).to_f64() - b.at_lin(lin).to_f64()).abs());
+            }
+        }
+        m
+    }
+}
+
+/// Sum the interior of `field` along the line of `axis` through `(j, k)` —
+/// test/diagnostic helper.
+pub fn line_values<R: Real, S: Storage<R>>(
+    field: &Field<R, S>,
+    axis: Axis,
+    a: i32,
+    b: i32,
+) -> Vec<f64> {
+    let shape = field.shape();
+    let n = shape.extent(axis) as i32;
+    (0..n)
+        .map(|c| match axis {
+            Axis::X => field.at(c, a, b).to_f64(),
+            Axis::Y => field.at(a, c, b).to_f64(),
+            Axis::Z => field.at(a, b, c).to_f64(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igr_prec::StoreF64;
+
+    type St = State<f64, StoreF64>;
+
+    fn uniform_state(shape: GridShape, pr: Prim<f64>) -> (St, Domain) {
+        let domain = Domain::unit(shape);
+        let mut s = St::zeros(shape);
+        s.set_prim_field(&domain, 1.4, |_| pr);
+        (s, domain)
+    }
+
+    #[test]
+    fn set_prim_field_then_prim_at_roundtrips() {
+        let shape = GridShape::new(4, 4, 2, 3);
+        let (s, _) = uniform_state(shape, Prim::new(1.2, [0.1, 0.2, 0.3], 0.8));
+        let pr = s.prim_at(2, 1, 1, 1.4);
+        assert!((pr.rho - 1.2).abs() < 1e-14);
+        assert!((pr.p - 0.8).abs() < 1e-14);
+        assert!((pr.vel[2] - 0.3).abs() < 1e-14);
+    }
+
+    #[test]
+    fn totals_of_uniform_state() {
+        let shape = GridShape::new(8, 8, 8, 3);
+        let (s, d) = uniform_state(shape, Prim::new(2.0, [0.0; 3], 1.0));
+        let t = s.totals(&d);
+        assert!((t[0] - 2.0).abs() < 1e-12, "mass = rho * volume = 2");
+        assert!(t[1].abs() < 1e-12);
+        assert!((t[4] - 1.0 / 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euler_step_is_affine() {
+        let shape = GridShape::new(4, 2, 2, 3);
+        let (base, _) = uniform_state(shape, Prim::new(1.0, [0.0; 3], 1.0));
+        let mut rhs = St::zeros(shape);
+        rhs.rho.map_interior(|_, _, _, _| 3.0);
+        let mut out = St::zeros(shape);
+        out.euler_from(&base, 0.1, &rhs);
+        assert!((out.rho.at(1, 1, 1) - 1.3).abs() < 1e-14);
+        assert!((out.en.at(1, 1, 1) - base.en.at(1, 1, 1)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rk_combine_reproduces_ssp_stage() {
+        // q2 = 3/4 q0 + 1/4 (q1 + dt L): check with scalars.
+        let shape = GridShape::new(2, 2, 2, 3);
+        let (q0, _) = uniform_state(shape, Prim::new(4.0, [0.0; 3], 4.0));
+        let (mut q1, _) = uniform_state(shape, Prim::new(2.0, [0.0; 3], 2.0));
+        let mut rhs = St::zeros(shape);
+        rhs.rho.map_interior(|_, _, _, _| 8.0);
+        q1.rk_combine(0.75, &q0, 0.25, 0.5, &rhs);
+        // rho: 0.75*4 + 0.25*(2 + 0.5*8) = 3 + 1.5 = 4.5
+        assert!((q1.rho.at(0, 0, 0) - 4.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn max_dt_scales_inversely_with_speed() {
+        let shape = GridShape::new(16, 1, 1, 3);
+        let (slow, d) = uniform_state(shape, Prim::new(1.0, [0.0; 3], 1.0));
+        let (fast, _) = uniform_state(shape, Prim::new(1.0, [10.0, 0.0, 0.0], 1.0));
+        let dt_slow = slow.max_dt(&d, 1.4, 0.0, 0.0, 0.5);
+        let dt_fast = fast.max_dt(&d, 1.4, 0.0, 0.0, 0.5);
+        assert!(dt_fast < dt_slow);
+        let c = (1.4f64).sqrt();
+        let expect = 0.5 / ((10.0 + c) * 16.0);
+        assert!((dt_fast - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn max_dt_ignores_inactive_axes() {
+        // dz = 1 on a degenerate axis must not enter the CFL sum.
+        let shape = GridShape::new(16, 1, 1, 3);
+        let (s, d) = uniform_state(shape, Prim::new(1.0, [0.0; 3], 1.0));
+        let dt = s.max_dt(&d, 1.4, 0.0, 0.0, 1.0);
+        let c = (1.4f64).sqrt();
+        assert!((dt - 1.0 / (c * 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn viscosity_tightens_dt() {
+        let shape = GridShape::new(32, 1, 1, 3);
+        let (s, d) = uniform_state(shape, Prim::new(1.0, [0.0; 3], 1.0));
+        let dt_inviscid = s.max_dt(&d, 1.4, 0.0, 0.0, 0.5);
+        let dt_viscous = s.max_dt(&d, 1.4, 0.1, 0.0, 0.5);
+        assert!(dt_viscous < dt_inviscid);
+    }
+
+    #[test]
+    fn find_non_finite_locates_nan() {
+        let shape = GridShape::new(4, 4, 1, 3);
+        let (mut s, _) = uniform_state(shape, Prim::new(1.0, [0.0; 3], 1.0));
+        assert!(s.find_non_finite().is_none());
+        s.en.set(2, 3, 0, f64::NAN);
+        let (v, (i, j, k)) = s.find_non_finite().unwrap();
+        assert_eq!(v, 4);
+        assert_eq!((i, j, k), (2, 3, 0));
+    }
+
+    #[test]
+    fn max_diff_detects_perturbation() {
+        let shape = GridShape::new(4, 4, 1, 3);
+        let (a, _) = uniform_state(shape, Prim::new(1.0, [0.0; 3], 1.0));
+        let mut b = a.clone();
+        assert_eq!(a.max_diff(&b), 0.0);
+        b.mx.set(0, 0, 0, 0.125);
+        assert_eq!(a.max_diff(&b), 0.125);
+    }
+
+    #[test]
+    fn storage_bytes_counts_five_fields() {
+        let shape = GridShape::new(4, 4, 4, 3);
+        let s = St::zeros(shape);
+        assert_eq!(s.storage_bytes(), 5 * shape.n_total() * 8);
+    }
+}

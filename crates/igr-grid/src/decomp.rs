@@ -1,0 +1,307 @@
+//! 3-D block decomposition of a global grid over ranks.
+//!
+//! The paper arranges ranks "in a rectilinear configuration" (§7.2); the weak
+//! and strong scaling experiments use blocks chosen so "all MPI communication
+//! directions are touched". This module provides the `MPI_Dims_create`-style
+//! factorization, per-rank subdomain extents, and neighbor lookup that both
+//! the threaded runs (`igr-comm`) and the performance model (`igr-perf`) use.
+
+use crate::domain::Domain;
+use crate::shape::{Axis, GridShape};
+
+/// A rank's block in a decomposed global grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubDomain {
+    /// Cartesian coordinates of this block in the rank grid.
+    pub coords: [usize; 3],
+    /// Global index of the first interior cell along each axis.
+    pub offset: [usize; 3],
+    /// Interior extents of the block.
+    pub extent: [usize; 3],
+}
+
+/// A 3-D block decomposition: `dims[0] x dims[1] x dims[2]` ranks covering a
+/// global `n[0] x n[1] x n[2]` grid. Remainder cells are spread over the
+/// leading blocks on each axis, so extents differ by at most one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomp {
+    pub global: [usize; 3],
+    pub dims: [usize; 3],
+    pub periodic: [bool; 3],
+}
+
+impl Decomp {
+    /// Build a decomposition with explicit rank dims.
+    pub fn with_dims(global: [usize; 3], dims: [usize; 3], periodic: [bool; 3]) -> Self {
+        for d in 0..3 {
+            assert!(dims[d] >= 1, "rank dims must be positive");
+            assert!(
+                global[d] >= dims[d],
+                "axis {d}: cannot split {} cells over {} ranks",
+                global[d],
+                dims[d]
+            );
+        }
+        Decomp { global, dims, periodic }
+    }
+
+    /// Factor `n_ranks` into near-cubic dims, never splitting a degenerate
+    /// axis (extent 1). Mirrors `MPI_Dims_create` but weights by grid extent
+    /// so slab-like grids get slab-like rank layouts.
+    pub fn auto(global: [usize; 3], n_ranks: usize, periodic: [bool; 3]) -> Self {
+        assert!(n_ranks >= 1);
+        let mut dims = [1usize; 3];
+        // Greedily assign prime factors (largest first) to the axis with the
+        // largest cells-per-rank ratio that can still be split.
+        let mut factors = prime_factors(n_ranks);
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            let mut best: Option<usize> = None;
+            let mut best_ratio = 0.0f64;
+            for d in 0..3 {
+                let new_dim = dims[d] * f;
+                if global[d] >= new_dim {
+                    let ratio = global[d] as f64 / dims[d] as f64;
+                    if ratio > best_ratio {
+                        best_ratio = ratio;
+                        best = Some(d);
+                    }
+                }
+            }
+            let d = best.unwrap_or_else(|| {
+                panic!("cannot decompose {global:?} over {n_ranks} ranks")
+            });
+            dims[d] *= f;
+        }
+        Decomp::with_dims(global, dims, periodic)
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Rank id from Cartesian coordinates (x-fastest, like our cell layout).
+    pub fn rank_of(&self, coords: [usize; 3]) -> usize {
+        debug_assert!(coords[0] < self.dims[0] && coords[1] < self.dims[1] && coords[2] < self.dims[2]);
+        (coords[2] * self.dims[1] + coords[1]) * self.dims[0] + coords[0]
+    }
+
+    /// Cartesian coordinates of a rank id.
+    pub fn coords_of(&self, rank: usize) -> [usize; 3] {
+        debug_assert!(rank < self.n_ranks());
+        [
+            rank % self.dims[0],
+            (rank / self.dims[0]) % self.dims[1],
+            rank / (self.dims[0] * self.dims[1]),
+        ]
+    }
+
+    /// The block owned by `rank`.
+    pub fn subdomain(&self, rank: usize) -> SubDomain {
+        let coords = self.coords_of(rank);
+        let mut offset = [0usize; 3];
+        let mut extent = [0usize; 3];
+        for d in 0..3 {
+            let (o, e) = split_axis(self.global[d], self.dims[d], coords[d]);
+            offset[d] = o;
+            extent[d] = e;
+        }
+        SubDomain { coords, offset, extent }
+    }
+
+    /// Neighbor rank across the `side` face of `axis` (`side = ±1`), or
+    /// `None` at a non-periodic physical boundary.
+    pub fn neighbor(&self, rank: usize, axis: Axis, side: i32) -> Option<usize> {
+        let d = axis.dim();
+        let mut c = self.coords_of(rank);
+        let n = self.dims[d] as i32;
+        let pos = c[d] as i32 + side.signum();
+        let wrapped = if pos < 0 || pos >= n {
+            if !self.periodic[d] {
+                return None;
+            }
+            (pos + n) % n
+        } else {
+            pos
+        };
+        // A periodic axis with a single rank is its own neighbor.
+        c[d] = wrapped as usize;
+        Some(self.rank_of(c))
+    }
+
+    /// Local grid shape (with ghosts) for `rank`.
+    pub fn local_shape(&self, rank: usize, ng: usize) -> GridShape {
+        let sd = self.subdomain(rank);
+        GridShape::new(sd.extent[0], sd.extent[1], sd.extent[2], ng)
+    }
+
+    /// Local physical domain for `rank` given the global domain box. The
+    /// block carries the *exact* global Δx so decomposed kernels see
+    /// bitwise-identical geometry.
+    pub fn local_domain(&self, rank: usize, global_domain: &Domain, ng: usize) -> Domain {
+        let sd = self.subdomain(rank);
+        let mut lo = [0.0; 3];
+        let mut dx = [0.0; 3];
+        for (d, axis) in Axis::ALL.iter().enumerate() {
+            dx[d] = global_domain.dx(*axis);
+            lo[d] = global_domain.lo[d] + sd.offset[d] as f64 * dx[d];
+        }
+        Domain::from_dx(lo, dx, self.local_shape(rank, ng))
+    }
+
+    /// Halo cells exchanged per step per rank (both sides, all active axes),
+    /// for `depth` ghost layers — the communication-volume input to the
+    /// scaling model.
+    pub fn halo_cells(&self, rank: usize, depth: usize) -> usize {
+        let sd = self.subdomain(rank);
+        let mut total = 0;
+        for (d, axis) in Axis::ALL.iter().enumerate() {
+            let face = sd.extent[(d + 1) % 3] * sd.extent[(d + 2) % 3];
+            for side in [-1, 1] {
+                if self.neighbor(rank, *axis, side).is_some() {
+                    total += face * depth;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Split `n` cells over `parts` blocks; block `idx` gets `(offset, extent)`.
+fn split_axis(n: usize, parts: usize, idx: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let extent = base + usize::from(idx < rem);
+    let offset = idx * base + idx.min(rem);
+    (offset, extent)
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_axis_covers_exactly() {
+        for n in [7usize, 8, 100, 1] {
+            for parts in 1..=n {
+                let mut covered = 0;
+                let mut next = 0;
+                for idx in 0..parts {
+                    let (o, e) = split_axis(n, parts, idx);
+                    assert_eq!(o, next, "blocks must be contiguous");
+                    assert!(e >= n / parts && e <= n / parts + 1);
+                    covered += e;
+                    next = o + e;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_never_splits_degenerate_axes() {
+        let d = Decomp::auto([1024, 512, 1], 8, [false; 3]);
+        assert_eq!(d.dims[2], 1);
+        assert_eq!(d.n_ranks(), 8);
+        let d1 = Decomp::auto([4096, 1, 1], 4, [false; 3]);
+        assert_eq!(d1.dims, [4, 1, 1]);
+    }
+
+    #[test]
+    fn auto_prefers_near_cubic_for_cubic_grids() {
+        let d = Decomp::auto([256, 256, 256], 8, [true; 3]);
+        assert_eq!(d.dims, [2, 2, 2]);
+        let d64 = Decomp::auto([256, 256, 256], 64, [true; 3]);
+        assert_eq!(d64.dims, [4, 4, 4]);
+    }
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let d = Decomp::with_dims([64, 64, 64], [4, 2, 3], [false; 3]);
+        for r in 0..d.n_ranks() {
+            assert_eq!(d.rank_of(d.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn subdomains_tile_the_global_grid() {
+        let d = Decomp::with_dims([65, 34, 17], [4, 3, 2], [false; 3]);
+        let mut counted = 0usize;
+        for r in 0..d.n_ranks() {
+            let sd = d.subdomain(r);
+            counted += sd.extent[0] * sd.extent[1] * sd.extent[2];
+            for ax in 0..3 {
+                assert!(sd.offset[ax] + sd.extent[ax] <= d.global[ax]);
+            }
+        }
+        assert_eq!(counted, 65 * 34 * 17);
+    }
+
+    #[test]
+    fn neighbors_respect_periodicity() {
+        let d = Decomp::with_dims([32, 32, 32], [2, 2, 2], [true, false, true]);
+        let r0 = d.rank_of([0, 0, 0]);
+        // x periodic: low neighbor wraps to the high block.
+        assert_eq!(d.neighbor(r0, Axis::X, -1), Some(d.rank_of([1, 0, 0])));
+        // y not periodic: low neighbor is the physical boundary.
+        assert_eq!(d.neighbor(r0, Axis::Y, -1), None);
+        assert_eq!(d.neighbor(r0, Axis::Y, 1), Some(d.rank_of([0, 1, 0])));
+        // z periodic with 2 ranks: both sides resolve to the other block.
+        assert_eq!(d.neighbor(r0, Axis::Z, -1), Some(d.rank_of([0, 0, 1])));
+    }
+
+    #[test]
+    fn single_rank_periodic_axis_is_self_neighbor() {
+        let d = Decomp::with_dims([16, 16, 16], [1, 1, 1], [true; 3]);
+        assert_eq!(d.neighbor(0, Axis::X, 1), Some(0));
+        assert_eq!(d.neighbor(0, Axis::X, -1), Some(0));
+    }
+
+    #[test]
+    fn local_domain_geometry_is_consistent() {
+        let global = Domain::new([0.0; 3], [4.0, 2.0, 1.0], GridShape::new(64, 32, 16, 3));
+        let d = Decomp::with_dims([64, 32, 16], [2, 2, 1], [false; 3]);
+        // Sub-block dx must equal global dx.
+        for r in 0..d.n_ranks() {
+            let ld = d.local_domain(r, &global, 3);
+            assert!((ld.dx(Axis::X) - global.dx(Axis::X)).abs() < 1e-14);
+            assert!((ld.dx(Axis::Y) - global.dx(Axis::Y)).abs() < 1e-14);
+        }
+        // Blocks abut: rank 0's hi-x == rank 1's lo-x.
+        let d0 = d.local_domain(d.rank_of([0, 0, 0]), &global, 3);
+        let d1 = d.local_domain(d.rank_of([1, 0, 0]), &global, 3);
+        assert!((d0.hi[0] - d1.lo[0]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn halo_cells_count_faces() {
+        // 2x1x1 ranks, non-periodic: each rank has one x-neighbor.
+        let d = Decomp::with_dims([8, 4, 4], [2, 1, 1], [false; 3]);
+        assert_eq!(d.halo_cells(0, 3), 3 * 4 * 4);
+        // Fully periodic 2x2x2 on a cube: 6 faces each.
+        let dp = Decomp::with_dims([8, 8, 8], [2, 2, 2], [true; 3]);
+        assert_eq!(dp.halo_cells(0, 3), 6 * 3 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn overdecomposition_rejected() {
+        Decomp::with_dims([4, 4, 4], [8, 1, 1], [false; 3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Physical geometry of a rectilinear block.
+
+use crate::shape::{Axis, GridShape};
+
+/// Physical extents of a (sub)domain and the cell geometry derived from them.
+///
+/// Grids are uniform rectilinear, as in the paper's production runs (3.3 T-cell
+/// Super Heavy case uses a rectilinear grid). Cell `i` along x is centered at
+/// `x0 + (i + 1/2) dx`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Domain {
+    pub lo: [f64; 3],
+    pub hi: [f64; 3],
+    pub shape: GridShape,
+    /// Explicit cell sizes. Stored rather than derived so a decomposed
+    /// block can carry *exactly* the global grid's Δx (deriving it from the
+    /// block extents would differ in the last ulp and break bitwise
+    /// single-rank/decomposed equality).
+    dx: [f64; 3],
+}
+
+impl Domain {
+    pub fn new(lo: [f64; 3], hi: [f64; 3], shape: GridShape) -> Self {
+        for d in 0..3 {
+            assert!(hi[d] > lo[d], "domain must have positive extent on axis {d}");
+        }
+        let dx = [
+            (hi[0] - lo[0]) / shape.nx as f64,
+            (hi[1] - lo[1]) / shape.ny as f64,
+            (hi[2] - lo[2]) / shape.nz as f64,
+        ];
+        Domain { lo, hi, shape, dx }
+    }
+
+    /// Build from an origin and exact cell sizes (decomposed blocks).
+    pub fn from_dx(lo: [f64; 3], dx: [f64; 3], shape: GridShape) -> Self {
+        for d in 0..3 {
+            assert!(dx[d] > 0.0, "cell size must be positive on axis {d}");
+        }
+        let n = [shape.nx as f64, shape.ny as f64, shape.nz as f64];
+        Domain {
+            lo,
+            hi: [lo[0] + n[0] * dx[0], lo[1] + n[1] * dx[1], lo[2] + n[2] * dx[2]],
+            shape,
+            dx,
+        }
+    }
+
+    /// Unit cube with the given shape — convenient for tests and 1-D demos.
+    pub fn unit(shape: GridShape) -> Self {
+        Domain::new([0.0; 3], [1.0, 1.0, 1.0], shape)
+    }
+
+    /// Physical length along an axis.
+    #[inline]
+    pub fn length(&self, axis: Axis) -> f64 {
+        self.hi[axis.dim()] - self.lo[axis.dim()]
+    }
+
+    /// Cell size along an axis.
+    #[inline]
+    pub fn dx(&self, axis: Axis) -> f64 {
+        self.dx[axis.dim()]
+    }
+
+    /// Smallest active-axis cell size (enters the CFL condition).
+    pub fn dx_min(&self) -> f64 {
+        self.shape
+            .active_axes()
+            .map(|a| self.dx(a))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest active-axis cell size (enters `α = α_f · Δx_max²`).
+    pub fn dx_max(&self) -> f64 {
+        self.shape
+            .active_axes()
+            .map(|a| self.dx(a))
+            .fold(0.0, f64::max)
+    }
+
+    /// Center coordinate of (possibly ghost) cell index `i` along `axis`.
+    #[inline]
+    pub fn center(&self, axis: Axis, i: i32) -> f64 {
+        self.lo[axis.dim()] + (i as f64 + 0.5) * self.dx(axis)
+    }
+
+    /// Center of cell `(i, j, k)`.
+    #[inline]
+    pub fn cell_center(&self, i: i32, j: i32, k: i32) -> [f64; 3] {
+        [
+            self.center(Axis::X, i),
+            self.center(Axis::Y, j),
+            self.center(Axis::Z, k),
+        ]
+    }
+
+    /// Cell volume.
+    #[inline]
+    pub fn cell_volume(&self) -> f64 {
+        self.dx(Axis::X) * self.dx(Axis::Y) * self.dx(Axis::Z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_geometry() {
+        let d = Domain::new([0.0, 0.0, 0.0], [2.0, 1.0, 1.0], GridShape::new(4, 2, 1, 2));
+        assert_eq!(d.dx(Axis::X), 0.5);
+        assert_eq!(d.dx(Axis::Y), 0.5);
+        assert_eq!(d.center(Axis::X, 0), 0.25);
+        assert_eq!(d.center(Axis::X, 3), 1.75);
+        assert_eq!(d.center(Axis::X, -1), -0.25); // ghost center extrapolates
+        assert_eq!(d.cell_volume(), 0.25);
+    }
+
+    #[test]
+    fn dx_min_max_skip_degenerate_axes() {
+        // z has extent 1 and dz = 1.0 but is inactive, so it must not pollute
+        // the CFL or alpha scales.
+        let d = Domain::new([0.0; 3], [1.0, 2.0, 1.0], GridShape::new(10, 10, 1, 2));
+        assert!((d.dx_min() - 0.1).abs() < 1e-15);
+        assert!((d.dx_max() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_domain() {
+        let d = Domain::unit(GridShape::new(8, 8, 8, 3));
+        assert_eq!(d.length(Axis::Z), 1.0);
+        assert_eq!(d.dx(Axis::Z), 0.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn inverted_domain_rejected() {
+        Domain::new([1.0, 0.0, 0.0], [0.0, 1.0, 1.0], GridShape::new(2, 2, 2, 1));
+    }
+}

@@ -1,0 +1,24 @@
+//! Structured rectilinear grid substrate.
+//!
+//! The paper's solver (MFC) operates on rectilinear grids with ghost (halo)
+//! layers for the reconstruction stencil and MPI exchange. This crate provides
+//! that substrate:
+//!
+//! * [`GridShape`] — index space with ghost layers, x-fastest linear layout;
+//! * [`Domain`] — physical extents and cell geometry (`Δx`, centers);
+//! * [`Field`] — a scalar field with storage precision decoupled from compute
+//!   precision (via `igr-prec`), plus halo slab pack/unpack;
+//! * [`Decomp`] — 3-D block decomposition of a global grid over ranks
+//!   (the `MPI_Dims_create`-style factorization used for scaling runs);
+//! * [`Axis`] — the dimension-splitting direction tag used throughout the
+//!   solver stack.
+
+mod decomp;
+mod domain;
+mod field;
+mod shape;
+
+pub use decomp::{Decomp, SubDomain};
+pub use domain::Domain;
+pub use field::Field;
+pub use shape::{Axis, GridShape};

@@ -1,0 +1,253 @@
+//! Index space of a structured grid block with ghost layers.
+
+/// A coordinate direction. The solver is dimension-split (Algorithm 1 loops
+/// `dir <- (x, y, z)`), so almost every kernel is parameterized by `Axis`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+impl Axis {
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// 0/1/2 index of the axis.
+    #[inline]
+    pub const fn dim(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// Unit offset of this axis in (i, j, k) space.
+    #[inline]
+    pub const fn unit(self) -> (i32, i32, i32) {
+        match self {
+            Axis::X => (1, 0, 0),
+            Axis::Y => (0, 1, 0),
+            Axis::Z => (0, 0, 1),
+        }
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Axis::X => "x",
+            Axis::Y => "y",
+            Axis::Z => "z",
+        }
+    }
+}
+
+/// Index space of one grid block: `n = (nx, ny, nz)` interior cells plus `ng`
+/// ghost layers on every side of every *active* axis.
+///
+/// Degenerate axes (extent 1) carry no ghost layers and no fluxes — this is
+/// how 1-D and 2-D problems (shock tubes, flow-map demos) run through the
+/// same 3-D code path.
+///
+/// Linear layout is x-fastest (`i` contiguous), matching the memory-coalescing
+/// layout of the paper's GPU kernels and giving the CPU cache-friendly inner
+/// loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridShape {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Ghost width on active axes (3 for the 5th-order stencil's -2..+3 footprint).
+    pub ng: usize,
+}
+
+impl GridShape {
+    pub fn new(nx: usize, ny: usize, nz: usize, ng: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid extents must be positive");
+        assert!(ng >= 1, "at least one ghost layer is required");
+        GridShape { nx, ny, nz, ng }
+    }
+
+    /// Interior extent along an axis.
+    #[inline]
+    pub fn extent(&self, axis: Axis) -> usize {
+        match axis {
+            Axis::X => self.nx,
+            Axis::Y => self.ny,
+            Axis::Z => self.nz,
+        }
+    }
+
+    /// Whether fluxes are computed along `axis` (extent > 1).
+    #[inline]
+    pub fn is_active(&self, axis: Axis) -> bool {
+        self.extent(axis) > 1
+    }
+
+    /// Active axes in dimension-split order.
+    pub fn active_axes(&self) -> impl Iterator<Item = Axis> + '_ {
+        Axis::ALL.into_iter().filter(|&a| self.is_active(a))
+    }
+
+    /// Ghost width along an axis (0 on degenerate axes).
+    #[inline]
+    pub fn ghosts(&self, axis: Axis) -> usize {
+        if self.is_active(axis) {
+            self.ng
+        } else {
+            0
+        }
+    }
+
+    /// Total (interior + ghost) extent along an axis.
+    #[inline]
+    pub fn total(&self, axis: Axis) -> usize {
+        self.extent(axis) + 2 * self.ghosts(axis)
+    }
+
+    /// Number of interior cells.
+    #[inline]
+    pub fn n_interior(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Number of stored cells (interior + ghosts).
+    #[inline]
+    pub fn n_total(&self) -> usize {
+        self.total(Axis::X) * self.total(Axis::Y) * self.total(Axis::Z)
+    }
+
+    /// Stride (in scalars) of a +1 step along `axis`.
+    #[inline]
+    pub fn stride(&self, axis: Axis) -> usize {
+        match axis {
+            Axis::X => 1,
+            Axis::Y => self.total(Axis::X),
+            Axis::Z => self.total(Axis::X) * self.total(Axis::Y),
+        }
+    }
+
+    /// Linear index of interior cell `(i, j, k)`; ghost cells are addressed
+    /// with negative indices or indices `>= extent`.
+    #[inline(always)]
+    pub fn idx(&self, i: i32, j: i32, k: i32) -> usize {
+        let gx = self.ghosts(Axis::X) as i32;
+        let gy = self.ghosts(Axis::Y) as i32;
+        let gz = self.ghosts(Axis::Z) as i32;
+        debug_assert!(i >= -gx && (i as i64) < (self.nx as i64 + gx as i64), "i={i} out of range");
+        debug_assert!(j >= -gy && (j as i64) < (self.ny as i64 + gy as i64), "j={j} out of range");
+        debug_assert!(k >= -gz && (k as i64) < (self.nz as i64 + gz as i64), "k={k} out of range");
+        let sx = self.stride(Axis::Y);
+        let sxy = self.stride(Axis::Z);
+        ((k + gz) as usize) * sxy + ((j + gy) as usize) * sx + (i + gx) as usize
+    }
+
+    /// Inverse of [`GridShape::idx`] restricted to stored cells.
+    #[inline]
+    pub fn coords(&self, lin: usize) -> (i32, i32, i32) {
+        let sx = self.stride(Axis::Y);
+        let sxy = self.stride(Axis::Z);
+        let k = lin / sxy;
+        let j = (lin % sxy) / sx;
+        let i = lin % sx;
+        (
+            i as i32 - self.ghosts(Axis::X) as i32,
+            j as i32 - self.ghosts(Axis::Y) as i32,
+            k as i32 - self.ghosts(Axis::Z) as i32,
+        )
+    }
+
+    /// Iterate over all interior cells as linear indices, x-fastest.
+    pub fn interior_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        let shape = *self;
+        (0..self.nz as i32).flat_map(move |k| {
+            (0..shape.ny as i32).flat_map(move |j| {
+                (0..shape.nx as i32).map(move |i| shape.idx(i, j, k))
+            })
+        })
+    }
+
+    /// Is `(i, j, k)` an interior cell?
+    #[inline]
+    pub fn in_interior(&self, i: i32, j: i32, k: i32) -> bool {
+        i >= 0
+            && (i as usize) < self.nx
+            && j >= 0
+            && (j as usize) < self.ny
+            && k >= 0
+            && (k as usize) < self.nz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_include_ghosts_only_on_active_axes() {
+        let s = GridShape::new(8, 4, 1, 3);
+        assert_eq!(s.total(Axis::X), 14);
+        assert_eq!(s.total(Axis::Y), 10);
+        assert_eq!(s.total(Axis::Z), 1); // degenerate: no ghosts
+        assert_eq!(s.n_interior(), 32);
+        assert_eq!(s.n_total(), 140);
+    }
+
+    #[test]
+    fn one_dimensional_shape_has_single_active_axis() {
+        let s = GridShape::new(100, 1, 1, 3);
+        let active: Vec<_> = s.active_axes().collect();
+        assert_eq!(active, vec![Axis::X]);
+        assert!(!s.is_active(Axis::Y));
+        assert_eq!(s.ghosts(Axis::Y), 0);
+    }
+
+    #[test]
+    fn idx_is_x_fastest_and_ghost_aware() {
+        let s = GridShape::new(4, 3, 2, 2);
+        assert_eq!(s.idx(-2, -2, -2), 0); // first stored cell
+        assert_eq!(s.idx(-1, -2, -2), 1);
+        assert_eq!(s.idx(0, 0, 0), 2 * s.stride(Axis::Z) + 2 * s.stride(Axis::Y) + 2);
+        // +1 in x moves by 1
+        assert_eq!(s.idx(1, 0, 0), s.idx(0, 0, 0) + 1);
+        // +1 in y moves by total x extent
+        assert_eq!(s.idx(0, 1, 0), s.idx(0, 0, 0) + 8);
+    }
+
+    #[test]
+    fn coords_inverts_idx_for_all_stored_cells() {
+        let s = GridShape::new(5, 4, 3, 2);
+        for lin in 0..s.n_total() {
+            let (i, j, k) = s.coords(lin);
+            assert_eq!(s.idx(i, j, k), lin);
+        }
+    }
+
+    #[test]
+    fn interior_iteration_covers_each_cell_once() {
+        let s = GridShape::new(4, 3, 2, 1);
+        let v: Vec<usize> = s.interior_indices().collect();
+        assert_eq!(v.len(), 24);
+        let mut uniq = v.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 24);
+        for lin in v {
+            let (i, j, k) = s.coords(lin);
+            assert!(s.in_interior(i, j, k));
+        }
+    }
+
+    #[test]
+    fn axis_helpers() {
+        assert_eq!(Axis::X.dim(), 0);
+        assert_eq!(Axis::Z.unit(), (0, 0, 1));
+        assert_eq!(Axis::Y.name(), "y");
+        assert_eq!(Axis::ALL.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost")]
+    fn zero_ghost_width_rejected() {
+        GridShape::new(4, 4, 4, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests of the block decomposition and the halo slab codecs —
+//! the invariants every decomposed run silently relies on.
+
+use igr_grid::{Axis, Decomp, Field, GridShape};
+use igr_prec::StoreF64;
+use proptest::prelude::*;
+
+fn global_dims() -> impl Strategy<Value = [usize; 3]> {
+    (4usize..24, 3usize..20, 3usize..16).prop_map(|(a, b, c)| [a, b, c])
+}
+
+/// Rank-grid dims that always fit the smallest global extents above.
+fn rank_dims() -> impl Strategy<Value = [usize; 3]> {
+    (1usize..4, 1usize..4, 1usize..3).prop_map(|(a, b, c)| [a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The subdomains tile the global grid exactly: every global cell is
+    /// owned by exactly one rank, and the local sizes sum to the total.
+    #[test]
+    fn subdomains_partition_the_global_grid(
+        global in global_dims(),
+        dims in rank_dims(),
+        periodic in any::<[bool; 3]>(),
+    ) {
+        let d = Decomp::with_dims(global, dims, periodic);
+        let n_ranks = d.n_ranks();
+        let mut owned = vec![0u8; global[0] * global[1] * global[2]];
+        let mut total = 0usize;
+        for r in 0..n_ranks {
+            let sd = d.subdomain(r);
+            let mut cells = 1usize;
+            for a in 0..3 {
+                prop_assert!(sd.offset[a] + sd.extent[a] <= global[a]);
+                cells *= sd.extent[a];
+            }
+            total += cells;
+            for k in sd.offset[2]..sd.offset[2] + sd.extent[2] {
+                for j in sd.offset[1]..sd.offset[1] + sd.extent[1] {
+                    for i in sd.offset[0]..sd.offset[0] + sd.extent[0] {
+                        owned[(k * global[1] + j) * global[0] + i] += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(total, global[0] * global[1] * global[2]);
+        prop_assert!(owned.iter().all(|&c| c == 1), "double/zero ownership");
+    }
+
+    /// Rank <-> Cartesian-coordinate maps invert each other.
+    #[test]
+    fn rank_coords_roundtrip(
+        global in global_dims(),
+        dims in rank_dims(),
+    ) {
+        let d = Decomp::with_dims(global, dims, [false; 3]);
+        for r in 0..d.n_ranks() {
+            prop_assert_eq!(d.rank_of(d.coords_of(r)), r);
+        }
+    }
+
+    /// Neighbor links are symmetric: going +1 then -1 along any axis comes
+    /// back, and non-periodic boundaries have no neighbor beyond the edge.
+    #[test]
+    fn neighbor_links_are_symmetric(
+        global in global_dims(),
+        dims in rank_dims(),
+        periodic in any::<[bool; 3]>(),
+    ) {
+        let d = Decomp::with_dims(global, dims, periodic);
+        for r in 0..d.n_ranks() {
+            for axis in [Axis::X, Axis::Y, Axis::Z] {
+                if let Some(nb) = d.neighbor(r, axis, 1) {
+                    prop_assert_eq!(d.neighbor(nb, axis, -1), Some(r));
+                }
+                if let Some(nb) = d.neighbor(r, axis, -1) {
+                    prop_assert_eq!(d.neighbor(nb, axis, 1), Some(r));
+                }
+            }
+        }
+    }
+
+    /// Periodicity makes every rank's neighborhood total along that axis:
+    /// with periodic wrap there is always a neighbor (it may be the rank
+    /// itself when the axis has one block).
+    #[test]
+    fn periodic_axes_always_have_neighbors(
+        global in global_dims(),
+        dims in rank_dims(),
+    ) {
+        let d = Decomp::with_dims(global, dims, [true; 3]);
+        for r in 0..d.n_ranks() {
+            for axis in [Axis::X, Axis::Y, Axis::Z] {
+                prop_assert!(d.neighbor(r, axis, 1).is_some());
+                prop_assert!(d.neighbor(r, axis, -1).is_some());
+            }
+        }
+    }
+
+    /// Halo slab pack → unpack round-trips arbitrary interior data.
+    #[test]
+    fn slab_pack_unpack_roundtrip(
+        nx in 4usize..12,
+        ny in 1usize..10,
+        values in prop::collection::vec(-1e6f64..1e6, 1),
+    ) {
+        let ng = 2;
+        let shape = GridShape::new(nx, ny, 1, ng);
+        let seed = values[0];
+        let mut src: Field<f64, StoreF64> = Field::zeros(shape);
+        src.map_interior(|i, j, k, _| seed + (i + 100 * j + 10_000 * k) as f64);
+        let mut dst: Field<f64, StoreF64> = Field::zeros(shape);
+
+        for axis in [Axis::X, Axis::Y] {
+            if shape.extent(axis) < ng {
+                continue;
+            }
+            for side in [-1i32, 1] {
+                let mut buf = Vec::new();
+                src.pack_slab(axis, side, ng, &mut buf);
+                prop_assert_eq!(buf.len(), src.slab_len(axis, ng));
+                // Receiving side: unpack into the *ghost* slab of dst on
+                // the opposite side; then the ghost values equal the
+                // sender's interior boundary values.
+                dst.unpack_slab(axis, -side, ng, &buf);
+            }
+        }
+        // Spot-check the x low ghost of dst against the x high interior of
+        // src (periodic-exchange convention).
+        if shape.extent(Axis::X) >= ng {
+            for j in 0..ny as i32 {
+                for l in 1..=ng as i32 {
+                    let ghost = dst.at(-l, j, 0);
+                    let interior = src.at(nx as i32 - l, j, 0);
+                    prop_assert_eq!(ghost, interior);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Capacity-tracked buffer placement with unified-memory semantics.
+
+use crate::device::DeviceSpec;
+
+/// Handle to a tracked buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// Where a buffer lives — mirroring the paper's placements: device-resident
+/// (`hipMalloc` / separate-memory CUDA), pinned host (`hipMallocManaged` +
+/// advise, or `malloc` under `-gpu=mem:unified`), or managed with a
+/// preferred location (CUDA UVM + `cudaMemAdvise`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    Device,
+    HostPinned,
+    /// Managed: counts against the preferred pool, may spill to the other.
+    Managed { prefer_device: bool },
+}
+
+/// Advice hints (the `cudaMemAdvise`/`hipMemAdvise` analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemAdvise {
+    PreferredLocationDevice,
+    PreferredLocationHost,
+    AccessedByDevice,
+}
+
+/// Allocation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// Device pool exhausted and the buffer may not spill.
+    DeviceOom { requested: u64, free: u64 },
+    /// Host pool exhausted.
+    HostOom { requested: u64, free: u64 },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::DeviceOom { requested, free } => {
+                write!(f, "device OOM: requested {requested} B, {free} B free")
+            }
+            AllocError::HostOom { requested, free } => {
+                write!(f, "host OOM: requested {requested} B, {free} B free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Clone, Debug)]
+struct Buffer {
+    name: String,
+    bytes: u64,
+    /// Where the bytes are currently accounted.
+    on_device: bool,
+    placement: Placement,
+}
+
+/// The unified-memory allocator of one device.
+///
+/// On a `unified_pool` device (MI300A) the device pool is the only pool and
+/// every placement resolves to it — "all variables have a single copy in
+/// memory" (§5.5.1).
+#[derive(Clone, Debug)]
+pub struct UnifiedAllocator {
+    spec: DeviceSpec,
+    buffers: Vec<Option<Buffer>>,
+}
+
+impl UnifiedAllocator {
+    pub fn new(spec: DeviceSpec) -> Self {
+        UnifiedAllocator {
+            spec,
+            buffers: Vec::new(),
+        }
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn device_bytes_used(&self) -> u64 {
+        self.buffers
+            .iter()
+            .flatten()
+            .filter(|b| b.on_device)
+            .map(|b| b.bytes)
+            .sum()
+    }
+
+    pub fn host_bytes_used(&self) -> u64 {
+        self.buffers
+            .iter()
+            .flatten()
+            .filter(|b| !b.on_device)
+            .map(|b| b.bytes)
+            .sum()
+    }
+
+    pub fn device_bytes_free(&self) -> u64 {
+        self.spec.device_mem_bytes.saturating_sub(self.device_bytes_used())
+    }
+
+    pub fn host_bytes_free(&self) -> u64 {
+        if self.spec.unified_pool {
+            self.device_bytes_free()
+        } else {
+            self.spec.host_mem_bytes.saturating_sub(self.host_bytes_used())
+        }
+    }
+
+    /// Allocate a named buffer. Managed buffers preferring the device spill
+    /// to the host when HBM is full (the UVM oversubscription the paper
+    /// exploits); `Device` placements fail instead.
+    pub fn alloc(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        placement: Placement,
+    ) -> Result<BufferId, AllocError> {
+        let on_device = if self.spec.unified_pool {
+            if bytes > self.device_bytes_free() {
+                return Err(AllocError::DeviceOom {
+                    requested: bytes,
+                    free: self.device_bytes_free(),
+                });
+            }
+            true
+        } else {
+            match placement {
+                Placement::Device => {
+                    if bytes > self.device_bytes_free() {
+                        return Err(AllocError::DeviceOom {
+                            requested: bytes,
+                            free: self.device_bytes_free(),
+                        });
+                    }
+                    true
+                }
+                Placement::HostPinned => {
+                    if bytes > self.host_bytes_free() {
+                        return Err(AllocError::HostOom {
+                            requested: bytes,
+                            free: self.host_bytes_free(),
+                        });
+                    }
+                    false
+                }
+                Placement::Managed { prefer_device } => {
+                    if prefer_device && bytes <= self.device_bytes_free() {
+                        true
+                    } else if bytes <= self.host_bytes_free() {
+                        false
+                    } else if !prefer_device && bytes <= self.device_bytes_free() {
+                        true
+                    } else {
+                        return Err(AllocError::HostOom {
+                            requested: bytes,
+                            free: self.host_bytes_free(),
+                        });
+                    }
+                }
+            }
+        };
+        let id = BufferId(self.buffers.len());
+        self.buffers.push(Some(Buffer {
+            name: name.into(),
+            bytes,
+            on_device,
+            placement,
+        }));
+        Ok(id)
+    }
+
+    pub fn free(&mut self, id: BufferId) {
+        assert!(self.buffers[id.0].take().is_some(), "double free of {id:?}");
+    }
+
+    /// Whether a buffer currently resides in device memory.
+    pub fn is_on_device(&self, id: BufferId) -> bool {
+        self.buffers[id.0].as_ref().expect("freed buffer").on_device
+    }
+
+    pub fn name(&self, id: BufferId) -> &str {
+        &self.buffers[id.0].as_ref().expect("freed buffer").name
+    }
+
+    pub fn bytes(&self, id: BufferId) -> u64 {
+        self.buffers[id.0].as_ref().expect("freed buffer").bytes
+    }
+
+    /// Apply a residency hint; managed buffers may migrate if capacity
+    /// allows (prefetch semantics). Returns the bytes migrated.
+    pub fn advise(&mut self, id: BufferId, advice: MemAdvise) -> u64 {
+        if self.spec.unified_pool {
+            return 0; // single pool: hints are no-ops, as on the MI300A
+        }
+        let buf = self.buffers[id.0].as_ref().expect("freed buffer");
+        if !matches!(buf.placement, Placement::Managed { .. }) {
+            return 0; // explicit placements don't migrate
+        }
+        let bytes = buf.bytes;
+        let want_device = matches!(advice, MemAdvise::PreferredLocationDevice);
+        let on_device = buf.on_device;
+        if want_device == on_device {
+            return 0;
+        }
+        let fits = if want_device {
+            bytes <= self.device_bytes_free()
+        } else {
+            bytes <= self.host_bytes_free()
+        };
+        if fits {
+            self.buffers[id.0].as_mut().unwrap().on_device = want_device;
+            bytes
+        } else {
+            0
+        }
+    }
+
+    /// Per-pool usage summary `(device_used, host_used)`.
+    pub fn usage(&self) -> (u64, u64) {
+        (self.device_bytes_used(), self.host_bytes_used())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn device_placement_fails_beyond_capacity() {
+        let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+        let id = a.alloc("big", 90 * GB, Placement::Device).unwrap();
+        assert!(a.is_on_device(id));
+        let err = a.alloc("more", 10 * GB, Placement::Device).unwrap_err();
+        assert!(matches!(err, AllocError::DeviceOom { .. }));
+    }
+
+    #[test]
+    fn managed_buffers_spill_to_host() {
+        let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+        a.alloc("state", 90 * GB, Placement::Device).unwrap();
+        // 90 of 96 GB used: a 20 GB managed buffer spills to host.
+        let spill = a
+            .alloc("rk_stage", 20 * GB, Placement::Managed { prefer_device: true })
+            .unwrap();
+        assert!(!a.is_on_device(spill));
+        assert_eq!(a.host_bytes_used(), 20 * GB);
+    }
+
+    #[test]
+    fn oversubscription_grows_total_capacity() {
+        // The point of §5.5: total usable memory = HBM + host.
+        let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+        let total = DeviceSpec::GH200.total_capacity();
+        assert_eq!(total, 216 * GB);
+        a.alloc("a", 96 * GB, Placement::Device).unwrap();
+        a.alloc("b", 120 * GB, Placement::HostPinned).unwrap();
+        assert!(a.alloc("c", GB, Placement::Managed { prefer_device: true }).is_err());
+    }
+
+    #[test]
+    fn unified_pool_ignores_placement_distinctions() {
+        let mut a = UnifiedAllocator::new(DeviceSpec::MI300A);
+        let h = a.alloc("x", 64 * GB, Placement::HostPinned).unwrap();
+        assert!(a.is_on_device(h), "single pool: everything is device-resident");
+        let err = a.alloc("y", 65 * GB, Placement::Device).unwrap_err();
+        assert!(matches!(err, AllocError::DeviceOom { .. }));
+    }
+
+    #[test]
+    fn advise_migrates_managed_buffers_when_space_allows() {
+        let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+        let id = a
+            .alloc("managed", 10 * GB, Placement::Managed { prefer_device: true })
+            .unwrap();
+        assert!(a.is_on_device(id));
+        let moved = a.advise(id, MemAdvise::PreferredLocationHost);
+        assert_eq!(moved, 10 * GB);
+        assert!(!a.is_on_device(id));
+        // And back.
+        assert_eq!(a.advise(id, MemAdvise::PreferredLocationDevice), 10 * GB);
+        assert!(a.is_on_device(id));
+    }
+
+    #[test]
+    fn advise_is_a_noop_for_explicit_and_unified_placements() {
+        let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+        let id = a.alloc("pinned", GB, Placement::HostPinned).unwrap();
+        assert_eq!(a.advise(id, MemAdvise::PreferredLocationDevice), 0);
+        let mut apu = UnifiedAllocator::new(DeviceSpec::MI300A);
+        let id2 = apu.alloc("x", GB, Placement::Managed { prefer_device: true }).unwrap();
+        assert_eq!(apu.advise(id2, MemAdvise::PreferredLocationHost), 0);
+    }
+
+    #[test]
+    fn free_releases_capacity() {
+        let mut a = UnifiedAllocator::new(DeviceSpec::MI250X_GCD);
+        let id = a.alloc("x", 60 * GB, Placement::Device).unwrap();
+        assert!(a.alloc("y", 60 * GB, Placement::Device).is_err());
+        a.free(id);
+        assert!(a.alloc("y", 60 * GB, Placement::Device).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+        let id = a.alloc("x", GB, Placement::Device).unwrap();
+        a.free(id);
+        a.free(id);
+    }
+}

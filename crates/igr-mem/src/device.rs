@@ -1,0 +1,142 @@
+//! Device memory-system descriptions for the three machines of the paper.
+
+/// The accelerator families evaluated in the paper (Table 2 / Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// NVIDIA Grace Hopper superchip (CSCS Alps).
+    Gh200,
+    /// One Graphics Compute Die of an AMD MI250X (OLCF Frontier).
+    Mi250xGcd,
+    /// AMD MI300A APU (LLNL El Capitan) — single physical HBM pool.
+    Mi300a,
+    /// The CPU this reproduction actually runs on.
+    HostCpu,
+}
+
+/// Memory-system parameters of one device (plus its host-side share).
+///
+/// Numbers follow the paper's §6.1 hardware description:
+/// * GH200: 96 GB HBM3 at 4 TB/s, 120 GB LPDDR5 at 500 GB/s, 900 GB/s
+///   bidirectional NVLink-C2C (450 GB/s per direction);
+/// * MI250X GCD: 64 GB HBM2E, 72 GB/s xGMI to the Trento host, 64 GB DDR4
+///   share (512 GB / 8 GCDs);
+/// * MI300A: 128 GB HBM3 shared by CPU and GPU — `unified_pool`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceSpec {
+    pub kind: DeviceKind,
+    pub name: &'static str,
+    pub device_mem_bytes: u64,
+    pub host_mem_bytes: u64,
+    /// Device (HBM) bandwidth in bytes/s.
+    pub device_bw: f64,
+    /// Host link bandwidth in bytes/s, per direction.
+    pub link_bw: f64,
+    /// Host memory bandwidth in bytes/s (bounds zero-copy host accesses).
+    pub host_bw: f64,
+    /// CPU and GPU share one physical pool (MI300A).
+    pub unified_pool: bool,
+}
+
+const GB: u64 = 1 << 30;
+const GBS: f64 = 1e9;
+
+impl DeviceSpec {
+    pub const GH200: DeviceSpec = DeviceSpec {
+        kind: DeviceKind::Gh200,
+        name: "GH200",
+        device_mem_bytes: 96 * GB,
+        host_mem_bytes: 120 * GB,
+        device_bw: 4000.0 * GBS,
+        link_bw: 450.0 * GBS,
+        host_bw: 500.0 * GBS,
+        unified_pool: false,
+    };
+
+    pub const MI250X_GCD: DeviceSpec = DeviceSpec {
+        kind: DeviceKind::Mi250xGcd,
+        name: "MI250X GCD",
+        device_mem_bytes: 64 * GB,
+        host_mem_bytes: 64 * GB,
+        device_bw: 1600.0 * GBS,
+        link_bw: 72.0 * GBS,
+        host_bw: 100.0 * GBS,
+        unified_pool: false,
+    };
+
+    pub const MI300A: DeviceSpec = DeviceSpec {
+        kind: DeviceKind::Mi300a,
+        name: "MI300A",
+        device_mem_bytes: 128 * GB,
+        host_mem_bytes: 0, // same pool
+        device_bw: 5300.0 * GBS,
+        link_bw: 5300.0 * GBS, // no separate link: coherent HBM
+        host_bw: 5300.0 * GBS,
+        unified_pool: true,
+    };
+
+    /// A modest CPU node, for anchoring measured runs.
+    pub const HOST_CPU: DeviceSpec = DeviceSpec {
+        kind: DeviceKind::HostCpu,
+        name: "host CPU",
+        device_mem_bytes: 16 * GB,
+        host_mem_bytes: 16 * GB,
+        device_bw: 50.0 * GBS,
+        link_bw: 50.0 * GBS,
+        host_bw: 50.0 * GBS,
+        unified_pool: true,
+    };
+
+    pub const ALL_PAPER_DEVICES: [DeviceSpec; 3] =
+        [DeviceSpec::GH200, DeviceSpec::MI250X_GCD, DeviceSpec::MI300A];
+
+    /// Total memory usable for one device's working set (device + host
+    /// share; a single pool counts once).
+    pub fn total_capacity(&self) -> u64 {
+        if self.unified_pool {
+            self.device_mem_bytes
+        } else {
+            self.device_mem_bytes + self.host_mem_bytes
+        }
+    }
+
+    /// Ratio of link to device bandwidth — the first-order predictor of the
+    /// unified-memory penalty (Table 3's unified column).
+    pub fn link_ratio(&self) -> f64 {
+        self.link_bw / self.device_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities() {
+        assert_eq!(DeviceSpec::GH200.device_mem_bytes, 96 * GB);
+        assert_eq!(DeviceSpec::MI250X_GCD.device_mem_bytes, 64 * GB);
+        assert_eq!(DeviceSpec::MI300A.device_mem_bytes, 128 * GB);
+        // 4 MI250X per Frontier node = 8 GCDs * 64 GB = 512 GB (Table 2).
+        assert_eq!(8 * DeviceSpec::MI250X_GCD.device_mem_bytes, 512 * GB);
+    }
+
+    #[test]
+    fn unified_pool_has_no_separate_host_share() {
+        assert!(DeviceSpec::MI300A.unified_pool);
+        assert_eq!(DeviceSpec::MI300A.total_capacity(), 128 * GB);
+        assert_eq!(DeviceSpec::GH200.total_capacity(), 216 * GB);
+    }
+
+    #[test]
+    fn link_ratios_order_like_the_papers_unified_penalties() {
+        // GH200's link is ~11% of HBM bandwidth; the MI250X GCD's is ~4.5%.
+        // The MI300A has no penalty at all. Table 3's unified-memory
+        // penalties (<5%, ~40-50%, 0%) follow this ordering.
+        let gh = DeviceSpec::GH200.link_ratio();
+        let gcd = DeviceSpec::MI250X_GCD.link_ratio();
+        let apu = DeviceSpec::MI300A.link_ratio();
+        assert!(apu == 1.0);
+        assert!(gh > gcd, "GH200 ratio {gh} must exceed GCD ratio {gcd}");
+        assert!((gh - 0.1125).abs() < 1e-10);
+        assert!((gcd - 0.045).abs() < 1e-10);
+    }
+}

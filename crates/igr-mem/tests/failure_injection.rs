@@ -1,0 +1,132 @@
+//! Failure-injection tests of the unified-memory substrate: out-of-memory
+//! paths, spill policies, and accounting invariants under adversarial
+//! allocation sequences.
+
+use igr_mem::{AllocError, DeviceSpec, MemAdvise, Placement, UnifiedAllocator};
+use proptest::prelude::*;
+
+const GB: u64 = 1 << 30;
+
+#[test]
+fn device_oom_reports_exact_free_bytes() {
+    let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+    let free = a.device_bytes_free();
+    let id = a.alloc("state", free - GB, Placement::Device).unwrap();
+    let err = a.alloc("too-big", 2 * GB, Placement::Device).unwrap_err();
+    match err {
+        AllocError::DeviceOom { requested, free } => {
+            assert_eq!(requested, 2 * GB);
+            assert_eq!(free, GB);
+        }
+        other => panic!("expected DeviceOom, got {other:?}"),
+    }
+    // Freeing restores capacity exactly.
+    a.free(id);
+    assert_eq!(a.device_bytes_free(), free);
+}
+
+#[test]
+fn managed_buffers_spill_to_host_instead_of_failing() {
+    // The UVM oversubscription path (§5.5.3): a managed buffer preferring
+    // the device lands on the host once HBM is full.
+    let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+    let hbm = a.device_bytes_free();
+    let big = a
+        .alloc("rk-stage", hbm, Placement::Managed { prefer_device: true })
+        .unwrap();
+    assert!(a.is_on_device(big));
+    let spilled = a
+        .alloc("spill", 4 * GB, Placement::Managed { prefer_device: true })
+        .unwrap();
+    assert!(!a.is_on_device(spilled), "must spill to host");
+    // Device placement still fails — no silent spill for hipMalloc.
+    assert!(matches!(
+        a.alloc("strict", 4 * GB, Placement::Device),
+        Err(AllocError::DeviceOom { .. })
+    ));
+}
+
+#[test]
+fn unified_pool_devices_have_one_pool() {
+    // MI300A: "a single physical HBM pool accessed by both CPU and GPU".
+    let mut a = UnifiedAllocator::new(DeviceSpec::MI300A);
+    let cap = a.device_bytes_free();
+    let id = a
+        .alloc("everything", cap, Placement::HostPinned)
+        .unwrap();
+    assert!(a.is_on_device(id), "every placement resolves to the pool");
+    let err = a.alloc("one-more-byte", 1, Placement::Device).unwrap_err();
+    assert!(matches!(err, AllocError::DeviceOom { .. }));
+}
+
+#[test]
+#[should_panic(expected = "double free")]
+fn double_free_is_rejected() {
+    let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+    let id = a.alloc("x", GB, Placement::Device).unwrap();
+    a.free(id);
+    a.free(id);
+}
+
+#[test]
+fn host_oom_when_both_pools_are_exhausted() {
+    let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+    let hbm = a.device_bytes_free();
+    let host = a.host_bytes_free();
+    a.alloc("hbm-fill", hbm, Placement::Device).unwrap();
+    a.alloc("host-fill", host, Placement::HostPinned).unwrap();
+    let err = a
+        .alloc("nowhere", GB, Placement::Managed { prefer_device: true })
+        .unwrap_err();
+    assert!(matches!(err, AllocError::HostOom { .. }));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accounting invariant under arbitrary alloc/advise/free sequences:
+    /// used(device) + used(host) equals the sum of live buffer sizes, and
+    /// neither pool exceeds its capacity.
+    #[test]
+    fn accounting_is_exact_under_random_traffic(
+        ops in prop::collection::vec((0u8..3, 1u64..64, any::<bool>()), 1..40)
+    ) {
+        let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
+        let mut live: Vec<(igr_mem::BufferId, u64)> = Vec::new();
+        for (op, size_gb, flag) in ops {
+            match op {
+                0 => {
+                    let bytes = size_gb * GB / 4;
+                    let placement = if flag {
+                        Placement::Managed { prefer_device: true }
+                    } else {
+                        Placement::HostPinned
+                    };
+                    if let Ok(id) = a.alloc("buf", bytes, placement) {
+                        live.push((id, bytes));
+                    }
+                }
+                1 => {
+                    if let Some((id, _)) = live.pop() {
+                        a.free(id);
+                    }
+                }
+                _ => {
+                    if let Some(&(id, _)) = live.last() {
+                        let advice = if flag {
+                            MemAdvise::PreferredLocationDevice
+                        } else {
+                            MemAdvise::PreferredLocationHost
+                        };
+                        a.advise(id, advice);
+                    }
+                }
+            }
+            let (dev, host) = a.usage();
+            let total_live: u64 = live.iter().map(|(_, b)| b).sum();
+            prop_assert_eq!(dev + host, total_live, "accounting drift");
+            prop_assert!(dev <= a.spec().device_mem_bytes);
+            prop_assert!(host <= a.spec().host_mem_bytes);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The supercomputers of Table 2 (plus the JSC JUPITER extrapolation target).
+
+use igr_mem::DeviceSpec;
+
+/// A full system: nodes of identical devices plus interconnect parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct System {
+    pub name: &'static str,
+    /// Total nodes (Table 2).
+    pub nodes: usize,
+    /// Devices per node as the paper counts them (4 MI300A, 8 MI250X GCDs
+    /// as 4 GPUs — we count GCDs for Frontier since each GCD is a rank).
+    pub devices_per_node: usize,
+    pub device: DeviceSpec,
+    /// Injection bandwidth per node, bytes/s (4×200 GB/s Slingshot NICs on
+    /// El Capitan/Frontier; 200 GB/s per GH200 superchip on Alps ⇒ 800).
+    pub injection_bw_node: f64,
+    /// Per-message latency over the interconnect, seconds.
+    pub latency_s: f64,
+    /// Peak facility power, MW (Table 2).
+    pub peak_power_mw: f64,
+    /// HPL Rmax, PFLOP/s (Table 2, June 2025 list).
+    pub rmax_pflops: f64,
+    /// TOP500 rank (June 2025).
+    pub top500_rank: u32,
+}
+
+const GBS: f64 = 1e9;
+
+impl System {
+    pub const EL_CAPITAN: System = System {
+        name: "LLNL El Capitan",
+        nodes: 11136,
+        devices_per_node: 4, // MI300A APUs
+        device: DeviceSpec::MI300A,
+        injection_bw_node: 800.0 * GBS,
+        latency_s: 2.0e-6,
+        peak_power_mw: 34.8,
+        rmax_pflops: 1742.0,
+        top500_rank: 1,
+    };
+
+    pub const FRONTIER: System = System {
+        name: "OLCF Frontier",
+        nodes: 9472,
+        devices_per_node: 8, // MI250X GCDs (4 GPUs x 2 GCDs)
+        device: DeviceSpec::MI250X_GCD,
+        injection_bw_node: 800.0 * GBS,
+        latency_s: 2.0e-6,
+        peak_power_mw: 24.6,
+        rmax_pflops: 1353.0,
+        top500_rank: 2,
+    };
+
+    pub const ALPS: System = System {
+        name: "CSCS Alps",
+        nodes: 2688,
+        devices_per_node: 4, // GH200 superchips
+        device: DeviceSpec::GH200,
+        injection_bw_node: 800.0 * GBS,
+        latency_s: 2.0e-6,
+        peak_power_mw: 7.1,
+        rmax_pflops: 435.0,
+        top500_rank: 8,
+    };
+
+    /// JSC JUPITER: same GH200 architecture as Alps (§5.6/§7.2 extrapolation:
+    /// 100.3 T cells at 1611³ per superchip ⇒ ~24 K GH200s ⇒ ~6 K nodes).
+    pub const JUPITER: System = System {
+        name: "JSC JUPITER",
+        nodes: 5992,
+        devices_per_node: 4,
+        device: DeviceSpec::GH200,
+        injection_bw_node: 800.0 * GBS,
+        latency_s: 2.0e-6,
+        peak_power_mw: 17.0,
+        rmax_pflops: 793.0,
+        top500_rank: 4,
+    };
+
+    pub const PAPER_SYSTEMS: [System; 3] = [System::EL_CAPITAN, System::FRONTIER, System::ALPS];
+
+    pub fn total_devices(&self) -> usize {
+        self.nodes * self.devices_per_node
+    }
+
+    /// Total device (HBM) memory, bytes.
+    pub fn total_device_memory(&self) -> u64 {
+        self.total_devices() as u64 * self.device.device_mem_bytes
+    }
+
+    /// Total host memory, bytes (zero extra pool for unified-HBM APUs).
+    pub fn total_host_memory(&self) -> u64 {
+        if self.device.unified_pool {
+            0
+        } else {
+            self.total_devices() as u64 * self.device.host_mem_bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PB: f64 = 1024.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0; // binary PB
+
+    #[test]
+    fn device_counts_match_the_papers_full_system_figures() {
+        // Fig. 6: "97% out to 10750 MI300As" on El Capitan (full: 11.1K
+        // nodes => 44.5K APUs); Frontier weak scaling to 37.6K MI250X GPUs =
+        // 75.2K GCDs (9408 of 9472 nodes); Alps 9.2K GH200 = 2300 nodes.
+        assert_eq!(System::EL_CAPITAN.total_devices(), 44544);
+        assert_eq!(System::FRONTIER.total_devices(), 75776);
+        assert!(System::FRONTIER.total_devices() >= 75264, "holds the 37.6K-GPU run");
+        assert_eq!(System::ALPS.total_devices(), 10752);
+        assert!(System::ALPS.total_devices() >= 9216, "holds the 9.2K-GH200 run");
+    }
+
+    #[test]
+    fn memory_totals_match_table2() {
+        // Table 2: El Capitan 5.6 PB APU memory; Frontier 4.8+4.8 PB;
+        // Alps 1.0 PB GPU + 1.3 PB CPU.
+        let el = System::EL_CAPITAN.total_device_memory() as f64 / PB;
+        assert!((el - 5.44).abs() < 0.2, "El Capitan {el} PB (paper: 5.6)");
+        let fr_dev = System::FRONTIER.total_device_memory() as f64 / PB;
+        let fr_host = System::FRONTIER.total_host_memory() as f64 / PB;
+        assert!((fr_dev - 4.62).abs() < 0.2, "Frontier HBM {fr_dev} PB (paper: 4.8)");
+        assert!((fr_host - 4.62).abs() < 0.2, "Frontier DDR {fr_host} PB");
+        let alps_dev = System::ALPS.total_device_memory() as f64 / PB;
+        let alps_host = System::ALPS.total_host_memory() as f64 / PB;
+        assert!((alps_dev - 0.98).abs() < 0.1, "Alps HBM {alps_dev} PB (paper: 1.0)");
+        assert!((alps_host - 1.23).abs() < 0.1, "Alps LPDDR {alps_host} PB (paper: 1.3)");
+    }
+
+    #[test]
+    fn rankings_and_power_follow_table2() {
+        assert_eq!(System::EL_CAPITAN.top500_rank, 1);
+        assert_eq!(System::FRONTIER.top500_rank, 2);
+        assert_eq!(System::ALPS.top500_rank, 8);
+        assert!(System::EL_CAPITAN.rmax_pflops > System::FRONTIER.rmax_pflops);
+        assert!((System::ALPS.peak_power_mw - 7.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jupiter_holds_the_extrapolated_run() {
+        // §7.2: 1611^3 per GH200 on JUPITER amounts to 100.3T cells.
+        let cells_per_device = 1611f64.powi(3);
+        let total = cells_per_device * System::JUPITER.total_devices() as f64;
+        assert!((total / 1e12 - 100.3).abs() < 0.5, "JUPITER capacity {:.1}T", total / 1e12);
+    }
+}

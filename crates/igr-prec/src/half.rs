@@ -1,0 +1,381 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+//! Conversions implement round-to-nearest, ties-to-even — the default IEEE
+//! rounding mode and the one hardware FP16 units use — so simulation results
+//! match what the paper's GH200/MI300A storage path would produce.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// IEEE 754 binary16 floating point number.
+///
+/// Stored as its raw bit pattern. All arithmetic is performed by widening to
+/// `f32` (exactly representable: binary16 ⊂ binary32), mirroring the paper's
+/// "FP32 compute, FP16 storage" strategy where the half values only ever live
+/// in memory, never in registers.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct f16(pub u16);
+
+impl f16 {
+    pub const ZERO: f16 = f16(0x0000);
+    pub const NEG_ZERO: f16 = f16(0x8000);
+    pub const ONE: f16 = f16(0x3C00);
+    pub const NEG_ONE: f16 = f16(0xBC00);
+    pub const INFINITY: f16 = f16(0x7C00);
+    pub const NEG_INFINITY: f16 = f16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: f16 = f16(0x7E00);
+    /// Largest finite value: 65504.
+    pub const MAX: f16 = f16(0x7BFF);
+    /// Smallest finite value: -65504.
+    pub const MIN: f16 = f16(0xFBFF);
+    /// Smallest positive normal value: 2^-14.
+    pub const MIN_POSITIVE: f16 = f16(0x0400);
+    /// Smallest positive subnormal value: 2^-24.
+    pub const MIN_POSITIVE_SUBNORMAL: f16 = f16(0x0001);
+    /// Machine epsilon: 2^-10.
+    pub const EPSILON: f16 = f16(0x1400);
+
+    const EXP_MASK: u16 = 0x7C00;
+    const MAN_MASK: u16 = 0x03FF;
+    const SIGN_MASK: u16 = 0x8000;
+
+    /// Reinterpret raw bits as `f16`.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        f16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even.
+    ///
+    /// Values above the binary16 range saturate to ±infinity (matching IEEE
+    /// conversion semantics); NaN payloads are quieted.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Keep a nonzero mantissa bit for NaN.
+            return if man != 0 {
+                f16(sign | Self::EXP_MASK | 0x0200 | ((man >> 13) as u16 & Self::MAN_MASK))
+            } else {
+                f16(sign | Self::EXP_MASK)
+            };
+        }
+
+        // Unbiased exponent in binary32; binary16 bias is 15.
+        let unbiased = exp - 127;
+        let half_exp = unbiased + 15;
+
+        if half_exp >= 0x1F {
+            // Overflow: round-to-nearest maps to infinity.
+            return f16(sign | Self::EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or underflow-to-zero range.
+            if half_exp < -10 {
+                // Magnitude below half the smallest subnormal: rounds to zero.
+                return f16(sign);
+            }
+            // Implicit leading 1 becomes explicit; shift right so the result
+            // lands in the 10-bit subnormal mantissa field.
+            let man32 = man | 0x0080_0000;
+            let shift = (14 - half_exp) as u32; // in [14, 24]
+            let half_man = man32 >> shift;
+            // Round to nearest even on the bits shifted out.
+            let rem = man32 & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let rounded = match rem.cmp(&halfway) {
+                Ordering::Greater => half_man + 1,
+                Ordering::Less => half_man,
+                Ordering::Equal => half_man + (half_man & 1),
+            };
+            // Rounding can carry into the exponent field (subnormal -> MIN_POSITIVE);
+            // the bit layout makes that carry arithmetically correct.
+            return f16(sign | rounded as u16);
+        }
+
+        // Normal range: drop 13 mantissa bits with round-to-nearest-even.
+        let half_man = (man >> 13) as u16;
+        let rem = man & 0x1FFF;
+        let base = sign | ((half_exp as u16) << 10) | half_man;
+        let rounded = match rem.cmp(&0x1000) {
+            Ordering::Greater => base + 1,
+            Ordering::Less => base,
+            Ordering::Equal => base + (base & 1),
+        };
+        // A carry out of the mantissa correctly increments the exponent; a
+        // carry to exp=31 correctly produces infinity.
+        f16(rounded)
+    }
+
+    /// Convert from `f64` (via the correctly-rounded `f64 -> f32` step; double
+    /// rounding is harmless here because binary32 has >2x the precision of
+    /// binary16 plus a guard margin for all binary64 inputs except a measure-
+    /// zero set irrelevant to stored simulation data).
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        Self::from_f32(x as f32)
+    }
+
+    /// Widen to `f32` (exact).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & Self::SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & Self::EXP_MASK) >> 10) as u32;
+        let man = (self.0 & Self::MAN_MASK) as u32;
+
+        let bits = if exp == 0x1F {
+            // Infinity / NaN.
+            sign | 0x7F80_0000 | (man << 13)
+        } else if exp == 0 {
+            if man == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = man * 2^-24 with man in [1, 0x3FF].
+                // Normalize: man = 2^k * 1.xxx where k is the MSB index.
+                let k = 31 - man.leading_zeros(); // k in [0, 9]
+                let unbiased = k as i32 - 24;
+                let man32 = (man << (23 - k)) & 0x007F_FFFF;
+                sign | (((unbiased + 127) as u32) << 23) | man32
+            }
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Widen to `f64` (exact).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & Self::EXP_MASK) == Self::EXP_MASK && (self.0 & Self::MAN_MASK) != 0
+    }
+
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !Self::SIGN_MASK) == Self::EXP_MASK
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & Self::EXP_MASK) != Self::EXP_MASK
+    }
+
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & Self::SIGN_MASK != 0
+    }
+
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & Self::EXP_MASK) == 0 && (self.0 & Self::MAN_MASK) != 0
+    }
+
+    #[inline]
+    pub fn abs(self) -> Self {
+        f16(self.0 & !Self::SIGN_MASK)
+    }
+
+    /// The unit roundoff of the FP16 *storage* channel: 2^-11.
+    ///
+    /// Storing an FP32 value x in FP16 perturbs it by at most
+    /// `|x| * STORAGE_ROUNDOFF` (in the normal range). This is the noise the
+    /// paper says seeds hydrodynamic instabilities earlier (Fig. 5) while
+    /// leaving the resolved flow faithful.
+    pub const STORAGE_ROUNDOFF: f32 = 4.8828125e-4; // 2^-11
+}
+
+impl fmt::Debug for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialOrd for f16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<f16> for f32 {
+    fn from(h: f16) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl From<f16> for f64 {
+    fn from(h: f16) -> f64 {
+        h.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: f32) -> f32 {
+        f16::from_f32(x).to_f32()
+    }
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(roundtrip(x), x, "integer {i} must be exact in binary16");
+        }
+    }
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(f16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(f16::from_f32(-1.0).to_bits(), 0xBC00);
+        assert_eq!(f16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(f16::from_f32(2.0).to_bits(), 0x4000);
+        assert_eq!(f16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(f16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(f16::from_f32(-0.0).to_bits(), 0x8000);
+        // 1/3 rounds to 0x3555 (0.33325195) in round-to-nearest-even.
+        assert_eq!(f16::from_f32(1.0 / 3.0).to_bits(), 0x3555);
+    }
+
+    #[test]
+    fn widening_known_bit_patterns() {
+        assert_eq!(f16::from_bits(0x3C00).to_f32(), 1.0);
+        assert_eq!(f16::from_bits(0x3800).to_f32(), 0.5);
+        assert_eq!(f16::from_bits(0x7BFF).to_f32(), 65504.0);
+        assert_eq!(f16::from_bits(0x0400).to_f32(), 6.103515625e-5); // 2^-14
+        assert_eq!(f16::from_bits(0x0001).to_f32(), 5.960464477539063e-8); // 2^-24
+        assert_eq!(f16::from_bits(0x03FF).to_f32(), 6.097555160522461e-5); // max subnormal
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16::from_f32(65520.0).to_bits(), 0x7C00); // ties to even -> inf
+        assert_eq!(f16::from_f32(1.0e6), f16::INFINITY);
+        assert_eq!(f16::from_f32(-1.0e6), f16::NEG_INFINITY);
+        assert_eq!(f16::from_f32(f32::INFINITY), f16::INFINITY);
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero_below_half_min_subnormal() {
+        let half_min_sub = 2.0f32.powi(-25);
+        assert_eq!(f16::from_f32(half_min_sub * 0.99).to_bits(), 0x0000);
+        // Exactly half the min subnormal: ties-to-even -> zero (even).
+        assert_eq!(f16::from_f32(half_min_sub).to_bits(), 0x0000);
+        // Just above: rounds up to the min subnormal.
+        assert_eq!(f16::from_f32(half_min_sub * 1.01).to_bits(), 0x0001);
+        assert_eq!(f16::from_f32(-half_min_sub * 1.01).to_bits(), 0x8001);
+    }
+
+    #[test]
+    fn subnormal_conversion_roundtrips() {
+        for bits in 1u16..=0x03FF {
+            let h = f16::from_bits(bits);
+            assert!(h.is_subnormal());
+            assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn all_finite_bit_patterns_roundtrip_exactly() {
+        // Exhaustive: every finite f16 widens to f32 and narrows back bit-identically.
+        for bits in 0u16..=0xFFFF {
+            let h = f16::from_bits(bits);
+            if h.is_nan() {
+                assert!(f16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; even -> 1.0.
+        let x = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(x).to_bits(), 0x3C00);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even -> 1+2^-9.
+        let y = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(y).to_bits(), 0x3C02);
+        // Slightly above halfway rounds up.
+        let z = 1.0f32 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16::from_f32(z).to_bits(), 0x3C01);
+    }
+
+    #[test]
+    fn rounding_error_bound_holds() {
+        // |round(x) - x| <= |x| * 2^-11 for normal-range x.
+        let mut x = 6.2e-5f32;
+        while x < 6.0e4 {
+            let e = (roundtrip(x) - x).abs();
+            assert!(e <= x * f16::STORAGE_ROUNDOFF * 1.0001, "x={x} err={e}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(f16::from_f32(f32::NAN).is_nan());
+        assert!(f16::NAN.to_f32().is_nan());
+        assert!(f16::NAN.is_nan());
+        assert!(!f16::INFINITY.is_nan());
+        assert!(f16::INFINITY.is_infinite());
+        assert!(!f16::MAX.is_infinite());
+        assert!(f16::MAX.is_finite());
+    }
+
+    #[test]
+    fn ordering_matches_f32_ordering() {
+        let vals = [-65504.0f32, -1.5, -0.0, 0.0, 1.0e-7, 0.3, 1.0, 1.5, 65504.0];
+        for &a in &vals {
+            for &b in &vals {
+                let (ha, hb) = (f16::from_f32(a), f16::from_f32(b));
+                assert_eq!(
+                    ha.partial_cmp(&hb),
+                    ha.to_f32().partial_cmp(&hb.to_f32()),
+                    "ordering mismatch for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abs_and_sign() {
+        assert_eq!(f16::from_f32(-2.5).abs(), f16::from_f32(2.5));
+        assert!(f16::from_f32(-2.5).is_sign_negative());
+        assert!(!f16::from_f32(2.5).is_sign_negative());
+        assert!(f16::NEG_ZERO.is_sign_negative());
+    }
+
+    #[test]
+    fn from_f64_matches_from_f32_for_representables() {
+        for i in -100..=100 {
+            let x = i as f64 * 0.125;
+            assert_eq!(f16::from_f64(x).to_bits(), f16::from_f32(x as f32).to_bits());
+        }
+    }
+}

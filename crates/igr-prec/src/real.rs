@@ -1,0 +1,204 @@
+//! Compute-precision abstraction.
+//!
+//! Every numerical kernel in the solver stack is generic over [`Real`], so
+//! the same code runs the paper's FP64 and FP32 compute paths. (FP16 is a
+//! *storage* format only — the paper computes in FP32 and stores in FP16 —
+//! so `f16` deliberately does not implement `Real`.)
+
+use std::fmt::{Debug, Display, LowerExp};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point compute precision (`f32` or `f64`).
+///
+/// The trait is intentionally small: just what the finite-volume kernels,
+/// the IGR elliptic solve, and the WENO/HLLC baseline need. Constants are
+/// provided as conversions from `f64` literals via [`Real::from_f64`].
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + LowerExp
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const TWO: Self;
+    const HALF: Self;
+
+    /// Machine epsilon of the compute type.
+    const EPSILON: Self;
+
+    /// Name used in reports ("fp32"/"fp64").
+    const NAME: &'static str;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+    fn exp(self) -> Self;
+    fn ln(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+    fn tanh(self) -> Self;
+    fn floor(self) -> Self;
+    fn min(self, other: Self) -> Self;
+    fn max(self, other: Self) -> Self;
+    fn is_finite(self) -> bool;
+    fn is_nan(self) -> bool;
+
+    /// Fused multiply-add when available; falls back to `a*b + self`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $name:literal) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const EPSILON: Self = <$t>::EPSILON;
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline(always)]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline(always)]
+            fn floor(self) -> Self {
+                <$t>::floor(self)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+        }
+    };
+}
+
+impl_real!(f32, "fp32");
+impl_real!(f64, "fp64");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_root<R: Real>(a: R, b: R, c: R) -> R {
+        // Generic kernel exercising a representative mix of trait ops.
+        let disc = (b * b - R::from_f64(4.0) * a * c).max(R::ZERO);
+        (-b + disc.sqrt()) / (R::TWO * a)
+    }
+
+    #[test]
+    fn generic_kernel_agrees_across_precisions() {
+        let r64 = quadratic_root(1.0f64, -3.0, 2.0);
+        let r32 = quadratic_root(1.0f32, -3.0, 2.0);
+        assert!((r64 - 2.0).abs() < 1e-14);
+        assert!((r32 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(f64::ONE, 1.0);
+        assert_eq!(f32::HALF, 0.5);
+        assert_eq!(f64::NAME, "fp64");
+        assert_eq!(f32::NAME, "fp32");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_usize(42), 42.0);
+        assert_eq!(f32::from_usize(42), 42.0f32);
+    }
+
+    #[test]
+    fn min_max_and_finiteness() {
+        assert_eq!(2.0f64.min(3.0), 2.0);
+        assert_eq!(Real::max(2.0f32, 3.0), 3.0);
+        assert!(!(f64::NAN).is_finite());
+        assert!(Real::is_nan(f32::NAN));
+        assert!(Real::is_finite(1.0f64));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let x = 1.25f64;
+        assert!((Real::mul_add(x, 2.0, 0.5) - (x * 2.0 + 0.5)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the software binary16 implementation.
+//!
+//! The reference for correct narrowing is a bit-level reimplementation via
+//! integer arithmetic on `f64` (exact for all f32 inputs), plus algebraic
+//! invariants (monotonicity, sign symmetry, error bounds) that any correct
+//! IEEE round-to-nearest-even conversion must satisfy.
+
+use igr_prec::f16;
+use proptest::prelude::*;
+
+/// Reference narrowing: round an f64 value to the binary16 grid by scaling to
+/// integer significand space and using round-half-to-even integer rounding.
+fn reference_narrow(x: f64) -> f16 {
+    if x.is_nan() {
+        return f16::NAN;
+    }
+    let sign = if x.is_sign_negative() { 0x8000u16 } else { 0 };
+    let a = x.abs();
+    if a == 0.0 {
+        return f16::from_bits(sign);
+    }
+    // Max finite binary16 is 65504; the rounding boundary to infinity is 65520.
+    if a >= 65520.0 {
+        return f16::from_bits(sign | 0x7C00);
+    }
+    // Find the binary16 quantum for this magnitude.
+    let e = a.log2().floor() as i32;
+    let e = e.clamp(-14, 15); // subnormals share the 2^-14 quantum scale
+    let quantum = 2f64.powi(e - 10);
+    let q = a / quantum;
+    // round half to even on q
+    let fl = q.floor();
+    let frac = q - fl;
+    let mut n = if frac > 0.5 {
+        fl + 1.0
+    } else if frac < 0.5 {
+        fl
+    } else if (fl as u64) % 2 == 0 {
+        fl
+    } else {
+        fl + 1.0
+    };
+    let mut e = e;
+    // Rounding may push the significand to 2048 => bump exponent.
+    if n >= 2048.0 {
+        n /= 2.0;
+        e += 1;
+        if e > 15 {
+            return f16::from_bits(sign | 0x7C00);
+        }
+    }
+    let val = n * 2f64.powi(e - 10);
+    // Reconstruct bits from the exact value.
+    if val == 0.0 {
+        return f16::from_bits(sign);
+    }
+    let ee = val.log2().floor() as i32;
+    if ee < -14 {
+        // subnormal: value = m * 2^-24
+        let m = (val / 2f64.powi(-24)).round() as u16;
+        f16::from_bits(sign | m)
+    } else {
+        let m = (val / 2f64.powi(ee - 10)) as u64;
+        debug_assert!((1024..2048).contains(&m));
+        f16::from_bits(sign | (((ee + 15) as u16) << 10) | ((m as u16) & 0x3FF))
+    }
+}
+
+proptest! {
+    #[test]
+    fn narrow_matches_reference(bits in any::<u32>()) {
+        let x = f32::from_bits(bits);
+        prop_assume!(!x.is_nan());
+        let got = f16::from_f32(x);
+        let want = reference_narrow(x as f64);
+        prop_assert_eq!(got.to_bits(), want.to_bits(),
+            "x={} got={:#06x} want={:#06x}", x, got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn widening_then_narrowing_is_identity(bits in any::<u16>()) {
+        let h = f16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    #[test]
+    fn narrowing_is_monotone(a in -7e4f32..7e4, b in -7e4f32..7e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (hl, hh) = (f16::from_f32(lo).to_f32(), f16::from_f32(hi).to_f32());
+        prop_assert!(hl <= hh, "monotonicity violated: {lo} -> {hl}, {hi} -> {hh}");
+    }
+
+    #[test]
+    fn narrowing_is_sign_symmetric(x in -7e4f32..7e4) {
+        let pos = f16::from_f32(x.abs()).to_bits();
+        let neg = f16::from_f32(-x.abs()).to_bits();
+        prop_assert_eq!(pos | 0x8000, neg | 0x8000);
+        prop_assert_eq!(pos & 0x7FFF, neg & 0x7FFF);
+    }
+
+    #[test]
+    fn relative_error_bounded_in_normal_range(x in 6.2e-5f32..6.5e4) {
+        let r = f16::from_f32(x).to_f32();
+        let rel = ((r - x) / x).abs();
+        prop_assert!(rel <= f16::STORAGE_ROUNDOFF, "x={x} r={r} rel={rel}");
+    }
+
+    #[test]
+    fn absolute_error_bounded_in_subnormal_range(x in -6.1e-5f32..6.1e-5) {
+        // In the subnormal range the quantum is 2^-24; nearest rounding is
+        // within half a quantum.
+        let r = f16::from_f32(x).to_f32();
+        prop_assert!((r - x).abs() <= 2f32.powi(-25) * 1.0001);
+    }
+
+    #[test]
+    fn nearest_property_no_closer_representable(bits in any::<u16>(), x in -65519.0f32..65519.0) {
+        // The chosen value is at least as close to x as an arbitrary other
+        // representable value. (Restricted to the non-overflow range: beyond
+        // +-65520 IEEE nearest rounding saturates to infinity by definition.)
+        let chosen = f16::from_f32(x);
+        let other = f16::from_bits(bits);
+        prop_assume!(!other.is_nan() && !other.is_infinite());
+        let dc = (chosen.to_f32() - x).abs();
+        let do_ = (other.to_f32() - x).abs();
+        prop_assert!(dc <= do_, "x={x}: chosen {} worse than {}", chosen.to_f32(), other.to_f32());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests of the mixture thermodynamics and the oscillation-free
+//! interface transport — randomized versions of the crate's structural
+//! claims.
+
+use igr_core::config::ReconOrder;
+use igr_grid::{Domain, Field, GridShape};
+use igr_prec::StoreF64;
+use igr_species::eos::{cons_to_prim, I_A, I_MX};
+use igr_species::rhs::{accumulate_fluxes2, FluxParams2};
+use igr_species::{MixEos, MixPrim, SpeciesState};
+use proptest::prelude::*;
+
+/// Admissible random mixture primitives.
+fn prim_strategy() -> impl Strategy<Value = MixPrim<f64>> {
+    (
+        0.0f64..1.0,          // alpha
+        0.05f64..5.0,         // phasic density 1
+        0.05f64..5.0,         // phasic density 2
+        -3.0f64..3.0,         // u
+        -3.0f64..3.0,         // v
+        0.05f64..10.0,        // p
+    )
+        .prop_map(|(a, r1, r2, u, v, p)| {
+            MixPrim::new([a * r1, (1.0 - a) * r2], [u, v, 0.0], p, a)
+        })
+}
+
+fn eos_strategy() -> impl Strategy<Value = MixEos> {
+    (1.05f64..2.0, 1.05f64..2.0).prop_map(|(g1, g2)| MixEos { gamma1: g1, gamma2: g2 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// prim -> cons -> prim is the identity for admissible states and any
+    /// valid gamma pair.
+    #[test]
+    fn prim_cons_roundtrip(pr in prim_strategy(), eos in eos_strategy()) {
+        let q = pr.to_cons(&eos);
+        let back = cons_to_prim(&q, &eos);
+        prop_assert!((back.p - pr.p).abs() < 1e-10 * pr.p.max(1.0));
+        prop_assert!((back.alpha - pr.alpha).abs() < 1e-12);
+        for d in 0..3 {
+            prop_assert!((back.vel[d] - pr.vel[d]).abs() < 1e-10);
+        }
+    }
+
+    /// Γ(α) is linear: Γ(sa + (1-s)b) = sΓ(a) + (1-s)Γ(b). This is the
+    /// property the oscillation-free transport proof rests on.
+    #[test]
+    fn big_gamma_is_linear(
+        eos in eos_strategy(),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        s in 0.0f64..1.0,
+    ) {
+        let lhs: f64 = eos.big_gamma(s * a + (1.0 - s) * b);
+        let rhs = s * eos.big_gamma(a) + (1.0 - s) * eos.big_gamma(b);
+        prop_assert!((lhs - rhs).abs() < 1e-13);
+    }
+
+    /// Mixture sound speed is bracketed by the two pure-fluid speeds at the
+    /// same (rho, p).
+    #[test]
+    fn sound_speed_is_bracketed(
+        eos in eos_strategy(),
+        a in 0.0f64..1.0,
+        rho in 0.1f64..5.0,
+        p in 0.1f64..5.0,
+    ) {
+        let mk = |alpha: f64| MixPrim::new([alpha * rho, (1.0 - alpha) * rho], [0.0; 3], p, alpha);
+        let c = mk(a).sound_speed(&eos);
+        let c1 = mk(1.0).sound_speed(&eos);
+        let c2 = mk(0.0).sound_speed(&eos);
+        prop_assert!(c >= c1.min(c2) - 1e-12 && c <= c1.max(c2) + 1e-12);
+    }
+
+    /// One RHS evaluation on a random material field in pressure/velocity
+    /// equilibrium (u = 0, p uniform, arbitrary smooth α and phasic
+    /// densities) produces zero momentum RHS: no spurious interface force.
+    #[test]
+    fn random_resting_interfaces_feel_no_force(
+        eos in eos_strategy(),
+        phases in prop::collection::vec((0.1f64..2.0, 0.1f64..2.0, 0.0f64..std::f64::consts::TAU), 3),
+        p0 in 0.2f64..5.0,
+    ) {
+        let n = 32;
+        let shape = GridShape::new(n, 1, 1, 3);
+        let domain = Domain::unit(shape);
+        let mut q: SpeciesState<f64, StoreF64> = SpeciesState::zeros(shape);
+        let tau = std::f64::consts::TAU;
+        q.set_prim_field(&domain, &eos, |pos| {
+            let mut a = 0.5f64;
+            for (amp, k, ph) in &phases {
+                a += 0.15 * amp * (tau * k.ceil() * pos[0] + ph).sin();
+            }
+            let a = a.clamp(0.01, 0.99);
+            MixPrim::new([a * 1.0, (1.0 - a) * 0.3], [0.0; 3], p0, a)
+        });
+        igr_species::bc::fill_ghosts(
+            &mut q,
+            &domain,
+            &igr_species::SpeciesBcSet::all_periodic(),
+            &eos,
+            0.0,
+        );
+        let sigma: Field<f64, StoreF64> = Field::zeros(shape);
+        let params = FluxParams2::new(&q, &sigma, &domain, eos, 0.0, 0.0, ReconOrder::Fifth, false);
+        let mut rhs = SpeciesState::zeros(shape);
+        accumulate_fluxes2(&params, &mut rhs);
+        let m = rhs.field(I_MX).max_interior(|x| x.abs());
+        prop_assert!(m < 1e-11 * p0.max(1.0), "momentum RHS {m}");
+    }
+
+    /// Uniform α on a random flow field gets an exactly-cancelling update
+    /// (conservative flux vs non-conservative product).
+    #[test]
+    fn uniform_alpha_update_cancels(
+        eos in eos_strategy(),
+        a0 in 0.05f64..0.95,
+        amp in 0.05f64..0.5,
+    ) {
+        let n = 32;
+        let shape = GridShape::new(n, 1, 1, 3);
+        let domain = Domain::unit(shape);
+        let tau = std::f64::consts::TAU;
+        let mut q: SpeciesState<f64, StoreF64> = SpeciesState::zeros(shape);
+        q.set_prim_field(&domain, &eos, |pos| {
+            let rho = 1.0 + 0.4 * (tau * pos[0]).sin();
+            MixPrim::new(
+                [a0 * rho, (1.0 - a0) * rho],
+                [amp * (tau * pos[0]).cos(), 0.0, 0.0],
+                1.0 + 0.2 * (tau * 2.0 * pos[0]).cos(),
+                a0,
+            )
+        });
+        igr_species::bc::fill_ghosts(
+            &mut q,
+            &domain,
+            &igr_species::SpeciesBcSet::all_periodic(),
+            &eos,
+            0.0,
+        );
+        let sigma: Field<f64, StoreF64> = Field::zeros(shape);
+        let params = FluxParams2::new(&q, &sigma, &domain, eos, 0.0, 0.0, ReconOrder::Fifth, false);
+        let mut rhs = SpeciesState::zeros(shape);
+        accumulate_fluxes2(&params, &mut rhs);
+        let m = rhs.field(I_A).max_interior(|x| x.abs());
+        prop_assert!(m < 1e-11, "uniform-α residual {m}");
+    }
+}

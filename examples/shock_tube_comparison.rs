@@ -1,0 +1,69 @@
+//! Shock-tube face-off: IGR vs the WENO5+HLLC baseline vs the exact
+//! solution, on the same grid — the numerics comparison behind the paper's
+//! "forego nonlinear shock capturing" claim.
+//!
+//! ```bash
+//! cargo run --release --example shock_tube_comparison
+//! ```
+
+use igr::baseline::exact_riemann::{ExactRiemann, PrimitiveState};
+use igr::prelude::*;
+use igr_app::io::primitive_profiles;
+use std::time::Instant;
+
+fn l1_vs_exact(rho: &[f64], exact: &ExactRiemann, t: f64) -> f64 {
+    let n = rho.len();
+    rho.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let x = (i as f64 + 0.5) / n as f64;
+            (r - exact.sample((x - 0.5) / t).rho).abs()
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+fn main() {
+    let n = 512;
+    let t_end = 0.2;
+    let case = cases::sod(n);
+    let exact = ExactRiemann::solve(
+        PrimitiveState::new(1.0, 0.0, 1.0),
+        PrimitiveState::new(0.125, 0.0, 0.1),
+        case.gamma,
+    );
+
+    println!("Sod tube, {n} cells, t = {t_end}\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "scheme", "steps", "L1(rho)", "wall [ms]"
+    );
+
+    // IGR: linear 5th-order + LF + Σ.
+    let mut igr = case.igr_solver::<f64, StoreF64>();
+    let start = Instant::now();
+    let steps = igr.run_until(t_end, 100_000).unwrap();
+    let wall_igr = start.elapsed().as_secs_f64() * 1e3;
+    let (rho_igr, _, _) = primitive_profiles(&igr.q, case.gamma);
+    let err_igr = l1_vs_exact(&rho_igr, &exact, t_end);
+    println!("{:<14} {:>10} {:>12.4e} {:>12.1}", "IGR", steps, err_igr, wall_igr);
+
+    // Baseline: WENO5-JS + HLLC.
+    let mut weno = case.weno_solver::<f64, StoreF64>();
+    let start = Instant::now();
+    let steps = weno.run_until(t_end, 100_000).unwrap();
+    let wall_weno = start.elapsed().as_secs_f64() * 1e3;
+    let (rho_weno, _, _) = primitive_profiles(&weno.q, case.gamma);
+    let err_weno = l1_vs_exact(&rho_weno, &exact, t_end);
+    println!("{:<14} {:>10} {:>12.4e} {:>12.1}", "WENO5+HLLC", steps, err_weno, wall_weno);
+
+    println!(
+        "\nwall-time ratio (WENO/IGR): {:.2}x   [Table 3's headline is ~4x on GPUs]",
+        wall_weno / wall_igr
+    );
+    println!(
+        "accuracy: both capture the solution (IGR's L1 includes its designed smooth\n\
+         shock broadening; WENO keeps the front sharper at higher per-step cost)."
+    );
+    assert!(err_igr < 0.02 && err_weno < 0.02);
+}

@@ -1,0 +1,77 @@
+//! Fig. 5 as a runnable demo: the three-engine plume at FP64, FP32, and
+//! FP16-storage precision under IGR, plus the FP64 baseline — showing that
+//! IGR tolerates reduced precision while the storage rounding of FP16 seeds
+//! flow instabilities earlier.
+//!
+//! ```bash
+//! cargo run --release --example three_engine_precision
+//! ```
+
+use igr::prelude::*;
+
+fn run<S: igr::prec::Storage<f32>>(case: &CaseSetup, steps: usize) -> (bool, f64) {
+    let mut solver = case.igr_solver::<f32, S>();
+    for _ in 0..steps {
+        if solver.step().is_err() {
+            return (false, f64::NAN);
+        }
+    }
+    let rho_max = solver.q.rho.max_interior(|x| x as f64);
+    (true, rho_max)
+}
+
+fn main() {
+    let n = 40;
+    let steps = 50;
+    let case = cases::three_engine_2d(n, 1e-4, 7);
+    println!(
+        "three-engine array, {}x{} cells, {} steps, smooth random seed noise\n",
+        2 * n,
+        n,
+        steps
+    );
+
+    // FP64 reference.
+    let mut ref64 = case.igr_solver::<f64, StoreF64>();
+    let mut ok64 = true;
+    for _ in 0..steps {
+        if ref64.step().is_err() {
+            ok64 = false;
+            break;
+        }
+    }
+    let rho64 = ref64.q.rho.max_interior(|x| x);
+
+    let (ok32, rho32) = run::<StoreF32>(&case, steps);
+    let (ok16, rho16) = run::<StoreF16>(&case, steps);
+
+    // Baseline at FP64.
+    let mut weno = case.weno_solver::<f64, StoreF64>();
+    let mut okw = true;
+    for _ in 0..steps {
+        if weno.step().is_err() {
+            okw = false;
+            break;
+        }
+    }
+
+    println!("{:<24} {:>8} {:>14}", "configuration", "stable", "max rho");
+    println!("{:<24} {:>8} {:>14.6}", "IGR FP64", ok64, rho64);
+    println!("{:<24} {:>8} {:>14.6}", "IGR FP32", ok32, rho32);
+    println!("{:<24} {:>8} {:>14.6}", "IGR FP16 storage", ok16, rho16);
+    println!(
+        "{:<24} {:>8} {:>14.6}",
+        "WENO+HLLC FP64",
+        okw,
+        weno.q.rho.max_interior(|x| x)
+    );
+
+    assert!(ok64 && ok32 && ok16, "IGR must be stable at every precision");
+    let d32 = (rho32 - rho64).abs();
+    let d16 = (rho16 - rho64).abs();
+    println!(
+        "\nmax-density deviation from FP64: FP32 {d32:.2e}, FP16 {d16:.2e}  \
+         (paper: FP32 ~ FP64; FP16 differs visibly via earlier instability onset)"
+    );
+    assert!(d32 <= d16 + 1e-12, "FP32 must track FP64 at least as well as FP16");
+}

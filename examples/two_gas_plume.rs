@@ -1,0 +1,123 @@
+//! Two-gas engine plume: hot exhaust species into ambient air.
+//!
+//! The single-fluid demonstrations of the paper model exhaust and ambient
+//! gas with one γ; §3 notes that "tracking the mixture ratios of different
+//! gases" is the natural extension. Here three Mach-4 engines exhaust a
+//! γ = 1.25 combustion-product species (fluid 2) into γ = 1.4 air
+//! (fluid 1), and the volume fraction tags the plume so mixing can be
+//! quantified directly — no passive tracer needed.
+//!
+//! ```bash
+//! cargo run --release --example two_gas_plume
+//! ```
+
+use igr::prec::Real;
+use igr::prelude::*;
+use igr::species::bc::SpeciesBc;
+use igr_app::io::write_csv;
+use std::sync::Arc;
+
+fn main() {
+    let n = 128;
+    let shape = GridShape::new(2 * n, n, 1, 3);
+    let domain = Domain::new([-1.0, 0.0, 0.0], [1.0, 1.0, 1.0], shape);
+
+    // Fluid 1: ambient air. Fluid 2: exhaust products (lower gamma).
+    let eos = MixEos { gamma1: 1.4, gamma2: 1.25 };
+
+    // Three engines along the y = 0 face, exhausting upward at Mach 4
+    // (relative to the exhaust sound speed), under-expanded 2:1.
+    let centers = [-0.3f64, 0.0, 0.3];
+    let radius = 0.06;
+    let dx = domain.dx(Axis::X);
+    let lip = 2.0 * dx;
+    let exhaust_rho = 0.5;
+    let exhaust_p = 2.0;
+    let mach = 4.0;
+    let u_jet = mach * (eos.gamma2 * exhaust_p / exhaust_rho).sqrt();
+    let ambient = MixPrim::pure1(1.0, [0.0; 3], 1.0);
+
+    let inflow = Arc::new(move |pos: [f64; 3], _t: f64| {
+        let d = centers
+            .iter()
+            .map(|c| (pos[0] - c).abs())
+            .fold(f64::INFINITY, f64::min);
+        // Smooth nozzle lip: blend exhaust (fluid 2) into ambient (fluid 1).
+        let s = 0.5 * (1.0 - ((d - radius) / lip).tanh());
+        let a = 1.0 - s; // air fraction
+        MixPrim::new(
+            [a * 1.0, s * exhaust_rho],
+            [0.0, s * u_jet, 0.0],
+            1.0 + s * (exhaust_p - 1.0),
+            a,
+        )
+    });
+
+    let cfg = SpeciesConfig {
+        eos,
+        bc: SpeciesBcSet::all_outflow().with_face(Axis::Y, 0, SpeciesBc::InflowProfile(inflow)),
+        ..Default::default()
+    };
+
+    let mut q = SpeciesState::zeros(shape);
+    q.set_prim_field(&domain, &eos, |_| ambient);
+    let mut solver = species_solver::<f64, StoreF64>(cfg, domain, q);
+    println!(
+        "two-gas plume: {}x{} cells, u_jet = {:.2} (Mach {mach}), {} arrays",
+        2 * n,
+        n,
+        u_jet,
+        solver.memory_report().entries.len(),
+    );
+
+    // March and report the exhaust inventory and plume front.
+    let eos_c = solver.cfg.eos;
+    println!("\n{:>6} {:>8} {:>14} {:>12}", "t", "steps", "exhaust mass", "front y");
+    for mark in [0.02, 0.04, 0.06, 0.08, 0.10] {
+        solver.run_until(mark, 200_000).expect("plume solve failed");
+        let totals = solver.q.totals(solver.domain());
+        // Plume front: highest y where exhaust fraction crosses 10%.
+        let mut front = 0.0f64;
+        for j in (0..shape.ny as i32).rev() {
+            let mut found = false;
+            for i in 0..shape.nx as i32 {
+                let pr = solver.q.prim_at(i, j, 0, &eos_c);
+                if 1.0 - pr.alpha.to_f64() > 0.1 {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                front = domain.center(Axis::Y, j);
+                break;
+            }
+        }
+        println!(
+            "{:>6.2} {:>8} {:>14.6} {:>12.4}",
+            solver.t(),
+            solver.steps_taken(),
+            totals[1], // fluid-2 (exhaust) mass
+            front
+        );
+    }
+    assert!(solver.q.find_non_finite().is_none());
+
+    // Mixing profile: exhaust fraction averaged over x, per height y.
+    let rows: Vec<Vec<f64>> = (0..shape.ny as i32)
+        .map(|j| {
+            let mut mean_ex = 0.0;
+            let mut max_ex = 0.0f64;
+            for i in 0..shape.nx as i32 {
+                let ex = 1.0 - solver.q.prim_at(i, j, 0, &eos_c).alpha.to_f64();
+                mean_ex += ex;
+                max_ex = max_ex.max(ex);
+            }
+            mean_ex /= shape.nx as f64;
+            vec![domain.center(Axis::Y, j), mean_ex, max_ex]
+        })
+        .collect();
+    write_csv("two_gas_plume_mixing.csv", &["y", "mean_exhaust", "max_exhaust"], &rows)
+        .expect("csv write failed");
+    println!("\nmixing profile written to two_gas_plume_mixing.csv");
+    println!("OK: two-species plume ran stably; volume fraction tags the exhaust.");
+}

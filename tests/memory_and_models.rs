@@ -1,0 +1,114 @@
+//! Cross-crate consistency: the performance models' hardcoded layout
+//! constants must match what the real solvers actually allocate, and the
+//! measured scheme-cost ratios must point the same way as the models.
+
+use igr::perf::{CapacityModel, MemoryLayout};
+use igr::prelude::*;
+
+#[test]
+fn igr_memory_report_matches_the_17_plus_jacobi_layout() {
+    let case = cases::single_jet_3d(8);
+    let solver = case.igr_solver::<f64, StoreF64>();
+    let report = solver.memory_report();
+    let n_total = case.domain.shape.n_total();
+    // 18 arrays with Jacobi (the paper's 17 + one Σ copy).
+    assert_eq!(report.total_scalars(), 18 * n_total);
+    // Gauss–Seidel drops to exactly 17 (the paper's headline count).
+    let mut cfg = case.igr_config();
+    cfg.elliptic = igr::core::EllipticKind::GaussSeidel;
+    let gs = igr_core::solver::igr_solver::<f64, StoreF64>(cfg, case.domain, case.init_state());
+    assert_eq!(gs.memory_report().total_scalars(), 17 * n_total);
+}
+
+#[test]
+fn weno_memory_report_matches_the_65_array_layout() {
+    // The capacity model's `weno_in_core(…)` constant (65 arrays in 3-D)
+    // must equal the real allocation count of the staged scheme.
+    let case = cases::single_jet_3d(8);
+    let solver = case.weno_solver::<f64, StoreF64>();
+    let report = solver.memory_report();
+    let n_total = case.domain.shape.n_total();
+    let layout = MemoryLayout::weno_in_core(8.0);
+    assert_eq!(
+        report.total_scalars(),
+        layout.device_arrays as usize * n_total,
+        "igr-perf's WENO layout constant drifted from igr-baseline's allocations"
+    );
+}
+
+#[test]
+fn memory_footprint_ratio_drives_the_capacity_gap() {
+    // End-to-end: take the *real* bytes/cell of both solvers, push them
+    // through the capacity model, and confirm the Fig. 8-style gap.
+    let case = cases::single_jet_3d(8);
+    let igr_rep = case.igr_solver::<f64, StoreF64>().memory_report();
+    let weno_rep = case.weno_solver::<f64, StoreF64>().memory_report();
+    let hbm = 64u64 << 30;
+    let igr_cells = igr_rep.max_cells_in(hbm as usize);
+    let weno_cells = weno_rep.max_cells_in(hbm as usize);
+    let ratio = igr_cells as f64 / weno_cells as f64;
+    assert!(ratio > 3.0, "in-core capacity ratio {ratio:.2}");
+    // With FP16 storage and the RK buffer on the host, IGR's effective
+    // device footprint shrinks another (8/2)x(17/12) => the paper's ~25x.
+    let unified_fp16 =
+        CapacityModel::new(MemoryLayout::igr_unified_12_17(2.0)).max_cells_per_device(hbm, hbm);
+    let full_ratio = unified_fp16 / weno_cells as f64;
+    assert!(
+        full_ratio > 15.0,
+        "unified+FP16 vs FP64 in-core baseline: {full_ratio:.1}x (paper: 25x)"
+    );
+}
+
+#[test]
+fn measured_scheme_cost_ordering_matches_the_grind_model() {
+    // The model says WENO costs ~4-5x IGR per cell-step; the measured CPU
+    // ratio must at least preserve the ordering with a solid margin.
+    let case = cases::single_jet_3d(12);
+    let gi = {
+        let mut s = case.igr_solver::<f64, StoreF64>();
+        igr::app::measure_grind(&mut s, 1, 2)
+    };
+    let gw = {
+        let mut s = case.weno_solver::<f64, StoreF64>();
+        igr::app::measure_grind(&mut s, 1, 2)
+    };
+    let measured = gw.ns_per_cell_step / gi.ns_per_cell_step;
+    assert!(
+        measured > 1.5,
+        "baseline must be substantially slower per cell-step: {measured:.2}x"
+    );
+}
+
+#[test]
+fn paper_record_arithmetic_is_reproduced() {
+    use igr::perf::System;
+    // 200T cells, 1Q DoF, 20x prior record.
+    let cells = 1386f64.powi(3) * 75264.0;
+    assert!(cells > 200e12);
+    assert!(cells * igr::core::DOF_PER_CELL as f64 > 1e15);
+    assert!((cells / 10e12) > 20.0);
+    // Full-system capacity supports it.
+    let m = CapacityModel::new(MemoryLayout::igr_unified_12_17(2.0));
+    assert!(m.max_cells_on(&System::FRONTIER) > cells * 0.99);
+}
+
+#[test]
+fn fp16_halo_exchange_is_bit_transparent() {
+    // Cross-crate: igr-comm must move f16 payloads without perturbation.
+    use igr::comm::{CommData, Universe};
+    let vals: Vec<f16> = (0..64).map(|i| f16::from_f32(i as f32 * 0.37 - 5.0)).collect();
+    let sent = vals.clone();
+    let out = Universe::run(2, move |mut comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 1, &sent);
+            Vec::new()
+        } else {
+            comm.recv::<f16>(0, 1)
+        }
+    });
+    assert_eq!(out[1].len(), 64);
+    for (a, b) in vals.iter().zip(&out[1]) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    let _ = <f16 as CommData>::to_bytes(&vals);
+}

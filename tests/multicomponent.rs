@@ -1,0 +1,132 @@
+//! Cross-crate integration: the two-fluid solver through the facade,
+//! including reduced-precision storage (the paper's FP32/FP16-storage modes
+//! apply to the multicomponent extension unchanged, because IGR's numerics
+//! stay well conditioned — no WENO smoothness indicators anywhere).
+
+use igr::prec::Real;
+use igr::prelude::*;
+
+fn helium_slab_case<R: Real, S: igr::prec::Storage<R>>(
+    n: usize,
+) -> (SpeciesConfig, Domain, SpeciesState<R, S>) {
+    let shape = GridShape::new(n, 1, 1, 3);
+    let domain = Domain::unit(shape);
+    let cfg = SpeciesConfig::default();
+    let mut q = SpeciesState::zeros(shape);
+    let w = 4.0 / n as f64;
+    q.set_prim_field(&domain, &cfg.eos, |p| {
+        let he = 0.5 * (((p[0] - 0.35) / w).tanh() - ((p[0] - 0.65) / w).tanh());
+        let a = (1.0 - he).clamp(0.0, 1.0);
+        MixPrim::new([a * 1.0, (1.0 - a) * 0.138], [1.0, 0.0, 0.0], 1.0, a)
+    });
+    (cfg, domain, q)
+}
+
+#[test]
+fn species_solver_runs_at_fp32_storage() {
+    let (cfg, domain, q) = helium_slab_case::<f32, StoreF32>(96);
+    let mut s = species_solver(cfg, domain, q);
+    s.run_until(0.1, 10_000).unwrap();
+    assert!(s.q.find_non_finite().is_none());
+    // Pressure equilibrium holds to FP32 round-off, not just FP64.
+    let eos = s.cfg.eos;
+    for i in 0..96 {
+        let pr = s.q.prim_at(i, 0, 0, &eos);
+        assert!((pr.p - 1.0).abs() < 5e-4, "p at {i}: {}", pr.p);
+        assert!((pr.vel[0] - 1.0).abs() < 5e-4, "u at {i}: {}", pr.vel[0]);
+    }
+}
+
+#[test]
+fn species_solver_runs_at_fp16_storage() {
+    // FP16 storage / FP32 compute — the paper's mixed-precision mode — on a
+    // material-interface advection. Equilibrium now holds to binary16
+    // round-off (~1e-3 relative).
+    let (cfg, domain, q) = helium_slab_case::<f32, StoreF16>(96);
+    let mut s = species_solver(cfg, domain, q);
+    s.run_until(0.05, 10_000).unwrap();
+    assert!(s.q.find_non_finite().is_none());
+    let eos = s.cfg.eos;
+    for i in 0..96 {
+        let pr = s.q.prim_at(i, 0, 0, &eos);
+        assert!((pr.p - 1.0).abs() < 2e-2, "p at {i}: {}", pr.p);
+    }
+}
+
+#[test]
+fn species_and_single_fluid_agree_through_the_facade() {
+    // Same sanity check as the crate-level reduction test, but exercising
+    // the facade's re-exports end to end at a different resolution.
+    let n = 48;
+    let shape = GridShape::new(n, 1, 1, 3);
+    let domain = Domain::unit(shape);
+    let tau = std::f64::consts::TAU;
+
+    let mut q5: State<f64, StoreF64> = State::zeros(shape);
+    q5.set_prim_field(&domain, 1.4, |p| {
+        Prim::new(1.0, [0.3 * (tau * p[0]).sin(), 0.0, 0.0], 1.0)
+    });
+    let mut s5 = igr_solver(IgrConfig::default(), domain, q5.clone());
+
+    let q7 = SpeciesState::from_single_fluid(&q5, 0.5);
+    let cfg7 = SpeciesConfig { eos: MixEos::single(1.4), ..Default::default() };
+    let mut s7 = species_solver(cfg7, domain, q7);
+
+    s5.fixed_dt = Some(2e-3);
+    s7.fixed_dt = Some(2e-3);
+    for _ in 0..25 {
+        s5.step().unwrap();
+        s7.step().unwrap();
+    }
+    let eos = MixEos::single(1.4);
+    for i in 0..n as i32 {
+        let a = s5.q.prim_at(i, 0, 0, 1.4);
+        let b = s7.q.prim_at(i, 0, 0, &eos);
+        assert!((a.p - b.p).abs() < 1e-11);
+        assert!((a.vel[0] - b.vel[0]).abs() < 1e-11);
+    }
+}
+
+#[test]
+fn exhaust_mass_grows_linearly_with_inflow() {
+    // A single two-gas jet: the fluid-2 inventory added per unit time is the
+    // inflow mass flux; check the measured growth against it.
+    use igr::species::bc::SpeciesBc;
+    let n = 64;
+    let shape = GridShape::new(n, n, 1, 3);
+    let domain = Domain::unit(shape);
+    let eos = MixEos { gamma1: 1.4, gamma2: 1.25 };
+    let jet = MixPrim::pure2(0.5, [0.0, 2.0, 0.0], 1.0);
+    let cfg = SpeciesConfig {
+        eos,
+        bc: SpeciesBcSet::all_outflow().with_face(Axis::Y, 0, SpeciesBc::Inflow(jet)),
+        ..Default::default()
+    };
+    let mut q = SpeciesState::zeros(shape);
+    q.set_prim_field(&domain, &eos, |_| MixPrim::pure1(1.0, [0.0; 3], 1.0));
+    let mut s = species_solver::<f64, StoreF64>(cfg, domain, q);
+    let m0 = s.q.totals(s.domain())[1];
+    s.run_until(0.05, 10_000).unwrap();
+    let m1 = s.q.totals(s.domain())[1];
+    // Nominal inflow flux over the face: rho*v*(width 1)*t = 0.5*2*0.05 =
+    // 0.05. The Dirichlet ghost state meets the interior through the
+    // numerical flux (startup compression + Lax–Friedrichs averaging), so
+    // the realized flux sits below the nominal value but on the same scale.
+    let nominal = 0.05;
+    let measured = m1 - m0;
+    assert!(
+        measured > 0.5 * nominal && measured < 1.2 * nominal,
+        "exhaust mass gain {measured} vs nominal {nominal}"
+    );
+    // Fluid-1 (air) inventory may change only through the *open* boundaries
+    // — the jet entrains a little ambient air through the zero-gradient side
+    // faces — so its drift stays on the entrainment scale, far below the
+    // injected exhaust mass.
+    let air0 = 1.0; // rho = 1 over the unit box initially
+    let air1 = s.q.totals(s.domain())[0];
+    assert!(
+        (air1 - air0).abs() < 0.5 * measured,
+        "air drift {} should stay below the exhaust gain {measured}",
+        air1 - air0
+    );
+}

@@ -1,0 +1,94 @@
+//! Physics validation: both schemes against the exact Riemann solution.
+
+use igr::baseline::exact_riemann::{ExactRiemann, PrimitiveState};
+use igr::prelude::*;
+use igr_app::io::primitive_profiles;
+
+fn sod_exact() -> ExactRiemann {
+    ExactRiemann::solve(
+        PrimitiveState::new(1.0, 0.0, 1.0),
+        PrimitiveState::new(0.125, 0.0, 0.1),
+        1.4,
+    )
+}
+
+fn l1_rho(rho: &[f64], exact: &ExactRiemann, t: f64) -> f64 {
+    let n = rho.len();
+    rho.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let x = (i as f64 + 0.5) / n as f64;
+            (r - exact.sample((x - 0.5) / t).rho).abs()
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+#[test]
+fn igr_matches_exact_sod_solution() {
+    let case = cases::sod(256);
+    let mut solver = case.igr_solver::<f64, StoreF64>();
+    solver.run_until(0.2, 50_000).unwrap();
+    let (rho, _, _) = primitive_profiles(&solver.q, case.gamma);
+    let err = l1_rho(&rho, &sod_exact(), 0.2);
+    assert!(err < 0.02, "IGR L1 {err}");
+}
+
+#[test]
+fn weno_hllc_matches_exact_sod_solution() {
+    let case = cases::sod_sharp(256);
+    let mut solver = case.weno_solver::<f64, StoreF64>();
+    solver.run_until(0.2, 50_000).unwrap();
+    let (rho, _, _) = primitive_profiles(&solver.q, case.gamma);
+    let err = l1_rho(&rho, &sod_exact(), 0.2);
+    assert!(err < 0.01, "WENO L1 {err}");
+}
+
+#[test]
+fn igr_error_decreases_with_resolution() {
+    let err_at = |n: usize| -> f64 {
+        let case = cases::sod(n);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        solver.run_until(0.2, 100_000).unwrap();
+        let (rho, _, _) = primitive_profiles(&solver.q, case.gamma);
+        l1_rho(&rho, &sod_exact(), 0.2)
+    };
+    let coarse = err_at(128);
+    let fine = err_at(512);
+    assert!(
+        fine < 0.6 * coarse,
+        "refinement must reduce the error: {coarse} -> {fine}"
+    );
+}
+
+#[test]
+fn igr_star_region_plateaus_are_correct() {
+    // The intermediate states (not just the integrated error) must match:
+    // density plateau between contact and shock, and the contact velocity.
+    let case = cases::sod(512);
+    let mut solver = case.igr_solver::<f64, StoreF64>();
+    solver.run_until(0.2, 100_000).unwrap();
+    let g = case.gamma;
+    // x = 0.80: inside the right star region (between contact ~0.685 and
+    // shock ~0.85 at t=0.2).
+    let i = (0.80 * 512.0) as i32;
+    let pr = solver.q.prim_at(i, 0, 0, g);
+    assert!((pr.p - 0.30313).abs() < 0.01, "p* {}", pr.p);
+    assert!((pr.vel[0] - 0.92745).abs() < 0.02, "u* {}", pr.vel[0]);
+    assert!((pr.rho - 0.26557).abs() < 0.02, "rho*R {}", pr.rho);
+}
+
+#[test]
+fn both_schemes_agree_with_each_other_downstream() {
+    // Independent discretizations converging to the same weak solution.
+    let case_i = cases::sod(256);
+    let mut igr = case_i.igr_solver::<f64, StoreF64>();
+    igr.run_until(0.15, 50_000).unwrap();
+    let case_w = cases::sod(256);
+    let mut weno = case_w.weno_solver::<f64, StoreF64>();
+    weno.run_until(0.15, 50_000).unwrap();
+    let (ri, _, _) = primitive_profiles(&igr.q, 1.4);
+    let (rw, _, _) = primitive_profiles(&weno.q, 1.4);
+    let l1: f64 = ri.iter().zip(&rw).map(|(a, b)| (a - b).abs()).sum::<f64>() / 256.0;
+    assert!(l1 < 0.02, "cross-scheme L1 {l1}");
+}

@@ -1,0 +1,135 @@
+//! Viscous Navier–Stokes validation (eq. 5's stress tensor).
+//!
+//! A small-amplitude transverse shear wave `v(x) = ε sin(2πx)` in a uniform
+//! gas decays diffusively: `v(x, t) = ε e^{−μ (2π)² t / ρ} sin(2πx)`, with
+//! no acoustic coupling at O(ε). This pins the shear-viscosity path of both
+//! schemes quantitatively, not just conservationally.
+
+use igr::prelude::*;
+
+fn shear_wave_state(
+    n: usize,
+    eps: f64,
+) -> (Domain, State<f64, StoreF64>) {
+    let shape = GridShape::new(n, 1, 1, 3);
+    let domain = Domain::unit(shape);
+    let mut q = State::zeros(shape);
+    let tau = std::f64::consts::TAU;
+    q.set_prim_field(&domain, 1.4, |p| {
+        Prim::new(1.0, [0.0, eps * (tau * p[0]).sin(), 0.0], 1.0)
+    });
+    (domain, q)
+}
+
+/// Amplitude of the transverse velocity after time `t_end`.
+fn decayed_amplitude_igr(mu: f64, t_end: f64) -> f64 {
+    let n = 64;
+    let eps = 1e-4;
+    let (domain, q) = shear_wave_state(n, eps);
+    let cfg = IgrConfig {
+        mu,
+        alpha_factor: 0.0, // isolate viscosity
+        sweeps: 0,
+        ..IgrConfig::default()
+    };
+    let mut solver = igr_core::solver::igr_solver(cfg, domain, q);
+    solver.run_until(t_end, 200_000).unwrap();
+    let mut amp = 0.0f64;
+    for i in 0..n as i32 {
+        let pr = solver.q.prim_at(i, 0, 0, 1.4);
+        amp = amp.max(pr.vel[1].abs());
+    }
+    amp / eps
+}
+
+#[test]
+fn shear_wave_decays_at_the_analytic_rate() {
+    let mu = 0.02;
+    let t_end = 0.5;
+    let measured = decayed_amplitude_igr(mu, t_end);
+    let tau = std::f64::consts::TAU;
+    let exact = (-mu * tau * tau * t_end).exp();
+    assert!(
+        (measured - exact).abs() < 0.02 * exact,
+        "decay factor {measured:.5} vs analytic {exact:.5}"
+    );
+}
+
+#[test]
+fn decay_rate_scales_linearly_with_viscosity() {
+    let t_end = 0.3;
+    let tau = std::f64::consts::TAU;
+    let a1 = decayed_amplitude_igr(0.01, t_end);
+    let a2 = decayed_amplitude_igr(0.02, t_end);
+    // ln(a) proportional to mu.
+    let r1 = -a1.ln() / (0.01 * tau * tau * t_end);
+    let r2 = -a2.ln() / (0.02 * tau * tau * t_end);
+    assert!((r1 - 1.0).abs() < 0.05, "mu=0.01 normalized rate {r1}");
+    assert!((r2 - 1.0).abs() < 0.05, "mu=0.02 normalized rate {r2}");
+}
+
+#[test]
+fn inviscid_shear_wave_does_not_decay() {
+    let measured = decayed_amplitude_igr(0.0, 0.5);
+    assert!(
+        measured > 0.995,
+        "zero viscosity must preserve the shear wave: {measured}"
+    );
+}
+
+#[test]
+fn weno_baseline_matches_the_same_viscous_decay() {
+    // The baseline shares the viscous formulation through its own staged
+    // gradients; it must produce the same decay physics.
+    let n = 64;
+    let eps = 1e-4;
+    let mu = 0.02;
+    let t_end = 0.5;
+    let (domain, q) = shear_wave_state(n, eps);
+    let cfg = igr::baseline::scheme::WenoConfig { mu, ..Default::default() };
+    let mut solver = igr::baseline::scheme::weno_solver(cfg, domain, q);
+    solver.run_until(t_end, 200_000).unwrap();
+    let mut amp = 0.0f64;
+    for i in 0..n as i32 {
+        let pr = solver.q.prim_at(i, 0, 0, 1.4);
+        amp = amp.max(pr.vel[1].abs());
+    }
+    let tau = std::f64::consts::TAU;
+    let exact = (-mu * tau * tau * t_end).exp();
+    assert!(
+        (amp / eps - exact).abs() < 0.02 * exact,
+        "baseline decay {:.5} vs analytic {exact:.5}",
+        amp / eps
+    );
+}
+
+#[test]
+fn bulk_viscosity_damps_acoustic_waves() {
+    // An acoustic wave decays under bulk viscosity; shear viscosity alone
+    // also damps it (4/3 mu effective), but zeta must add damping.
+    let run = |zeta: f64| -> f64 {
+        let case = cases::acoustic_packet(64, 4, 1e-4);
+        let cfg = IgrConfig {
+            zeta,
+            alpha_factor: 0.0,
+            sweeps: 0,
+            bc: case.bc.clone(),
+            ..IgrConfig::default()
+        };
+        let mut solver =
+            igr_core::solver::igr_solver::<f64, StoreF64>(cfg, case.domain, case.init_state());
+        solver.run_until(0.3, 200_000).unwrap();
+        let mut amp = 0.0f64;
+        for i in 0..64 {
+            let pr = solver.q.prim_at(i, 0, 0, 1.4);
+            amp = amp.max((pr.rho - 1.0).abs());
+        }
+        amp
+    };
+    let a_inviscid = run(0.0);
+    let a_bulk = run(0.05);
+    assert!(
+        a_bulk < 0.6 * a_inviscid,
+        "bulk viscosity must damp the acoustic packet: {a_bulk} vs {a_inviscid}"
+    );
+}
