@@ -59,10 +59,7 @@ impl BaseHeatingReport {
         let axes = [Axis::X, Axis::Y, Axis::Z];
 
         // Iterate the c = 0 layer along the flow axis.
-        let (na, nb) = (
-            shape.extent(axes[pa]) as i32,
-            shape.extent(axes[pb]) as i32,
-        );
+        let (na, nb) = (shape.extent(axes[pa]) as i32, shape.extent(axes[pb]) as i32);
         let mut rep = BaseHeatingReport::default();
         let mut backflow_cells = 0usize;
         let mut h0_flux = 0.0f64;
@@ -107,8 +104,7 @@ impl BaseHeatingReport {
             let area = rep.cells_sampled as f64 * da;
             if rep.recirculation_flux > 0.0 {
                 rep.mean_backflow_enthalpy = h0_flux / rep.recirculation_flux;
-                rep.footprint_centroid =
-                    [cx / rep.recirculation_flux, cy / rep.recirculation_flux];
+                rep.footprint_centroid = [cx / rep.recirculation_flux, cy / rep.recirculation_flux];
             }
             rep.recirculation_flux = rep.recirculation_flux * da / area;
         }
@@ -185,7 +181,10 @@ mod tests {
         let big = plane_inflow(single_engine(0.5));
         let rs = BaseHeatingReport::measure(&q, &domain, 1.4, &small);
         let rb = BaseHeatingReport::measure(&q, &domain, 1.4, &big);
-        assert!(rb.cells_sampled < rs.cells_sampled, "bigger engine, smaller base");
+        assert!(
+            rb.cells_sampled < rs.cells_sampled,
+            "bigger engine, smaller base"
+        );
     }
 
     #[test]
@@ -228,7 +227,10 @@ mod tests {
         });
         let inflow = plane_inflow(single_engine(0.05));
         let rep = BaseHeatingReport::measure(&q, &domain, 1.4, &inflow);
-        assert!(rep.footprint_centroid[0].abs() < 1e-9, "symmetric footprint");
+        assert!(
+            rep.footprint_centroid[0].abs() < 1e-9,
+            "symmetric footprint"
+        );
     }
 
     #[test]

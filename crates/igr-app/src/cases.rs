@@ -17,7 +17,7 @@ use std::sync::Arc;
 /// comparisons apples-to-apples.
 #[derive(Clone)]
 pub struct CaseSetup {
-    pub name: &'static str,
+    pub name: String,
     pub domain: Domain,
     pub gamma: f64,
     pub mu: f64,
@@ -103,7 +103,7 @@ pub fn sod(n: usize) -> CaseSetup {
 pub fn sod_sharp(n: usize) -> CaseSetup {
     let shape = GridShape::new(n, 1, 1, 3);
     CaseSetup {
-        name: "sod",
+        name: "sod".into(),
         domain: Domain::unit(shape),
         gamma: 1.4,
         mu: 0.0,
@@ -125,14 +125,18 @@ pub fn sod_sharp(n: usize) -> CaseSetup {
 pub fn steepening_wave(n: usize, amp: f64) -> CaseSetup {
     let shape = GridShape::new(n, 1, 1, 3);
     CaseSetup {
-        name: "steepening-wave",
+        name: "steepening-wave".into(),
         domain: Domain::unit(shape),
         gamma: 1.4,
         mu: 0.0,
         zeta: 0.0,
         bc: BcSet::all_periodic(),
         init: Arc::new(move |p| {
-            Prim::new(1.0, [amp * (std::f64::consts::TAU * p[0]).sin(), 0.0, 0.0], 1.0)
+            Prim::new(
+                1.0,
+                [amp * (std::f64::consts::TAU * p[0]).sin(), 0.0, 0.0],
+                1.0,
+            )
         }),
         jet_inflow: None,
     }
@@ -147,7 +151,7 @@ pub fn shu_osher(n: usize) -> CaseSetup {
     let domain = Domain::new([-5.0, 0.0, 0.0], [5.0, 1.0, 1.0], shape);
     let w = 2.0 * domain.dx(Axis::X); // admissible-data smoothing, as in sod()
     CaseSetup {
-        name: "shu-osher",
+        name: "shu-osher".into(),
         domain,
         gamma: 1.4,
         mu: 0.0,
@@ -173,7 +177,7 @@ pub fn acoustic_packet(n: usize, k: usize, amp: f64) -> CaseSetup {
     let shape = GridShape::new(n, 1, 1, 3);
     let gamma = 1.4;
     CaseSetup {
-        name: "acoustic-packet",
+        name: "acoustic-packet".into(),
         domain: Domain::unit(shape),
         gamma,
         mu: 0.0,
@@ -195,7 +199,7 @@ pub fn isentropic_vortex(n: usize) -> CaseSetup {
     let shape = GridShape::new(n, n, 1, 3);
     let gamma = 1.4;
     CaseSetup {
-        name: "isentropic-vortex",
+        name: "isentropic-vortex".into(),
         domain: Domain::new([-5.0, -5.0, 0.0], [5.0, 5.0, 1.0], shape),
         gamma,
         mu: 0.0,
@@ -226,7 +230,13 @@ pub fn isentropic_vortex(n: usize) -> CaseSetup {
 pub fn single_jet_3d(n: usize) -> CaseSetup {
     let shape = GridShape::new(2 * n, n, n, 3);
     let domain = Domain::new([0.0, -0.5, -0.5], [2.0, 0.5, 0.5], shape);
-    jet_case("single-jet-3d", domain, crate::jets::single_engine(0.125), (1, 2), 0)
+    jet_case(
+        "single-jet-3d",
+        domain,
+        crate::jets::single_engine(0.125),
+        (1, 2),
+        0,
+    )
 }
 
 /// The Fig. 5 configuration: three engines in a row, 2-D (one cell deep in
@@ -296,7 +306,11 @@ pub fn engine_row_2d(n: usize, n_engines: usize, conditions: JetConditions) -> C
     let domain = Domain::new([-1.0, 0.0, -0.5], [1.0, 1.0, 0.5], shape);
     // Fit the row into [-0.75, 0.75] regardless of count.
     let radius = (0.5 / n_engines as f64).min(0.08);
-    let pitch = if n_engines > 1 { 1.5 / (n_engines as f64 - 1.0) } else { 0.0 };
+    let pitch = if n_engines > 1 {
+        1.5 / (n_engines as f64 - 1.0)
+    } else {
+        0.0
+    };
     let engines = (0..n_engines)
         .map(|i| {
             let x = if n_engines == 1 {
@@ -345,18 +359,56 @@ pub fn super_heavy_engine_out(n: usize, out: &[usize]) -> CaseSetup {
     )
 }
 
+/// A 2-D jet case (one cell deep in z, exhausting along +y) with an
+/// arbitrary engine set and conditions — the campaign engine's entry point
+/// for derived scenarios (engine-out subsets, per-engine gimbal, altitude
+/// backpressure) that have no dedicated constructor above.
+pub fn engine_array_2d(
+    name: impl Into<String>,
+    n: usize,
+    engines: Vec<crate::jets::Engine>,
+    conditions: JetConditions,
+) -> CaseSetup {
+    let shape = GridShape::new(2 * n, n, 1, 3);
+    let domain = Domain::new([-1.0, 0.0, -0.5], [1.0, 1.0, 0.5], shape);
+    jet_case_with(name, domain, engines, (0, 2), 1, conditions)
+}
+
+/// A 3-D jet case (exhausting along +z from the z=0 face) with an arbitrary
+/// engine set and conditions — the campaign-engine entry point at
+/// Super-Heavy-like geometry.
+pub fn engine_array_3d(
+    name: impl Into<String>,
+    n: usize,
+    engines: Vec<crate::jets::Engine>,
+    conditions: JetConditions,
+) -> CaseSetup {
+    let shape = GridShape::new(n, n, n, 3);
+    let domain = Domain::new([-1.5, -1.5, 0.0], [1.5, 1.5, 3.0], shape);
+    jet_case_with(name, domain, engines, (0, 1), 2, conditions)
+}
+
 fn jet_case(
-    name: &'static str,
+    name: impl Into<String>,
     domain: Domain,
     engines: Vec<crate::jets::Engine>,
     plane_dims: (usize, usize),
     flow_dim: usize,
 ) -> CaseSetup {
-    jet_case_with(name, domain, engines, plane_dims, flow_dim, JetConditions::mach10())
+    jet_case_with(
+        name,
+        domain,
+        engines,
+        plane_dims,
+        flow_dim,
+        JetConditions::mach10(),
+    )
 }
 
-fn jet_case_with(
-    name: &'static str,
+/// Assemble a jet [`CaseSetup`]: ambient initial state, outflow everywhere
+/// except the engine-array inflow face.
+pub fn jet_case_with(
+    name: impl Into<String>,
     domain: Domain,
     engines: Vec<crate::jets::Engine>,
     plane_dims: (usize, usize),
@@ -375,7 +427,7 @@ fn jet_case_with(
     let bc = BcSet::all_outflow().with_face(flow_axis, 0, Bc::InflowProfile(inflow.clone()));
     let ambient = conditions.ambient;
     CaseSetup {
-        name,
+        name: name.into(),
         domain,
         gamma: conditions.gamma,
         mu: 0.0,
@@ -454,7 +506,11 @@ mod tests {
             let inflow = case.jet_inflow.as_ref().unwrap();
             assert_eq!(inflow.engines.len(), n_engines);
             for e in &inflow.engines {
-                assert!(e.center[0].abs() + e.radius <= 0.85, "engine at {:?}", e.center);
+                assert!(
+                    e.center[0].abs() + e.radius <= 0.85,
+                    "engine at {:?}",
+                    e.center
+                );
             }
         }
     }

@@ -101,12 +101,7 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Capture a snapshot of `q` (and optionally the scheme's Σ field) at
     /// time `t` / step `step`.
-    pub fn capture<R, S>(
-        q: &State<R, S>,
-        sigma: Option<&Field<R, S>>,
-        t: f64,
-        step: usize,
-    ) -> Self
+    pub fn capture<R, S>(q: &State<R, S>, sigma: Option<&Field<R, S>>, t: f64, step: usize) -> Self
     where
         R: Real,
         S: Storage<R>,
@@ -114,8 +109,7 @@ impl Checkpoint {
     {
         let shape = q.shape();
         let n_fields = 5 + usize::from(sigma.is_some());
-        let mut bytes =
-            Vec::with_capacity(HEADER + n_fields * shape.n_total() * S::Packed::WIDTH);
+        let mut bytes = Vec::with_capacity(HEADER + n_fields * shape.n_total() * S::Packed::WIDTH);
         bytes.extend_from_slice(MAGIC);
         bytes.push(S::Packed::TAG);
         bytes.push(u8::from(sigma.is_some()));
@@ -324,7 +318,10 @@ mod tests {
         let solver = case.igr_solver::<f64, StoreF64>();
         let ck = Checkpoint::capture(&solver.q, None, 0.0, 0);
         let mut wrong: State<f64, StoreF64> = State::zeros(GridShape::new(16, 1, 1, 3));
-        assert!(matches!(ck.restore(&mut wrong, None), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            ck.restore(&mut wrong, None),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -333,7 +330,10 @@ mod tests {
         let solver = case.igr_solver::<f64, StoreF64>();
         let ck = Checkpoint::capture(&solver.q, None, 0.0, 0);
         let mut wrong: State<f32, StoreF16> = State::zeros(case.domain.shape);
-        assert!(matches!(ck.restore(&mut wrong, None), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            ck.restore(&mut wrong, None),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -353,7 +353,10 @@ mod tests {
     fn garbage_file_is_refused() {
         let path = tmp("garbage.ckpt");
         std::fs::write(&path, b"not a checkpoint").unwrap();
-        assert!(matches!(Checkpoint::load(&path), Err(CheckpointError::BadMagic)));
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::BadMagic)
+        ));
     }
 
     use igr_core::State;

@@ -33,7 +33,9 @@ pub struct History {
 
 impl History {
     pub fn new() -> Self {
-        History { samples: Vec::new() }
+        History {
+            samples: Vec::new(),
+        }
     }
 
     /// Sample the state and append a record.
@@ -126,7 +128,10 @@ mod tests {
         let mut solver = case.igr_solver::<f64, StoreF64>();
         let mut hist = History::new();
         let s0 = hist.record(&solver.q, &case.domain, case.gamma, 0, 0.0);
-        assert!((s0.totals[0] - 1.0).abs() < 1e-12, "unit mass on the unit box");
+        assert!(
+            (s0.totals[0] - 1.0).abs() < 1e-12,
+            "unit mass on the unit box"
+        );
         assert!(s0.kinetic_energy > 0.0);
         assert!(s0.max_mach > 0.2 && s0.max_mach < 0.4, "0.3/c ~ 0.25");
         assert!(s0.min_rho > 0.99);
@@ -151,9 +156,21 @@ mod tests {
         let mut hist = History::new();
         hist.record(&solver.q, &case.domain, case.gamma, 0, 0.0);
         solver.run_until(0.5, 100_000).unwrap();
-        hist.record(&solver.q, &case.domain, case.gamma, solver.steps_taken(), solver.t());
-        let (a, b) = (hist.samples[0].kinetic_energy, hist.samples[1].kinetic_energy);
-        assert!(b < 0.8 * a, "shock must dissipate kinetic energy: {a} -> {b}");
+        hist.record(
+            &solver.q,
+            &case.domain,
+            case.gamma,
+            solver.steps_taken(),
+            solver.t(),
+        );
+        let (a, b) = (
+            hist.samples[0].kinetic_energy,
+            hist.samples[1].kinetic_energy,
+        );
+        assert!(
+            b < 0.8 * a,
+            "shock must dissipate kinetic energy: {a} -> {b}"
+        );
         // But total energy is conserved exactly.
         assert!(hist.drift(4) < 1e-12);
     }

@@ -27,6 +27,9 @@ impl GrindResult {
 /// cache warm, Σ warm start). Uses a fixed dt captured after warmup so the
 /// timed region is pure stepping, mirroring the paper's timer placement
 /// around time stepping only (§6.3).
+///
+/// Panics if a step fails; campaign-style batch runners that must survive
+/// diverging scenarios should use [`try_measure_grind`].
 pub fn measure_grind<R, S, Sch, G>(
     solver: &mut Solver<R, S, Sch, G>,
     warmup: usize,
@@ -38,26 +41,60 @@ where
     Sch: RhsScheme<R, S>,
     G: GhostOps<R, S>,
 {
+    try_measure_grind(solver, warmup, steps).expect("grind measurement step failed")
+}
+
+/// [`measure_grind`], but a failing step (NaN blow-up, invalid state) is
+/// returned as an error instead of panicking — one diverging scenario must
+/// not take down a whole ensemble campaign.
+pub fn try_measure_grind<R, S, Sch, G>(
+    solver: &mut Solver<R, S, Sch, G>,
+    warmup: usize,
+    steps: usize,
+) -> Result<GrindResult, igr_core::SolverError>
+where
+    R: Real,
+    S: Storage<R>,
+    Sch: RhsScheme<R, S>,
+    G: GhostOps<R, S>,
+{
     assert!(steps > 0);
-    solver.nan_check_every = 0;
+    // Check every warmup step (cheap insurance against bad initial data)...
+    solver.nan_check_every = 1;
     for _ in 0..warmup {
-        solver.step().expect("warmup step failed");
+        solver.step()?;
     }
+    // ...but keep the timed region check-free, like `measure_grind` always
+    // did, so the grind number stays a pure stepping cost. Divergence inside
+    // the timed window is caught by the explicit scan below.
+    solver.nan_check_every = 0;
     // Freeze dt so every timed step does identical work.
     solver.fixed_dt = Some(solver.stable_dt());
     let cells = solver.domain().shape.n_interior();
     let start = Instant::now();
     for _ in 0..steps {
-        solver.step().expect("timed step failed");
+        if let Err(e) = solver.step() {
+            // Unfreeze before surfacing the divergence: a caller that
+            // survives the error must not keep stepping on a stale dt.
+            solver.fixed_dt = None;
+            return Err(e);
+        }
     }
     let wall_s = start.elapsed().as_secs_f64();
     solver.fixed_dt = None;
-    GrindResult {
+    if let Some((var, pos)) = solver.q.find_non_finite() {
+        return Err(igr_core::SolverError::NonFinite {
+            step: solver.steps_taken(),
+            var,
+            pos,
+        });
+    }
+    Ok(GrindResult {
         ns_per_cell_step: wall_s * 1e9 / (steps as f64 * cells as f64),
         steps,
         cells,
         wall_s,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -55,7 +55,11 @@ pub fn line_profile<R: Real, S: Storage<R>>(
 pub fn plane_slice<R: Real, S: Storage<R>>(field: &Field<R, S>, k: i32) -> Vec<Vec<f64>> {
     let shape = field.shape();
     (0..shape.ny as i32)
-        .map(|j| (0..shape.nx as i32).map(|i| field.at(i, j, k).to_f64()).collect())
+        .map(|j| {
+            (0..shape.nx as i32)
+                .map(|i| field.at(i, j, k).to_f64())
+                .collect()
+        })
         .collect()
 }
 

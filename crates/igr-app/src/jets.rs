@@ -26,7 +26,11 @@ pub struct Engine {
 impl Engine {
     /// Axial (non-gimbaled) engine.
     pub fn new(center: [f64; 2], radius: f64) -> Self {
-        Engine { center, radius, gimbal: [0.0, 0.0] }
+        Engine {
+            center,
+            radius,
+            gimbal: [0.0, 0.0],
+        }
     }
 
     /// Tilt this engine's thrust vector by `angles` (radians, per in-plane
@@ -144,12 +148,18 @@ pub fn super_heavy_33(r_outer: f64) -> Vec<Engine> {
     let r_inner = 0.55 * r_outer;
     for i in 0..10 {
         let th = std::f64::consts::TAU * i as f64 / 10.0;
-        engines.push(Engine::new([r_inner * th.cos(), r_inner * th.sin()], radius));
+        engines.push(Engine::new(
+            [r_inner * th.cos(), r_inner * th.sin()],
+            radius,
+        ));
     }
     // 20 on the outer ring.
     for i in 0..20 {
         let th = std::f64::consts::TAU * i as f64 / 20.0 + std::f64::consts::TAU / 40.0;
-        engines.push(Engine::new([r_outer * th.cos(), r_outer * th.sin()], radius));
+        engines.push(Engine::new(
+            [r_outer * th.cos(), r_outer * th.sin()],
+            radius,
+        ));
     }
     engines
 }
@@ -174,16 +184,23 @@ impl JetArrayInflow {
     /// Blend factor in [0, 1] and the dominating engine: 1 deep inside an
     /// engine, 0 in the ambient.
     pub fn engine_blend(&self, pos: [f64; 3]) -> (f64, Option<&Engine>) {
+        let (f, idx) = self.engine_blend_idx(pos);
+        (f, idx.map(|i| &self.engines[i]))
+    }
+
+    /// Blend factor and the *index* of the dominating engine (time-varying
+    /// wrappers need the index to look up per-engine schedules).
+    pub fn engine_blend_idx(&self, pos: [f64; 3]) -> (f64, Option<usize>) {
         let (a, b) = self.plane_dims;
         let (x, y) = (pos[a], pos[b]);
         let mut f: f64 = 0.0;
         let mut which = None;
-        for e in &self.engines {
+        for (i, e) in self.engines.iter().enumerate() {
             let d = ((x - e.center[0]).powi(2) + (y - e.center[1]).powi(2)).sqrt();
             let t = 0.5 * (1.0 - ((d - e.radius) / self.lip_width).tanh());
             if t > f {
                 f = t;
-                which = Some(e);
+                which = Some(i);
             }
         }
         (f, which)
@@ -191,23 +208,33 @@ impl JetArrayInflow {
 
     /// Blend factor in [0, 1]: 1 deep inside an engine, 0 in the ambient.
     pub fn engine_fraction(&self, pos: [f64; 3]) -> f64 {
-        self.engine_blend(pos).0
+        self.engine_blend_idx(pos).0
     }
-}
 
-impl InflowProfile for JetArrayInflow {
-    fn prim(&self, pos: [f64; 3], _t: f64) -> Prim<f64> {
-        let (f, engine) = self.engine_blend(pos);
+    /// Inflow state at `pos` with the dominating engine's gimbal supplied by
+    /// `gimbal_of` (by engine index). Shared by the static profile (engine's
+    /// own gimbal) and the scheduled profile (gimbal evaluated at `t`).
+    pub fn prim_with_gimbal(
+        &self,
+        pos: [f64; 3],
+        gimbal_of: impl Fn(usize) -> [f64; 2],
+    ) -> Prim<f64> {
+        let (f, engine) = self.engine_blend_idx(pos);
         let exit = self.conditions.exit_state(self.flow_dim);
         let amb = self.conditions.ambient;
         // Tilt the exit velocity by the dominating engine's gimbal: the
         // speed is preserved, the direction rotates toward the in-plane
         // axes.
         let mut exit_vel = exit.vel;
-        if let Some(e) = engine {
-            if e.gimbal != [0.0, 0.0] {
+        if let Some(i) = engine {
+            let gimbal = gimbal_of(i);
+            if gimbal != [0.0, 0.0] {
                 let speed = exit.vel[self.flow_dim];
-                let dir = e.thrust_direction();
+                let dir = Engine {
+                    gimbal,
+                    ..self.engines[i]
+                }
+                .thrust_direction();
                 exit_vel = [0.0; 3];
                 exit_vel[self.flow_dim] = speed * dir[0];
                 exit_vel[self.plane_dims.0] = speed * dir[1];
@@ -226,6 +253,97 @@ impl InflowProfile for JetArrayInflow {
     }
 }
 
+impl InflowProfile for JetArrayInflow {
+    fn prim(&self, pos: [f64; 3], _t: f64) -> Prim<f64> {
+        self.prim_with_gimbal(pos, |i| self.engines[i].gimbal)
+    }
+}
+
+/// A piecewise-linear gimbal trajectory: `(t, [angle_a, angle_b])` knots,
+/// linearly interpolated, clamped to the end values outside the knot span —
+/// the "engine thrust vectoring for steering" schedule §3 of the paper puts
+/// in a simulation campaign's parameter space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GimbalSchedule {
+    /// Knots sorted by time (enforced at construction).
+    pub knots: Vec<(f64, [f64; 2])>,
+}
+
+impl GimbalSchedule {
+    pub fn new(mut knots: Vec<(f64, [f64; 2])>) -> Self {
+        assert!(!knots.is_empty(), "gimbal schedule needs at least one knot");
+        knots.sort_by(|a, b| a.0.total_cmp(&b.0));
+        GimbalSchedule { knots }
+    }
+
+    /// A time-independent schedule.
+    pub fn constant(angles: [f64; 2]) -> Self {
+        GimbalSchedule {
+            knots: vec![(0.0, angles)],
+        }
+    }
+
+    /// A linear ramp from `from` at `t0` to `to` at `t1`.
+    pub fn ramp(t0: f64, from: [f64; 2], t1: f64, to: [f64; 2]) -> Self {
+        assert!(t1 > t0, "ramp needs t1 > t0");
+        GimbalSchedule {
+            knots: vec![(t0, from), (t1, to)],
+        }
+    }
+
+    /// Gimbal angles at time `t`.
+    pub fn at(&self, t: f64) -> [f64; 2] {
+        let k = &self.knots;
+        if t <= k[0].0 {
+            return k[0].1;
+        }
+        if t >= k[k.len() - 1].0 {
+            return k[k.len() - 1].1;
+        }
+        let hi = k.partition_point(|(kt, _)| *kt <= t);
+        let (t0, a0) = k[hi - 1];
+        let (t1, a1) = k[hi];
+        let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        [a0[0] + w * (a1[0] - a0[0]), a0[1] + w * (a1[1] - a0[1])]
+    }
+}
+
+/// An engine-array inflow whose gimbal angles follow per-engine
+/// [`GimbalSchedule`]s in time. Engines without a schedule keep their static
+/// gimbal from the base array.
+pub struct ScheduledJetInflow {
+    pub base: JetArrayInflow,
+    /// `(engine index, schedule)` pairs.
+    pub schedules: Vec<(usize, GimbalSchedule)>,
+}
+
+impl ScheduledJetInflow {
+    pub fn new(base: JetArrayInflow, schedules: Vec<(usize, GimbalSchedule)>) -> Self {
+        for (i, _) in &schedules {
+            assert!(
+                *i < base.engines.len(),
+                "schedule for engine {i} out of range"
+            );
+        }
+        ScheduledJetInflow { base, schedules }
+    }
+
+    /// The gimbal of engine `i` at time `t` (scheduled or static).
+    pub fn gimbal_at(&self, i: usize, t: f64) -> [f64; 2] {
+        self.schedules
+            .iter()
+            .find(|(e, _)| *e == i)
+            .map(|(_, s)| s.at(t))
+            .unwrap_or(self.base.engines[i].gimbal)
+    }
+}
+
+impl InflowProfile for ScheduledJetInflow {
+    fn prim(&self, pos: [f64; 3], t: f64) -> Prim<f64> {
+        self.base.prim_with_gimbal(pos, |i| self.gimbal_at(i, t))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,7 +356,10 @@ mod tests {
         // Count by radius from center: 3 near the middle, 10 mid, 20 outer.
         let r = |e: &Engine| (e.center[0].powi(2) + e.center[1].powi(2)).sqrt();
         let core = engines.iter().filter(|e| r(e) < 0.3).count();
-        let inner = engines.iter().filter(|e| (0.3..0.8).contains(&r(e))).count();
+        let inner = engines
+            .iter()
+            .filter(|e| (0.3..0.8).contains(&r(e)))
+            .count();
         let outer = engines.iter().filter(|e| r(e) >= 0.8).count();
         assert_eq!((core, inner, outer), (3, 10, 20));
     }
@@ -248,9 +369,8 @@ mod tests {
         let engines = super_heavy_33(1.0);
         for (i, a) in engines.iter().enumerate() {
             for b in engines.iter().skip(i + 1) {
-                let d = ((a.center[0] - b.center[0]).powi(2)
-                    + (a.center[1] - b.center[1]).powi(2))
-                .sqrt();
+                let d = ((a.center[0] - b.center[0]).powi(2) + (a.center[1] - b.center[1]).powi(2))
+                    .sqrt();
                 assert!(
                     d > a.radius + b.radius - 1e-12,
                     "engines {i} overlap: separation {d}, radii {} {}",

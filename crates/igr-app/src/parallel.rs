@@ -66,7 +66,9 @@ impl HaloGhostOps {
         self.send_lo.extend(lo_r.iter().map(|x| x.to_f64()));
         self.send_hi.clear();
         self.send_hi.extend(hi_r.iter().map(|x| x.to_f64()));
-        let (from_lo, from_hi) = self.cart.exchange(axis, phase, &self.send_lo, &self.send_hi);
+        let (from_lo, from_hi) = self
+            .cart
+            .exchange(axis, phase, &self.send_lo, &self.send_hi);
         if let Some(buf) = from_lo {
             let vals: Vec<R> = buf.iter().map(|&x| R::from_f64(x)).collect();
             f.unpack_slab_ext(axis, -1, ng, &vals);
@@ -173,7 +175,11 @@ pub fn gather_state<R: Real + CommData, S: Storage<R>>(
         };
         let sd = decomp.subdomain(src);
         let n_int = sd.extent[0] * sd.extent[1] * sd.extent[2];
-        assert_eq!(data.len(), 5 * n_int, "gather size mismatch from rank {src}");
+        assert_eq!(
+            data.len(),
+            5 * n_int,
+            "gather size mismatch from rank {src}"
+        );
         let mut it = data.into_iter();
         for f in global.fields_mut() {
             for k in 0..sd.extent[2] as i32 {
@@ -237,7 +243,11 @@ where
         let mut t = 0.0;
         for _ in 0..steps {
             let local_dt = solver.stable_dt();
-            let dt = solver.ghost.cart.comm.allreduce_f64(local_dt, ReduceOp::Min);
+            let dt = solver
+                .ghost
+                .cart
+                .comm
+                .allreduce_f64(local_dt, ReduceOp::Min);
             solver.fixed_dt = Some(dt);
             match solver.step() {
                 Ok(info) => t = info.t,
@@ -282,8 +292,7 @@ mod tests {
         let init = case.init.clone();
         let init2 = case.init.clone();
         let single = single_rank_reference(&cfg, &case.domain, 10, move |p| init(p));
-        let multi =
-            run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 2, 10, move |p| init2(p));
+        let multi = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 2, 10, move |p| init2(p));
         assert_eq!(
             single.max_diff(&multi.state),
             0.0,

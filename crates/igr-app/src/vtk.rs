@@ -117,10 +117,22 @@ pub fn write_state_vtk<R: Real, S: Storage<R>>(
         title,
         domain,
         &[
-            VtkScalar { name: "density", field: &rho },
-            VtkScalar { name: "speed", field: &speed },
-            VtkScalar { name: "pressure", field: &pres },
-            VtkScalar { name: "mach", field: &mach },
+            VtkScalar {
+                name: "density",
+                field: &rho,
+            },
+            VtkScalar {
+                name: "speed",
+                field: &speed,
+            },
+            VtkScalar {
+                name: "pressure",
+                field: &pres,
+            },
+            VtkScalar {
+                name: "mach",
+                field: &mach,
+            },
         ],
     )
 }
@@ -144,7 +156,16 @@ mod tests {
         let mut f: Field<f64, StoreF64> = Field::zeros(shape);
         f.map_interior(|i, j, k, _| (i + 10 * j + 100 * k) as f64);
         let path = tmp("header.vtk");
-        write_vtk(&path, "test", &domain, &[VtkScalar { name: "v", field: &f }]).unwrap();
+        write_vtk(
+            &path,
+            "test",
+            &domain,
+            &[VtkScalar {
+                name: "v",
+                field: &f,
+            }],
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let mut lines = text.lines();
         assert_eq!(lines.next().unwrap(), "# vtk DataFile Version 3.0");
@@ -202,7 +223,16 @@ mod tests {
             tmp("bad.vtk"),
             "bad",
             &domain,
-            &[VtkScalar { name: "a", field: &a }, VtkScalar { name: "b", field: &b }],
+            &[
+                VtkScalar {
+                    name: "a",
+                    field: &a,
+                },
+                VtkScalar {
+                    name: "b",
+                    field: &b,
+                },
+            ],
         );
     }
 }

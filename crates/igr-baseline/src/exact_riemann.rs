@@ -90,7 +90,14 @@ impl ExactRiemann {
 
     /// Sample onto `n` cell centers of the domain `[x0, x1]` with the
     /// initial discontinuity at `x_disc`, at time `t`.
-    pub fn sample_profile(&self, n: usize, x0: f64, x1: f64, x_disc: f64, t: f64) -> Vec<PrimitiveState> {
+    pub fn sample_profile(
+        &self,
+        n: usize,
+        x0: f64,
+        x1: f64,
+        x_disc: f64,
+        t: f64,
+    ) -> Vec<PrimitiveState> {
         assert!(t > 0.0, "profile sampling needs t > 0");
         let dx = (x1 - x0) / n as f64;
         (0..n)
@@ -139,13 +146,22 @@ fn sample_side(
     if p_star > s.p {
         // Shock on this side.
         let ratio = p_star / s.p;
-        let shock_speed = s.u + sign * c * (gp1 / (2.0 * gamma) * ratio + gm1 / (2.0 * gamma)).sqrt();
-        let outside = if sign < 0.0 { xi < shock_speed } else { xi > shock_speed };
+        let shock_speed =
+            s.u + sign * c * (gp1 / (2.0 * gamma) * ratio + gm1 / (2.0 * gamma)).sqrt();
+        let outside = if sign < 0.0 {
+            xi < shock_speed
+        } else {
+            xi > shock_speed
+        };
         if outside {
             *s
         } else {
             let rho_star = s.rho * ((ratio + gm1 / gp1) / (gm1 / gp1 * ratio + 1.0));
-            PrimitiveState { rho: rho_star, u: u_star, p: p_star }
+            PrimitiveState {
+                rho: rho_star,
+                u: u_star,
+                p: p_star,
+            }
         }
     } else {
         // Rarefaction fan on this side.
@@ -158,7 +174,11 @@ fn sample_side(
             *s
         } else if after_tail {
             let rho_star = s.rho * (p_star / s.p).powf(1.0 / gamma);
-            PrimitiveState { rho: rho_star, u: u_star, p: p_star }
+            PrimitiveState {
+                rho: rho_star,
+                u: u_star,
+                p: p_star,
+            }
         } else {
             // Inside the fan.
             let u = 2.0 / gp1 * (-sign * c + gm1 / 2.0 * s.u + xi);
@@ -200,7 +220,11 @@ mod tests {
         let left_star = r.sample(r.u_star - 1e-6);
         let right_star = r.sample(r.u_star + 1e-6);
         assert!((left_star.rho - 0.42632).abs() < 1e-4, "{}", left_star.rho);
-        assert!((right_star.rho - 0.26557).abs() < 1e-4, "{}", right_star.rho);
+        assert!(
+            (right_star.rho - 0.26557).abs() < 1e-4,
+            "{}",
+            right_star.rho
+        );
     }
 
     #[test]
@@ -243,7 +267,8 @@ mod tests {
         // Right shock speed from the sampled jump itself.
         let ratio = r.p_star / r.right.p;
         let c = (G * r.right.p / r.right.rho).sqrt();
-        let s_shock = r.right.u + c * ((G + 1.0) / (2.0 * G) * ratio + (G - 1.0) / (2.0 * G)).sqrt();
+        let s_shock =
+            r.right.u + c * ((G + 1.0) / (2.0 * G) * ratio + (G - 1.0) / (2.0 * G)).sqrt();
         let pre = r.right;
         let post = r.sample(s_shock - 1e-9);
         // Mass: rho1(u1 - s) = rho2(u2 - s).

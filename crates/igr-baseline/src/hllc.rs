@@ -75,8 +75,7 @@ fn star_state<R: Real>(d: usize, q: &Cons<R>, p: &Prim<R>, s_k: R, s_star: R) ->
     for a in 0..3 {
         out[1 + a] = factor * if a == d { s_star } else { p.vel[a] };
     }
-    let e_term = q[4] / p.rho
-        + (s_star - u_k) * (s_star + p.p / (p.rho * (s_k - u_k)));
+    let e_term = q[4] / p.rho + (s_star - u_k) * (s_star + p.p / (p.rho * (s_k - u_k)));
     out[4] = factor * e_term;
     out
 }
@@ -113,7 +112,12 @@ mod tests {
         let f = hllc_flux(0, &ql, &qr, G);
         let exact = inviscid_flux(0, &ql, &prl, prl.p);
         for v in 0..5 {
-            assert!((f[v] - exact[v]).abs() < 1e-12, "v={v}: {} vs {}", f[v], exact[v]);
+            assert!(
+                (f[v] - exact[v]).abs() < 1e-12,
+                "v={v}: {} vs {}",
+                f[v],
+                exact[v]
+            );
         }
     }
 
@@ -127,7 +131,10 @@ mod tests {
         let f = hllc_flux(0, &ql, &qr, G);
         let fm = hllc_flux(0, &mirror(&qr), &mirror(&ql), G);
         assert!((f[0] + fm[0]).abs() < 1e-12, "mass flux antisymmetric");
-        assert!((f[1] - fm[1]).abs() < 1e-12, "normal momentum flux symmetric");
+        assert!(
+            (f[1] - fm[1]).abs() < 1e-12,
+            "normal momentum flux symmetric"
+        );
         assert!((f[4] + fm[4]).abs() < 1e-12, "energy flux antisymmetric");
     }
 
@@ -175,7 +182,10 @@ mod tests {
         let f = hllc_flux(0, &ql, &qr, G);
         // Flow accelerates rightward through the interface.
         assert!(f[0] > 0.0, "mass flows right: {}", f[0]);
-        assert!(f[1] > 0.0 && f[1] < 1.0, "momentum flux between the two pressures");
+        assert!(
+            f[1] > 0.0 && f[1] < 1.0,
+            "momentum flux between the two pressures"
+        );
         assert!(f.iter().all(|x| x.is_finite()));
     }
 }

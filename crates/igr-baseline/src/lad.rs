@@ -106,7 +106,9 @@ impl Lad1d {
         let filter = |v: &[f64]| -> Vec<f64> {
             (0..n)
                 .map(|i| {
-                    0.25 * v[self.wrap(i as isize - 1)] + 0.5 * v[i] + 0.25 * v[self.wrap(i as isize + 1)]
+                    0.25 * v[self.wrap(i as isize - 1)]
+                        + 0.5 * v[i]
+                        + 0.25 * v[self.wrap(i as isize + 1)]
                 })
                 .collect()
         };
@@ -240,7 +242,13 @@ impl Lad1d {
 
 fn apply(state: &[&Vec<f64>; 3], rhs: &[Vec<f64>; 3], dt: f64) -> Vec<Vec<f64>> {
     (0..3)
-        .map(|v| state[v].iter().zip(&rhs[v]).map(|(s, r)| s + dt * r).collect())
+        .map(|v| {
+            state[v]
+                .iter()
+                .zip(&rhs[v])
+                .map(|(s, r)| s + dt * r)
+                .collect()
+        })
         .collect()
 }
 
@@ -250,9 +258,7 @@ mod tests {
     use std::f64::consts::TAU;
 
     fn steepening_wave(c_beta: f64, n: usize) -> Lad1d {
-        Lad1d::new(n, 1.0, 1.4, c_beta, |x| {
-            (1.0, 0.5 * (TAU * x).sin(), 1.0)
-        })
+        Lad1d::new(n, 1.0, 1.4, c_beta, |x| (1.0, 0.5 * (TAU * x).sin(), 1.0))
     }
 
     #[test]

@@ -249,17 +249,7 @@ impl<R: Real, S: Storage<R>> WenoHllcScheme<R, S> {
                 let qcr = prr.to_cons(gamma);
                 let mut f = hllc_flux_prim(d, &qcl, &prl, &qcr, &prr, gamma);
                 if viscous {
-                    subtract_viscous(
-                        &mut f,
-                        d,
-                        lin,
-                        st,
-                        grads,
-                        &prl,
-                        &prr,
-                        mu,
-                        zeta,
-                    );
+                    subtract_viscous(&mut f, d, lin, st, grads, &prl, &prr, mu, zeta);
                 }
                 c0[loc] = S::pack(f[0]);
                 c1[loc] = S::pack(f[1]);
@@ -380,9 +370,21 @@ pub(crate) fn in_interface_range(
 ) -> Option<(i32, i32, i32)> {
     let (i, j, k) = stored_coords(shape, lin)?;
     let (c, a_ok, b_ok) = match axis {
-        Axis::X => (i, j >= 0 && (j as usize) < shape.ny, k >= 0 && (k as usize) < shape.nz),
-        Axis::Y => (j, i >= 0 && (i as usize) < shape.nx, k >= 0 && (k as usize) < shape.nz),
-        Axis::Z => (k, i >= 0 && (i as usize) < shape.nx, j >= 0 && (j as usize) < shape.ny),
+        Axis::X => (
+            i,
+            j >= 0 && (j as usize) < shape.ny,
+            k >= 0 && (k as usize) < shape.nz,
+        ),
+        Axis::Y => (
+            j,
+            i >= 0 && (i as usize) < shape.nx,
+            k >= 0 && (k as usize) < shape.nz,
+        ),
+        Axis::Z => (
+            k,
+            i >= 0 && (i as usize) < shape.nx,
+            j >= 0 && (j as usize) < shape.ny,
+        ),
     };
     if c >= lo && c <= hi && a_ok && b_ok {
         Some((i, j, k))
@@ -459,9 +461,21 @@ impl<R: Real, S: Storage<R>> RhsScheme<R, S> for WenoHllcScheme<R, S> {
         report.push("prim (5 arrays)", 5 * n, self.prim.storage_bytes());
         for dir in &self.dirs {
             let name = dir.axis.name();
-            report.push(format!("qL_{name} (5 arrays)"), 5 * n, dir.ql.storage_bytes());
-            report.push(format!("qR_{name} (5 arrays)"), 5 * n, dir.qr.storage_bytes());
-            report.push(format!("flux_{name} (5 arrays)"), 5 * n, dir.flux.storage_bytes());
+            report.push(
+                format!("qL_{name} (5 arrays)"),
+                5 * n,
+                dir.ql.storage_bytes(),
+            );
+            report.push(
+                format!("qR_{name} (5 arrays)"),
+                5 * n,
+                dir.qr.storage_bytes(),
+            );
+            report.push(
+                format!("flux_{name} (5 arrays)"),
+                5 * n,
+                dir.flux.storage_bytes(),
+            );
         }
         if !self.grads.is_empty() {
             let bytes: usize = self.grads.iter().map(|g| g.storage_bytes()).sum();
@@ -509,7 +523,9 @@ mod tests {
         let domain = Domain::unit(shape);
         let cfg = WenoConfig::default();
         let mut q = St::zeros(shape);
-        q.set_prim_field(&domain, cfg.gamma, |_| Prim::new(1.0, [0.4, 0.2, -0.1], 2.0));
+        q.set_prim_field(&domain, cfg.gamma, |_| {
+            Prim::new(1.0, [0.4, 0.2, -0.1], 2.0)
+        });
         let mut solver = weno_solver(cfg, domain, q);
         solver.fixed_dt = Some(1e-3);
         solver.step().unwrap();
@@ -578,7 +594,10 @@ mod tests {
         let n = 64;
         let shape = GridShape::new(n, 1, 1, 3);
         let domain = Domain::unit(shape);
-        let cfg = WenoConfig { cfl: 0.4, ..Default::default() };
+        let cfg = WenoConfig {
+            cfl: 0.4,
+            ..Default::default()
+        };
         let tau = std::f64::consts::TAU;
         let mut q = St::zeros(shape);
         q.set_prim_field(&domain, cfg.gamma, |p| {
@@ -603,7 +622,10 @@ mod tests {
     fn viscous_configuration_allocates_gradients() {
         let shape = GridShape::new(8, 8, 1, 3);
         let domain = Domain::unit(shape);
-        let cfg = WenoConfig { mu: 0.01, ..Default::default() };
+        let cfg = WenoConfig {
+            mu: 0.01,
+            ..Default::default()
+        };
         let mut q = St::zeros(shape);
         q.set_prim_field(&domain, cfg.gamma, |_| Prim::new(1.0, [0.0; 3], 1.0));
         let solver = weno_solver(cfg, domain, q);

@@ -91,7 +91,14 @@ impl<R: Real, S: Storage<R>> StagedIgrScheme<R, S> {
             match self.cfg.elliptic {
                 EllipticKind::Jacobi => {
                     let tmp = self.sigma_tmp.as_mut().expect("Jacobi needs sigma_tmp");
-                    jacobi_sweep(&q.rho, &self.igr_rhs, &self.sigma, tmp, &self.domain, self.alpha);
+                    jacobi_sweep(
+                        &q.rho,
+                        &self.igr_rhs,
+                        &self.sigma,
+                        tmp,
+                        &self.domain,
+                        self.alpha,
+                    );
                     std::mem::swap(&mut self.sigma, tmp);
                 }
                 EllipticKind::GaussSeidel => gauss_seidel_sweep(
@@ -178,8 +185,8 @@ impl<R: Real, S: Storage<R>> StagedIgrScheme<R, S> {
                 }
                 let sl = sig_l.at_lin(lin);
                 let sr = sig_r.at_lin(lin);
-                let lam = max_wave_speed(d, &prl, sl, gamma)
-                    .max(max_wave_speed(d, &prr, sr, gamma));
+                let lam =
+                    max_wave_speed(d, &prl, sl, gamma).max(max_wave_speed(d, &prr, sr, gamma));
                 let fl = inviscid_flux(d, &qcl, &prl, prl.p + sl);
                 let fr = inviscid_flux(d, &qcr, &prr, prr.p + sr);
                 let mut f = [R::ZERO; NV];

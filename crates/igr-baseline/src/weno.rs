@@ -50,8 +50,8 @@ pub fn weno5_left<R: Real>(w: &[R; 5]) -> R {
     let inv_sum = R::ONE / (a0 + a1 + a2);
 
     // Candidate reconstructions.
-    let q0 = (R::TWO * w[0] - R::from_f64(7.0) * w[1] + R::from_f64(11.0) * w[2])
-        / R::from_f64(6.0);
+    let q0 =
+        (R::TWO * w[0] - R::from_f64(7.0) * w[1] + R::from_f64(11.0) * w[2]) / R::from_f64(6.0);
     let q1 = (-w[1] + R::from_f64(5.0) * w[2] + R::TWO * w[3]) / R::from_f64(6.0);
     let q2 = (R::TWO * w[2] + R::from_f64(5.0) * w[3] - w[4]) / R::from_f64(6.0);
 
@@ -109,8 +109,10 @@ mod tests {
         assert!((-1e-12..=1.0 + 1e-12).contains(&l_weno), "left {l_weno}");
         assert!((-1e-12..=1.0 + 1e-12).contains(&r_weno), "right {r_weno}");
         let (l_lin, _) = recon5(&w6);
-        assert!(l_lin < 0.0 || l_lin > 1.0 || (l_weno - l_lin).abs() > 1e-3,
-            "linear recon should overshoot or differ markedly at a step");
+        assert!(
+            l_lin < 0.0 || l_lin > 1.0 || (l_weno - l_lin).abs() > 1e-3,
+            "linear recon should overshoot or differ markedly at a step"
+        );
     }
 
     #[test]
@@ -119,20 +121,25 @@ mod tests {
         // smooth; its weight must dominate.
         let w = [10.0f64, 1.0, 1.0, 1.0, 1.0];
         let v = weno5_left(&w);
-        assert!((v - 1.0).abs() < 1e-2, "should reconstruct from smooth side: {v}");
+        assert!(
+            (v - 1.0).abs() < 1e-2,
+            "should reconstruct from smooth side: {v}"
+        );
     }
 
     #[test]
     fn fifth_order_on_smooth_data() {
         let err = |h: f64| {
             let phase = 0.7;
-            let avg =
-                |i: f64| (((i + 0.5) * h + phase).sin() - ((i - 0.5) * h + phase).sin()) / h;
+            let avg = |i: f64| (((i + 0.5) * h + phase).sin() - ((i - 0.5) * h + phase).sin()) / h;
             let w: [f64; 5] = std::array::from_fn(|q| avg(q as f64 - 2.0));
             (weno5_left(&w) - (0.5 * h + phase).cos()).abs()
         };
         let order = (err(0.02) / err(0.01)).log2();
-        assert!(order > 4.3, "WENO5 must be ~5th order on smooth data, got {order}");
+        assert!(
+            order > 4.3,
+            "WENO5 must be ~5th order on smooth data, got {order}"
+        );
     }
 
     /// The precision pathology the paper leans on (§4.3, citing Brogi et

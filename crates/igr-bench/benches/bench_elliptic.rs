@@ -22,7 +22,14 @@ fn setup(n: usize) -> (State<f64, StoreF64>, Domain, Field<f64, StoreF64>, f64) 
             1.0,
         )
     });
-    fill_ghosts(&mut q, &domain, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+    fill_ghosts(
+        &mut q,
+        &domain,
+        &BcSet::all_periodic(),
+        1.4,
+        0.0,
+        &ALL_FACES,
+    );
     let alpha = 10.0 * domain.dx(Axis::X).powi(2);
     let mut b = Field::zeros(shape);
     compute_igr_source(&q, &domain, alpha, &mut b);

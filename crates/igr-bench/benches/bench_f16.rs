@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use igr_prec::f16;
 
 fn bench_conversions(c: &mut Criterion) {
-    let data_f32: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.371).sin() * 100.0).collect();
+    let data_f32: Vec<f32> = (0..4096)
+        .map(|i| (i as f32 * 0.371).sin() * 100.0)
+        .collect();
     let data_f16: Vec<f16> = data_f32.iter().map(|&x| f16::from_f32(x)).collect();
 
     let mut group = c.benchmark_group("f16");

@@ -74,7 +74,10 @@ fn bench_flux(c: &mut Criterion) {
                 let (ql, qr) = (black_box(&ql), black_box(&qr));
                 let pl = cons_to_prim(ql, 1.4);
                 let pr = cons_to_prim(qr, 1.4);
-                let lam = f64::max(max_wave_speed(0, &pl, 0.0, 1.4), max_wave_speed(0, &pr, 0.0, 1.4));
+                let lam = f64::max(
+                    max_wave_speed(0, &pl, 0.0, 1.4),
+                    max_wave_speed(0, &pr, 0.0, 1.4),
+                );
                 let fl = inviscid_flux(0, ql, &pl, pl.p);
                 let fr = inviscid_flux(0, qr, &pr, pr.p);
                 for v in 0..5 {

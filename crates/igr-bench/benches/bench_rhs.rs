@@ -75,11 +75,8 @@ fn bench_recon_order_ablation(c: &mut Criterion) {
             let case = cases::single_jet_3d(n);
             let mut cfg = case.igr_config();
             cfg.order = order;
-            let mut s = igr_core::solver::igr_solver::<f64, StoreF64>(
-                cfg,
-                case.domain,
-                case.init_state(),
-            );
+            let mut s =
+                igr_core::solver::igr_solver::<f64, StoreF64>(cfg, case.domain, case.init_state());
             s.nan_check_every = 0;
             s.step().unwrap();
             s.fixed_dt = Some(s.stable_dt());

@@ -12,9 +12,7 @@ use igr_app::cases;
 use igr_prec::{StoreF32, StoreF64};
 use igr_species::{species_solver, MixEos, MixPrim, SpeciesConfig, SpeciesState};
 
-fn species_setup<S: igr_prec::Storage<f32>>(
-    n: usize,
-) -> igr_species::SpeciesSolver<f32, S> {
+fn species_setup<S: igr_prec::Storage<f32>>(n: usize) -> igr_species::SpeciesSolver<f32, S> {
     species_setup_generic::<f32, S>(n)
 }
 
@@ -23,8 +21,14 @@ fn species_setup_generic<R: igr_prec::Real, S: igr_prec::Storage<R>>(
 ) -> igr_species::SpeciesSolver<R, S> {
     let shape = igr_grid::GridShape::new(2 * n, n, n, 3);
     let domain = igr_grid::Domain::new([0.0, -0.5, -0.5], [2.0, 0.5, 0.5], shape);
-    let eos = MixEos { gamma1: 1.4, gamma2: 1.25 };
-    let cfg = SpeciesConfig { eos, ..Default::default() };
+    let eos = MixEos {
+        gamma1: 1.4,
+        gamma2: 1.25,
+    };
+    let cfg = SpeciesConfig {
+        eos,
+        ..Default::default()
+    };
     let tau = std::f64::consts::TAU;
     let mut q = SpeciesState::zeros(shape);
     q.set_prim_field(&domain, &eos, |p| {

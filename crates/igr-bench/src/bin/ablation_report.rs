@@ -65,7 +65,14 @@ fn advection_error(order: ReconOrder) -> f64 {
     q.set_prim_field(&domain, 1.4, |p| {
         Prim::new(1.0 + eps * (tau * p[0]).sin(), [u0, 0.0, 0.0], 1.0)
     });
-    fill_ghosts(&mut q, &domain, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+    fill_ghosts(
+        &mut q,
+        &domain,
+        &BcSet::all_periodic(),
+        1.4,
+        0.0,
+        &ALL_FACES,
+    );
     let sigma: Field<f64, StoreF64> = Field::zeros(shape);
     let params = FluxParams::new(&q, &sigma, &domain, 1.4, 0.0, 0.0, order, false);
     let mut rhs = igr_core::State::zeros(shape);
@@ -115,7 +122,9 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("Constant last column = the paper's 'alpha sets the width, sqrt(alpha) ~ mesh' (§5.2).");
+    println!(
+        "Constant last column = the paper's 'alpha sets the width, sqrt(alpha) ~ mesh' (§5.2)."
+    );
 
     section("Ablation 2: reconstruction order -> smooth advection error (64 cells)");
     let mut t = TextTable::new(vec!["order", "Linf(d rho/dt)"]);
@@ -124,7 +133,10 @@ fn main() {
         ("3rd", ReconOrder::Third),
         ("5th", ReconOrder::Fifth),
     ] {
-        t.row(vec![name.to_string(), format!("{:.3e}", advection_error(order))]);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3e}", advection_error(order)),
+        ]);
     }
     println!("{}", t.render());
 
@@ -139,7 +151,11 @@ fn main() {
         s.run_until(0.2, 100_000).unwrap();
         s
     };
-    for (name, rk) in [("rk1", RkOrder::Rk1), ("rk2", RkOrder::Rk2), ("rk3", RkOrder::Rk3)] {
+    for (name, rk) in [
+        ("rk1", RkOrder::Rk1),
+        ("rk2", RkOrder::Rk2),
+        ("rk3", RkOrder::Rk3),
+    ] {
         let case = cases::steepening_wave(128, 0.1);
         let mut cfg = case.igr_config();
         cfg.rk = rk;

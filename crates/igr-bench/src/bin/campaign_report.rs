@@ -1,0 +1,100 @@
+//! Campaign report: the ensemble analogue of the per-table reproduction
+//! binaries. Runs a laptop-scale engineering campaign over the parameter
+//! plane §3 of the paper motivates — engine-out sets, thrust-vectoring
+//! angles, ambient backpressure, and scheme/precision cross-checks — and
+//! prints the aggregate table plus cache statistics.
+//!
+//! ```bash
+//! cargo run --release -p igr-bench --bin campaign_report
+//! ```
+
+use igr_bench::TextTable;
+use igr_campaign::{sweep, BaseCase, Campaign, Delta, ExecConfig, ScenarioSpec, SchemeKind, Sweep};
+use igr_prec::PrecisionMode;
+
+fn main() {
+    let mut campaign = Campaign::new(ExecConfig::default());
+
+    // ---- Campaign 1: the engineering box — engine-out x gimbal x
+    //      backpressure on the 3-engine array. ----------------------------
+    let engineering = sweep::engine_out_gimbal_backpressure(
+        24,
+        60,
+        &[vec![], vec![0], vec![1]],
+        &[0.0, 0.1],
+        &[1.0, 0.25],
+    )
+    .expand();
+    println!(
+        "== campaign 1: engine-out x gimbal x backpressure ({} scenarios)",
+        engineering.len()
+    );
+    let rep1 = campaign.run(&engineering);
+    print!("{}", rep1.to_text());
+
+    // ---- Campaign 2: scheme x precision robustness cross-check on the
+    //      steepening-wave workload (the Fig. 5-style matrix, ensemble-run).
+    let mut base = ScenarioSpec::new(BaseCase::SteepeningWave { amp: 0.2 }, 64);
+    base.steps = 4;
+    let matrix = Sweep::cartesian(base)
+        .axis(
+            "scheme",
+            vec![
+                Delta::Scheme(SchemeKind::Igr),
+                Delta::Scheme(SchemeKind::WenoBaseline),
+            ],
+        )
+        .axis(
+            "precision",
+            vec![
+                Delta::Precision(PrecisionMode::Fp64),
+                Delta::Precision(PrecisionMode::Fp32),
+                Delta::Precision(PrecisionMode::Fp16Fp32),
+            ],
+        )
+        .expand();
+    println!(
+        "\n== campaign 2: scheme x precision matrix ({} scenarios)",
+        matrix.len()
+    );
+    let rep2 = campaign.run(&matrix);
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "status",
+        "grind ns/cell/step",
+        "energy drift",
+    ]);
+    for row in &rep2.rows {
+        let r = &row.result;
+        table.row(vec![
+            r.name.clone(),
+            if r.status.is_ok() {
+                "ok".into()
+            } else {
+                "FAILED".into()
+            },
+            format!("{:.0}", r.ns_per_cell_step),
+            format!("{:.2e}", r.energy_drift),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // ---- Campaign 3: resubmit campaign 1 — everything cache-served. -----
+    let rep3 = campaign.run(&engineering);
+    println!(
+        "\n== campaign 3: resubmission of campaign 1 -> {} executed, {} cache hits",
+        rep3.executed, rep3.cache_hits
+    );
+    println!(
+        "store: {} results | {} hits | {} misses | {} cell-steps simulated in total",
+        campaign.store().len(),
+        campaign.store().hits(),
+        campaign.store().misses(),
+        rep1.cell_steps_executed() + rep2.cell_steps_executed(),
+    );
+
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/campaign_report.json", rep1.to_json()).expect("write JSON");
+    std::fs::write("target/campaign_report.csv", rep1.to_csv()).expect("write CSV");
+    println!("wrote target/campaign_report.json and target/campaign_report.csv");
+}

@@ -18,9 +18,17 @@ fn main() {
     ]);
     let paper_edges = [
         (System::EL_CAPITAN, MemoryLayout::igr_in_core(2.0), 1380.0),
-        (System::FRONTIER, MemoryLayout::igr_unified_12_17(2.0), 1386.0),
+        (
+            System::FRONTIER,
+            MemoryLayout::igr_unified_12_17(2.0),
+            1386.0,
+        ),
         (System::ALPS, MemoryLayout::igr_unified_12_17(2.0), 1611.0),
-        (System::JUPITER, MemoryLayout::igr_unified_12_17(2.0), 1611.0),
+        (
+            System::JUPITER,
+            MemoryLayout::igr_unified_12_17(2.0),
+            1611.0,
+        ),
     ];
     for (sys, layout, paper_edge) in paper_edges {
         let m = CapacityModel::new(layout).with_usable_fraction(0.93);
@@ -74,5 +82,8 @@ fn main() {
         ((elcap_cells / 113e12 - 1.0).abs() < 0.05).to_string(),
     ]);
     println!("{}", h.render());
-    println!("Factor over the prior largest compressible CFD run (10T cells): {:.0}x", frontier_cells / 10e12);
+    println!(
+        "Factor over the prior largest compressible CFD run (10T cells): {:.0}x",
+        frontier_cells / 10e12
+    );
 }

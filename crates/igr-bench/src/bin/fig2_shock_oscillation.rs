@@ -116,9 +116,7 @@ fn shock_roughness(p: &[f64], x: &[f64], shock_window: (f64, f64), jump: f64) ->
 /// Oscillation excess: total variation beyond the reference's (Gibbs
 /// ringing indicator).
 fn tv_excess(p: &[f64], reference: &[f64]) -> f64 {
-    let tv = |v: &[f64]| -> f64 {
-        v.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
-    };
+    let tv = |v: &[f64]| -> f64 { v.windows(2).map(|w| (w[1] - w[0]).abs()).sum() };
     (tv(p) - tv(reference)).max(0.0)
 }
 
@@ -171,7 +169,10 @@ fn main() {
             ]
         })
         .collect();
-    let csv = csv_string(&["x", "p_exact", "p_igr", "p_lad_narrow", "p_lad_wide"], &rows);
+    let csv = csv_string(
+        &["x", "p_exact", "p_igr", "p_lad_narrow", "p_lad_wide"],
+        &rows,
+    );
     let path = "fig2a_shock.csv";
     std::fs::write(path, csv).ok();
     println!("series written to {path}");
@@ -208,7 +209,11 @@ fn main() {
     let a_igr = igr_amp;
     let a_narrow = lad_amp(1.0);
     let a_wide = lad_amp(50.0);
-    for (name, a) in [("IGR", a_igr), ("LAD (narrow)", a_narrow), ("LAD (wide)", a_wide)] {
+    for (name, a) in [
+        ("IGR", a_igr),
+        ("LAD (narrow)", a_narrow),
+        ("LAD (wide)", a_wide),
+    ] {
         o.row(vec![name.to_string(), fmt_g(a), fmt_g(a / amp)]);
     }
     println!("{}", o.render());

@@ -50,14 +50,18 @@ fn main() {
     }
 
     // Report the trajectory gap at a few times.
-    let mut t = TextTable::new(vec!["series", "gap@t=0", "gap@t=0.6", "gap@t=1.2", "crossed?"]);
+    let mut t = TextTable::new(vec![
+        "series",
+        "gap@t=0",
+        "gap@t=0.6",
+        "gap@t=1.2",
+        "crossed?",
+    ]);
     for (name, rec) in &series {
         let gap_at = |tq: f64| -> f64 {
             let (_, a, b) = rec
                 .iter()
-                .min_by(|x, y| {
-                    (x.0 - tq).abs().partial_cmp(&(y.0 - tq).abs()).unwrap()
-                })
+                .min_by(|x, y| (x.0 - tq).abs().partial_cmp(&(y.0 - tq).abs()).unwrap())
                 .unwrap();
             b - a
         };
@@ -67,7 +71,11 @@ fn main() {
             fmt_g(gap_at(0.0)),
             fmt_g(gap_at(0.6)),
             fmt_g(gap_at(1.2)),
-            if crossed { "YES".into() } else { "no".to_string() },
+            if crossed {
+                "YES".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     println!("{}", t.render());

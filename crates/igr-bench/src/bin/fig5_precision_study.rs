@@ -11,7 +11,7 @@ use igr_app::cases;
 use igr_app::io::plane_slice;
 use igr_bench::{fmt_g, section, TextTable};
 use igr_core::solver::{GhostOps, RhsScheme, Solver};
-use igr_prec::{Real, StoreF16, StoreF32, StoreF64, Storage};
+use igr_prec::{Real, Storage, StoreF16, StoreF32, StoreF64};
 
 /// Transverse (x-direction) kinetic energy: the jet flows along +y, so
 /// x-momentum growth tracks shear-layer instability onset.
@@ -163,7 +163,10 @@ fn main() {
     // Emit instability-onset series.
     let mut csv = String::from("step,ke_fp64,ke_fp32,ke_fp16\n");
     for i in 0..onset64.len().min(onset32.len()).min(onset16.len()) {
-        csv.push_str(&format!("{i},{:.6e},{:.6e},{:.6e}\n", onset64[i], onset32[i], onset16[i]));
+        csv.push_str(&format!(
+            "{i},{:.6e},{:.6e},{:.6e}\n",
+            onset64[i], onset32[i], onset16[i]
+        ));
     }
     std::fs::write("fig5_onset.csv", csv).ok();
     println!("instability-onset series written to fig5_onset.csv");

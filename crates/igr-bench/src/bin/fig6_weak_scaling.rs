@@ -16,7 +16,12 @@ use igr_prec::StoreF64;
 fn main() {
     section("Fig. 6 (modeled): weak scaling, FP16/32, unified memory");
     let configs = [
-        (System::EL_CAPITAN, GrindModel::mi300a(), 1380usize, 10750usize),
+        (
+            System::EL_CAPITAN,
+            GrindModel::mi300a(),
+            1380usize,
+            10750usize,
+        ),
         (System::FRONTIER, GrindModel::mi250x_gcd(), 1386, 9408),
         (System::ALPS, GrindModel::gh200(), 1611, 2304),
     ];
@@ -62,9 +67,8 @@ fn main() {
             // 2-D-ify: keep 1-D for simplicity; decomposition splits x.
             let cfg = case.igr_config();
             let init = case.init.clone();
-            let run = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, ranks, steps, move |p| {
-                init(p)
-            });
+            let run =
+                run_decomposed::<f64, StoreF64>(&cfg, &case.domain, ranks, steps, move |p| init(p));
             (ranks, nx as f64, run.total_bytes_sent / ranks as u64)
         })
         .collect();

@@ -15,7 +15,10 @@ fn main() {
         let model = ScalingModel::new(sys, grind, Scheme::Igr, Precision::Fp16Fp32);
         // The strong-scaling problem fills the 8-node base configuration.
         let global = model.max_cells_per_device() * (8 * sys.devices_per_node) as f64;
-        let mut nodes: Vec<usize> = (3..15).map(|p| 1usize << p).filter(|&n| n < full_nodes).collect();
+        let mut nodes: Vec<usize> = (3..15)
+            .map(|p| 1usize << p)
+            .filter(|&n| n < full_nodes)
+            .collect();
         nodes.push(full_nodes);
         let pts = model.strong_scaling(global, 8, &nodes);
         let mut t = TextTable::new(vec!["nodes", "speedup", "ideal", "efficiency"]);

@@ -18,12 +18,19 @@ fn main() {
     let igr_cap = CapacityModel::new(MemoryLayout::igr_unified_12_17(4.0))
         .max_cells_per_device(64 << 30, 64 << 30)
         * 8.0;
-    let weno_cap = CapacityModel::new(MemoryLayout::weno_in_core(4.0))
-        .max_cells_per_device(64 << 30, 0)
-        * 8.0;
+    let weno_cap =
+        CapacityModel::new(MemoryLayout::weno_in_core(4.0)).max_cells_per_device(64 << 30, 0) * 8.0;
     let mut c = TextTable::new(vec!["Scheme", "cells/node (model)", "cells/node (paper)"]);
-    c.row(vec!["IGR unified".to_string(), fmt_g(igr_cap), "10.5e9".to_string()]);
-    c.row(vec!["Baseline in-core".to_string(), fmt_g(weno_cap), "421e6".to_string()]);
+    c.row(vec![
+        "IGR unified".to_string(),
+        fmt_g(igr_cap),
+        "10.5e9".to_string(),
+    ]);
+    c.row(vec![
+        "Baseline in-core".to_string(),
+        fmt_g(weno_cap),
+        "421e6".to_string(),
+    ]);
     println!("{}", c.render());
     println!("(Our reimplemented baseline stores 65 arrays; MFC's production WENO path");
     println!("stores more, which is why the paper's baseline capacity is smaller still.)");

@@ -14,7 +14,15 @@ use igr_core::{IgrConfig, State};
 use igr_grid::{Domain, GridShape};
 use igr_prec::StoreF64;
 
-fn run(n: usize, t_end: f64, alpha: f64, order: ReconOrder, smooth_cells: f64, sweeps: usize, cfl: f64) -> String {
+fn run(
+    n: usize,
+    t_end: f64,
+    alpha: f64,
+    order: ReconOrder,
+    smooth_cells: f64,
+    sweeps: usize,
+    cfl: f64,
+) -> String {
     let shape = GridShape::new(n, 1, 1, 3);
     let domain = Domain::unit(shape);
     let cfg = IgrConfig {
@@ -56,19 +64,50 @@ fn main() {
     let t = 0.1;
     println!("sharp double-Sod tube, n={n}, t_end={t} (OK = finite to t_end)\n");
     for (label, alpha, order, smooth, sweeps, cfl) in [
-        ("alpha=10 s5 (defaults)", 10.0, ReconOrder::Fifth, 0.0, 5, 0.4),
-        ("alpha=10 s5 smooth IC", 10.0, ReconOrder::Fifth, 2.0, 5, 0.4),
+        (
+            "alpha=10 s5 (defaults)",
+            10.0,
+            ReconOrder::Fifth,
+            0.0,
+            5,
+            0.4,
+        ),
+        (
+            "alpha=10 s5 smooth IC",
+            10.0,
+            ReconOrder::Fifth,
+            2.0,
+            5,
+            0.4,
+        ),
         ("alpha=10 s8", 10.0, ReconOrder::Fifth, 0.0, 8, 0.4),
         ("alpha=5  s5", 5.0, ReconOrder::Fifth, 0.0, 5, 0.4),
-        ("alpha=20 s5 (lags shock)", 20.0, ReconOrder::Fifth, 0.0, 5, 0.4),
+        (
+            "alpha=20 s5 (lags shock)",
+            20.0,
+            ReconOrder::Fifth,
+            0.0,
+            5,
+            0.4,
+        ),
         ("alpha=20 s10", 20.0, ReconOrder::Fifth, 0.0, 10, 0.4),
         ("alpha=20 s5 cfl=0.2", 20.0, ReconOrder::Fifth, 0.0, 5, 0.2),
-        ("alpha=50 s5 smooth IC", 50.0, ReconOrder::Fifth, 2.0, 5, 0.4),
+        (
+            "alpha=50 s5 smooth IC",
+            50.0,
+            ReconOrder::Fifth,
+            2.0,
+            5,
+            0.4,
+        ),
         ("order3 alpha=20 s5", 20.0, ReconOrder::Third, 0.0, 5, 0.4),
         ("order1 alpha=20 s5", 20.0, ReconOrder::First, 0.0, 5, 0.4),
         ("alpha=10 s5 n=1024", 10.0, ReconOrder::Fifth, 0.0, 5, 0.4),
     ] {
         let nn = if label.contains("1024") { 1024 } else { n };
-        println!("{label:28} -> {}", run(nn, t, alpha, order, smooth, sweeps, cfl));
+        println!(
+            "{label:28} -> {}",
+            run(nn, t, alpha, order, smooth, sweeps, cfl)
+        );
     }
 }

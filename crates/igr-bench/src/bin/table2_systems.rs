@@ -36,6 +36,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("Paper values (Table 2): El Capitan 11136 nodes / 5.6 PB APU / 34.8 MW / 1742 PF / #1;");
+    println!(
+        "Paper values (Table 2): El Capitan 11136 nodes / 5.6 PB APU / 34.8 MW / 1742 PF / #1;"
+    );
     println!("Frontier 9472 nodes / 4.8+4.8 PB / 24.6 MW / 1353 PF / #2; Alps 2688 nodes / 1.0+1.3 PB / 7.1 MW / 435 PF / #8.");
 }

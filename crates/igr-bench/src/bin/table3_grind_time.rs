@@ -47,7 +47,12 @@ fn main() {
         measure_grind(&mut s, warmup, steps).ns_per_cell_step
     };
 
-    t.row(vec!["WENO5+HLLC", "FP64", &fmt_g(weno64), &fmt_g(weno64 / igr64)]);
+    t.row(vec![
+        "WENO5+HLLC",
+        "FP64",
+        &fmt_g(weno64),
+        &fmt_g(weno64 / igr64),
+    ]);
     t.row(vec!["IGR", "FP64", &fmt_g(igr64), "1.000"]);
     t.row(vec!["IGR", "FP32", &fmt_g(igr32), &fmt_g(igr32 / igr64)]);
     t.row(vec!["IGR", "FP16/32", &fmt_g(igr16), &fmt_g(igr16 / igr64)]);
@@ -81,14 +86,20 @@ fn main() {
                 model.spec.name.to_string(),
                 prec.label().to_string(),
                 fmt_opt(base),
-                if model.spec.unified_pool { "(unified)".into() } else { fmt_opt(ic) },
+                if model.spec.unified_pool {
+                    "(unified)".into()
+                } else {
+                    fmt_opt(ic)
+                },
                 fmt_opt(un),
             ]);
         }
     }
     println!("{}", m.render());
     println!("*N/A: numerically unstable below FP64 (paper Table 3's '*').");
-    println!("Paper FP64 row: GH200 16.89/3.83/4.18; MI250X GCD 69.72/13.01/19.81; MI300A 29.50/-/7.21.");
+    println!(
+        "Paper FP64 row: GH200 16.89/3.83/4.18; MI250X GCD 69.72/13.01/19.81; MI300A 29.50/-/7.21."
+    );
 
     // Table 1 lists FLOPs among the measurement mechanisms: report the
     // achieved rates implied by the measured grind times, and the
@@ -96,7 +107,12 @@ fn main() {
     // more wall time than its FLOP advantage alone would give.
     section("FLOP accounting (Table 1's measurement mechanism)");
     let fm = igr_perf::FlopModel::default();
-    let mut ft = TextTable::new(vec!["Scheme", "FLOPs/cell/step", "GFLOP/s (measured)", "FLOP/byte"]);
+    let mut ft = TextTable::new(vec![
+        "Scheme",
+        "FLOPs/cell/step",
+        "GFLOP/s (measured)",
+        "FLOP/byte",
+    ]);
     for (scheme, label, grind) in [
         (Scheme::Igr, "IGR", igr64),
         (Scheme::WenoBaseline, "WENO5+HLLC", weno64),

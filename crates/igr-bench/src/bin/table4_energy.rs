@@ -8,7 +8,12 @@ use igr_prec::StoreF64;
 
 fn main() {
     section("Table 4 (modeled): energy per cell-step, FP64");
-    let mut t = TextTable::new(vec!["Energy (uJ)", "El Capitan (MI300A)", "Frontier (MI250X)", "Alps (GH200)"]);
+    let mut t = TextTable::new(vec![
+        "Energy (uJ)",
+        "El Capitan (MI300A)",
+        "Frontier (MI250X)",
+        "Alps (GH200)",
+    ]);
     let models = EnergyModel::paper_devices(); // MI300A, MI250X, GH200 order
     let row = |scheme: Scheme| -> Vec<String> {
         models
@@ -18,11 +23,25 @@ fn main() {
     };
     let b = row(Scheme::WenoBaseline);
     let i = row(Scheme::Igr);
-    t.row(vec!["Baseline".to_string(), b[0].clone(), b[1].clone(), b[2].clone()]);
-    t.row(vec!["IGR".to_string(), i[0].clone(), i[1].clone(), i[2].clone()]);
+    t.row(vec![
+        "Baseline".to_string(),
+        b[0].clone(),
+        b[1].clone(),
+        b[2].clone(),
+    ]);
+    t.row(vec![
+        "IGR".to_string(),
+        i[0].clone(),
+        i[1].clone(),
+        i[2].clone(),
+    ]);
     println!("{}", t.render());
     println!("Paper: Baseline 15.24 / 10.67 / 9.349; IGR 3.493 / 1.982 / 2.466.");
-    let mut imp = TextTable::new(vec!["Machine", "Improvement (model)", "Improvement (paper)"]);
+    let mut imp = TextTable::new(vec![
+        "Machine",
+        "Improvement (model)",
+        "Improvement (paper)",
+    ]);
     let paper_imp = [15.24 / 3.493, 10.67 / 1.982, 9.349 / 2.466];
     for (m, p) in models.iter().zip(paper_imp) {
         imp.row(vec![
@@ -51,8 +70,16 @@ fn main() {
         measure_grind(&mut s, 1, 3)
     };
     let mut meas = TextTable::new(vec!["Scheme", "ns/cell/step", "uJ/cell/step @65W"]);
-    meas.row(vec!["Baseline", &fmt_g(gw.ns_per_cell_step), &fmt_g(gw.energy_uj(watts))]);
-    meas.row(vec!["IGR", &fmt_g(gi.ns_per_cell_step), &fmt_g(gi.energy_uj(watts))]);
+    meas.row(vec![
+        "Baseline",
+        &fmt_g(gw.ns_per_cell_step),
+        &fmt_g(gw.energy_uj(watts)),
+    ]);
+    meas.row(vec![
+        "IGR",
+        &fmt_g(gi.ns_per_cell_step),
+        &fmt_g(gi.energy_uj(watts)),
+    ]);
     println!("{}", meas.render());
     println!(
         "Measured energy improvement (equal-power proxy): {:.2}x (paper: 4.4x / 5.4x / 3.8x)",

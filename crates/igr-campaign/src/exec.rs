@@ -1,0 +1,464 @@
+//! The sharded campaign executor.
+//!
+//! Scenarios are deduplicated by content hash, looked up in the
+//! [`ResultStore`], and the remainder executed on a pool of worker threads
+//! that pull jobs from a shared cursor (work stealing at job granularity:
+//! a worker that finishes a cheap 1-D scenario immediately steals the next
+//! pending one while a 3-D scenario still occupies its neighbor). Each
+//! worker runs its solver inside a `rayon` pool sized to its share of the
+//! machine, so one campaign saturates the host without oversubscribing it;
+//! decomposed scenarios (`ranks > 1`) additionally spread one run over
+//! `igr-comm` thread-ranks inside the worker's slot.
+
+use crate::report::{CampaignReport, ReportRow, RunStatus, ScenarioResult};
+use crate::spec::{ScenarioSpec, SchemeKind};
+use crate::store::ResultStore;
+use igr_app::base::BaseHeatingReport;
+use igr_app::cases::CaseSetup;
+use igr_app::grind::try_measure_grind;
+use igr_app::parallel::run_decomposed;
+use igr_core::solver::{BcGhostOps, RhsScheme, Solver};
+use igr_prec::{PrecisionMode, Real, Storage, StoreF16, StoreF32, StoreF64};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Concurrent scenario workers.
+    pub workers: usize,
+    /// `rayon` threads each worker's solver uses. 0 = machine parallelism
+    /// divided evenly among workers (at least 1).
+    pub threads_per_worker: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecConfig {
+            workers: cores.clamp(1, 8),
+            threads_per_worker: 0,
+        }
+    }
+}
+
+impl ExecConfig {
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        ExecConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    fn solver_threads(&self) -> usize {
+        if self.threads_per_worker > 0 {
+            return self.threads_per_worker;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores / self.workers).max(1)
+    }
+}
+
+/// A campaign session: an executor plus its result cache. Batches submitted
+/// through one `Campaign` share the cache, so iterating on a sweep re-runs
+/// only the scenarios that changed.
+pub struct Campaign {
+    cfg: ExecConfig,
+    store: ResultStore,
+}
+
+impl Campaign {
+    pub fn new(cfg: ExecConfig) -> Self {
+        Campaign {
+            cfg,
+            store: ResultStore::new(),
+        }
+    }
+
+    /// The result cache (hit/miss counters, size).
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Run a batch of scenarios and report per-scenario results in
+    /// submission order. Duplicates (within the batch or vs. earlier
+    /// batches) are served from the cache; only unique, uncached scenarios
+    /// are simulated.
+    pub fn run(&mut self, specs: &[ScenarioSpec]) -> CampaignReport {
+        let t0 = Instant::now();
+
+        // Normalize and hash every submission.
+        let submissions: Vec<(ScenarioSpec, u64)> = specs
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.normalize();
+                let h = s.content_hash();
+                (s, h)
+            })
+            .collect();
+
+        // Plan: first uncached occurrence of each hash becomes a job.
+        let mut first_occurrence: HashMap<u64, usize> = HashMap::new();
+        let mut jobs: Vec<(ScenarioSpec, u64)> = Vec::new();
+        for (spec, hash) in &submissions {
+            if self.store.contains(*hash) || first_occurrence.contains_key(hash) {
+                continue;
+            }
+            first_occurrence.insert(*hash, jobs.len());
+            // Record the miss now (planning *is* the cache lookup that
+            // fails); the execution below fills the entry.
+            let _ = self.store.fetch(*hash);
+            jobs.push((spec.clone(), *hash));
+        }
+
+        // Execute the job list on the worker pool.
+        let workers = self.cfg.workers.min(jobs.len()).max(1);
+        let solver_threads = self.cfg.solver_threads();
+        let executed = jobs.len();
+        if !jobs.is_empty() {
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<ScenarioResult>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let pool = rayon::ThreadPoolBuilder::new()
+                            .num_threads(solver_threads)
+                            .build()
+                            .expect("rayon pool");
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let result = pool.install(|| run_scenario(&jobs[i].0));
+                            *slots[i].lock().unwrap() = Some(result);
+                        }
+                    });
+                }
+            });
+            for ((_, hash), slot) in jobs.iter().zip(slots) {
+                let result = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("worker filled every claimed slot");
+                self.store.insert(*hash, result);
+            }
+        }
+
+        // Assemble rows in submission order; everything not in the job
+        // list's first-occurrence slot is a cache-served row.
+        let mut rows = Vec::with_capacity(submissions.len());
+        let mut job_slot_used: Vec<bool> = vec![false; executed];
+        let mut cache_hits = 0usize;
+        for (_, hash) in &submissions {
+            let fresh = match first_occurrence.get(hash) {
+                Some(&j) if !job_slot_used[j] => {
+                    job_slot_used[j] = true;
+                    true
+                }
+                _ => false,
+            };
+            // Fresh rows read back the result they just produced — that is
+            // not cache traffic, so bypass the hit counter; cache-served
+            // rows go through the counting fetch.
+            let result = if fresh {
+                self.store
+                    .peek(*hash)
+                    .cloned()
+                    .expect("every executed job was inserted")
+            } else {
+                cache_hits += 1;
+                self.store
+                    .fetch(*hash)
+                    .expect("every submission is in the store by now")
+            };
+            rows.push(ReportRow {
+                result,
+                cached: !fresh,
+            });
+        }
+
+        CampaignReport {
+            rows,
+            executed,
+            cache_hits,
+            workers,
+            batch_wall_s: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Run one scenario to completion (never panics on solver divergence: the
+/// failure becomes a `RunStatus::Failed` row).
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
+    let name = spec.scenario_name();
+    let hash_hex = spec.hash_hex();
+    let case = match spec.build_case() {
+        Ok(c) => c,
+        Err(e) => {
+            return ScenarioResult {
+                name,
+                hash_hex,
+                status: RunStatus::Failed(e.to_string()),
+                cells: 0,
+                steps: spec.steps,
+                ranks: spec.ranks.unwrap_or(1),
+                wall_s: 0.0,
+                ns_per_cell_step: 0.0,
+                mass_drift: 0.0,
+                energy_drift: 0.0,
+                base_heating: None,
+            };
+        }
+    };
+    if spec.ranks.is_some_and(|r| r > 1) {
+        return run_decomposed_scenario(spec, &case);
+    }
+    match (spec.scheme, spec.precision) {
+        (SchemeKind::Igr, PrecisionMode::Fp64) => run_igr::<f64, StoreF64>(spec, &case),
+        (SchemeKind::Igr, PrecisionMode::Fp32) => run_igr::<f32, StoreF32>(spec, &case),
+        (SchemeKind::Igr, PrecisionMode::Fp16Fp32) => run_igr::<f32, StoreF16>(spec, &case),
+        (SchemeKind::WenoBaseline, PrecisionMode::Fp64) => run_weno::<f64, StoreF64>(spec, &case),
+        (SchemeKind::WenoBaseline, PrecisionMode::Fp32) => run_weno::<f32, StoreF32>(spec, &case),
+        (SchemeKind::WenoBaseline, PrecisionMode::Fp16Fp32) => {
+            run_weno::<f32, StoreF16>(spec, &case)
+        }
+    }
+}
+
+fn run_igr<R: Real, S: Storage<R>>(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioResult {
+    let cfg = spec.igr_config(case);
+    let mut solver = igr_core::solver::igr_solver::<R, S>(cfg, case.domain, case.init_state());
+    drive(spec, case, &mut solver)
+}
+
+fn run_weno<R: Real, S: Storage<R>>(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioResult {
+    let cfg = spec.weno_config(case);
+    let mut solver = igr_baseline::scheme::weno_solver::<R, S>(cfg, case.domain, case.init_state());
+    drive(spec, case, &mut solver)
+}
+
+/// Shared measurement path: grind timing, conservation drift, base heating.
+fn drive<R, S, Sch>(
+    spec: &ScenarioSpec,
+    case: &CaseSetup,
+    solver: &mut Solver<R, S, Sch, BcGhostOps>,
+) -> ScenarioResult
+where
+    R: Real,
+    S: Storage<R>,
+    Sch: RhsScheme<R, S>,
+{
+    let totals0 = solver.q.totals(&case.domain);
+    let cells = case.domain.shape.n_interior();
+    match try_measure_grind(solver, spec.warmup, spec.steps) {
+        Ok(g) => {
+            let totals1 = solver.q.totals(&case.domain);
+            let base_heating = case.jet_inflow.as_ref().map(|inflow| {
+                BaseHeatingReport::measure(&solver.q, &case.domain, case.gamma, inflow)
+            });
+            ScenarioResult {
+                name: case.name.clone(),
+                hash_hex: spec.hash_hex(),
+                status: RunStatus::Completed,
+                cells,
+                steps: g.steps,
+                ranks: 1,
+                wall_s: g.wall_s,
+                ns_per_cell_step: g.ns_per_cell_step,
+                mass_drift: rel_drift(totals0[0], totals1[0]),
+                energy_drift: rel_drift(totals0[4], totals1[4]),
+                base_heating,
+            }
+        }
+        Err(e) => ScenarioResult {
+            name: case.name.clone(),
+            hash_hex: spec.hash_hex(),
+            status: RunStatus::Failed(e.to_string()),
+            cells,
+            steps: spec.steps,
+            ranks: 1,
+            wall_s: 0.0,
+            ns_per_cell_step: 0.0,
+            mass_drift: 0.0,
+            energy_drift: 0.0,
+            base_heating: None,
+        },
+    }
+}
+
+/// Decomposed (multi-rank) path: the whole run goes through `igr-app`'s
+/// rank driver, which has no warmup/timed split — so every step (warmup
+/// included) is timed and the grind normalizes by that same total count.
+/// The timer necessarily wraps rank spawn/gather too, so the number is an
+/// upper bound relative to the single-block path.
+fn run_decomposed_scenario(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioResult {
+    let ranks = spec.ranks.unwrap_or(1);
+    let cfg = spec.igr_config(case);
+    let init = case.init.clone();
+    let steps = spec.warmup + spec.steps;
+    let cells = case.domain.shape.n_interior();
+    let t0 = Instant::now();
+    let run = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, ranks, steps, move |p| init(p));
+    let wall_s = t0.elapsed().as_secs_f64();
+    let totals0: [f64; 5] = case.init_state::<f64, StoreF64>().totals(&case.domain);
+    let totals1 = run.state.totals(&case.domain);
+    let status = match run.state.find_non_finite() {
+        None => RunStatus::Completed,
+        Some((var, pos)) => RunStatus::Failed(format!(
+            "non-finite value in variable {var} at {pos:?} after decomposed run"
+        )),
+    };
+    let base_heating = case
+        .jet_inflow
+        .as_ref()
+        .map(|inflow| BaseHeatingReport::measure(&run.state, &case.domain, case.gamma, inflow));
+    ScenarioResult {
+        name: case.name.clone(),
+        hash_hex: spec.hash_hex(),
+        status,
+        cells,
+        // Every step of the decomposed run is timed, so both the reported
+        // step count and the grind normalization use the full total.
+        steps,
+        ranks,
+        wall_s,
+        ns_per_cell_step: wall_s * 1e9 / (steps.max(1) as f64 * cells as f64),
+        mass_drift: rel_drift(totals0[0], totals1[0]),
+        energy_drift: rel_drift(totals0[4], totals1[4]),
+        base_heating,
+    }
+}
+
+fn rel_drift(before: f64, after: f64) -> f64 {
+    (after - before).abs() / before.abs().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BaseCase;
+
+    fn quick_spec() -> ScenarioSpec {
+        let mut s = ScenarioSpec::new(BaseCase::SteepeningWave { amp: 0.2 }, 48);
+        s.warmup = 1;
+        s.steps = 2;
+        s
+    }
+
+    #[test]
+    fn duplicated_scenarios_are_served_from_cache() {
+        let mut campaign = Campaign::new(ExecConfig {
+            workers: 2,
+            threads_per_worker: 1,
+        });
+        let a = quick_spec();
+        let mut b = quick_spec();
+        b.resolution = 64;
+        // Submit A twice and B once: 3 rows, 2 simulations.
+        let report = campaign.run(&[a.clone(), b.clone(), a.clone()]);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.executed, 2, "run count == unique count");
+        assert_eq!(report.cache_hits, 1);
+        assert!(!report.rows[0].cached);
+        assert!(!report.rows[1].cached);
+        assert!(report.rows[2].cached);
+        // Resubmitting the whole batch is all cache hits.
+        let again = campaign.run(&[a, b]);
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.cache_hits, 2);
+        assert!(again.rows.iter().all(|r| r.cached));
+        assert_eq!(campaign.store().len(), 2);
+    }
+
+    #[test]
+    fn cached_rows_match_executed_rows_bit_for_bit_in_physics() {
+        let mut campaign = Campaign::new(ExecConfig {
+            workers: 1,
+            threads_per_worker: 1,
+        });
+        let spec = quick_spec();
+        let first = campaign.run(std::slice::from_ref(&spec));
+        let second = campaign.run(std::slice::from_ref(&spec));
+        let (a, b) = (&first.rows[0].result, &second.rows[0].result);
+        assert_eq!(a.hash_hex, b.hash_hex);
+        assert_eq!(a.mass_drift.to_bits(), b.mass_drift.to_bits());
+        assert_eq!(a.energy_drift.to_bits(), b.energy_drift.to_bits());
+        assert!(second.rows[0].cached);
+    }
+
+    #[test]
+    fn invalid_specs_become_failed_rows_not_panics() {
+        let mut bad = ScenarioSpec::new(BaseCase::Sod, 64);
+        bad.backpressure = Some(0.5); // non-jet case: invalid override
+        let mut campaign = Campaign::new(ExecConfig {
+            workers: 1,
+            threads_per_worker: 1,
+        });
+        let report = campaign.run(std::slice::from_ref(&bad));
+        assert_eq!(report.rows.len(), 1);
+        assert!(matches!(report.rows[0].result.status, RunStatus::Failed(_)));
+        // Failed results cache too: a resubmission is not re-attempted.
+        let again = campaign.run(std::slice::from_ref(&bad));
+        assert_eq!(again.executed, 0);
+    }
+
+    #[test]
+    fn jet_scenarios_carry_base_heating_and_grind() {
+        let mut spec = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 16);
+        spec.warmup = 1;
+        spec.steps = 2;
+        let result = run_scenario(&spec);
+        assert!(result.status.is_ok(), "{:?}", result.status);
+        assert!(result.base_heating.is_some());
+        assert!(result.ns_per_cell_step > 0.0);
+        assert_eq!(result.cells, 32 * 16);
+    }
+
+    #[test]
+    fn decomposed_scenario_is_rank_count_invariant() {
+        // 1-rank and 2-rank decomposed runs take the identical adaptive-dt
+        // path (rank-order reductions are deterministic), so the gathered
+        // physics must agree to rounding. (The single-block executor path
+        // is *not* comparable here: grind measurement freezes dt.)
+        let mut spec = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 16);
+        spec.warmup = 0;
+        spec.steps = 2;
+        spec.ranks = Some(2);
+        let case = spec.build_case().unwrap();
+        let one = {
+            let mut s = spec.clone();
+            s.ranks = Some(1);
+            run_decomposed_scenario(&s, &case)
+        };
+        let two = run_decomposed_scenario(&spec, &case);
+        assert!(two.status.is_ok(), "{:?}", two.status);
+        assert_eq!(two.ranks, 2);
+        let (a, b) = (
+            one.base_heating.as_ref().unwrap(),
+            two.base_heating.as_ref().unwrap(),
+        );
+        assert!(
+            (a.mean_pressure - b.mean_pressure).abs() <= 1e-12 * a.mean_pressure.abs().max(1.0),
+            "1 rank {} vs 2 ranks {}",
+            a.mean_pressure,
+            b.mean_pressure
+        );
+        assert!(
+            (a.recirculation_flux - b.recirculation_flux).abs()
+                <= 1e-12 * a.recirculation_flux.abs().max(1.0),
+            "1 rank {} vs 2 ranks {}",
+            a.recirculation_flux,
+            b.recirculation_flux
+        );
+    }
+}

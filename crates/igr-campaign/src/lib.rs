@@ -1,0 +1,53 @@
+//! Ensemble-campaign engine: scenario DSL, sweep expansion, sharded cached
+//! execution, and aggregate reporting.
+//!
+//! The paper's §3 motivates the whole exercise with *simulation campaigns*:
+//! engineers sweep engine-out combinations ("a small number of engine
+//! failures can be compensated for"), thrust-vectoring angles, and
+//! altitude/backpressure conditions across many runs — and IGR makes each
+//! run cheap enough that the *ensemble*, not the single solve, becomes the
+//! unit of work. This crate turns the one-case-at-a-time app layer into
+//! that campaign engine:
+//!
+//! * [`spec`] — [`ScenarioSpec`]: a declarative, content-hashed description
+//!   of one parameterized run (base case, resolution, precision, scheme,
+//!   engine-out sets, per-engine gimbal schedules, ambient backpressure,
+//!   solver knobs);
+//! * [`sweep`] — [`Sweep`]: cartesian/zip/sampled parameter axes expanded
+//!   into scenario lists (engine-out × gimbal × backpressure × …);
+//! * [`exec`] — [`Campaign`]: a work-stealing worker pool that deduplicates
+//!   by content hash, serves repeats from the result cache, runs the rest
+//!   (optionally decomposed over `igr-comm` thread-ranks), and captures
+//!   grind time per scenario;
+//! * [`store`] — [`ResultStore`]: the content-hash result cache with
+//!   hit/miss accounting;
+//! * [`report`] — [`CampaignReport`]: per-scenario grind, conservation
+//!   drift, and base-heating diagnostics aggregated into JSON/CSV/text.
+//!
+//! ```no_run
+//! use igr_campaign::{Campaign, ExecConfig, sweep};
+//!
+//! // Engine-out × gimbal × backpressure on the 3-engine array.
+//! let sweep = sweep::engine_out_gimbal_backpressure(
+//!     32, 4,
+//!     &[vec![], vec![0], vec![1], vec![2]],
+//!     &[0.0, 0.06, 0.12],
+//!     &[1.0, 0.25],
+//! );
+//! let mut campaign = Campaign::new(ExecConfig::default());
+//! let report = campaign.run(&sweep.expand());
+//! println!("{}", report.to_text());
+//! std::fs::write("campaign.json", report.to_json()).unwrap();
+//! ```
+
+pub mod exec;
+pub mod report;
+pub mod spec;
+pub mod store;
+pub mod sweep;
+
+pub use exec::{run_scenario, Campaign, ExecConfig};
+pub use report::{CampaignReport, ReportRow, RunStatus, ScenarioResult};
+pub use spec::{BaseCase, ScenarioSpec, SchemeKind, SpecError};
+pub use store::ResultStore;
+pub use sweep::{Delta, ExpandMode, ParamAxis, Sweep};

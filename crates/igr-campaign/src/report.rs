@@ -1,0 +1,406 @@
+//! Campaign reports: per-scenario records and machine-readable aggregates.
+//!
+//! One campaign run produces one [`CampaignReport`]: a row per submitted
+//! scenario (in submission order, cache-served or executed) carrying the
+//! grind measurement, conservation drift, and base-heating diagnostics,
+//! plus whole-campaign aggregates. Renders to JSON (no external
+//! serialization crates exist in this environment, so the writer is
+//! hand-rolled), CSV, and a fixed-width text table.
+
+use igr_app::base::BaseHeatingReport;
+
+/// How a scenario run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    Completed,
+    /// The solver diverged or rejected the configuration; the message is
+    /// the solver/spec error. Failed runs are cached too — resubmitting a
+    /// known-diverging scenario should not re-burn the compute.
+    Failed(String),
+}
+
+impl RunStatus {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
+
+/// Everything measured about one scenario execution.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    pub name: String,
+    /// `ScenarioSpec::hash_hex` of the spec that produced this.
+    pub hash_hex: String,
+    pub status: RunStatus,
+    /// Interior cells of the (global) grid.
+    pub cells: usize,
+    /// Timed steps.
+    pub steps: usize,
+    /// Thread-ranks the run was decomposed over (1 = single block).
+    pub ranks: usize,
+    /// Wall-clock of the timed region, seconds.
+    pub wall_s: f64,
+    /// Grind time, ns per cell per step (Table 3's metric).
+    pub ns_per_cell_step: f64,
+    /// Relative change of total mass over the run, `|m1 - m0| / m0`. For
+    /// closed (periodic) cases this is a conservation check; for jet cases
+    /// it reports the global mass-budget change through the boundaries.
+    pub mass_drift: f64,
+    /// Relative change of total energy over the run.
+    pub energy_drift: f64,
+    /// Base-plane heating diagnostics (jet cases only).
+    pub base_heating: Option<BaseHeatingReport>,
+}
+
+/// One report row: the result plus how it was obtained.
+#[derive(Clone, Debug)]
+pub struct ReportRow {
+    pub result: ScenarioResult,
+    /// True when the row was served from the result cache.
+    pub cached: bool,
+}
+
+/// The aggregated outcome of one executor batch.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Per-scenario rows, in submission order.
+    pub rows: Vec<ReportRow>,
+    /// Scenarios actually simulated in this batch.
+    pub executed: usize,
+    /// Scenarios served from the result cache (duplicates within the batch
+    /// and resubmissions across batches).
+    pub cache_hits: usize,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Wall-clock of the whole batch, seconds.
+    pub batch_wall_s: f64,
+}
+
+impl CampaignReport {
+    /// Completed rows only.
+    pub fn completed(&self) -> impl Iterator<Item = &ReportRow> {
+        self.rows.iter().filter(|r| r.result.status.is_ok())
+    }
+
+    /// Total cell-steps simulated (executed rows only — cached rows cost
+    /// nothing, which is the point).
+    pub fn cell_steps_executed(&self) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| !r.cached && r.result.status.is_ok())
+            .map(|r| r.result.cells as u64 * r.result.steps as u64)
+            .sum()
+    }
+
+    /// Mean grind time over completed rows (ns/cell/step).
+    pub fn mean_grind(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for r in self.completed() {
+            sum += r.result.ns_per_cell_step;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// The completed scenario with the highest recirculation flux — the
+    /// campaign's answer to "which configuration heats the base worst?".
+    pub fn worst_base_heating(&self) -> Option<&ReportRow> {
+        self.completed()
+            .filter(|r| r.result.base_heating.is_some())
+            .max_by(|a, b| {
+                let fa = a.result.base_heating.as_ref().unwrap().recirculation_flux;
+                let fb = b.result.base_heating.as_ref().unwrap().recirculation_flux;
+                fa.total_cmp(&fb)
+            })
+    }
+
+    /// Machine-readable JSON: `{"summary": {...}, "scenarios": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 * self.rows.len() + 256);
+        s.push_str("{\n  \"summary\": {");
+        s.push_str(&format!(
+            "\"scenarios\": {}, \"executed\": {}, \"cache_hits\": {}, \
+             \"workers\": {}, \"batch_wall_s\": {}, \"cell_steps_executed\": {}, \
+             \"mean_grind_ns\": {}",
+            self.rows.len(),
+            self.executed,
+            self.cache_hits,
+            self.workers,
+            json_f64(self.batch_wall_s),
+            self.cell_steps_executed(),
+            json_f64(self.mean_grind()),
+        ));
+        s.push_str("},\n  \"scenarios\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let r = &row.result;
+            s.push_str("    {");
+            s.push_str(&format!(
+                "\"name\": {}, \"hash\": \"{}\", \"cached\": {}, \"status\": {}, \
+                 \"cells\": {}, \"steps\": {}, \"ranks\": {}, \"wall_s\": {}, \
+                 \"grind_ns_per_cell_step\": {}, \"mass_drift\": {}, \"energy_drift\": {}",
+                json_str(&r.name),
+                r.hash_hex,
+                row.cached,
+                match &r.status {
+                    RunStatus::Completed => "\"completed\"".to_string(),
+                    RunStatus::Failed(msg) => json_str(&format!("failed: {msg}")),
+                },
+                r.cells,
+                r.steps,
+                r.ranks,
+                json_f64(r.wall_s),
+                json_f64(r.ns_per_cell_step),
+                json_f64(r.mass_drift),
+                json_f64(r.energy_drift),
+            ));
+            if let Some(b) = &r.base_heating {
+                s.push_str(&format!(
+                    ", \"base_heating\": {{\"heated_fraction\": {}, \
+                     \"recirculation_flux\": {}, \"mean_backflow_enthalpy\": {}, \
+                     \"peak_temperature\": {}, \"mean_pressure\": {}, \
+                     \"footprint_centroid\": [{}, {}]}}",
+                    json_f64(b.heated_fraction),
+                    json_f64(b.recirculation_flux),
+                    json_f64(b.mean_backflow_enthalpy),
+                    json_f64(b.peak_temperature),
+                    json_f64(b.mean_pressure),
+                    json_f64(b.footprint_centroid[0]),
+                    json_f64(b.footprint_centroid[1]),
+                ));
+            }
+            s.push('}');
+            if i + 1 < self.rows.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// CSV with one row per scenario (base-heating columns empty for
+    /// non-jet cases).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "name,hash,cached,status,cells,steps,ranks,wall_s,grind_ns_per_cell_step,\
+             mass_drift,energy_drift,heated_fraction,recirc_flux,backflow_h0,peak_T,\
+             mean_p_base,centroid_a,centroid_b\n",
+        );
+        for row in &self.rows {
+            let r = &row.result;
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                csv_str(&r.name),
+                r.hash_hex,
+                row.cached,
+                match &r.status {
+                    RunStatus::Completed => "completed".to_string(),
+                    RunStatus::Failed(msg) => csv_str(&format!("failed: {msg}")),
+                },
+                r.cells,
+                r.steps,
+                r.ranks,
+                r.wall_s,
+                r.ns_per_cell_step,
+                r.mass_drift,
+                r.energy_drift,
+            ));
+            match &r.base_heating {
+                Some(b) => s.push_str(&format!(
+                    ",{},{},{},{},{},{},{}\n",
+                    b.heated_fraction,
+                    b.recirculation_flux,
+                    b.mean_backflow_enthalpy,
+                    b.peak_temperature,
+                    b.mean_pressure,
+                    b.footprint_centroid[0],
+                    b.footprint_centroid[1],
+                )),
+                None => s.push_str(",,,,,,,\n"),
+            }
+        }
+        s
+    }
+
+    /// Fixed-width text table for terminals.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<60} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+            "scenario", "cached", "grind ns", "wall s", "recirc", "peak T"
+        ));
+        s.push_str(&"-".repeat(112));
+        s.push('\n');
+        for row in &self.rows {
+            let r = &row.result;
+            let (recirc, peak) = match &r.base_heating {
+                Some(b) => (
+                    format!("{:.4}", b.recirculation_flux),
+                    format!("{:.2}", b.peak_temperature),
+                ),
+                None => ("-".into(), "-".into()),
+            };
+            let grind = if r.status.is_ok() {
+                format!("{:.0}", r.ns_per_cell_step)
+            } else {
+                "FAILED".into()
+            };
+            s.push_str(&format!(
+                "{:<60} {:>6} {:>10} {:>10.3} {:>10} {:>10}\n",
+                truncate(&r.name, 60),
+                if row.cached { "yes" } else { "no" },
+                grind,
+                r.wall_s,
+                recirc,
+                peak
+            ));
+        }
+        s.push_str(&format!(
+            "\n{} scenarios | {} executed | {} cache hits | {:.2} s batch wall | \
+             mean grind {:.0} ns/cell/step\n",
+            self.rows.len(),
+            self.executed,
+            self.cache_hits,
+            self.batch_wall_s,
+            self.mean_grind()
+        ));
+        s
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(n - 1)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
+    }
+}
+
+/// JSON number formatting: finite floats print bare, non-finite become
+/// null (JSON has no NaN/Inf).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn csv_str(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, grind: f64, recirc: Option<f64>) -> ScenarioResult {
+        ScenarioResult {
+            name: name.into(),
+            hash_hex: format!("{:016x}", 0xabcu64),
+            status: RunStatus::Completed,
+            cells: 100,
+            steps: 4,
+            ranks: 1,
+            wall_s: 0.01,
+            ns_per_cell_step: grind,
+            mass_drift: 1e-15,
+            energy_drift: 2e-15,
+            base_heating: recirc.map(|f| BaseHeatingReport {
+                recirculation_flux: f,
+                ..Default::default()
+            }),
+        }
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            rows: vec![
+                ReportRow {
+                    result: result("a", 100.0, Some(0.5)),
+                    cached: false,
+                },
+                ReportRow {
+                    result: result("b", 300.0, Some(1.5)),
+                    cached: false,
+                },
+                ReportRow {
+                    result: result("a", 100.0, Some(0.5)),
+                    cached: true,
+                },
+            ],
+            executed: 2,
+            cache_hits: 1,
+            workers: 2,
+            batch_wall_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn aggregates_count_executed_rows_only() {
+        let r = report();
+        assert_eq!(r.cell_steps_executed(), 2 * 400);
+        assert!((r.mean_grind() - (100.0 + 300.0 + 100.0) / 3.0).abs() < 1e-12);
+        assert_eq!(r.worst_base_heating().unwrap().result.name, "b");
+    }
+
+    #[test]
+    fn json_has_summary_and_all_rows() {
+        let j = report().to_json();
+        assert!(j.contains("\"executed\": 2"));
+        assert!(j.contains("\"cache_hits\": 1"));
+        assert_eq!(j.matches("\"name\"").count(), 3);
+        assert!(j.contains("\"base_heating\""));
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn csv_row_count_matches() {
+        let c = report().to_csv();
+        assert_eq!(c.lines().count(), 4, "header + 3 rows");
+        assert!(c.lines().nth(3).unwrap().starts_with("a,"));
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nonfinite() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -1,0 +1,731 @@
+//! The scenario DSL: a declarative, hashable description of one run.
+//!
+//! A [`ScenarioSpec`] captures everything that determines a simulation's
+//! result — base case, resolution, precision, scheme, engine-layout
+//! overrides (engine-out sets, gimbal schedules, ambient backpressure), and
+//! solver knobs — in plain data. Two consequences:
+//!
+//! * the executor can **deduplicate and cache** runs by the spec's stable
+//!   [content hash](ScenarioSpec::content_hash) (same physics ⇒ same hash,
+//!   any physics change ⇒ new hash);
+//! * sweeps ([`crate::sweep`]) can enumerate thousands of scenarios without
+//!   touching solver machinery.
+
+use igr_app::cases::{self, CaseSetup};
+use igr_app::jets::{self, GimbalSchedule, JetConditions, ScheduledJetInflow};
+use igr_core::bc::Bc;
+use igr_grid::Axis;
+use igr_prec::PrecisionMode;
+use std::sync::Arc;
+
+/// Which solver scheme runs the scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Information geometric regularization (the paper's method).
+    Igr,
+    /// WENO5-JS + HLLC (the state-of-the-art baseline).
+    WenoBaseline,
+}
+
+impl SchemeKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Igr => "igr",
+            SchemeKind::WenoBaseline => "weno",
+        }
+    }
+}
+
+/// The case-library workload a scenario starts from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaseCase {
+    /// Sod shock tube (1-D validation workload).
+    Sod,
+    /// Steepening wave with velocity amplitude `amp` (Fig. 2a).
+    SteepeningWave { amp: f64 },
+    /// Shu–Osher shock/entropy-wave interaction.
+    ShuOsher,
+    /// 2-D isentropic vortex (smooth-accuracy workload).
+    IsentropicVortex,
+    /// Single Mach-10 jet in 3-D (Table 3's representative problem).
+    SingleJet3d,
+    /// Three engines in a row, 2-D, noise-seeded (Fig. 5).
+    ThreeEngine2d { noise_amp: f64, seed: u64 },
+    /// `engines` engines in a 2-D row (the base-heating sweep workload).
+    EngineRow2d { engines: usize },
+    /// The 33-engine Super-Heavy-inspired array, 3-D (Fig. 1).
+    SuperHeavy3d,
+}
+
+impl BaseCase {
+    /// Short name used in derived scenario names and reports.
+    pub fn name(&self) -> String {
+        match self {
+            BaseCase::Sod => "sod".into(),
+            BaseCase::SteepeningWave { .. } => "steepening-wave".into(),
+            BaseCase::ShuOsher => "shu-osher".into(),
+            BaseCase::IsentropicVortex => "isentropic-vortex".into(),
+            BaseCase::SingleJet3d => "single-jet-3d".into(),
+            BaseCase::ThreeEngine2d { .. } => "three-engine-2d".into(),
+            BaseCase::EngineRow2d { engines } => format!("engine-row{engines}-2d"),
+            BaseCase::SuperHeavy3d => "super-heavy-33".into(),
+        }
+    }
+
+    /// Does this base case carry an engine array (and thus accept
+    /// engine-layout overrides)?
+    pub fn is_jet(&self) -> bool {
+        matches!(
+            self,
+            BaseCase::SingleJet3d
+                | BaseCase::ThreeEngine2d { .. }
+                | BaseCase::EngineRow2d { .. }
+                | BaseCase::SuperHeavy3d
+        )
+    }
+
+    fn build(&self, n: usize) -> CaseSetup {
+        match self {
+            BaseCase::Sod => cases::sod(n),
+            BaseCase::SteepeningWave { amp } => cases::steepening_wave(n, *amp),
+            BaseCase::ShuOsher => cases::shu_osher(n),
+            BaseCase::IsentropicVortex => cases::isentropic_vortex(n),
+            BaseCase::SingleJet3d => cases::single_jet_3d(n),
+            BaseCase::ThreeEngine2d { noise_amp, seed } => {
+                cases::three_engine_2d(n, *noise_amp, *seed)
+            }
+            BaseCase::EngineRow2d { engines } => {
+                cases::engine_row_2d(n, *engines, JetConditions::mach10())
+            }
+            BaseCase::SuperHeavy3d => cases::super_heavy_3d(n),
+        }
+    }
+}
+
+/// A declarative description of one parameterized run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Optional human label. **Excluded from the content hash**: labels name
+    /// a scenario, they don't change its physics, so relabeled resubmissions
+    /// still hit the result cache.
+    pub label: Option<String>,
+    pub base: BaseCase,
+    /// Resolution parameter passed to the case constructor (cells across
+    /// the characteristic length; the constructor fixes the aspect ratio).
+    pub resolution: usize,
+    /// FP64, FP32, or FP16-storage/FP32-compute.
+    pub precision: PrecisionMode,
+    pub scheme: SchemeKind,
+    /// Untimed warm-up steps before measurement.
+    pub warmup: usize,
+    /// Timed steps.
+    pub steps: usize,
+    /// Engine indices (into the base layout) shut down — §3's engine-failure
+    /// scenarios. Sorted and deduplicated by [`Self::normalize`].
+    pub engine_out: Vec<usize>,
+    /// Per-engine gimbal schedules, `(engine index into the base layout,
+    /// schedule)` — thrust-vectoring overrides. Indices refer to the layout
+    /// *before* engine-out removal and must not collide with it.
+    pub gimbal: Vec<(usize, GimbalSchedule)>,
+    /// Ambient backpressure override: the altitude condition. `Some(p)`
+    /// replaces the jet conditions with Mach-10 exhaust into ambient
+    /// pressure `p` (under-expanded for `p < 1`).
+    pub backpressure: Option<f64>,
+    /// CFL override (None = case default).
+    pub cfl: Option<f64>,
+    /// Elliptic-sweep-count override (IGR only; None = default).
+    pub elliptic_sweeps: Option<usize>,
+    /// IGR strength prefactor override (None = default).
+    pub alpha_factor: Option<f64>,
+    /// Run decomposed over this many `igr-comm` thread-ranks (IGR/FP64
+    /// only). None or Some(1) = single-block run.
+    pub ranks: Option<usize>,
+}
+
+impl ScenarioSpec {
+    /// A single-block IGR/FP64 scenario of `base` at resolution `n` with no
+    /// overrides — the starting point sweeps mutate.
+    pub fn new(base: BaseCase, resolution: usize) -> Self {
+        ScenarioSpec {
+            label: None,
+            base,
+            resolution,
+            precision: PrecisionMode::Fp64,
+            scheme: SchemeKind::Igr,
+            warmup: 1,
+            steps: 4,
+            engine_out: Vec::new(),
+            gimbal: Vec::new(),
+            backpressure: None,
+            cfl: None,
+            elliptic_sweeps: None,
+            alpha_factor: None,
+            ranks: None,
+        }
+    }
+
+    /// Canonicalize order-insensitive fields so that equivalent specs hash
+    /// identically: engine-out sets and gimbal lists are sorted and
+    /// deduplicated (last schedule per engine wins), and gimbal overrides
+    /// on shut-down engines are dropped — a dead engine's thrust vector is
+    /// physically meaningless, so a cartesian sweep's `(out=[0], gimbal on
+    /// 0)` point collapses onto `(out=[0])` and dedups against it.
+    pub fn normalize(&mut self) {
+        self.engine_out.sort_unstable();
+        self.engine_out.dedup();
+        self.gimbal.sort_by_key(|(i, _)| *i);
+        self.gimbal.reverse();
+        self.gimbal.dedup_by_key(|(i, _)| *i);
+        self.gimbal.reverse();
+        let out = std::mem::take(&mut self.engine_out);
+        self.gimbal.retain(|(i, _)| !out.contains(i));
+        self.engine_out = out;
+        if self.ranks == Some(1) {
+            self.ranks = None;
+        }
+    }
+
+    /// Check the spec is executable before it reaches a worker.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.resolution < 8 {
+            return Err(SpecError(format!(
+                "resolution {} too coarse for the 5th-order stencil",
+                self.resolution
+            )));
+        }
+        if self.steps == 0 {
+            return Err(SpecError("steps must be positive".into()));
+        }
+        if !self.base.is_jet() {
+            if !self.engine_out.is_empty() || !self.gimbal.is_empty() || self.backpressure.is_some()
+            {
+                return Err(SpecError(format!(
+                    "base case '{}' has no engine array: engine_out/gimbal/backpressure \
+                     overrides do not apply",
+                    self.base.name()
+                )));
+            }
+        }
+        if let Some(p) = self.backpressure {
+            if p <= 0.0 {
+                return Err(SpecError(format!("backpressure must be positive, got {p}")));
+            }
+        }
+        if let Some(n) = self.ranks {
+            if n == 0 {
+                return Err(SpecError("ranks must be >= 1".into()));
+            }
+            if n > 1 && self.scheme != SchemeKind::Igr {
+                return Err(SpecError(
+                    "decomposed runs support the IGR scheme only".into(),
+                ));
+            }
+            if n > 1 && self.precision != PrecisionMode::Fp64 {
+                return Err(SpecError(
+                    "decomposed runs support FP64 only (gather is FP64)".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable 64-bit content hash over every physics-determining field
+    /// (label excluded). FNV-1a over a canonical field-tagged encoding:
+    /// independent of process, platform, and std hasher seeding, so it can
+    /// key an on-disk result cache.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Canon::new();
+        h.tag("base");
+        match &self.base {
+            BaseCase::Sod => h.tag("sod"),
+            BaseCase::SteepeningWave { amp } => {
+                h.tag("steepening");
+                h.f64(*amp);
+            }
+            BaseCase::ShuOsher => h.tag("shu-osher"),
+            BaseCase::IsentropicVortex => h.tag("vortex"),
+            BaseCase::SingleJet3d => h.tag("single-jet"),
+            BaseCase::ThreeEngine2d { noise_amp, seed } => {
+                h.tag("three-engine");
+                h.f64(*noise_amp);
+                h.u64(*seed);
+            }
+            BaseCase::EngineRow2d { engines } => {
+                h.tag("engine-row");
+                h.u64(*engines as u64);
+            }
+            BaseCase::SuperHeavy3d => h.tag("super-heavy"),
+        }
+        h.tag("res");
+        h.u64(self.resolution as u64);
+        h.tag("prec");
+        h.tag(match self.precision {
+            PrecisionMode::Fp64 => "fp64",
+            PrecisionMode::Fp32 => "fp32",
+            PrecisionMode::Fp16Fp32 => "fp16fp32",
+        });
+        h.tag("scheme");
+        h.tag(self.scheme.name());
+        h.tag("warmup");
+        h.u64(self.warmup as u64);
+        h.tag("steps");
+        h.u64(self.steps as u64);
+        h.tag("out");
+        let mut out = self.engine_out.clone();
+        out.sort_unstable();
+        out.dedup();
+        for i in &out {
+            h.u64(*i as u64);
+        }
+        h.tag("gimbal");
+        // Mirror normalize() exactly: last schedule per engine wins, and
+        // gimbal on a shut-down engine does not exist. A BTreeMap gives both
+        // (later inserts overwrite) plus sorted iteration.
+        let gim: std::collections::BTreeMap<usize, &GimbalSchedule> = self
+            .gimbal
+            .iter()
+            .filter(|(i, _)| !out.contains(i))
+            .map(|(i, s)| (*i, s))
+            .collect();
+        for (i, sched) in gim {
+            h.u64(i as u64);
+            for (t, a) in &sched.knots {
+                h.f64(*t);
+                h.f64(a[0]);
+                h.f64(a[1]);
+            }
+        }
+        h.tag("pamb");
+        h.opt_f64(self.backpressure);
+        h.tag("cfl");
+        h.opt_f64(self.cfl);
+        h.tag("sweeps");
+        h.opt_u64(self.elliptic_sweeps.map(|s| s as u64));
+        h.tag("alpha");
+        h.opt_f64(self.alpha_factor);
+        h.tag("ranks");
+        h.opt_u64(self.ranks.map(|r| r as u64));
+        h.finish()
+    }
+
+    /// The content hash as a fixed-width hex string (report/cache key form).
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// Human-readable name: the label if set, else derived from the
+    /// parameters (`engine-row3-2d-n32+out[1]+pamb0.25+fp32+weno`).
+    pub fn scenario_name(&self) -> String {
+        if let Some(l) = &self.label {
+            return l.clone();
+        }
+        let mut s = format!("{}-n{}", self.base.name(), self.resolution);
+        if !self.engine_out.is_empty() {
+            let ids: Vec<String> = self.engine_out.iter().map(|i| i.to_string()).collect();
+            s.push_str(&format!("+out[{}]", ids.join(",")));
+        }
+        for (i, sched) in &self.gimbal {
+            let a = sched.at(f64::INFINITY); // final angles
+            if a[1] == 0.0 {
+                s.push_str(&format!("+g{}@{:.2}", i, a[0]));
+            } else {
+                s.push_str(&format!("+g{}@{:.2},{:.2}", i, a[0], a[1]));
+            }
+            if sched.knots.len() > 1 {
+                s.push('~'); // marks a time-varying schedule
+            }
+        }
+        if let Some(p) = self.backpressure {
+            s.push_str(&format!("+pamb{p:.3}"));
+        }
+        s.push_str(match self.precision {
+            PrecisionMode::Fp64 => "+fp64",
+            PrecisionMode::Fp32 => "+fp32",
+            PrecisionMode::Fp16Fp32 => "+fp16",
+        });
+        s.push('+');
+        s.push_str(self.scheme.name());
+        if let Some(r) = self.ranks {
+            if r > 1 {
+                s.push_str(&format!("+ranks{r}"));
+            }
+        }
+        s
+    }
+
+    /// Materialize the spec into a runnable [`CaseSetup`], applying the
+    /// engine-layout overrides on top of the base case.
+    pub fn build_case(&self) -> Result<CaseSetup, SpecError> {
+        self.validate()?;
+        let mut case = self.base.build(self.resolution);
+        case.name = self.scenario_name();
+
+        let needs_rebuild =
+            !self.engine_out.is_empty() || !self.gimbal.is_empty() || self.backpressure.is_some();
+        if !needs_rebuild {
+            return Ok(case);
+        }
+
+        // Rebuild the inflow with the overridden engine set/conditions,
+        // reusing the base case's geometry (domain, plane, flow axis).
+        let base_inflow = case
+            .jet_inflow
+            .as_ref()
+            .expect("validate() guarantees a jet case here");
+        let conditions = match self.backpressure {
+            Some(p) => JetConditions::mach10_at_altitude(p),
+            None => base_inflow.conditions,
+        };
+
+        // Static gimbal (schedule value at t = 0) is applied to the engine
+        // structs so diagnostics see it; time variation goes through the
+        // scheduled inflow profile below.
+        let mut engines = base_inflow.engines.clone();
+        for (i, sched) in &self.gimbal {
+            if *i >= engines.len() {
+                return Err(SpecError(format!(
+                    "gimbal override for engine {i}, but the layout has {}",
+                    engines.len()
+                )));
+            }
+            engines[*i] = engines[*i].with_gimbal(sched.at(0.0));
+        }
+        for &i in &self.engine_out {
+            if i >= engines.len() {
+                return Err(SpecError(format!(
+                    "engine-out index {i}, but the layout has {}",
+                    engines.len()
+                )));
+            }
+        }
+        // Map scheduled indices through the engine-out removal.
+        let survivors: Vec<usize> = (0..engines.len())
+            .filter(|i| !self.engine_out.contains(i))
+            .collect();
+        let engines = jets::without_engines(engines, &self.engine_out);
+
+        let flow_dim = base_inflow.flow_dim;
+        let plane_dims = base_inflow.plane_dims;
+        let name = case.name.clone();
+        let mut rebuilt =
+            cases::jet_case_with(name, case.domain, engines, plane_dims, flow_dim, conditions);
+        // three_engine_2d seeds the initial field with noise; keep the base
+        // case's initial state rather than the rebuilt plain-ambient one
+        // when no backpressure change invalidates it.
+        if self.backpressure.is_none() {
+            rebuilt.init = case.init.clone();
+        }
+
+        // Time-varying schedules need the scheduled inflow profile on the
+        // boundary (the static `jet_inflow` stays for diagnostics).
+        let time_varying: Vec<(usize, GimbalSchedule)> = self
+            .gimbal
+            .iter()
+            .filter(|(_, s)| s.knots.len() > 1)
+            .filter_map(|(i, s)| {
+                survivors
+                    .iter()
+                    .position(|&sv| sv == *i)
+                    .map(|new_i| (new_i, s.clone()))
+            })
+            .collect();
+        if !time_varying.is_empty() {
+            let base = rebuilt
+                .jet_inflow
+                .as_ref()
+                .expect("jet_case_with always sets the inflow");
+            let scheduled = ScheduledJetInflow::new(
+                jets::JetArrayInflow {
+                    engines: base.engines.clone(),
+                    conditions: base.conditions,
+                    plane_dims: base.plane_dims,
+                    flow_dim: base.flow_dim,
+                    lip_width: base.lip_width,
+                },
+                time_varying,
+            );
+            let flow_axis = [Axis::X, Axis::Y, Axis::Z][flow_dim];
+            rebuilt.bc = rebuilt
+                .bc
+                .with_face(flow_axis, 0, Bc::InflowProfile(Arc::new(scheduled)));
+        }
+        Ok(rebuilt)
+    }
+
+    /// The IGR config for this spec (case defaults + spec knob overrides).
+    pub fn igr_config(&self, case: &CaseSetup) -> igr_core::IgrConfig {
+        let mut cfg = case.igr_config();
+        if let Some(c) = self.cfl {
+            cfg.cfl = c;
+        }
+        if let Some(s) = self.elliptic_sweeps {
+            cfg.sweeps = s;
+        }
+        if let Some(a) = self.alpha_factor {
+            cfg.alpha_factor = a;
+        }
+        cfg
+    }
+
+    /// The WENO baseline config for this spec.
+    pub fn weno_config(&self, case: &CaseSetup) -> igr_baseline::WenoConfig {
+        let mut cfg = case.weno_config();
+        if let Some(c) = self.cfl {
+            cfg.cfl = c;
+        }
+        cfg
+    }
+}
+
+/// A spec that cannot be executed (inconsistent overrides, bad parameters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid scenario spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// FNV-1a over a canonical field-tagged byte stream. Tags separate fields
+/// so `(warmup=1, steps=12)` and `(warmup=11, steps=2)` cannot collide by
+/// concatenation; floats hash by `to_bits` (exact, but `-0.0 != 0.0`).
+struct Canon {
+    h: u64,
+}
+
+impl Canon {
+    fn new() -> Self {
+        Canon {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.h ^= b as u64;
+        self.h = self.h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn tag(&mut self, t: &str) {
+        // Length-prefix the tag so tag boundaries are unambiguous.
+        self.u64(t.len() as u64);
+        for b in t.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.byte(0),
+            Some(x) => {
+                self.byte(1);
+                self.f64(x);
+            }
+        }
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.byte(0),
+            Some(x) => {
+                self.byte(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jet_spec() -> ScenarioSpec {
+        ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 16)
+    }
+
+    #[test]
+    fn hash_is_stable_and_label_independent() {
+        let a = jet_spec();
+        let mut b = jet_spec();
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.label = Some("hero run".into());
+        assert_eq!(
+            a.content_hash(),
+            b.content_hash(),
+            "labels don't change physics"
+        );
+    }
+
+    #[test]
+    fn every_physics_field_perturbs_the_hash() {
+        let base = jet_spec();
+        let h0 = base.content_hash();
+        let mut variants: Vec<ScenarioSpec> = Vec::new();
+        variants.push(ScenarioSpec {
+            base: BaseCase::SuperHeavy3d,
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            resolution: 24,
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            precision: PrecisionMode::Fp32,
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            scheme: SchemeKind::WenoBaseline,
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            warmup: 2,
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            steps: 5,
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            engine_out: vec![1],
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            gimbal: vec![(0, GimbalSchedule::constant([0.1, 0.0]))],
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            backpressure: Some(0.25),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            cfl: Some(0.3),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            elliptic_sweeps: Some(3),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            alpha_factor: Some(5.0),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            ranks: Some(2),
+            ..base.clone()
+        });
+        let mut seen = vec![h0];
+        for v in &variants {
+            let h = v.content_hash();
+            assert!(!seen.contains(&h), "hash collision for {v:?}");
+            seen.push(h);
+        }
+    }
+
+    #[test]
+    fn duplicate_gimbal_entries_hash_like_their_normalized_form() {
+        // normalize() keeps the *last* schedule per engine; the hash must
+        // agree with that semantics without requiring normalize() first.
+        let mut dup = jet_spec();
+        dup.gimbal = vec![
+            (0, GimbalSchedule::constant([0.05, 0.0])),
+            (0, GimbalSchedule::constant([0.1, 0.0])),
+        ];
+        let mut last = jet_spec();
+        last.gimbal = vec![(0, GimbalSchedule::constant([0.1, 0.0]))];
+        assert_eq!(dup.content_hash(), last.content_hash());
+        let mut normalized = dup.clone();
+        normalized.normalize();
+        assert_eq!(normalized.gimbal, last.gimbal);
+        assert_eq!(dup.content_hash(), normalized.content_hash());
+    }
+
+    #[test]
+    fn engine_out_order_does_not_change_the_hash() {
+        let mut a = jet_spec();
+        a.engine_out = vec![2, 0];
+        let mut b = jet_spec();
+        b.engine_out = vec![0, 2, 2];
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn overrides_on_non_jet_cases_are_rejected() {
+        let mut s = ScenarioSpec::new(BaseCase::Sod, 64);
+        s.backpressure = Some(0.5);
+        assert!(s.validate().is_err());
+        s.backpressure = None;
+        s.engine_out = vec![0];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn build_case_applies_engine_out_and_backpressure() {
+        let mut s = jet_spec();
+        s.engine_out = vec![1];
+        s.backpressure = Some(0.25);
+        let case = s.build_case().unwrap();
+        let inflow = case.jet_inflow.as_ref().unwrap();
+        assert_eq!(inflow.engines.len(), 2);
+        assert!((inflow.conditions.ambient.p - 0.25).abs() < 1e-14);
+        assert!((inflow.conditions.pressure_ratio - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_case_applies_static_gimbal_to_survivors() {
+        let mut s = jet_spec();
+        s.engine_out = vec![0];
+        s.gimbal = vec![(2, GimbalSchedule::constant([0.1, 0.0]))];
+        let case = s.build_case().unwrap();
+        let engines = &case.jet_inflow.as_ref().unwrap().engines;
+        assert_eq!(engines.len(), 2);
+        // Engine 2 of the base layout survives as index 1.
+        assert_eq!(engines[1].gimbal, [0.1, 0.0]);
+        assert_eq!(engines[0].gimbal, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn gimbal_on_removed_engine_collapses_onto_the_plain_engine_out_point() {
+        let mut s = jet_spec();
+        s.engine_out = vec![1];
+        s.gimbal = vec![(1, GimbalSchedule::constant([0.1, 0.0]))];
+        let mut plain = jet_spec();
+        plain.engine_out = vec![1];
+        assert_eq!(
+            s.content_hash(),
+            plain.content_hash(),
+            "a dead engine's gimbal is physically meaningless"
+        );
+        s.normalize();
+        assert!(s.gimbal.is_empty());
+    }
+
+    #[test]
+    fn scenario_names_encode_the_overrides() {
+        let mut s = jet_spec();
+        s.engine_out = vec![0, 2];
+        s.backpressure = Some(0.5);
+        s.scheme = SchemeKind::WenoBaseline;
+        let n = s.scenario_name();
+        assert!(n.contains("out[0,2]"), "{n}");
+        assert!(n.contains("pamb0.500"), "{n}");
+        assert!(n.contains("weno"), "{n}");
+        s.label = Some("hero".into());
+        assert_eq!(s.scenario_name(), "hero");
+    }
+}

@@ -1,0 +1,119 @@
+//! Content-hash result cache.
+//!
+//! Scenario results are keyed by [`ScenarioSpec::content_hash`]
+//! (`crate::spec`): resubmitting a scenario whose physics is unchanged is a
+//! lookup, not a re-simulation. This is what turns the app layer's
+//! one-case-at-a-time workflow into a cheap, iterable campaign loop — the
+//! expensive part of "change one axis value and re-run the sweep" is only
+//! the scenarios that actually changed.
+
+use crate::report::ScenarioResult;
+use std::collections::HashMap;
+
+/// In-memory result cache with hit/miss accounting.
+#[derive(Default)]
+pub struct ResultStore {
+    map: HashMap<u64, ScenarioResult>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a result by content hash, counting a hit or miss.
+    pub fn fetch(&mut self, hash: u64) -> Option<ScenarioResult> {
+        match self.map.get(&hash) {
+            Some(r) => {
+                self.hits += 1;
+                Some(r.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching the counters (planning/dedup passes).
+    pub fn contains(&self, hash: u64) -> bool {
+        self.map.contains_key(&hash)
+    }
+
+    /// Counter-free lookup: reading back a result the caller just executed
+    /// and inserted is not cache traffic.
+    pub fn peek(&self, hash: u64) -> Option<&ScenarioResult> {
+        self.map.get(&hash)
+    }
+
+    pub fn insert(&mut self, hash: u64, result: ScenarioResult) {
+        self.map.insert(hash, result);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop all cached results (counters survive — they describe traffic,
+    /// not contents).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RunStatus;
+
+    fn dummy(name: &str) -> ScenarioResult {
+        ScenarioResult {
+            name: name.into(),
+            hash_hex: "0".repeat(16),
+            status: RunStatus::Completed,
+            cells: 1,
+            steps: 1,
+            ranks: 1,
+            wall_s: 0.0,
+            ns_per_cell_step: 0.0,
+            mass_drift: 0.0,
+            energy_drift: 0.0,
+            base_heating: None,
+        }
+    }
+
+    #[test]
+    fn fetch_counts_hits_and_misses() {
+        let mut store = ResultStore::new();
+        assert!(store.fetch(1).is_none());
+        store.insert(1, dummy("a"));
+        assert_eq!(store.fetch(1).unwrap().name, "a");
+        assert!(store.fetch(2).is_none());
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn contains_does_not_touch_counters() {
+        let mut store = ResultStore::new();
+        store.insert(7, dummy("x"));
+        assert!(store.contains(7));
+        assert!(!store.contains(8));
+        assert_eq!(store.hits() + store.misses(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Sweep expansion: parameter axes → scenario lists.
+//!
+//! §3 of the paper frames the whole exercise as *simulation campaigns*:
+//! engineers sweep engine-out combinations, thrust-vectoring angles, and
+//! altitude/backpressure conditions — "conducting simulation campaigns for
+//! design and failure-mode coverage" — rather than running one hero case.
+//! [`Sweep`] is that campaign enumerator: declare axes of parameter values,
+//! expand to the cartesian product (or a zip, or a seeded random sample of
+//! the product), and hand the resulting [`ScenarioSpec`]s to the executor.
+
+use crate::spec::{BaseCase, ScenarioSpec, SchemeKind};
+use igr_app::jets::GimbalSchedule;
+use igr_prec::PrecisionMode;
+
+/// One value of one campaign parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Delta {
+    Resolution(usize),
+    Precision(PrecisionMode),
+    Scheme(SchemeKind),
+    Steps(usize),
+    Warmup(usize),
+    /// Replace the engine-out set.
+    EngineOut(Vec<usize>),
+    /// Replace the gimbal overrides.
+    Gimbal(Vec<(usize, GimbalSchedule)>),
+    /// Set the ambient backpressure (altitude condition).
+    Backpressure(f64),
+    /// `None` restores the base-case ambient.
+    BackpressureDefault,
+    Cfl(f64),
+    EllipticSweeps(usize),
+    AlphaFactor(f64),
+    Ranks(usize),
+    /// Replace the base case itself (e.g. sweep over workloads).
+    Base(BaseCase),
+}
+
+impl Delta {
+    fn apply(&self, spec: &mut ScenarioSpec) {
+        match self {
+            Delta::Resolution(n) => spec.resolution = *n,
+            Delta::Precision(p) => spec.precision = *p,
+            Delta::Scheme(s) => spec.scheme = *s,
+            Delta::Steps(n) => spec.steps = *n,
+            Delta::Warmup(n) => spec.warmup = *n,
+            Delta::EngineOut(out) => spec.engine_out = out.clone(),
+            Delta::Gimbal(g) => spec.gimbal = g.clone(),
+            Delta::Backpressure(p) => spec.backpressure = Some(*p),
+            Delta::BackpressureDefault => spec.backpressure = None,
+            Delta::Cfl(c) => spec.cfl = Some(*c),
+            Delta::EllipticSweeps(s) => spec.elliptic_sweeps = Some(*s),
+            Delta::AlphaFactor(a) => spec.alpha_factor = Some(*a),
+            Delta::Ranks(r) => spec.ranks = Some(*r),
+            Delta::Base(b) => spec.base = b.clone(),
+        }
+    }
+}
+
+/// A named list of values for one parameter.
+#[derive(Clone, Debug)]
+pub struct ParamAxis {
+    pub name: String,
+    pub values: Vec<Delta>,
+}
+
+impl ParamAxis {
+    pub fn new(name: impl Into<String>, values: Vec<Delta>) -> Self {
+        let name = name.into();
+        assert!(!values.is_empty(), "axis '{name}' has no values");
+        ParamAxis { name, values }
+    }
+}
+
+/// How axes combine during expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpandMode {
+    /// Every combination of axis values (product of axis lengths).
+    Cartesian,
+    /// Element-wise pairing: all axes must have equal length; scenario `i`
+    /// takes value `i` of every axis.
+    Zip,
+    /// A seeded uniform sample (without replacement) of `count` points from
+    /// the cartesian product — campaigns whose full product is too large.
+    Sampled { count: usize, seed: u64 },
+}
+
+/// A campaign sweep: a base spec plus parameter axes.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    pub base: ScenarioSpec,
+    pub axes: Vec<ParamAxis>,
+    pub mode: ExpandMode,
+}
+
+impl Sweep {
+    pub fn cartesian(base: ScenarioSpec) -> Self {
+        Sweep {
+            base,
+            axes: Vec::new(),
+            mode: ExpandMode::Cartesian,
+        }
+    }
+
+    pub fn zip(base: ScenarioSpec) -> Self {
+        Sweep {
+            base,
+            axes: Vec::new(),
+            mode: ExpandMode::Zip,
+        }
+    }
+
+    pub fn sampled(base: ScenarioSpec, count: usize, seed: u64) -> Self {
+        Sweep {
+            base,
+            axes: Vec::new(),
+            mode: ExpandMode::Sampled { count, seed },
+        }
+    }
+
+    /// Add an axis (builder style).
+    pub fn axis(mut self, name: impl Into<String>, values: Vec<Delta>) -> Self {
+        self.axes.push(ParamAxis::new(name, values));
+        self
+    }
+
+    /// Number of scenarios [`Self::expand`] will produce.
+    pub fn len(&self) -> usize {
+        match self.mode {
+            ExpandMode::Cartesian => self.axes.iter().map(|a| a.values.len()).product::<usize>(),
+            ExpandMode::Zip => self.axes.first().map(|a| a.values.len()).unwrap_or(1),
+            ExpandMode::Sampled { count, .. } => {
+                count.min(self.axes.iter().map(|a| a.values.len()).product::<usize>())
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand to the scenario list. Each scenario is the base spec with one
+    /// value per axis applied (later axes after earlier ones), normalized.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let total: usize = self.axes.iter().map(|a| a.values.len()).product();
+        let indices: Vec<Vec<usize>> = match self.mode {
+            ExpandMode::Cartesian => (0..total).map(|flat| self.unflatten(flat)).collect(),
+            ExpandMode::Zip => {
+                let n = self.axes.first().map(|a| a.values.len()).unwrap_or(0);
+                for a in &self.axes {
+                    assert_eq!(
+                        a.values.len(),
+                        n,
+                        "zip sweep: axis '{}' length differs",
+                        a.name
+                    );
+                }
+                if self.axes.is_empty() {
+                    vec![Vec::new()]
+                } else {
+                    (0..n).map(|i| vec![i; self.axes.len()]).collect()
+                }
+            }
+            ExpandMode::Sampled { count, seed } => {
+                // Seeded Fisher–Yates prefix over the flattened product.
+                let mut flat: Vec<usize> = (0..total).collect();
+                let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+                let mut next = || {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^ (z >> 31)
+                };
+                let take = count.min(total);
+                for i in 0..take {
+                    let j = i + (next() % (total - i) as u64) as usize;
+                    flat.swap(i, j);
+                }
+                flat.truncate(take);
+                flat.into_iter().map(|f| self.unflatten(f)).collect()
+            }
+        };
+        indices
+            .into_iter()
+            .map(|idx| {
+                let mut spec = self.base.clone();
+                for (axis, &vi) in self.axes.iter().zip(&idx) {
+                    axis.values[vi].apply(&mut spec);
+                }
+                spec.normalize();
+                spec
+            })
+            .collect()
+    }
+
+    /// Mixed-radix decomposition of a flat cartesian index (first axis
+    /// varies slowest).
+    fn unflatten(&self, mut flat: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.axes.len()];
+        for (k, axis) in self.axes.iter().enumerate().rev() {
+            let len = axis.values.len();
+            idx[k] = flat % len;
+            flat /= len;
+        }
+        idx
+    }
+}
+
+/// The ISSUE's canonical example: engine-out × gimbal angle × backpressure
+/// on the 3-engine array at laptop-scale resolution. Gimbal tilts the two
+/// outer engines inward by the given angle (the steering configuration).
+pub fn engine_out_gimbal_backpressure(
+    resolution: usize,
+    steps: usize,
+    engine_out_sets: &[Vec<usize>],
+    gimbal_angles: &[f64],
+    backpressures: &[f64],
+) -> Sweep {
+    let mut base = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, resolution);
+    base.steps = steps;
+    Sweep::cartesian(base)
+        .axis(
+            "engine_out",
+            engine_out_sets
+                .iter()
+                .map(|s| Delta::EngineOut(s.clone()))
+                .collect(),
+        )
+        .axis(
+            "gimbal",
+            gimbal_angles
+                .iter()
+                .map(|&a| {
+                    if a == 0.0 {
+                        Delta::Gimbal(Vec::new())
+                    } else {
+                        Delta::Gimbal(vec![
+                            (0, GimbalSchedule::constant([a, 0.0])),
+                            (2, GimbalSchedule::constant([-a, 0.0])),
+                        ])
+                    }
+                })
+                .collect(),
+        )
+        .axis(
+            "backpressure",
+            backpressures
+                .iter()
+                .map(|&p| Delta::Backpressure(p))
+                .collect(),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 16)
+    }
+
+    #[test]
+    fn cartesian_count_is_the_product_of_axis_lengths() {
+        let sweep = engine_out_gimbal_backpressure(
+            16,
+            2,
+            &[vec![], vec![0], vec![1], vec![2]],
+            &[0.0, 0.06, 0.12],
+            &[1.0, 0.25],
+        );
+        assert_eq!(sweep.len(), 24);
+        let specs = sweep.expand();
+        assert_eq!(specs.len(), 24);
+        // All distinct physics.
+        let mut hashes: Vec<u64> = specs.iter().map(|s| s.content_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 24, "every cartesian point is unique");
+    }
+
+    #[test]
+    fn zip_pairs_axes_elementwise() {
+        let sweep = Sweep::zip(base())
+            .axis(
+                "precision",
+                vec![
+                    Delta::Precision(PrecisionMode::Fp64),
+                    Delta::Precision(PrecisionMode::Fp32),
+                ],
+            )
+            .axis(
+                "resolution",
+                vec![Delta::Resolution(16), Delta::Resolution(24)],
+            );
+        assert_eq!(sweep.len(), 2);
+        let specs = sweep.expand();
+        assert_eq!(specs[0].precision, PrecisionMode::Fp64);
+        assert_eq!(specs[0].resolution, 16);
+        assert_eq!(specs[1].precision, PrecisionMode::Fp32);
+        assert_eq!(specs[1].resolution, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "length differs")]
+    fn zip_rejects_unequal_axes() {
+        Sweep::zip(base())
+            .axis("a", vec![Delta::Steps(1), Delta::Steps(2)])
+            .axis("b", vec![Delta::Warmup(0)])
+            .expand();
+    }
+
+    #[test]
+    fn sampled_draws_distinct_points_deterministically() {
+        let full = engine_out_gimbal_backpressure(
+            16,
+            2,
+            &[vec![], vec![0], vec![1], vec![2]],
+            &[0.0, 0.06, 0.12],
+            &[1.0, 0.25],
+        );
+        let sampled = Sweep {
+            mode: ExpandMode::Sampled { count: 10, seed: 7 },
+            ..full.clone()
+        };
+        assert_eq!(sampled.len(), 10);
+        let a = sampled.expand();
+        let b = sampled.expand();
+        assert_eq!(a.len(), 10);
+        let ha: Vec<u64> = a.iter().map(|s| s.content_hash()).collect();
+        let hb: Vec<u64> = b.iter().map(|s| s.content_hash()).collect();
+        assert_eq!(ha, hb, "same seed, same sample");
+        let mut dedup = ha.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "sampling is without replacement");
+        // Oversampling clamps to the product size.
+        let over = Sweep {
+            mode: ExpandMode::Sampled { count: 99, seed: 7 },
+            ..full
+        };
+        assert_eq!(over.expand().len(), 24);
+    }
+
+    #[test]
+    fn no_axes_yields_the_base_spec() {
+        let sweep = Sweep::cartesian(base());
+        let specs = sweep.expand();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].content_hash(), {
+            let mut b = base();
+            b.normalize();
+            b.content_hash()
+        });
+    }
+}

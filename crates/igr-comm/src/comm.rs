@@ -21,7 +21,11 @@ macro_rules! impl_comm_data {
                 out
             }
             fn from_bytes(bytes: &[u8]) -> Vec<Self> {
-                assert_eq!(bytes.len() % $width, 0, "byte length not a multiple of element width");
+                assert_eq!(
+                    bytes.len() % $width,
+                    0,
+                    "byte length not a multiple of element width"
+                );
                 bytes
                     .chunks_exact($width)
                     .map(|c| ($from)(c.try_into().unwrap()))

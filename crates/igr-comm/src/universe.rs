@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn broadcast_distributes_roots_buffer() {
         let out = Universe::run(4, |mut comm| {
-            let data = if comm.rank() == 2 { vec![3.5f64, 4.5] } else { vec![] };
+            let data = if comm.rank() == 2 {
+                vec![3.5f64, 4.5]
+            } else {
+                vec![]
+            };
             comm.broadcast(2, &data)
         });
         for v in out {
@@ -122,7 +126,9 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let out = Universe::run(4, |mut comm| comm.gather_f64(0, (comm.rank() * comm.rank()) as f64));
+        let out = Universe::run(4, |mut comm| {
+            comm.gather_f64(0, (comm.rank() * comm.rank()) as f64)
+        });
         assert_eq!(out[0], vec![0.0, 1.0, 4.0, 9.0]);
         assert!(out[1].is_empty());
     }

@@ -192,13 +192,15 @@ fn fill_face<R: Real, S: Storage<R>>(
                     state.set_cons(i, j, k, q);
                 }
                 Bc::Inflow(pr) => {
-                    let prr: Prim<R> = Prim::from_f64(pr.rho, [pr.vel[0], pr.vel[1], pr.vel[2]], pr.p);
+                    let prr: Prim<R> =
+                        Prim::from_f64(pr.rho, [pr.vel[0], pr.vel[1], pr.vel[2]], pr.p);
                     state.set_cons(i, j, k, prr.to_cons(g));
                 }
                 Bc::InflowProfile(profile) => {
                     let pos = domain.cell_center(i, j, k);
                     let pr = profile.prim(pos, t);
-                    let prr: Prim<R> = Prim::from_f64(pr.rho, [pr.vel[0], pr.vel[1], pr.vel[2]], pr.p);
+                    let prr: Prim<R> =
+                        Prim::from_f64(pr.rho, [pr.vel[0], pr.vel[1], pr.vel[2]], pr.p);
                     state.set_cons(i, j, k, prr.to_cons(g));
                 }
             }
@@ -355,9 +357,8 @@ mod tests {
     fn inflow_profile_sees_ghost_positions_and_time() {
         let shape = GridShape::new(4, 4, 1, 2);
         let (mut s, d) = linear_state(shape);
-        let profile = Arc::new(|pos: [f64; 3], t: f64| {
-            Prim::new(1.0 + pos[1] + 10.0 * t, [0.0; 3], 1.0)
-        });
+        let profile =
+            Arc::new(|pos: [f64; 3], t: f64| Prim::new(1.0 + pos[1] + 10.0 * t, [0.0; 3], 1.0));
         let bcs = BcSet::all_outflow().with_face(Axis::X, 0, Bc::InflowProfile(profile));
         fill_ghosts(&mut s, &d, &bcs, 1.4, 0.25, &ALL_FACES);
         // Ghost at j=1: y-center = 0.375 -> rho = 1 + 0.375 + 2.5.

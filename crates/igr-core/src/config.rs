@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn alpha_scales_with_dx_squared() {
-        let c = IgrConfig { alpha_factor: 10.0, ..Default::default() };
+        let c = IgrConfig {
+            alpha_factor: 10.0,
+            ..Default::default()
+        };
         let a1 = c.alpha(0.1);
         let a2 = c.alpha(0.2);
         assert!((a2 / a1 - 4.0).abs() < 1e-12);
@@ -170,7 +173,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = IgrConfig { gamma: 0.9, ..Default::default() };
+        let mut c = IgrConfig {
+            gamma: 0.9,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c.gamma = 1.4;
         c.cfl = 0.0;
@@ -182,6 +188,9 @@ mod tests {
         c.sweeps = 0;
         assert!(c.validate().is_err());
         c.alpha_factor = 0.0;
-        assert!(c.validate().is_ok(), "alpha=0 disables IGR; 0 sweeps then fine");
+        assert!(
+            c.validate().is_ok(),
+            "alpha=0 disables IGR; 0 sweeps then fine"
+        );
     }
 }

@@ -25,7 +25,11 @@ impl<R: Real> Prim<R> {
     pub fn from_f64(rho: f64, vel: [f64; 3], p: f64) -> Self {
         Prim {
             rho: R::from_f64(rho),
-            vel: [R::from_f64(vel[0]), R::from_f64(vel[1]), R::from_f64(vel[2])],
+            vel: [
+                R::from_f64(vel[0]),
+                R::from_f64(vel[1]),
+                R::from_f64(vel[2]),
+            ],
             p: R::from_f64(p),
         }
     }
@@ -67,7 +71,13 @@ pub fn cons_to_prim<R: Real>(q: &Cons<R>, gamma: R) -> Prim<R> {
 #[inline(always)]
 pub fn inviscid_flux<R: Real>(d: usize, q: &Cons<R>, pr: &Prim<R>, ptot: R) -> Cons<R> {
     let un = pr.vel[d];
-    let mut f = [q[0] * un, q[1] * un, q[2] * un, q[3] * un, (q[4] + ptot) * un];
+    let mut f = [
+        q[0] * un,
+        q[1] * un,
+        q[2] * un,
+        q[3] * un,
+        (q[4] + ptot) * un,
+    ];
     f[1 + d] += ptot;
     f
 }

@@ -76,9 +76,15 @@ impl MemoryReport {
             .max()
             .unwrap_or(4)
             .max(5);
-        out.push_str(&format!("{:width$}  {:>14}  {:>14}\n", "array", "scalars", "bytes"));
+        out.push_str(&format!(
+            "{:width$}  {:>14}  {:>14}\n",
+            "array", "scalars", "bytes"
+        ));
         for e in &self.entries {
-            out.push_str(&format!("{:width$}  {:>14}  {:>14}\n", e.name, e.scalars, e.bytes));
+            out.push_str(&format!(
+                "{:width$}  {:>14}  {:>14}\n",
+                e.name, e.scalars, e.bytes
+            ));
         }
         out.push_str(&format!(
             "{:width$}  {:>14}  {:>14}  ({:.2} scalars/cell, {:.2} B/cell)\n",

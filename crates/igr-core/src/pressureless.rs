@@ -157,8 +157,9 @@ impl Pressureless1d {
                 let lower: Vec<f64> = (0..n)
                     .map(|i| -self.alpha * inv_dx2 * inv_rho_face[self.wrap(i as isize - 1)])
                     .collect();
-                let upper: Vec<f64> =
-                    (0..n).map(|i| -self.alpha * inv_dx2 * inv_rho_face[i]).collect();
+                let upper: Vec<f64> = (0..n)
+                    .map(|i| -self.alpha * inv_dx2 * inv_rho_face[i])
+                    .collect();
                 self.sigma = solve_periodic_tridiag(&lower, &diag, &upper, &b);
             }
         }
@@ -370,7 +371,8 @@ mod tests {
         // sweeps reach sub-percent agreement with the exact Thomas solve.
         let alpha = 1e-3;
         let mut a = Pressureless1d::new(128, 1.0, alpha, SigmaSolve::Thomas, compressive_profile);
-        let mut b = Pressureless1d::new(128, 1.0, alpha, SigmaSolve::Jacobi(5), compressive_profile);
+        let mut b =
+            Pressureless1d::new(128, 1.0, alpha, SigmaSolve::Jacobi(5), compressive_profile);
         a.solve_sigma();
         for _ in 0..60 {
             b.solve_sigma();
@@ -382,7 +384,10 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max);
         let scale = a.sigma.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-        assert!(err < 0.02 * scale, "Jacobi-vs-Thomas err {err} (scale {scale})");
+        assert!(
+            err < 0.02 * scale,
+            "Jacobi-vs-Thomas err {err} (scale {scale})"
+        );
     }
 
     #[test]
@@ -429,7 +434,10 @@ mod tests {
         let gap0 = x2 - x1;
         let gap_end = tracers.x[1] - tracers.x[0];
         assert!(gap_end > 0.0, "IGR tracers must not cross (gap {gap_end})");
-        assert!(gap_end < 0.5 * gap0, "gap must contract strongly ({gap_end} vs {gap0})");
+        assert!(
+            gap_end < 0.5 * gap0,
+            "gap must contract strongly ({gap_end} vs {gap0})"
+        );
         // Order preserved at every recorded time.
         for h in &tracers.history {
             assert!(h[1] - h[0] > 0.0);
@@ -458,7 +466,10 @@ mod tests {
         };
         let g3 = gap_at(1e-3);
         let g4 = gap_at(1e-4);
-        assert!(g4 < g3, "alpha=1e-4 gap {g4} must be below alpha=1e-3 gap {g3}");
+        assert!(
+            g4 < g3,
+            "alpha=1e-4 gap {g4} must be below alpha=1e-3 gap {g3}"
+        );
         assert!(g4 > 0.0 && g3 > 0.0);
     }
 }

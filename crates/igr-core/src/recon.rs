@@ -136,7 +136,7 @@ mod tests {
         // e(h) ~ h^5 for the interface interpolation of sin(x).
         let err = |h: f64| {
             let avg = |i: f64| ((i * h + h / 2.0).sin() - (i * h - h / 2.0).sin()) / h; // cell avg of cos? no:
-            // cell average of cos(x) over [ih-h/2, ih+h/2] = (sin(ih+h/2)-sin(ih-h/2))/h
+                                                                                        // cell average of cos(x) over [ih-h/2, ih+h/2] = (sin(ih+h/2)-sin(ih-h/2))/h
             let w: [f64; 6] = std::array::from_fn(|q| avg(q as f64 - 2.0));
             let (l, _) = recon5(&w);
             (l - (0.5 * h).cos()).abs()
@@ -154,13 +154,17 @@ mod tests {
         // superconverges at order 4.
         let phase = 1.0;
         let err = |h: f64| {
-            let avg = |i: f64| ((i * h + h / 2.0 + phase).sin() - (i * h - h / 2.0 + phase).sin()) / h;
+            let avg =
+                |i: f64| ((i * h + h / 2.0 + phase).sin() - (i * h - h / 2.0 + phase).sin()) / h;
             let w: [f64; 6] = std::array::from_fn(|q| avg(q as f64 - 2.0));
             let (l, _) = recon3(&w);
             (l - (0.5 * h + phase).cos()).abs()
         };
         let order = (err(0.1) / err(0.05)).log2();
-        assert!(order > 2.5 && order < 3.7, "observed order {order}, expected ~3");
+        assert!(
+            order > 2.5 && order < 3.7,
+            "observed order {order}, expected ~3"
+        );
     }
 
     #[test]

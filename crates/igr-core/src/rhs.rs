@@ -160,8 +160,8 @@ impl<'a, R: Real, S: Storage<R>> FluxParams<'a, R, S> {
             }
         }
 
-        let lam = max_wave_speed(d, &prl, sl, self.gamma)
-            .max(max_wave_speed(d, &prr, sr, self.gamma));
+        let lam =
+            max_wave_speed(d, &prl, sl, self.gamma).max(max_wave_speed(d, &prr, sr, self.gamma));
         let fl = inviscid_flux(d, &ql, &prl, prl.p + sl);
         let fr = inviscid_flux(d, &qr, &prr, prr.p + sr);
 
@@ -339,7 +339,15 @@ fn process_block<R: Real, S: Storage<R>>(
         sweep_x(p, &mut chunks, off, j_range.clone(), k_range.clone());
     }
     if shape.is_active(Axis::Y) {
-        sweep_row_buffered(p, &mut chunks, off, Axis::Y, j_range.clone(), k_range.clone(), scratch);
+        sweep_row_buffered(
+            p,
+            &mut chunks,
+            off,
+            Axis::Y,
+            j_range.clone(),
+            k_range.clone(),
+            scratch,
+        );
     }
     if shape.is_active(Axis::Z) {
         sweep_row_buffered(p, &mut chunks, off, Axis::Z, j_range, k_range, scratch);
@@ -463,7 +471,14 @@ mod tests {
         let domain = Domain::unit(shape);
         let mut q = St::zeros(shape);
         q.set_prim_field(&domain, 1.4, init);
-        fill_ghosts(&mut q, &domain, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+        fill_ghosts(
+            &mut q,
+            &domain,
+            &BcSet::all_periodic(),
+            1.4,
+            0.0,
+            &ALL_FACES,
+        );
         let sigma = F::zeros(shape);
         let params = FluxParams::new(&q, &sigma, &domain, 1.4, mu, 0.0, order, false);
         let mut rhs = St::zeros(shape);
@@ -478,7 +493,12 @@ mod tests {
             GridShape::new(8, 8, 1, 3),
             GridShape::new(6, 6, 6, 3),
         ] {
-            let (rhs, _) = rhs_of(shape, |_| Prim::new(1.0, [0.3, -0.2, 0.7], 2.0), ReconOrder::Fifth, 0.0);
+            let (rhs, _) = rhs_of(
+                shape,
+                |_| Prim::new(1.0, [0.3, -0.2, 0.7], 2.0),
+                ReconOrder::Fifth,
+                0.0,
+            );
             for f in rhs.fields() {
                 assert!(
                     f.max_interior(|x| x.abs()) < 1e-13,
@@ -543,11 +563,21 @@ mod tests {
                 1.0,
             )
         };
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let r1 = pool1.install(|| rhs_of(shape, init, ReconOrder::Fifth, 0.01).0);
         let r4 = pool4.install(|| rhs_of(shape, init, ReconOrder::Fifth, 0.01).0);
-        assert_eq!(r1.max_diff(&r4), 0.0, "flux accumulation must be deterministic");
+        assert_eq!(
+            r1.max_diff(&r4),
+            0.0,
+            "flux accumulation must be deterministic"
+        );
     }
 
     #[test]
@@ -637,8 +667,7 @@ mod tests {
         let n = 32;
         let shape = GridShape::new(n, 1, 1, 3);
         let tau = std::f64::consts::TAU;
-        let init =
-            |p: [f64; 3]| Prim::new(1.0 + 0.1 * (tau * p[0]).sin(), [1.0, 0.0, 0.0], 1.0);
+        let init = |p: [f64; 3]| Prim::new(1.0 + 0.1 * (tau * p[0]).sin(), [1.0, 0.0, 0.0], 1.0);
         let err = |order: ReconOrder| {
             let (rhs, domain) = rhs_of(shape, init, order, 0.0);
             let mut e = 0.0f64;

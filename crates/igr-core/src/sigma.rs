@@ -226,7 +226,8 @@ fn point_update<R: Real, S: Storage<R>>(
     for &(stride, inv_dx2) in coefs {
         let rp = (rc + rho.at_lin(lin + stride)) * R::HALF;
         let rm = (rc + rho.at_lin(lin - stride)) * R::HALF;
-        num += alpha * inv_dx2 * (sigma.at_lin(lin + stride) / rp + sigma.at_lin(lin - stride) / rm);
+        num +=
+            alpha * inv_dx2 * (sigma.at_lin(lin + stride) / rp + sigma.at_lin(lin - stride) / rm);
         den += alpha * inv_dx2 * (R::ONE / rp + R::ONE / rm);
     }
     num / den
@@ -248,7 +249,11 @@ mod tests {
         let mut q = St::zeros(shape);
         let tau = std::f64::consts::TAU;
         q.set_prim_field(&domain, 1.4, |p| {
-            Prim::new(1.0 + 0.2 * (tau * p[0]).sin(), [(tau * p[0]).cos(), 0.0, 0.0], 1.0)
+            Prim::new(
+                1.0 + 0.2 * (tau * p[0]).sin(),
+                [(tau * p[0]).cos(), 0.0, 0.0],
+                1.0,
+            )
         });
         let bcs = BcSet::all_periodic();
         (q, domain, bcs)
@@ -260,7 +265,14 @@ mod tests {
         let domain = Domain::unit(shape);
         let mut q = St::zeros(shape);
         q.set_prim_field(&domain, 1.4, |_| Prim::new(1.0, [3.0, -2.0, 0.0], 1.0));
-        fill_ghosts(&mut q, &domain, &BcSet::all_periodic(), 1.4, 0.0, &ALL_FACES);
+        fill_ghosts(
+            &mut q,
+            &domain,
+            &BcSet::all_periodic(),
+            1.4,
+            0.0,
+            &ALL_FACES,
+        );
         let mut b = F::zeros(shape);
         compute_igr_source(&q, &domain, 0.01, &mut b);
         assert_eq!(b.max_interior(|x| x.abs()), 0.0);
@@ -281,7 +293,11 @@ mod tests {
         let mut b = F::zeros(shape);
         compute_igr_source(&q, &domain, alpha, &mut b);
         let expect = alpha * 2.0 * s * s;
-        assert!((b.at(8, 0, 0) - expect).abs() < 1e-10, "{} vs {expect}", b.at(8, 0, 0));
+        assert!(
+            (b.at(8, 0, 0) - expect).abs() < 1e-10,
+            "{} vs {expect}",
+            b.at(8, 0, 0)
+        );
     }
 
     #[test]
@@ -328,11 +344,17 @@ mod tests {
             fill_scalar_ghosts(&mut sigma, &bcs, &ALL_FACES);
             let res = elliptic_residual(&q.rho, &b, &sigma, &domain, alpha);
             if sweep < 5 {
-                assert!(res < res_prev, "sweep {sweep}: residual must decrease ({res} !< {res_prev})");
+                assert!(
+                    res < res_prev,
+                    "sweep {sweep}: residual must decrease ({res} !< {res_prev})"
+                );
             }
             res_prev = res;
         }
-        assert!(res_prev < 1e-3 * b_scale, "res {res_prev} vs source scale {b_scale}");
+        assert!(
+            res_prev < 1e-3 * b_scale,
+            "res {res_prev} vs source scale {b_scale}"
+        );
     }
 
     #[test]
@@ -400,7 +422,10 @@ mod tests {
         };
         let warm = one_sweep_res(&sigma);
         let cold = one_sweep_res(&F::zeros(shape));
-        assert!(warm < cold * 0.2, "warm {warm} must beat cold {cold} decisively");
+        assert!(
+            warm < cold * 0.2,
+            "warm {warm} must beat cold {cold} decisively"
+        );
     }
 
     #[test]

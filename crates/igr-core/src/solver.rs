@@ -153,7 +153,14 @@ impl<R: Real, S: Storage<R>> IgrScheme<R, S> {
             match self.cfg.elliptic {
                 EllipticKind::Jacobi => {
                     let tmp = self.sigma_tmp.as_mut().expect("Jacobi requires sigma_tmp");
-                    jacobi_sweep(&q.rho, &self.igr_rhs, &self.sigma, tmp, &self.domain, self.alpha);
+                    jacobi_sweep(
+                        &q.rho,
+                        &self.igr_rhs,
+                        &self.sigma,
+                        tmp,
+                        &self.domain,
+                        self.alpha,
+                    );
                     std::mem::swap(&mut self.sigma, tmp);
                 }
                 EllipticKind::GaussSeidel => {
@@ -240,7 +247,10 @@ impl std::fmt::Display for SolverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolverError::NonFinite { step, var, pos } => {
-                write!(f, "non-finite value in variable {var} at {pos:?} after step {step}")
+                write!(
+                    f,
+                    "non-finite value in variable {var} at {pos:?} after step {step}"
+                )
             }
             SolverError::DegenerateDt { step, dt } => {
                 write!(f, "degenerate time step {dt} at step {step}")
@@ -315,7 +325,10 @@ impl<R: Real, S: Storage<R>, Sch: RhsScheme<R, S>, G: GhostOps<R, S>> Solver<R, 
     pub fn step(&mut self) -> Result<StepInfo, SolverError> {
         let dt = self.fixed_dt.unwrap_or_else(|| self.stable_dt());
         if !(dt > 0.0 && dt.is_finite()) {
-            return Err(SolverError::DegenerateDt { step: self.step_count, dt });
+            return Err(SolverError::DegenerateDt {
+                step: self.step_count,
+                dt,
+            });
         }
         let p = self.scheme.params();
         let t0 = self.t;
@@ -333,7 +346,11 @@ impl<R: Real, S: Storage<R>, Sch: RhsScheme<R, S>, G: GhostOps<R, S>> Solver<R, 
         self.step_count += 1;
         if self.nan_check_every > 0 && self.step_count % self.nan_check_every == 0 {
             if let Some((var, pos)) = self.q.find_non_finite() {
-                return Err(SolverError::NonFinite { step: self.step_count, var, pos });
+                return Err(SolverError::NonFinite {
+                    step: self.step_count,
+                    var,
+                    pos,
+                });
             }
         }
         Ok(StepInfo {
@@ -451,7 +468,10 @@ mod tests {
         let mut solver = igr_solver(cfg, domain, q);
         let steps = solver.run_until(0.2, 10_000).unwrap();
         assert!(steps > 10);
-        assert!((solver.t() - 0.2).abs() < 1e-12, "run_until must hit t_end exactly");
+        assert!(
+            (solver.t() - 0.2).abs() < 1e-12,
+            "run_until must hit t_end exactly"
+        );
         assert!(solver.q.find_non_finite().is_none());
         let rho_max = solver.q.rho.max_interior(|x| x);
         assert!(rho_max < 1.5, "no spurious amplification: {rho_max}");
@@ -492,7 +512,10 @@ mod tests {
     fn igr_survives_wave_steepening() {
         let shape = GridShape::new(256, 1, 1, 3);
         let domain = Domain::unit(shape);
-        let cfg = IgrConfig { alpha_factor: 20.0, ..Default::default() };
+        let cfg = IgrConfig {
+            alpha_factor: 20.0,
+            ..Default::default()
+        };
         let mut q = State::<f64, StoreF64>::zeros(shape);
         let tau = std::f64::consts::TAU;
         // Strong velocity perturbation -> compression front.

@@ -120,7 +120,8 @@ impl<R: Real, S: Storage<R>> State<R, S> {
             for j in 0..shape.ny as i32 {
                 for i in 0..shape.nx as i32 {
                     let p64 = f(domain.cell_center(i, j, k));
-                    let pr: Prim<R> = Prim::from_f64(p64.rho, [p64.vel[0], p64.vel[1], p64.vel[2]], p64.p);
+                    let pr: Prim<R> =
+                        Prim::from_f64(p64.rho, [p64.vel[0], p64.vel[1], p64.vel[2]], p64.p);
                     self.set_cons(i, j, k, pr.to_cons(g));
                 }
             }
@@ -214,7 +215,10 @@ impl<R: Real, S: Storage<R>> State<R, S> {
                 local_max
             })
             .reduce(|| 0.0, f64::max);
-        assert!(max_signal > 0.0 && max_signal.is_finite(), "degenerate wave speeds");
+        assert!(
+            max_signal > 0.0 && max_signal.is_finite(),
+            "degenerate wave speeds"
+        );
         cfl / max_signal
     }
 

@@ -49,13 +49,7 @@ pub fn advance<R, S, F>(
             rhs_fn(q_rk, rhs);
             q_rk.rk_combine(R::from_f64(0.75), q, R::from_f64(0.25), dt, rhs);
             rhs_fn(q_rk, rhs);
-            q_rk.rk_combine(
-                R::from_f64(1.0 / 3.0),
-                q,
-                R::from_f64(2.0 / 3.0),
-                dt,
-                rhs,
-            );
+            q_rk.rk_combine(R::from_f64(1.0 / 3.0), q, R::from_f64(2.0 / 3.0), dt, rhs);
         }
     }
     std::mem::swap(q, q_rk);
@@ -119,9 +113,16 @@ mod tests {
         let lam = 0.7;
         let dt = 0.3;
         q.rho.set(0, 0, 0, q0);
-        advance(RkOrder::Rk3, dt, &mut q, &mut q_rk, &mut rhs, |stage, out| {
-            out.rho.set(0, 0, 0, lam * stage.rho.at(0, 0, 0));
-        });
+        advance(
+            RkOrder::Rk3,
+            dt,
+            &mut q,
+            &mut q_rk,
+            &mut rhs,
+            |stage, out| {
+                out.rho.set(0, 0, 0, lam * stage.rho.at(0, 0, 0));
+            },
+        );
         let q1 = q0 + dt * lam * q0;
         let q2 = 0.75 * q0 + 0.25 * (q1 + dt * lam * q1);
         let q3 = (1.0 / 3.0) * q0 + (2.0 / 3.0) * (q2 + dt * lam * q2);

@@ -42,7 +42,11 @@ impl Decomp {
                 dims[d]
             );
         }
-        Decomp { global, dims, periodic }
+        Decomp {
+            global,
+            dims,
+            periodic,
+        }
     }
 
     /// Factor `n_ranks` into near-cubic dims, never splitting a degenerate
@@ -68,9 +72,8 @@ impl Decomp {
                     }
                 }
             }
-            let d = best.unwrap_or_else(|| {
-                panic!("cannot decompose {global:?} over {n_ranks} ranks")
-            });
+            let d =
+                best.unwrap_or_else(|| panic!("cannot decompose {global:?} over {n_ranks} ranks"));
             dims[d] *= f;
         }
         Decomp::with_dims(global, dims, periodic)
@@ -82,7 +85,9 @@ impl Decomp {
 
     /// Rank id from Cartesian coordinates (x-fastest, like our cell layout).
     pub fn rank_of(&self, coords: [usize; 3]) -> usize {
-        debug_assert!(coords[0] < self.dims[0] && coords[1] < self.dims[1] && coords[2] < self.dims[2]);
+        debug_assert!(
+            coords[0] < self.dims[0] && coords[1] < self.dims[1] && coords[2] < self.dims[2]
+        );
         (coords[2] * self.dims[1] + coords[1]) * self.dims[0] + coords[0]
     }
 
@@ -106,7 +111,11 @@ impl Decomp {
             offset[d] = o;
             extent[d] = e;
         }
-        SubDomain { coords, offset, extent }
+        SubDomain {
+            coords,
+            offset,
+            extent,
+        }
     }
 
     /// Neighbor rank across the `side` face of `axis` (`side = ±1`), or

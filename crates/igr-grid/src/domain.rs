@@ -22,7 +22,10 @@ pub struct Domain {
 impl Domain {
     pub fn new(lo: [f64; 3], hi: [f64; 3], shape: GridShape) -> Self {
         for d in 0..3 {
-            assert!(hi[d] > lo[d], "domain must have positive extent on axis {d}");
+            assert!(
+                hi[d] > lo[d],
+                "domain must have positive extent on axis {d}"
+            );
         }
         let dx = [
             (hi[0] - lo[0]) / shape.nx as f64,
@@ -40,7 +43,11 @@ impl Domain {
         let n = [shape.nx as f64, shape.ny as f64, shape.nz as f64];
         Domain {
             lo,
-            hi: [lo[0] + n[0] * dx[0], lo[1] + n[1] * dx[1], lo[2] + n[2] * dx[2]],
+            hi: [
+                lo[0] + n[0] * dx[0],
+                lo[1] + n[1] * dx[1],
+                lo[2] + n[2] * dx[2],
+            ],
             shape,
             dx,
         }

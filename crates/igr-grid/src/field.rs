@@ -153,7 +153,10 @@ impl<R: Real, S: Storage<R>> Field<R, S> {
                 for k in 0..shape.nz as i32 {
                     for j in 0..shape.ny as i32 {
                         for i in range.clone() {
-                            self.data.set(shape.idx(i, j, k), *it.next().expect("halo buffer too short"));
+                            self.data.set(
+                                shape.idx(i, j, k),
+                                *it.next().expect("halo buffer too short"),
+                            );
                         }
                     }
                 }
@@ -162,7 +165,10 @@ impl<R: Real, S: Storage<R>> Field<R, S> {
                 for k in 0..shape.nz as i32 {
                     for j in range.clone() {
                         for i in 0..shape.nx as i32 {
-                            self.data.set(shape.idx(i, j, k), *it.next().expect("halo buffer too short"));
+                            self.data.set(
+                                shape.idx(i, j, k),
+                                *it.next().expect("halo buffer too short"),
+                            );
                         }
                     }
                 }
@@ -171,7 +177,10 @@ impl<R: Real, S: Storage<R>> Field<R, S> {
                 for k in range.clone() {
                     for j in 0..shape.ny as i32 {
                         for i in 0..shape.nx as i32 {
-                            self.data.set(shape.idx(i, j, k), *it.next().expect("halo buffer too short"));
+                            self.data.set(
+                                shape.idx(i, j, k),
+                                *it.next().expect("halo buffer too short"),
+                            );
                         }
                     }
                 }
@@ -220,8 +229,10 @@ impl<R: Real, S: Storage<R>> Field<R, S> {
             for a in -ga..na + ga {
                 for c in range.clone() {
                     let (i, j, k) = place(axis, c, a, b);
-                    self.data
-                        .set(shape.idx(i, j, k), *it.next().expect("halo buffer too short"));
+                    self.data.set(
+                        shape.idx(i, j, k),
+                        *it.next().expect("halo buffer too short"),
+                    );
                 }
             }
         }

@@ -62,7 +62,10 @@ pub struct GridShape {
 
 impl GridShape {
     pub fn new(nx: usize, ny: usize, nz: usize, ng: usize) -> Self {
-        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid extents must be positive");
+        assert!(
+            nx >= 1 && ny >= 1 && nz >= 1,
+            "grid extents must be positive"
+        );
         assert!(ng >= 1, "at least one ghost layer is required");
         GridShape { nx, ny, nz, ng }
     }
@@ -133,9 +136,18 @@ impl GridShape {
         let gx = self.ghosts(Axis::X) as i32;
         let gy = self.ghosts(Axis::Y) as i32;
         let gz = self.ghosts(Axis::Z) as i32;
-        debug_assert!(i >= -gx && (i as i64) < (self.nx as i64 + gx as i64), "i={i} out of range");
-        debug_assert!(j >= -gy && (j as i64) < (self.ny as i64 + gy as i64), "j={j} out of range");
-        debug_assert!(k >= -gz && (k as i64) < (self.nz as i64 + gz as i64), "k={k} out of range");
+        debug_assert!(
+            i >= -gx && (i as i64) < (self.nx as i64 + gx as i64),
+            "i={i} out of range"
+        );
+        debug_assert!(
+            j >= -gy && (j as i64) < (self.ny as i64 + gy as i64),
+            "j={j} out of range"
+        );
+        debug_assert!(
+            k >= -gz && (k as i64) < (self.nz as i64 + gz as i64),
+            "k={k} out of range"
+        );
         let sx = self.stride(Axis::Y);
         let sxy = self.stride(Axis::Z);
         ((k + gz) as usize) * sxy + ((j + gy) as usize) * sx + (i + gx) as usize
@@ -160,9 +172,8 @@ impl GridShape {
     pub fn interior_indices(&self) -> impl Iterator<Item = usize> + '_ {
         let shape = *self;
         (0..self.nz as i32).flat_map(move |k| {
-            (0..shape.ny as i32).flat_map(move |j| {
-                (0..shape.nx as i32).map(move |i| shape.idx(i, j, k))
-            })
+            (0..shape.ny as i32)
+                .flat_map(move |j| (0..shape.nx as i32).map(move |i| shape.idx(i, j, k)))
         })
     }
 
@@ -206,7 +217,10 @@ mod tests {
         let s = GridShape::new(4, 3, 2, 2);
         assert_eq!(s.idx(-2, -2, -2), 0); // first stored cell
         assert_eq!(s.idx(-1, -2, -2), 1);
-        assert_eq!(s.idx(0, 0, 0), 2 * s.stride(Axis::Z) + 2 * s.stride(Axis::Y) + 2);
+        assert_eq!(
+            s.idx(0, 0, 0),
+            2 * s.stride(Axis::Z) + 2 * s.stride(Axis::Y) + 2
+        );
         // +1 in x moves by 1
         assert_eq!(s.idx(1, 0, 0), s.idx(0, 0, 0) + 1);
         // +1 in y moves by total x extent

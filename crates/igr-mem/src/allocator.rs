@@ -15,7 +15,9 @@ pub enum Placement {
     Device,
     HostPinned,
     /// Managed: counts against the preferred pool, may spill to the other.
-    Managed { prefer_device: bool },
+    Managed {
+        prefer_device: bool,
+    },
 }
 
 /// Advice hints (the `cudaMemAdvise`/`hipMemAdvise` analogue).
@@ -101,14 +103,18 @@ impl UnifiedAllocator {
     }
 
     pub fn device_bytes_free(&self) -> u64 {
-        self.spec.device_mem_bytes.saturating_sub(self.device_bytes_used())
+        self.spec
+            .device_mem_bytes
+            .saturating_sub(self.device_bytes_used())
     }
 
     pub fn host_bytes_free(&self) -> u64 {
         if self.spec.unified_pool {
             self.device_bytes_free()
         } else {
-            self.spec.host_mem_bytes.saturating_sub(self.host_bytes_used())
+            self.spec
+                .host_mem_bytes
+                .saturating_sub(self.host_bytes_used())
         }
     }
 
@@ -249,7 +255,13 @@ mod tests {
         a.alloc("state", 90 * GB, Placement::Device).unwrap();
         // 90 of 96 GB used: a 20 GB managed buffer spills to host.
         let spill = a
-            .alloc("rk_stage", 20 * GB, Placement::Managed { prefer_device: true })
+            .alloc(
+                "rk_stage",
+                20 * GB,
+                Placement::Managed {
+                    prefer_device: true,
+                },
+            )
             .unwrap();
         assert!(!a.is_on_device(spill));
         assert_eq!(a.host_bytes_used(), 20 * GB);
@@ -263,14 +275,25 @@ mod tests {
         assert_eq!(total, 216 * GB);
         a.alloc("a", 96 * GB, Placement::Device).unwrap();
         a.alloc("b", 120 * GB, Placement::HostPinned).unwrap();
-        assert!(a.alloc("c", GB, Placement::Managed { prefer_device: true }).is_err());
+        assert!(a
+            .alloc(
+                "c",
+                GB,
+                Placement::Managed {
+                    prefer_device: true
+                }
+            )
+            .is_err());
     }
 
     #[test]
     fn unified_pool_ignores_placement_distinctions() {
         let mut a = UnifiedAllocator::new(DeviceSpec::MI300A);
         let h = a.alloc("x", 64 * GB, Placement::HostPinned).unwrap();
-        assert!(a.is_on_device(h), "single pool: everything is device-resident");
+        assert!(
+            a.is_on_device(h),
+            "single pool: everything is device-resident"
+        );
         let err = a.alloc("y", 65 * GB, Placement::Device).unwrap_err();
         assert!(matches!(err, AllocError::DeviceOom { .. }));
     }
@@ -279,7 +302,13 @@ mod tests {
     fn advise_migrates_managed_buffers_when_space_allows() {
         let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
         let id = a
-            .alloc("managed", 10 * GB, Placement::Managed { prefer_device: true })
+            .alloc(
+                "managed",
+                10 * GB,
+                Placement::Managed {
+                    prefer_device: true,
+                },
+            )
             .unwrap();
         assert!(a.is_on_device(id));
         let moved = a.advise(id, MemAdvise::PreferredLocationHost);
@@ -296,7 +325,15 @@ mod tests {
         let id = a.alloc("pinned", GB, Placement::HostPinned).unwrap();
         assert_eq!(a.advise(id, MemAdvise::PreferredLocationDevice), 0);
         let mut apu = UnifiedAllocator::new(DeviceSpec::MI300A);
-        let id2 = apu.alloc("x", GB, Placement::Managed { prefer_device: true }).unwrap();
+        let id2 = apu
+            .alloc(
+                "x",
+                GB,
+                Placement::Managed {
+                    prefer_device: true,
+                },
+            )
+            .unwrap();
         assert_eq!(apu.advise(id2, MemAdvise::PreferredLocationHost), 0);
     }
 

@@ -86,8 +86,11 @@ impl DeviceSpec {
         unified_pool: true,
     };
 
-    pub const ALL_PAPER_DEVICES: [DeviceSpec; 3] =
-        [DeviceSpec::GH200, DeviceSpec::MI250X_GCD, DeviceSpec::MI300A];
+    pub const ALL_PAPER_DEVICES: [DeviceSpec; 3] = [
+        DeviceSpec::GH200,
+        DeviceSpec::MI250X_GCD,
+        DeviceSpec::MI300A,
+    ];
 
     /// Total memory usable for one device's working set (device + host
     /// share; a single pool counts once).

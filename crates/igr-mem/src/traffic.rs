@@ -100,7 +100,10 @@ mod tests {
         let gh = TrafficModel::new(DeviceSpec::GH200).unified_penalty(1e12, 0.005);
         assert!(gh > 0.0 && gh < 0.05, "GH200 penalty {gh} should be <5%");
         let gcd = TrafficModel::new(DeviceSpec::MI250X_GCD).unified_penalty(1e12, 0.02);
-        assert!(gcd > 0.3 && gcd < 0.6, "MI250X penalty {gcd} should be ~42-51%");
+        assert!(
+            gcd > 0.3 && gcd < 0.6,
+            "MI250X penalty {gcd} should be ~42-51%"
+        );
         // Ordering at a common fraction.
         for f in [0.005, 0.02, 0.05] {
             let gh = TrafficModel::new(DeviceSpec::GH200).unified_penalty(1e12, f);
@@ -113,8 +116,14 @@ mod tests {
     #[test]
     fn step_time_is_linear_in_traffic() {
         let m = TrafficModel::new(DeviceSpec::GH200);
-        let t1 = m.step_time_s(&StepTraffic { device_bytes: 1e9, link_bytes: 0.0 });
-        let t2 = m.step_time_s(&StepTraffic { device_bytes: 2e9, link_bytes: 0.0 });
+        let t1 = m.step_time_s(&StepTraffic {
+            device_bytes: 1e9,
+            link_bytes: 0.0,
+        });
+        let t2 = m.step_time_s(&StepTraffic {
+            device_bytes: 2e9,
+            link_bytes: 0.0,
+        });
         assert!((t2 / t1 - 2.0).abs() < 1e-12);
         // 1 GB at 4 TB/s = 0.25 ms.
         assert!((t1 - 0.25e-3).abs() < 1e-8);
@@ -124,7 +133,10 @@ mod tests {
     fn grind_time_normalizes_by_cells() {
         let m = TrafficModel::new(DeviceSpec::GH200);
         // 136 B/cell/step (17 f64 arrays touched once) on 1e9 cells.
-        let t = StepTraffic { device_bytes: 136.0 * 1e9, link_bytes: 0.0 };
+        let t = StepTraffic {
+            device_bytes: 136.0 * 1e9,
+            link_bytes: 0.0,
+        };
         let g = m.grind_ns(&t, 1e9);
         assert!((g - 136.0 / 4000.0).abs() < 1e-9, "grind {g} ns");
     }
@@ -136,7 +148,10 @@ mod tests {
         let mut spec = DeviceSpec::GH200;
         spec.host_bw = 100e9; // slower than the 450 GB/s link
         let m = TrafficModel::new(spec);
-        let t = StepTraffic { device_bytes: 0.0, link_bytes: 1e9 };
+        let t = StepTraffic {
+            device_bytes: 0.0,
+            link_bytes: 1e9,
+        };
         assert!((m.step_time_s(&t) - 0.01).abs() < 1e-9);
     }
 }

@@ -32,11 +32,23 @@ fn managed_buffers_spill_to_host_instead_of_failing() {
     let mut a = UnifiedAllocator::new(DeviceSpec::GH200);
     let hbm = a.device_bytes_free();
     let big = a
-        .alloc("rk-stage", hbm, Placement::Managed { prefer_device: true })
+        .alloc(
+            "rk-stage",
+            hbm,
+            Placement::Managed {
+                prefer_device: true,
+            },
+        )
         .unwrap();
     assert!(a.is_on_device(big));
     let spilled = a
-        .alloc("spill", 4 * GB, Placement::Managed { prefer_device: true })
+        .alloc(
+            "spill",
+            4 * GB,
+            Placement::Managed {
+                prefer_device: true,
+            },
+        )
         .unwrap();
     assert!(!a.is_on_device(spilled), "must spill to host");
     // Device placement still fails — no silent spill for hipMalloc.
@@ -51,9 +63,7 @@ fn unified_pool_devices_have_one_pool() {
     // MI300A: "a single physical HBM pool accessed by both CPU and GPU".
     let mut a = UnifiedAllocator::new(DeviceSpec::MI300A);
     let cap = a.device_bytes_free();
-    let id = a
-        .alloc("everything", cap, Placement::HostPinned)
-        .unwrap();
+    let id = a.alloc("everything", cap, Placement::HostPinned).unwrap();
     assert!(a.is_on_device(id), "every placement resolves to the pool");
     let err = a.alloc("one-more-byte", 1, Placement::Device).unwrap_err();
     assert!(matches!(err, AllocError::DeviceOom { .. }));
@@ -76,7 +86,13 @@ fn host_oom_when_both_pools_are_exhausted() {
     a.alloc("hbm-fill", hbm, Placement::Device).unwrap();
     a.alloc("host-fill", host, Placement::HostPinned).unwrap();
     let err = a
-        .alloc("nowhere", GB, Placement::Managed { prefer_device: true })
+        .alloc(
+            "nowhere",
+            GB,
+            Placement::Managed {
+                prefer_device: true,
+            },
+        )
         .unwrap_err();
     assert!(matches!(err, AllocError::HostOom { .. }));
 }

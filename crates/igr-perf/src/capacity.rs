@@ -144,8 +144,7 @@ mod tests {
     /// paper's 1386³ almost exactly.
     #[test]
     fn frontier_per_gcd_grid_matches_paper() {
-        let m = CapacityModel::new(MemoryLayout::igr_unified_12_17(2.0))
-            .with_usable_fraction(0.93);
+        let m = CapacityModel::new(MemoryLayout::igr_unified_12_17(2.0)).with_usable_fraction(0.93);
         let edge = m.edge_per_device(&System::FRONTIER);
         assert!(
             (edge - 1386.0).abs() < 10.0,
@@ -176,7 +175,10 @@ mod tests {
         let hi = CapacityModel::new(MemoryLayout::igr_unified_10_17(2.0))
             .with_usable_fraction(0.93)
             .edge_per_device(&System::ALPS);
-        assert!(lo < 1611.0 && 1611.0 < hi, "paper 1611 not in [{lo:.0}, {hi:.0}]");
+        assert!(
+            lo < 1611.0 && 1611.0 < hi,
+            "paper 1611 not in [{lo:.0}, {hi:.0}]"
+        );
         // Full-system Alps: paper says 45T cells on 2688 nodes.
         let total = 1611f64.powi(3) * System::ALPS.total_devices() as f64;
         assert!((total / 1e12 - 45.0).abs() < 1.0, "{:.1}T", total / 1e12);
@@ -195,7 +197,11 @@ mod tests {
             "theoretical max {max_edge:.0} must admit the paper's 1380"
         );
         let total_paper = 1380f64.powi(3) * 4.0 * 10750.0;
-        assert!((total_paper / 1e12 - 113.0).abs() < 1.0, "{:.1}T", total_paper / 1e12);
+        assert!(
+            (total_paper / 1e12 - 113.0).abs() < 1.0,
+            "{:.1}T",
+            total_paper / 1e12
+        );
     }
 
     /// Fig. 8: IGR accommodates 10.5 B cells/node on Frontier at FP32 with

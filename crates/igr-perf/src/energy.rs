@@ -87,7 +87,9 @@ impl EnergyModel {
     /// Baseline-to-IGR energy ratio at FP64 (Table 4's headline: up to
     /// 5.38× on Frontier).
     pub fn improvement_fp64(&self) -> f64 {
-        let weno = self.energy_uj(Scheme::WenoBaseline, Precision::Fp64).unwrap();
+        let weno = self
+            .energy_uj(Scheme::WenoBaseline, Precision::Fp64)
+            .unwrap();
         let igr = self.energy_uj(Scheme::Igr, Precision::Fp64).unwrap();
         weno / igr
     }
@@ -106,10 +108,10 @@ mod tests {
 
     #[test]
     fn table4_energies_within_model_tolerance() {
-        for (model, &(name, weno_uj, igr_uj)) in
-            EnergyModel::paper_devices().iter().zip(PAPER)
-        {
-            let w = model.energy_uj(Scheme::WenoBaseline, Precision::Fp64).unwrap();
+        for (model, &(name, weno_uj, igr_uj)) in EnergyModel::paper_devices().iter().zip(PAPER) {
+            let w = model
+                .energy_uj(Scheme::WenoBaseline, Precision::Fp64)
+                .unwrap();
             let i = model.energy_uj(Scheme::Igr, Precision::Fp64).unwrap();
             assert!(
                 (w - weno_uj).abs() / weno_uj < 0.30,
@@ -137,7 +139,10 @@ mod tests {
             improvements.iter().all(|&(imp, _)| imp <= frontier + 1e-9),
             "Frontier must lead: {improvements:?}"
         );
-        assert!((frontier - 5.38).abs() < 1.2, "Frontier improvement {frontier:.2}");
+        assert!(
+            (frontier - 5.38).abs() < 1.2,
+            "Frontier improvement {frontier:.2}"
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub struct FlopModel {
 
 impl Default for FlopModel {
     fn default() -> Self {
-        FlopModel { dims: 3, rk_stages: 3, sweeps: 5, viscous: false }
+        FlopModel {
+            dims: 3,
+            rk_stages: 3,
+            sweeps: 5,
+            viscous: false,
+        }
     }
 }
 
@@ -93,8 +98,7 @@ impl FlopModel {
                 let flux = Self::FLUX_LF + self.viscous_flops();
                 let accumulate = 2.0 * NV; // flux difference + add
                 let per_dir = recon + flux + accumulate;
-                let elliptic = self.igr_source_flops()
-                    + self.sweeps as f64 * self.sweep_flops();
+                let elliptic = self.igr_source_flops() + self.sweeps as f64 * self.sweep_flops();
                 d * per_dir + elliptic
             }
             Scheme::WenoBaseline => {
@@ -171,8 +175,14 @@ mod tests {
 
     #[test]
     fn dimensionality_scales_the_directional_work() {
-        let m1 = FlopModel { dims: 1, ..Default::default() };
-        let m3 = FlopModel { dims: 3, ..Default::default() };
+        let m1 = FlopModel {
+            dims: 1,
+            ..Default::default()
+        };
+        let m3 = FlopModel {
+            dims: 3,
+            ..Default::default()
+        };
         assert!(m3.per_rhs(Scheme::Igr) > 2.0 * m1.per_rhs(Scheme::Igr));
         assert!(m3.per_rhs(Scheme::WenoBaseline) > 2.5 * m1.per_rhs(Scheme::WenoBaseline));
     }
@@ -202,7 +212,10 @@ mod tests {
     #[test]
     fn viscous_terms_add_work() {
         let inviscid = FlopModel::default();
-        let viscous = FlopModel { viscous: true, ..inviscid };
+        let viscous = FlopModel {
+            viscous: true,
+            ..inviscid
+        };
         assert!(viscous.per_rhs(Scheme::Igr) > inviscid.per_rhs(Scheme::Igr));
     }
 }

@@ -182,21 +182,111 @@ mod tests {
     #[test]
     fn table3_predictions_track_the_paper() {
         let paper: &[(&str, Scheme, Precision, MemoryMode, f64)] = &[
-            ("GH200", Scheme::WenoBaseline, Precision::Fp64, MemoryMode::InCore, 16.89),
-            ("GH200", Scheme::Igr, Precision::Fp64, MemoryMode::InCore, 3.83),
-            ("GH200", Scheme::Igr, Precision::Fp64, MemoryMode::Unified, 4.18),
-            ("GH200", Scheme::Igr, Precision::Fp32, MemoryMode::InCore, 2.70),
-            ("GH200", Scheme::Igr, Precision::Fp32, MemoryMode::Unified, 2.81),
-            ("GH200", Scheme::Igr, Precision::Fp16Fp32, MemoryMode::InCore, 3.06),
-            ("GH200", Scheme::Igr, Precision::Fp16Fp32, MemoryMode::Unified, 3.07),
-            ("MI250X", Scheme::WenoBaseline, Precision::Fp64, MemoryMode::InCore, 69.72),
-            ("MI250X", Scheme::Igr, Precision::Fp64, MemoryMode::InCore, 13.01),
-            ("MI250X", Scheme::Igr, Precision::Fp64, MemoryMode::Unified, 19.81),
-            ("MI250X", Scheme::Igr, Precision::Fp32, MemoryMode::InCore, 9.12),
-            ("MI250X", Scheme::Igr, Precision::Fp32, MemoryMode::Unified, 13.03),
-            ("MI300A", Scheme::WenoBaseline, Precision::Fp64, MemoryMode::Unified, 29.50),
-            ("MI300A", Scheme::Igr, Precision::Fp64, MemoryMode::Unified, 7.21),
-            ("MI300A", Scheme::Igr, Precision::Fp32, MemoryMode::Unified, 4.19),
+            (
+                "GH200",
+                Scheme::WenoBaseline,
+                Precision::Fp64,
+                MemoryMode::InCore,
+                16.89,
+            ),
+            (
+                "GH200",
+                Scheme::Igr,
+                Precision::Fp64,
+                MemoryMode::InCore,
+                3.83,
+            ),
+            (
+                "GH200",
+                Scheme::Igr,
+                Precision::Fp64,
+                MemoryMode::Unified,
+                4.18,
+            ),
+            (
+                "GH200",
+                Scheme::Igr,
+                Precision::Fp32,
+                MemoryMode::InCore,
+                2.70,
+            ),
+            (
+                "GH200",
+                Scheme::Igr,
+                Precision::Fp32,
+                MemoryMode::Unified,
+                2.81,
+            ),
+            (
+                "GH200",
+                Scheme::Igr,
+                Precision::Fp16Fp32,
+                MemoryMode::InCore,
+                3.06,
+            ),
+            (
+                "GH200",
+                Scheme::Igr,
+                Precision::Fp16Fp32,
+                MemoryMode::Unified,
+                3.07,
+            ),
+            (
+                "MI250X",
+                Scheme::WenoBaseline,
+                Precision::Fp64,
+                MemoryMode::InCore,
+                69.72,
+            ),
+            (
+                "MI250X",
+                Scheme::Igr,
+                Precision::Fp64,
+                MemoryMode::InCore,
+                13.01,
+            ),
+            (
+                "MI250X",
+                Scheme::Igr,
+                Precision::Fp64,
+                MemoryMode::Unified,
+                19.81,
+            ),
+            (
+                "MI250X",
+                Scheme::Igr,
+                Precision::Fp32,
+                MemoryMode::InCore,
+                9.12,
+            ),
+            (
+                "MI250X",
+                Scheme::Igr,
+                Precision::Fp32,
+                MemoryMode::Unified,
+                13.03,
+            ),
+            (
+                "MI300A",
+                Scheme::WenoBaseline,
+                Precision::Fp64,
+                MemoryMode::Unified,
+                29.50,
+            ),
+            (
+                "MI300A",
+                Scheme::Igr,
+                Precision::Fp64,
+                MemoryMode::Unified,
+                7.21,
+            ),
+            (
+                "MI300A",
+                Scheme::Igr,
+                Precision::Fp32,
+                MemoryMode::Unified,
+                4.19,
+            ),
         ];
         for &(dev, scheme, prec, mode, measured) in paper {
             let model = match dev {
@@ -218,7 +308,9 @@ mod tests {
     #[test]
     fn igr_beats_weno_by_about_4x_in_fp64() {
         for m in GrindModel::paper_devices() {
-            let igr = m.grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::InCore).unwrap();
+            let igr = m
+                .grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::InCore)
+                .unwrap();
             let weno = m
                 .grind_ns(Scheme::WenoBaseline, Precision::Fp64, MemoryMode::InCore)
                 .unwrap();
@@ -234,24 +326,37 @@ mod tests {
     #[test]
     fn weno_below_fp64_is_marked_unstable() {
         let m = GrindModel::gh200();
-        assert!(m.grind_ns(Scheme::WenoBaseline, Precision::Fp32, MemoryMode::InCore).is_none());
         assert!(m
-            .grind_ns(Scheme::WenoBaseline, Precision::Fp16Fp32, MemoryMode::InCore)
+            .grind_ns(Scheme::WenoBaseline, Precision::Fp32, MemoryMode::InCore)
+            .is_none());
+        assert!(m
+            .grind_ns(
+                Scheme::WenoBaseline,
+                Precision::Fp16Fp32,
+                MemoryMode::InCore
+            )
             .is_none());
     }
 
     #[test]
     fn unified_penalty_ordering_matches_table3() {
         let pen = |m: GrindModel| {
-            let ic = m.grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::InCore).unwrap();
-            let un = m.grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::Unified).unwrap();
+            let ic = m
+                .grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::InCore)
+                .unwrap();
+            let un = m
+                .grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::Unified)
+                .unwrap();
             un / ic - 1.0
         };
         let gh = pen(GrindModel::gh200());
         let gcd = pen(GrindModel::mi250x_gcd());
         let apu = pen(GrindModel::mi300a());
         assert!(gh < 0.05, "GH200 unified penalty {gh:.3} must be <5%");
-        assert!((0.3..0.6).contains(&gcd), "GCD penalty {gcd:.3} should be 42-51%");
+        assert!(
+            (0.3..0.6).contains(&gcd),
+            "GCD penalty {gcd:.3} should be 42-51%"
+        );
         assert!(apu.abs() < 1e-12, "MI300A has no separate pools");
     }
 
@@ -260,13 +365,21 @@ mod tests {
         // §7.1: "For FP16/32, we observe a performance regression on all
         // devices compared to FP32".
         for m in GrindModel::paper_devices() {
-            let f64_t = m.grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::Unified).unwrap();
-            let f32_t = m.grind_ns(Scheme::Igr, Precision::Fp32, MemoryMode::Unified).unwrap();
+            let f64_t = m
+                .grind_ns(Scheme::Igr, Precision::Fp64, MemoryMode::Unified)
+                .unwrap();
+            let f32_t = m
+                .grind_ns(Scheme::Igr, Precision::Fp32, MemoryMode::Unified)
+                .unwrap();
             let f16_t = m
                 .grind_ns(Scheme::Igr, Precision::Fp16Fp32, MemoryMode::Unified)
                 .unwrap();
             assert!(f32_t < f64_t, "{}", m.spec.name);
-            assert!(f16_t > f32_t, "{}: FP16/32 should regress vs FP32", m.spec.name);
+            assert!(
+                f16_t > f32_t,
+                "{}: FP16/32 should regress vs FP32",
+                m.spec.name
+            );
         }
     }
 
@@ -283,7 +396,12 @@ mod tests {
             let igr32 = m
                 .grind_ns(Scheme::Igr, Precision::Fp32, MemoryMode::InCore)
                 .unwrap();
-            assert!(weno / igr32 > 6.0, "{}: ratio {:.1}", m.spec.name, weno / igr32);
+            assert!(
+                weno / igr32 > 6.0,
+                "{}: ratio {:.1}",
+                m.spec.name,
+                weno / igr32
+            );
         }
     }
 }

@@ -72,14 +72,12 @@ impl ScalingModel {
         let grind_ns = self
             .grind
             .grind_ns_unchecked(self.scheme, self.precision, self.mode);
-        let compute =
-            grind_ns * 1e-9 * cells_per_device + self.kappa * cells_per_device.cbrt();
+        let compute = grind_ns * 1e-9 * cells_per_device + self.kappa * cells_per_device.cbrt();
 
         // Halo volume: 6 faces × ghost_width layers × edge² cells × 5 vars.
         let edge = cells_per_device.cbrt();
         let bytes_per_cell = 5.0 * self.precision.storage_bytes();
-        let halo_bytes_dev =
-            6.0 * self.ghost_width as f64 * edge * edge * bytes_per_cell;
+        let halo_bytes_dev = 6.0 * self.ghost_width as f64 * edge * edge * bytes_per_cell;
         // Injection bandwidth is shared by the node's devices.
         let bw_per_device = self.system.injection_bw_node / self.system.devices_per_node as f64;
         // 3 RK stages exchange halos once each.
@@ -169,14 +167,19 @@ mod tests {
     }
 
     fn frontier_igr(prec: Precision) -> ScalingModel {
-        ScalingModel::new(System::FRONTIER, GrindModel::mi250x_gcd(), Scheme::Igr, prec)
+        ScalingModel::new(
+            System::FRONTIER,
+            GrindModel::mi250x_gcd(),
+            Scheme::Igr,
+            prec,
+        )
     }
 
     #[test]
     fn weak_scaling_is_flat_to_full_system() {
         // Fig. 6: >=97% weak-scaling efficiency to the full systems.
         for (model, full_nodes) in [
-            (alps_igr(), 2304),    // 9.2K GH200
+            (alps_igr(), 2304), // 9.2K GH200
             (frontier_igr(Precision::Fp16Fp32), 9408),
         ] {
             let cells = 1386f64.powi(3);
@@ -225,8 +228,7 @@ mod tests {
             (alps_igr(), 2304, 0.80),
         ];
         for (model, full, paper_eff) in cases {
-            let global = model.max_cells_per_device()
-                * (8 * model.system.devices_per_node) as f64;
+            let global = model.max_cells_per_device() * (8 * model.system.devices_per_node) as f64;
             let pts = model.strong_scaling(global, 8, &[8, full]);
             let eff = pts[1].efficiency;
             assert!(
@@ -250,7 +252,7 @@ mod tests {
             Precision::Fp32,
         );
         weno.mode = MemoryMode::InCore; // the baseline has no unified path
-        // Per Fig. 8's capacities: IGR 10.5B cells/node, baseline 421M.
+                                        // Per Fig. 8's capacities: IGR 10.5B cells/node, baseline 421M.
         let igr_global = 10.5e9 * 8.0;
         let weno_global = 0.421e9 * 8.0;
         let full = 9408;

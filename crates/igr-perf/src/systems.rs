@@ -112,9 +112,15 @@ mod tests {
         // 75.2K GCDs (9408 of 9472 nodes); Alps 9.2K GH200 = 2300 nodes.
         assert_eq!(System::EL_CAPITAN.total_devices(), 44544);
         assert_eq!(System::FRONTIER.total_devices(), 75776);
-        assert!(System::FRONTIER.total_devices() >= 75264, "holds the 37.6K-GPU run");
+        assert!(
+            System::FRONTIER.total_devices() >= 75264,
+            "holds the 37.6K-GPU run"
+        );
         assert_eq!(System::ALPS.total_devices(), 10752);
-        assert!(System::ALPS.total_devices() >= 9216, "holds the 9.2K-GH200 run");
+        assert!(
+            System::ALPS.total_devices() >= 9216,
+            "holds the 9.2K-GH200 run"
+        );
     }
 
     #[test]
@@ -125,12 +131,21 @@ mod tests {
         assert!((el - 5.44).abs() < 0.2, "El Capitan {el} PB (paper: 5.6)");
         let fr_dev = System::FRONTIER.total_device_memory() as f64 / PB;
         let fr_host = System::FRONTIER.total_host_memory() as f64 / PB;
-        assert!((fr_dev - 4.62).abs() < 0.2, "Frontier HBM {fr_dev} PB (paper: 4.8)");
+        assert!(
+            (fr_dev - 4.62).abs() < 0.2,
+            "Frontier HBM {fr_dev} PB (paper: 4.8)"
+        );
         assert!((fr_host - 4.62).abs() < 0.2, "Frontier DDR {fr_host} PB");
         let alps_dev = System::ALPS.total_device_memory() as f64 / PB;
         let alps_host = System::ALPS.total_host_memory() as f64 / PB;
-        assert!((alps_dev - 0.98).abs() < 0.1, "Alps HBM {alps_dev} PB (paper: 1.0)");
-        assert!((alps_host - 1.23).abs() < 0.1, "Alps LPDDR {alps_host} PB (paper: 1.3)");
+        assert!(
+            (alps_dev - 0.98).abs() < 0.1,
+            "Alps HBM {alps_dev} PB (paper: 1.0)"
+        );
+        assert!(
+            (alps_host - 1.23).abs() < 0.1,
+            "Alps LPDDR {alps_host} PB (paper: 1.3)"
+        );
     }
 
     #[test]
@@ -147,6 +162,10 @@ mod tests {
         // §7.2: 1611^3 per GH200 on JUPITER amounts to 100.3T cells.
         let cells_per_device = 1611f64.powi(3);
         let total = cells_per_device * System::JUPITER.total_devices() as f64;
-        assert!((total / 1e12 - 100.3).abs() < 0.5, "JUPITER capacity {:.1}T", total / 1e12);
+        assert!(
+            (total / 1e12 - 100.3).abs() < 0.5,
+            "JUPITER capacity {:.1}T",
+            total / 1e12
+        );
     }
 }

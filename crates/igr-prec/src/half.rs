@@ -308,7 +308,11 @@ mod tests {
             if h.is_nan() {
                 assert!(f16::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    f16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }
@@ -375,7 +379,10 @@ mod tests {
     fn from_f64_matches_from_f32_for_representables() {
         for i in -100..=100 {
             let x = i as f64 * 0.125;
-            assert_eq!(f16::from_f64(x).to_bits(), f16::from_f32(x as f32).to_bits());
+            assert_eq!(
+                f16::from_f64(x).to_bits(),
+                f16::from_f32(x as f32).to_bits()
+            );
         }
     }
 }

@@ -217,14 +217,22 @@ mod tests {
 
     type St = SpeciesState<f64, StoreF64>;
 
-    const EOS: MixEos = MixEos { gamma1: 1.4, gamma2: 1.67 };
+    const EOS: MixEos = MixEos {
+        gamma1: 1.4,
+        gamma2: 1.67,
+    };
 
     fn graded_state(shape: GridShape) -> (St, Domain) {
         let domain = Domain::unit(shape);
         let mut s = St::zeros(shape);
         s.set_prim_field(&domain, &EOS, |p| {
             let a = (0.2 + 0.6 * p[0]).clamp(0.0, 1.0);
-            MixPrim::new([a * 1.0, (1.0 - a) * 0.5], [0.5, -0.25, 0.0], 1.0 + 0.1 * p[0], a)
+            MixPrim::new(
+                [a * 1.0, (1.0 - a) * 0.5],
+                [0.5, -0.25, 0.0],
+                1.0 + 0.1 * p[0],
+                a,
+            )
         });
         (s, domain)
     }
@@ -292,7 +300,11 @@ mod tests {
         let bcs = SpeciesBcSet::all_outflow()
             .with_face(Axis::Y, 0, SpeciesBc::Periodic)
             .with_face(Axis::Y, 1, SpeciesBc::Periodic)
-            .with_face(Axis::X, 0, SpeciesBc::Inflow(MixPrim::pure1(1.0, [0.0; 3], 1.0)));
+            .with_face(
+                Axis::X,
+                0,
+                SpeciesBc::Inflow(MixPrim::pure1(1.0, [0.0; 3], 1.0)),
+            );
         let sb = bcs.scalar_bcs();
         assert!(matches!(sb.face(Axis::Y, 0), igr_core::bc::Bc::Periodic));
         assert!(matches!(sb.face(Axis::X, 0), igr_core::bc::Bc::Outflow));

@@ -47,13 +47,19 @@ pub struct MixEos {
 impl MixEos {
     /// Air (γ = 1.4) / helium (γ = 1.67): the classic shock–bubble pairing.
     pub fn air_helium() -> Self {
-        MixEos { gamma1: 1.4, gamma2: 1.67 }
+        MixEos {
+            gamma1: 1.4,
+            gamma2: 1.67,
+        }
     }
 
     /// Both fluids identical — the model must then reduce *exactly* to the
     /// single-fluid solver (tested).
     pub fn single(gamma: f64) -> Self {
-        MixEos { gamma1: gamma, gamma2: gamma }
+        MixEos {
+            gamma1: gamma,
+            gamma2: gamma,
+        }
     }
 
     /// `Γ(α) = α/(γ₁−1) + (1−α)/(γ₂−1)`, linear in `α`.
@@ -102,19 +108,33 @@ impl<R: Real> MixPrim<R> {
 
     /// Pure fluid 1 at `(ρ, u, p)`.
     pub fn pure1(rho: R, vel: [R; 3], p: R) -> Self {
-        MixPrim { ar: [rho, R::ZERO], vel, p, alpha: R::ONE }
+        MixPrim {
+            ar: [rho, R::ZERO],
+            vel,
+            p,
+            alpha: R::ONE,
+        }
     }
 
     /// Pure fluid 2 at `(ρ, u, p)`.
     pub fn pure2(rho: R, vel: [R; 3], p: R) -> Self {
-        MixPrim { ar: [R::ZERO, rho], vel, p, alpha: R::ZERO }
+        MixPrim {
+            ar: [R::ZERO, rho],
+            vel,
+            p,
+            alpha: R::ZERO,
+        }
     }
 
     /// Convert from f64 components (case-setup convenience).
     pub fn from_f64(ar: [f64; 2], vel: [f64; 3], p: f64, alpha: f64) -> Self {
         MixPrim {
             ar: [R::from_f64(ar[0]), R::from_f64(ar[1])],
-            vel: [R::from_f64(vel[0]), R::from_f64(vel[1]), R::from_f64(vel[2])],
+            vel: [
+                R::from_f64(vel[0]),
+                R::from_f64(vel[1]),
+                R::from_f64(vel[2]),
+            ],
             p: R::from_f64(p),
             alpha: R::from_f64(alpha),
         }
@@ -161,7 +181,12 @@ pub fn cons_to_prim<R: Real>(q: &Cons2<R>, eos: &MixEos) -> MixPrim<R> {
     let vel = [q[I_MX] * inv_rho, q[I_MY] * inv_rho, q[I_MZ] * inv_rho];
     let ke = R::HALF * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
     let p = (q[I_E] - ke) / eos.big_gamma(q[I_A]);
-    MixPrim { ar: [q[I_R1], q[I_R2]], vel, p, alpha: q[I_A] }
+    MixPrim {
+        ar: [q[I_R1], q[I_R2]],
+        vel,
+        p,
+        alpha: q[I_A],
+    }
 }
 
 /// Inviscid flux along axis `d` with total pressure `ptot = p + Σ`.
@@ -197,7 +222,10 @@ pub fn max_wave_speed<R: Real>(d: usize, pr: &MixPrim<R>, sigma: R, eos: &MixEos
 mod tests {
     use super::*;
 
-    const EOS: MixEos = MixEos { gamma1: 1.4, gamma2: 1.67 };
+    const EOS: MixEos = MixEos {
+        gamma1: 1.4,
+        gamma2: 1.67,
+    };
 
     #[test]
     fn gamma_is_linear_in_alpha() {
@@ -290,8 +318,18 @@ mod tests {
 
     #[test]
     fn invalid_eos_is_rejected() {
-        assert!(MixEos { gamma1: 1.0, gamma2: 1.4 }.validate().is_err());
-        assert!(MixEos { gamma1: 1.4, gamma2: 0.9 }.validate().is_err());
+        assert!(MixEos {
+            gamma1: 1.0,
+            gamma2: 1.4
+        }
+        .validate()
+        .is_err());
+        assert!(MixEos {
+            gamma1: 1.4,
+            gamma2: 0.9
+        }
+        .validate()
+        .is_err());
         assert!(MixEos::air_helium().validate().is_ok());
     }
 }

@@ -36,7 +36,10 @@ pub struct IfaceFlux<R: Real> {
 
 impl<R: Real> IfaceFlux<R> {
     fn zero() -> Self {
-        IfaceFlux { f: [R::ZERO; NS], ustar: R::ZERO }
+        IfaceFlux {
+            f: [R::ZERO; NS],
+            ustar: R::ZERO,
+        }
     }
 }
 
@@ -177,8 +180,8 @@ impl<'a, R: Real, S: Storage<R>> FluxParams2<'a, R, S> {
             }
         }
 
-        let lam = max_wave_speed(d, &prl, sl, &self.eos)
-            .max(max_wave_speed(d, &prr, sr, &self.eos));
+        let lam =
+            max_wave_speed(d, &prl, sl, &self.eos).max(max_wave_speed(d, &prr, sr, &self.eos));
         let fl = inviscid_flux(d, &ql, &prl, prl.p + sl);
         let fr = inviscid_flux(d, &qr, &prr, prr.p + sr);
 
@@ -348,7 +351,15 @@ fn process_block<R: Real, S: Storage<R>>(
         sweep_x(p, &mut chunks, off, j_range.clone(), k_range.clone());
     }
     if shape.is_active(Axis::Y) {
-        sweep_row_buffered(p, &mut chunks, off, Axis::Y, j_range.clone(), k_range.clone(), scratch);
+        sweep_row_buffered(
+            p,
+            &mut chunks,
+            off,
+            Axis::Y,
+            j_range.clone(),
+            k_range.clone(),
+            scratch,
+        );
     }
     if shape.is_active(Axis::Z) {
         sweep_row_buffered(p, &mut chunks, off, Axis::Z, j_range, k_range, scratch);
@@ -393,7 +404,14 @@ fn sweep_x<R: Real, S: Storage<R>>(
             for c in 0..shape.nx {
                 let lin = base + c;
                 let f_cur = p.interface_flux(0, lin);
-                apply_cell::<R, S>(chunks, lin - off, &f_prev, &f_cur, alpha_field.at_lin(lin), inv_dx);
+                apply_cell::<R, S>(
+                    chunks,
+                    lin - off,
+                    &f_prev,
+                    &f_cur,
+                    alpha_field.at_lin(lin),
+                    inv_dx,
+                );
                 f_prev = f_cur;
             }
         }
@@ -562,20 +580,18 @@ mod tests {
     type St = SpeciesState<f64, StoreF64>;
     type F = Field<f64, StoreF64>;
 
-    const EOS: MixEos = MixEos { gamma1: 1.4, gamma2: 1.67 };
+    const EOS: MixEos = MixEos {
+        gamma1: 1.4,
+        gamma2: 1.67,
+    };
 
-    fn rhs_of(
-        shape: GridShape,
-        init: impl Fn([f64; 3]) -> MixPrim<f64>,
-        mu: f64,
-    ) -> (St, Domain) {
+    fn rhs_of(shape: GridShape, init: impl Fn([f64; 3]) -> MixPrim<f64>, mu: f64) -> (St, Domain) {
         let domain = Domain::unit(shape);
         let mut q = St::zeros(shape);
         q.set_prim_field(&domain, &EOS, init);
         fill_ghosts(&mut q, &domain, &SpeciesBcSet::all_periodic(), &EOS, 0.0);
         let sigma = F::zeros(shape);
-        let params =
-            FluxParams2::new(&q, &sigma, &domain, EOS, mu, 0.0, ReconOrder::Fifth, false);
+        let params = FluxParams2::new(&q, &sigma, &domain, EOS, mu, 0.0, ReconOrder::Fifth, false);
         let mut rhs = St::zeros(shape);
         accumulate_fluxes2(&params, &mut rhs);
         (rhs, domain)
@@ -713,8 +729,14 @@ mod tests {
             )
         };
         let shape = GridShape::new(16, 12, 10, 3);
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let r1 = pool1.install(|| rhs_of(shape, init, 0.01).0);
         let r4 = pool4.install(|| rhs_of(shape, init, 0.01).0);
         assert_eq!(r1.max_diff(&r4), 0.0);

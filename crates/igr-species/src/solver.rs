@@ -2,7 +2,9 @@
 
 use crate::bc::{fill_ghosts, SpeciesBcSet};
 use crate::eos::MixEos;
-use crate::rhs::{accumulate_fluxes2, compute_igr_source_mix, compute_mixture_density, FluxParams2};
+use crate::rhs::{
+    accumulate_fluxes2, compute_igr_source_mix, compute_mixture_density, FluxParams2,
+};
 use crate::state::SpeciesState;
 use igr_core::config::{EllipticKind, ReconOrder, RkOrder};
 use igr_core::memory::MemoryReport;
@@ -125,11 +127,22 @@ impl<R: Real, S: Storage<R>> SigmaWorkspace<R, S> {
         self.warm = true;
         let scalar_bcs = cfg.bc.scalar_bcs();
         for _ in 0..sweeps {
-            igr_core::bc::fill_scalar_ghosts(&mut self.sigma, &scalar_bcs, &igr_core::bc::ALL_FACES);
+            igr_core::bc::fill_scalar_ghosts(
+                &mut self.sigma,
+                &scalar_bcs,
+                &igr_core::bc::ALL_FACES,
+            );
             match cfg.elliptic {
                 EllipticKind::Jacobi => {
                     let tmp = self.sigma_tmp.as_mut().expect("Jacobi requires sigma_tmp");
-                    jacobi_sweep(&self.rho_mix, &self.igr_rhs, &self.sigma, tmp, domain, alpha_igr);
+                    jacobi_sweep(
+                        &self.rho_mix,
+                        &self.igr_rhs,
+                        &self.sigma,
+                        tmp,
+                        domain,
+                        alpha_igr,
+                    );
                     std::mem::swap(&mut self.sigma, tmp);
                 }
                 EllipticKind::GaussSeidel => {
@@ -218,8 +231,13 @@ impl<R: Real, S: Storage<R>> SpeciesSolver<R, S> {
 
     /// CFL-limited time step for the current state.
     pub fn stable_dt(&self) -> f64 {
-        self.q
-            .max_dt(&self.domain, &self.cfg.eos, self.cfg.mu, self.cfg.zeta, self.cfg.cfl)
+        self.q.max_dt(
+            &self.domain,
+            &self.cfg.eos,
+            self.cfg.mu,
+            self.cfg.zeta,
+            self.cfg.cfl,
+        )
     }
 
     /// Advance one step (SSP-RK per the configuration). Returns the step
@@ -227,7 +245,10 @@ impl<R: Real, S: Storage<R>> SpeciesSolver<R, S> {
     pub fn step(&mut self) -> Result<StepInfo, SolverError> {
         let dt = self.fixed_dt.unwrap_or_else(|| self.stable_dt());
         if !(dt > 0.0 && dt.is_finite()) {
-            return Err(SolverError::DegenerateDt { step: self.step_count, dt });
+            return Err(SolverError::DegenerateDt {
+                step: self.step_count,
+                dt,
+            });
         }
         let dt_r = R::from_f64(dt);
         let t0 = self.t;
@@ -241,13 +262,20 @@ impl<R: Real, S: Storage<R>> SpeciesSolver<R, S> {
                 stage_rhs(self, t0, StageBuf::Q);
                 self.q_rk.euler_from(&self.q, dt_r, &self.rhs);
                 stage_rhs(self, t0, StageBuf::QRk);
-                self.q_rk.rk_combine(R::HALF, &self.q, R::HALF, dt_r, &self.rhs);
+                self.q_rk
+                    .rk_combine(R::HALF, &self.q, R::HALF, dt_r, &self.rhs);
             }
             RkOrder::Rk3 => {
                 stage_rhs(self, t0, StageBuf::Q);
                 self.q_rk.euler_from(&self.q, dt_r, &self.rhs);
                 stage_rhs(self, t0, StageBuf::QRk);
-                self.q_rk.rk_combine(R::from_f64(0.75), &self.q, R::from_f64(0.25), dt_r, &self.rhs);
+                self.q_rk.rk_combine(
+                    R::from_f64(0.75),
+                    &self.q,
+                    R::from_f64(0.25),
+                    dt_r,
+                    &self.rhs,
+                );
                 stage_rhs(self, t0, StageBuf::QRk);
                 self.q_rk.rk_combine(
                     R::from_f64(1.0 / 3.0),
@@ -264,10 +292,18 @@ impl<R: Real, S: Storage<R>> SpeciesSolver<R, S> {
         self.step_count += 1;
         if self.nan_check_every > 0 && self.step_count % self.nan_check_every == 0 {
             if let Some((var, pos)) = self.q.find_non_finite() {
-                return Err(SolverError::NonFinite { step: self.step_count, var, pos });
+                return Err(SolverError::NonFinite {
+                    step: self.step_count,
+                    var,
+                    pos,
+                });
             }
         }
-        Ok(StepInfo { step: self.step_count, t: self.t, dt })
+        Ok(StepInfo {
+            step: self.step_count,
+            t: self.t,
+            dt,
+        })
     }
 
     /// March to `t_end` (never overshooting) or `max_steps`, whichever first.
@@ -448,7 +484,10 @@ mod tests {
         let mut s5 = igr_core::solver::igr_solver(cfg5, domain, q5.clone());
 
         let q7 = SpeciesState::from_single_fluid(&q5, 0.3);
-        let cfg7 = SpeciesConfig { eos: MixEos::single(1.4), ..Default::default() };
+        let cfg7 = SpeciesConfig {
+            eos: MixEos::single(1.4),
+            ..Default::default()
+        };
         let mut s7 = Sv::new(cfg7, domain, q7);
 
         let dt = 1e-3;
@@ -528,11 +567,21 @@ mod tests {
         let mut cfg = SpeciesConfig::default();
         cfg.eos.gamma2 = 0.5;
         assert!(cfg.validate().is_err());
-        let cfg2 = SpeciesConfig { cfl: 0.0, ..Default::default() };
+        let cfg2 = SpeciesConfig {
+            cfl: 0.0,
+            ..Default::default()
+        };
         assert!(cfg2.validate().is_err());
-        let cfg3 = SpeciesConfig { sweeps: 0, ..Default::default() };
+        let cfg3 = SpeciesConfig {
+            sweeps: 0,
+            ..Default::default()
+        };
         assert!(cfg3.validate().is_err());
-        let cfg4 = SpeciesConfig { sweeps: 0, alpha_factor: 0.0, ..Default::default() };
+        let cfg4 = SpeciesConfig {
+            sweeps: 0,
+            alpha_factor: 0.0,
+            ..Default::default()
+        };
         assert!(cfg4.validate().is_ok());
     }
 

@@ -1,6 +1,8 @@
 //! The seven stored fields of the two-fluid model as structure-of-arrays.
 
-use crate::eos::{cons_to_prim, Cons2, MixEos, MixPrim, I_A, I_E, I_MX, I_MY, I_MZ, I_R1, I_R2, NS};
+use crate::eos::{
+    cons_to_prim, Cons2, MixEos, MixPrim, I_A, I_E, I_MX, I_MY, I_MZ, I_R1, I_R2, NS,
+};
 use igr_grid::{Domain, Field, GridShape};
 use igr_prec::{Real, Storage};
 use rayon::prelude::*;
@@ -93,12 +95,8 @@ impl<R: Real, S: Storage<R>> SpeciesState<R, S> {
             for j in 0..shape.ny as i32 {
                 for i in 0..shape.nx as i32 {
                     let p64 = f(domain.cell_center(i, j, k));
-                    let pr: MixPrim<R> = MixPrim::from_f64(
-                        [p64.ar[0], p64.ar[1]],
-                        p64.vel,
-                        p64.p,
-                        p64.alpha,
-                    );
+                    let pr: MixPrim<R> =
+                        MixPrim::from_f64([p64.ar[0], p64.ar[1]], p64.vel, p64.p, p64.alpha);
                     self.set_cons(i, j, k, pr.to_cons(eos));
                 }
             }
@@ -186,7 +184,10 @@ impl<R: Real, S: Storage<R>> SpeciesState<R, S> {
                 local_max
             })
             .reduce(|| 0.0, f64::max);
-        assert!(max_signal > 0.0 && max_signal.is_finite(), "degenerate wave speeds");
+        assert!(
+            max_signal > 0.0 && max_signal.is_finite(),
+            "degenerate wave speeds"
+        );
         cfl / max_signal
     }
 
@@ -227,10 +228,7 @@ impl<R: Real, S: Storage<R>> SpeciesState<R, S> {
     /// Embed a single-fluid conserved state at uniform volume fraction
     /// `alpha`: `m₁ = α·ρ`, `m₂ = (1−α)·ρ`, momenta/energy copied. Used by
     /// the single-fluid-reduction tests and cases.
-    pub fn from_single_fluid(
-        q5: &igr_core::State<R, S>,
-        alpha: f64,
-    ) -> Self {
+    pub fn from_single_fluid(q5: &igr_core::State<R, S>, alpha: f64) -> Self {
         let shape = q5.shape();
         let mut out = Self::zeros(shape);
         let a = R::from_f64(alpha);
@@ -255,7 +253,10 @@ mod tests {
 
     type St = SpeciesState<f64, StoreF64>;
 
-    const EOS: MixEos = MixEos { gamma1: 1.4, gamma2: 1.67 };
+    const EOS: MixEos = MixEos {
+        gamma1: 1.4,
+        gamma2: 1.67,
+    };
 
     fn uniform(shape: GridShape, pr: MixPrim<f64>) -> (St, Domain) {
         let domain = Domain::unit(shape);

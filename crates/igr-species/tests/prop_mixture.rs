@@ -13,20 +13,21 @@ use proptest::prelude::*;
 /// Admissible random mixture primitives.
 fn prim_strategy() -> impl Strategy<Value = MixPrim<f64>> {
     (
-        0.0f64..1.0,          // alpha
-        0.05f64..5.0,         // phasic density 1
-        0.05f64..5.0,         // phasic density 2
-        -3.0f64..3.0,         // u
-        -3.0f64..3.0,         // v
-        0.05f64..10.0,        // p
+        0.0f64..1.0,   // alpha
+        0.05f64..5.0,  // phasic density 1
+        0.05f64..5.0,  // phasic density 2
+        -3.0f64..3.0,  // u
+        -3.0f64..3.0,  // v
+        0.05f64..10.0, // p
     )
-        .prop_map(|(a, r1, r2, u, v, p)| {
-            MixPrim::new([a * r1, (1.0 - a) * r2], [u, v, 0.0], p, a)
-        })
+        .prop_map(|(a, r1, r2, u, v, p)| MixPrim::new([a * r1, (1.0 - a) * r2], [u, v, 0.0], p, a))
 }
 
 fn eos_strategy() -> impl Strategy<Value = MixEos> {
-    (1.05f64..2.0, 1.05f64..2.0).prop_map(|(g1, g2)| MixEos { gamma1: g1, gamma2: g2 })
+    (1.05f64..2.0, 1.05f64..2.0).prop_map(|(g1, g2)| MixEos {
+        gamma1: g1,
+        gamma2: g2,
+    })
 }
 
 proptest! {

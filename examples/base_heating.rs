@@ -30,7 +30,10 @@ fn run_case(case: &cases::CaseSetup, t_end: f64) -> BaseHeatingReport {
     let mut solver =
         igr::core::solver::igr_solver::<f64, StoreF64>(cfg, case.domain, case.init_state());
     solver.run_until(t_end, 200_000).expect("jet case failed");
-    let inflow = case.jet_inflow.as_ref().expect("jet case carries its inflow");
+    let inflow = case
+        .jet_inflow
+        .as_ref()
+        .expect("jet case carries its inflow");
     BaseHeatingReport::measure(&solver.q, &case.domain, case.gamma, inflow)
 }
 
@@ -77,7 +80,10 @@ fn main() {
     // Outer engines gimbaled inward squeeze the center plume; compare the
     // base load against the axial 3-engine case.
     println!("\nthrust vectoring (3 engines, outer pair gimbaled inward):");
-    println!("{:>10} {:>10} {:>12} {:>12}", "gimbal", "heated_fr", "recirc_flux", "peak_T");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "gimbal", "heated_fr", "recirc_flux", "peak_T"
+    );
     for angle_deg in [0.0f64, 5.0, 10.0] {
         let case = cases::three_engine_gimbaled_2d(n, angle_deg.to_radians());
         let rep = run_case(&case, t_end);
@@ -99,8 +105,7 @@ fn main() {
         use igr::app::jets::{without_engines, JetArrayInflow};
         use igr::core::bc::{Bc, BcSet};
         use std::sync::Arc;
-        let engines =
-            without_engines(full.jet_inflow.as_ref().unwrap().engines.clone(), &[0]);
+        let engines = without_engines(full.jet_inflow.as_ref().unwrap().engines.clone(), &[0]);
         let inflow = Arc::new(JetArrayInflow {
             engines,
             conditions: JetConditions::mach10(),
@@ -120,12 +125,16 @@ fn main() {
     );
     println!(
         "{:>12} {:>10.4} {:>12.5} {:>12.4}",
-        "all 7", rep_full.heated_fraction, rep_full.recirculation_flux,
+        "all 7",
+        rep_full.heated_fraction,
+        rep_full.recirculation_flux,
         rep_full.footprint_centroid[0]
     );
     println!(
         "{:>12} {:>10.4} {:>12.5} {:>12.4}",
-        "left out", rep_out.heated_fraction, rep_out.recirculation_flux,
+        "left out",
+        rep_out.heated_fraction,
+        rep_out.recirculation_flux,
         rep_out.footprint_centroid[0]
     );
     println!("\nOK: base-heating metrics computed across the design sweep.");

@@ -1,0 +1,75 @@
+//! The campaign engine end to end: expand an engine-out × gimbal ×
+//! backpressure sweep on the 3-engine array, execute it on the sharded
+//! worker pool, demonstrate the content-hash cache on resubmission, and
+//! emit one aggregated JSON/CSV report.
+//!
+//! ```bash
+//! cargo run --release --example campaign
+//! ```
+//!
+//! This is the §3 workflow of the paper at laptop scale: "engine failures
+//! can be compensated for", thrust vectoring steers, and ambient pressure
+//! varies over the ascent — a *campaign* over that parameter box, not one
+//! hero run.
+
+use igr::campaign::{sweep, Campaign, ExecConfig};
+
+fn main() {
+    // ---- 1. Declare the sweep: 4 engine-out sets × 3 gimbal angles × 2
+    //         backpressures = 24 scenarios on the 3-engine array. ----------
+    let sweep = sweep::engine_out_gimbal_backpressure(
+        24, // laptop-scale resolution (48 x 24 cells)
+        60, // timed steps: enough for the plumes to interact and recirculate
+        &[vec![], vec![0], vec![1], vec![2]],
+        &[0.0, 0.06, 0.12],
+        &[1.0, 0.25],
+    );
+    let scenarios = sweep.expand();
+    assert!(
+        scenarios.len() >= 16,
+        "acceptance: sweep expands >= 16 scenarios"
+    );
+    println!(
+        "sweep: {} scenarios (engine-out x gimbal x backpressure on the 3-engine array)\n",
+        scenarios.len()
+    );
+
+    // ---- 2. Execute on the sharded worker pool. -------------------------
+    let mut campaign = Campaign::new(ExecConfig::default());
+    let report = campaign.run(&scenarios);
+    println!("{}", report.to_text());
+
+    // ---- 3. Resubmit the same sweep: served from the content-hash cache. -
+    let resubmit = campaign.run(&scenarios);
+    println!(
+        "resubmission: {} executed, {} cache hits (store: {} entries, {} hits / {} misses)",
+        resubmit.executed,
+        resubmit.cache_hits,
+        campaign.store().len(),
+        campaign.store().hits(),
+        campaign.store().misses(),
+    );
+    assert_eq!(
+        resubmit.executed, 0,
+        "acceptance: resubmission re-simulates nothing"
+    );
+    assert!(
+        resubmit.cache_hits >= 1,
+        "acceptance: >= 1 cache hit demonstrated"
+    );
+
+    // ---- 4. One aggregated machine-readable report. ---------------------
+    if let Some(worst) = report.worst_base_heating() {
+        let b = worst.result.base_heating.as_ref().unwrap();
+        println!(
+            "\nworst base heating: {} (recirculation flux {:.4}, peak T {:.2})",
+            worst.result.name, b.recirculation_flux, b.peak_temperature
+        );
+    }
+    let json_path = "target/campaign_report.json";
+    let csv_path = "target/campaign_report.csv";
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write(json_path, report.to_json()).expect("write JSON report");
+    std::fs::write(csv_path, report.to_csv()).expect("write CSV report");
+    println!("\nwrote {json_path} and {csv_path}");
+}

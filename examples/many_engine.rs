@@ -73,7 +73,10 @@ fn main() {
     // that the engine array structure survives.
     let fast_cells = rows.iter().filter(|r| r[3] > 6.0).count();
     println!("cells with w > 0.5 u_exit in the near-exit plane: {fast_cells}");
-    assert!(fast_cells > 33, "every engine footprint should be supersonic");
+    assert!(
+        fast_cells > 33,
+        "every engine footprint should be supersonic"
+    );
 
     // Full 3-D snapshot for volume rendering (the Fig. 1 pipeline): open
     // many_engine.vtk in ParaView/VisIt.

@@ -26,16 +26,12 @@ fn main() {
     let reference = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 1, steps, move |p| i1(p));
     for ranks in [1usize, 2, 4] {
         let init = case.init.clone();
-        let run = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, ranks, steps, move |p| {
-            init(p)
-        });
+        let run =
+            run_decomposed::<f64, StoreF64>(&cfg, &case.domain, ranks, steps, move |p| init(p));
         let diff = reference.state.max_diff(&run.state);
         println!(
             "{:>6} {:>16} {:>18} {:>22.1e}",
-            ranks,
-            run.total_bytes_sent,
-            "-",
-            diff
+            ranks, run.total_bytes_sent, "-", diff
         );
         assert_eq!(diff, 0.0, "decomposition must not change the physics");
     }

@@ -42,8 +42,11 @@ fn main() {
     let eos = MixEos::air_helium(); // fluid 1 = air, fluid 2 = helium
     let cfg = SpeciesConfig {
         eos,
-        bc: SpeciesBcSet::all_outflow()
-            .with_face(Axis::X, 0, SpeciesBc::Inflow(MixPrim::pure1(rho_s, [u_s, 0.0, 0.0], p_s))),
+        bc: SpeciesBcSet::all_outflow().with_face(
+            Axis::X,
+            0,
+            SpeciesBc::Inflow(MixPrim::pure1(rho_s, [u_s, 0.0, 0.0], p_s)),
+        ),
         ..Default::default()
     };
 
@@ -78,7 +81,10 @@ fn main() {
         3.0 - t[6]
     };
     let v0 = he_volume(&solver);
-    println!("\n{:>6} {:>9} {:>12} {:>12}", "t", "steps", "He volume", "compression");
+    println!(
+        "\n{:>6} {:>9} {:>12} {:>12}",
+        "t", "steps", "He volume", "compression"
+    );
     let t_marks = [0.0, 0.2, 0.4, 0.6, 0.8];
     for pair in t_marks.windows(2) {
         solver.run_until(pair[1], 100_000).expect("solve failed");
@@ -108,8 +114,12 @@ fn main() {
             ]
         })
         .collect();
-    write_csv("shock_bubble_slice.csv", &["x", "rho", "alpha_air", "p"], &rows)
-        .expect("csv write failed");
+    write_csv(
+        "shock_bubble_slice.csv",
+        &["x", "rho", "alpha_air", "p"],
+        &rows,
+    )
+    .expect("csv write failed");
     println!("centerline slice written to shock_bubble_slice.csv");
     println!("OK: shock–bubble interaction stayed finite with bounded volume fraction.");
 }

@@ -46,7 +46,10 @@ fn main() {
     let wall_igr = start.elapsed().as_secs_f64() * 1e3;
     let (rho_igr, _, _) = primitive_profiles(&igr.q, case.gamma);
     let err_igr = l1_vs_exact(&rho_igr, &exact, t_end);
-    println!("{:<14} {:>10} {:>12.4e} {:>12.1}", "IGR", steps, err_igr, wall_igr);
+    println!(
+        "{:<14} {:>10} {:>12.4e} {:>12.1}",
+        "IGR", steps, err_igr, wall_igr
+    );
 
     // Baseline: WENO5-JS + HLLC.
     let mut weno = case.weno_solver::<f64, StoreF64>();
@@ -55,7 +58,10 @@ fn main() {
     let wall_weno = start.elapsed().as_secs_f64() * 1e3;
     let (rho_weno, _, _) = primitive_profiles(&weno.q, case.gamma);
     let err_weno = l1_vs_exact(&rho_weno, &exact, t_end);
-    println!("{:<14} {:>10} {:>12.4e} {:>12.1}", "WENO5+HLLC", steps, err_weno, wall_weno);
+    println!(
+        "{:<14} {:>10} {:>12.4e} {:>12.1}",
+        "WENO5+HLLC", steps, err_weno, wall_weno
+    );
 
     println!(
         "\nwall-time ratio (WENO/IGR): {:.2}x   [Table 3's headline is ~4x on GPUs]",

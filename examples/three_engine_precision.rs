@@ -66,12 +66,18 @@ fn main() {
         weno.q.rho.max_interior(|x| x)
     );
 
-    assert!(ok64 && ok32 && ok16, "IGR must be stable at every precision");
+    assert!(
+        ok64 && ok32 && ok16,
+        "IGR must be stable at every precision"
+    );
     let d32 = (rho32 - rho64).abs();
     let d16 = (rho16 - rho64).abs();
     println!(
         "\nmax-density deviation from FP64: FP32 {d32:.2e}, FP16 {d16:.2e}  \
          (paper: FP32 ~ FP64; FP16 differs visibly via earlier instability onset)"
     );
-    assert!(d32 <= d16 + 1e-12, "FP32 must track FP64 at least as well as FP16");
+    assert!(
+        d32 <= d16 + 1e-12,
+        "FP32 must track FP64 at least as well as FP16"
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
     let domain = Domain::new([-1.0, 0.0, 0.0], [1.0, 1.0, 1.0], shape);
 
     // Fluid 1: ambient air. Fluid 2: exhaust products (lower gamma).
-    let eos = MixEos { gamma1: 1.4, gamma2: 1.25 };
+    let eos = MixEos {
+        gamma1: 1.4,
+        gamma2: 1.25,
+    };
 
     // Three engines along the y = 0 face, exhausting upward at Mach 4
     // (relative to the exhaust sound speed), under-expanded 2:1.
@@ -72,7 +75,10 @@ fn main() {
 
     // March and report the exhaust inventory and plume front.
     let eos_c = solver.cfg.eos;
-    println!("\n{:>6} {:>8} {:>14} {:>12}", "t", "steps", "exhaust mass", "front y");
+    println!(
+        "\n{:>6} {:>8} {:>14} {:>12}",
+        "t", "steps", "exhaust mass", "front y"
+    );
     for mark in [0.02, 0.04, 0.06, 0.08, 0.10] {
         solver.run_until(mark, 200_000).expect("plume solve failed");
         let totals = solver.q.totals(solver.domain());
@@ -116,8 +122,12 @@ fn main() {
             vec![domain.center(Axis::Y, j), mean_ex, max_ex]
         })
         .collect();
-    write_csv("two_gas_plume_mixing.csv", &["y", "mean_exhaust", "max_exhaust"], &rows)
-        .expect("csv write failed");
+    write_csv(
+        "two_gas_plume_mixing.csv",
+        &["y", "mean_exhaust", "max_exhaust"],
+        &rows,
+    )
+    .expect("csv write failed");
     println!("\nmixing profile written to two_gas_plume_mixing.csv");
     println!("OK: two-species plume ran stably; volume fraction tags the exhaust.");
 }

@@ -27,9 +27,11 @@
 //! | [`app`] | `igr-app` | case library (jets, engine arrays), decomposed runner |
 //! | [`perf`] | `igr-perf` | machine models: grind time, scaling, energy, capacity |
 //! | [`species`] | `igr-species` | two-fluid five-equation model with IGR (advected α) |
+//! | [`campaign`] | `igr-campaign` | scenario DSL, sweeps, sharded cached ensemble execution |
 
 pub use igr_app as app;
 pub use igr_baseline as baseline;
+pub use igr_campaign as campaign;
 pub use igr_comm as comm;
 pub use igr_core as core;
 pub use igr_grid as grid;

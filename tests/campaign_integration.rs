@@ -1,0 +1,101 @@
+//! Cross-crate integration of the campaign subsystem: spec hashing through
+//! the facade, sweep expansion counts, cached execution, and report output.
+
+use igr::campaign::{
+    sweep, BaseCase, Campaign, Delta, ExecConfig, ScenarioSpec, SchemeKind, Sweep,
+};
+use igr::prec::PrecisionMode;
+
+fn quick(base: BaseCase, n: usize) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(base, n);
+    s.warmup = 1;
+    s.steps = 2;
+    s
+}
+
+#[test]
+fn hash_round_trip_is_stable_across_clone_and_normalize() {
+    let mut a = quick(BaseCase::EngineRow2d { engines: 3 }, 16);
+    a.engine_out = vec![2, 0, 2];
+    a.backpressure = Some(0.25);
+    let mut b = a.clone();
+    b.normalize();
+    assert_eq!(
+        a.content_hash(),
+        b.content_hash(),
+        "normalize is hash-neutral"
+    );
+    assert_eq!(a.hash_hex(), b.hash_hex());
+    assert_eq!(a.hash_hex().len(), 16);
+
+    let mut c = a.clone();
+    c.precision = PrecisionMode::Fp32;
+    assert_ne!(a.content_hash(), c.content_hash());
+}
+
+#[test]
+fn issue_example_sweep_expands_the_full_box() {
+    // The acceptance-criteria sweep: engine-out x gimbal x backpressure.
+    let sweep = sweep::engine_out_gimbal_backpressure(
+        16,
+        2,
+        &[vec![], vec![0], vec![1], vec![2]],
+        &[0.0, 0.06, 0.12],
+        &[1.0, 0.25],
+    );
+    assert_eq!(sweep.len(), 4 * 3 * 2);
+    let specs = sweep.expand();
+    assert_eq!(specs.len(), 24);
+    let mut hashes: Vec<u64> = specs.iter().map(|s| s.content_hash()).collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), 24);
+}
+
+#[test]
+fn campaign_executes_dedups_and_reports_through_the_facade() {
+    // Mixed batch: one scenario duplicated three times, plus a second
+    // scheme on the same workload.
+    let a = quick(BaseCase::SteepeningWave { amp: 0.2 }, 48);
+    let mut b = a.clone();
+    b.scheme = SchemeKind::WenoBaseline;
+    let batch = vec![a.clone(), b.clone(), a.clone(), a.clone()];
+
+    let mut campaign = Campaign::new(ExecConfig {
+        workers: 2,
+        threads_per_worker: 1,
+    });
+    let report = campaign.run(&batch);
+    assert_eq!(report.rows.len(), 4);
+    assert_eq!(report.executed, 2, "duplicates are not re-simulated");
+    assert_eq!(report.cache_hits, 2);
+    assert!(report.rows.iter().all(|r| r.result.status.is_ok()));
+
+    // The report carries grind numbers and renders to JSON/CSV.
+    assert!(report.mean_grind() > 0.0);
+    let json = report.to_json();
+    assert!(json.contains("\"executed\": 2"));
+    assert_eq!(json.matches("\"name\"").count(), 4);
+    assert_eq!(report.to_csv().lines().count(), 5);
+}
+
+#[test]
+fn zip_sweep_through_the_facade() {
+    let sweep = Sweep::zip(quick(BaseCase::SteepeningWave { amp: 0.2 }, 32))
+        .axis(
+            "res",
+            vec![
+                Delta::Resolution(32),
+                Delta::Resolution(48),
+                Delta::Resolution(64),
+            ],
+        )
+        .axis(
+            "steps",
+            vec![Delta::Steps(2), Delta::Steps(3), Delta::Steps(4)],
+        );
+    let specs = sweep.expand();
+    assert_eq!(specs.len(), 3);
+    assert_eq!(specs[2].resolution, 64);
+    assert_eq!(specs[2].steps, 4);
+}

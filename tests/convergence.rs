@@ -45,7 +45,10 @@ fn fifth_order_advection_converges_at_high_order() {
     let order = (e1 / e2).log2();
     // LF dissipation on the *entropy* wave is upwind-5th-order limited; the
     // measured slope sits between 4 and 6 at these resolutions.
-    assert!(order > 3.8, "5th-order scheme shows order {order} ({e1:.2e} -> {e2:.2e})");
+    assert!(
+        order > 3.8,
+        "5th-order scheme shows order {order} ({e1:.2e} -> {e2:.2e})"
+    );
 }
 
 #[test]

@@ -85,9 +85,15 @@ fn decomposed_jet_with_inflow_matches_single_rank_closely() {
         flow_dim: 0,
         lip_width: 0.1,
     });
-    let bc = igr::core::bc::BcSet::all_outflow()
-        .with_face(Axis::X, 0, igr::core::bc::Bc::InflowProfile(inflow));
-    let cfg = IgrConfig { bc, ..IgrConfig::default() };
+    let bc = igr::core::bc::BcSet::all_outflow().with_face(
+        Axis::X,
+        0,
+        igr::core::bc::Bc::InflowProfile(inflow),
+    );
+    let cfg = IgrConfig {
+        bc,
+        ..IgrConfig::default()
+    };
     let ambient = Prim::new(1.0, [0.0; 3], 1.0);
     let init = move |_: [f64; 3]| ambient;
     let single = igr::app::run_decomposed::<f64, StoreF64>(&cfg, &domain, 1, 6, init);

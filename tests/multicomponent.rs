@@ -69,7 +69,10 @@ fn species_and_single_fluid_agree_through_the_facade() {
     let mut s5 = igr_solver(IgrConfig::default(), domain, q5.clone());
 
     let q7 = SpeciesState::from_single_fluid(&q5, 0.5);
-    let cfg7 = SpeciesConfig { eos: MixEos::single(1.4), ..Default::default() };
+    let cfg7 = SpeciesConfig {
+        eos: MixEos::single(1.4),
+        ..Default::default()
+    };
     let mut s7 = species_solver(cfg7, domain, q7);
 
     s5.fixed_dt = Some(2e-3);
@@ -95,7 +98,10 @@ fn exhaust_mass_grows_linearly_with_inflow() {
     let n = 64;
     let shape = GridShape::new(n, n, 1, 3);
     let domain = Domain::unit(shape);
-    let eos = MixEos { gamma1: 1.4, gamma2: 1.25 };
+    let eos = MixEos {
+        gamma1: 1.4,
+        gamma2: 1.25,
+    };
     let jet = MixPrim::pure2(0.5, [0.0, 2.0, 0.0], 1.0);
     let cfg = SpeciesConfig {
         eos,

@@ -22,9 +22,13 @@ fn density_profile(n: usize, alpha_factor: f64) -> (Vec<f64>, Vec<f64>) {
     cfg.alpha_factor = alpha_factor;
     let mut solver =
         igr::core::solver::igr_solver::<f64, StoreF64>(cfg, case.domain, case.init_state());
-    solver.run_until(1.8, 100_000).expect("Shu-Osher must run to t=1.8");
+    solver
+        .run_until(1.8, 100_000)
+        .expect("Shu-Osher must run to t=1.8");
     assert!(solver.q.find_non_finite().is_none());
-    let xs: Vec<f64> = (0..n as i32).map(|i| case.domain.center(Axis::X, i)).collect();
+    let xs: Vec<f64> = (0..n as i32)
+        .map(|i| case.domain.center(Axis::X, i))
+        .collect();
     let rho: Vec<f64> = (0..n as i32)
         .map(|i| solver.q.prim_at(i, 0, 0, case.gamma).rho)
         .collect();
@@ -50,7 +54,10 @@ fn igr_carries_the_mach3_shock_to_the_right_position() {
     for (x, r) in xs.iter().zip(&rho) {
         if *x > 3.5 && *x < 4.5 {
             let expect = 1.0 + 0.2 * (5.0 * x).sin();
-            assert!((r - expect).abs() < 0.05, "pre-shock field at {x}: {r} vs {expect}");
+            assert!(
+                (r - expect).abs() < 0.05,
+                "pre-shock field at {x}: {r} vs {expect}"
+            );
         }
     }
 }

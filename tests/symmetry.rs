@@ -64,7 +64,10 @@ fn reflective_channel_preserves_wall_symmetry() {
     let bc = BcSet::all_outflow()
         .with_face(Axis::X, 0, Bc::Reflective)
         .with_face(Axis::X, 1, Bc::Reflective);
-    let cfg = IgrConfig { bc, ..Default::default() };
+    let cfg = IgrConfig {
+        bc,
+        ..Default::default()
+    };
     let mut q: State<f64, StoreF64> = State::zeros(shape);
     q.set_prim_field(&domain, cfg.gamma, |p| {
         let s = 0.01 * (-(p[0] - 0.5).powi(2) / 0.005).exp();

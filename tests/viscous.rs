@@ -7,10 +7,7 @@
 
 use igr::prelude::*;
 
-fn shear_wave_state(
-    n: usize,
-    eps: f64,
-) -> (Domain, State<f64, StoreF64>) {
+fn shear_wave_state(n: usize, eps: f64) -> (Domain, State<f64, StoreF64>) {
     let shape = GridShape::new(n, 1, 1, 3);
     let domain = Domain::unit(shape);
     let mut q = State::zeros(shape);
@@ -86,7 +83,10 @@ fn weno_baseline_matches_the_same_viscous_decay() {
     let mu = 0.02;
     let t_end = 0.5;
     let (domain, q) = shear_wave_state(n, eps);
-    let cfg = igr::baseline::scheme::WenoConfig { mu, ..Default::default() };
+    let cfg = igr::baseline::scheme::WenoConfig {
+        mu,
+        ..Default::default()
+    };
     let mut solver = igr::baseline::scheme::weno_solver(cfg, domain, q);
     solver.run_until(t_end, 200_000).unwrap();
     let mut amp = 0.0f64;

@@ -1,0 +1,46 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided — the workspace uses crossbeam solely for
+//! unbounded MPSC channels in the rank-messaging substrate. `std::sync::mpsc`
+//! has the semantics the `igr-comm` layer relies on (unbounded buffering, so
+//! sends never block; FIFO per sender; `Sender: Clone + Send + Sync`).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Unbounded channel, matching `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn unbounded_send_never_blocks_and_preserves_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..1000 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(t).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,584 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! this crate reimplements the (small) slice/range parallel-iterator surface
+//! the workspace uses on top of `std::thread::scope`. Semantics match rayon
+//! where it matters for the solver:
+//!
+//! * `par_chunks_mut`/`par_iter`/`par_iter_mut`/`into_par_iter` over
+//!   contiguous index spaces, with `zip`/`enumerate`/`map`/`for_each`/
+//!   `reduce` combinators;
+//! * real multi-threaded execution (contiguous block per worker), so the
+//!   decomposed-solver and grind-time paths measure genuine parallelism;
+//! * `ThreadPool::install` scopes the worker count like a rayon pool does
+//!   (the solver's determinism tests compare 1-thread vs N-thread runs);
+//! * deterministic `reduce`: partials combine in index order, so FP64
+//!   reductions are bit-reproducible run to run (stronger than rayon — the
+//!   workspace's tests rely on it).
+//!
+//! Splitting is eager (one contiguous piece per worker) rather than
+//! work-stealing; for the regular, load-balanced loops in this workspace
+//! that is an adequate approximation.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Arc;
+
+thread_local! {
+    /// 0 means "no override": use the machine's available parallelism.
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    let n = NUM_THREADS_OVERRIDE.with(|c| c.get());
+    if n != 0 {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`'s fluent API.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction cannot fail
+/// here, but the signature matches rayon's).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" is a worker-count scope: `install` runs its closure with
+/// parallel operations bounded to this pool's thread count.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = NUM_THREADS_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let out = f();
+        NUM_THREADS_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The parallel-iterator abstraction: a splittable, exactly-sized stream.
+///
+/// Combines rayon's `ParallelIterator`/`IndexedParallelIterator` into one
+/// trait (every source here is indexed).
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    fn par_len(&self) -> usize;
+
+    /// Split into `[0, mid)` and `[mid, len)` pieces.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Pull the next item (sequential drain of one piece).
+    fn next_item(&mut self) -> Option<Self::Item>;
+
+    // --- combinators -----------------------------------------------------
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            base: 0,
+        }
+    }
+
+    fn map<R, F>(self, f: F) -> Map<Self, F, R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map {
+            inner: self,
+            f: Arc::new(f),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Accepted for rayon compatibility; chunk granularity here is always
+    /// "one contiguous piece per worker", which satisfies any min-len hint.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    // --- drivers ---------------------------------------------------------
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let threads = current_num_threads();
+        let len = self.par_len();
+        if threads <= 1 || len <= 1 {
+            let mut it = self;
+            while let Some(x) = it.next_item() {
+                f(x);
+            }
+            return;
+        }
+        let pieces = split_into(self, threads.min(len));
+        std::thread::scope(|s| {
+            for mut piece in pieces {
+                let f = &f;
+                s.spawn(move || {
+                    while let Some(x) = piece.next_item() {
+                        f(x);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Parallel fold + ordered combine. Unlike rayon, the combine order is
+    /// deterministic (piece order), so FP64 reductions are reproducible.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let threads = current_num_threads();
+        let len = self.par_len();
+        if threads <= 1 || len <= 1 {
+            let mut acc = identity();
+            let mut it = self;
+            while let Some(x) = it.next_item() {
+                acc = op(acc, x);
+            }
+            return acc;
+        }
+        let pieces = split_into(self, threads.min(len));
+        let partials: Vec<Self::Item> = std::thread::scope(|s| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|mut piece| {
+                    let identity = &identity;
+                    let op = &op;
+                    s.spawn(move || {
+                        let mut acc = identity();
+                        while let Some(x) = piece.next_item() {
+                            acc = op(acc, x);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        partials.into_iter().fold(identity(), |a, b| op(a, b))
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+        Self::Item: Clone,
+    {
+        let mut items = Vec::with_capacity(self.par_len());
+        let mut it = self;
+        while let Some(x) = it.next_item() {
+            items.push(x);
+        }
+        items.into_iter().sum()
+    }
+}
+
+/// Split into `n` near-equal contiguous pieces.
+fn split_into<I: ParallelIterator>(iter: I, n: usize) -> Vec<I> {
+    let mut out = Vec::with_capacity(n);
+    let mut rest = iter;
+    let mut remaining = rest.par_len();
+    let mut parts = n.max(1);
+    while parts > 1 && remaining > 0 {
+        let take = remaining.div_ceil(parts);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+        remaining -= take;
+        parts -= 1;
+    }
+    out.push(rest);
+    out
+}
+
+// --- sources -------------------------------------------------------------
+
+/// Shared-slice source (`par_iter`).
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (ParSlice { slice: a }, ParSlice { slice: b })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        let (first, rest) = self.slice.split_first()?;
+        self.slice = rest;
+        Some(first)
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (ParSliceMut { slice: a }, ParSliceMut { slice: b })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        let slice = std::mem::take(&mut self.slice);
+        let (first, rest) = slice.split_first_mut()?;
+        self.slice = rest;
+        Some(first)
+    }
+}
+
+/// Mutable chunked source (`par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(cut);
+        (
+            ParChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ParChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let slice = std::mem::take(&mut self.slice);
+        let cut = self.size.min(slice.len());
+        let (head, rest) = slice.split_at_mut(cut);
+        self.slice = rest;
+        Some(head)
+    }
+}
+
+/// Integer-range source (`(a..b).into_par_iter()`).
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+
+            fn par_len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let cut = self
+                    .range
+                    .start
+                    .saturating_add(mid as $t)
+                    .min(self.range.end);
+                (
+                    ParRange { range: self.range.start..cut },
+                    ParRange { range: cut..self.range.end },
+                )
+            }
+
+            fn next_item(&mut self) -> Option<Self::Item> {
+                self.range.next()
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+impl_par_range!(i32, i64, u32, u64, usize);
+
+// --- combinator types ----------------------------------------------------
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a0, a1) = self.a.split_at(mid);
+        let (b0, b1) = self.b.split_at(mid);
+        (Zip { a: a0, b: b0 }, Zip { a: a1, b: b1 })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        match (self.a.next_item(), self.b.next_item()) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+pub struct Enumerate<A> {
+    inner: A,
+    base: usize,
+}
+
+impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
+    type Item = (usize, A::Item);
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            Enumerate {
+                inner: a,
+                base: self.base,
+            },
+            Enumerate {
+                inner: b,
+                base: self.base + mid,
+            },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next_item()?;
+        let i = self.base;
+        self.base += 1;
+        Some((i, x))
+    }
+}
+
+pub struct Map<A, F, R> {
+    inner: A,
+    f: Arc<F>,
+    _marker: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<A, F, R> ParallelIterator for Map<A, F, R>
+where
+    A: ParallelIterator,
+    R: Send,
+    F: Fn(A::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            Map {
+                inner: a,
+                f: Arc::clone(&self.f),
+                _marker: std::marker::PhantomData,
+            },
+            Map {
+                inner: b,
+                f: self.f,
+                _marker: std::marker::PhantomData,
+            },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        self.inner.next_item().map(|x| (self.f)(x))
+    }
+}
+
+// --- entry-point traits --------------------------------------------------
+
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParSlice<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { slice: self }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        ParSliceMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_zip_enumerate_for_each_covers_all() {
+        let n = 1003;
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a.par_chunks_mut(64)
+            .zip(b.par_chunks_mut(64))
+            .enumerate()
+            .for_each(|(ci, (ca, cb))| {
+                for (i, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    *x = (ci * 64 + i) as u64;
+                    *y = 2 * *x;
+                }
+            });
+        for i in 0..n {
+            assert_eq!(a[i], i as u64);
+            assert_eq!(b[i], 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn range_map_reduce_matches_serial() {
+        let got = (0..1000i32)
+            .into_par_iter()
+            .map(|k| (k * k) as f64)
+            .reduce(|| 0.0, f64::max);
+        assert_eq!(got, 999.0 * 999.0);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool1 = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool1.install(crate::current_num_threads), 1);
+        let pool4 = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool4.install(crate::current_num_threads), 4);
+    }
+
+    #[test]
+    fn par_iter_mut_triple_zip() {
+        let mut d = vec![0.0f64; 257];
+        let s = vec![1.0f64; 257];
+        let r = vec![2.0f64; 257];
+        d.par_iter_mut()
+            .zip(s.par_iter())
+            .zip(r.par_iter())
+            .for_each(|((d, &sv), &rv)| *d = sv + 0.5 * rv);
+        assert!(d.iter().all(|&x| x == 2.0));
+    }
+}
