@@ -6,14 +6,35 @@
 //!
 //! ```bash
 //! cargo run --release -p igr-bench --bin campaign_report
+//! # share a persistent cache with other runs/processes:
+//! cargo run --release -p igr-bench --bin campaign_report -- --store target/campaign_store.jsonl
 //! ```
 
 use igr_bench::TextTable;
-use igr_campaign::{sweep, BaseCase, Campaign, Delta, ExecConfig, ScenarioSpec, SchemeKind, Sweep};
+use igr_campaign::{
+    sweep, BaseCase, Campaign, Delta, ExecConfig, ResultStore, ScenarioSpec, SchemeKind, Sweep,
+};
 use igr_prec::PrecisionMode;
 
 fn main() {
-    let mut campaign = Campaign::new(ExecConfig::default());
+    // `--store <path>` backs the cache with the on-disk JSON-lines store:
+    // scenarios simulated by any earlier process (this binary or the
+    // campaign example share content hashes) are served from the file.
+    let args: Vec<String> = std::env::args().collect();
+    let store = match args.iter().position(|a| a == "--store") {
+        Some(i) => {
+            let path = args.get(i + 1).expect("--store takes a file path");
+            let store = ResultStore::open(path).expect("open store file");
+            let rec = store.recovery().unwrap_or_default();
+            println!(
+                "store {path}: {} results recovered, {} stale/corrupt lines skipped",
+                rec.loaded, rec.skipped
+            );
+            store
+        }
+        None => ResultStore::new(),
+    };
+    let mut campaign = Campaign::with_store(ExecConfig::default(), store);
 
     // ---- Campaign 1: the engineering box — engine-out x gimbal x
     //      backpressure on the 3-engine array. ----------------------------

@@ -20,7 +20,13 @@
 //!   (optionally decomposed over `igr-comm` thread-ranks), and captures
 //!   grind time per scenario;
 //! * [`store`] — [`ResultStore`]: the content-hash result cache with
-//!   hit/miss accounting;
+//!   hit/miss accounting, optionally backed by an on-disk store file;
+//! * [`persist`] — the append-only JSON-lines store file: content hashes
+//!   are stable across processes and platforms, so caches survive restarts
+//!   and can be shipped between machines;
+//! * [`queue`] — [`CampaignQueue`]: the async front end — submit/poll/
+//!   cancel with priorities and incremental result streaming, so long
+//!   campaigns run while sweeps are still being authored;
 //! * [`report`] — [`CampaignReport`]: per-scenario grind, conservation
 //!   drift, and base-heating diagnostics aggregated into JSON/CSV/text.
 //!
@@ -41,13 +47,17 @@
 //! ```
 
 pub mod exec;
+pub mod persist;
+pub mod queue;
 pub mod report;
 pub mod spec;
 pub mod store;
 pub mod sweep;
 
-pub use exec::{run_scenario, Campaign, ExecConfig};
+pub use exec::{run_scenario, run_scenario_caught, Campaign, ExecConfig};
+pub use persist::StoreRecovery;
+pub use queue::{CampaignQueue, JobId, JobState};
 pub use report::{CampaignReport, ReportRow, RunStatus, ScenarioResult};
-pub use spec::{BaseCase, ScenarioSpec, SchemeKind, SpecError};
+pub use spec::{BaseCase, ScenarioSpec, SchemeKind, SpecError, CONTENT_HASH_VERSION};
 pub use store::ResultStore;
 pub use sweep::{Delta, ExpandMode, ParamAxis, Sweep};

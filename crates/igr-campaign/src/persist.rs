@@ -1,0 +1,706 @@
+//! The on-disk result store: append-only JSON-lines keyed by content hash.
+//!
+//! [`ScenarioSpec::content_hash`](crate::spec::ScenarioSpec::content_hash)
+//! is deliberately stable across processes and platforms (versioned FNV-1a
+//! over a canonical encoding), so `hash → ScenarioResult` can outlive the
+//! process that computed it. This module gives [`crate::store::ResultStore`]
+//! that durability:
+//!
+//! * **Format** — one JSON object per line (`\n`-terminated). Every line
+//!   carries `"v"` (the [`CONTENT_HASH_VERSION`] it was hashed under) and
+//!   `"hash"` (16 hex digits) followed by the flattened [`ScenarioResult`].
+//!   Floats are written in Rust's shortest round-trip decimal form; the
+//!   non-finite values JSON cannot express are the strings `"NaN"`,
+//!   `"inf"`, and `"-inf"`.
+//! * **Load-on-open** ([`open`]) — every parseable, version-matching line
+//!   becomes a cache entry (last write wins on duplicate hashes, so
+//!   re-appended results converge on the most recent). Unparseable lines —
+//!   the truncated tail a crash mid-append leaves, or garbage from a bad
+//!   merge — are *skipped and counted*, never fatal: a cache must degrade
+//!   to a smaller cache, not an error.
+//! * **Append-on-insert** ([`AppendLog::append`]) — each insert writes one
+//!   line and flushes, so a concurrently opened reader (or a crash) sees
+//!   every completed result. If the recovered file did not end in a
+//!   newline, the opener first writes one so the next append starts clean.
+//!
+//! The file is plain text: `cat`-able, `grep`-able, mergeable across
+//! machines with `cat a.jsonl b.jsonl > merged.jsonl`.
+
+use crate::report::{RunStatus, ScenarioResult};
+use crate::spec::CONTENT_HASH_VERSION;
+use igr_app::base::BaseHeatingReport;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// What [`open`] found in an existing store file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreRecovery {
+    /// Entries loaded into the cache (after last-write-wins dedup this may
+    /// exceed the resulting cache size).
+    pub loaded: usize,
+    /// Lines skipped: truncated tails, corrupt bytes, or entries written
+    /// under a different [`CONTENT_HASH_VERSION`].
+    pub skipped: usize,
+}
+
+/// The append half of an open store file.
+#[derive(Debug)]
+pub struct AppendLog {
+    file: File,
+    path: PathBuf,
+}
+
+impl AppendLog {
+    /// Append one `hash → result` line and flush it to the OS.
+    pub fn append(&mut self, hash: u64, result: &ScenarioResult) -> io::Result<()> {
+        let line = encode_line(hash, result);
+        // One write_all per line: O_APPEND keeps concurrent same-host
+        // appenders from interleaving within a line.
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Everything [`open`] hands back: recovered entries, recovery accounting,
+/// and the append handle for future inserts.
+pub struct LoadedStore {
+    pub entries: Vec<(u64, ScenarioResult)>,
+    pub recovery: StoreRecovery,
+    pub log: AppendLog,
+}
+
+/// Open (creating if absent) a store file: load every valid line, tolerate
+/// a truncated/corrupt tail, and return an append handle positioned after
+/// a trailing newline.
+pub fn open(path: impl AsRef<Path>) -> io::Result<LoadedStore> {
+    let path = path.as_ref().to_path_buf();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let raw = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let text = String::from_utf8_lossy(&raw);
+    let mut entries = Vec::new();
+    let mut recovery = StoreRecovery::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match decode_line(line) {
+            Ok((hash, result)) => {
+                entries.push((hash, result));
+                recovery.loaded += 1;
+            }
+            Err(_) => recovery.skipped += 1,
+        }
+    }
+    let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+    // A crash mid-append leaves a partial final line with no newline;
+    // terminate it so the next append starts a fresh line instead of
+    // corrupting itself onto the tail.
+    if !raw.is_empty() && raw.last() != Some(&b'\n') {
+        file.write_all(b"\n")?;
+        file.flush()?;
+    }
+    Ok(LoadedStore {
+        entries,
+        recovery,
+        log: AppendLog { file, path },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// One result as one newline-terminated JSON line.
+pub(crate) fn encode_line(hash: u64, r: &ScenarioResult) -> String {
+    let mut s = String::with_capacity(320);
+    s.push_str(&format!(
+        "{{\"v\":{CONTENT_HASH_VERSION},\"hash\":\"{hash:016x}\",\"name\":{}",
+        json_str(&r.name)
+    ));
+    match &r.status {
+        RunStatus::Completed => s.push_str(",\"status\":\"completed\""),
+        RunStatus::Failed(msg) => s.push_str(&format!(
+            ",\"status\":\"failed\",\"error\":{}",
+            json_str(msg)
+        )),
+    }
+    s.push_str(&format!(
+        ",\"cells\":{},\"steps\":{},\"ranks\":{},\"wall_s\":{},\
+         \"grind_ns_per_cell_step\":{},\"mass_drift\":{},\"energy_drift\":{}",
+        r.cells,
+        r.steps,
+        r.ranks,
+        json_f64(r.wall_s),
+        json_f64(r.ns_per_cell_step),
+        json_f64(r.mass_drift),
+        json_f64(r.energy_drift),
+    ));
+    match &r.base_heating {
+        None => s.push_str(",\"base_heating\":null"),
+        Some(b) => s.push_str(&format!(
+            ",\"base_heating\":{{\"heated_fraction\":{},\"recirculation_flux\":{},\
+             \"mean_backflow_enthalpy\":{},\"peak_temperature\":{},\"mean_pressure\":{},\
+             \"footprint_centroid\":[{},{}],\"cells_sampled\":{}}}",
+            json_f64(b.heated_fraction),
+            json_f64(b.recirculation_flux),
+            json_f64(b.mean_backflow_enthalpy),
+            json_f64(b.peak_temperature),
+            json_f64(b.mean_pressure),
+            json_f64(b.footprint_centroid[0]),
+            json_f64(b.footprint_centroid[1]),
+            b.cells_sampled,
+        )),
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Exact float encoding: Rust's `Display` for finite f64 is the shortest
+/// decimal that round-trips bit-for-bit; non-finite values (which JSON has
+/// no literal for) become tagged strings.
+fn json_f64(x: f64) -> String {
+    if x.is_nan() {
+        "\"NaN\"".into()
+    } else if x == f64::INFINITY {
+        "\"inf\"".into()
+    } else if x == f64::NEG_INFINITY {
+        "\"-inf\"".into()
+    } else {
+        format!("{x}")
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Parse one store line back into `(hash, result)`. Any structural problem
+/// — bad JSON, missing field, version mismatch — is an `Err(reason)`; the
+/// loader counts it and moves on.
+pub(crate) fn decode_line(line: &str) -> Result<(u64, ScenarioResult), String> {
+    let value = Json::parse(line)?;
+    let obj = value.as_object().ok_or("line is not a JSON object")?;
+    let v = get(obj, "v")?.as_u64().ok_or("'v' is not an integer")?;
+    if v != CONTENT_HASH_VERSION {
+        return Err(format!(
+            "hash version {v} (current {CONTENT_HASH_VERSION}): stale entry"
+        ));
+    }
+    let hash_hex = get(obj, "hash")?.as_str().ok_or("'hash' is not a string")?;
+    let hash = u64::from_str_radix(hash_hex, 16).map_err(|e| format!("bad hash hex: {e}"))?;
+    if hash_hex.len() != 16 {
+        return Err("hash is not 16 hex digits".into());
+    }
+    let status = match get(obj, "status")?.as_str() {
+        Some("completed") => RunStatus::Completed,
+        Some("failed") => RunStatus::Failed(
+            get(obj, "error")?
+                .as_str()
+                .ok_or("'error' is not a string")?
+                .to_string(),
+        ),
+        _ => return Err("unknown status".into()),
+    };
+    let base_heating = match get(obj, "base_heating")? {
+        Json::Null => None,
+        Json::Obj(fields) => {
+            let centroid = get(fields, "footprint_centroid")?
+                .as_array()
+                .ok_or("'footprint_centroid' is not an array")?;
+            if centroid.len() != 2 {
+                return Err("'footprint_centroid' is not a pair".into());
+            }
+            Some(BaseHeatingReport {
+                heated_fraction: num(fields, "heated_fraction")?,
+                recirculation_flux: num(fields, "recirculation_flux")?,
+                mean_backflow_enthalpy: num(fields, "mean_backflow_enthalpy")?,
+                peak_temperature: num(fields, "peak_temperature")?,
+                mean_pressure: num(fields, "mean_pressure")?,
+                footprint_centroid: [
+                    centroid[0].as_f64().ok_or("centroid[0] is not a number")?,
+                    centroid[1].as_f64().ok_or("centroid[1] is not a number")?,
+                ],
+                cells_sampled: get(fields, "cells_sampled")?
+                    .as_u64()
+                    .ok_or("'cells_sampled' is not an integer")?
+                    as usize,
+            })
+        }
+        _ => return Err("'base_heating' is neither object nor null".into()),
+    };
+    let result = ScenarioResult {
+        name: get(obj, "name")?
+            .as_str()
+            .ok_or("'name' is not a string")?
+            .to_string(),
+        hash_hex: hash_hex.to_string(),
+        status,
+        cells: get(obj, "cells")?.as_u64().ok_or("'cells' not integer")? as usize,
+        steps: get(obj, "steps")?.as_u64().ok_or("'steps' not integer")? as usize,
+        ranks: get(obj, "ranks")?.as_u64().ok_or("'ranks' not integer")? as usize,
+        wall_s: num(obj, "wall_s")?,
+        ns_per_cell_step: num(obj, "grind_ns_per_cell_step")?,
+        mass_drift: num(obj, "mass_drift")?,
+        energy_drift: num(obj, "energy_drift")?,
+        base_heating,
+    };
+    Ok((hash, result))
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    get(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("'{key}' is not a number"))
+}
+
+/// A minimal JSON value + recursive-descent parser — the workspace is
+/// offline (no serde), and the store format only needs the subset below.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numbers, plus the tagged non-finite strings [`json_f64`] writes.
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number bytes")?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(status: RunStatus, heating: Option<BaseHeatingReport>) -> ScenarioResult {
+        ScenarioResult {
+            name: "engine-row3-2d-n24+out[0,2]+pamb0.250+fp64+igr".into(),
+            hash_hex: format!("{:016x}", 0xdead_beef_u64),
+            status,
+            cells: 1152,
+            steps: 60,
+            ranks: 1,
+            wall_s: 0.123456789,
+            ns_per_cell_step: 431.0 / 7.0, // not exactly representable in decimal
+            mass_drift: 1.0e-15,
+            energy_drift: -0.0,
+            base_heating: heating,
+        }
+    }
+
+    fn heating() -> BaseHeatingReport {
+        BaseHeatingReport {
+            heated_fraction: 0.25,
+            recirculation_flux: 1.0 / 3.0,
+            mean_backflow_enthalpy: 2.5,
+            peak_temperature: 3.75,
+            mean_pressure: 0.99,
+            footprint_centroid: [0.1, -0.2],
+            cells_sampled: 42,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let r = sample(RunStatus::Completed, Some(heating()));
+        let line = encode_line(0xdead_beef, &r);
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1, "one line per result");
+        let (hash, back) = decode_line(line.trim_end()).unwrap();
+        assert_eq!(hash, 0xdead_beef);
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.status, r.status);
+        assert_eq!(back.cells, r.cells);
+        assert_eq!(back.wall_s.to_bits(), r.wall_s.to_bits());
+        assert_eq!(
+            back.ns_per_cell_step.to_bits(),
+            r.ns_per_cell_step.to_bits()
+        );
+        assert_eq!(back.mass_drift.to_bits(), r.mass_drift.to_bits());
+        assert_eq!(back.energy_drift.to_bits(), r.energy_drift.to_bits());
+        let (a, b) = (back.base_heating.unwrap(), heating());
+        assert_eq!(
+            a.recirculation_flux.to_bits(),
+            b.recirculation_flux.to_bits()
+        );
+        assert_eq!(a.footprint_centroid, b.footprint_centroid);
+        assert_eq!(a.cells_sampled, b.cells_sampled);
+    }
+
+    #[test]
+    fn failed_status_and_nonfinite_floats_survive() {
+        let mut r = sample(
+            RunStatus::Failed("non-finite value, \"quoted\"\nmultiline".into()),
+            None,
+        );
+        r.mass_drift = f64::NAN;
+        r.energy_drift = f64::INFINITY;
+        r.wall_s = f64::NEG_INFINITY;
+        let line = encode_line(7, &r);
+        let (_, back) = decode_line(line.trim_end()).unwrap();
+        assert_eq!(back.status, r.status);
+        assert!(back.mass_drift.is_nan());
+        assert_eq!(back.energy_drift, f64::INFINITY);
+        assert_eq!(back.wall_s, f64::NEG_INFINITY);
+        assert!(back.base_heating.is_none());
+    }
+
+    #[test]
+    fn stale_hash_versions_are_rejected() {
+        let r = sample(RunStatus::Completed, None);
+        let line = encode_line(1, &r).replace("\"v\":2", "\"v\":1");
+        assert!(decode_line(line.trim_end()).unwrap_err().contains("stale"));
+    }
+
+    #[test]
+    fn garbage_lines_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "{\"v\":2}",
+            "not json at all",
+            "{\"v\":2,\"hash\":\"xyz\"}",
+            "[1,2,3]",
+            "{\"v\":2,\"hash\":\"0000000000000007\",\"name\":\"x\",\"status\":\"weird\"}",
+        ] {
+            assert!(decode_line(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn open_tolerates_truncated_tail_and_keeps_appending() {
+        let path = std::env::temp_dir().join(format!(
+            "igr-persist-unit-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // First session: two inserts, then a simulated crash mid-append.
+        {
+            let mut s = open(&path).unwrap();
+            assert_eq!(s.recovery, StoreRecovery::default());
+            s.log
+                .append(1, &sample(RunStatus::Completed, None))
+                .unwrap();
+            s.log
+                .append(2, &sample(RunStatus::Completed, Some(heating())))
+                .unwrap();
+        }
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"v\":2,\"hash\":\"00000000000000").unwrap(); // torn line
+        }
+
+        // Second session: both whole lines load, the torn tail is skipped,
+        // and a fresh append lands on its own line.
+        {
+            let mut s = open(&path).unwrap();
+            assert_eq!(s.recovery.loaded, 2);
+            assert_eq!(s.recovery.skipped, 1);
+            assert_eq!(s.entries.len(), 2);
+            s.log
+                .append(3, &sample(RunStatus::Completed, None))
+                .unwrap();
+        }
+        {
+            let s = open(&path).unwrap();
+            assert_eq!(s.recovery.loaded, 3);
+            assert_eq!(s.recovery.skipped, 1, "torn tail stays isolated");
+            let hashes: Vec<u64> = s.entries.iter().map(|(h, _)| *h).collect();
+            assert_eq!(hashes, vec![1, 2, 3]);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_hashes_keep_the_last_write() {
+        let path = std::env::temp_dir().join(format!(
+            "igr-persist-dup-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = open(&path).unwrap();
+            let mut first = sample(RunStatus::Completed, None);
+            first.steps = 1;
+            let mut second = sample(RunStatus::Completed, None);
+            second.steps = 2;
+            s.log.append(9, &first).unwrap();
+            s.log.append(9, &second).unwrap();
+        }
+        let s = open(&path).unwrap();
+        // The loader reports both; the store layer's insert order makes the
+        // last one win.
+        assert_eq!(s.entries.len(), 2);
+        assert_eq!(s.entries.last().unwrap().1.steps, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

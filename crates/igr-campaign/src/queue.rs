@@ -1,0 +1,693 @@
+//! Async job-queue front end over the campaign executor.
+//!
+//! [`Campaign::run`](crate::exec::Campaign::run) is a synchronous batch
+//! API: the whole sweep must exist before anything executes, and nothing
+//! comes back until everything has. [`CampaignQueue`] inverts that —
+//! scenarios are **submitted** one at a time (with priorities) while
+//! background workers drain them, results **stream** back incrementally in
+//! completion order, and queued work can be **cancelled**. That lets a long
+//! campaign run while the sweep is still being authored, and is the natural
+//! seam for serving scenario requests from network traffic.
+//!
+//! Semantics:
+//!
+//! * **Dedup by content hash, like the batch executor.** Submitting a spec
+//!   whose hash is already in the store completes immediately (a cache
+//!   hit). Submitting one that is already queued or running *coalesces*:
+//!   both jobs complete from the single execution, the first submitter
+//!   marked fresh and the rest as cache hits.
+//! * **Priorities.** Higher `priority` runs first; FIFO within a priority
+//!   level. Re-submitting a queued scenario at a higher priority escalates
+//!   the pending execution.
+//! * **Cancellation** applies to queued jobs only: once a job's execution
+//!   is running, [`CampaignQueue::cancel`] returns `false` and the job
+//!   completes normally. Cancelling every job of a queued execution
+//!   removes the execution itself.
+//! * **Streaming.** [`CampaignQueue::next_completed`] yields `(job, result,
+//!   cached)` in completion order; [`CampaignQueue::wait_all`] blocks until
+//!   the queue is drained.
+//!
+//! Workers recover from panicking scenarios ([`run_scenario_caught`]) and
+//! from poisoned locks, so one diverging run cannot wedge the queue.
+
+use crate::exec::{run_scenario_caught, ExecConfig};
+use crate::report::ScenarioResult;
+use crate::spec::ScenarioSpec;
+use crate::store::ResultStore;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Handle to one submitted scenario.
+pub type JobId = u64;
+
+/// Where a job is in its lifecycle, as reported by
+/// [`CampaignQueue::poll`].
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Waiting for a worker (or coalesced onto another queued job).
+    Queued { priority: i32 },
+    /// A worker is executing it (or the execution it coalesced onto).
+    Running,
+    /// Finished; `cached` is true when the result came from the store or
+    /// from an execution another job triggered.
+    Done {
+        result: Arc<ScenarioResult>,
+        cached: bool,
+    },
+    /// Cancelled while queued; it will never run.
+    Cancelled,
+}
+
+/// One submitted job's bookkeeping.
+struct Job {
+    hash: u64,
+    phase: JobPhase,
+}
+
+enum JobPhase {
+    Waiting,
+    Cancelled,
+    Done { cached: bool },
+}
+
+/// One *execution*: the de-duplicated unit of work a set of jobs waits on.
+struct Execution {
+    spec: ScenarioSpec,
+    waiters: Vec<JobId>,
+    running: bool,
+    /// Highest priority among live waiters (heap entries are lazily
+    /// superseded on escalation).
+    priority: i32,
+}
+
+/// Max-heap entry: higher priority first, then FIFO by submission sequence.
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    priority: i32,
+    seq: u64,
+    hash: u64,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, std::cmp::Reverse(self.seq))
+            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Inner {
+    store: ResultStore,
+    jobs: HashMap<JobId, Job>,
+    /// Queued/running executions by content hash.
+    executions: HashMap<u64, Execution>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Completed `(job, result, cached)` tuples not yet consumed by
+    /// [`CampaignQueue::next_completed`].
+    completed: VecDeque<(JobId, Arc<ScenarioResult>, bool)>,
+    next_job: JobId,
+    next_seq: u64,
+    /// Executions queued or running — 0 means drained.
+    outstanding: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signalled when work arrives or shutdown is requested.
+    work: Condvar,
+    /// Signalled when a job completes.
+    done: Condvar,
+}
+
+/// Mutex access that shrugs off poisoning: queue state is only ever
+/// mutated under short, panic-free critical sections, so a poisoned lock
+/// means a *worker* died elsewhere — the state itself is still consistent.
+fn lock(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The async front end: submit/poll/cancel + streaming results.
+pub struct CampaignQueue {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CampaignQueue {
+    /// A queue over a fresh in-memory store, with `cfg.workers` background
+    /// worker threads.
+    pub fn new(cfg: ExecConfig) -> Self {
+        Self::with_store(cfg, ResultStore::new())
+    }
+
+    /// A queue over an existing store (e.g. a persistent one from
+    /// [`ResultStore::open`], so submissions hit the cross-process cache).
+    pub fn with_store(cfg: ExecConfig, store: ResultStore) -> Self {
+        let mut queue = Self::build(store);
+        let solver_threads = cfg.solver_threads();
+        for _ in 0..cfg.workers {
+            let shared = Arc::clone(&queue.shared);
+            queue.handles.push(std::thread::spawn(move || {
+                worker_loop(&shared, solver_threads)
+            }));
+        }
+        queue
+    }
+
+    /// A queue with **no** background workers: jobs run only when the
+    /// caller drives [`Self::run_next`]. Deterministic by construction —
+    /// what the ordering/cancellation tests (and single-threaded embedders)
+    /// want.
+    pub fn manual(store: ResultStore) -> Self {
+        Self::build(store)
+    }
+
+    fn build(store: ResultStore) -> Self {
+        CampaignQueue {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    store,
+                    jobs: HashMap::new(),
+                    executions: HashMap::new(),
+                    heap: BinaryHeap::new(),
+                    completed: VecDeque::new(),
+                    next_job: 1,
+                    next_seq: 0,
+                    outstanding: 0,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }),
+            handles: Vec::new(),
+        }
+    }
+
+    /// Submit one scenario at `priority` (higher runs first). Returns
+    /// immediately; completion is observed via [`Self::poll`] /
+    /// [`Self::next_completed`].
+    pub fn submit(&self, spec: &ScenarioSpec, priority: i32) -> JobId {
+        let mut spec = spec.clone();
+        spec.normalize();
+        let hash = spec.content_hash();
+        let mut g = lock(&self.shared);
+        let id = g.next_job;
+        g.next_job += 1;
+
+        // Already cached: the job is born Done.
+        if g.store.contains(hash) {
+            let result = g.store.fetch(hash).expect("contains() just said so");
+            g.jobs.insert(
+                id,
+                Job {
+                    hash,
+                    phase: JobPhase::Done { cached: true },
+                },
+            );
+            g.completed.push_back((id, result, true));
+            drop(g);
+            self.shared.done.notify_all();
+            return id;
+        }
+
+        // Already queued/running: coalesce onto the existing execution,
+        // escalating its priority if this submission outbids it.
+        if let Some(exec) = g.executions.get_mut(&hash) {
+            exec.waiters.push(id);
+            let escalate = !exec.running && priority > exec.priority;
+            if escalate {
+                exec.priority = priority;
+            }
+            g.jobs.insert(
+                id,
+                Job {
+                    hash,
+                    phase: JobPhase::Waiting,
+                },
+            );
+            if escalate {
+                let seq = g.next_seq;
+                g.next_seq += 1;
+                g.heap.push(HeapEntry {
+                    priority,
+                    seq,
+                    hash,
+                });
+            }
+            return id;
+        }
+
+        // Fresh work: plan the execution. The failed lookup above *is* the
+        // cache miss — count it the way Campaign::run does.
+        let _ = g.store.fetch(hash);
+        g.executions.insert(
+            hash,
+            Execution {
+                spec,
+                waiters: vec![id],
+                running: false,
+                priority,
+            },
+        );
+        g.jobs.insert(
+            id,
+            Job {
+                hash,
+                phase: JobPhase::Waiting,
+            },
+        );
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.heap.push(HeapEntry {
+            priority,
+            seq,
+            hash,
+        });
+        g.outstanding += 1;
+        drop(g);
+        self.shared.work.notify_one();
+        id
+    }
+
+    /// Submit a batch in order at one priority.
+    pub fn submit_all(&self, specs: &[ScenarioSpec], priority: i32) -> Vec<JobId> {
+        specs.iter().map(|s| self.submit(s, priority)).collect()
+    }
+
+    /// Where is this job now? `None` for an unknown id.
+    pub fn poll(&self, id: JobId) -> Option<JobState> {
+        let g = lock(&self.shared);
+        let job = g.jobs.get(&id)?;
+        Some(match &job.phase {
+            JobPhase::Cancelled => JobState::Cancelled,
+            JobPhase::Done { cached } => JobState::Done {
+                result: Arc::clone(
+                    g.store
+                        .peek(job.hash)
+                        .expect("done jobs have a stored result"),
+                ),
+                cached: *cached,
+            },
+            JobPhase::Waiting => match g.executions.get(&job.hash) {
+                Some(e) if e.running => JobState::Running,
+                Some(e) => JobState::Queued {
+                    priority: e.priority,
+                },
+                // Unreachable in a consistent queue; report Running rather
+                // than panic so poll stays infallible.
+                None => JobState::Running,
+            },
+        })
+    }
+
+    /// Cancel a queued job. Returns `true` if the job will now never
+    /// produce a result; `false` if it is unknown, already running (the
+    /// solve is not interrupted), or already finished/cancelled.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut g = lock(&self.shared);
+        let Some(job) = g.jobs.get(&id) else {
+            return false;
+        };
+        if !matches!(job.phase, JobPhase::Waiting) {
+            return false;
+        }
+        let hash = job.hash;
+        let Some(exec) = g.executions.get_mut(&hash) else {
+            return false;
+        };
+        if exec.running {
+            return false;
+        }
+        exec.waiters.retain(|&w| w != id);
+        let drop_execution = exec.waiters.is_empty();
+        if drop_execution {
+            // Heap entries for it become stale and are skipped on pop.
+            g.executions.remove(&hash);
+            g.outstanding -= 1;
+        }
+        g.jobs.get_mut(&id).expect("checked above").phase = JobPhase::Cancelled;
+        if drop_execution {
+            drop(g);
+            // Wake any wait_all() blocked on the outstanding count.
+            self.shared.done.notify_all();
+        }
+        true
+    }
+
+    /// Pop the next completed `(job, result, cached)`, waiting up to
+    /// `timeout` for one to arrive. `None` on timeout.
+    pub fn next_completed(&self, timeout: Duration) -> Option<(JobId, Arc<ScenarioResult>, bool)> {
+        let deadline = Instant::now() + timeout;
+        let mut g = lock(&self.shared);
+        loop {
+            if let Some(item) = g.completed.pop_front() {
+                return Some(item);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+    }
+
+    /// Block until nothing is queued or running (or `timeout` elapses).
+    /// Returns `true` when drained.
+    pub fn wait_all(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = lock(&self.shared);
+        loop {
+            if g.outstanding == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+    }
+
+    /// Run the single highest-priority queued execution on the calling
+    /// thread (manual mode's engine; also usable alongside background
+    /// workers). Returns the execution's first waiter, or `None` when
+    /// nothing is queued.
+    pub fn run_next(&self) -> Option<JobId> {
+        let (hash, spec, first) = {
+            let mut g = lock(&self.shared);
+            let (hash, spec) = pop_execution(&mut g)?;
+            let first = g.executions[&hash].waiters.first().copied();
+            (hash, spec, first)
+        };
+        let result = run_scenario_caught(&spec);
+        complete_execution(&self.shared, hash, result);
+        first
+    }
+
+    /// Jobs queued or running.
+    pub fn outstanding(&self) -> usize {
+        lock(&self.shared).outstanding
+    }
+
+    /// Completed results waiting to be streamed out.
+    pub fn ready(&self) -> usize {
+        lock(&self.shared).completed.len()
+    }
+
+    /// Snapshot of the underlying store's `(entries, hits, misses)`.
+    pub fn store_stats(&self) -> (usize, u64, u64) {
+        let g = lock(&self.shared);
+        (g.store.len(), g.store.hits(), g.store.misses())
+    }
+
+    fn stop_workers(&mut self) {
+        lock(&self.shared).shutdown = true;
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting background work, join the workers, and hand back the
+    /// store (with every completed result) — e.g. to seed a batch
+    /// [`crate::exec::Campaign`] or to reopen later.
+    pub fn shutdown(mut self) -> ResultStore {
+        self.stop_workers();
+        let shared = Arc::clone(&self.shared);
+        drop(self);
+        match Arc::try_unwrap(shared) {
+            Ok(sh) => {
+                sh.inner
+                    .into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .store
+            }
+            // Workers are joined, so this arm is unreachable; an empty
+            // store is still a safe answer.
+            Err(_) => ResultStore::new(),
+        }
+    }
+}
+
+impl Drop for CampaignQueue {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Claim the best queued execution, skipping stale heap entries (cancelled
+/// executions, superseded priorities, already-running hashes).
+fn pop_execution(g: &mut Inner) -> Option<(u64, ScenarioSpec)> {
+    while let Some(entry) = g.heap.pop() {
+        if let Some(exec) = g.executions.get_mut(&entry.hash) {
+            if !exec.running && entry.priority == exec.priority {
+                exec.running = true;
+                return Some((entry.hash, exec.spec.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Record a finished execution: store the result, complete every live
+/// waiter (first one fresh, the rest as cache hits), and wake the stream.
+fn complete_execution(shared: &Shared, hash: u64, result: ScenarioResult) {
+    let mut g = lock(shared);
+    let Some(exec) = g.executions.remove(&hash) else {
+        return;
+    };
+    g.store.insert(hash, result);
+    let arc = Arc::clone(g.store.peek(hash).expect("just inserted"));
+    let mut fresh_given = false;
+    for id in exec.waiters {
+        let Some(job) = g.jobs.get_mut(&id) else {
+            continue;
+        };
+        if matches!(job.phase, JobPhase::Cancelled) {
+            continue;
+        }
+        let cached = fresh_given;
+        job.phase = JobPhase::Done { cached };
+        if cached {
+            // Coalesced waiters are cache traffic: count the hit.
+            let _ = g.store.fetch(hash);
+        }
+        fresh_given = true;
+        g.completed.push_back((id, Arc::clone(&arc), cached));
+    }
+    g.outstanding -= 1;
+    drop(g);
+    shared.done.notify_all();
+}
+
+fn worker_loop(shared: &Shared, solver_threads: usize) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(solver_threads)
+        .build()
+        .expect("rayon pool");
+    loop {
+        let (hash, spec) = {
+            let mut g = lock(shared);
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if let Some(claimed) = pop_execution(&mut g) {
+                    break claimed;
+                }
+                g = shared.work.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let result = pool.install(|| run_scenario_caught(&spec));
+        complete_execution(shared, hash, result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RunStatus;
+    use crate::spec::BaseCase;
+
+    fn quick(n: usize) -> ScenarioSpec {
+        let mut s = ScenarioSpec::new(BaseCase::SteepeningWave { amp: 0.2 }, n);
+        s.warmup = 0;
+        s.steps = 1;
+        s
+    }
+
+    #[test]
+    fn manual_queue_runs_by_priority_then_fifo() {
+        let q = CampaignQueue::manual(ResultStore::new());
+        let low = q.submit(&quick(48), 0);
+        let high = q.submit(&quick(56), 5);
+        let mid_a = q.submit(&quick(64), 1);
+        let mid_b = q.submit(&quick(72), 1);
+        assert_eq!(q.outstanding(), 4);
+
+        let order: Vec<JobId> = std::iter::from_fn(|| q.run_next()).collect();
+        assert_eq!(order, vec![high, mid_a, mid_b, low]);
+        assert_eq!(q.outstanding(), 0);
+
+        // Streaming yields the same order, all fresh.
+        for expect in [high, mid_a, mid_b, low] {
+            let (id, result, cached) = q.next_completed(Duration::from_secs(1)).unwrap();
+            assert_eq!(id, expect);
+            assert!(!cached);
+            assert!(result.status.is_ok());
+        }
+        assert!(q.next_completed(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn cancel_only_affects_queued_jobs() {
+        let q = CampaignQueue::manual(ResultStore::new());
+        let keep = q.submit(&quick(48), 0);
+        let drop_me = q.submit(&quick(64), 0);
+        assert!(matches!(
+            q.poll(drop_me),
+            Some(JobState::Queued { priority: 0 })
+        ));
+        assert!(q.cancel(drop_me));
+        assert!(matches!(q.poll(drop_me), Some(JobState::Cancelled)));
+        assert!(!q.cancel(drop_me), "double-cancel is a no-op");
+        assert_eq!(q.outstanding(), 1, "cancelled execution dequeued");
+
+        assert_eq!(q.run_next(), Some(keep));
+        assert!(q.run_next().is_none(), "cancelled job never runs");
+        assert!(matches!(q.poll(keep), Some(JobState::Done { .. })));
+        assert!(!q.cancel(keep), "finished jobs cannot be cancelled");
+        assert!(!q.cancel(9999), "unknown ids cannot be cancelled");
+
+        // Exactly one completion streams out.
+        assert!(q.next_completed(Duration::from_secs(1)).is_some());
+        assert!(q.next_completed(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn duplicate_submissions_coalesce_onto_one_execution() {
+        let q = CampaignQueue::manual(ResultStore::new());
+        let first = q.submit(&quick(48), 0);
+        let second = q.submit(&quick(48), 0);
+        assert_eq!(q.outstanding(), 1, "same hash, one execution");
+
+        assert_eq!(q.run_next(), Some(first));
+        assert!(q.run_next().is_none());
+
+        let (id_a, res_a, cached_a) = q.next_completed(Duration::from_secs(1)).unwrap();
+        let (id_b, res_b, cached_b) = q.next_completed(Duration::from_secs(1)).unwrap();
+        assert_eq!((id_a, cached_a), (first, false));
+        assert_eq!((id_b, cached_b), (second, true));
+        assert!(Arc::ptr_eq(&res_a, &res_b), "one result, shared");
+        let (len, hits, misses) = q.store_stats();
+        assert_eq!(len, 1);
+        assert_eq!(misses, 1, "the first submission's planning miss");
+        assert_eq!(hits, 1, "the coalesced waiter counts as a hit");
+    }
+
+    #[test]
+    fn resubmitting_a_done_scenario_is_an_immediate_cache_hit() {
+        let q = CampaignQueue::manual(ResultStore::new());
+        let first = q.submit(&quick(48), 0);
+        q.run_next();
+        let hit = q.submit(&quick(48), 0);
+        assert_ne!(first, hit);
+        match q.poll(hit) {
+            Some(JobState::Done { cached, .. }) => assert!(cached),
+            s => panic!("expected immediate Done, got {s:?}"),
+        }
+        assert_eq!(q.outstanding(), 0, "no execution was queued");
+    }
+
+    #[test]
+    fn priority_escalation_reorders_queued_work() {
+        let q = CampaignQueue::manual(ResultStore::new());
+        let a = q.submit(&quick(48), 0);
+        let b = q.submit(&quick(64), 0);
+        // Someone urgent re-submits b's physics at priority 9.
+        let b2 = q.submit(&quick(64), 9);
+        assert_eq!(q.run_next(), Some(b), "escalated execution runs first");
+        assert_eq!(q.run_next(), Some(a));
+        // b and b2 both completed from the one execution.
+        assert!(matches!(
+            q.poll(b),
+            Some(JobState::Done { cached: false, .. })
+        ));
+        assert!(matches!(
+            q.poll(b2),
+            Some(JobState::Done { cached: true, .. })
+        ));
+    }
+
+    #[test]
+    fn panicking_scenario_fails_its_job_and_queue_survives() {
+        let q = CampaignQueue::manual(ResultStore::new());
+        let mut bad = quick(48);
+        bad.label = Some("__panic_injection__".into());
+        let bad_id = q.submit(&bad, 0);
+        let good_id = q.submit(&quick(64), 0);
+        q.run_next();
+        q.run_next();
+        match q.poll(bad_id) {
+            Some(JobState::Done { result, .. }) => match &result.status {
+                RunStatus::Failed(msg) => assert!(msg.contains("panicked"), "{msg}"),
+                s => panic!("expected Failed, got {s:?}"),
+            },
+            s => panic!("expected Done, got {s:?}"),
+        }
+        assert!(matches!(q.poll(good_id), Some(JobState::Done { .. })));
+    }
+
+    #[test]
+    fn background_workers_stream_a_growing_submission_set() {
+        let q = CampaignQueue::with_store(
+            ExecConfig {
+                workers: 2,
+                threads_per_worker: 1,
+            },
+            ResultStore::new(),
+        );
+        // Submit in two waves, polling between them — the queue never sees
+        // the whole "sweep" at once.
+        let wave1 = q.submit_all(&[quick(48), quick(56)], 0);
+        let mut seen = Vec::new();
+        while seen.len() < 2 {
+            let (id, result, _) = q
+                .next_completed(Duration::from_secs(30))
+                .expect("wave 1 completes");
+            assert!(result.status.is_ok());
+            seen.push(id);
+        }
+        let wave2 = q.submit_all(&[quick(64), quick(72)], 3);
+        while seen.len() < 4 {
+            let (id, _, _) = q
+                .next_completed(Duration::from_secs(30))
+                .expect("wave 2 completes");
+            seen.push(id);
+        }
+        assert!(q.wait_all(Duration::from_secs(30)));
+        let mut expected: Vec<JobId> = wave1.iter().chain(&wave2).copied().collect();
+        expected.sort_unstable();
+        seen.sort_unstable();
+        assert_eq!(seen, expected);
+
+        let store = q.shutdown();
+        assert_eq!(store.len(), 4);
+    }
+}

@@ -8,6 +8,7 @@
 //! hand-rolled), CSV, and a fixed-width text table.
 
 use igr_app::base::BaseHeatingReport;
+use std::sync::Arc;
 
 /// How a scenario run ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,10 +53,12 @@ pub struct ScenarioResult {
     pub base_heating: Option<BaseHeatingReport>,
 }
 
-/// One report row: the result plus how it was obtained.
+/// One report row: the result plus how it was obtained. The result is the
+/// store's own `Arc` — duplicated submissions and cache hits share one
+/// allocation rather than cloning the result per row.
 #[derive(Clone, Debug)]
 pub struct ReportRow {
-    pub result: ScenarioResult,
+    pub result: Arc<ScenarioResult>,
     /// True when the row was served from the result cache.
     pub cached: bool,
 }
@@ -351,15 +354,15 @@ mod tests {
         CampaignReport {
             rows: vec![
                 ReportRow {
-                    result: result("a", 100.0, Some(0.5)),
+                    result: Arc::new(result("a", 100.0, Some(0.5))),
                     cached: false,
                 },
                 ReportRow {
-                    result: result("b", 300.0, Some(1.5)),
+                    result: Arc::new(result("b", 300.0, Some(1.5))),
                     cached: false,
                 },
                 ReportRow {
-                    result: result("a", 100.0, Some(0.5)),
+                    result: Arc::new(result("a", 100.0, Some(0.5))),
                     cached: true,
                 },
             ],

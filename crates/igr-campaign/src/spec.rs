@@ -233,8 +233,16 @@ impl ScenarioSpec {
     /// (label excluded). FNV-1a over a canonical field-tagged encoding:
     /// independent of process, platform, and std hasher seeding, so it can
     /// key an on-disk result cache.
+    ///
+    /// The encoding is versioned (see [`CONTENT_HASH_VERSION`]): the version
+    /// is folded into the hash itself, so hashes from incompatible encodings
+    /// can never collide with current ones, and the on-disk store
+    /// ([`crate::persist`]) additionally records the version per line and
+    /// ignores stale entries on load.
     pub fn content_hash(&self) -> u64 {
         let mut h = Canon::new();
+        h.tag("v");
+        h.u64(CONTENT_HASH_VERSION);
         h.tag("base");
         match &self.base {
             BaseCase::Sod => h.tag("sod"),
@@ -489,9 +497,23 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// Version of the canonical hash encoding. Bump whenever the encoding (or
+/// the float canonicalization below) changes, so stale on-disk cache entries
+/// keyed by an older encoding are never served for current specs.
+///
+/// History:
+/// * **v1** (implicit, unversioned): floats hashed by raw `to_bits`, so
+///   `-0.0` and `0.0` — the same physics — split into two hashes.
+/// * **v2**: the version is folded into the stream, `-0.0` canonicalizes to
+///   `0.0`, and every NaN canonicalizes to one quiet-NaN bit pattern before
+///   hashing (physically identical specs share a content hash — mandatory
+///   once hashes key an on-disk store).
+pub const CONTENT_HASH_VERSION: u64 = 2;
+
 /// FNV-1a over a canonical field-tagged byte stream. Tags separate fields
 /// so `(warmup=1, steps=12)` and `(warmup=11, steps=2)` cannot collide by
-/// concatenation; floats hash by `to_bits` (exact, but `-0.0 != 0.0`).
+/// concatenation; floats hash by canonicalized `to_bits` (`-0.0` folds onto
+/// `0.0`, all NaNs fold onto one quiet-NaN pattern — exact otherwise).
 struct Canon {
     h: u64,
 }
@@ -523,7 +545,16 @@ impl Canon {
     }
 
     fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
+        // Canonicalize before hashing: -0.0 == 0.0 physically, and every
+        // NaN is the same (absent) value regardless of payload bits.
+        let bits = if v.is_nan() {
+            0x7ff8_0000_0000_0000 // the canonical quiet NaN
+        } else if v == 0.0 {
+            0 // folds -0.0 onto +0.0
+        } else {
+            v.to_bits()
+        };
+        self.u64(bits);
     }
 
     fn opt_f64(&mut self, v: Option<f64>) {
@@ -653,6 +684,46 @@ mod tests {
         normalized.normalize();
         assert_eq!(normalized.gimbal, last.gimbal);
         assert_eq!(dup.content_hash(), normalized.content_hash());
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_positive_zero() {
+        // The same physics must share one content hash — a gimbal angle of
+        // -0.0 rad *is* 0.0 rad. (Pre-v2, to_bits split these.)
+        let mut a = jet_spec();
+        a.gimbal = vec![(0, GimbalSchedule::constant([0.0, 0.0]))];
+        let mut b = jet_spec();
+        b.gimbal = vec![(0, GimbalSchedule::constant([-0.0, -0.0]))];
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        let wa = ScenarioSpec::new(BaseCase::SteepeningWave { amp: 0.0 }, 64);
+        let wb = ScenarioSpec::new(BaseCase::SteepeningWave { amp: -0.0 }, 64);
+        assert_eq!(wa.content_hash(), wb.content_hash());
+    }
+
+    #[test]
+    fn nan_payloads_share_one_hash() {
+        let mut a = ScenarioSpec::new(BaseCase::SteepeningWave { amp: f64::NAN }, 64);
+        let b = ScenarioSpec::new(
+            BaseCase::SteepeningWave {
+                amp: f64::from_bits(0x7ff8_0000_0000_0001), // distinct payload
+            },
+            64,
+        );
+        assert_eq!(a.content_hash(), b.content_hash());
+        // …but NaN is still distinct from every real amplitude.
+        a.base = BaseCase::SteepeningWave { amp: 0.2 };
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn hash_encoding_is_versioned() {
+        // Golden value: locks the v2 encoding. If this assertion fires you
+        // changed the canonical encoding — bump CONTENT_HASH_VERSION and
+        // update the golden (the on-disk store keys off it).
+        assert_eq!(CONTENT_HASH_VERSION, 2);
+        let h = ScenarioSpec::new(BaseCase::Sod, 64).content_hash();
+        assert_eq!(h, 0xe62c_84ef_880f_ea33);
     }
 
     #[test]

@@ -6,29 +6,72 @@
 //! one-case-at-a-time workflow into a cheap, iterable campaign loop — the
 //! expensive part of "change one axis value and re-run the sweep" is only
 //! the scenarios that actually changed.
+//!
+//! Two backing modes share one type:
+//!
+//! * [`ResultStore::new`] — in-memory only, dies with the process;
+//! * [`ResultStore::open`] — additionally backed by an append-only
+//!   JSON-lines file ([`crate::persist`]): all valid entries load on open,
+//!   every insert appends one line, so the cache survives restarts and can
+//!   be shipped between machines.
+//!
+//! Results are held as `Arc<ScenarioResult>`: a cache hit is a pointer
+//! bump, not a deep clone of the (report-sized) result.
 
+use crate::persist::{self, AppendLog, StoreRecovery};
 use crate::report::ScenarioResult;
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
 
-/// In-memory result cache with hit/miss accounting.
+/// Result cache with hit/miss accounting and optional file persistence.
 #[derive(Default)]
 pub struct ResultStore {
-    map: HashMap<u64, ScenarioResult>,
+    map: HashMap<u64, Arc<ScenarioResult>>,
     hits: u64,
     misses: u64,
+    log: Option<AppendLog>,
+    recovery: Option<StoreRecovery>,
+    /// Inserts whose append to the backing file failed (the in-memory entry
+    /// still lands; persistence degrades, execution does not).
+    persist_errors: u64,
 }
 
 impl ResultStore {
+    /// An empty in-memory store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Look up a result by content hash, counting a hit or miss.
-    pub fn fetch(&mut self, hash: u64) -> Option<ScenarioResult> {
+    /// Open a persistent store backed by the JSON-lines file at `path`
+    /// (created if absent). Every valid line becomes a cache entry — later
+    /// duplicates of a hash win — and unparseable lines (truncated tails,
+    /// stale hash versions) are skipped, never fatal; see
+    /// [`Self::recovery`] for the accounting.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let loaded = persist::open(path)?;
+        let mut map = HashMap::with_capacity(loaded.entries.len());
+        for (hash, result) in loaded.entries {
+            map.insert(hash, Arc::new(result));
+        }
+        Ok(ResultStore {
+            map,
+            hits: 0,
+            misses: 0,
+            log: Some(loaded.log),
+            recovery: Some(loaded.recovery),
+            persist_errors: 0,
+        })
+    }
+
+    /// Look up a result by content hash, counting a hit or miss. A hit is
+    /// O(1): the `Arc` clone bumps a refcount, it does not copy the result.
+    pub fn fetch(&mut self, hash: u64) -> Option<Arc<ScenarioResult>> {
         match self.map.get(&hash) {
             Some(r) => {
                 self.hits += 1;
-                Some(r.clone())
+                Some(Arc::clone(r))
             }
             None => {
                 self.misses += 1;
@@ -44,12 +87,28 @@ impl ResultStore {
 
     /// Counter-free lookup: reading back a result the caller just executed
     /// and inserted is not cache traffic.
-    pub fn peek(&self, hash: u64) -> Option<&ScenarioResult> {
+    pub fn peek(&self, hash: u64) -> Option<&Arc<ScenarioResult>> {
         self.map.get(&hash)
     }
 
+    /// Insert a result; if the store is persistent, append it to the
+    /// backing file too. A failed append degrades persistence (counted in
+    /// [`Self::persist_errors`]) but never loses the in-memory entry.
+    ///
+    /// Only `Completed` results are persisted: within a session, caching a
+    /// failure stops a known-bad scenario from re-burning compute, but a
+    /// failure written to disk would outlive its cause — a transient panic
+    /// or a killed worker would block that scenario in every future
+    /// process with no retry path. Restarting the process *is* the retry.
     pub fn insert(&mut self, hash: u64, result: ScenarioResult) {
-        self.map.insert(hash, result);
+        if result.status.is_ok() {
+            if let Some(log) = &mut self.log {
+                if log.append(hash, &result).is_err() {
+                    self.persist_errors += 1;
+                }
+            }
+        }
+        self.map.insert(hash, Arc::new(result));
     }
 
     pub fn len(&self) -> usize {
@@ -68,8 +127,30 @@ impl ResultStore {
         self.misses
     }
 
+    /// What loading the backing file recovered (`None` for in-memory
+    /// stores).
+    pub fn recovery(&self) -> Option<StoreRecovery> {
+        self.recovery
+    }
+
+    /// The backing file, if this store is persistent.
+    pub fn path(&self) -> Option<&Path> {
+        self.log.as_ref().map(|l| l.path())
+    }
+
+    pub fn is_persistent(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Inserts whose file append failed (0 for healthy/persistent-less
+    /// stores).
+    pub fn persist_errors(&self) -> u64 {
+        self.persist_errors
+    }
+
     /// Drop all cached results (counters survive — they describe traffic,
-    /// not contents).
+    /// not contents). The backing file, if any, is left untouched: clear
+    /// empties the session view, it does not destroy the durable cache.
     pub fn clear(&mut self) {
         self.map.clear();
     }
@@ -106,6 +187,8 @@ mod tests {
         assert_eq!(store.hits(), 1);
         assert_eq!(store.misses(), 2);
         assert_eq!(store.len(), 1);
+        assert!(!store.is_persistent());
+        assert!(store.recovery().is_none());
     }
 
     #[test]
@@ -115,5 +198,67 @@ mod tests {
         assert!(store.contains(7));
         assert!(!store.contains(8));
         assert_eq!(store.hits() + store.misses(), 0);
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        let mut store = ResultStore::new();
+        store.insert(3, dummy("shared"));
+        let a = store.fetch(3).unwrap();
+        let b = store.fetch(3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "a hit is a refcount bump, not a copy");
+    }
+
+    #[test]
+    fn failed_results_cache_in_memory_but_never_persist() {
+        let path = std::env::temp_dir().join(format!(
+            "igr-store-failpersist-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            let mut failed = dummy("bad");
+            failed.status = RunStatus::Failed("transient panic".into());
+            store.insert(1, failed);
+            store.insert(2, dummy("good"));
+            // The session cache holds both (no same-process re-burn)…
+            assert!(store.contains(1));
+            assert!(store.contains(2));
+        }
+        // …but a fresh process only inherits the completed result: the
+        // failure gets its retry.
+        let store = ResultStore::open(&path).unwrap();
+        assert!(!store.contains(1));
+        assert!(store.contains(2));
+        assert_eq!(store.recovery().unwrap().loaded, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let path = std::env::temp_dir().join(format!(
+            "igr-store-unit-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            assert_eq!(store.recovery().unwrap().loaded, 0);
+            store.insert(11, dummy("one"));
+            store.insert(22, dummy("two"));
+            assert_eq!(store.persist_errors(), 0);
+        }
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            assert_eq!(store.recovery().unwrap().loaded, 2);
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.fetch(11).unwrap().name, "one");
+            assert_eq!(store.fetch(22).unwrap().name, "two");
+            assert_eq!(store.path().unwrap(), path.as_path());
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

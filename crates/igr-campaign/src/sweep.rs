@@ -161,25 +161,10 @@ impl Sweep {
                     (0..n).map(|i| vec![i; self.axes.len()]).collect()
                 }
             }
-            ExpandMode::Sampled { count, seed } => {
-                // Seeded Fisher–Yates prefix over the flattened product.
-                let mut flat: Vec<usize> = (0..total).collect();
-                let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
-                let mut next = || {
-                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                    let mut z = state;
-                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                    z ^ (z >> 31)
-                };
-                let take = count.min(total);
-                for i in 0..take {
-                    let j = i + (next() % (total - i) as u64) as usize;
-                    flat.swap(i, j);
-                }
-                flat.truncate(take);
-                flat.into_iter().map(|f| self.unflatten(f)).collect()
-            }
+            ExpandMode::Sampled { count, seed } => sampled_prefix(total, count, seed)
+                .into_iter()
+                .map(|f| self.unflatten(f))
+                .collect(),
         };
         indices
             .into_iter()
@@ -205,6 +190,49 @@ impl Sweep {
         }
         idx
     }
+}
+
+/// A seeded uniform sample (without replacement) of `count` flat indices
+/// from `0..total`: a Fisher–Yates prefix driven by splitmix64.
+///
+/// The per-step draw uses Lemire's multiply-shift bounded sampling with
+/// rejection, so every index in the shrinking `i..total` window is exactly
+/// equally likely — a plain `next() % bound` is biased toward small values
+/// whenever `bound` does not divide 2^64, which silently skews which corner
+/// of a parameter box a sampled campaign covers.
+fn sampled_prefix(total: usize, count: usize, seed: u64) -> Vec<usize> {
+    let mut flat: Vec<usize> = (0..total).collect();
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    // Lemire 2019 (doi:10.1145/3230636): u64 → [0, bound) via the high half
+    // of a 128-bit product, rejecting the small sliver of inputs whose low
+    // half would make some residues appear one extra time.
+    let mut bounded = move |bound: u64| -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (next() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound; // (2^64 - bound) % bound
+            while lo < threshold {
+                m = (next() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    };
+    let take = count.min(total);
+    for i in 0..take {
+        let j = i + bounded((total - i) as u64) as usize;
+        flat.swap(i, j);
+    }
+    flat.truncate(take);
+    flat
 }
 
 /// The ISSUE's canonical example: engine-out × gimbal angle × backpressure
@@ -340,6 +368,45 @@ mod tests {
             ..full
         };
         assert_eq!(over.expand().len(), 24);
+    }
+
+    #[test]
+    fn bounded_sampling_is_uniform_across_the_window() {
+        // Distribution test for the Lemire bounded draw that replaced the
+        // modulo-biased `next() % bound`: the first Fisher–Yates pick over a
+        // 7-wide window must land on each index equally often across seeds.
+        // 7000 trials, expected 1000 each, σ = √(7000·(1/7)(6/7)) ≈ 29 —
+        // the ±150 band is > 5σ, so a false failure is ~impossible while a
+        // systematic skew (what modulo bias produces at large bounds) fails.
+        const TOTAL: usize = 7;
+        const TRIALS: u64 = 7000;
+        let mut counts = [0usize; TOTAL];
+        for seed in 0..TRIALS {
+            let picks = sampled_prefix(TOTAL, 1, seed);
+            counts[picks[0]] += 1;
+        }
+        let expected = TRIALS as f64 / TOTAL as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 150.0,
+                "index {i} drawn {c} times, expected ~{expected}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_prefix_is_a_permutation_prefix() {
+        // Every draw stays in range, without replacement, for many window
+        // sizes (incl. bounds adjacent to powers of two, where rejection
+        // thresholds are exercised).
+        for total in [1usize, 2, 3, 5, 8, 9, 15, 16, 17, 100] {
+            let picks = sampled_prefix(total, total, 42);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), total, "total={total}: {picks:?}");
+            assert!(sorted.iter().all(|&i| i < total));
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! The campaign engine end to end: expand an engine-out × gimbal ×
 //! backpressure sweep on the 3-engine array, execute it on the sharded
-//! worker pool, demonstrate the content-hash cache on resubmission, and
-//! emit one aggregated JSON/CSV report.
+//! worker pool **against a persistent on-disk result store**, demonstrate
+//! the content-hash cache on resubmission, stream a follow-up batch through
+//! the async job queue, and emit one aggregated JSON/CSV report.
 //!
 //! ```bash
+//! cargo run --release --example campaign
+//! # run it again: the store file makes the rerun all cache hits —
+//! # a *second process* executes 0 scenarios.
 //! cargo run --release --example campaign
 //! ```
 //!
@@ -12,7 +16,10 @@
 //! varies over the ascent — a *campaign* over that parameter box, not one
 //! hero run.
 
-use igr::campaign::{sweep, Campaign, ExecConfig};
+use igr::campaign::{sweep, Campaign, CampaignQueue, ExecConfig, ResultStore};
+use std::time::Duration;
+
+const STORE_PATH: &str = "target/campaign_store.jsonl";
 
 fn main() {
     // ---- 1. Declare the sweep: 4 engine-out sets × 3 gimbal angles × 2
@@ -34,10 +41,26 @@ fn main() {
         scenarios.len()
     );
 
-    // ---- 2. Execute on the sharded worker pool. -------------------------
-    let mut campaign = Campaign::new(ExecConfig::default());
+    // ---- 2. Open the persistent store and execute on the worker pool. ---
+    //         Content hashes are stable across processes, so results from
+    //         any earlier run of this example (or of campaign_report) are
+    //         served from the file instead of re-simulated.
+    let store = ResultStore::open(STORE_PATH).expect("open campaign store file");
+    let recovered = store.recovery().unwrap_or_default();
+    println!(
+        "store {STORE_PATH}: {} results recovered, {} stale/corrupt lines skipped",
+        recovered.loaded, recovered.skipped
+    );
+    let warm_start = store.len() > 0;
+    let mut campaign = Campaign::with_store(ExecConfig::default(), store);
     let report = campaign.run(&scenarios);
     println!("{}", report.to_text());
+    if warm_start {
+        println!(
+            "warm start: {} executed, {} cache hits served from the store file\n",
+            report.executed, report.cache_hits
+        );
+    }
 
     // ---- 3. Resubmit the same sweep: served from the content-hash cache. -
     let resubmit = campaign.run(&scenarios);
@@ -58,7 +81,37 @@ fn main() {
         "acceptance: >= 1 cache hit demonstrated"
     );
 
-    // ---- 4. One aggregated machine-readable report. ---------------------
+    // ---- 4. The async front end: stream a follow-up batch through the
+    //         job queue while results arrive incrementally. The queue
+    //         shares the same persistent store, so these land in the file
+    //         too (and are cache hits on the next process).
+    let followup = sweep::engine_out_gimbal_backpressure(
+        24,
+        60,
+        &[vec![], vec![0, 2]], // includes a two-engine-out corner case
+        &[0.09],
+        &[0.25],
+    )
+    .expand();
+    let queue = CampaignQueue::with_store(ExecConfig::default(), campaign.into_store());
+    let jobs = queue.submit_all(&followup, 0);
+    println!("\nqueue: {} follow-up scenarios submitted", jobs.len());
+    let mut streamed = 0;
+    while streamed < jobs.len() {
+        let (id, result, cached) = queue
+            .next_completed(Duration::from_secs(600))
+            .expect("queued scenario completes");
+        streamed += 1;
+        println!(
+            "  [{streamed}/{}] job {id}: {} ({})",
+            jobs.len(),
+            result.name,
+            if cached { "cache" } else { "executed" }
+        );
+    }
+    let store = queue.shutdown();
+
+    // ---- 5. One aggregated machine-readable report. ---------------------
     if let Some(worst) = report.worst_base_heating() {
         let b = worst.result.base_heating.as_ref().unwrap();
         println!(
@@ -71,5 +124,8 @@ fn main() {
     std::fs::create_dir_all("target").expect("create target/");
     std::fs::write(json_path, report.to_json()).expect("write JSON report");
     std::fs::write(csv_path, report.to_csv()).expect("write CSV report");
-    println!("\nwrote {json_path} and {csv_path}");
+    println!(
+        "\nwrote {json_path} and {csv_path}; {} cached results persisted in {STORE_PATH}",
+        store.len()
+    );
 }

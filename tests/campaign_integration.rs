@@ -1,16 +1,38 @@
 //! Cross-crate integration of the campaign subsystem: spec hashing through
-//! the facade, sweep expansion counts, cached execution, and report output.
+//! the facade, sweep expansion counts, cached execution, persistence round
+//! trips (including corrupted store files), the async job queue, and report
+//! output.
 
 use igr::campaign::{
-    sweep, BaseCase, Campaign, Delta, ExecConfig, ScenarioSpec, SchemeKind, Sweep,
+    sweep, BaseCase, Campaign, CampaignQueue, Delta, ExecConfig, JobState, ResultStore,
+    ScenarioSpec, SchemeKind, Sweep,
 };
 use igr::prec::PrecisionMode;
+use std::path::PathBuf;
+use std::time::Duration;
 
 fn quick(base: BaseCase, n: usize) -> ScenarioSpec {
     let mut s = ScenarioSpec::new(base, n);
     s.warmup = 1;
     s.steps = 2;
     s
+}
+
+/// A per-test scratch store file (unique per process + test name).
+fn store_path(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "igr-campaign-it-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn small_exec() -> ExecConfig {
+    ExecConfig {
+        workers: 2,
+        threads_per_worker: 1,
+    }
 }
 
 #[test]
@@ -77,6 +99,164 @@ fn campaign_executes_dedups_and_reports_through_the_facade() {
     assert!(json.contains("\"executed\": 2"));
     assert_eq!(json.matches("\"name\"").count(), 4);
     assert_eq!(report.to_csv().lines().count(), 5);
+}
+
+#[test]
+fn persisted_store_round_trips_a_campaign_across_sessions() {
+    let path = store_path("roundtrip");
+    let batch = vec![
+        quick(BaseCase::SteepeningWave { amp: 0.2 }, 48),
+        quick(BaseCase::EngineRow2d { engines: 3 }, 16),
+    ];
+
+    // Session 1: a fresh store executes everything.
+    let first = {
+        let mut campaign = Campaign::open(small_exec(), &path).unwrap();
+        assert_eq!(campaign.store().recovery().unwrap().loaded, 0);
+        let report = campaign.run(&batch);
+        assert_eq!(report.executed, 2);
+        assert_eq!(campaign.store().persist_errors(), 0);
+        report
+    };
+
+    // Session 2 (a new "process": nothing shared but the file): the same
+    // batch is all cache hits, and the served physics is bit-identical to
+    // what session 1 measured.
+    let mut campaign = Campaign::open(small_exec(), &path).unwrap();
+    assert_eq!(campaign.store().recovery().unwrap().loaded, 2);
+    let report = campaign.run(&batch);
+    assert_eq!(report.executed, 0, "a second process re-simulates nothing");
+    assert_eq!(report.cache_hits, 2);
+    assert!(report.rows.iter().all(|r| r.cached));
+    for (a, b) in first.rows.iter().zip(&report.rows) {
+        assert_eq!(a.result.hash_hex, b.result.hash_hex);
+        assert_eq!(a.result.name, b.result.name);
+        assert_eq!(
+            a.result.mass_drift.to_bits(),
+            b.result.mass_drift.to_bits(),
+            "persisted physics is exact"
+        );
+        assert_eq!(
+            a.result.energy_drift.to_bits(),
+            b.result.energy_drift.to_bits()
+        );
+        assert_eq!(a.result.status, b.result.status);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_and_truncated_store_files_degrade_to_smaller_caches() {
+    let path = store_path("corrupt");
+    let batch = vec![
+        quick(BaseCase::SteepeningWave { amp: 0.2 }, 48),
+        quick(BaseCase::SteepeningWave { amp: 0.2 }, 64),
+    ];
+    {
+        let mut campaign = Campaign::open(small_exec(), &path).unwrap();
+        assert_eq!(campaign.run(&batch).executed, 2);
+    }
+
+    // Corrupt the first line (flip a byte inside it) and tear the tail the
+    // way a crash mid-append would.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[10] ^= 0x5a;
+    bytes.extend_from_slice(b"{\"v\":2,\"hash\":\"00000"); // no newline
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Re-open: one valid line survives, two are skipped; only the lost
+    // scenario re-executes, and its re-run heals the store file.
+    {
+        let mut campaign = Campaign::open(small_exec(), &path).unwrap();
+        let rec = campaign.store().recovery().unwrap();
+        assert_eq!(rec.loaded, 1);
+        assert_eq!(rec.skipped, 2);
+        let report = campaign.run(&batch);
+        assert_eq!(report.executed, 1, "only the corrupted entry re-runs");
+        assert_eq!(report.cache_hits, 1);
+    }
+    {
+        let campaign = Campaign::open(small_exec(), &path).unwrap();
+        assert_eq!(
+            campaign.store().recovery().unwrap().loaded,
+            2,
+            "the healed file carries both results again"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn queue_streams_a_growing_sweep_with_submit_poll_cancel() {
+    // Manual-mode queue (caller-driven, deterministic) over a persistent
+    // store: the "still-growing sweep" arrives in waves, one queued job is
+    // cancelled, priorities reorder the rest, and every completed result
+    // lands in the store file.
+    let path = store_path("queue");
+    let queue = CampaignQueue::manual(ResultStore::open(&path).unwrap());
+
+    // Wave 1: two scenarios, normal priority.
+    let a = queue.submit(&quick(BaseCase::SteepeningWave { amp: 0.2 }, 48), 0);
+    let b = queue.submit(&quick(BaseCase::SteepeningWave { amp: 0.2 }, 56), 0);
+    assert!(matches!(queue.poll(a), Some(JobState::Queued { .. })));
+
+    // The sweep grows while the queue already has work: an urgent
+    // addition outranks wave 1, and one wave-1 job is cancelled.
+    let urgent = queue.submit(&quick(BaseCase::SteepeningWave { amp: 0.2 }, 64), 5);
+    assert!(queue.cancel(b));
+    assert!(matches!(queue.poll(b), Some(JobState::Cancelled)));
+
+    assert_eq!(queue.run_next(), Some(urgent), "priority first");
+    assert_eq!(queue.run_next(), Some(a));
+    assert_eq!(queue.run_next(), None, "cancelled job never runs");
+
+    // Streaming order matches completion order.
+    let (id1, r1, cached1) = queue.next_completed(Duration::from_secs(10)).unwrap();
+    let (id2, _, _) = queue.next_completed(Duration::from_secs(10)).unwrap();
+    assert_eq!((id1, cached1), (urgent, false));
+    assert_eq!(id2, a);
+    assert!(r1.status.is_ok());
+
+    // Resubmitting completed physics is an immediate cache hit…
+    let rehit = queue.submit(&quick(BaseCase::SteepeningWave { amp: 0.2 }, 64), 0);
+    assert!(matches!(
+        queue.poll(rehit),
+        Some(JobState::Done { cached: true, .. })
+    ));
+
+    // …and the two executed results survived into the store file.
+    let store = queue.shutdown();
+    assert_eq!(store.len(), 2);
+    let reopened = ResultStore::open(&path).unwrap();
+    assert_eq!(reopened.recovery().unwrap().loaded, 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn background_queue_drains_while_submissions_continue() {
+    let queue = CampaignQueue::with_store(small_exec(), ResultStore::new());
+    let mut ids = queue.submit_all(
+        &[
+            quick(BaseCase::SteepeningWave { amp: 0.2 }, 48),
+            quick(BaseCase::SteepeningWave { amp: 0.2 }, 56),
+        ],
+        0,
+    );
+    // Interleave: consume one completion, then grow the sweep.
+    let (first, _, _) = queue
+        .next_completed(Duration::from_secs(60))
+        .expect("background workers make progress");
+    assert!(ids.contains(&first));
+    ids.extend(queue.submit_all(&[quick(BaseCase::SteepeningWave { amp: 0.2 }, 72)], 2));
+    assert!(queue.wait_all(Duration::from_secs(60)), "queue drains");
+    let mut done = 1;
+    while queue.next_completed(Duration::from_millis(100)).is_some() {
+        done += 1;
+    }
+    assert_eq!(done, ids.len());
+    for id in ids {
+        assert!(matches!(queue.poll(id), Some(JobState::Done { .. })));
+    }
 }
 
 #[test]
