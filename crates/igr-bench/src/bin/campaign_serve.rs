@@ -1,0 +1,87 @@
+//! Queue-native campaign server: front a shared result store with the
+//! line-delimited JSON wire protocol, so campaigns can be submitted from
+//! other processes (and other machines) and served from one content-hash
+//! cache.
+//!
+//! ```bash
+//! # serve a persistent store on a fixed port:
+//! cargo run --release -p igr-bench --bin campaign_serve -- \
+//!     --addr 127.0.0.1:7171 --store target/campaign_store.jsonl --workers 4
+//!
+//! # poke it from a shell (one JSON object per line; see docs/PROTOCOL.md):
+//! printf '%s\n' '{"op":"hello","proto":1,"hash_v":2}' '{"op":"stats"}' \
+//!     '{"op":"shutdown"}' | nc 127.0.0.1 7171
+//! ```
+//!
+//! The server exits when a client sends the `shutdown` verb; the store file
+//! keeps every result computed while serving, ready for the next process.
+
+use igr_campaign::{CampaignServer, ExecConfig, ResultStore, PROTO_VERSION};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("{name} takes a value");
+                    std::process::exit(2);
+                })
+            })
+            .cloned()
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: campaign_serve [--addr HOST:PORT] [--store FILE.jsonl] [--workers N]\n\
+             \n\
+             --addr     listen address (default 127.0.0.1:7171; port 0 = OS-assigned)\n\
+             --store    JSON-lines result store to share (default: in-memory)\n\
+             --workers  background execution workers (default: ExecConfig::default())"
+        );
+        return;
+    }
+    let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+
+    let store = match flag("--store") {
+        Some(path) => {
+            let store = ResultStore::open(&path).expect("open store file");
+            let rec = store.recovery().unwrap_or_default();
+            println!(
+                "store {path}: {} results recovered, {} stale/corrupt lines skipped, \
+                 {} dead lines",
+                rec.loaded,
+                rec.skipped,
+                store.dead_lines()
+            );
+            store
+        }
+        None => {
+            println!("store: in-memory (pass --store FILE.jsonl to persist results)");
+            ResultStore::new()
+        }
+    };
+
+    let cfg = match flag("--workers") {
+        Some(n) => ExecConfig::with_workers(n.parse().expect("--workers takes an integer")),
+        None => ExecConfig::default(),
+    };
+
+    let server = CampaignServer::bind(&addr, cfg, store).expect("bind listen address");
+    println!(
+        "campaign_serve: listening on {} (proto v{PROTO_VERSION}, {} workers)",
+        server.local_addr(),
+        cfg.workers
+    );
+    println!("send {{\"op\":\"shutdown\"}} (after a hello) to stop gracefully");
+
+    let store = server.join();
+    println!(
+        "shut down: {} results in the store{}",
+        store.len(),
+        store
+            .path()
+            .map(|p| format!(" ({} persisted)", p.display()))
+            .unwrap_or_default()
+    );
+}

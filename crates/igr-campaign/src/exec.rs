@@ -47,6 +47,7 @@ impl Default for ExecConfig {
 }
 
 impl ExecConfig {
+    /// `workers` concurrent scenario workers, solver threads split evenly.
     pub fn with_workers(workers: usize) -> Self {
         assert!(workers >= 1, "need at least one worker");
         ExecConfig {
@@ -75,6 +76,7 @@ pub struct Campaign {
 }
 
 impl Campaign {
+    /// A campaign session over a fresh in-memory result cache.
     pub fn new(cfg: ExecConfig) -> Self {
         Campaign {
             cfg,

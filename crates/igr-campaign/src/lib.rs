@@ -27,6 +27,12 @@
 //! * [`queue`] — [`CampaignQueue`]: the async front end — submit/poll/
 //!   cancel with priorities and incremental result streaming, so long
 //!   campaigns run while sweeps are still being authored;
+//! * [`protocol`] — the line-delimited JSON wire format (versioned
+//!   handshake, message grammar, error codes; normative spec in
+//!   `docs/PROTOCOL.md`);
+//! * [`serve`] — [`CampaignServer`]/[`CampaignClient`]: the queue exposed
+//!   over TCP — campaigns submitted from other processes and machines,
+//!   coalesced across connections, sharing one store file;
 //! * [`report`] — [`CampaignReport`]: per-scenario grind, conservation
 //!   drift, and base-heating diagnostics aggregated into JSON/CSV/text.
 //!
@@ -46,18 +52,24 @@
 //! std::fs::write("campaign.json", report.to_json()).unwrap();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod exec;
 pub mod persist;
+pub mod protocol;
 pub mod queue;
 pub mod report;
+pub mod serve;
 pub mod spec;
 pub mod store;
 pub mod sweep;
 
 pub use exec::{run_scenario, run_scenario_caught, Campaign, ExecConfig};
 pub use persist::StoreRecovery;
+pub use protocol::{ErrorCode, ServerStats, StreamedResult, WireJobState, PROTO_VERSION};
 pub use queue::{CampaignQueue, JobId, JobState};
 pub use report::{CampaignReport, ReportRow, RunStatus, ScenarioResult};
+pub use serve::{CampaignClient, CampaignServer, SubmitAck};
 pub use spec::{BaseCase, ScenarioSpec, SchemeKind, SpecError, CONTENT_HASH_VERSION};
-pub use store::ResultStore;
+pub use store::{CompactStats, ResultStore, COMPACT_MIN_LINES};
 pub use sweep::{Delta, ExpandMode, ParamAxis, Sweep};

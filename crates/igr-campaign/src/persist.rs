@@ -11,7 +11,8 @@
 //!   `"hash"` (16 hex digits) followed by the flattened [`ScenarioResult`].
 //!   Floats are written in Rust's shortest round-trip decimal form; the
 //!   non-finite values JSON cannot express are the strings `"NaN"`,
-//!   `"inf"`, and `"-inf"`.
+//!   `"inf"`, and `"-inf"` (a NaN with a non-default payload is
+//!   `"NaN:<16 hex digits>"`, so every f64 bit pattern round-trips).
 //! * **Load-on-open** ([`open`]) — every parseable, version-matching line
 //!   becomes a cache entry (last write wins on duplicate hashes, so
 //!   re-appended results converge on the most recent). Unparseable lines —
@@ -61,16 +62,46 @@ impl AppendLog {
         self.file.flush()
     }
 
+    /// The backing file's path.
     pub fn path(&self) -> &Path {
         &self.path
     }
 }
 
+/// Atomically replace the store file at `path` with exactly `entries` (one
+/// line each, in the given order): write a sibling temp file, fsync-flush,
+/// and rename it over the original. Returns a fresh append handle on the
+/// rewritten file. This is [`compact`](crate::store::ResultStore::compact)'s
+/// engine — a crash at any point leaves either the old file or the new one,
+/// never a mix.
+pub(crate) fn rewrite(path: &Path, entries: &[(u64, &ScenarioResult)]) -> io::Result<AppendLog> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".compact-tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        for (hash, result) in entries {
+            f.write_all(encode_line(*hash, result).as_bytes())?;
+        }
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    let file = OpenOptions::new().append(true).open(path)?;
+    Ok(AppendLog {
+        file,
+        path: path.to_path_buf(),
+    })
+}
+
 /// Everything [`open`] hands back: recovered entries, recovery accounting,
 /// and the append handle for future inserts.
 pub struct LoadedStore {
+    /// Every valid `(hash, result)` line, in file order (duplicates kept:
+    /// the store layer's insert order makes the last one win).
     pub entries: Vec<(u64, ScenarioResult)>,
+    /// How many lines loaded vs. were skipped.
     pub recovery: StoreRecovery,
+    /// The append handle for future inserts.
     pub log: AppendLog,
 }
 
@@ -126,6 +157,15 @@ pub fn open(path: impl AsRef<Path>) -> io::Result<LoadedStore> {
 
 /// One result as one newline-terminated JSON line.
 pub(crate) fn encode_line(hash: u64, r: &ScenarioResult) -> String {
+    let mut s = encode_result_obj(hash, r);
+    s.push('\n');
+    s
+}
+
+/// One result as one JSON object (no trailing newline) — the store-line
+/// payload, also embedded verbatim in wire-protocol responses
+/// ([`crate::protocol`]), so the two formats can never drift apart.
+pub(crate) fn encode_result_obj(hash: u64, r: &ScenarioResult) -> String {
     let mut s = String::with_capacity(320);
     s.push_str(&format!(
         "{{\"v\":{CONTENT_HASH_VERSION},\"hash\":\"{hash:016x}\",\"name\":{}",
@@ -165,16 +205,23 @@ pub(crate) fn encode_line(hash: u64, r: &ScenarioResult) -> String {
             b.cells_sampled,
         )),
     }
-    s.push_str("}\n");
+    s.push('}');
     s
 }
 
 /// Exact float encoding: Rust's `Display` for finite f64 is the shortest
 /// decimal that round-trips bit-for-bit; non-finite values (which JSON has
-/// no literal for) become tagged strings.
-fn json_f64(x: f64) -> String {
+/// no literal for) become tagged strings. The canonical quiet NaN is
+/// `"NaN"`; a NaN with any other payload is `"NaN:<16 hex digits>"` so
+/// even NaN bit patterns survive a round trip exactly.
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_nan() {
-        "\"NaN\"".into()
+        let bits = x.to_bits();
+        if bits == 0x7ff8_0000_0000_0000 {
+            "\"NaN\"".into()
+        } else {
+            format!("\"NaN:{bits:016x}\"")
+        }
     } else if x == f64::INFINITY {
         "\"inf\"".into()
     } else if x == f64::NEG_INFINITY {
@@ -184,7 +231,8 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn json_str(s: &str) -> String {
+/// JSON string literal with the escapes the store format needs.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -212,6 +260,13 @@ fn json_str(s: &str) -> String {
 pub(crate) fn decode_line(line: &str) -> Result<(u64, ScenarioResult), String> {
     let value = Json::parse(line)?;
     let obj = value.as_object().ok_or("line is not a JSON object")?;
+    decode_result_obj(obj)
+}
+
+/// Decode one store-line object (already parsed) into `(hash, result)` —
+/// shared by [`decode_line`] and the wire protocol's embedded result
+/// payloads.
+pub(crate) fn decode_result_obj(obj: &[(String, Json)]) -> Result<(u64, ScenarioResult), String> {
     let v = get(obj, "v")?.as_u64().ok_or("'v' is not an integer")?;
     if v != CONTENT_HASH_VERSION {
         return Err(format!(
@@ -279,14 +334,16 @@ pub(crate) fn decode_line(line: &str) -> Result<(u64, ScenarioResult), String> {
     Ok((hash, result))
 }
 
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+/// Field lookup in a parsed JSON object, with a "missing field" error.
+pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     obj.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing field '{key}'"))
 }
 
-fn num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+/// Required-number field lookup (accepting the tagged non-finite strings).
+pub(crate) fn num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
     get(obj, key)?
         .as_f64()
         .ok_or_else(|| format!("'{key}' is not a number"))
@@ -319,21 +376,21 @@ impl Json {
         Ok(v)
     }
 
-    fn as_object(&self) -> Option<&[(String, Json)]> {
+    pub(crate) fn as_object(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(f) => Some(f),
             _ => None,
         }
     }
 
-    fn as_array(&self) -> Option<&[Json]> {
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -341,20 +398,25 @@ impl Json {
     }
 
     /// Numbers, plus the tagged non-finite strings [`json_f64`] writes.
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
             Json::Str(s) => match s.as_str() {
-                "NaN" => Some(f64::NAN),
+                "NaN" => Some(f64::from_bits(0x7ff8_0000_0000_0000)),
                 "inf" => Some(f64::INFINITY),
                 "-inf" => Some(f64::NEG_INFINITY),
-                _ => None,
+                other => {
+                    // Payload-carrying NaN: "NaN:<16 hex digits>".
+                    let bits = u64::from_str_radix(other.strip_prefix("NaN:")?, 16).ok()?;
+                    let x = f64::from_bits(bits);
+                    x.is_nan().then_some(x)
+                }
             },
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
             _ => None,

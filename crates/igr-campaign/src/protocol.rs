@@ -1,0 +1,948 @@
+//! The campaign wire protocol: line-delimited JSON over a byte stream.
+//!
+//! This module is the *codec* — message types plus their encode/decode —
+//! shared by the TCP server and client in [`crate::serve`]. The normative
+//! specification (grammar, version negotiation, error codes, examples)
+//! lives in `docs/PROTOCOL.md`; this doc comment is the implementation
+//! summary.
+//!
+//! Framing: every message is **one JSON object on one `\n`-terminated
+//! line**, UTF-8, in the same hand-rolled JSON dialect as the store file
+//! ([`crate::persist`]) — notably, non-finite floats are the tagged strings
+//! `"NaN"` / `"inf"` / `"-inf"`, and `u64` values that may exceed 2⁵³
+//! (RNG seeds) travel as decimal strings. Result payloads embed the store's
+//! line object *verbatim*, so the wire format and the file format can never
+//! drift apart.
+//!
+//! A session is: one [`Request::Hello`] handshake (carrying
+//! [`PROTO_VERSION`] and [`CONTENT_HASH_VERSION`]; either mismatching is a
+//! [`ErrorCode::VersionMismatch`]), then any number of request/response
+//! exchanges. Every response line carries `"ok"`; failures are
+//! [`Response::Error`] with a machine-readable [`ErrorCode`] — and fail
+//! only that request, never the connection (except version mismatches and
+//! server shutdown).
+//!
+//! ```no_run
+//! use igr_campaign::protocol::{Request, Response, PROTO_VERSION};
+//! use igr_campaign::{ScenarioSpec, BaseCase, CONTENT_HASH_VERSION};
+//!
+//! let req = Request::Submit {
+//!     spec: ScenarioSpec::new(BaseCase::Sod, 64),
+//!     priority: 5,
+//! };
+//! let line = req.encode(); // one JSON line, "\n"-terminated
+//! let back = Request::decode(line.trim_end()).unwrap();
+//! assert!(matches!(back, Request::Submit { priority: 5, .. }));
+//! ```
+
+use crate::persist::{self, get, num, Json};
+use crate::queue::JobId;
+use crate::report::ScenarioResult;
+#[allow(unused_imports)] // referenced by doc links
+use crate::spec::CONTENT_HASH_VERSION;
+use crate::spec::{BaseCase, ScenarioSpec, SchemeKind};
+use igr_app::jets::GimbalSchedule;
+use igr_prec::PrecisionMode;
+
+/// Version of the wire protocol. Negotiated in the `HELLO` handshake; the
+/// server rejects clients speaking a different major version so the wire
+/// format can evolve alongside [`CONTENT_HASH_VERSION`] (which is
+/// negotiated in the same handshake — a client keyed to a different hash
+/// encoding would silently miss every cache entry).
+pub const PROTO_VERSION: u64 = 1;
+
+/// Machine-readable failure categories carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON or not a JSON object.
+    ParseError,
+    /// A request arrived before the `HELLO` handshake.
+    HandshakeRequired,
+    /// `HELLO` carried a different [`PROTO_VERSION`] or
+    /// [`CONTENT_HASH_VERSION`]. The server closes the connection after
+    /// sending this.
+    VersionMismatch,
+    /// The `"op"` field named no known verb.
+    UnknownOp,
+    /// A required field was missing or had the wrong type/range.
+    BadRequest,
+    /// `POLL`/`CANCEL` named a job id this connection never submitted.
+    UnknownJob,
+    /// `SUBMIT` carried a spec that fails [`ScenarioSpec::validate`].
+    InvalidSpec,
+    /// `COMPACT` on a server whose store has no backing file.
+    NotPersistent,
+    /// The server is shutting down; no further requests are served.
+    ShuttingDown,
+    /// The request panicked inside the server; the connection survives.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling (`"parse-error"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse-error",
+            ErrorCode::HandshakeRequired => "handshake-required",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::UnknownOp => "unknown-op",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownJob => "unknown-job",
+            ErrorCode::InvalidSpec => "invalid-spec",
+            ErrorCode::NotPersistent => "not-persistent",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse the wire spelling back; `None` for unknown codes (forward
+    /// compatibility: clients must treat unknown codes as fatal for the
+    /// request, not the connection).
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "parse-error" => ErrorCode::ParseError,
+            "handshake-required" => ErrorCode::HandshakeRequired,
+            "version-mismatch" => ErrorCode::VersionMismatch,
+            "unknown-op" => ErrorCode::UnknownOp,
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-job" => ErrorCode::UnknownJob,
+            "invalid-spec" => ErrorCode::InvalidSpec,
+            "not-persistent" => ErrorCode::NotPersistent,
+            "shutting-down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One protocol-level failure: a code plus a human-readable detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// What category of failure this is.
+    pub code: ErrorCode,
+    /// Free-form diagnostic text (never required for dispatch).
+    pub detail: String,
+}
+
+impl WireError {
+    /// Shorthand constructor.
+    pub fn new(code: ErrorCode, detail: impl Into<String>) -> Self {
+        WireError {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A client→server message.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Mandatory first message: version handshake.
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        proto: u64,
+        /// The client's [`CONTENT_HASH_VERSION`].
+        hash_version: u64,
+    },
+    /// Submit one scenario at a priority (higher runs first).
+    Submit {
+        /// The scenario to run (or serve from cache).
+        spec: ScenarioSpec,
+        /// Queue priority; higher runs first, FIFO within a level.
+        priority: i32,
+    },
+    /// Ask where a previously submitted job is in its lifecycle.
+    Poll {
+        /// Ticket returned by `SUBMIT`.
+        job: JobId,
+    },
+    /// Cancel a queued job (running/finished jobs are not interrupted).
+    Cancel {
+        /// Ticket returned by `SUBMIT`.
+        job: JobId,
+    },
+    /// Stream up to `max` completed results of this connection's jobs as
+    /// they finish, then a `stream-end` marker.
+    Stream {
+        /// Maximum results to deliver in this exchange.
+        max: usize,
+        /// Overall deadline for the exchange, milliseconds.
+        timeout_ms: u64,
+    },
+    /// Request server/store statistics.
+    Stats,
+    /// Compact the server's backing store file.
+    Compact,
+    /// Gracefully stop the server (it finishes by handing its store back
+    /// to whoever started it).
+    Shutdown,
+}
+
+impl Request {
+    /// Encode as one `\n`-terminated JSON line.
+    pub fn encode(&self) -> String {
+        let mut s = match self {
+            Request::Hello {
+                proto,
+                hash_version,
+            } => format!("{{\"op\":\"hello\",\"proto\":{proto},\"hash_v\":{hash_version}}}"),
+            Request::Submit { spec, priority } => format!(
+                "{{\"op\":\"submit\",\"priority\":{priority},\"spec\":{}}}",
+                encode_spec(spec)
+            ),
+            Request::Poll { job } => format!("{{\"op\":\"poll\",\"job\":{job}}}"),
+            Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
+            Request::Stream { max, timeout_ms } => {
+                format!("{{\"op\":\"stream\",\"max\":{max},\"timeout_ms\":{timeout_ms}}}")
+            }
+            Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Compact => "{\"op\":\"compact\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        };
+        s.push('\n');
+        s
+    }
+
+    /// Decode one request line (without its trailing newline).
+    pub fn decode(line: &str) -> Result<Request, WireError> {
+        let value = Json::parse(line)
+            .map_err(|e| WireError::new(ErrorCode::ParseError, format!("bad JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| WireError::new(ErrorCode::ParseError, "request is not a JSON object"))?;
+        let op = get(obj, "op")
+            .and_then(|v| v.as_str().ok_or_else(|| "'op' is not a string".into()))
+            .map_err(|e| WireError::new(ErrorCode::ParseError, e))?;
+        let bad = |detail: String| WireError::new(ErrorCode::BadRequest, detail);
+        match op {
+            "hello" => Ok(Request::Hello {
+                proto: req_u64(obj, "proto").map_err(bad)?,
+                hash_version: req_u64(obj, "hash_v").map_err(bad)?,
+            }),
+            "submit" => {
+                let priority = req_u64_signed(obj, "priority").map_err(bad)?;
+                let spec_json = get(obj, "spec").map_err(bad)?;
+                let spec = decode_spec_json(spec_json)
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, format!("spec: {e}")))?;
+                Ok(Request::Submit { spec, priority })
+            }
+            "poll" => Ok(Request::Poll {
+                job: req_u64(obj, "job").map_err(bad)?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: req_u64(obj, "job").map_err(bad)?,
+            }),
+            "stream" => Ok(Request::Stream {
+                max: req_u64(obj, "max").map_err(bad)? as usize,
+                timeout_ms: req_u64(obj, "timeout_ms").map_err(bad)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "compact" => Ok(Request::Compact),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WireError::new(
+                ErrorCode::UnknownOp,
+                format!("unknown op '{other}'"),
+            )),
+        }
+    }
+}
+
+/// A job's lifecycle state as reported over the wire (`POLL` responses).
+#[derive(Clone, Debug)]
+pub enum WireJobState {
+    /// Waiting for a worker at this priority.
+    Queued {
+        /// Current effective priority of the pending execution.
+        priority: i32,
+    },
+    /// A worker is executing it (or the execution it coalesced onto).
+    Running,
+    /// Cancelled while queued; it will never produce a result.
+    Cancelled,
+    /// Finished; the result travels inline.
+    Done {
+        /// The measured (or cache-served) result.
+        result: ScenarioResult,
+        /// True when served from the store or a coalesced execution.
+        cached: bool,
+    },
+}
+
+/// Server/store statistics (`STATS` responses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The server's [`PROTO_VERSION`].
+    pub proto: u64,
+    /// The server's [`CONTENT_HASH_VERSION`].
+    pub hash_version: u64,
+    /// Results in the store (memory view, after last-write-wins).
+    pub entries: usize,
+    /// Store lookups that found an entry.
+    pub hits: u64,
+    /// Store lookups that found nothing.
+    pub misses: u64,
+    /// Executions the queue actually ran (cache hits excluded).
+    pub executed: u64,
+    /// Executions currently queued or running.
+    pub outstanding: usize,
+}
+
+/// One streamed completion (`STREAM` responses).
+#[derive(Clone, Debug)]
+pub struct StreamedResult {
+    /// The ticket this result answers.
+    pub job: JobId,
+    /// True when served from the store or a coalesced execution.
+    pub cached: bool,
+    /// The content hash the result is stored under.
+    pub hash: u64,
+    /// The result itself.
+    pub result: ScenarioResult,
+}
+
+/// A server→client message.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Successful handshake, echoing the server's versions.
+    Hello {
+        /// The server's [`PROTO_VERSION`].
+        proto: u64,
+        /// The server's [`CONTENT_HASH_VERSION`].
+        hash_version: u64,
+    },
+    /// `SUBMIT` accepted.
+    Submitted {
+        /// Ticket for `POLL`/`CANCEL`/`STREAM`.
+        job: JobId,
+        /// The spec's content hash (16 hex digits).
+        hash_hex: String,
+        /// False when the job was born `Done` from the cache.
+        queued: bool,
+    },
+    /// `POLL` answer.
+    Polled {
+        /// The polled ticket.
+        job: JobId,
+        /// Where the job is now.
+        state: WireJobState,
+    },
+    /// `CANCEL` answer.
+    Cancelled {
+        /// The cancelled ticket.
+        job: JobId,
+        /// True when the job will now never run.
+        cancelled: bool,
+    },
+    /// One streamed completion (followed by more, then `StreamEnd`).
+    Result(StreamedResult),
+    /// End of one `STREAM` exchange.
+    StreamEnd {
+        /// Results delivered in this exchange.
+        delivered: usize,
+    },
+    /// `STATS` answer.
+    Stats(ServerStats),
+    /// `COMPACT` answer.
+    Compacted {
+        /// Live entries the rewritten store file holds.
+        live: usize,
+        /// Dead lines the rewrite dropped.
+        dropped_lines: usize,
+    },
+    /// `SHUTDOWN` acknowledged; the server closes the connection next.
+    ShuttingDown,
+    /// The request failed; the connection stays usable (except
+    /// [`ErrorCode::VersionMismatch`] / [`ErrorCode::ShuttingDown`]).
+    Error(WireError),
+}
+
+impl Response {
+    /// Encode as one `\n`-terminated JSON line.
+    pub fn encode(&self) -> String {
+        let mut s = match self {
+            Response::Hello {
+                proto,
+                hash_version,
+            } => format!(
+                "{{\"ok\":true,\"op\":\"hello\",\"proto\":{proto},\"hash_v\":{hash_version}}}"
+            ),
+            Response::Submitted {
+                job,
+                hash_hex,
+                queued,
+            } => format!(
+                "{{\"ok\":true,\"op\":\"submit\",\"job\":{job},\"hash\":\"{hash_hex}\",\
+                 \"queued\":{queued}}}"
+            ),
+            Response::Polled { job, state } => match state {
+                WireJobState::Queued { priority } => format!(
+                    "{{\"ok\":true,\"op\":\"poll\",\"job\":{job},\"state\":\"queued\",\
+                     \"priority\":{priority}}}"
+                ),
+                WireJobState::Running => {
+                    format!("{{\"ok\":true,\"op\":\"poll\",\"job\":{job},\"state\":\"running\"}}")
+                }
+                WireJobState::Cancelled => {
+                    format!("{{\"ok\":true,\"op\":\"poll\",\"job\":{job},\"state\":\"cancelled\"}}")
+                }
+                WireJobState::Done { result, cached } => {
+                    let hash = u64::from_str_radix(&result.hash_hex, 16).unwrap_or(0);
+                    format!(
+                        "{{\"ok\":true,\"op\":\"poll\",\"job\":{job},\"state\":\"done\",\
+                         \"cached\":{cached},\"result\":{}}}",
+                        persist::encode_result_obj(hash, result)
+                    )
+                }
+            },
+            Response::Cancelled { job, cancelled } => {
+                format!("{{\"ok\":true,\"op\":\"cancel\",\"job\":{job},\"cancelled\":{cancelled}}}")
+            }
+            Response::Result(r) => format!(
+                "{{\"ok\":true,\"op\":\"result\",\"job\":{},\"cached\":{},\"result\":{}}}",
+                r.job,
+                r.cached,
+                persist::encode_result_obj(r.hash, &r.result)
+            ),
+            Response::StreamEnd { delivered } => {
+                format!("{{\"ok\":true,\"op\":\"stream-end\",\"delivered\":{delivered}}}")
+            }
+            Response::Stats(st) => format!(
+                "{{\"ok\":true,\"op\":\"stats\",\"proto\":{},\"hash_v\":{},\"entries\":{},\
+                 \"hits\":{},\"misses\":{},\"executed\":{},\"outstanding\":{}}}",
+                st.proto,
+                st.hash_version,
+                st.entries,
+                st.hits,
+                st.misses,
+                st.executed,
+                st.outstanding
+            ),
+            Response::Compacted {
+                live,
+                dropped_lines,
+            } => format!(
+                "{{\"ok\":true,\"op\":\"compact\",\"live\":{live},\"dropped\":{dropped_lines}}}"
+            ),
+            Response::ShuttingDown => "{\"ok\":true,\"op\":\"shutdown\"}".to_string(),
+            Response::Error(e) => format!(
+                "{{\"ok\":false,\"code\":\"{}\",\"detail\":{}}}",
+                e.code.as_str(),
+                persist::json_str(&e.detail)
+            ),
+        };
+        s.push('\n');
+        s
+    }
+
+    /// Decode one response line (without its trailing newline).
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let value = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let obj = value.as_object().ok_or("response is not a JSON object")?;
+        let ok = match get(obj, "ok")? {
+            Json::Bool(b) => *b,
+            _ => return Err("'ok' is not a boolean".into()),
+        };
+        if !ok {
+            let code_str = get(obj, "code")?.as_str().ok_or("'code' is not a string")?;
+            let code = ErrorCode::parse(code_str).unwrap_or(ErrorCode::Internal);
+            let detail = get(obj, "detail")?
+                .as_str()
+                .ok_or("'detail' is not a string")?
+                .to_string();
+            return Ok(Response::Error(WireError { code, detail }));
+        }
+        let op = get(obj, "op")?.as_str().ok_or("'op' is not a string")?;
+        match op {
+            "hello" => Ok(Response::Hello {
+                proto: req_u64(obj, "proto")?,
+                hash_version: req_u64(obj, "hash_v")?,
+            }),
+            "submit" => Ok(Response::Submitted {
+                job: req_u64(obj, "job")?,
+                hash_hex: get(obj, "hash")?
+                    .as_str()
+                    .ok_or("'hash' is not a string")?
+                    .to_string(),
+                queued: req_bool(obj, "queued")?,
+            }),
+            "poll" => {
+                let job = req_u64(obj, "job")?;
+                let state = match get(obj, "state")?.as_str() {
+                    Some("queued") => WireJobState::Queued {
+                        priority: req_u64_signed(obj, "priority")?,
+                    },
+                    Some("running") => WireJobState::Running,
+                    Some("cancelled") => WireJobState::Cancelled,
+                    Some("done") => {
+                        let (_, result) = decode_embedded_result(obj)?;
+                        WireJobState::Done {
+                            result,
+                            cached: req_bool(obj, "cached")?,
+                        }
+                    }
+                    _ => return Err("unknown poll state".into()),
+                };
+                Ok(Response::Polled { job, state })
+            }
+            "cancel" => Ok(Response::Cancelled {
+                job: req_u64(obj, "job")?,
+                cancelled: req_bool(obj, "cancelled")?,
+            }),
+            "result" => {
+                let (hash, result) = decode_embedded_result(obj)?;
+                Ok(Response::Result(StreamedResult {
+                    job: req_u64(obj, "job")?,
+                    cached: req_bool(obj, "cached")?,
+                    hash,
+                    result,
+                }))
+            }
+            "stream-end" => Ok(Response::StreamEnd {
+                delivered: req_u64(obj, "delivered")? as usize,
+            }),
+            "stats" => Ok(Response::Stats(ServerStats {
+                proto: req_u64(obj, "proto")?,
+                hash_version: req_u64(obj, "hash_v")?,
+                entries: req_u64(obj, "entries")? as usize,
+                hits: req_u64(obj, "hits")?,
+                misses: req_u64(obj, "misses")?,
+                executed: req_u64(obj, "executed")?,
+                outstanding: req_u64(obj, "outstanding")? as usize,
+            })),
+            "compact" => Ok(Response::Compacted {
+                live: req_u64(obj, "live")? as usize,
+                dropped_lines: req_u64(obj, "dropped")? as usize,
+            }),
+            "shutdown" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown response op '{other}'")),
+        }
+    }
+}
+
+fn decode_embedded_result(obj: &[(String, Json)]) -> Result<(u64, ScenarioResult), String> {
+    let result_obj = get(obj, "result")?
+        .as_object()
+        .ok_or("'result' is not an object")?;
+    persist::decode_result_obj(result_obj)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-spec codec
+// ---------------------------------------------------------------------------
+
+/// Encode a [`ScenarioSpec`] as one JSON object (no newline). Floats use
+/// the store's bit-exact encoding (shortest decimal; `"NaN"`/`"inf"`/
+/// `"-inf"` for non-finite values); the RNG seed travels as a decimal
+/// string because it may exceed JSON's 2⁵³ integer range. Guaranteed to
+/// round-trip through [`decode_spec`] bit-for-bit — in particular
+/// preserving [`ScenarioSpec::content_hash`] — which the wire-codec
+/// property test pins down.
+pub fn encode_spec(spec: &ScenarioSpec) -> String {
+    let f = persist::json_f64;
+    let mut s = String::with_capacity(256);
+    s.push('{');
+    match &spec.label {
+        None => s.push_str("\"label\":null"),
+        Some(l) => s.push_str(&format!("\"label\":{}", persist::json_str(l))),
+    }
+    s.push_str(",\"base\":");
+    match &spec.base {
+        BaseCase::Sod => s.push_str("{\"kind\":\"sod\"}"),
+        BaseCase::SteepeningWave { amp } => s.push_str(&format!(
+            "{{\"kind\":\"steepening-wave\",\"amp\":{}}}",
+            f(*amp)
+        )),
+        BaseCase::ShuOsher => s.push_str("{\"kind\":\"shu-osher\"}"),
+        BaseCase::IsentropicVortex => s.push_str("{\"kind\":\"isentropic-vortex\"}"),
+        BaseCase::SingleJet3d => s.push_str("{\"kind\":\"single-jet-3d\"}"),
+        BaseCase::ThreeEngine2d { noise_amp, seed } => s.push_str(&format!(
+            "{{\"kind\":\"three-engine-2d\",\"noise_amp\":{},\"seed\":\"{seed}\"}}",
+            f(*noise_amp)
+        )),
+        BaseCase::EngineRow2d { engines } => s.push_str(&format!(
+            "{{\"kind\":\"engine-row-2d\",\"engines\":{engines}}}"
+        )),
+        BaseCase::SuperHeavy3d => s.push_str("{\"kind\":\"super-heavy-3d\"}"),
+    }
+    s.push_str(&format!(
+        ",\"resolution\":{},\"precision\":\"{}\",\"scheme\":\"{}\",\"warmup\":{},\"steps\":{}",
+        spec.resolution,
+        match spec.precision {
+            PrecisionMode::Fp64 => "fp64",
+            PrecisionMode::Fp32 => "fp32",
+            PrecisionMode::Fp16Fp32 => "fp16fp32",
+        },
+        spec.scheme.name(),
+        spec.warmup,
+        spec.steps,
+    ));
+    s.push_str(",\"engine_out\":[");
+    for (i, e) in spec.engine_out.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&e.to_string());
+    }
+    s.push_str("],\"gimbal\":[");
+    for (i, (engine, sched)) in spec.gimbal.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{{\"engine\":{engine},\"knots\":["));
+        for (k, (t, a)) in sched.knots.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{},{},{}]", f(*t), f(a[0]), f(a[1])));
+        }
+        s.push_str("]}");
+    }
+    s.push(']');
+    let opt_f = |v: Option<f64>| v.map(f).unwrap_or_else(|| "null".into());
+    let opt_u = |v: Option<usize>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+    s.push_str(&format!(
+        ",\"backpressure\":{},\"cfl\":{},\"elliptic_sweeps\":{},\"alpha_factor\":{},\"ranks\":{}}}",
+        opt_f(spec.backpressure),
+        opt_f(spec.cfl),
+        opt_u(spec.elliptic_sweeps),
+        opt_f(spec.alpha_factor),
+        opt_u(spec.ranks),
+    ));
+    s
+}
+
+/// Decode a [`ScenarioSpec`] from the JSON text [`encode_spec`] produces.
+pub fn decode_spec(text: &str) -> Result<ScenarioSpec, String> {
+    decode_spec_json(&Json::parse(text)?)
+}
+
+/// Decode a spec from an already-parsed JSON value (nested use inside
+/// request decoding).
+pub(crate) fn decode_spec_json(v: &Json) -> Result<ScenarioSpec, String> {
+    let obj = v.as_object().ok_or("spec is not a JSON object")?;
+    let label = match get(obj, "label")? {
+        Json::Null => None,
+        Json::Str(s) => Some(s.clone()),
+        _ => return Err("'label' is neither string nor null".into()),
+    };
+    let base_obj = get(obj, "base")?
+        .as_object()
+        .ok_or("'base' is not an object")?;
+    let base = match get(base_obj, "kind")?.as_str() {
+        Some("sod") => BaseCase::Sod,
+        Some("steepening-wave") => BaseCase::SteepeningWave {
+            amp: num(base_obj, "amp")?,
+        },
+        Some("shu-osher") => BaseCase::ShuOsher,
+        Some("isentropic-vortex") => BaseCase::IsentropicVortex,
+        Some("single-jet-3d") => BaseCase::SingleJet3d,
+        Some("three-engine-2d") => BaseCase::ThreeEngine2d {
+            noise_amp: num(base_obj, "noise_amp")?,
+            seed: get(base_obj, "seed")?
+                .as_str()
+                .ok_or("'seed' is not a string")?
+                .parse::<u64>()
+                .map_err(|e| format!("bad seed: {e}"))?,
+        },
+        Some("engine-row-2d") => BaseCase::EngineRow2d {
+            engines: req_u64(base_obj, "engines")? as usize,
+        },
+        Some("super-heavy-3d") => BaseCase::SuperHeavy3d,
+        _ => return Err("unknown base-case kind".into()),
+    };
+    let precision = match get(obj, "precision")?.as_str() {
+        Some("fp64") => PrecisionMode::Fp64,
+        Some("fp32") => PrecisionMode::Fp32,
+        Some("fp16fp32") => PrecisionMode::Fp16Fp32,
+        _ => return Err("unknown precision".into()),
+    };
+    let scheme = match get(obj, "scheme")?.as_str() {
+        Some("igr") => SchemeKind::Igr,
+        Some("weno") => SchemeKind::WenoBaseline,
+        _ => return Err("unknown scheme".into()),
+    };
+    let engine_out = get(obj, "engine_out")?
+        .as_array()
+        .ok_or("'engine_out' is not an array")?
+        .iter()
+        .map(|e| e.as_u64().map(|x| x as usize).ok_or("bad engine index"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut gimbal = Vec::new();
+    for entry in get(obj, "gimbal")?
+        .as_array()
+        .ok_or("'gimbal' is not an array")?
+    {
+        let entry = entry.as_object().ok_or("gimbal entry is not an object")?;
+        let engine = req_u64(entry, "engine")? as usize;
+        let mut knots = Vec::new();
+        for knot in get(entry, "knots")?
+            .as_array()
+            .ok_or("'knots' is not an array")?
+        {
+            let knot = knot.as_array().ok_or("knot is not an array")?;
+            if knot.len() != 3 {
+                return Err("knot is not [t, a0, a1]".into());
+            }
+            let t = knot[0].as_f64().ok_or("knot t is not a number")?;
+            let a0 = knot[1].as_f64().ok_or("knot a0 is not a number")?;
+            let a1 = knot[2].as_f64().ok_or("knot a1 is not a number")?;
+            knots.push((t, [a0, a1]));
+        }
+        if knots.is_empty() {
+            return Err("gimbal schedule has no knots".into());
+        }
+        // Construct directly (not via GimbalSchedule::new, which re-sorts):
+        // the wire must reproduce the sender's knot order bit-for-bit so
+        // the content hash is preserved.
+        gimbal.push((engine, GimbalSchedule { knots }));
+    }
+    Ok(ScenarioSpec {
+        label,
+        base,
+        resolution: req_u64(obj, "resolution")? as usize,
+        precision,
+        scheme,
+        warmup: req_u64(obj, "warmup")? as usize,
+        steps: req_u64(obj, "steps")? as usize,
+        engine_out,
+        gimbal,
+        backpressure: opt_f64(obj, "backpressure")?,
+        cfl: opt_f64(obj, "cfl")?,
+        elliptic_sweeps: opt_u64(obj, "elliptic_sweeps")?.map(|x| x as usize),
+        alpha_factor: opt_f64(obj, "alpha_factor")?,
+        ranks: opt_u64(obj, "ranks")?.map(|x| x as usize),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn req_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    get(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("'{key}' is not a non-negative integer"))
+}
+
+/// Small signed integers (priorities) — JSON numbers, possibly negative.
+fn req_u64_signed(obj: &[(String, Json)], key: &str) -> Result<i32, String> {
+    match get(obj, key)? {
+        Json::Num(x) if x.fract() == 0.0 && *x >= i32::MIN as f64 && *x <= i32::MAX as f64 => {
+            Ok(*x as i32)
+        }
+        _ => Err(format!("'{key}' is not an integer")),
+    }
+}
+
+fn req_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("'{key}' is not a boolean")),
+    }
+}
+
+fn opt_f64(obj: &[(String, Json)], key: &str) -> Result<Option<f64>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        v => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("'{key}' is neither number nor null")),
+    }
+}
+
+fn opt_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        v => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("'{key}' is neither integer nor null")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RunStatus;
+
+    fn rich_spec() -> ScenarioSpec {
+        let mut s = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 24);
+        s.label = Some("wire \"quoted\"\nlabel".into());
+        s.engine_out = vec![2, 0];
+        s.gimbal = vec![
+            (1, GimbalSchedule::ramp(0.0, [0.0, 0.0], 1.0, [0.12, 0.0])),
+            (2, GimbalSchedule::constant([-0.0, f64::NAN])),
+        ];
+        s.backpressure = Some(0.25);
+        s.cfl = Some(0.45);
+        s.elliptic_sweeps = Some(3);
+        s.alpha_factor = Some(f64::INFINITY);
+        s.ranks = Some(2);
+        s
+    }
+
+    #[test]
+    fn spec_round_trips_bit_exactly_and_preserves_the_hash() {
+        let spec = rich_spec();
+        let back = decode_spec(&encode_spec(&spec)).unwrap();
+        assert_eq!(back.label, spec.label);
+        assert_eq!(back.engine_out, spec.engine_out);
+        assert_eq!(back.content_hash(), spec.content_hash());
+        assert_eq!(
+            back.gimbal[1].1.knots[0].1[1].to_bits(),
+            spec.gimbal[1].1.knots[0].1[1].to_bits(),
+            "NaN payload survives"
+        );
+        assert_eq!(back.alpha_factor.unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn large_seeds_survive_the_string_encoding() {
+        let spec = ScenarioSpec::new(
+            BaseCase::ThreeEngine2d {
+                noise_amp: 0.01,
+                seed: u64::MAX,
+            },
+            32,
+        );
+        let back = decode_spec(&encode_spec(&spec)).unwrap();
+        assert_eq!(back.content_hash(), spec.content_hash());
+        assert!(matches!(back.base, BaseCase::ThreeEngine2d { seed, .. } if seed == u64::MAX));
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let reqs = vec![
+            Request::Hello {
+                proto: PROTO_VERSION,
+                hash_version: CONTENT_HASH_VERSION,
+            },
+            Request::Submit {
+                spec: rich_spec(),
+                priority: i32::MIN, // the decode bound must admit both extremes
+            },
+            Request::Submit {
+                spec: rich_spec(),
+                priority: i32::MAX,
+            },
+            Request::Poll { job: 42 },
+            Request::Cancel { job: 7 },
+            Request::Stream {
+                max: 16,
+                timeout_ms: 2500,
+            },
+            Request::Stats,
+            Request::Compact,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.encode();
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "one line per message");
+            let back = Request::decode(line.trim_end()).unwrap();
+            match (&req, &back) {
+                (
+                    Request::Submit { spec, priority },
+                    Request::Submit {
+                        spec: s2,
+                        priority: p2,
+                    },
+                ) => {
+                    assert_eq!(spec.content_hash(), s2.content_hash());
+                    assert_eq!(priority, p2);
+                }
+                _ => assert_eq!(std::mem::discriminant(&req), std::mem::discriminant(&back)),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_embedded_results() {
+        let result = ScenarioResult {
+            name: "wire".into(),
+            hash_hex: format!("{:016x}", 0xfeed_u64),
+            status: RunStatus::Completed,
+            cells: 10,
+            steps: 3,
+            ranks: 1,
+            wall_s: 1.0 / 3.0,
+            ns_per_cell_step: f64::INFINITY,
+            mass_drift: f64::NAN,
+            energy_drift: -0.0,
+            base_heating: None,
+        };
+        let resp = Response::Result(StreamedResult {
+            job: 9,
+            cached: true,
+            hash: 0xfeed,
+            result: result.clone(),
+        });
+        match Response::decode(resp.encode().trim_end()).unwrap() {
+            Response::Result(r) => {
+                assert_eq!(r.job, 9);
+                assert!(r.cached);
+                assert_eq!(r.hash, 0xfeed);
+                assert_eq!(r.result.wall_s.to_bits(), result.wall_s.to_bits());
+                assert!(r.result.mass_drift.is_nan());
+                assert_eq!(r.result.ns_per_cell_step, f64::INFINITY);
+            }
+            other => panic!("expected Result, got {other:?}"),
+        }
+
+        let err = Response::Error(WireError::new(ErrorCode::InvalidSpec, "resolution 2"));
+        match Response::decode(err.encode().trim_end()).unwrap() {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::InvalidSpec);
+                assert_eq!(e.detail, "resolution 2");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        let stats = Response::Stats(ServerStats {
+            proto: PROTO_VERSION,
+            hash_version: CONTENT_HASH_VERSION,
+            entries: 5,
+            hits: 7,
+            misses: 2,
+            executed: 2,
+            outstanding: 1,
+        });
+        match Response::decode(stats.encode().trim_end()).unwrap() {
+            Response::Stats(s) => assert_eq!(s.executed, 2),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_carry_machine_readable_codes() {
+        for (line, code) in [
+            ("not json", ErrorCode::ParseError),
+            ("[1,2]", ErrorCode::ParseError),
+            ("{\"op\":\"warp\"}", ErrorCode::UnknownOp),
+            ("{\"op\":\"poll\"}", ErrorCode::BadRequest),
+            (
+                "{\"op\":\"submit\",\"priority\":0,\"spec\":{}}",
+                ErrorCode::BadRequest,
+            ),
+        ] {
+            let err = Request::decode(line).unwrap_err();
+            assert_eq!(err.code, code, "{line}");
+            assert_eq!(ErrorCode::parse(err.code.as_str()), Some(err.code));
+        }
+    }
+}

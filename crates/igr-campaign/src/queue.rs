@@ -29,6 +29,18 @@
 //!
 //! Workers recover from panicking scenarios ([`run_scenario_caught`]) and
 //! from poisoned locks, so one diverging run cannot wedge the queue.
+//!
+//! ```no_run
+//! use igr_campaign::{BaseCase, CampaignQueue, ExecConfig, ScenarioSpec};
+//! use std::time::Duration;
+//!
+//! let queue = CampaignQueue::new(ExecConfig::default());
+//! let urgent = queue.submit(&ScenarioSpec::new(BaseCase::Sod, 64), /*priority*/ 5);
+//! while let Some((job, result, cached)) = queue.next_completed(Duration::from_secs(60)) {
+//!     println!("job {job}: {} (cached: {cached})", result.name);
+//! }
+//! let store = queue.shutdown(); // join workers, keep every result
+//! ```
 
 use crate::exec::{run_scenario_caught, ExecConfig};
 use crate::report::ScenarioResult;
@@ -46,13 +58,18 @@ pub type JobId = u64;
 #[derive(Clone, Debug)]
 pub enum JobState {
     /// Waiting for a worker (or coalesced onto another queued job).
-    Queued { priority: i32 },
+    Queued {
+        /// Current effective priority of the pending execution.
+        priority: i32,
+    },
     /// A worker is executing it (or the execution it coalesced onto).
     Running,
     /// Finished; `cached` is true when the result came from the store or
     /// from an execution another job triggered.
     Done {
+        /// The measured (or cache-served) result.
         result: Arc<ScenarioResult>,
+        /// True when no fresh execution was spent on this job.
         cached: bool,
     },
     /// Cancelled while queued; it will never run.
@@ -63,6 +80,10 @@ pub enum JobState {
 struct Job {
     hash: u64,
     phase: JobPhase,
+    /// Released by its submitter ([`CampaignQueue::release_jobs`]): its
+    /// completion is recorded but never enqueued for streaming — no
+    /// consumer will come back for it.
+    detached: bool,
 }
 
 enum JobPhase {
@@ -115,6 +136,10 @@ struct Inner {
     next_seq: u64,
     /// Executions queued or running — 0 means drained.
     outstanding: usize,
+    /// Executions actually run to completion (cache hits and coalesced
+    /// waiters excluded) — the "how much compute did this queue burn"
+    /// counter the wire protocol's `STATS` reports.
+    executed: u64,
     shutdown: bool,
 }
 
@@ -180,6 +205,7 @@ impl CampaignQueue {
                     next_job: 1,
                     next_seq: 0,
                     outstanding: 0,
+                    executed: 0,
                     shutdown: false,
                 }),
                 work: Condvar::new(),
@@ -193,6 +219,15 @@ impl CampaignQueue {
     /// immediately; completion is observed via [`Self::poll`] /
     /// [`Self::next_completed`].
     pub fn submit(&self, spec: &ScenarioSpec, priority: i32) -> JobId {
+        self.submit_detailed(spec, priority).0
+    }
+
+    /// [`Self::submit`], additionally reporting — atomically, under the
+    /// same lock — whether the job was actually enqueued (`true`) or born
+    /// `Done` from the store (`false`). A separate submit-then-poll would
+    /// misreport a fast fresh execution as a cache hit; the wire server's
+    /// `queued` acknowledgement field comes from here.
+    pub fn submit_detailed(&self, spec: &ScenarioSpec, priority: i32) -> (JobId, bool) {
         let mut spec = spec.clone();
         spec.normalize();
         let hash = spec.content_hash();
@@ -208,12 +243,13 @@ impl CampaignQueue {
                 Job {
                     hash,
                     phase: JobPhase::Done { cached: true },
+                    detached: false,
                 },
             );
             g.completed.push_back((id, result, true));
             drop(g);
             self.shared.done.notify_all();
-            return id;
+            return (id, false);
         }
 
         // Already queued/running: coalesce onto the existing execution,
@@ -229,6 +265,7 @@ impl CampaignQueue {
                 Job {
                     hash,
                     phase: JobPhase::Waiting,
+                    detached: false,
                 },
             );
             if escalate {
@@ -240,7 +277,7 @@ impl CampaignQueue {
                     hash,
                 });
             }
-            return id;
+            return (id, true);
         }
 
         // Fresh work: plan the execution. The failed lookup above *is* the
@@ -260,6 +297,7 @@ impl CampaignQueue {
             Job {
                 hash,
                 phase: JobPhase::Waiting,
+                detached: false,
             },
         );
         let seq = g.next_seq;
@@ -272,7 +310,7 @@ impl CampaignQueue {
         g.outstanding += 1;
         drop(g);
         self.shared.work.notify_one();
-        id
+        (id, true)
     }
 
     /// Submit a batch in order at one priority.
@@ -362,6 +400,64 @@ impl CampaignQueue {
         }
     }
 
+    /// Pop the next completed `(job, result, cached)` **belonging to
+    /// `ids`**, waiting up to `timeout`. Completions of jobs outside `ids`
+    /// are left queued for their own consumer — this is how the wire server
+    /// streams each connection only its own results while sharing one
+    /// queue. `None` on timeout.
+    pub fn claim_completed(
+        &self,
+        ids: &[JobId],
+        timeout: Duration,
+    ) -> Option<(JobId, Arc<ScenarioResult>, bool)> {
+        let deadline = Instant::now() + timeout;
+        // Hash the id set once so each deque scan is O(completed), not
+        // O(completed × ids) — this runs under the global queue lock.
+        let ids: std::collections::HashSet<JobId> = ids.iter().copied().collect();
+        let mut g = lock(&self.shared);
+        loop {
+            if let Some(idx) = g.completed.iter().position(|(id, _, _)| ids.contains(id)) {
+                return g.completed.remove(idx);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+    }
+
+    /// Detach jobs whose submitter has gone away (e.g. a dropped network
+    /// connection): their pending completion entries are discarded and
+    /// future completions are recorded but not enqueued for streaming.
+    /// Running executions are **not** interrupted — a coalesced waiter from
+    /// another submitter still gets its result, and the store keeps the
+    /// computed entry either way.
+    pub fn release_jobs(&self, ids: &[JobId]) {
+        let mut g = lock(&self.shared);
+        g.completed.retain(|(id, _, _)| !ids.contains(id));
+        for id in ids {
+            match g.jobs.get_mut(id) {
+                // Still waiting on an execution: keep the record (the
+                // completion path needs it) but flag it so the finished
+                // result is dropped instead of enqueued.
+                Some(job) if matches!(job.phase, JobPhase::Waiting) => job.detached = true,
+                // Done/cancelled records have no future reader — drop them
+                // outright so a long-lived server's job map stays bounded
+                // by in-flight work, not by lifetime submissions.
+                Some(_) => {
+                    g.jobs.remove(id);
+                }
+                None => {}
+            }
+        }
+    }
+
     /// Block until nothing is queued or running (or `timeout` elapses).
     /// Returns `true` when drained.
     pub fn wait_all(&self, timeout: Duration) -> bool {
@@ -410,10 +506,30 @@ impl CampaignQueue {
         lock(&self.shared).completed.len()
     }
 
+    /// Executions this queue actually ran to completion. Cache hits,
+    /// coalesced waiters, and results loaded from a warm store file all
+    /// leave this at 0 — it counts compute, not answers.
+    pub fn executed(&self) -> u64 {
+        lock(&self.shared).executed
+    }
+
     /// Snapshot of the underlying store's `(entries, hits, misses)`.
     pub fn store_stats(&self) -> (usize, u64, u64) {
         let g = lock(&self.shared);
         (g.store.len(), g.store.hits(), g.store.misses())
+    }
+
+    /// Compact the underlying store's backing file (see
+    /// [`ResultStore::compact`]); `Ok(None)` when the store is in-memory.
+    /// The wire protocol's `COMPACT` verb lands here.
+    ///
+    /// The rewrite runs under the queue lock, so submissions and
+    /// completions serialize behind it for the duration — acceptable at
+    /// campaign-store sizes (hundreds of lines); a maintenance-thread
+    /// snapshot would be the next step if stores grow by orders of
+    /// magnitude.
+    pub fn compact_store(&self) -> std::io::Result<Option<crate::store::CompactStats>> {
+        lock(&self.shared).store.compact()
     }
 
     fn stop_workers(&mut self) {
@@ -473,6 +589,7 @@ fn complete_execution(shared: &Shared, hash: u64, result: ScenarioResult) {
         return;
     };
     g.store.insert(hash, result);
+    g.executed += 1;
     let arc = Arc::clone(g.store.peek(hash).expect("just inserted"));
     let mut fresh_given = false;
     for id in exec.waiters {
@@ -483,13 +600,20 @@ fn complete_execution(shared: &Shared, hash: u64, result: ScenarioResult) {
             continue;
         }
         let cached = fresh_given;
+        let detached = job.detached;
         job.phase = JobPhase::Done { cached };
         if cached {
             // Coalesced waiters are cache traffic: count the hit.
             let _ = g.store.fetch(hash);
         }
         fresh_given = true;
-        g.completed.push_back((id, Arc::clone(&arc), cached));
+        if detached {
+            // The submitter is gone: nobody will stream or poll this job
+            // again, so drop its record instead of retaining it forever.
+            g.jobs.remove(&id);
+        } else {
+            g.completed.push_back((id, Arc::clone(&arc), cached));
+        }
     }
     g.outstanding -= 1;
     drop(g);

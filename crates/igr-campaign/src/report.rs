@@ -13,6 +13,7 @@ use std::sync::Arc;
 /// How a scenario run ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RunStatus {
+    /// The solver ran every step and produced a measurement.
     Completed,
     /// The solver diverged or rejected the configuration; the message is
     /// the solver/spec error. Failed runs are cached too — resubmitting a
@@ -21,6 +22,7 @@ pub enum RunStatus {
 }
 
 impl RunStatus {
+    /// True for [`RunStatus::Completed`].
     pub fn is_ok(&self) -> bool {
         matches!(self, RunStatus::Completed)
     }
@@ -29,9 +31,11 @@ impl RunStatus {
 /// Everything measured about one scenario execution.
 #[derive(Clone, Debug)]
 pub struct ScenarioResult {
+    /// The scenario's derived (or labelled) name.
     pub name: String,
     /// `ScenarioSpec::hash_hex` of the spec that produced this.
     pub hash_hex: String,
+    /// How the run ended.
     pub status: RunStatus,
     /// Interior cells of the (global) grid.
     pub cells: usize,
@@ -58,6 +62,7 @@ pub struct ScenarioResult {
 /// allocation rather than cloning the result per row.
 #[derive(Clone, Debug)]
 pub struct ReportRow {
+    /// The measurement (shared with the store's cache entry).
     pub result: Arc<ScenarioResult>,
     /// True when the row was served from the result cache.
     pub cached: bool,

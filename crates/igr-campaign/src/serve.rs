@@ -1,0 +1,857 @@
+//! Queue-native campaign serving: a TCP server over [`CampaignQueue`],
+//! plus the matching blocking client.
+//!
+//! This is the ROADMAP's "queue-native campaign serving" layer: the queue's
+//! submit/poll/cancel/stream semantics, exposed over the line-delimited
+//! JSON protocol in [`crate::protocol`] so campaigns can be driven from
+//! other processes and machines. The properties that make that safe:
+//!
+//! * **Shared store, cross-connection coalescing.** Every connection talks
+//!   to one [`CampaignQueue`] over one [`ResultStore`]: two clients
+//!   submitting the same spec share a single execution and a single cached
+//!   result, and a spec already in a warm store file completes with zero
+//!   compute.
+//! * **Per-connection isolation.** A malformed line fails *that request*
+//!   (a machine-readable [`crate::protocol::ErrorCode`]); a panic while
+//!   handling a request fails that request; a torn connection detaches
+//!   its jobs ([`CampaignQueue::release_jobs`]) without interrupting
+//!   executions other clients may be waiting on. The server itself keeps
+//!   serving.
+//! * **Versioned handshake.** Connections open with a `HELLO` exchange
+//!   pinning [`crate::protocol::PROTO_VERSION`] and the content-hash
+//!   version, so neither the wire format nor the cache keying can skew
+//!   silently.
+//! * **Graceful shutdown.** The `SHUTDOWN` verb (or
+//!   [`CampaignServer::request_shutdown`]) stops the accept loop, joins
+//!   every connection and worker, and [`CampaignServer::join`] hands the
+//!   store — with every result computed while serving — back to the caller,
+//!   exactly like [`CampaignQueue::shutdown`].
+//!
+//! ```no_run
+//! use igr_campaign::{CampaignClient, CampaignServer, ExecConfig, ResultStore};
+//! use igr_campaign::{BaseCase, ScenarioSpec};
+//! use std::time::Duration;
+//!
+//! let store = ResultStore::open("campaign_store.jsonl")?;
+//! let server = CampaignServer::bind("127.0.0.1:0", ExecConfig::default(), store)?;
+//!
+//! let mut client = CampaignClient::connect(server.local_addr())?;
+//! let ack = client.submit(&ScenarioSpec::new(BaseCase::Sod, 64), 0)?;
+//! for r in client.stream(1, Duration::from_secs(60))? {
+//!     println!("job {} -> {} (cached: {})", r.job, r.result.name, r.cached);
+//! }
+//! client.shutdown_server()?;
+//! let store = server.join(); // every result, ready to reopen or hand off
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::exec::ExecConfig;
+use crate::protocol::{
+    ErrorCode, Request, Response, ServerStats, StreamedResult, WireError, WireJobState,
+    PROTO_VERSION,
+};
+use crate::queue::{CampaignQueue, JobId, JobState};
+use crate::spec::{ScenarioSpec, CONTENT_HASH_VERSION};
+use crate::store::ResultStore;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Upper bound a client can ask a single `STREAM` exchange to wait.
+const MAX_STREAM_TIMEOUT: Duration = Duration::from_secs(3600);
+
+/// Longest request line the server will buffer. A spec line is a few KB;
+/// anything near this bound is garbage, and without a cap a peer that
+/// streams newline-free bytes would grow server memory without limit.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A TCP campaign server: accepts connections, speaks the
+/// [`crate::protocol`] wire format, and fronts one shared
+/// [`CampaignQueue`].
+pub struct CampaignServer {
+    queue: Arc<CampaignQueue>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl CampaignServer {
+    /// Bind `addr` (use port 0 for an OS-assigned port) and start serving:
+    /// `cfg.workers` background execution workers over `store`, plus one
+    /// handler thread per accepted connection.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: ExecConfig,
+        store: ResultStore,
+    ) -> io::Result<CampaignServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(CampaignQueue::with_store(cfg, store));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let queue = Arc::clone(&queue);
+                        let shutdown = Arc::clone(&shutdown);
+                        let handle = std::thread::spawn(move || {
+                            serve_connection(&queue, &shutdown, stream);
+                        });
+                        conns.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_TICK / 4);
+                    }
+                    Err(_) => std::thread::sleep(POLL_TICK / 4),
+                }
+            })
+        };
+
+        Ok(CampaignServer {
+            queue,
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The address the server is listening on (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a `SHUTDOWN` verb (or [`Self::request_shutdown`]) has been
+    /// seen.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begin a graceful shutdown from the hosting process (equivalent to a
+    /// client sending the `SHUTDOWN` verb). [`Self::join`] completes it.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until shutdown is requested (by wire or locally), join the
+    /// accept loop, every connection handler, and the queue's workers, then
+    /// hand the store back — with every result computed while serving.
+    pub fn join(mut self) -> ResultStore {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL_TICK / 4);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = self
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let queue = Arc::clone(&self.queue);
+        drop(self);
+        match Arc::try_unwrap(queue) {
+            Ok(q) => q.shutdown(),
+            // All holders are joined, so this arm is unreachable; an empty
+            // store is still a safe answer (mirrors CampaignQueue::shutdown).
+            Err(_) => ResultStore::new(),
+        }
+    }
+}
+
+impl Drop for CampaignServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Line reader that tolerates read timeouts (the server's shutdown ticks)
+/// without losing partial lines.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+enum ReadOutcome {
+    Line(String),
+    /// Read timed out; check flags and come back.
+    Tick,
+    /// Peer closed (or the connection died).
+    Closed,
+}
+
+impl LineReader {
+    fn next(&mut self) -> ReadOutcome {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line);
+                return ReadOutcome::Line(text.trim_end_matches(['\n', '\r']).to_string());
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                // A "line" this long is not protocol traffic; drop the
+                // connection rather than buffering without bound.
+                return ReadOutcome::Closed;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return ReadOutcome::Tick
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
+/// Per-connection session state.
+struct ConnState {
+    hello_done: bool,
+    /// Every job this connection submitted (released on disconnect).
+    all_jobs: Vec<JobId>,
+    /// Jobs not yet delivered by `STREAM` (and not cancelled).
+    pending: Vec<JobId>,
+}
+
+/// Whether to keep reading from this connection after a request.
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn serve_connection(queue: &Arc<CampaignQueue>, shutdown: &AtomicBool, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader {
+        stream,
+        buf: Vec::new(),
+    };
+    let mut state = ConnState {
+        hello_done: false,
+        all_jobs: Vec::new(),
+        pending: Vec::new(),
+    };
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let line = match reader.next() {
+            ReadOutcome::Line(l) => l,
+            ReadOutcome::Tick => continue,
+            ReadOutcome::Closed => break,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        // Panic isolation: one bad request (or a bug it tickles) fails that
+        // request; the connection and the server keep going.
+        let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(queue, shutdown, &mut state, &line, &mut writer)
+        }));
+        let flow = match handled {
+            Ok(Ok(flow)) => flow,
+            Ok(Err(_io)) => Flow::Close, // the socket is gone
+            Err(_panic) => {
+                let resp = Response::Error(WireError::new(
+                    ErrorCode::Internal,
+                    "request handler panicked",
+                ));
+                match writer.write_all(resp.encode().as_bytes()) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                }
+            }
+        };
+        if matches!(flow, Flow::Close) {
+            break;
+        }
+    }
+    // Detach whatever this connection still owned: pending completions are
+    // discarded, in-flight executions finish for the store (and for any
+    // coalesced waiter on another connection).
+    queue.release_jobs(&state.all_jobs);
+}
+
+fn handle_request(
+    queue: &CampaignQueue,
+    shutdown: &AtomicBool,
+    state: &mut ConnState,
+    line: &str,
+    writer: &mut TcpStream,
+) -> io::Result<Flow> {
+    let send = |writer: &mut TcpStream, resp: Response| -> io::Result<()> {
+        writer.write_all(resp.encode().as_bytes())?;
+        writer.flush()
+    };
+
+    let request = match Request::decode(line) {
+        Ok(r) => r,
+        Err(e) => {
+            send(writer, Response::Error(e))?;
+            return Ok(Flow::Continue);
+        }
+    };
+
+    // Handshake gate: everything but HELLO requires a completed handshake.
+    if !state.hello_done && !matches!(request, Request::Hello { .. }) {
+        send(
+            writer,
+            Response::Error(WireError::new(
+                ErrorCode::HandshakeRequired,
+                "send {\"op\":\"hello\",...} first",
+            )),
+        )?;
+        return Ok(Flow::Continue);
+    }
+
+    match request {
+        Request::Hello {
+            proto,
+            hash_version,
+        } => {
+            if proto != PROTO_VERSION || hash_version != CONTENT_HASH_VERSION {
+                send(
+                    writer,
+                    Response::Error(WireError::new(
+                        ErrorCode::VersionMismatch,
+                        format!(
+                            "server speaks proto {PROTO_VERSION} / hash v{CONTENT_HASH_VERSION}, \
+                             client sent proto {proto} / hash v{hash_version}"
+                        ),
+                    )),
+                )?;
+                return Ok(Flow::Close);
+            }
+            state.hello_done = true;
+            send(
+                writer,
+                Response::Hello {
+                    proto: PROTO_VERSION,
+                    hash_version: CONTENT_HASH_VERSION,
+                },
+            )?;
+            Ok(Flow::Continue)
+        }
+        Request::Submit { spec, priority } => {
+            if let Err(e) = spec.validate() {
+                send(
+                    writer,
+                    Response::Error(WireError::new(ErrorCode::InvalidSpec, e.to_string())),
+                )?;
+                return Ok(Flow::Continue);
+            }
+            // submit_detailed reports queued-vs-born-done atomically; a
+            // separate poll here would misreport a fast fresh execution
+            // as a cache hit.
+            let (job, queued) = queue.submit_detailed(&spec, priority);
+            state.all_jobs.push(job);
+            state.pending.push(job);
+            send(
+                writer,
+                Response::Submitted {
+                    job,
+                    hash_hex: spec.hash_hex(),
+                    queued,
+                },
+            )?;
+            Ok(Flow::Continue)
+        }
+        Request::Poll { job } => {
+            if !state.all_jobs.contains(&job) {
+                send(
+                    writer,
+                    Response::Error(WireError::new(
+                        ErrorCode::UnknownJob,
+                        format!("job {job} was not submitted on this connection"),
+                    )),
+                )?;
+                return Ok(Flow::Continue);
+            }
+            let state_wire = match queue.poll(job) {
+                Some(JobState::Queued { priority }) => WireJobState::Queued { priority },
+                Some(JobState::Running) => WireJobState::Running,
+                Some(JobState::Cancelled) => WireJobState::Cancelled,
+                Some(JobState::Done { result, cached }) => WireJobState::Done {
+                    result: (*result).clone(),
+                    cached,
+                },
+                None => {
+                    send(
+                        writer,
+                        Response::Error(WireError::new(
+                            ErrorCode::UnknownJob,
+                            format!("job {job} is unknown to the queue"),
+                        )),
+                    )?;
+                    return Ok(Flow::Continue);
+                }
+            };
+            send(
+                writer,
+                Response::Polled {
+                    job,
+                    state: state_wire,
+                },
+            )?;
+            Ok(Flow::Continue)
+        }
+        Request::Cancel { job } => {
+            if !state.all_jobs.contains(&job) {
+                send(
+                    writer,
+                    Response::Error(WireError::new(
+                        ErrorCode::UnknownJob,
+                        format!("job {job} was not submitted on this connection"),
+                    )),
+                )?;
+                return Ok(Flow::Continue);
+            }
+            let cancelled = queue.cancel(job);
+            if cancelled {
+                if let Some(i) = state.pending.iter().position(|&j| j == job) {
+                    state.pending.swap_remove(i);
+                }
+            }
+            send(writer, Response::Cancelled { job, cancelled })?;
+            Ok(Flow::Continue)
+        }
+        Request::Stream { max, timeout_ms } => {
+            let deadline =
+                Instant::now() + Duration::from_millis(timeout_ms).min(MAX_STREAM_TIMEOUT);
+            let mut delivered = 0usize;
+            while delivered < max && !state.pending.is_empty() && !shutdown.load(Ordering::SeqCst) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let wait = (deadline - now).min(POLL_TICK * 2);
+                let Some((job, result, cached)) = queue.claim_completed(&state.pending, wait)
+                else {
+                    continue;
+                };
+                if let Some(i) = state.pending.iter().position(|&j| j == job) {
+                    state.pending.swap_remove(i);
+                }
+                let hash = u64::from_str_radix(&result.hash_hex, 16).unwrap_or(0);
+                send(
+                    writer,
+                    Response::Result(StreamedResult {
+                        job,
+                        cached,
+                        hash,
+                        result: (*result).clone(),
+                    }),
+                )?;
+                delivered += 1;
+            }
+            send(writer, Response::StreamEnd { delivered })?;
+            Ok(Flow::Continue)
+        }
+        Request::Stats => {
+            let (entries, hits, misses) = queue.store_stats();
+            send(
+                writer,
+                Response::Stats(ServerStats {
+                    proto: PROTO_VERSION,
+                    hash_version: CONTENT_HASH_VERSION,
+                    entries,
+                    hits,
+                    misses,
+                    executed: queue.executed(),
+                    outstanding: queue.outstanding(),
+                }),
+            )?;
+            Ok(Flow::Continue)
+        }
+        Request::Compact => match queue.compact_store() {
+            Ok(Some(stats)) => {
+                send(
+                    writer,
+                    Response::Compacted {
+                        live: stats.live,
+                        dropped_lines: stats.dropped_lines,
+                    },
+                )?;
+                Ok(Flow::Continue)
+            }
+            Ok(None) => {
+                send(
+                    writer,
+                    Response::Error(WireError::new(
+                        ErrorCode::NotPersistent,
+                        "the server's store has no backing file",
+                    )),
+                )?;
+                Ok(Flow::Continue)
+            }
+            Err(e) => {
+                send(
+                    writer,
+                    Response::Error(WireError::new(
+                        ErrorCode::Internal,
+                        format!("compaction failed: {e}"),
+                    )),
+                )?;
+                Ok(Flow::Continue)
+            }
+        },
+        Request::Shutdown => {
+            send(writer, Response::ShuttingDown)?;
+            shutdown.store(true, Ordering::SeqCst);
+            Ok(Flow::Close)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Acknowledgement of one `SUBMIT`.
+#[derive(Clone, Debug)]
+pub struct SubmitAck {
+    /// Ticket for `POLL`/`CANCEL`/`STREAM`.
+    pub job: JobId,
+    /// The spec's content hash (16 hex digits) as the server computed it.
+    pub hash_hex: String,
+    /// False when the job completed immediately from the cache.
+    pub queued: bool,
+}
+
+/// A blocking client for [`CampaignServer`]: one TCP connection, one
+/// request/response exchange at a time, with the `HELLO` handshake done at
+/// [`CampaignClient::connect`] time.
+pub struct CampaignClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl CampaignClient {
+    /// Connect and perform the version handshake. Fails with
+    /// `InvalidData` if the server speaks a different [`PROTO_VERSION`] or
+    /// content-hash version.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<CampaignClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = CampaignClient {
+            reader,
+            writer: stream,
+        };
+        match client.rpc(&Request::Hello {
+            proto: PROTO_VERSION,
+            hash_version: CONTENT_HASH_VERSION,
+        })? {
+            Response::Hello { .. } => Ok(client),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submit one scenario at `priority` (higher runs first).
+    pub fn submit(&mut self, spec: &ScenarioSpec, priority: i32) -> io::Result<SubmitAck> {
+        match self.rpc(&Request::Submit {
+            spec: spec.clone(),
+            priority,
+        })? {
+            Response::Submitted {
+                job,
+                hash_hex,
+                queued,
+            } => Ok(SubmitAck {
+                job,
+                hash_hex,
+                queued,
+            }),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submit a batch in order at one priority.
+    pub fn submit_all(
+        &mut self,
+        specs: &[ScenarioSpec],
+        priority: i32,
+    ) -> io::Result<Vec<SubmitAck>> {
+        specs.iter().map(|s| self.submit(s, priority)).collect()
+    }
+
+    /// Where is this job now?
+    pub fn poll(&mut self, job: JobId) -> io::Result<WireJobState> {
+        match self.rpc(&Request::Poll { job })? {
+            Response::Polled { state, .. } => Ok(state),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cancel a queued job; `Ok(true)` when it will now never run.
+    pub fn cancel(&mut self, job: JobId) -> io::Result<bool> {
+        match self.rpc(&Request::Cancel { job })? {
+            Response::Cancelled { cancelled, .. } => Ok(cancelled),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Stream up to `max` of this connection's completed results as they
+    /// finish (the server pushes them incrementally, then a `stream-end`
+    /// marker). Returns the results delivered within `timeout`.
+    pub fn stream(&mut self, max: usize, timeout: Duration) -> io::Result<Vec<StreamedResult>> {
+        self.send(&Request::Stream {
+            max,
+            // Clamp to the server's own cap, which also keeps the value
+            // inside the 2^53 range the wire's JSON integers can carry
+            // (Duration::MAX would otherwise be rejected as bad-request).
+            timeout_ms: timeout.as_millis().min(MAX_STREAM_TIMEOUT.as_millis()) as u64,
+        })?;
+        let mut out = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Result(r) => out.push(r),
+                Response::StreamEnd { .. } => return Ok(out),
+                Response::Error(e) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Server/store statistics.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.rpc(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Compact the server's store file; returns `(live, dropped_lines)`.
+    pub fn compact(&mut self) -> io::Result<(usize, usize)> {
+        match self.rpc(&Request::Compact)? {
+            Response::Compacted {
+                live,
+                dropped_lines,
+            } => Ok((live, dropped_lines)),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (it hands its store back to
+    /// the process hosting it — see [`CampaignServer::join`]).
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.rpc(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Send one raw line and return the raw response line — the diagnostic
+    /// escape hatch the protocol tests use to exercise server-side error
+    /// paths (malformed JSON, unknown verbs) through a real connection.
+    pub fn raw_request(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.writer.write_all(req.encode().as_bytes())?;
+        self.writer.flush()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    fn recv(&mut self) -> io::Result<Response> {
+        let line = self.read_line()?;
+        Response::decode(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("undecodable response: {e}"),
+            )
+        })
+    }
+
+    fn rpc(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BaseCase;
+
+    fn quick(n: usize) -> ScenarioSpec {
+        let mut s = ScenarioSpec::new(BaseCase::SteepeningWave { amp: 0.2 }, n);
+        s.warmup = 0;
+        s.steps = 1;
+        s
+    }
+
+    fn small_server(store: ResultStore) -> CampaignServer {
+        CampaignServer::bind(
+            "127.0.0.1:0",
+            ExecConfig {
+                workers: 1,
+                threads_per_worker: 1,
+            },
+            store,
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn submit_stream_stats_round_trip_over_localhost() {
+        let server = small_server(ResultStore::new());
+        let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+        let ack = client.submit(&quick(48), 0).unwrap();
+        assert!(ack.queued);
+        let results = client.stream(1, Duration::from_secs(120)).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].job, ack.job);
+        assert!(!results[0].cached);
+        assert!(results[0].result.status.is_ok());
+
+        // Resubmitting the identical spec completes from the cache.
+        let again = client.submit(&quick(48), 0).unwrap();
+        assert!(!again.queued, "born done from the store");
+        let results = client.stream(1, Duration::from_secs(30)).unwrap();
+        assert!(results[0].cached);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.executed, 1, "one execution served two submissions");
+        assert_eq!(stats.entries, 1);
+
+        client.shutdown_server().unwrap();
+        let store = server.join();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_fail_the_request_not_the_connection() {
+        let server = small_server(ResultStore::new());
+        let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+        let resp = client.raw_request("this is not json").unwrap();
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("parse-error"), "{resp}");
+        let resp = client.raw_request("{\"op\":\"warp\"}").unwrap();
+        assert!(resp.contains("unknown-op"), "{resp}");
+        // The same connection still works.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.proto, PROTO_VERSION);
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn handshake_is_mandatory_and_version_checked() {
+        let server = small_server(ResultStore::new());
+        // Raw connection, no handshake: first non-hello request is refused.
+        {
+            let stream = TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            writer.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("handshake-required"), "{line}");
+            // Wrong proto version: error + connection close.
+            writer
+                .write_all(b"{\"op\":\"hello\",\"proto\":999,\"hash_v\":2}\n")
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("version-mismatch"), "{line}");
+            line.clear();
+            assert_eq!(reader.read_line(&mut line).unwrap(), 0, "server closed");
+        }
+        // A well-behaved client still connects fine afterwards.
+        let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_a_code() {
+        let server = small_server(ResultStore::new());
+        let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+        let mut bad = quick(48);
+        bad.backpressure = Some(0.5); // non-jet case: invalid override
+        let err = client.submit(&bad, 0).unwrap_err();
+        assert!(err.to_string().contains("invalid-spec"), "{err}");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.outstanding, 0, "nothing was queued");
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn compact_on_an_in_memory_store_reports_not_persistent() {
+        let server = small_server(ResultStore::new());
+        let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+        let err = client.compact().unwrap_err();
+        assert!(err.to_string().contains("not-persistent"), "{err}");
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+}

@@ -28,6 +28,7 @@ pub enum SchemeKind {
 }
 
 impl SchemeKind {
+    /// Short name used in scenario names, reports, and the wire protocol.
     pub fn name(self) -> &'static str {
         match self {
             SchemeKind::Igr => "igr",
@@ -41,8 +42,11 @@ impl SchemeKind {
 pub enum BaseCase {
     /// Sod shock tube (1-D validation workload).
     Sod,
-    /// Steepening wave with velocity amplitude `amp` (Fig. 2a).
-    SteepeningWave { amp: f64 },
+    /// Steepening wave (Fig. 2a).
+    SteepeningWave {
+        /// Velocity amplitude of the initial wave.
+        amp: f64,
+    },
     /// Shu–Osher shock/entropy-wave interaction.
     ShuOsher,
     /// 2-D isentropic vortex (smooth-accuracy workload).
@@ -50,9 +54,17 @@ pub enum BaseCase {
     /// Single Mach-10 jet in 3-D (Table 3's representative problem).
     SingleJet3d,
     /// Three engines in a row, 2-D, noise-seeded (Fig. 5).
-    ThreeEngine2d { noise_amp: f64, seed: u64 },
+    ThreeEngine2d {
+        /// Amplitude of the seeded initial-field noise.
+        noise_amp: f64,
+        /// PRNG seed for the noise field.
+        seed: u64,
+    },
     /// `engines` engines in a 2-D row (the base-heating sweep workload).
-    EngineRow2d { engines: usize },
+    EngineRow2d {
+        /// How many engines the row carries.
+        engines: usize,
+    },
     /// The 33-engine Super-Heavy-inspired array, 3-D (Fig. 1).
     SuperHeavy3d,
 }
@@ -109,12 +121,14 @@ pub struct ScenarioSpec {
     /// a scenario, they don't change its physics, so relabeled resubmissions
     /// still hit the result cache.
     pub label: Option<String>,
+    /// The case-library workload the scenario starts from.
     pub base: BaseCase,
     /// Resolution parameter passed to the case constructor (cells across
     /// the characteristic length; the constructor fixes the aspect ratio).
     pub resolution: usize,
     /// FP64, FP32, or FP16-storage/FP32-compute.
     pub precision: PrecisionMode,
+    /// IGR or the WENO baseline.
     pub scheme: SchemeKind,
     /// Untimed warm-up steps before measurement.
     pub warmup: usize,
@@ -145,6 +159,17 @@ pub struct ScenarioSpec {
 impl ScenarioSpec {
     /// A single-block IGR/FP64 scenario of `base` at resolution `n` with no
     /// overrides — the starting point sweeps mutate.
+    ///
+    /// ```
+    /// use igr_campaign::{BaseCase, ScenarioSpec};
+    ///
+    /// let mut spec = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 32);
+    /// spec.engine_out = vec![1];          // §3: one engine fails…
+    /// spec.backpressure = Some(0.25);     // …at altitude
+    /// let h = spec.content_hash();        // stable across processes
+    /// spec.label = Some("hero run".into());
+    /// assert_eq!(spec.content_hash(), h, "labels don't change physics");
+    /// ```
     pub fn new(base: BaseCase, resolution: usize) -> Self {
         ScenarioSpec {
             label: None,

@@ -1,7 +1,8 @@
 //! Content-hash result cache.
 //!
-//! Scenario results are keyed by [`ScenarioSpec::content_hash`]
-//! (`crate::spec`): resubmitting a scenario whose physics is unchanged is a
+//! Scenario results are keyed by
+//! [`ScenarioSpec::content_hash`](crate::spec::ScenarioSpec::content_hash):
+//! resubmitting a scenario whose physics is unchanged is a
 //! lookup, not a re-simulation. This is what turns the app layer's
 //! one-case-at-a-time workflow into a cheap, iterable campaign loop — the
 //! expensive part of "change one axis value and re-run the sweep" is only
@@ -17,6 +18,13 @@
 //!
 //! Results are held as `Arc<ScenarioResult>`: a cache hit is a pointer
 //! bump, not a deep clone of the (report-sized) result.
+//!
+//! The backing file is append-only, so re-inserted hashes and recovered
+//! garbage accumulate as *dead lines*. [`ResultStore::compact`] rewrites the
+//! file down to the live entries (atomically: temp file + rename), and
+//! [`ResultStore::insert`] triggers it automatically once the file is at
+//! least [`COMPACT_MIN_LINES`] long and more than half dead — long-lived
+//! campaign caches stay lean without anyone scheduling maintenance.
 
 use crate::persist::{self, AppendLog, StoreRecovery};
 use crate::report::ScenarioResult;
@@ -24,6 +32,20 @@ use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+
+/// What one [`ResultStore::compact`] pass did to the backing file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Live entries the rewritten file now holds (one line each).
+    pub live: usize,
+    /// Lines the rewrite dropped: superseded duplicates, skipped garbage,
+    /// and stale-hash-version entries.
+    pub dropped_lines: usize,
+}
+
+/// Automatic compaction ([`ResultStore::insert`]) never triggers below this
+/// many file lines — tiny stores are not worth rewriting.
+pub const COMPACT_MIN_LINES: usize = 64;
 
 /// Result cache with hit/miss accounting and optional file persistence.
 #[derive(Default)]
@@ -36,6 +58,11 @@ pub struct ResultStore {
     /// Inserts whose append to the backing file failed (the in-memory entry
     /// still lands; persistence degrades, execution does not).
     persist_errors: u64,
+    /// Lines currently in the backing file (valid + dead + garbage).
+    file_lines: usize,
+    /// Cache entries with `Completed` status — the ones a compaction pass
+    /// would keep (failed results are never persisted).
+    live_persistable: usize,
 }
 
 impl ResultStore {
@@ -49,12 +76,23 @@ impl ResultStore {
     /// duplicates of a hash win — and unparseable lines (truncated tails,
     /// stale hash versions) are skipped, never fatal; see
     /// [`Self::recovery`] for the accounting.
+    ///
+    /// ```no_run
+    /// use igr_campaign::ResultStore;
+    ///
+    /// let store = ResultStore::open("campaign_store.jsonl")?;
+    /// let rec = store.recovery().unwrap();
+    /// println!("{} loaded, {} skipped", rec.loaded, rec.skipped);
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let loaded = persist::open(path)?;
+        let file_lines = loaded.recovery.loaded + loaded.recovery.skipped;
         let mut map = HashMap::with_capacity(loaded.entries.len());
         for (hash, result) in loaded.entries {
             map.insert(hash, Arc::new(result));
         }
+        let live_persistable = map.len();
         Ok(ResultStore {
             map,
             hits: 0,
@@ -62,6 +100,8 @@ impl ResultStore {
             log: Some(loaded.log),
             recovery: Some(loaded.recovery),
             persist_errors: 0,
+            file_lines,
+            live_persistable,
         })
     }
 
@@ -103,26 +143,100 @@ impl ResultStore {
     pub fn insert(&mut self, hash: u64, result: ScenarioResult) {
         if result.status.is_ok() {
             if let Some(log) = &mut self.log {
-                if log.append(hash, &result).is_err() {
-                    self.persist_errors += 1;
+                match log.append(hash, &result) {
+                    Ok(()) => self.file_lines += 1,
+                    Err(_) => self.persist_errors += 1,
                 }
             }
+            let superseding = self.map.get(&hash).is_some_and(|prev| prev.status.is_ok());
+            if !superseding {
+                self.live_persistable += 1;
+            }
+        } else if self.map.get(&hash).is_some_and(|prev| prev.status.is_ok()) {
+            // A failed result shadowing a completed one in memory: the old
+            // line stays on disk but a compaction pass would drop it.
+            self.live_persistable -= 1;
         }
         self.map.insert(hash, Arc::new(result));
+        self.compact_if_needed();
     }
 
+    /// Dead weight in the backing file: lines a [`Self::compact`] pass would
+    /// drop (superseded duplicates, garbage, stale hash versions). 0 for
+    /// in-memory stores.
+    pub fn dead_lines(&self) -> usize {
+        self.file_lines.saturating_sub(self.live_persistable)
+    }
+
+    /// Rewrite the backing file down to the live entries: one line per
+    /// cached `Completed` result (last write already won in memory), in
+    /// ascending hash order, atomically (temp file + rename). Superseded
+    /// duplicate lines, unparseable garbage, and stale-hash-version entries
+    /// are dropped. Failed results remain in-memory-only, exactly as
+    /// [`Self::insert`] treats them.
+    ///
+    /// Returns `Ok(None)` for in-memory stores (nothing to compact).
+    ///
+    /// **Ownership caveat**: compaction assumes this process is the file's
+    /// only live writer. The rewrite replaces the inode, so another
+    /// process holding an open append handle to the same path would keep
+    /// appending to the unlinked old file — coordinate externally before
+    /// sharing one store file between concurrently *running* processes
+    /// (sequential sharing, the supported model, is unaffected).
+    pub fn compact(&mut self) -> io::Result<Option<CompactStats>> {
+        let Some(log) = &self.log else {
+            return Ok(None);
+        };
+        let path = log.path().to_path_buf();
+        let mut entries: Vec<(u64, &ScenarioResult)> = self
+            .map
+            .iter()
+            .filter(|(_, r)| r.status.is_ok())
+            .map(|(h, r)| (*h, r.as_ref()))
+            .collect();
+        entries.sort_unstable_by_key(|(h, _)| *h);
+        let live = entries.len();
+        let new_log = persist::rewrite(&path, &entries)?;
+        let dropped_lines = self.file_lines.saturating_sub(live);
+        self.log = Some(new_log);
+        self.file_lines = live;
+        self.live_persistable = live;
+        Ok(Some(CompactStats {
+            live,
+            dropped_lines,
+        }))
+    }
+
+    /// The [`Self::insert`]-time trigger: compact once the file has at
+    /// least [`COMPACT_MIN_LINES`] lines and more than half of them are
+    /// dead. A failed rewrite counts as a persist error and the append-only
+    /// file keeps working as-is.
+    fn compact_if_needed(&mut self) {
+        if self.log.is_some()
+            && self.file_lines >= COMPACT_MIN_LINES
+            && self.dead_lines() * 2 > self.file_lines
+            && self.compact().is_err()
+        {
+            self.persist_errors += 1;
+        }
+    }
+
+    /// Cached results.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
+    /// [`Self::fetch`] calls that found an entry.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
+    /// [`Self::fetch`] calls that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
     }
@@ -138,6 +252,7 @@ impl ResultStore {
         self.log.as_ref().map(|l| l.path())
     }
 
+    /// True when the store is backed by a file.
     pub fn is_persistent(&self) -> bool {
         self.log.is_some()
     }
@@ -234,6 +349,93 @@ mod tests {
         assert!(store.contains(2));
         assert_eq!(store.recovery().unwrap().loaded, 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compacted_file_loads_identically_and_sheds_dead_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "igr-store-compact-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            let mut stale = dummy("one-stale");
+            stale.steps = 1;
+            store.insert(11, stale);
+            let mut fresh = dummy("one-fresh");
+            fresh.steps = 2;
+            store.insert(11, fresh); // supersedes: first line is now dead
+            store.insert(22, dummy("two"));
+            let mut failed = dummy("bad");
+            failed.status = RunStatus::Failed("boom".into());
+            store.insert(33, failed); // in-memory only, never on disk
+            assert_eq!(store.len(), 3);
+            assert_eq!(store.dead_lines(), 1);
+
+            let stats = store.compact().unwrap().unwrap();
+            assert_eq!(
+                stats,
+                CompactStats {
+                    live: 2,
+                    dropped_lines: 1
+                }
+            );
+            assert_eq!(store.dead_lines(), 0);
+            // The compacted store keeps appending cleanly.
+            store.insert(44, dummy("three"));
+        }
+        let lines = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(lines.lines().count(), 3, "2 compacted + 1 appended");
+
+        let mut reopened = ResultStore::open(&path).unwrap();
+        assert_eq!(reopened.recovery().unwrap().skipped, 0);
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.fetch(11).unwrap().steps, 2, "last write won");
+        assert_eq!(reopened.fetch(22).unwrap().name, "two");
+        assert_eq!(reopened.fetch(44).unwrap().name, "three");
+        assert!(!reopened.contains(33), "failures never persist");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repeated_inserts_trigger_automatic_compaction() {
+        let path = std::env::temp_dir().join(format!(
+            "igr-store-autocompact-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            // Re-insert one hash until the dead-line fraction trips the
+            // trigger; the file must stay bounded instead of growing by one
+            // line per insert.
+            for i in 0..(2 * COMPACT_MIN_LINES) {
+                let mut r = dummy("hot");
+                r.steps = i;
+                store.insert(7, r);
+            }
+            assert_eq!(store.len(), 1);
+            assert!(
+                store.file_lines <= COMPACT_MIN_LINES,
+                "file kept {} lines for 1 live entry",
+                store.file_lines
+            );
+            assert_eq!(store.persist_errors(), 0);
+        }
+        let reopened = ResultStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_stores_have_nothing_to_compact() {
+        let mut store = ResultStore::new();
+        store.insert(1, dummy("a"));
+        assert_eq!(store.dead_lines(), 0);
+        assert!(store.compact().unwrap().is_none());
     }
 
     #[test]

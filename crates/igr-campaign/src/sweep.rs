@@ -15,10 +15,16 @@ use igr_prec::PrecisionMode;
 /// One value of one campaign parameter.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Delta {
+    /// Set the resolution parameter (cells across the characteristic
+    /// length).
     Resolution(usize),
+    /// Set the floating-point mode (FP64 / FP32 / FP16-storage).
     Precision(PrecisionMode),
+    /// Set the solver scheme (IGR or the WENO baseline).
     Scheme(SchemeKind),
+    /// Set the timed step count.
     Steps(usize),
+    /// Set the untimed warm-up step count.
     Warmup(usize),
     /// Replace the engine-out set.
     EngineOut(Vec<usize>),
@@ -28,9 +34,13 @@ pub enum Delta {
     Backpressure(f64),
     /// `None` restores the base-case ambient.
     BackpressureDefault,
+    /// Override the CFL number.
     Cfl(f64),
+    /// Override the elliptic sweep count (IGR only).
     EllipticSweeps(usize),
+    /// Override the IGR strength prefactor.
     AlphaFactor(f64),
+    /// Decompose the run over this many `igr-comm` thread-ranks.
     Ranks(usize),
     /// Replace the base case itself (e.g. sweep over workloads).
     Base(BaseCase),
@@ -60,11 +70,15 @@ impl Delta {
 /// A named list of values for one parameter.
 #[derive(Clone, Debug)]
 pub struct ParamAxis {
+    /// Axis label (reports and zip-length error messages).
     pub name: String,
+    /// The values the axis takes, one scenario dimension each.
     pub values: Vec<Delta>,
 }
 
 impl ParamAxis {
+    /// A named axis; panics on an empty value list (an empty axis would
+    /// silently collapse a cartesian product to zero scenarios).
     pub fn new(name: impl Into<String>, values: Vec<Delta>) -> Self {
         let name = name.into();
         assert!(!values.is_empty(), "axis '{name}' has no values");
@@ -82,18 +96,44 @@ pub enum ExpandMode {
     Zip,
     /// A seeded uniform sample (without replacement) of `count` points from
     /// the cartesian product — campaigns whose full product is too large.
-    Sampled { count: usize, seed: u64 },
+    Sampled {
+        /// Scenarios to draw (capped at the full product size).
+        count: usize,
+        /// PRNG seed: the same seed reproduces the same sample.
+        seed: u64,
+    },
 }
 
 /// A campaign sweep: a base spec plus parameter axes.
+///
+/// ```
+/// use igr_campaign::{BaseCase, Delta, ScenarioSpec, Sweep};
+///
+/// let sweep = Sweep::cartesian(ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 24))
+///     .axis("engine_out", vec![
+///         Delta::EngineOut(vec![]),
+///         Delta::EngineOut(vec![0]),
+///         Delta::EngineOut(vec![1]),
+///     ])
+///     .axis("altitude", vec![
+///         Delta::Backpressure(1.0),
+///         Delta::Backpressure(0.25),
+///     ]);
+/// assert_eq!(sweep.len(), 3 * 2);
+/// assert_eq!(sweep.expand().len(), 6);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Sweep {
+    /// The spec every scenario starts from.
     pub base: ScenarioSpec,
+    /// Parameter axes, applied in declaration order.
     pub axes: Vec<ParamAxis>,
+    /// How the axes combine.
     pub mode: ExpandMode,
 }
 
 impl Sweep {
+    /// A sweep expanding to the cartesian product of its axes.
     pub fn cartesian(base: ScenarioSpec) -> Self {
         Sweep {
             base,
@@ -102,6 +142,7 @@ impl Sweep {
         }
     }
 
+    /// A sweep pairing its axes element-wise (all must be equal length).
     pub fn zip(base: ScenarioSpec) -> Self {
         Sweep {
             base,
@@ -110,6 +151,8 @@ impl Sweep {
         }
     }
 
+    /// A sweep drawing a seeded uniform sample of `count` points from the
+    /// cartesian product.
     pub fn sampled(base: ScenarioSpec, count: usize, seed: u64) -> Self {
         Sweep {
             base,
@@ -135,6 +178,7 @@ impl Sweep {
         }
     }
 
+    /// True when [`Self::expand`] would produce nothing.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

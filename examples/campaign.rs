@@ -2,7 +2,9 @@
 //! backpressure sweep on the 3-engine array, execute it on the sharded
 //! worker pool **against a persistent on-disk result store**, demonstrate
 //! the content-hash cache on resubmission, stream a follow-up batch through
-//! the async job queue, and emit one aggregated JSON/CSV report.
+//! the async job queue, round-trip the whole sweep through the **TCP
+//! campaign server** (zero executions from the warm store), and emit one
+//! aggregated JSON/CSV report.
 //!
 //! ```bash
 //! cargo run --release --example campaign
@@ -16,7 +18,9 @@
 //! varies over the ascent — a *campaign* over that parameter box, not one
 //! hero run.
 
-use igr::campaign::{sweep, Campaign, CampaignQueue, ExecConfig, ResultStore};
+use igr::campaign::{
+    sweep, Campaign, CampaignClient, CampaignQueue, CampaignServer, ExecConfig, ResultStore,
+};
 use std::time::Duration;
 
 const STORE_PATH: &str = "target/campaign_store.jsonl";
@@ -111,7 +115,40 @@ fn main() {
     }
     let store = queue.shutdown();
 
-    // ---- 5. One aggregated machine-readable report. ---------------------
+    // ---- 5. Queue-native serving: the same store behind a TCP wire. -----
+    //         A client connects over localhost, resubmits the *entire*
+    //         original sweep, and receives every result from the shared
+    //         content-hash store — the server executes nothing. This is the
+    //         cross-process path of docs/PROTOCOL.md at laptop scale.
+    let server = CampaignServer::bind("127.0.0.1:0", ExecConfig::default(), store)
+        .expect("bind campaign server");
+    println!("\nserver: listening on {}", server.local_addr());
+    let mut client = CampaignClient::connect(server.local_addr()).expect("connect client");
+    let acks = client
+        .submit_all(&scenarios, 0)
+        .expect("submit sweep over the wire");
+    let served = client
+        .stream(acks.len(), Duration::from_secs(600))
+        .expect("stream results back");
+    let stats = client.stats().expect("server stats");
+    println!(
+        "server: {} scenarios submitted over the wire, {} results streamed back, \
+         {} executed ({} store entries)",
+        acks.len(),
+        served.len(),
+        stats.executed,
+        stats.entries
+    );
+    assert_eq!(served.len(), acks.len(), "every submission answered");
+    assert_eq!(
+        stats.executed, 0,
+        "acceptance: the warm store serves the wire rerun with zero executions"
+    );
+    assert!(served.iter().all(|r| r.cached), "all cache-served");
+    client.shutdown_server().expect("graceful shutdown");
+    let store = server.join();
+
+    // ---- 6. One aggregated machine-readable report. ---------------------
     if let Some(worst) = report.worst_base_heating() {
         let b = worst.result.base_heating.as_ref().unwrap();
         println!(

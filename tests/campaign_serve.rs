@@ -1,0 +1,244 @@
+//! Integration tests for queue-native campaign serving: real TCP
+//! connections against a [`CampaignServer`], covering the ISSUE's required
+//! scenarios — multi-client coalescing, mid-stream cancel, torn-connection
+//! recovery, and the acceptance criterion: a warm shared store serves a
+//! whole sweep over the wire with **zero** scenarios executed.
+
+use igr::campaign::{
+    sweep, BaseCase, Campaign, CampaignClient, CampaignServer, ExecConfig, ResultStore,
+    ScenarioSpec, WireJobState,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn quick(n: usize) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(BaseCase::SteepeningWave { amp: 0.2 }, n);
+    s.warmup = 1;
+    s.steps = 2;
+    s
+}
+
+/// A scenario heavy enough (~tens of ms) that queued work stays queued
+/// while a cancel request crosses the wire.
+fn slow(n: usize) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, n);
+    s.warmup = 2;
+    s.steps = 8;
+    s
+}
+
+fn store_path(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("igr-serve-it-{tag}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn one_worker() -> ExecConfig {
+    ExecConfig {
+        workers: 1,
+        threads_per_worker: 1,
+    }
+}
+
+/// The acceptance criterion: process A runs a sweep into a store file;
+/// a server opens that file; a client (standing in for a second process —
+/// nothing is shared but TCP and the file) submits the same sweep and
+/// receives every result with 0 scenarios executed.
+#[test]
+fn warm_store_rerun_over_the_wire_executes_nothing() {
+    let path = store_path("warm");
+    let sweep =
+        sweep::engine_out_gimbal_backpressure(16, 2, &[vec![], vec![0]], &[0.0, 0.1], &[1.0, 0.25]);
+    let scenarios = sweep.expand();
+    assert_eq!(scenarios.len(), 8);
+
+    // Process A: batch-execute into the store file.
+    {
+        let mut campaign = Campaign::open(one_worker(), &path).unwrap();
+        let report = campaign.run(&scenarios);
+        assert_eq!(report.executed, 8);
+    }
+
+    // "Process B": a server over the same file, driven purely over TCP.
+    let server = CampaignServer::bind(
+        "127.0.0.1:0",
+        one_worker(),
+        ResultStore::open(&path).unwrap(),
+    )
+    .unwrap();
+    let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+    let acks = client.submit_all(&scenarios, 0).unwrap();
+    assert!(
+        acks.iter().all(|a| !a.queued),
+        "every submission born done from the warm store"
+    );
+    let results = client.stream(acks.len(), Duration::from_secs(60)).unwrap();
+    assert_eq!(results.len(), scenarios.len(), "all results received");
+    assert!(results.iter().all(|r| r.cached));
+    assert!(results.iter().all(|r| r.result.status.is_ok()));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.executed, 0, "acceptance: 0 scenarios executed");
+    assert_eq!(stats.entries, 8);
+
+    client.shutdown_server().unwrap();
+    let store = server.join();
+    assert_eq!(store.len(), 8);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Two clients submitting the same fresh spec share one execution and one
+/// cached result (content-hash coalescing across connections).
+#[test]
+fn two_clients_share_one_execution_for_the_same_spec() {
+    let server = CampaignServer::bind("127.0.0.1:0", one_worker(), ResultStore::new()).unwrap();
+    let mut a = CampaignClient::connect(server.local_addr()).unwrap();
+    let mut b = CampaignClient::connect(server.local_addr()).unwrap();
+
+    let spec = slow(16);
+    let ack_a = a.submit(&spec, 0).unwrap();
+    let ack_b = b.submit(&spec, 0).unwrap();
+    assert_eq!(ack_a.hash_hex, ack_b.hash_hex, "same physics, same hash");
+
+    let res_a = a.stream(1, Duration::from_secs(120)).unwrap();
+    let res_b = b.stream(1, Duration::from_secs(120)).unwrap();
+    assert_eq!(res_a.len(), 1);
+    assert_eq!(res_b.len(), 1);
+    assert!(res_a[0].result.status.is_ok());
+    assert_eq!(res_a[0].result.hash_hex, res_b[0].result.hash_hex);
+
+    let stats = a.stats().unwrap();
+    assert_eq!(stats.executed, 1, "two clients, one execution");
+    assert_eq!(stats.entries, 1);
+    // Exactly one of the two jobs was the fresh one.
+    assert_eq!(
+        [res_a[0].cached, res_b[0].cached]
+            .iter()
+            .filter(|c| **c)
+            .count(),
+        1,
+        "one fresh completion, one coalesced cache hit"
+    );
+
+    a.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Mid-stream cancel: with one worker busy on a slow high-priority job, a
+/// queued low-priority job can be cancelled between stream exchanges; it
+/// never produces a result and the rest of the session is unaffected.
+#[test]
+fn mid_stream_cancel_drops_only_the_queued_job() {
+    let server = CampaignServer::bind("127.0.0.1:0", one_worker(), ResultStore::new()).unwrap();
+    let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+
+    // Priorities force the run order first → second → victim, so while
+    // `second` occupies the single worker the victim is still queued.
+    let first = client.submit(&slow(16), 9).unwrap();
+    let second = client.submit(&slow(20), 5).unwrap();
+    let victim = client.submit(&slow(24), 0).unwrap();
+
+    // Stream exactly one result (the high-priority job), then cancel the
+    // still-queued victim mid-stream.
+    let got = client.stream(1, Duration::from_secs(120)).unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].job, first.job);
+    assert!(
+        client.cancel(victim.job).unwrap(),
+        "victim was still queued behind the busy worker"
+    );
+    assert!(matches!(
+        client.poll(victim.job).unwrap(),
+        WireJobState::Cancelled
+    ));
+
+    // The remainder of the stream is exactly the middle job.
+    let rest = client.stream(10, Duration::from_secs(120)).unwrap();
+    assert_eq!(rest.len(), 1);
+    assert_eq!(rest[0].job, second.job);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.executed, 2, "the cancelled job never ran");
+    assert_eq!(stats.outstanding, 0);
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Torn connection: a client that submits work and vanishes without
+/// reading anything must not wedge the server — its jobs detach, the
+/// executions finish into the shared store, and a later client gets the
+/// result as a cache hit.
+#[test]
+fn torn_connection_detaches_jobs_and_the_server_recovers() {
+    let server = CampaignServer::bind("127.0.0.1:0", one_worker(), ResultStore::new()).unwrap();
+    let spec = quick(20);
+
+    // Client 1 submits and is dropped mid-session (simulating a crash /
+    // network partition) without ever streaming.
+    {
+        let mut doomed = CampaignClient::connect(server.local_addr()).unwrap();
+        let ack = doomed.submit(&spec, 0).unwrap();
+        assert!(ack.queued);
+        // drop: the TCP connection is torn down with a job in flight
+    }
+
+    // Client 2 arrives later, submits the same physics, and is served —
+    // from the cache once the orphaned execution has landed.
+    let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+    let ack = client.submit(&spec, 0).unwrap();
+    let results = client.stream(1, Duration::from_secs(120)).unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].job, ack.job);
+    assert!(results[0].result.status.is_ok());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.executed, 1,
+        "the orphaned execution completed once; nothing re-ran"
+    );
+    assert_eq!(stats.entries, 1);
+
+    client.shutdown_server().unwrap();
+    let store = server.join();
+    assert_eq!(store.len(), 1, "the torn client's result still persisted");
+}
+
+/// The COMPACT verb rewrites a persistent store over the wire.
+#[test]
+fn compact_verb_rewrites_the_backing_file() {
+    let path = store_path("compact");
+    // Seed the file with a superseded duplicate so there is a dead line.
+    {
+        let mut campaign = Campaign::open(one_worker(), &path).unwrap();
+        campaign.run(&[quick(16)]);
+        let mut store = campaign.into_store();
+        let hash = {
+            let mut s = quick(16);
+            s.normalize();
+            s.content_hash()
+        };
+        let dup = (*store.peek(hash).unwrap().clone()).clone();
+        store.insert(hash, dup); // second line, same hash: one dead line
+        assert_eq!(store.dead_lines(), 1);
+    }
+
+    let server = CampaignServer::bind(
+        "127.0.0.1:0",
+        one_worker(),
+        ResultStore::open(&path).unwrap(),
+    )
+    .unwrap();
+    let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+    let (live, dropped) = client.compact().unwrap();
+    assert_eq!(live, 1);
+    assert_eq!(dropped, 1);
+    client.shutdown_server().unwrap();
+    server.join();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 1, "one live line after compaction");
+    let reopened = ResultStore::open(&path).unwrap();
+    assert_eq!(reopened.recovery().unwrap().loaded, 1);
+    let _ = std::fs::remove_file(&path);
+}

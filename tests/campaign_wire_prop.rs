@@ -1,0 +1,198 @@
+//! Property test for the campaign wire codec: any [`ScenarioSpec`] —
+//! including ones carrying NaN / ±inf / −0.0 floats and full-range u64
+//! seeds — round-trips through `protocol::{encode_spec, decode_spec}`
+//! bit-exactly and preserves its content hash (the cache key, so a lossy
+//! codec would silently re-execute or mis-serve scenarios across the wire).
+
+use igr::app::jets::GimbalSchedule;
+use igr::campaign::protocol::{decode_spec, encode_spec, Request};
+use igr::campaign::{BaseCase, ScenarioSpec, SchemeKind};
+use igr::prec::PrecisionMode;
+use proptest::prelude::*;
+
+/// Floats with guaranteed non-finite / signed-zero coverage on top of
+/// arbitrary bit patterns (`any::<f64>()` alone hits NaN only ~1/2048 of
+/// the time).
+fn wild_f64() -> impl Strategy<Value = f64> {
+    (0usize..8, any::<f64>()).prop_map(|(k, raw)| match k {
+        0 => f64::NAN,
+        1 => f64::from_bits(0x7ff8_0000_0000_0001), // NaN, distinct payload
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        4 => -0.0,
+        5 => 0.0,
+        _ => raw, // arbitrary bits: subnormals, extremes, more NaNs
+    })
+}
+
+fn base_case() -> impl Strategy<Value = BaseCase> {
+    (0usize..8, wild_f64(), any::<u64>(), 1usize..6).prop_map(|(k, f, seed, engines)| match k {
+        0 => BaseCase::Sod,
+        1 => BaseCase::SteepeningWave { amp: f },
+        2 => BaseCase::ShuOsher,
+        3 => BaseCase::IsentropicVortex,
+        4 => BaseCase::SingleJet3d,
+        5 => BaseCase::ThreeEngine2d { noise_amp: f, seed },
+        6 => BaseCase::EngineRow2d { engines },
+        _ => BaseCase::SuperHeavy3d,
+    })
+}
+
+fn gimbal() -> impl Strategy<Value = Vec<(usize, GimbalSchedule)>> {
+    prop::collection::vec(
+        (
+            0usize..6,
+            prop::collection::vec((wild_f64(), wild_f64(), wild_f64()), 1..4),
+        ),
+        0..3,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(engine, knots)| {
+                // Construct directly to preserve the generated knot order —
+                // the codec must reproduce it verbatim, sorted or not.
+                let knots = knots.into_iter().map(|(t, a0, a1)| (t, [a0, a1])).collect();
+                (engine, GimbalSchedule { knots })
+            })
+            .collect()
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        base_case(),
+        (8usize..96, 0usize..3, any::<bool>(), 0usize..4, 1usize..6),
+        prop::collection::vec(0usize..8, 0..4),
+        gimbal(),
+        (
+            (any::<bool>(), wild_f64()),
+            (any::<bool>(), wild_f64()),
+            (any::<bool>(), 1usize..9),
+            (any::<bool>(), wild_f64()),
+            (any::<bool>(), 1usize..5),
+        ),
+        0usize..3,
+    )
+        .prop_map(
+            |(base, (resolution, prec, weno, warmup, steps), engine_out, gimbal, opts, label)| {
+                let ((bp_on, bp), (cfl_on, cfl), (sw_on, sw), (af_on, af), (rk_on, rk)) = opts;
+                ScenarioSpec {
+                    label: match label {
+                        0 => None,
+                        1 => Some("plain label".into()),
+                        _ => Some("weird \"quoted\"\tlabel\nwith\\escapes".into()),
+                    },
+                    base,
+                    resolution,
+                    precision: [
+                        PrecisionMode::Fp64,
+                        PrecisionMode::Fp32,
+                        PrecisionMode::Fp16Fp32,
+                    ][prec],
+                    scheme: if weno {
+                        SchemeKind::WenoBaseline
+                    } else {
+                        SchemeKind::Igr
+                    },
+                    warmup,
+                    steps,
+                    engine_out,
+                    gimbal,
+                    backpressure: bp_on.then_some(bp),
+                    cfl: cfl_on.then_some(cfl),
+                    elliptic_sweeps: sw_on.then_some(sw),
+                    alpha_factor: af_on.then_some(af),
+                    ranks: rk_on.then_some(rk),
+                }
+            },
+        )
+}
+
+/// Bit-level float equality (NaN payloads included).
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn opt_bits_eq(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => bits_eq(x, y),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(spec)) reproduces every field bit-for-bit and — the
+    /// invariant the cross-process cache lives on — the content hash.
+    #[test]
+    fn spec_round_trips_bit_exactly(spec in spec()) {
+        let encoded = encode_spec(&spec);
+        let back = decode_spec(&encoded).unwrap_or_else(|e| {
+            panic!("decode failed: {e}\nencoded: {encoded}")
+        });
+
+        prop_assert_eq!(
+            back.content_hash(),
+            spec.content_hash(),
+            "hash drift; encoded: {}", encoded
+        );
+        prop_assert_eq!(&back.label, &spec.label);
+        prop_assert_eq!(back.resolution, spec.resolution);
+        prop_assert_eq!(back.precision, spec.precision);
+        prop_assert_eq!(back.scheme, spec.scheme);
+        prop_assert_eq!(back.warmup, spec.warmup);
+        prop_assert_eq!(back.steps, spec.steps);
+        prop_assert_eq!(&back.engine_out, &spec.engine_out);
+        prop_assert_eq!(back.elliptic_sweeps, spec.elliptic_sweeps);
+        prop_assert_eq!(back.ranks, spec.ranks);
+        prop_assert!(opt_bits_eq(back.backpressure, spec.backpressure));
+        prop_assert!(opt_bits_eq(back.cfl, spec.cfl));
+        prop_assert!(opt_bits_eq(back.alpha_factor, spec.alpha_factor));
+
+        // Base-case payload floats, bit-for-bit.
+        match (&back.base, &spec.base) {
+            (BaseCase::SteepeningWave { amp: a }, BaseCase::SteepeningWave { amp: b }) => {
+                prop_assert!(bits_eq(*a, *b), "amp bits: {:x} vs {:x}", a.to_bits(), b.to_bits());
+            }
+            (
+                BaseCase::ThreeEngine2d { noise_amp: na, seed: sa },
+                BaseCase::ThreeEngine2d { noise_amp: nb, seed: sb },
+            ) => {
+                prop_assert!(bits_eq(*na, *nb));
+                prop_assert_eq!(sa, sb, "u64 seed survives the string encoding");
+            }
+            (a, b) => prop_assert_eq!(a, b),
+        }
+
+        // Gimbal schedules: engine ids, knot order, and knot float bits.
+        prop_assert_eq!(back.gimbal.len(), spec.gimbal.len());
+        for ((ea, sa), (eb, sb)) in back.gimbal.iter().zip(&spec.gimbal) {
+            prop_assert_eq!(ea, eb);
+            prop_assert_eq!(sa.knots.len(), sb.knots.len());
+            for ((ta, aa), (tb, ab)) in sa.knots.iter().zip(&sb.knots) {
+                prop_assert!(bits_eq(*ta, *tb));
+                prop_assert!(bits_eq(aa[0], ab[0]));
+                prop_assert!(bits_eq(aa[1], ab[1]));
+            }
+        }
+    }
+
+    /// The same invariant holds through the full SUBMIT request framing
+    /// (one wire line), not just the bare spec object.
+    #[test]
+    fn submit_requests_preserve_the_hash(spec in spec(), priority in -100i32..100) {
+        let line = Request::Submit { spec: spec.clone(), priority }.encode();
+        prop_assert_eq!(line.matches('\n').count(), 1, "one line per request");
+        match Request::decode(line.trim_end()) {
+            Ok(Request::Submit { spec: back, priority: p }) => {
+                prop_assert_eq!(p, priority);
+                prop_assert_eq!(back.content_hash(), spec.content_hash());
+            }
+            other => prop_assert!(false, "expected Submit, got {:?}", other),
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! Implements the subset the workspace's property tests use:
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`);
-//! * [`Strategy`] with `prop_map` / `prop_filter`, range strategies for
+//! * [`Strategy`](strategy::Strategy) with `prop_map` / `prop_filter`, range strategies for
 //!   floats and integers, tuple strategies, `any::<T>()`, and
 //!   `prop::collection::vec`;
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!` and
