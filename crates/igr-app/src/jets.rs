@@ -257,6 +257,13 @@ impl InflowProfile for JetArrayInflow {
     fn prim(&self, pos: [f64; 3], _t: f64) -> Prim<f64> {
         self.prim_with_gimbal(pos, |i| self.engines[i].gimbal)
     }
+
+    /// A fixed-gimbal array is a pure function of position, so the ghost
+    /// fill may memoize its boundary plane (33 `tanh` lip profiles per cell
+    /// otherwise re-evaluated every RK stage).
+    fn time_varying(&self) -> bool {
+        false
+    }
 }
 
 /// A piecewise-linear gimbal trajectory: `(t, [angle_a, angle_b])` knots,
@@ -341,6 +348,12 @@ impl ScheduledJetInflow {
 impl InflowProfile for ScheduledJetInflow {
     fn prim(&self, pos: [f64; 3], t: f64) -> Prim<f64> {
         self.base.prim_with_gimbal(pos, |i| self.gimbal_at(i, t))
+    }
+
+    /// Only actually time-varying when a schedule is attached; an empty
+    /// schedule list degenerates to the static array and may be memoized.
+    fn time_varying(&self) -> bool {
+        !self.schedules.is_empty()
     }
 }
 

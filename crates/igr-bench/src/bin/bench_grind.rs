@@ -1,0 +1,279 @@
+//! Measured grind-time benchmark: the repo's tracked perf trajectory.
+//!
+//! Runs calibrated 2-D and 3-D engine-array cases across thread counts,
+//! precisions, and kernel paths (fused vs. reference), and emits the results
+//! as `BENCH_grind.json` (schema: `igr_perf::bench`, documented in
+//! `docs/PERFORMANCE.md`). CI runs `--quick` and gates on the checked-in
+//! baseline snapshot via `--check-against`.
+//!
+//! ```text
+//! bench_grind [--quick] [--out PATH] [--check-against PATH]
+//!             [--tolerance F] [--n3d N] [--n2d N] [--steps N] [--warmup N]
+//!             [--reps N]
+//! ```
+//!
+//! Exit status is non-zero iff a `--check-against` comparison finds a
+//! 1-thread fused-kernel grind time more than `tolerance` (default 0.25 =
+//! 25%) slower than the baseline.
+
+use igr_app::grind::try_measure_grind;
+use igr_app::{cases, CaseSetup};
+use igr_bench::section;
+use igr_core::config::KernelPath;
+use igr_perf::bench::{check_regression, GrindRecord, GrindReport};
+use igr_prec::{Real, Storage, StoreF16, StoreF32, StoreF64};
+
+struct Args {
+    quick: bool,
+    out: String,
+    check_against: Option<String>,
+    tolerance: f64,
+    n3d: usize,
+    n2d: usize,
+    steps: usize,
+    warmup: usize,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_grind.json".into(),
+        check_against: None,
+        tolerance: 0.25,
+        n3d: 0, // resolved after --quick is known
+        n2d: 0,
+        steps: 0,
+        warmup: 0,
+        reps: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut n3d = None;
+    let mut n2d = None;
+    let mut steps = None;
+    let mut warmup = None;
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = val("--out"),
+            "--check-against" => args.check_against = Some(val("--check-against")),
+            "--tolerance" => args.tolerance = val("--tolerance").parse().expect("--tolerance"),
+            "--n3d" => n3d = Some(val("--n3d").parse().expect("--n3d")),
+            "--n2d" => n2d = Some(val("--n2d").parse().expect("--n2d")),
+            "--steps" => steps = Some(val("--steps").parse().expect("--steps")),
+            "--warmup" => warmup = Some(val("--warmup").parse().expect("--warmup")),
+            "--reps" => args.reps = val("--reps").parse().expect("--reps"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args.n3d = n3d.unwrap_or(if args.quick { 16 } else { 32 });
+    args.n2d = n2d.unwrap_or(if args.quick { 32 } else { 64 });
+    args.steps = steps.unwrap_or(if args.quick { 3 } else { 8 });
+    args.warmup = warmup.unwrap_or(if args.quick { 1 } else { 2 });
+    args
+}
+
+/// One measurement under an installed thread pool: best (minimum) grind of
+/// `reps` fresh-solver repetitions — single-shot timings on a shared or
+/// single-core host spike with scheduling noise, and the minimum is the
+/// least-interference estimate. A diverging configuration (e.g. a case that
+/// is numerically unstable at FP16 storage) yields NaN, which serializes as
+/// JSON `null` rather than aborting the whole run; divergence is
+/// deterministic, so the first repetition decides.
+fn run_one<R: Real, S: Storage<R>>(
+    case: &CaseSetup,
+    kernel: KernelPath,
+    threads: usize,
+    warmup: usize,
+    steps: usize,
+    reps: usize,
+) -> f64 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(|| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut cfg = case.igr_config();
+            cfg.kernel = kernel;
+            let mut solver =
+                igr_core::solver::igr_solver(cfg, case.domain, case.init_state::<R, S>());
+            match try_measure_grind(&mut solver, warmup, steps) {
+                Ok(g) => best = best.min(g.ns_per_cell_step),
+                Err(e) => {
+                    eprintln!("  ({}, {} {}t): diverged: {e}", case.name, R::NAME, threads);
+                    return f64::NAN;
+                }
+            }
+        }
+        best
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_precision(
+    case: &CaseSetup,
+    precision: &str,
+    kernel: KernelPath,
+    threads: usize,
+    warmup: usize,
+    steps: usize,
+    reps: usize,
+) -> f64 {
+    match precision {
+        "fp64" => run_one::<f64, StoreF64>(case, kernel, threads, warmup, steps, reps),
+        "fp32" => run_one::<f32, StoreF32>(case, kernel, threads, warmup, steps, reps),
+        "fp16/32" => run_one::<f32, StoreF16>(case, kernel, threads, warmup, steps, reps),
+        other => panic!("unknown precision {other}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cases: Vec<CaseSetup> = vec![
+        cases::three_engine_2d(args.n2d, 1e-3, 42),
+        cases::super_heavy_3d(args.n3d),
+    ];
+    let precisions: &[&str] = if args.quick {
+        &["fp64", "fp32"]
+    } else {
+        &["fp64", "fp32", "fp16/32"]
+    };
+    let thread_counts: &[usize] = if args.quick { &[1] } else { &[1, 2, 4, 8] };
+    let max_threads = *thread_counts.iter().max().unwrap();
+
+    section(&format!(
+        "bench_grind: {} case(s), precisions {:?}, threads {:?}, {} steps (+{} warmup){}",
+        cases.len(),
+        precisions,
+        thread_counts,
+        args.steps,
+        args.warmup,
+        if args.quick { " [quick]" } else { "" }
+    ));
+
+    let mut report = GrindReport::new(host_threads, args.quick);
+    for case in &cases {
+        let shape = case.domain.shape;
+        for &precision in precisions {
+            // The fused path at every thread count; the reference path at the
+            // endpoints (1 and max threads) for speedup_vs_reference.
+            let mut runs: Vec<(KernelPath, usize)> = thread_counts
+                .iter()
+                .map(|&t| (KernelPath::Fused, t))
+                .collect();
+            runs.push((KernelPath::Reference, 1));
+            if max_threads > 1 {
+                runs.push((KernelPath::Reference, max_threads));
+            }
+
+            let mut measured: Vec<(KernelPath, usize, f64)> = Vec::new();
+            for &(kernel, threads) in &runs {
+                let ns = run_precision(
+                    case,
+                    precision,
+                    kernel,
+                    threads,
+                    args.warmup,
+                    args.steps,
+                    args.reps,
+                );
+                println!(
+                    "  {:<16} {:<8} {:<10} {:>2}t  {:>10.1} ns/cell/step",
+                    case.name,
+                    precision,
+                    kernel.label(),
+                    threads,
+                    ns
+                );
+                measured.push((kernel, threads, ns));
+            }
+
+            let grind_of = |kernel: KernelPath, threads: usize| -> Option<f64> {
+                measured
+                    .iter()
+                    .find(|&&(k, t, _)| k == kernel && t == threads)
+                    .map(|&(_, _, ns)| ns)
+            };
+            for &(kernel, threads, ns) in &measured {
+                report.results.push(GrindRecord {
+                    case: case.name.clone(),
+                    nx: shape.nx,
+                    ny: shape.ny,
+                    nz: shape.nz,
+                    cells: shape.n_interior(),
+                    precision: precision.into(),
+                    kernel: kernel.label().into(),
+                    threads,
+                    warmup: args.warmup,
+                    steps: args.steps,
+                    ns_per_cell_step: ns,
+                    cells_per_s: 1e9 / ns,
+                    speedup_vs_1t: grind_of(kernel, 1)
+                        .filter(|_| threads > 1)
+                        .map(|base| base / ns),
+                    speedup_vs_reference: (kernel == KernelPath::Fused)
+                        .then(|| grind_of(KernelPath::Reference, threads))
+                        .flatten()
+                        .map(|base| base / ns),
+                });
+            }
+        }
+    }
+
+    std::fs::write(&args.out, report.to_json()).expect("write BENCH_grind.json");
+    println!("\nwrote {} ({} results)", args.out, report.results.len());
+
+    if let Some(path) = &args.check_against {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = GrindReport::parse(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let findings = check_regression(&report, &baseline, args.tolerance);
+        let mut failed = false;
+        section(&format!(
+            "regression check vs {path} (tolerance {:.0}%)",
+            args.tolerance * 100.0
+        ));
+        for f in &findings {
+            let status = match (f.current_ns, f.regressed) {
+                (None, _) => "SKIP (not measured)".to_string(),
+                (Some(cur), false) => format!("ok   ({:.1} vs {:.1} ns)", cur, f.baseline_ns),
+                (Some(cur), true) => {
+                    failed = true;
+                    format!(
+                        "FAIL ({:.1} ns vs baseline {:.1} ns, +{:.0}%)",
+                        cur,
+                        f.baseline_ns,
+                        100.0 * (cur / f.baseline_ns - 1.0)
+                    )
+                }
+            };
+            println!("  {:<50} {status}", f.config);
+        }
+        // A gate that matched nothing is vacuous, not green: it means the
+        // bench configuration drifted from the snapshot (e.g. grid-size
+        // defaults changed without re-baselining) and regressions would
+        // sail through unmeasured.
+        if !findings.iter().any(|f| f.current_ns.is_some()) {
+            eprintln!(
+                "regression check matched no baseline entry — re-generate {path} \
+                 for the current bench configuration (see docs/PERFORMANCE.md)"
+            );
+            std::process::exit(1);
+        }
+        if failed {
+            eprintln!("grind-time regression detected");
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,6 +19,18 @@ use std::sync::Arc;
 pub trait InflowProfile: Send + Sync {
     /// Primitive state imposed at position `pos` and time `t`.
     fn prim(&self, pos: [f64; 3], t: f64) -> Prim<f64>;
+
+    /// Whether [`InflowProfile::prim`] actually depends on `t`. Profiles
+    /// that are pure functions of position (e.g. a fixed-gimbal engine
+    /// array — 33 `tanh` lip evaluations per ghost cell) should return
+    /// `false`: the ghost fill then evaluates the plane once and replays the
+    /// identical values every step ([`InflowCache`]), which removes the
+    /// profile evaluation from the per-step hot path without changing a bit
+    /// of the result. Defaults to `true` (always re-evaluate — correct for
+    /// every profile, fast for none).
+    fn time_varying(&self) -> bool {
+        true
+    }
 }
 
 impl<F> InflowProfile for F
@@ -113,6 +125,31 @@ pub type FaceMask = [[bool; 2]; 3];
 
 pub const ALL_FACES: FaceMask = [[true; 2]; 3];
 
+/// Memoized inflow-profile planes, one slot per face.
+///
+/// For a time-*independent* [`InflowProfile`] (see
+/// [`InflowProfile::time_varying`]), the profile values over a face's ghost
+/// block never change between fills. The first fill through
+/// [`fill_ghosts_cached`] stores them here (as `Prim<f64>`, the profile's
+/// native output, so one cache serves every storage precision) and later
+/// fills replay them — bitwise identical to re-evaluating, minus the cost.
+/// Owned by `BcGhostOps`; plain [`fill_ghosts`] never caches.
+#[derive(Default)]
+pub struct InflowCache {
+    planes: [[Option<Vec<Prim<f64>>>; 2]; 3],
+}
+
+impl InflowCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop every memoized plane (e.g. after swapping boundary conditions).
+    pub fn clear(&mut self) {
+        self.planes = Default::default();
+    }
+}
+
 /// Fill ghost layers of the conserved state on the masked faces.
 pub fn fill_ghosts<R: Real, S: Storage<R>>(
     state: &mut State<R, S>,
@@ -122,12 +159,54 @@ pub fn fill_ghosts<R: Real, S: Storage<R>>(
     t: f64,
     mask: &FaceMask,
 ) {
+    fill_ghosts_inner(state, domain, bcs, gamma, t, mask, None);
+}
+
+/// [`fill_ghosts`] with inflow-plane memoization for static profiles.
+pub fn fill_ghosts_cached<R: Real, S: Storage<R>>(
+    state: &mut State<R, S>,
+    domain: &Domain,
+    bcs: &BcSet,
+    gamma: f64,
+    t: f64,
+    mask: &FaceMask,
+    cache: &mut InflowCache,
+) {
+    fill_ghosts_inner(state, domain, bcs, gamma, t, mask, Some(cache));
+}
+
+fn fill_ghosts_inner<R: Real, S: Storage<R>>(
+    state: &mut State<R, S>,
+    domain: &Domain,
+    bcs: &BcSet,
+    gamma: f64,
+    t: f64,
+    mask: &FaceMask,
+    mut cache: Option<&mut InflowCache>,
+) {
     let shape = state.shape();
     for axis in [Axis::X, Axis::Y, Axis::Z] {
         if !shape.is_active(axis) {
             continue;
         }
-        fill_ghosts_axis(state, domain, bcs, gamma, t, axis, mask);
+        for side in 0..2 {
+            if !mask[axis.dim()][side] {
+                continue;
+            }
+            let slot = cache
+                .as_deref_mut()
+                .map(|c| &mut c.planes[axis.dim()][side]);
+            fill_face(
+                state,
+                domain,
+                bcs.face(axis, side),
+                gamma,
+                t,
+                axis,
+                side,
+                slot,
+            );
+        }
     }
 }
 
@@ -147,10 +226,20 @@ pub fn fill_ghosts_axis<R: Real, S: Storage<R>>(
         if !mask[axis.dim()][side] {
             continue;
         }
-        fill_face(state, domain, bcs.face(axis, side), gamma, t, axis, side);
+        fill_face(
+            state,
+            domain,
+            bcs.face(axis, side),
+            gamma,
+            t,
+            axis,
+            side,
+            None,
+        );
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fill_face<R: Real, S: Storage<R>>(
     state: &mut State<R, S>,
     domain: &Domain,
@@ -159,11 +248,43 @@ fn fill_face<R: Real, S: Storage<R>>(
     t: f64,
     axis: Axis,
     side: usize,
+    cache_slot: Option<&mut Option<Vec<Prim<f64>>>>,
 ) {
     let shape = state.shape();
     let n = shape.extent(axis) as i32;
     let ng = shape.ghosts(axis) as i32;
     let g = R::from_f64(gamma);
+
+    // Static inflow profiles: evaluate the plane once, replay thereafter.
+    // The replayed values are exactly what `profile.prim` would return (the
+    // profile is a pure function of position), so the fill is bit-identical.
+    if let (Bc::InflowProfile(profile), Some(slot)) = (bc, cache_slot) {
+        if !profile.time_varying() {
+            let vals = slot.get_or_insert_with(|| {
+                let mut vals = Vec::new();
+                for l in 1..=ng {
+                    let ghost = if side == 0 { -l } else { n - 1 + l };
+                    for (b, a) in cross_section(shape, axis) {
+                        let (i, j, k) = assemble(axis, ghost, a, b);
+                        vals.push(profile.prim(domain.cell_center(i, j, k), t));
+                    }
+                }
+                vals
+            });
+            let mut it = vals.iter();
+            for l in 1..=ng {
+                let ghost = if side == 0 { -l } else { n - 1 + l };
+                for (b, a) in cross_section(shape, axis) {
+                    let (i, j, k) = assemble(axis, ghost, a, b);
+                    let pr = it.next().expect("inflow cache shape mismatch");
+                    let prr: Prim<R> =
+                        Prim::from_f64(pr.rho, [pr.vel[0], pr.vel[1], pr.vel[2]], pr.p);
+                    state.set_cons(i, j, k, prr.to_cons(g));
+                }
+            }
+            return;
+        }
+    }
 
     // Ghost index and its source interior index per BC kind, for layer
     // l = 1..=ng measured outward from the boundary.

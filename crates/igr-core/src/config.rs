@@ -10,9 +10,43 @@ pub enum EllipticKind {
     /// Parallel Jacobi sweeps; requires one extra Σ-sized array (the paper's
     /// `17N + 1N` case).
     Jacobi,
-    /// Serial in-place Gauss–Seidel; no extra array, slightly faster
-    /// convergence per sweep, but not parallel.
+    /// In-place red–black (two-color) Gauss–Seidel: no extra array, the
+    /// squared Jacobi convergence rate asymptotically, parallel over slabs
+    /// with bitwise thread-count-independent results.
     GaussSeidel,
+}
+
+/// Which implementation of the per-step hot kernels (flux sweeps, Jacobi
+/// point update) runs.
+///
+/// Both paths compute *bitwise identical* results — the fused path reorders
+/// memory traffic (row-buffered SoA loads, slice-level stride arithmetic),
+/// never per-cell floating-point operations. The reference path is retained
+/// as the ground truth the determinism regression tests and `bench_grind`
+/// speedup reports compare against.
+///
+/// Scope: the selector covers the flux sweeps, the Jacobi point update, and
+/// (via `igr_solver`) the inflow ghost fill. It does *not* resurrect the old
+/// serial lexicographic Gauss–Seidel: [`EllipticKind::GaussSeidel`] is the
+/// parallel red–black ordering on both paths (a deliberate iteration-order
+/// change; see `sigma::gauss_seidel_sweep`). The default
+/// [`EllipticKind::Jacobi`] configuration is unaffected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Straight-line per-cell indexing (the pre-optimization kernels).
+    Reference,
+    /// Row-buffered SoA sweeps + slice-fused elliptic updates (default).
+    Fused,
+}
+
+impl KernelPath {
+    /// Name used in bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPath::Reference => "reference",
+            KernelPath::Fused => "fused",
+        }
+    }
 }
 
 /// Spatial reconstruction order of the linear interface interpolation.
@@ -68,6 +102,9 @@ pub struct IgrConfig {
     pub zeta: f64,
     /// IGR strength prefactor: `α = alpha_factor · Δx_max²` (§5.2: α ∝ Δx²).
     pub alpha_factor: f64,
+    /// Hot-kernel implementation (fused default; reference retained for
+    /// determinism tests and speedup baselines).
+    pub kernel: KernelPath,
     /// Elliptic sweeps per RHS evaluation (paper: ⪅ 5, *warm-started* from
     /// the previous Σ).
     pub sweeps: usize,
@@ -94,6 +131,7 @@ impl Default for IgrConfig {
             mu: 0.0,
             zeta: 0.0,
             alpha_factor: 10.0,
+            kernel: KernelPath::Fused,
             sweeps: 5,
             cold_start_sweeps: 100,
             elliptic: EllipticKind::Jacobi,

@@ -75,6 +75,72 @@ pub fn recon<R: Real>(order: crate::config::ReconOrder, w: &[R; 6]) -> (R, R) {
     }
 }
 
+// --- row-pass variants ---------------------------------------------------
+//
+// The fused RHS kernels reconstruct a whole row of interfaces at once from
+// six contiguous SoA window rows: `w[o][t]` is window cell `o` of interface
+// `t`. Per-interface arithmetic is the *same expression* as the scalar
+// functions above (same multiply/add order), so the row passes are bitwise
+// identical to calling `recon5`/`recon3`/`recon1` per interface — they just
+// expose a clean unit-stride loop to the autovectorizer.
+
+/// Row-pass [`recon5`]: fill `left[t]`/`right[t]` for every interface `t`.
+pub fn recon5_rows<R: Real>(w: [&[R]; 6], left: &mut [R], right: &mut [R]) {
+    let n = left.len();
+    assert_eq!(right.len(), n);
+    let [w0, w1, w2, w3, w4, w5] = w.map(|s| &s[..n]);
+    let c: [R; 5] = [
+        R::from_f64(C5_LEFT[0]),
+        R::from_f64(C5_LEFT[1]),
+        R::from_f64(C5_LEFT[2]),
+        R::from_f64(C5_LEFT[3]),
+        R::from_f64(C5_LEFT[4]),
+    ];
+    for t in 0..n {
+        left[t] = c[0] * w0[t] + c[1] * w1[t] + c[2] * w2[t] + c[3] * w3[t] + c[4] * w4[t];
+        right[t] = c[0] * w5[t] + c[1] * w4[t] + c[2] * w3[t] + c[3] * w2[t] + c[4] * w1[t];
+    }
+}
+
+/// Row-pass [`recon3`].
+pub fn recon3_rows<R: Real>(w: [&[R]; 6], left: &mut [R], right: &mut [R]) {
+    let n = left.len();
+    assert_eq!(right.len(), n);
+    let [_, w1, w2, w3, w4, _] = w.map(|s| &s[..n]);
+    let c: [R; 3] = [
+        R::from_f64(C3_LEFT[0]),
+        R::from_f64(C3_LEFT[1]),
+        R::from_f64(C3_LEFT[2]),
+    ];
+    for t in 0..n {
+        left[t] = c[0] * w1[t] + c[1] * w2[t] + c[2] * w3[t];
+        right[t] = c[0] * w4[t] + c[1] * w3[t] + c[2] * w2[t];
+    }
+}
+
+/// Row-pass [`recon1`] (donor cell).
+pub fn recon1_rows<R: Real>(w: [&[R]; 6], left: &mut [R], right: &mut [R]) {
+    let n = left.len();
+    assert_eq!(right.len(), n);
+    left.copy_from_slice(&w[2][..n]);
+    right.copy_from_slice(&w[3][..n]);
+}
+
+/// Row-pass dispatch by order tag (one branch per row, not per interface).
+#[inline]
+pub fn recon_rows<R: Real>(
+    order: crate::config::ReconOrder,
+    w: [&[R]; 6],
+    left: &mut [R],
+    right: &mut [R],
+) {
+    match order {
+        crate::config::ReconOrder::First => recon1_rows(w, left, right),
+        crate::config::ReconOrder::Third => recon3_rows(w, left, right),
+        crate::config::ReconOrder::Fifth => recon5_rows(w, left, right),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +231,36 @@ mod tests {
             order > 2.5 && order < 3.7,
             "observed order {order}, expected ~3"
         );
+    }
+
+    #[test]
+    fn row_passes_match_scalar_recon_bitwise() {
+        // 6 window rows of pseudo-random-ish values; every order's row pass
+        // must reproduce the per-interface scalar result exactly.
+        let n = 19;
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|o| {
+                (0..n)
+                    .map(|t| ((o * 37 + t * 13) as f64 * 0.7).sin() + o as f64 * 0.1)
+                    .collect()
+            })
+            .collect();
+        let w: [&[f64]; 6] = std::array::from_fn(|o| rows[o].as_slice());
+        for order in [
+            crate::config::ReconOrder::First,
+            crate::config::ReconOrder::Third,
+            crate::config::ReconOrder::Fifth,
+        ] {
+            let mut left = vec![0.0; n];
+            let mut right = vec![0.0; n];
+            recon_rows(order, w, &mut left, &mut right);
+            for t in 0..n {
+                let win: [f64; 6] = std::array::from_fn(|o| rows[o][t]);
+                let (l, r) = recon(order, &win);
+                assert_eq!(left[t], l, "{order:?} t={t}");
+                assert_eq!(right[t], r, "{order:?} t={t}");
+            }
+        }
     }
 
     #[test]

@@ -6,16 +6,30 @@
 //! is materialized to memory, which is the paper's key memory optimization
 //! (25× footprint reduction vs. a staged WENO implementation).
 //!
+//! Two implementations share one interface-flux core (`lf_flux`)
+//! and are bitwise identical:
+//!
+//! * [`KernelPath::Reference`] — the straight-line per-interface kernel:
+//!   every interface gathers its 6-cell window with per-cell indexed loads.
+//! * [`KernelPath::Fused`] (default) — row-buffered SoA sweeps: each cell row
+//!   is unpacked once into contiguous compute-precision buffers, the linear
+//!   reconstruction runs as unit-stride row passes the autovectorizer can
+//!   batch, and the remaining per-interface work reads cache-hot buffers.
+//!   Since reconstruction and flux arithmetic per interface is unchanged (the
+//!   same expressions over the same values), results match the reference
+//!   bit for bit.
+//!
 //! Parallel structure: the RHS arrays are split into contiguous slabs along
-//! the outermost active axis (`rayon` `par_chunks_mut`), and each task
+//! the outermost active axis (near-equal layer counts per chunk, remainder
+//! spread one layer per leading chunk — see [`layer_chunks`]), and each task
 //! computes every flux its slab needs, recomputing interface fluxes at slab
 //! boundaries instead of sharing them. Per-cell arithmetic order is fixed, so
 //! results are bitwise independent of the thread count — this is what the
 //! decomposed-vs-single-rank equality tests rely on.
 
-use crate::config::ReconOrder;
+use crate::config::{KernelPath, ReconOrder};
 use crate::eos::{cons_to_prim, inviscid_flux, max_wave_speed, Cons, Prim, NV};
-use crate::recon::{recon1, recon3, recon5};
+use crate::recon::{recon1, recon3, recon5, recon_rows};
 use crate::state::State;
 use igr_grid::{Axis, Domain, Field, GridShape};
 use igr_prec::{Real, Storage};
@@ -33,6 +47,8 @@ pub struct FluxParams<'a, R: Real, S: Storage<R>> {
     pub viscous: bool,
     pub use_sigma: bool,
     pub order: ReconOrder,
+    /// Which sweep implementation runs (bitwise-equal paths; see module doc).
+    pub kernel: KernelPath,
     pub inv_dx: [R; 3],
     pub inv2dx: [R; 3],
     pub strides: [usize; 3],
@@ -61,6 +77,7 @@ impl<'a, R: Real, S: Storage<R>> FluxParams<'a, R, S> {
             viscous: mu != 0.0 || zeta != 0.0,
             use_sigma,
             order,
+            kernel: KernelPath::Fused,
             inv_dx: [
                 R::from_f64(1.0 / dx[0]),
                 R::from_f64(1.0 / dx[1]),
@@ -80,6 +97,12 @@ impl<'a, R: Real, S: Storage<R>> FluxParams<'a, R, S> {
         }
     }
 
+    /// Select the sweep implementation (default: [`KernelPath::Fused`]).
+    pub fn with_kernel(mut self, kernel: KernelPath) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Cell-centred velocity at a linear index.
     #[inline(always)]
     fn vel_at(&self, lin: usize) -> [R; 3] {
@@ -91,9 +114,67 @@ impl<'a, R: Real, S: Storage<R>> FluxParams<'a, R, S> {
         ]
     }
 
-    /// Numerical flux through the interface between cell `lin_c` and its
-    /// successor along axis `d` (Lax–Friedrichs on reconstructed states,
-    /// eqs. 6–8; plus the viscous flux of eq. 5 when active).
+    /// The interface-flux core shared by both kernel paths: Lax–Friedrichs on
+    /// already-reconstructed states (eqs. 6–8; plus the viscous flux of eq. 5
+    /// when active), including the donor-cell positivity fallback.
+    ///
+    /// `donor_l`/`donor_r` are the conservative states of the two cells
+    /// adjacent to the interface (`w[v][2]`, `w[v][3]` of the 6-cell window),
+    /// and `sig_dl`/`sig_dr` the matching Σ values — used only when the
+    /// reconstruction overshoots into an inadmissible state.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn lf_flux(
+        &self,
+        d: usize,
+        lin_c: usize,
+        mut ql: Cons<R>,
+        mut qr: Cons<R>,
+        mut sl: R,
+        mut sr: R,
+        donor_l: &Cons<R>,
+        donor_r: &Cons<R>,
+        sig_dl: R,
+        sig_dr: R,
+    ) -> Cons<R> {
+        let mut prl = cons_to_prim(&ql, self.gamma);
+        let mut prr = cons_to_prim(&qr, self.gamma);
+
+        // Positivity safeguard: a linear reconstruction can overshoot into
+        // negative density/pressure at under-resolved fronts (e.g. the sharp
+        // edge of a jet inflow). Fall back to the donor-cell states for this
+        // interface; IGR smooths the front within a few cells so this path is
+        // cold.
+        if !(prl.rho > R::ZERO && prr.rho > R::ZERO && prl.p > R::ZERO && prr.p > R::ZERO) {
+            ql = *donor_l;
+            qr = *donor_r;
+            prl = cons_to_prim(&ql, self.gamma);
+            prr = cons_to_prim(&qr, self.gamma);
+            if self.use_sigma {
+                sl = sig_dl;
+                sr = sig_dr;
+            }
+        }
+
+        let lam =
+            max_wave_speed(d, &prl, sl, self.gamma).max(max_wave_speed(d, &prr, sr, self.gamma));
+        let fl = inviscid_flux(d, &ql, &prl, prl.p + sl);
+        let fr = inviscid_flux(d, &qr, &prr, prr.p + sr);
+
+        let mut f = [R::ZERO; NV];
+        for v in 0..NV {
+            f[v] = R::HALF * (fl[v] + fr[v]) - R::HALF * lam * (qr[v] - ql[v]);
+        }
+
+        if self.viscous {
+            self.subtract_viscous_flux(d, lin_c, &prl, &prr, &mut f);
+        }
+        f
+    }
+
+    /// Reference-path numerical flux through the interface between cell
+    /// `lin_c` and its successor along axis `d`: gather the 6-cell window
+    /// with indexed loads, reconstruct, and hand off to [`Self::lf_flux`].
     #[inline(always)]
     fn interface_flux(&self, d: usize, lin_c: usize) -> Cons<R> {
         let st = self.strides[d];
@@ -125,8 +206,8 @@ impl<'a, R: Real, S: Storage<R>> FluxParams<'a, R, S> {
         // Entropic pressure at the interface: same reconstruction (the
         // Σ(-2:3) lines of Algorithm 1).
         let (mut sl, mut sr) = (R::ZERO, R::ZERO);
+        let mut sw = [R::ZERO; 6];
         if self.use_sigma {
-            let mut sw = [R::ZERO; 6];
             for (o, swo) in (0..6).zip(0..6) {
                 sw[swo] = self.sigma.at_lin(base + o * st);
             }
@@ -139,41 +220,9 @@ impl<'a, R: Real, S: Storage<R>> FluxParams<'a, R, S> {
             sr = r;
         }
 
-        let mut prl = cons_to_prim(&ql, self.gamma);
-        let mut prr = cons_to_prim(&qr, self.gamma);
-
-        // Positivity safeguard: a linear reconstruction can overshoot into
-        // negative density/pressure at under-resolved fronts (e.g. the sharp
-        // edge of a jet inflow). Fall back to the donor-cell states for this
-        // interface; IGR smooths the front within a few cells so this path is
-        // cold.
-        if !(prl.rho > R::ZERO && prr.rho > R::ZERO && prl.p > R::ZERO && prr.p > R::ZERO) {
-            for v in 0..NV {
-                ql[v] = w[v][2];
-                qr[v] = w[v][3];
-            }
-            prl = cons_to_prim(&ql, self.gamma);
-            prr = cons_to_prim(&qr, self.gamma);
-            if self.use_sigma {
-                sl = self.sigma.at_lin(lin_c);
-                sr = self.sigma.at_lin(lin_c + st);
-            }
-        }
-
-        let lam =
-            max_wave_speed(d, &prl, sl, self.gamma).max(max_wave_speed(d, &prr, sr, self.gamma));
-        let fl = inviscid_flux(d, &ql, &prl, prl.p + sl);
-        let fr = inviscid_flux(d, &qr, &prr, prr.p + sr);
-
-        let mut f = [R::ZERO; NV];
-        for v in 0..NV {
-            f[v] = R::HALF * (fl[v] + fr[v]) - R::HALF * lam * (qr[v] - ql[v]);
-        }
-
-        if self.viscous {
-            self.subtract_viscous_flux(d, lin_c, &prl, &prr, &mut f);
-        }
-        f
+        let donor_l: Cons<R> = std::array::from_fn(|v| w[v][2]);
+        let donor_r: Cons<R> = std::array::from_fn(|v| w[v][3]);
+        self.lf_flux(d, lin_c, ql, qr, sl, sr, &donor_l, &donor_r, sw[2], sw[3])
     }
 
     /// Viscous contribution at the interface: 2nd-order central velocity
@@ -244,49 +293,71 @@ pub fn accumulate_fluxes<R: Real, S: Storage<R>>(p: &FluxParams<'_, R, S>, rhs: 
         // Chunk over z-layers (full xy-planes).
         let sxy = shape.stride(Axis::Z);
         let n_layers = shape.total(Axis::Z);
-        let lpc = layers_per_chunk(n_layers, threads);
+        let counts = layer_chunks(n_layers, threads);
+        let bounds = prefix_sums(&counts);
+        let sizes: Vec<usize> = counts.iter().map(|&c| c * sxy).collect();
         let gz = shape.ghosts(Axis::Z) as i32;
-        par_over_chunks(rhs, lpc * sxy, |ci, chunks| {
-            let l0 = (ci * lpc) as i32;
-            let l1 = (l0 + lpc as i32).min(n_layers as i32);
+        par_over_uneven_chunks(rhs, &sizes, |ci, chunks| {
+            let l0 = bounds[ci] as i32;
+            let l1 = bounds[ci + 1] as i32;
             let k0 = (l0 - gz).max(0);
             let k1 = (l1 - gz).min(shape.nz as i32);
             if k0 >= k1 {
                 return;
             }
             let off = l0 as usize * sxy;
-            let mut scratch = Scratch::new(shape.nx);
+            let mut scratch = Scratch::new(shape, p.kernel);
             process_block(p, chunks, off, 0..shape.ny as i32, k0..k1, &mut scratch);
         });
     } else if shape.is_active(Axis::Y) {
         // 2-D grid (nz == 1): chunk over y-rows.
         let sx = shape.stride(Axis::Y);
         let n_layers = shape.total(Axis::Y);
-        let lpc = layers_per_chunk(n_layers, threads);
+        let counts = layer_chunks(n_layers, threads);
+        let bounds = prefix_sums(&counts);
+        let sizes: Vec<usize> = counts.iter().map(|&c| c * sx).collect();
         let gy = shape.ghosts(Axis::Y) as i32;
-        par_over_chunks(rhs, lpc * sx, |ci, chunks| {
-            let l0 = (ci * lpc) as i32;
-            let l1 = (l0 + lpc as i32).min(n_layers as i32);
+        par_over_uneven_chunks(rhs, &sizes, |ci, chunks| {
+            let l0 = bounds[ci] as i32;
+            let l1 = bounds[ci + 1] as i32;
             let j0 = (l0 - gy).max(0);
             let j1 = (l1 - gy).min(shape.ny as i32);
             if j0 >= j1 {
                 return;
             }
             let off = l0 as usize * sx;
-            let mut scratch = Scratch::new(shape.nx);
+            let mut scratch = Scratch::new(shape, p.kernel);
             process_block(p, chunks, off, j0..j1, 0..1, &mut scratch);
         });
     } else {
         // 1-D problem: single serial block.
         let chunks = rhs.split_mut_packed();
-        let mut scratch = Scratch::new(shape.nx);
+        let mut scratch = Scratch::new(shape, p.kernel);
         process_block(p, chunks, 0, 0..1, 0..1, &mut scratch);
     }
 }
 
-fn layers_per_chunk(n_layers: usize, threads: usize) -> usize {
-    let target_chunks = (4 * threads).max(1);
-    n_layers.div_ceil(target_chunks).max(1)
+/// Near-equal layer counts for parallel slab decomposition: `n_layers` split
+/// into at most `4 * threads` chunks, with the division remainder spread one
+/// extra layer per *leading* chunk (instead of a ragged, near-empty or
+/// double-sized final chunk). Sums to `n_layers` for every input.
+pub fn layer_chunks(n_layers: usize, threads: usize) -> Vec<usize> {
+    let target = (4 * threads).max(1).min(n_layers.max(1));
+    let base = n_layers / target;
+    let rem = n_layers % target;
+    (0..target).map(|c| base + usize::from(c < rem)).collect()
+}
+
+/// `[0, c0, c0+c1, ...]` — chunk start offsets from chunk sizes.
+pub fn prefix_sums(counts: &[usize]) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0;
+    bounds.push(0);
+    for &c in counts {
+        acc += c;
+        bounds.push(acc);
+    }
+    bounds
 }
 
 /// Split the five arrays of a [`State`] into aligned chunks and run `f` on
@@ -307,17 +378,151 @@ pub fn par_over_chunks<R: Real, S: Storage<R>>(
         .for_each(|(ci, ((((c0, c1), c2), c3), c4))| f(ci, [c0, c1, c2, c3, c4]));
 }
 
-/// Per-task flux-row buffers — the thread-local temporaries of §5.4.
+/// [`par_over_chunks`] with caller-specified chunk sizes (the balanced layer
+/// decomposition of [`layer_chunks`]).
+pub fn par_over_uneven_chunks<R: Real, S: Storage<R>>(
+    rhs: &mut State<R, S>,
+    sizes: &[usize],
+    f: impl Fn(usize, [&mut [S::Packed]; NV]) + Sync,
+) {
+    let [r0, r1, r2, r3, r4] = rhs.split_mut_packed();
+    r0.par_uneven_chunks_mut(sizes.to_vec())
+        .zip(r1.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r2.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r3.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r4.par_uneven_chunks_mut(sizes.to_vec()))
+        .enumerate()
+        .for_each(|(ci, ((((c0, c1), c2), c3), c4))| f(ci, [c0, c1, c2, c3, c4]));
+}
+
+/// One unpacked cell row: the five conservative variables plus Σ in compute
+/// precision, contiguous over the x index (the SoA unit of the fused sweeps).
+struct RowBuf<R: Real> {
+    q: [Vec<R>; NV],
+    s: Vec<R>,
+}
+
+impl<R: Real> RowBuf<R> {
+    fn new(len: usize) -> Self {
+        RowBuf {
+            q: std::array::from_fn(|_| vec![R::ZERO; len]),
+            s: vec![R::ZERO; len],
+        }
+    }
+}
+
+/// Primitive-state and wave-speed rows of one interface row (fused path).
+struct PrimRows<R: Real> {
+    /// Left-state velocity components.
+    ul: [Vec<R>; 3],
+    /// Left-state pressure.
+    pl: Vec<R>,
+    /// Right-state velocity components.
+    ur: [Vec<R>; 3],
+    /// Right-state pressure.
+    pr: Vec<R>,
+    /// Lax–Friedrichs dissipation speed per interface.
+    lam: Vec<R>,
+    /// Interfaces needing the donor-cell positivity fallback (cold).
+    bad: Vec<usize>,
+}
+
+impl<R: Real> PrimRows<R> {
+    fn new(len: usize) -> Self {
+        PrimRows {
+            ul: std::array::from_fn(|_| vec![R::ZERO; len]),
+            pl: vec![R::ZERO; len],
+            ur: std::array::from_fn(|_| vec![R::ZERO; len]),
+            pr: vec![R::ZERO; len],
+            lam: vec![R::ZERO; len],
+            bad: Vec::new(),
+        }
+    }
+}
+
+/// Per-task buffers — the thread-local temporaries of §5.4.
 struct Scratch<R: Real> {
+    /// Flux rows for the reference transverse sweeps (AoS).
     lo: Vec<Cons<R>>,
     hi: Vec<Cons<R>>,
+    /// X sweep: one ghost-padded row (`nx + 2 ng` cells).
+    xw: RowBuf<R>,
+    /// Y/Z sweeps: rolling 6-row stencil window (`nx` cells each).
+    win: Vec<RowBuf<R>>,
+    /// Reconstructed left/right interface rows (`nx + 1` interfaces max).
+    ql: [Vec<R>; NV],
+    qr: [Vec<R>; NV],
+    sl: Vec<R>,
+    sr: Vec<R>,
+    /// Interface primitive/wave-speed rows.
+    prim: PrimRows<R>,
+    /// SoA flux rows (fused path): `fa` doubles as the X-sweep row and the
+    /// transverse "lo" row; `fb` is the transverse "hi" row.
+    fa: [Vec<R>; NV],
+    fb: [Vec<R>; NV],
 }
 
 impl<R: Real> Scratch<R> {
-    fn new(nx: usize) -> Self {
+    /// Allocate only the selected path's buffers — the two sweep families
+    /// never touch each other's scratch, and a task allocates a Scratch per
+    /// chunk per RHS evaluation.
+    fn new(shape: GridShape, kernel: KernelPath) -> Self {
+        let nx = shape.nx;
+        let nxe = nx + 2 * shape.ghosts(Axis::X);
+        let fused = kernel == KernelPath::Fused;
+        let row = |len: usize| -> Vec<R> {
+            if fused {
+                vec![R::ZERO; len]
+            } else {
+                Vec::new()
+            }
+        };
         Scratch {
-            lo: vec![[R::ZERO; NV]; nx],
-            hi: vec![[R::ZERO; NV]; nx],
+            lo: if fused {
+                Vec::new()
+            } else {
+                vec![[R::ZERO; NV]; nx]
+            },
+            hi: if fused {
+                Vec::new()
+            } else {
+                vec![[R::ZERO; NV]; nx]
+            },
+            xw: RowBuf::new(if fused { nxe } else { 0 }),
+            win: (0..6)
+                .map(|_| RowBuf::new(if fused { nx } else { 0 }))
+                .collect(),
+            ql: std::array::from_fn(|_| row(nx + 1)),
+            qr: std::array::from_fn(|_| row(nx + 1)),
+            sl: row(nx + 1),
+            sr: row(nx + 1),
+            prim: PrimRows::new(if fused { nx + 1 } else { 0 }),
+            fa: std::array::from_fn(|_| row(nx + 1)),
+            fb: std::array::from_fn(|_| row(nx + 1)),
+        }
+    }
+}
+
+/// Unpack `len` cells starting at linear index `start` into `buf` (all five
+/// conservative rows, plus Σ when in use).
+fn load_row<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    start: usize,
+    len: usize,
+    buf: &mut RowBuf<R>,
+) {
+    for (v, field) in p.q.fields().into_iter().enumerate() {
+        let src = &field.packed()[start..start + len];
+        let dst = &mut buf.q[v][..len];
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = S::unpack(s);
+        }
+    }
+    if p.use_sigma {
+        let src = &p.sigma.packed()[start..start + len];
+        let dst = &mut buf.s[..len];
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = S::unpack(s);
         }
     }
 }
@@ -334,28 +539,58 @@ fn process_block<R: Real, S: Storage<R>>(
     scratch: &mut Scratch<R>,
 ) {
     let shape = p.shape;
+    let fused = p.kernel == KernelPath::Fused;
 
     if shape.is_active(Axis::X) {
-        sweep_x(p, &mut chunks, off, j_range.clone(), k_range.clone());
+        if fused {
+            sweep_x_fused(
+                p,
+                &mut chunks,
+                off,
+                j_range.clone(),
+                k_range.clone(),
+                scratch,
+            );
+        } else {
+            sweep_x_ref(p, &mut chunks, off, j_range.clone(), k_range.clone());
+        }
     }
     if shape.is_active(Axis::Y) {
-        sweep_row_buffered(
-            p,
-            &mut chunks,
-            off,
-            Axis::Y,
-            j_range.clone(),
-            k_range.clone(),
-            scratch,
-        );
+        if fused {
+            sweep_yz_fused(
+                p,
+                &mut chunks,
+                off,
+                Axis::Y,
+                j_range.clone(),
+                k_range.clone(),
+                scratch,
+            );
+        } else {
+            sweep_yz_ref(
+                p,
+                &mut chunks,
+                off,
+                Axis::Y,
+                j_range.clone(),
+                k_range.clone(),
+                scratch,
+            );
+        }
     }
     if shape.is_active(Axis::Z) {
-        sweep_row_buffered(p, &mut chunks, off, Axis::Z, j_range, k_range, scratch);
+        if fused {
+            sweep_yz_fused(p, &mut chunks, off, Axis::Z, j_range, k_range, scratch);
+        } else {
+            sweep_yz_ref(p, &mut chunks, off, Axis::Z, j_range, k_range, scratch);
+        }
     }
 }
 
+// --- reference sweeps ----------------------------------------------------
+
 /// X sweep: walk each x-row keeping the previous interface flux in registers.
-fn sweep_x<R: Real, S: Storage<R>>(
+fn sweep_x_ref<R: Real, S: Storage<R>>(
     p: &FluxParams<'_, R, S>,
     chunks: &mut [&mut [S::Packed]; NV],
     off: usize,
@@ -382,9 +617,9 @@ fn sweep_x<R: Real, S: Storage<R>>(
     }
 }
 
-/// Y/Z sweep: compute one row of interface fluxes at a time (vectorizable
-/// over the contiguous x index) and difference consecutive rows.
-fn sweep_row_buffered<R: Real, S: Storage<R>>(
+/// Y/Z sweep: compute one row of interface fluxes at a time and difference
+/// consecutive rows (windows gathered per interface with indexed loads).
+fn sweep_yz_ref<R: Real, S: Storage<R>>(
     p: &FluxParams<'_, R, S>,
     chunks: &mut [&mut [S::Packed]; NV],
     off: usize,
@@ -448,7 +683,365 @@ fn sweep_row_buffered<R: Real, S: Storage<R>>(
                 }
             }
         }
-        Axis::X => unreachable!("x uses sweep_x"),
+        Axis::X => unreachable!("x uses sweep_x_ref"),
+    }
+}
+
+// --- fused (row-buffered SoA) sweeps -------------------------------------
+//
+// The fused path mirrors the reference's per-interface expressions exactly —
+// same operations, same order, on the same values — restructured as
+// unit-stride row passes (reconstruction, cons→prim, wave speeds, fluxes)
+// that the autovectorizer can batch across interfaces. The tests
+// `fused_kernel_matches_reference_*` and the repo-level determinism
+// regression test pin the bitwise equality.
+
+/// Compute one SoA row of interface fluxes from already-reconstructed
+/// left/right rows. `row_c` is the linear index of the cell on the low side
+/// of interface 0 (for the viscous stencil); `donors(t)` returns the two
+/// adjacent-cell states and Σ values for the cold positivity fallback.
+#[allow(clippy::too_many_arguments)]
+fn flux_row_core<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    d: usize,
+    row_c: usize,
+    n: usize,
+    ql: &mut [Vec<R>; NV],
+    qr: &mut [Vec<R>; NV],
+    sl: &mut [R],
+    sr: &mut [R],
+    prim: &mut PrimRows<R>,
+    donors: impl Fn(usize) -> ([Cons<R>; 2], [R; 2]),
+    out: &mut [Vec<R>; NV],
+) {
+    let gamma = p.gamma;
+    // cons→prim row passes (both sides). Expressions mirror `cons_to_prim`.
+    for (qs, us, ps) in [
+        (&*ql, &mut prim.ul, &mut prim.pl),
+        (&*qr, &mut prim.ur, &mut prim.pr),
+    ] {
+        let [q0, q1, q2, q3, q4] = qs.each_ref().map(|v| &v[..n]);
+        let [u0, u1, u2] = us.each_mut().map(|v| &mut v[..n]);
+        let pp = &mut ps[..n];
+        for i in 0..n {
+            let inv_rho = R::ONE / q0[i];
+            let u = q1[i] * inv_rho;
+            let v = q2[i] * inv_rho;
+            let w = q3[i] * inv_rho;
+            let ke = R::HALF * q0[i] * (u * u + v * v + w * w);
+            u0[i] = u;
+            u1[i] = v;
+            u2[i] = w;
+            pp[i] = (gamma - R::ONE) * (q4[i] - ke);
+        }
+    }
+
+    // Positivity scan: collect the (cold) interfaces whose reconstruction
+    // overshot, and redo them from the donor-cell states — the same fallback
+    // as the reference's `lf_flux`.
+    prim.bad.clear();
+    for i in 0..n {
+        if !(ql[0][i] > R::ZERO
+            && qr[0][i] > R::ZERO
+            && prim.pl[i] > R::ZERO
+            && prim.pr[i] > R::ZERO)
+        {
+            prim.bad.push(i);
+        }
+    }
+    for bi in 0..prim.bad.len() {
+        let i = prim.bad[bi];
+        let ([donor_l, donor_r], [sig_dl, sig_dr]) = donors(i);
+        for v in 0..NV {
+            ql[v][i] = donor_l[v];
+            qr[v][i] = donor_r[v];
+        }
+        let prl = cons_to_prim(&donor_l, gamma);
+        let prr = cons_to_prim(&donor_r, gamma);
+        for a in 0..3 {
+            prim.ul[a][i] = prl.vel[a];
+            prim.ur[a][i] = prr.vel[a];
+        }
+        prim.pl[i] = prl.p;
+        prim.pr[i] = prr.p;
+        if p.use_sigma {
+            sl[i] = sig_dl;
+            sr[i] = sig_dr;
+        }
+    }
+
+    // Wave-speed row (mirrors `max_wave_speed` on both sides).
+    let tiny = R::from_f64(1e-300);
+    {
+        let (unl, unr) = (&prim.ul[d][..n], &prim.ur[d][..n]);
+        let (rl, rr) = (&ql[0][..n], &qr[0][..n]);
+        let (pl, pr) = (&prim.pl[..n], &prim.pr[..n]);
+        let lam = &mut prim.lam[..n];
+        for i in 0..n {
+            let pel = (pl[i] + sl[i]).max(tiny);
+            let per = (pr[i] + sr[i]).max(tiny);
+            let wsl = unl[i].abs() + (gamma * pel / rl[i]).sqrt();
+            let wsr = unr[i].abs() + (gamma * per / rr[i]).sqrt();
+            lam[i] = wsl.max(wsr);
+        }
+    }
+
+    // Flux rows: `inviscid_flux` + Lax–Friedrichs combine, per variable.
+    let (unl, unr) = (&prim.ul[d][..n], &prim.ur[d][..n]);
+    let (pl, pr) = (&prim.pl[..n], &prim.pr[..n]);
+    let lam = &prim.lam[..n];
+    for v in 0..NV {
+        let (qlv, qrv) = (&ql[v][..n], &qr[v][..n]);
+        let o = &mut out[v][..n];
+        if v == 4 {
+            for i in 0..n {
+                let fl = (qlv[i] + (pl[i] + sl[i])) * unl[i];
+                let fr = (qrv[i] + (pr[i] + sr[i])) * unr[i];
+                o[i] = R::HALF * (fl + fr) - R::HALF * lam[i] * (qrv[i] - qlv[i]);
+            }
+        } else if v == 1 + d {
+            for i in 0..n {
+                let fl = qlv[i] * unl[i] + (pl[i] + sl[i]);
+                let fr = qrv[i] * unr[i] + (pr[i] + sr[i]);
+                o[i] = R::HALF * (fl + fr) - R::HALF * lam[i] * (qrv[i] - qlv[i]);
+            }
+        } else {
+            for i in 0..n {
+                let fl = qlv[i] * unl[i];
+                let fr = qrv[i] * unr[i];
+                o[i] = R::HALF * (fl + fr) - R::HALF * lam[i] * (qrv[i] - qlv[i]);
+            }
+        }
+    }
+
+    // Viscous contribution: cold on the bench workloads; per-interface
+    // scalar, identical to the reference path.
+    if p.viscous {
+        for i in 0..n {
+            let mut f: Cons<R> = std::array::from_fn(|v| out[v][i]);
+            let prl = Prim {
+                rho: ql[0][i],
+                vel: [prim.ul[0][i], prim.ul[1][i], prim.ul[2][i]],
+                p: prim.pl[i],
+            };
+            let prr = Prim {
+                rho: qr[0][i],
+                vel: [prim.ur[0][i], prim.ur[1][i], prim.ur[2][i]],
+                p: prim.pr[i],
+            };
+            p.subtract_viscous_flux(d, row_c + i, &prl, &prr, &mut f);
+            for v in 0..NV {
+                out[v][i] = f[v];
+            }
+        }
+    }
+}
+
+/// X sweep, fused: unpack each ghost-padded row once, then run the full
+/// reconstruction + flux pipeline as unit-stride row passes and difference
+/// consecutive interface fluxes per variable.
+fn sweep_x_fused<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    chunks: &mut [&mut [S::Packed]; NV],
+    off: usize,
+    j_range: std::ops::Range<i32>,
+    k_range: std::ops::Range<i32>,
+    scratch: &mut Scratch<R>,
+) {
+    let shape = p.shape;
+    let inv_dx = p.inv_dx[0];
+    let nx = shape.nx;
+    let g = shape.ghosts(Axis::X);
+    debug_assert!(g >= 3, "x sweep needs the full 6-cell window in ghosts");
+    let nxe = nx + 2 * g;
+    let n_if = nx + 1; // interfaces -1/2 .. nx-1/2
+    let o0 = g - 3; // padded-row offset of window cell o=0 at interface t=0
+
+    let Scratch {
+        xw,
+        ql,
+        qr,
+        sl,
+        sr,
+        prim,
+        fa,
+        ..
+    } = scratch;
+
+    for k in k_range {
+        for j in j_range.clone() {
+            let base = shape.idx(0, j, k);
+            load_row(p, base - g, nxe, xw);
+
+            // Unit-stride reconstruction over the whole row: interface t
+            // (between cells t-1 and t) reads padded cells o0+t .. o0+t+5.
+            for v in 0..NV {
+                let w: [&[R]; 6] = std::array::from_fn(|o| &xw.q[v][o0 + o..o0 + o + n_if]);
+                recon_rows(p.order, w, &mut ql[v][..n_if], &mut qr[v][..n_if]);
+            }
+            if p.use_sigma {
+                let w: [&[R]; 6] = std::array::from_fn(|o| &xw.s[o0 + o..o0 + o + n_if]);
+                recon_rows(p.order, w, &mut sl[..n_if], &mut sr[..n_if]);
+            }
+
+            flux_row_core(
+                p,
+                0,
+                base - 1,
+                n_if,
+                ql,
+                qr,
+                sl,
+                sr,
+                prim,
+                |t| {
+                    (
+                        [
+                            std::array::from_fn(|v| xw.q[v][g - 1 + t]),
+                            std::array::from_fn(|v| xw.q[v][g + t]),
+                        ],
+                        [xw.s[g - 1 + t], xw.s[g + t]],
+                    )
+                },
+                fa,
+            );
+
+            // Flux difference per variable: acc += (F_{c-1/2} - F_{c+1/2})/dx.
+            for v in 0..NV {
+                let f = &fa[v][..n_if];
+                let row = &mut chunks[v][base - off..base - off + nx];
+                for (c, cell) in row.iter_mut().enumerate() {
+                    let acc = S::unpack(*cell) + (f[c] - f[c + 1]) * inv_dx;
+                    *cell = S::pack(acc);
+                }
+            }
+        }
+    }
+}
+
+/// One row of transverse-interface fluxes from a 6-row window (fused path).
+/// `row_c` is the linear start of the cell row on the low side of the
+/// interface (window position 2).
+#[allow(clippy::too_many_arguments)]
+fn flux_row_from_window<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    d: usize,
+    row_c: usize,
+    win: &[RowBuf<R>],
+    ql: &mut [Vec<R>; NV],
+    qr: &mut [Vec<R>; NV],
+    sl: &mut [R],
+    sr: &mut [R],
+    prim: &mut PrimRows<R>,
+    out: &mut [Vec<R>; NV],
+    nx: usize,
+) {
+    for v in 0..NV {
+        let w: [&[R]; 6] = std::array::from_fn(|o| &win[o].q[v][..nx]);
+        recon_rows(p.order, w, &mut ql[v][..nx], &mut qr[v][..nx]);
+    }
+    if p.use_sigma {
+        let w: [&[R]; 6] = std::array::from_fn(|o| &win[o].s[..nx]);
+        recon_rows(p.order, w, &mut sl[..nx], &mut sr[..nx]);
+    }
+    flux_row_core(
+        p,
+        d,
+        row_c,
+        nx,
+        ql,
+        qr,
+        sl,
+        sr,
+        prim,
+        |i| {
+            (
+                [
+                    std::array::from_fn(|v| win[2].q[v][i]),
+                    std::array::from_fn(|v| win[3].q[v][i]),
+                ],
+                [win[2].s[i], win[3].s[i]],
+            )
+        },
+        out,
+    );
+}
+
+/// Y/Z sweep, fused: a rolling 6-row SoA window (each cell row unpacked once
+/// per sweep instead of once per window position), row-pass reconstruction
+/// and fluxes, and the same consecutive-row flux differencing as the
+/// reference.
+fn sweep_yz_fused<R: Real, S: Storage<R>>(
+    p: &FluxParams<'_, R, S>,
+    chunks: &mut [&mut [S::Packed]; NV],
+    off: usize,
+    axis: Axis,
+    j_range: std::ops::Range<i32>,
+    k_range: std::ops::Range<i32>,
+    scratch: &mut Scratch<R>,
+) {
+    let shape = p.shape;
+    let d = axis.dim();
+    let st = p.strides[d];
+    let inv_dx = p.inv_dx[d];
+    let nx = shape.nx;
+
+    let Scratch {
+        win,
+        ql,
+        qr,
+        sl,
+        sr,
+        prim,
+        fa,
+        fb,
+        ..
+    } = scratch;
+    let (mut lo, mut hi) = (fa, fb);
+
+    // The transverse row index runs over `outer`; the sweep advances `inner`.
+    // Y: outer = k-range, inner = j-range. Z: outer = j-range, inner = k-range.
+    let (outer, inner) = match axis {
+        Axis::Y => (k_range, j_range),
+        Axis::Z => (j_range, k_range),
+        Axis::X => unreachable!("x uses sweep_x_fused"),
+    };
+
+    for t in outer {
+        // Row start of sweep position `c` at transverse index `t`.
+        let row_start = |c: i32| -> usize {
+            match axis {
+                Axis::Y => shape.idx(0, c, t),
+                _ => shape.idx(0, t, c),
+            }
+        };
+
+        // Prime the window with cell rows (start-3 .. start+2) and the low
+        // interface flux row (between rows start-1 and start).
+        let c0 = inner.start;
+        for (o, buf) in win.iter_mut().enumerate() {
+            load_row(p, row_start(c0 - 3 + o as i32), nx, buf);
+        }
+        flux_row_from_window(p, d, row_start(c0 - 1), win, ql, qr, sl, sr, prim, lo, nx);
+
+        for c in inner.clone() {
+            // Advance the window to rows (c-2 .. c+3).
+            win.rotate_left(1);
+            load_row(p, row_start(c + 3), nx, &mut win[5]);
+            let row = row_start(c);
+            debug_assert_eq!(row, row_start(c0 - 1) + ((c - (c0 - 1)) as usize) * st);
+            flux_row_from_window(p, d, row, win, ql, qr, sl, sr, prim, hi, nx);
+
+            for v in 0..NV {
+                let (flo, fhi) = (&lo[v][..nx], &hi[v][..nx]);
+                let cells = &mut chunks[v][row - off..row - off + nx];
+                for (i, cell) in cells.iter_mut().enumerate() {
+                    let acc = S::unpack(*cell) + (flo[i] - fhi[i]) * inv_dx;
+                    *cell = S::pack(acc);
+                }
+            }
+            std::mem::swap(&mut lo, &mut hi);
+        }
     }
 }
 
@@ -468,6 +1061,16 @@ mod tests {
         order: ReconOrder,
         mu: f64,
     ) -> (St, Domain) {
+        rhs_of_kernel(shape, init, order, mu, KernelPath::Fused)
+    }
+
+    fn rhs_of_kernel(
+        shape: GridShape,
+        init: impl Fn([f64; 3]) -> Prim<f64>,
+        order: ReconOrder,
+        mu: f64,
+        kernel: KernelPath,
+    ) -> (St, Domain) {
         let domain = Domain::unit(shape);
         let mut q = St::zeros(shape);
         q.set_prim_field(&domain, 1.4, init);
@@ -480,7 +1083,8 @@ mod tests {
             &ALL_FACES,
         );
         let sigma = F::zeros(shape);
-        let params = FluxParams::new(&q, &sigma, &domain, 1.4, mu, 0.0, order, false);
+        let params =
+            FluxParams::new(&q, &sigma, &domain, 1.4, mu, 0.0, order, false).with_kernel(kernel);
         let mut rhs = St::zeros(shape);
         accumulate_fluxes(&params, &mut rhs);
         (rhs, domain)
@@ -571,13 +1175,129 @@ mod tests {
             .num_threads(4)
             .build()
             .unwrap();
-        let r1 = pool1.install(|| rhs_of(shape, init, ReconOrder::Fifth, 0.01).0);
-        let r4 = pool4.install(|| rhs_of(shape, init, ReconOrder::Fifth, 0.01).0);
-        assert_eq!(
-            r1.max_diff(&r4),
+        for kernel in [KernelPath::Reference, KernelPath::Fused] {
+            let r1 =
+                pool1.install(|| rhs_of_kernel(shape, init, ReconOrder::Fifth, 0.01, kernel).0);
+            let r4 =
+                pool4.install(|| rhs_of_kernel(shape, init, ReconOrder::Fifth, 0.01, kernel).0);
+            assert_eq!(
+                r1.max_diff(&r4),
+                0.0,
+                "flux accumulation must be deterministic ({kernel:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_reference_bitwise() {
+        // The fused path reorders memory traffic, never arithmetic: identical
+        // output bits on every grid dimensionality, order, and viscosity.
+        let tau = std::f64::consts::TAU;
+        let init = |p: [f64; 3]| {
+            Prim::new(
+                1.0 + 0.25 * (tau * p[0]).sin() * (tau * (p[1] + p[2])).cos(),
+                [
+                    0.4 * (tau * p[1]).cos(),
+                    -0.3 * (tau * p[2]).sin(),
+                    0.2 * (tau * p[0]).sin(),
+                ],
+                1.0 + 0.3 * (tau * p[2]).sin(),
+            )
+        };
+        for shape in [
+            GridShape::new(17, 1, 1, 3),
+            GridShape::new(11, 9, 1, 3),
+            GridShape::new(9, 7, 6, 3),
+        ] {
+            for order in [ReconOrder::First, ReconOrder::Third, ReconOrder::Fifth] {
+                for mu in [0.0, 0.02] {
+                    let (r_ref, _) = rhs_of_kernel(shape, init, order, mu, KernelPath::Reference);
+                    let (r_fused, _) = rhs_of_kernel(shape, init, order, mu, KernelPath::Fused);
+                    assert_eq!(
+                        r_ref.max_diff(&r_fused),
+                        0.0,
+                        "shape {shape:?} order {order:?} mu {mu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_reference_with_sigma() {
+        // Σ reconstruction and the donor fallback's Σ path must also agree.
+        let shape = GridShape::new(10, 8, 6, 3);
+        let domain = Domain::unit(shape);
+        let tau = std::f64::consts::TAU;
+        let mut q = St::zeros(shape);
+        q.set_prim_field(&domain, 1.4, |p| {
+            Prim::new(
+                1.0 + 0.2 * (tau * p[0]).sin(),
+                [0.3 * (tau * p[1]).cos(), 0.1, -0.2 * (tau * p[2]).sin()],
+                1.0,
+            )
+        });
+        fill_ghosts(
+            &mut q,
+            &domain,
+            &BcSet::all_periodic(),
+            1.4,
             0.0,
-            "flux accumulation must be deterministic"
+            &ALL_FACES,
         );
+        let mut sigma = F::zeros(shape);
+        sigma.map_interior(|i, j, k, _| 0.01 * ((i + 2 * j + 3 * k) as f64).sin());
+        crate::bc::fill_scalar_ghosts(&mut sigma, &BcSet::all_periodic(), &ALL_FACES);
+
+        let run = |kernel: KernelPath| -> St {
+            let params =
+                FluxParams::new(&q, &sigma, &domain, 1.4, 0.0, 0.0, ReconOrder::Fifth, true)
+                    .with_kernel(kernel);
+            let mut rhs = St::zeros(shape);
+            accumulate_fluxes(&params, &mut rhs);
+            rhs
+        };
+        assert_eq!(
+            run(KernelPath::Reference).max_diff(&run(KernelPath::Fused)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn layer_chunks_spread_the_remainder() {
+        for (n_layers, threads) in [
+            (1usize, 1usize),
+            (1, 8),
+            (5, 4),
+            (13, 3),
+            (17, 16),
+            (22, 3),
+            (38, 3),
+            (64, 8),
+            (129, 8),
+            (1000, 7),
+        ] {
+            let counts = layer_chunks(n_layers, threads);
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                n_layers,
+                "counts must cover all layers ({n_layers}, {threads})"
+            );
+            assert!(!counts.is_empty());
+            assert!(counts.len() <= (4 * threads).max(1));
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(
+                max - min <= 1,
+                "({n_layers}, {threads}): near-equal chunks required, got {counts:?}"
+            );
+            assert!(min >= 1, "no empty chunks: {counts:?}");
+            // Remainder goes to leading chunks: sizes must be non-increasing.
+            assert!(
+                counts.windows(2).all(|w| w[0] >= w[1]),
+                "remainder must lead: {counts:?}"
+            );
+        }
     }
 
     #[test]
@@ -643,23 +1363,27 @@ mod tests {
     fn positivity_fallback_keeps_flux_finite() {
         // A near-vacuum cell adjacent to a dense one: linear recon would
         // produce a negative density; the donor-cell fallback must keep
-        // everything finite.
-        let shape = GridShape::new(16, 1, 1, 3);
-        let domain = Domain::unit(shape);
-        let mut q = St::zeros(shape);
-        q.set_prim_field(&domain, 1.4, |p| {
-            if p[0] < 0.5 {
-                Prim::new(1.0, [0.0; 3], 1.0)
-            } else {
-                Prim::new(1e-6, [0.0; 3], 1e-6)
-            }
-        });
-        fill_ghosts(&mut q, &domain, &BcSet::all_outflow(), 1.4, 0.0, &ALL_FACES);
-        let sigma = F::zeros(shape);
-        let params = FluxParams::new(&q, &sigma, &domain, 1.4, 0.0, 0.0, ReconOrder::Fifth, false);
-        let mut rhs = St::zeros(shape);
-        accumulate_fluxes(&params, &mut rhs);
-        assert!(rhs.find_non_finite().is_none());
+        // everything finite (on both kernel paths).
+        for kernel in [KernelPath::Reference, KernelPath::Fused] {
+            let shape = GridShape::new(16, 1, 1, 3);
+            let domain = Domain::unit(shape);
+            let mut q = St::zeros(shape);
+            q.set_prim_field(&domain, 1.4, |p| {
+                if p[0] < 0.5 {
+                    Prim::new(1.0, [0.0; 3], 1.0)
+                } else {
+                    Prim::new(1e-6, [0.0; 3], 1e-6)
+                }
+            });
+            fill_ghosts(&mut q, &domain, &BcSet::all_outflow(), 1.4, 0.0, &ALL_FACES);
+            let sigma = F::zeros(shape);
+            let params =
+                FluxParams::new(&q, &sigma, &domain, 1.4, 0.0, 0.0, ReconOrder::Fifth, false)
+                    .with_kernel(kernel);
+            let mut rhs = St::zeros(shape);
+            accumulate_fluxes(&params, &mut rhs);
+            assert!(rhs.find_non_finite().is_none(), "{kernel:?}");
+        }
     }
 
     #[test]

@@ -94,19 +94,34 @@ impl<R: Real, S: Storage<R>> Field<R, S> {
     }
 
     /// Sum of `f(x)` over interior cells in f64 (for conservation checks).
+    ///
+    /// Iterates contiguous interior rows as slices (one ghost-offset
+    /// computation per row, not per cell); the accumulation order is the
+    /// fixed x-fastest interior order, so results are bit-stable.
     pub fn sum_interior(&self, mut f: impl FnMut(R) -> f64) -> f64 {
-        self.shape
-            .interior_indices()
-            .map(|lin| f(self.data.get(lin)))
-            .sum()
+        let nx = self.shape.nx;
+        let packed = self.data.packed();
+        let mut acc = 0.0f64;
+        for start in self.shape.interior_row_starts() {
+            for &p in &packed[start..start + nx] {
+                acc += f(S::unpack(p));
+            }
+        }
+        acc
     }
 
-    /// Max of `f(x)` over interior cells.
+    /// Max of `f(x)` over interior cells (same row-slice iteration and fixed
+    /// evaluation order as [`Field::sum_interior`]).
     pub fn max_interior(&self, mut f: impl FnMut(R) -> f64) -> f64 {
-        self.shape
-            .interior_indices()
-            .map(|lin| f(self.data.get(lin)))
-            .fold(f64::NEG_INFINITY, f64::max)
+        let nx = self.shape.nx;
+        let packed = self.data.packed();
+        let mut acc = f64::NEG_INFINITY;
+        for start in self.shape.interior_row_starts() {
+            for &p in &packed[start..start + nx] {
+                acc = acc.max(f(S::unpack(p)));
+            }
+        }
+        acc
     }
 
     /// Number of cells in one halo slab of `depth` layers on `axis`.

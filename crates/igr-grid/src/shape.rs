@@ -177,6 +177,15 @@ impl GridShape {
         })
     }
 
+    /// Linear start index of every interior x-row `(j, k)`, in the same
+    /// (x-fastest) order as [`GridShape::interior_indices`]. Each row is
+    /// `nx` contiguous cells, so reductions and stencil kernels can iterate
+    /// plain slices instead of paying per-cell ghost-offset arithmetic.
+    pub fn interior_row_starts(&self) -> impl Iterator<Item = usize> + '_ {
+        let shape = *self;
+        (0..self.nz as i32).flat_map(move |k| (0..shape.ny as i32).map(move |j| shape.idx(0, j, k)))
+    }
+
     /// Is `(i, j, k)` an interior cell?
     #[inline]
     pub fn in_interior(&self, i: i32, j: i32, k: i32) -> bool {
@@ -248,6 +257,22 @@ mod tests {
         for lin in v {
             let (i, j, k) = s.coords(lin);
             assert!(s.in_interior(i, j, k));
+        }
+    }
+
+    #[test]
+    fn interior_row_starts_match_interior_indices() {
+        for s in [
+            GridShape::new(5, 4, 3, 2),
+            GridShape::new(7, 1, 1, 3),
+            GridShape::new(4, 6, 1, 1),
+        ] {
+            let by_rows: Vec<usize> = s
+                .interior_row_starts()
+                .flat_map(|start| start..start + s.nx)
+                .collect();
+            let by_cells: Vec<usize> = s.interior_indices().collect();
+            assert_eq!(by_rows, by_cells);
         }
     }
 

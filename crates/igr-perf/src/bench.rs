@@ -1,0 +1,613 @@
+//! Measured-benchmark records: the `BENCH_grind.json` schema.
+//!
+//! The paper's headline software metric is *grind time* — nanoseconds per
+//! grid cell per time step (Table 3). The `bench_grind` binary in `igr-bench`
+//! measures it on real hardware and emits a [`GrindReport`]; this module owns
+//! the schema (encode + parse, hand-rolled — the build environment has no
+//! serde) and the regression check CI runs against a checked-in baseline
+//! snapshot.
+//!
+//! Schema (`version` = [`SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "generated_by": "bench_grind",
+//!   "host_threads": 8,
+//!   "quick": false,
+//!   "results": [
+//!     {
+//!       "case": "super-heavy-33", "nx": 32, "ny": 32, "nz": 32,
+//!       "cells": 32768, "precision": "fp32", "kernel": "fused",
+//!       "threads": 8, "warmup": 2, "steps": 10,
+//!       "ns_per_cell_step": 123.4, "cells_per_s": 8.1e6,
+//!       "speedup_vs_1t": 3.7, "speedup_vs_reference": 1.8
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `speedup_vs_1t` is grind(1 thread)/grind(this record) at otherwise equal
+//! configuration; `speedup_vs_reference` is grind(reference kernel)/grind
+//! (this record) at equal configuration. Both are omitted (JSON `null`) when
+//! the partner measurement is not part of the run.
+
+use std::fmt::Write as _;
+
+/// Version tag written to / expected in `BENCH_grind.json`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One measured grind-time configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrindRecord {
+    /// Case name (e.g. `super-heavy-33`).
+    pub case: String,
+    /// Grid extents.
+    pub nx: usize,
+    /// Grid extents.
+    pub ny: usize,
+    /// Grid extents.
+    pub nz: usize,
+    /// Interior cell count (`nx*ny*nz`).
+    pub cells: usize,
+    /// Precision label (`fp64`, `fp32`, `fp16/32`).
+    pub precision: String,
+    /// Kernel path label (`fused`, `reference`).
+    pub kernel: String,
+    /// Worker thread count the measurement ran under.
+    pub threads: usize,
+    /// Untimed warm-up steps before the timed window.
+    pub warmup: usize,
+    /// Timed steps.
+    pub steps: usize,
+    /// The grind time: nanoseconds per cell per step (smaller is faster).
+    pub ns_per_cell_step: f64,
+    /// Throughput: cells advanced per wall-clock second.
+    pub cells_per_s: f64,
+    /// grind(1 thread) / grind(self), same case/precision/kernel.
+    pub speedup_vs_1t: Option<f64>,
+    /// grind(reference kernel) / grind(self), same case/precision/threads.
+    pub speedup_vs_reference: Option<f64>,
+}
+
+impl GrindRecord {
+    /// The identity fields a baseline comparison matches on.
+    pub fn key(&self) -> (String, usize, usize, usize, String, String, usize) {
+        (
+            self.case.clone(),
+            self.nx,
+            self.ny,
+            self.nz,
+            self.precision.clone(),
+            self.kernel.clone(),
+            self.threads,
+        )
+    }
+}
+
+/// A full `BENCH_grind.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrindReport {
+    /// Schema version ([`SCHEMA_VERSION`] on write).
+    pub version: u32,
+    /// Worker threads available on the measuring host.
+    pub host_threads: usize,
+    /// Whether this was a reduced `--quick` run.
+    pub quick: bool,
+    /// The measurements.
+    pub results: Vec<GrindRecord>,
+}
+
+impl GrindReport {
+    /// New empty report for the current host.
+    pub fn new(host_threads: usize, quick: bool) -> Self {
+        GrindReport {
+            version: SCHEMA_VERSION,
+            host_threads,
+            quick,
+            results: Vec::new(),
+        }
+    }
+
+    /// Serialize to the documented JSON schema (pretty-printed, stable field
+    /// order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": {},", self.version);
+        s.push_str("  \"generated_by\": \"bench_grind\",\n");
+        let _ = writeln!(s, "  \"host_threads\": {},", self.host_threads);
+        let _ = writeln!(s, "  \"quick\": {},", self.quick);
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str("    {");
+            let _ = write!(s, "\"case\": {}, ", json_str(&r.case));
+            let _ = write!(s, "\"nx\": {}, \"ny\": {}, \"nz\": {}, ", r.nx, r.ny, r.nz);
+            let _ = write!(s, "\"cells\": {}, ", r.cells);
+            let _ = write!(s, "\"precision\": {}, ", json_str(&r.precision));
+            let _ = write!(s, "\"kernel\": {}, ", json_str(&r.kernel));
+            let _ = write!(
+                s,
+                "\"threads\": {}, \"warmup\": {}, \"steps\": {}, ",
+                r.threads, r.warmup, r.steps
+            );
+            let _ = write!(
+                s,
+                "\"ns_per_cell_step\": {}, ",
+                json_f64(r.ns_per_cell_step)
+            );
+            let _ = write!(s, "\"cells_per_s\": {}, ", json_f64(r.cells_per_s));
+            let _ = write!(s, "\"speedup_vs_1t\": {}, ", json_opt(r.speedup_vs_1t));
+            let _ = write!(
+                s,
+                "\"speedup_vs_reference\": {}",
+                json_opt(r.speedup_vs_reference)
+            );
+            s.push('}');
+            if i + 1 < self.results.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a document produced by [`GrindReport::to_json`] (tolerant of
+    /// whitespace and field order; unknown fields are ignored).
+    pub fn parse(text: &str) -> Result<GrindReport, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_obj().ok_or("top level must be an object")?;
+        let version = get_u64(obj, "version")? as u32;
+        if version > SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {version} (this build understands <= {SCHEMA_VERSION})"
+            ));
+        }
+        let host_threads = get_u64(obj, "host_threads")? as usize;
+        let quick = matches!(find(obj, "quick"), Some(Json::Bool(true)));
+        let results_v = find(obj, "results").ok_or("missing field: results")?;
+        let arr = results_v.as_arr().ok_or("results must be an array")?;
+        let mut results = Vec::with_capacity(arr.len());
+        for item in arr {
+            let o = item.as_obj().ok_or("result entries must be objects")?;
+            results.push(GrindRecord {
+                case: get_str(o, "case")?,
+                nx: get_u64(o, "nx")? as usize,
+                ny: get_u64(o, "ny")? as usize,
+                nz: get_u64(o, "nz")? as usize,
+                cells: get_u64(o, "cells")? as usize,
+                precision: get_str(o, "precision")?,
+                kernel: get_str(o, "kernel")?,
+                threads: get_u64(o, "threads")? as usize,
+                warmup: get_u64(o, "warmup")? as usize,
+                steps: get_u64(o, "steps")? as usize,
+                ns_per_cell_step: get_f64(o, "ns_per_cell_step")?,
+                cells_per_s: get_f64(o, "cells_per_s")?,
+                speedup_vs_1t: get_opt_f64(o, "speedup_vs_1t"),
+                speedup_vs_reference: get_opt_f64(o, "speedup_vs_reference"),
+            });
+        }
+        Ok(GrindReport {
+            version,
+            host_threads,
+            quick,
+            results,
+        })
+    }
+}
+
+/// Verdict of [`check_regression`] for one baseline entry.
+#[derive(Clone, Debug)]
+pub struct RegressionFinding {
+    /// `case @ nxxnyxnz precision kernel threads` summary of the entry.
+    pub config: String,
+    /// Baseline grind time, ns/cell/step.
+    pub baseline_ns: f64,
+    /// Currently measured grind time, ns/cell/step (None: not re-measured).
+    pub current_ns: Option<f64>,
+    /// True when `current > baseline * (1 + tolerance)`.
+    pub regressed: bool,
+}
+
+/// Compare a fresh report against a checked-in baseline snapshot.
+///
+/// Only *1-thread fused-kernel* baseline entries gate (multi-thread timings
+/// on shared CI runners are too noisy to fail a build on); each must be
+/// re-measured within `tolerance` (e.g. `0.25` = 25% slower) in `current`.
+/// Baseline entries the current run did not measure are reported with
+/// `current_ns: None` and do not fail the check.
+pub fn check_regression(
+    current: &GrindReport,
+    baseline: &GrindReport,
+    tolerance: f64,
+) -> Vec<RegressionFinding> {
+    let mut findings = Vec::new();
+    for b in &baseline.results {
+        if b.threads != 1 || b.kernel != "fused" {
+            continue;
+        }
+        let config = format!(
+            "{} @ {}x{}x{} {} {} {}t",
+            b.case, b.nx, b.ny, b.nz, b.precision, b.kernel, b.threads
+        );
+        let cur = current.results.iter().find(|c| c.key() == b.key());
+        findings.push(RegressionFinding {
+            config,
+            baseline_ns: b.ns_per_cell_step,
+            current_ns: cur.map(|c| c.ns_per_cell_step),
+            regressed: cur.is_some_and(|c| {
+                // A non-finite re-measurement means the gated configuration
+                // diverged or failed outright — that is a regression, not a
+                // pass (NaN would never satisfy a `>` comparison).
+                !c.ns_per_cell_step.is_finite()
+                    || c.ns_per_cell_step > b.ns_per_cell_step * (1.0 + tolerance)
+            }),
+        });
+    }
+    findings
+}
+
+// --- tiny JSON layer -----------------------------------------------------
+//
+// igr-perf depends only on igr-mem, so the codec lives here rather than
+// reusing igr-campaign's (which sits above this crate in the workspace DAG).
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // Bare integers are valid JSON numbers; keep them as-is.
+        s
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => json_f64(v),
+        None => "null".into(),
+    }
+}
+
+/// Minimal JSON value (no number/string distinction beyond the schema needs).
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut obj = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(obj));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                obj.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(obj));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8: copy the full scalar.
+                        let start = *pos;
+                        let mut end = *pos + 1;
+                        if c >= 0x80 {
+                            while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                                end += 1;
+                            }
+                        }
+                        s.push_str(std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?);
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{s}' at byte {start}"))
+        }
+    }
+}
+
+fn find<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match find(obj, key) {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        Some(_) => Err(format!("field {key} must be a non-negative integer")),
+        None => Err(format!("missing field: {key}")),
+    }
+}
+
+fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match find(obj, key) {
+        Some(Json::Num(n)) => Ok(*n),
+        Some(Json::Null) => Ok(f64::NAN),
+        Some(_) => Err(format!("field {key} must be a number")),
+        None => Err(format!("missing field: {key}")),
+    }
+}
+
+fn get_opt_f64(obj: &[(String, Json)], key: &str) -> Option<f64> {
+    match find(obj, key) {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    match find(obj, key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field {key} must be a string")),
+        None => Err(format!("missing field: {key}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(case: &str, kernel: &str, threads: usize, ns: f64) -> GrindRecord {
+        GrindRecord {
+            case: case.into(),
+            nx: 32,
+            ny: 32,
+            nz: 32,
+            cells: 32 * 32 * 32,
+            precision: "fp32".into(),
+            kernel: kernel.into(),
+            threads,
+            warmup: 2,
+            steps: 10,
+            ns_per_cell_step: ns,
+            cells_per_s: 1e9 / ns,
+            speedup_vs_1t: (threads > 1).then_some(1.5),
+            speedup_vs_reference: None,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let mut report = GrindReport::new(8, true);
+        report
+            .results
+            .push(record("super-heavy-33", "fused", 1, 812.375));
+        report
+            .results
+            .push(record("three-engine-2d", "reference", 8, 97.0625));
+        let text = report.to_json();
+        let back = GrindReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parse_tolerates_unknown_fields_and_order() {
+        let text = r#"{
+            "host_threads": 4, "version": 1, "future_field": [1, {"x": "y"}],
+            "results": [{"kernel": "fused", "case": "c", "nx": 8, "ny": 1,
+                "nz": 1, "cells": 8, "precision": "fp64", "threads": 1,
+                "warmup": 0, "steps": 3, "ns_per_cell_step": 5.5,
+                "cells_per_s": 1.0, "speedup_vs_1t": null,
+                "speedup_vs_reference": 2.25, "extra": true}]
+        }"#;
+        let r = GrindReport::parse(text).unwrap();
+        assert_eq!(r.host_threads, 4);
+        assert!(!r.quick, "missing quick defaults to false");
+        assert_eq!(r.results.len(), 1);
+        assert_eq!(r.results[0].speedup_vs_1t, None);
+        assert_eq!(r.results[0].speedup_vs_reference, Some(2.25));
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected() {
+        let text = format!(
+            "{{\"version\": {}, \"host_threads\": 1, \"results\": []}}",
+            SCHEMA_VERSION + 1
+        );
+        assert!(GrindReport::parse(&text).is_err());
+    }
+
+    #[test]
+    fn regression_check_flags_only_tolerance_violations() {
+        let mut baseline = GrindReport::new(8, true);
+        baseline.results.push(record("a", "fused", 1, 100.0));
+        baseline.results.push(record("b", "fused", 1, 100.0));
+        baseline.results.push(record("c", "fused", 1, 100.0)); // not re-measured
+        baseline.results.push(record("a", "fused", 8, 100.0)); // multi-thread: ignored
+        baseline.results.push(record("a", "reference", 1, 1.0)); // reference: ignored
+
+        let mut current = GrindReport::new(8, true);
+        current.results.push(record("a", "fused", 1, 124.0)); // within 25%
+        current.results.push(record("b", "fused", 1, 126.0)); // over 25%
+
+        let findings = check_regression(&current, &baseline, 0.25);
+        assert_eq!(findings.len(), 3, "one finding per gating baseline entry");
+        let by_cfg = |s: &str| findings.iter().find(|f| f.config.starts_with(s)).unwrap();
+        assert!(!by_cfg("a @").regressed);
+        assert!(by_cfg("b @").regressed);
+        let c = by_cfg("c @");
+        assert!(!c.regressed && c.current_ns.is_none(), "unmeasured passes");
+    }
+
+    #[test]
+    fn diverged_gating_config_fails_the_regression_check() {
+        let mut baseline = GrindReport::new(8, true);
+        baseline.results.push(record("a", "fused", 1, 100.0));
+        let mut current = GrindReport::new(8, true);
+        current.results.push(record("a", "fused", 1, f64::NAN));
+        let findings = check_regression(&current, &baseline, 0.25);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].regressed,
+            "a diverged (NaN) re-measurement must fail the gate, not slip through"
+        );
+    }
+
+    #[test]
+    fn non_finite_grind_times_serialize_as_null_and_parse_as_nan() {
+        let mut report = GrindReport::new(1, false);
+        let mut r = record("x", "fused", 1, f64::NAN);
+        r.cells_per_s = f64::INFINITY;
+        report.results.push(r);
+        let back = GrindReport::parse(&report.to_json()).unwrap();
+        assert!(back.results[0].ns_per_cell_step.is_nan());
+        assert!(back.results[0].cells_per_s.is_nan());
+    }
+}

@@ -24,6 +24,7 @@
 //! EXPERIMENTS.md. Laptop-scale *measured* runs from `igr-bench` anchor the
 //! scheme-to-scheme ratios independently.
 
+pub mod bench;
 pub mod capacity;
 pub mod energy;
 pub mod flops;
@@ -31,6 +32,7 @@ pub mod grind;
 pub mod scaling;
 pub mod systems;
 
+pub use bench::{GrindRecord, GrindReport};
 pub use capacity::{CapacityModel, MemoryLayout};
 pub use energy::EnergyModel;
 pub use flops::FlopModel;

@@ -20,6 +20,7 @@ use crate::eos::{
 use crate::state::SpeciesState;
 use igr_core::config::ReconOrder;
 use igr_core::recon::recon;
+use igr_core::rhs::{layer_chunks, prefix_sums};
 use igr_grid::{Axis, Domain, Field, GridShape};
 use igr_prec::{Real, Storage};
 use rayon::prelude::*;
@@ -259,11 +260,13 @@ pub fn accumulate_fluxes2<R: Real, S: Storage<R>>(
     if shape.is_active(Axis::Z) {
         let sxy = shape.stride(Axis::Z);
         let n_layers = shape.total(Axis::Z);
-        let lpc = layers_per_chunk(n_layers, threads);
+        let counts = layer_chunks(n_layers, threads);
+        let bounds = prefix_sums(&counts);
+        let sizes: Vec<usize> = counts.iter().map(|&c| c * sxy).collect();
         let gz = shape.ghosts(Axis::Z) as i32;
-        par_over_chunks7(rhs, lpc * sxy, |ci, chunks| {
-            let l0 = (ci * lpc) as i32;
-            let l1 = (l0 + lpc as i32).min(n_layers as i32);
+        par_over_uneven_chunks7(rhs, &sizes, |ci, chunks| {
+            let l0 = bounds[ci] as i32;
+            let l1 = bounds[ci + 1] as i32;
             let k0 = (l0 - gz).max(0);
             let k1 = (l1 - gz).min(shape.nz as i32);
             if k0 >= k1 {
@@ -276,11 +279,13 @@ pub fn accumulate_fluxes2<R: Real, S: Storage<R>>(
     } else if shape.is_active(Axis::Y) {
         let sx = shape.stride(Axis::Y);
         let n_layers = shape.total(Axis::Y);
-        let lpc = layers_per_chunk(n_layers, threads);
+        let counts = layer_chunks(n_layers, threads);
+        let bounds = prefix_sums(&counts);
+        let sizes: Vec<usize> = counts.iter().map(|&c| c * sx).collect();
         let gy = shape.ghosts(Axis::Y) as i32;
-        par_over_chunks7(rhs, lpc * sx, |ci, chunks| {
-            let l0 = (ci * lpc) as i32;
-            let l1 = (l0 + lpc as i32).min(n_layers as i32);
+        par_over_uneven_chunks7(rhs, &sizes, |ci, chunks| {
+            let l0 = bounds[ci] as i32;
+            let l1 = bounds[ci + 1] as i32;
             let j0 = (l0 - gy).max(0);
             let j1 = (l1 - gy).min(shape.ny as i32);
             if j0 >= j1 {
@@ -295,11 +300,6 @@ pub fn accumulate_fluxes2<R: Real, S: Storage<R>>(
         let mut scratch = Scratch::new(shape.nx);
         process_block(p, chunks, 0, 0..1, 0..1, &mut scratch);
     }
-}
-
-fn layers_per_chunk(n_layers: usize, threads: usize) -> usize {
-    let target_chunks = (4 * threads).max(1);
-    n_layers.div_ceil(target_chunks).max(1)
 }
 
 /// Split the seven arrays into aligned chunks and run `f` on each set in
@@ -317,6 +317,27 @@ pub fn par_over_chunks7<R: Real, S: Storage<R>>(
         .zip(r4.par_chunks_mut(csize))
         .zip(r5.par_chunks_mut(csize))
         .zip(r6.par_chunks_mut(csize))
+        .enumerate()
+        .for_each(|(ci, ((((((c0, c1), c2), c3), c4), c5), c6))| {
+            f(ci, [c0, c1, c2, c3, c4, c5, c6])
+        });
+}
+
+/// [`par_over_chunks7`] with caller-specified chunk sizes (the balanced
+/// layer decomposition of [`layer_chunks`]).
+pub fn par_over_uneven_chunks7<R: Real, S: Storage<R>>(
+    rhs: &mut SpeciesState<R, S>,
+    sizes: &[usize],
+    f: impl Fn(usize, [&mut [S::Packed]; NS]) + Sync,
+) {
+    let [r0, r1, r2, r3, r4, r5, r6] = rhs.split_mut_packed();
+    r0.par_uneven_chunks_mut(sizes.to_vec())
+        .zip(r1.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r2.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r3.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r4.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r5.par_uneven_chunks_mut(sizes.to_vec()))
+        .zip(r6.par_uneven_chunks_mut(sizes.to_vec()))
         .enumerate()
         .for_each(|(ci, ((((((c0, c1), c2), c3), c4), c5), c6))| {
             f(ci, [c0, c1, c2, c3, c4, c5, c6])

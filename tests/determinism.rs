@@ -1,0 +1,94 @@
+//! Determinism regression tests for the grind-time performance pass.
+//!
+//! The optimized kernels (row-buffered SoA flux sweeps, slice-fused Jacobi,
+//! red–black Gauss–Seidel, memoized inflow planes) reorder memory traffic
+//! and parallel decomposition but never per-cell floating-point arithmetic.
+//! These tests pin the two resulting contracts on a real 3-D jet workload,
+//! at both storage precisions:
+//!
+//! 1. **Thread-count independence**: the solver state after 20 steps is
+//!    bitwise identical for 1 vs. N worker threads.
+//! 2. **Kernel-path equivalence**: the fused path is bitwise identical to
+//!    the retained reference (pre-optimization) path.
+
+use igr::app::cases;
+use igr::core::config::{EllipticKind, KernelPath};
+use igr::core::solver::igr_solver;
+use igr::core::State;
+use igr::prec::{Real, Storage, StoreF32, StoreF64};
+
+/// 20 steps of a 3-D many-engine jet under the given kernel/elliptic
+/// configuration and thread count.
+fn run_case<R: Real, S: Storage<R>>(
+    kernel: KernelPath,
+    elliptic: EllipticKind,
+    threads: usize,
+) -> State<R, S> {
+    let case = cases::super_heavy_3d(16);
+    let mut cfg = case.igr_config();
+    cfg.kernel = kernel;
+    cfg.elliptic = elliptic;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let mut solver = igr_solver(cfg, case.domain, case.init_state::<R, S>());
+        for _ in 0..20 {
+            solver
+                .step()
+                .expect("jet case must stay finite for 20 steps");
+        }
+        solver.q
+    })
+}
+
+fn assert_bitwise_equal<R: Real, S: Storage<R>>(a: &State<R, S>, b: &State<R, S>, what: &str) {
+    // max_diff is exact in f64 for both storage precisions, so a 0.0
+    // difference means every stored bit pattern agrees (NaNs would already
+    // have failed the step() above).
+    assert_eq!(
+        a.max_diff(b),
+        0.0,
+        "{what}: states must be bitwise identical"
+    );
+}
+
+fn threads_and_kernels_agree<R: Real, S: Storage<R>>(precision: &str) {
+    // Fused path: 1 vs. 5 threads (odd count exercises uneven layer chunks).
+    let fused_1t = run_case::<R, S>(KernelPath::Fused, EllipticKind::Jacobi, 1);
+    let fused_5t = run_case::<R, S>(KernelPath::Fused, EllipticKind::Jacobi, 5);
+    assert_bitwise_equal(&fused_1t, &fused_5t, &format!("{precision} fused 1t vs 5t"));
+
+    // Reference path: also thread-count independent.
+    let ref_1t = run_case::<R, S>(KernelPath::Reference, EllipticKind::Jacobi, 1);
+    let ref_4t = run_case::<R, S>(KernelPath::Reference, EllipticKind::Jacobi, 4);
+    assert_bitwise_equal(&ref_1t, &ref_4t, &format!("{precision} reference 1t vs 4t"));
+
+    // Old vs. new kernel paths.
+    assert_bitwise_equal(
+        &fused_1t,
+        &ref_1t,
+        &format!("{precision} fused vs reference"),
+    );
+}
+
+#[test]
+fn f64_storage_threads_and_kernel_paths_are_bitwise_identical() {
+    threads_and_kernels_agree::<f64, StoreF64>("fp64");
+}
+
+#[test]
+fn f32_storage_threads_and_kernel_paths_are_bitwise_identical() {
+    threads_and_kernels_agree::<f32, StoreF32>("fp32");
+}
+
+#[test]
+fn red_black_elliptic_solve_is_thread_count_independent() {
+    // The red–black Gauss–Seidel sweep writes Σ in place from parallel
+    // tasks; its two-color partition must keep the full solver run bitwise
+    // reproducible across thread counts.
+    let a = run_case::<f64, StoreF64>(KernelPath::Fused, EllipticKind::GaussSeidel, 1);
+    let b = run_case::<f64, StoreF64>(KernelPath::Fused, EllipticKind::GaussSeidel, 6);
+    assert_bitwise_equal(&a, &b, "red-black 1t vs 6t");
+}

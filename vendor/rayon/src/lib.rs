@@ -18,7 +18,13 @@
 //!
 //! Splitting is eager (one contiguous piece per worker) rather than
 //! work-stealing; for the regular, load-balanced loops in this workspace
-//! that is an adequate approximation.
+//! that is an adequate approximation. Execution happens on a lazily
+//! initialized persistent worker pool ([`pool`]): threads are spawned on the
+//! first parallel call and parked between calls, so per-timestep kernels do
+//! not pay OS thread-spawn overhead. The 1-thread path never touches the
+//! pool and is identical to a plain serial loop.
+
+pub mod pool;
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -160,16 +166,19 @@ pub trait ParallelIterator: Sized + Send {
             return;
         }
         let pieces = split_into(self, threads.min(len));
-        std::thread::scope(|s| {
-            for mut piece in pieces {
-                let f = &f;
-                s.spawn(move || {
-                    while let Some(x) = piece.next_item() {
-                        f(x);
-                    }
-                });
-            }
-        });
+        let f = &f;
+        pool::run_batch(
+            pieces
+                .into_iter()
+                .map(|mut piece| {
+                    Box::new(move || {
+                        while let Some(x) = piece.next_item() {
+                            f(x);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect(),
+        );
     }
 
     /// Parallel fold + ordered combine. Unlike rayon, the combine order is
@@ -190,27 +199,34 @@ pub trait ParallelIterator: Sized + Send {
             return acc;
         }
         let pieces = split_into(self, threads.min(len));
-        let partials: Vec<Self::Item> = std::thread::scope(|s| {
-            let handles: Vec<_> = pieces
-                .into_iter()
-                .map(|mut piece| {
-                    let identity = &identity;
-                    let op = &op;
-                    s.spawn(move || {
-                        let mut acc = identity();
-                        while let Some(x) = piece.next_item() {
-                            acc = op(acc, x);
-                        }
-                        acc
+        // Per-piece result slots, combined in piece (index) order below, so
+        // the reduction stays bit-reproducible regardless of which worker
+        // thread ran which piece.
+        let mut partials: Vec<Option<Self::Item>> = Vec::new();
+        partials.resize_with(pieces.len(), || None);
+        {
+            let identity = &identity;
+            let op = &op;
+            pool::run_batch(
+                pieces
+                    .into_iter()
+                    .zip(partials.iter_mut())
+                    .map(|(mut piece, slot)| {
+                        Box::new(move || {
+                            let mut acc = identity();
+                            while let Some(x) = piece.next_item() {
+                                acc = op(acc, x);
+                            }
+                            *slot = Some(acc);
+                        }) as Box<dyn FnOnce() + Send + '_>
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
-        partials.into_iter().fold(identity(), |a, b| op(a, b))
+                    .collect(),
+            );
+        }
+        partials
+            .into_iter()
+            .map(|slot| slot.expect("parallel worker panicked"))
+            .fold(identity(), |a, b| op(a, b))
     }
 
     fn sum<S>(self) -> S
@@ -331,6 +347,53 @@ impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
         let slice = std::mem::take(&mut self.slice);
         let cut = self.size.min(slice.len());
         let (head, rest) = slice.split_at_mut(cut);
+        self.slice = rest;
+        Some(head)
+    }
+}
+
+/// Mutable source over *explicitly sized* chunks (`par_uneven_chunks_mut`).
+///
+/// Unlike [`ParChunksMut`], the chunk sizes are caller-provided, which lets
+/// grid kernels hand out near-equal layer counts when the layer total does
+/// not divide the chunk count (remainder spread one layer per leading chunk
+/// instead of a ragged final chunk). Not part of real rayon's API; the
+/// workspace's kernels use it through `igr_core::rhs::par_over_uneven_chunks`.
+pub struct ParUnevenChunksMut<'a, T> {
+    slice: &'a mut [T],
+    sizes: Vec<usize>,
+}
+
+impl<'a, T: Send> ParallelIterator for ParUnevenChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn par_len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail_sizes = self.sizes.split_off(mid);
+        let cut: usize = self.sizes.iter().sum();
+        let (a, b) = self.slice.split_at_mut(cut.min(self.slice.len()));
+        (
+            ParUnevenChunksMut {
+                slice: a,
+                sizes: self.sizes,
+            },
+            ParUnevenChunksMut {
+                slice: b,
+                sizes: tail_sizes,
+            },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        if self.sizes.is_empty() {
+            return None;
+        }
+        let size = self.sizes.remove(0);
+        let slice = std::mem::take(&mut self.slice);
+        let (head, rest) = slice.split_at_mut(size.min(slice.len()));
         self.slice = rest;
         Some(head)
     }
@@ -506,6 +569,10 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 pub trait ParallelSliceMut<T: Send> {
     fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
     fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    /// Chunks with caller-specified sizes; `sizes` must sum to the slice
+    /// length (each chunk is clamped to what remains, so a short final size
+    /// list yields a short final chunk rather than UB).
+    fn par_uneven_chunks_mut(&mut self, sizes: Vec<usize>) -> ParUnevenChunksMut<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
@@ -516,6 +583,15 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
         assert!(size > 0, "chunk size must be nonzero");
         ParChunksMut { slice: self, size }
+    }
+
+    fn par_uneven_chunks_mut(&mut self, sizes: Vec<usize>) -> ParUnevenChunksMut<'_, T> {
+        debug_assert_eq!(
+            sizes.iter().sum::<usize>(),
+            self.len(),
+            "uneven chunk sizes must cover the slice exactly"
+        );
+        ParUnevenChunksMut { slice: self, sizes }
     }
 }
 
@@ -568,6 +644,44 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(pool4.install(crate::current_num_threads), 4);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_the_slice_with_requested_sizes() {
+        let n = 23;
+        let mut a: Vec<u64> = vec![0; n];
+        let sizes = vec![6, 6, 6, 5];
+        a.par_uneven_chunks_mut(sizes.clone())
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                assert_eq!(chunk.len(), sizes[ci]);
+                for x in chunk.iter_mut() {
+                    *x = ci as u64 + 1;
+                }
+            });
+        assert!(a.iter().all(|&x| x != 0), "every element visited");
+        assert_eq!(a.iter().filter(|&&x| x == 4).count(), 5);
+    }
+
+    #[test]
+    fn uneven_chunks_zip_stays_aligned() {
+        let n = 17;
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        let sizes = vec![5, 4, 4, 4];
+        a.par_uneven_chunks_mut(sizes.clone())
+            .zip(b.par_uneven_chunks_mut(sizes))
+            .enumerate()
+            .for_each(|(ci, (ca, cb))| {
+                assert_eq!(ca.len(), cb.len(), "chunk {ci}");
+                for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                    *x = ci as u64;
+                    *y = ci as u64 + 10;
+                }
+            });
+        for i in 0..n {
+            assert_eq!(a[i] + 10, b[i]);
+        }
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Lazily-initialized persistent worker pool.
+//!
+//! The first parallel operation spawns the workers; afterwards they park on a
+//! condvar between calls, so per-step solver kernels pay a wake-up (a mutex +
+//! notify) instead of an OS thread spawn per parallel region. The pool is
+//! invisible at the API surface: [`run_batch`] executes a set of lifetime-
+//! erased closures and blocks until every one has finished, which is what
+//! makes handing stack-borrowing closures to long-lived threads sound.
+//!
+//! Scheduling properties the workspace relies on:
+//!
+//! * the *caller participates*: the submitting thread drains its own batch
+//!   while it waits, so a batch always makes progress even if every worker is
+//!   busy (this also makes nested parallel calls deadlock-free — the inner
+//!   caller executes its own jobs);
+//! * workers pick jobs in submission order, but *which* thread runs a job is
+//!   unspecified — batch results must be written to per-job slots, never
+//!   accumulated in shared state, to keep reductions deterministic;
+//! * a panicking job does not poison the pool: the first panic payload is
+//!   captured and re-thrown on the submitting thread after the whole batch
+//!   has drained, matching the old `std::thread::scope` behavior.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased unit of work. Only [`run_batch`] constructs these, and
+/// it never returns before the job has run, so the erased borrows stay live.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion state shared by one `run_batch` call.
+struct Batch {
+    /// Jobs not yet picked up (the caller and workers both pop from here).
+    pending: Mutex<VecDeque<Job>>,
+    /// Jobs picked up but not yet finished + jobs still pending.
+    remaining: AtomicUsize,
+    /// First panic payload observed in this batch.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Condvar,
+    done_lock: Mutex<()>,
+}
+
+impl Batch {
+    fn run_one(&self, job: Job) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done_lock.lock().unwrap();
+            self.done.notify_all();
+        }
+    }
+
+    /// Pop-and-run pending jobs until the queue is empty.
+    fn drain(&self) {
+        loop {
+            let job = self.pending.lock().unwrap().pop_front();
+            match job {
+                Some(job) => self.run_one(job),
+                None => return,
+            }
+        }
+    }
+}
+
+/// The global pool: a queue of batches and a set of parked workers.
+struct Pool {
+    /// Batches with jobs still pending. Workers scan front to back.
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work: Condvar,
+    /// Workers spawned so far (monotone; threads are never torn down).
+    spawned: AtomicUsize,
+    /// Hard cap on pool size, far above any sane `num_threads` request.
+    max_workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+        max_workers: 256,
+    })
+}
+
+/// Number of worker threads the pool has spawned so far (diagnostics/tests).
+pub fn spawned_workers() -> usize {
+    pool().spawned.load(Ordering::Relaxed)
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let batch = {
+            let mut queue = p.queue.lock().unwrap();
+            loop {
+                // Find the first batch that still has pending jobs; retire
+                // batches whose queues have drained.
+                while let Some(front) = queue.front() {
+                    if front.pending.lock().unwrap().is_empty() {
+                        queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                match queue.front() {
+                    Some(b) => break Arc::clone(b),
+                    None => queue = p.work.wait(queue).unwrap(),
+                }
+            }
+        };
+        batch.drain();
+    }
+}
+
+/// Make sure at least `n` workers exist (capped; parked workers are cheap).
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let want = n.min(p.max_workers);
+    let mut have = p.spawned.load(Ordering::Relaxed);
+    while have < want {
+        match p
+            .spawned
+            .compare_exchange(have, have + 1, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                std::thread::Builder::new()
+                    .name(format!("rayon-stand-in-{have}"))
+                    .spawn(worker_loop)
+                    .expect("failed to spawn pool worker");
+                have += 1;
+            }
+            Err(actual) => have = actual,
+        }
+    }
+}
+
+/// Execute every closure in `jobs`, in parallel across the persistent pool,
+/// and return once all have completed. Panics (with the original payload) if
+/// any job panicked.
+///
+/// The closures may borrow from the caller's stack: the function does not
+/// return until every job has run, and the lifetime erasure is confined to
+/// this module.
+pub fn run_batch<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if jobs.is_empty() {
+        return;
+    }
+    let n = jobs.len();
+    // SAFETY: `run_batch` blocks until `remaining == 0`, i.e. until every job
+    // has finished executing (or unwound). No job can outlive this call, so
+    // promoting the closure lifetimes to 'static never lets a borrow dangle.
+    let jobs: Vec<Job> = jobs
+        .into_iter()
+        .map(|j| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(j) })
+        .collect();
+    let batch = Arc::new(Batch {
+        pending: Mutex::new(jobs.into_iter().collect()),
+        remaining: AtomicUsize::new(n),
+        panic: Mutex::new(None),
+        done: Condvar::new(),
+        done_lock: Mutex::new(()),
+    });
+
+    // The caller will drain jobs too, so n-1 workers suffice for full overlap.
+    ensure_workers(n.saturating_sub(1));
+    {
+        let p = pool();
+        p.queue.lock().unwrap().push_back(Arc::clone(&batch));
+        p.work.notify_all();
+    }
+
+    // Help with our own batch, then wait for stragglers running on workers.
+    batch.drain();
+    {
+        let mut guard = batch.done_lock.lock().unwrap();
+        while batch.remaining.load(Ordering::Acquire) != 0 {
+            guard = batch.done.wait(guard).unwrap();
+        }
+    }
+
+    let payload = batch.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn boxed<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn batch_runs_every_job_and_blocks_until_done() {
+        let hits = AtomicU64::new(0);
+        let jobs = (0..17)
+            .map(|_| {
+                boxed(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        run_batch(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn workers_are_reused_across_batches() {
+        // Warm the pool WIDER than any batch another concurrently running
+        // test can submit (their widths are bounded by available
+        // parallelism), so pool growth observed below can only come from
+        // this test's own batches — which all reuse the warmed workers.
+        let ncpu = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let width = ncpu + 8;
+        run_batch((0..width).map(|_| boxed(|| {})).collect());
+        let after_warmup = spawned_workers();
+        for _ in 0..50 {
+            run_batch((0..width).map(|_| boxed(|| {})).collect());
+        }
+        assert_eq!(
+            spawned_workers(),
+            after_warmup,
+            "steady-state batches must not spawn threads"
+        );
+    }
+
+    #[test]
+    fn stack_borrows_are_visible_and_mutated() {
+        let mut out = vec![0u64; 8];
+        let jobs = out
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| boxed(move || *slot = i as u64 * 3))
+            .collect();
+        run_batch(jobs);
+        assert_eq!(out, vec![0, 3, 6, 9, 12, 15, 18, 21]);
+    }
+
+    #[test]
+    fn panic_payload_propagates_after_batch_drains() {
+        let hits = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut jobs: Vec<Box<dyn FnOnce() + Send>> = vec![boxed(|| panic!("boom 42"))];
+            for _ in 0..7 {
+                jobs.push(boxed(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            run_batch(jobs);
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom 42");
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            7,
+            "non-panicking jobs still run to completion"
+        );
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        let hits = AtomicU64::new(0);
+        let jobs = (0..3)
+            .map(|_| {
+                boxed(|| {
+                    let inner = (0..3)
+                        .map(|_| {
+                            boxed(|| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            })
+                        })
+                        .collect();
+                    run_batch(inner);
+                })
+            })
+            .collect();
+        run_batch(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 9);
+    }
+}
