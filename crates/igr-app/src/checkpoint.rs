@@ -17,9 +17,23 @@ use std::io::{Read as _, Write as _};
 use std::path::Path;
 
 /// Magic bytes + format version.
-const MAGIC: &[u8; 8] = b"IGRCKPT\x02";
-/// Header: magic(8) + width-tag(1) + has-sigma(1) + dims(4×8) + t(8) + step(8).
-const HEADER: usize = 8 + 1 + 1 + 32 + 8 + 8;
+///
+/// v3 (this format): the conserved-field count is explicit in the header, so
+/// one format serves the 5-field single-fluid state and the 7-field
+/// two-fluid state, and the frozen time step (grind runs pin `dt`) rides
+/// along so a resumed run replays the identical step sizes.
+const MAGIC: &[u8; 8] = b"IGRCKPT\x03";
+/// Header: magic(8) + width-tag(1) + n-fields(1) + has-sigma(1) + dims(4×8)
+/// + t(8) + step(8) + fixed-dt(8, NaN = none).
+const HEADER: usize = 8 + 1 + 1 + 1 + 32 + 8 + 8 + 8;
+/// Byte offsets of the header fields after the magic.
+const OFF_WIDTH: usize = 8;
+const OFF_NFIELDS: usize = 9;
+const OFF_SIGMA: usize = 10;
+const OFF_DIMS: usize = 11;
+const OFF_T: usize = 43;
+const OFF_STEP: usize = 51;
+const OFF_FIXED_DT: usize = 59;
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -90,11 +104,16 @@ impl CheckpointScalar for f16 {
     }
 }
 
-/// A restartable snapshot: simulation time, step count, the packed
-/// conserved state (interior + ghosts), and optionally Σ.
+/// A restartable snapshot: simulation time, step count, optional frozen
+/// time step, the packed conserved state (interior + ghosts), and
+/// optionally Σ.
 pub struct Checkpoint {
     pub t: f64,
     pub step: usize,
+    /// The solver's pinned time step at capture, if any (grind measurement
+    /// freezes `dt`; restoring it keeps a resumed run on the identical step
+    /// sizes).
+    pub fixed_dt: Option<f64>,
     bytes: Vec<u8>,
 }
 
@@ -107,18 +126,42 @@ impl Checkpoint {
         S: Storage<R>,
         S::Packed: CheckpointScalar,
     {
-        let shape = q.shape();
-        let n_fields = 5 + usize::from(sigma.is_some());
+        Self::capture_fields(&q.fields(), sigma, t, step, None)
+    }
+
+    /// Capture an arbitrary conserved-field list (5 for the single-fluid
+    /// state, 7 for the two-fluid state) plus optional Σ and pinned dt.
+    pub fn capture_fields<R, S>(
+        fields: &[&Field<R, S>],
+        sigma: Option<&Field<R, S>>,
+        t: f64,
+        step: usize,
+        fixed_dt: Option<f64>,
+    ) -> Self
+    where
+        R: Real,
+        S: Storage<R>,
+        S::Packed: CheckpointScalar,
+    {
+        assert!(
+            !fields.is_empty() && fields.len() <= u8::MAX as usize,
+            "field count must fit the header byte"
+        );
+        let shape = fields[0].shape();
+        let n_fields = fields.len() + usize::from(sigma.is_some());
         let mut bytes = Vec::with_capacity(HEADER + n_fields * shape.n_total() * S::Packed::WIDTH);
         bytes.extend_from_slice(MAGIC);
         bytes.push(S::Packed::TAG);
+        bytes.push(fields.len() as u8);
         bytes.push(u8::from(sigma.is_some()));
         for dim in [shape.nx, shape.ny, shape.nz, shape.ng] {
             bytes.extend_from_slice(&(dim as u64).to_le_bytes());
         }
         bytes.extend_from_slice(&t.to_le_bytes());
         bytes.extend_from_slice(&(step as u64).to_le_bytes());
-        for f in q.fields() {
+        bytes.extend_from_slice(&fixed_dt.unwrap_or(f64::NAN).to_le_bytes());
+        for f in fields {
+            assert_eq!(f.shape(), shape, "all checkpointed fields share a shape");
             for p in f.packed() {
                 p.write_to(&mut bytes);
             }
@@ -128,7 +171,12 @@ impl Checkpoint {
                 p.write_to(&mut bytes);
             }
         }
-        Checkpoint { t, step, bytes }
+        Checkpoint {
+            t,
+            step,
+            fixed_dt,
+            bytes,
+        }
     }
 
     /// Write to disk.
@@ -145,20 +193,37 @@ impl Checkpoint {
         if bytes.len() < HEADER || &bytes[..8] != MAGIC {
             return Err(CheckpointError::BadMagic);
         }
-        let t = f64::from_le_bytes(bytes[42..50].try_into().unwrap());
-        let step = u64::from_le_bytes(bytes[50..58].try_into().unwrap()) as usize;
-        Ok(Checkpoint { t, step, bytes })
+        let t = f64::from_le_bytes(bytes[OFF_T..OFF_T + 8].try_into().unwrap());
+        let step = u64::from_le_bytes(bytes[OFF_STEP..OFF_STEP + 8].try_into().unwrap()) as usize;
+        let dt = f64::from_le_bytes(bytes[OFF_FIXED_DT..OFF_FIXED_DT + 8].try_into().unwrap());
+        Ok(Checkpoint {
+            t,
+            step,
+            fixed_dt: (!dt.is_nan()).then_some(dt),
+            bytes,
+        })
     }
 
     /// Shape recorded in the snapshot.
     pub fn shape(&self) -> GridShape {
         let dim = |o: usize| u64::from_le_bytes(self.bytes[o..o + 8].try_into().unwrap()) as usize;
-        GridShape::new(dim(10), dim(18), dim(26), dim(34))
+        GridShape::new(
+            dim(OFF_DIMS),
+            dim(OFF_DIMS + 8),
+            dim(OFF_DIMS + 16),
+            dim(OFF_DIMS + 24),
+        )
+    }
+
+    /// Conserved-field count recorded in the snapshot (5 single-fluid,
+    /// 7 two-fluid).
+    pub fn n_fields(&self) -> usize {
+        self.bytes[OFF_NFIELDS] as usize
     }
 
     /// Whether the snapshot carries a Σ field.
     pub fn has_sigma(&self) -> bool {
-        self.bytes[9] != 0
+        self.bytes[OFF_SIGMA] != 0
     }
 
     /// Restore into a state (and optional Σ) of matching shape and storage
@@ -173,19 +238,26 @@ impl Checkpoint {
         S: Storage<R>,
         S::Packed: CheckpointScalar,
     {
-        if self.bytes[8] != S::Packed::TAG {
+        self.restore_fields(&mut q.fields_mut(), sigma)
+    }
+
+    /// Restore an arbitrary conserved-field list (and optional Σ) of
+    /// matching count, shape, and storage precision, bit-exactly.
+    pub fn restore_fields<R, S>(
+        &self,
+        fields: &mut [&mut Field<R, S>],
+        sigma: Option<&mut Field<R, S>>,
+    ) -> Result<(), CheckpointError>
+    where
+        R: Real,
+        S: Storage<R>,
+        S::Packed: CheckpointScalar,
+    {
+        if self.n_fields() != fields.len() {
             return Err(CheckpointError::Mismatch(format!(
-                "storage width {} vs file {}",
-                S::Packed::TAG,
-                self.bytes[8]
-            )));
-        }
-        let shape = q.shape();
-        if self.shape() != shape {
-            return Err(CheckpointError::Mismatch(format!(
-                "grid {:?} vs file {:?}",
-                shape,
-                self.shape()
+                "{} conserved fields vs file {}",
+                fields.len(),
+                self.n_fields()
             )));
         }
         if sigma.is_some() && !self.has_sigma() {
@@ -193,17 +265,9 @@ impl Checkpoint {
                 "snapshot carries no sigma field".into(),
             ));
         }
-        let w = S::Packed::WIDTH;
-        let n_fields = 5 + usize::from(self.has_sigma());
-        let expected = HEADER + n_fields * shape.n_total() * w;
-        if self.bytes.len() != expected {
-            return Err(CheckpointError::Mismatch(format!(
-                "payload {} bytes, expected {expected}",
-                self.bytes.len()
-            )));
-        }
+        let w = self.validate_payload::<R, S>(fields[0].shape())?;
         let mut off = HEADER;
-        for f in q.fields_mut() {
+        for f in fields.iter_mut() {
             for p in f.packed_mut() {
                 *p = S::Packed::read_from(&self.bytes[off..off + w]);
                 off += w;
@@ -216,6 +280,65 @@ impl Checkpoint {
             }
         }
         Ok(())
+    }
+
+    /// Restore just the Σ payload (for restores that must split the state
+    /// and Σ borrows). Errors if the snapshot carries no Σ or the shape or
+    /// precision mismatch.
+    pub fn restore_sigma_into<R, S>(&self, sigma: &mut Field<R, S>) -> Result<(), CheckpointError>
+    where
+        R: Real,
+        S: Storage<R>,
+        S::Packed: CheckpointScalar,
+    {
+        if !self.has_sigma() {
+            return Err(CheckpointError::Mismatch(
+                "snapshot carries no sigma field".into(),
+            ));
+        }
+        let shape = sigma.shape();
+        let w = self.validate_payload::<R, S>(shape)?;
+        let mut off = HEADER + self.n_fields() * shape.n_total() * w;
+        for p in sigma.packed_mut() {
+            *p = S::Packed::read_from(&self.bytes[off..off + w]);
+            off += w;
+        }
+        Ok(())
+    }
+
+    /// Shared restore-side header validation: storage width tag, grid
+    /// shape, and total payload length (conserved fields + optional Σ, per
+    /// the header's own counts). Returns the scalar width in bytes.
+    fn validate_payload<R, S>(&self, shape: GridShape) -> Result<usize, CheckpointError>
+    where
+        R: Real,
+        S: Storage<R>,
+        S::Packed: CheckpointScalar,
+    {
+        if self.bytes[OFF_WIDTH] != S::Packed::TAG {
+            return Err(CheckpointError::Mismatch(format!(
+                "storage width {} vs file {}",
+                S::Packed::TAG,
+                self.bytes[OFF_WIDTH]
+            )));
+        }
+        if self.shape() != shape {
+            return Err(CheckpointError::Mismatch(format!(
+                "grid {:?} vs file {:?}",
+                shape,
+                self.shape()
+            )));
+        }
+        let w = S::Packed::WIDTH;
+        let n_fields = self.n_fields() + usize::from(self.has_sigma());
+        let expected = HEADER + n_fields * shape.n_total() * w;
+        if self.bytes.len() != expected {
+            return Err(CheckpointError::Mismatch(format!(
+                "payload {} bytes, expected {expected}",
+                self.bytes.len()
+            )));
+        }
+        Ok(w)
     }
 }
 
@@ -345,6 +468,28 @@ mod tests {
         let mut sig: Field<f64, StoreF64> = Field::zeros(case.domain.shape);
         assert!(matches!(
             ck.restore(&mut q2, Some(&mut sig)),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn fixed_dt_and_field_count_round_trip() {
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let fields = solver.q.fields();
+        let ck = Checkpoint::capture_fields(&fields, None, 0.5, 7, Some(1.25e-3));
+        let path = tmp("fixed_dt.ckpt");
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.fixed_dt.unwrap().to_bits(), 1.25e-3f64.to_bits());
+        assert_eq!(loaded.n_fields(), 5);
+        assert_eq!(loaded.step, 7);
+        // A 4-field restore target is refused.
+        let mut q2: State<f64, StoreF64> = State::zeros(case.domain.shape);
+        let mut fields2 = q2.fields_mut();
+        let (subset, _) = fields2.split_at_mut(4);
+        assert!(matches!(
+            loaded.restore_fields(subset, None),
             Err(CheckpointError::Mismatch(_))
         ));
     }

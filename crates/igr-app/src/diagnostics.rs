@@ -31,11 +31,57 @@ pub struct History {
     pub samples: Vec<Sample>,
 }
 
+/// Sample the flow quantities of a single-fluid state — the scan behind
+/// [`History::record`], shared with the driver's `Probe` implementations.
+pub fn sample_state<R: Real, S: Storage<R>>(
+    q: &State<R, S>,
+    domain: &Domain,
+    gamma: f64,
+    step: usize,
+    t: f64,
+) -> Sample {
+    let g = R::from_f64(gamma);
+    let shape = q.shape();
+    let vol = domain.cell_volume();
+    let mut ke = 0.0f64;
+    let mut max_mach = 0.0f64;
+    let mut min_rho = f64::INFINITY;
+    for k in 0..shape.nz as i32 {
+        for j in 0..shape.ny as i32 {
+            for i in 0..shape.nx as i32 {
+                let pr: Prim<R> = q.prim_at(i, j, k, g);
+                let rho = pr.rho.to_f64();
+                let speed2 = pr.vel.iter().map(|v| v.to_f64().powi(2)).sum::<f64>();
+                ke += 0.5 * rho * speed2;
+                let c2 = gamma * pr.p.to_f64() / rho;
+                if c2 > 0.0 {
+                    max_mach = max_mach.max((speed2 / c2).sqrt());
+                }
+                min_rho = min_rho.min(rho);
+            }
+        }
+    }
+    Sample {
+        step,
+        t,
+        totals: q.totals(domain),
+        kinetic_energy: ke * vol,
+        max_mach,
+        min_rho,
+    }
+}
+
 impl History {
     pub fn new() -> Self {
         History {
             samples: Vec::new(),
         }
+    }
+
+    /// Append an already-computed sample (the driver's
+    /// `DiagnosticsObserver` feeds probes through this).
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
     }
 
     /// Sample the state and append a record.
@@ -47,35 +93,7 @@ impl History {
         step: usize,
         t: f64,
     ) -> Sample {
-        let g = R::from_f64(gamma);
-        let shape = q.shape();
-        let vol = domain.cell_volume();
-        let mut ke = 0.0f64;
-        let mut max_mach = 0.0f64;
-        let mut min_rho = f64::INFINITY;
-        for k in 0..shape.nz as i32 {
-            for j in 0..shape.ny as i32 {
-                for i in 0..shape.nx as i32 {
-                    let pr: Prim<R> = q.prim_at(i, j, k, g);
-                    let rho = pr.rho.to_f64();
-                    let speed2 = pr.vel.iter().map(|v| v.to_f64().powi(2)).sum::<f64>();
-                    ke += 0.5 * rho * speed2;
-                    let c2 = gamma * pr.p.to_f64() / rho;
-                    if c2 > 0.0 {
-                        max_mach = max_mach.max((speed2 / c2).sqrt());
-                    }
-                    min_rho = min_rho.min(rho);
-                }
-            }
-        }
-        let sample = Sample {
-            step,
-            t,
-            totals: q.totals(domain),
-            kinetic_energy: ke * vol,
-            max_mach,
-            min_rho,
-        };
+        let sample = sample_state(q, domain, gamma, step, t);
         self.samples.push(sample);
         sample
     }

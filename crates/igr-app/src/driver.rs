@@ -1,0 +1,1136 @@
+//! The unified run-loop: one instrumented way to march **any** solver.
+//!
+//! Every workload in this repro used to hand-roll its own stepping loop —
+//! examples, figure bins, the campaign executor, and the species solver each
+//! re-implemented "step until X while watching Y". This module replaces
+//! those loops with one composable surface:
+//!
+//! * [`Steppable`] — the minimal march contract (time, `stable_dt`,
+//!   `step() → StepInfo`), implemented by `igr_core::Solver` (any scheme)
+//!   and `igr_species::SpeciesSolver`;
+//! * [`Probe`] — scheme-agnostic flow sampling ([`Sample`]) for
+//!   diagnostics-driven observers and stop rules;
+//! * [`Checkpointable`] — bit-exact capture/restore, built on the
+//!   [`Checkpoint`] format (state + Σ + clock + pinned dt), powering
+//!   [`CheckpointObserver`] autosaves and [`Driver::resume_from`];
+//! * [`Observer`]s with [`Cadence`]s — every-N-steps, every-Δt of
+//!   simulation time, or wall-clock intervals;
+//! * [`StopCondition`]s — `t_end` (never overshooting — the driver clips
+//!   the final steps exactly like the old `run_until`), max steps,
+//!   wall-clock budget, NaN/divergence guard, steady-state residual;
+//! * a progress/abort hook ([`Driver::on_progress`]).
+//!
+//! ```
+//! use igr_app::cases;
+//! use igr_app::diagnostics::History;
+//! use igr_app::driver::{Cadence, DiagnosticsObserver, Driver};
+//! use igr_prec::StoreF64;
+//!
+//! let case = cases::steepening_wave(64, 0.3);
+//! let mut solver = case.igr_solver::<f64, StoreF64>();
+//! let mut history = History::new();
+//! let summary = Driver::new()
+//!     .until(0.05)
+//!     .max_steps(10_000)
+//!     .observe(Cadence::EverySteps(5), DiagnosticsObserver::new(&mut history))
+//!     .run(&mut solver)
+//!     .unwrap();
+//! assert!((solver.t() - 0.05).abs() < 1e-12, "t_end is hit exactly");
+//! assert!(!history.samples.is_empty());
+//! # let _ = summary;
+//! ```
+
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointScalar};
+use crate::diagnostics::{sample_state, History, Sample};
+use igr_core::solver::{GhostOps, RhsScheme, Solver, SolverError, StepInfo};
+use igr_core::IgrScheme;
+use igr_grid::Domain;
+use igr_prec::{Real, Storage};
+use igr_species::SpeciesSolver;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// The march contracts
+// ---------------------------------------------------------------------------
+
+/// The minimal time-marching contract the [`Driver`] needs.
+///
+/// Implementors: `igr_core::Solver` (IGR and the WENO baseline alike) and
+/// `igr_species::SpeciesSolver`. The `fixed_dt` accessors let the driver
+/// clip the final steps of a `t_end` run without overshooting, restoring
+/// the caller's pinned dt afterwards.
+pub trait Steppable {
+    /// Current simulated time.
+    fn time(&self) -> f64;
+    /// Steps taken since construction (or since the restored checkpoint).
+    fn steps_taken(&self) -> usize;
+    /// CFL-limited time step for the current state.
+    fn stable_dt(&self) -> f64;
+    /// The pinned time step, if any.
+    fn fixed_dt(&self) -> Option<f64>;
+    /// Pin (or unpin) the time step.
+    fn set_fixed_dt(&mut self, dt: Option<f64>);
+    /// Advance one step.
+    fn step(&mut self) -> Result<StepInfo, SolverError>;
+    /// The domain being marched on.
+    fn domain(&self) -> &Domain;
+    /// First non-finite conserved value, if any (divergence guard).
+    fn find_non_finite(&self) -> Option<(usize, (i32, i32, i32))>;
+}
+
+/// Scheme-agnostic flow sampling: what diagnostics observers and
+/// steady-state stop rules read. Both solvers map their state onto the
+/// single [`Sample`] record (the two-fluid solver reports mixture totals).
+pub trait Probe: Steppable {
+    /// Sample the current flow state.
+    fn probe(&self) -> Sample;
+}
+
+/// Bit-exact capture/restore of everything a resumed run needs: conserved
+/// state, Σ (warm-start trajectory), clock, and pinned dt.
+pub trait Checkpointable: Steppable {
+    /// Snapshot the current state.
+    fn capture(&self) -> Checkpoint;
+    /// Restore a snapshot (shape/precision validated), including the march
+    /// clock and pinned dt.
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError>;
+}
+
+/// Solvers that can write a VTK snapshot of their current state (the
+/// [`VtkObserver`] contract).
+pub trait VtkSnapshot: Steppable {
+    /// Write the visualization bundle for the current state.
+    fn write_vtk(&self, path: &Path, title: &str) -> std::io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Trait implementations for the solvers
+// ---------------------------------------------------------------------------
+
+impl<R, S, Sch, G> Steppable for Solver<R, S, Sch, G>
+where
+    R: Real,
+    S: Storage<R>,
+    Sch: RhsScheme<R, S>,
+    G: GhostOps<R, S>,
+{
+    fn time(&self) -> f64 {
+        self.t()
+    }
+    fn steps_taken(&self) -> usize {
+        Solver::steps_taken(self)
+    }
+    fn stable_dt(&self) -> f64 {
+        Solver::stable_dt(self)
+    }
+    fn fixed_dt(&self) -> Option<f64> {
+        self.fixed_dt
+    }
+    fn set_fixed_dt(&mut self, dt: Option<f64>) {
+        self.fixed_dt = dt;
+    }
+    fn step(&mut self) -> Result<StepInfo, SolverError> {
+        Solver::step(self)
+    }
+    fn domain(&self) -> &Domain {
+        Solver::domain(self)
+    }
+    fn find_non_finite(&self) -> Option<(usize, (i32, i32, i32))> {
+        self.q.find_non_finite()
+    }
+}
+
+impl<R, S, Sch, G> Probe for Solver<R, S, Sch, G>
+where
+    R: Real,
+    S: Storage<R>,
+    Sch: RhsScheme<R, S>,
+    G: GhostOps<R, S>,
+{
+    fn probe(&self) -> Sample {
+        let gamma = self.scheme.params().gamma;
+        sample_state(
+            &self.q,
+            Solver::domain(self),
+            gamma,
+            Solver::steps_taken(self),
+            self.t(),
+        )
+    }
+}
+
+impl<R, S, Sch, G> VtkSnapshot for Solver<R, S, Sch, G>
+where
+    R: Real,
+    S: Storage<R>,
+    Sch: RhsScheme<R, S>,
+    G: GhostOps<R, S>,
+{
+    fn write_vtk(&self, path: &Path, title: &str) -> std::io::Result<()> {
+        let gamma = self.scheme.params().gamma;
+        crate::vtk::write_state_vtk(path, title, &self.q, Solver::domain(self), gamma)
+    }
+}
+
+/// The IGR solver checkpoints its Σ field alongside the conserved state, so
+/// a restored run's warm-started elliptic solve stays on the identical
+/// trajectory.
+impl<R, S, G> Checkpointable for Solver<R, S, IgrScheme<R, S>, G>
+where
+    R: Real,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+    G: GhostOps<R, S>,
+{
+    fn capture(&self) -> Checkpoint {
+        Checkpoint::capture_fields(
+            &self.q.fields(),
+            Some(self.scheme.sigma()),
+            self.t(),
+            Solver::steps_taken(self),
+            self.fixed_dt,
+        )
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        ck.restore_fields(&mut self.q.fields_mut(), Some(self.scheme.sigma_mut()))?;
+        self.reset_clock(ck.t, ck.step);
+        self.fixed_dt = ck.fixed_dt;
+        Ok(())
+    }
+}
+
+/// The WENO baseline recomputes every per-step buffer from the conserved
+/// state, so its snapshot is the state plus the clock — no Σ.
+impl<R, S, G> Checkpointable for Solver<R, S, igr_baseline::WenoHllcScheme<R, S>, G>
+where
+    R: Real,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+    G: GhostOps<R, S>,
+{
+    fn capture(&self) -> Checkpoint {
+        Checkpoint::capture_fields(
+            &self.q.fields(),
+            None,
+            self.t(),
+            Solver::steps_taken(self),
+            self.fixed_dt,
+        )
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        ck.restore_fields(&mut self.q.fields_mut(), None)?;
+        self.reset_clock(ck.t, ck.step);
+        self.fixed_dt = ck.fixed_dt;
+        Ok(())
+    }
+}
+
+impl<R, S> Steppable for SpeciesSolver<R, S>
+where
+    R: Real,
+    S: Storage<R>,
+{
+    fn time(&self) -> f64 {
+        self.t()
+    }
+    fn steps_taken(&self) -> usize {
+        SpeciesSolver::steps_taken(self)
+    }
+    fn stable_dt(&self) -> f64 {
+        SpeciesSolver::stable_dt(self)
+    }
+    fn fixed_dt(&self) -> Option<f64> {
+        self.fixed_dt
+    }
+    fn set_fixed_dt(&mut self, dt: Option<f64>) {
+        self.fixed_dt = dt;
+    }
+    fn step(&mut self) -> Result<StepInfo, SolverError> {
+        SpeciesSolver::step(self)
+    }
+    fn domain(&self) -> &Domain {
+        SpeciesSolver::domain(self)
+    }
+    fn find_non_finite(&self) -> Option<(usize, (i32, i32, i32))> {
+        self.q.find_non_finite()
+    }
+}
+
+impl<R, S> Probe for SpeciesSolver<R, S>
+where
+    R: Real,
+    S: Storage<R>,
+{
+    /// Two-fluid probe: totals report the *mixture* (ρ₁+ρ₂ as mass, the
+    /// shared momenta and energy), Mach uses the mixture sound speed.
+    fn probe(&self) -> Sample {
+        use igr_species::eos::{I_E, I_MX, I_R1, I_R2};
+        let eos = &self.cfg.eos;
+        let domain = SpeciesSolver::domain(self);
+        let shape = self.q.shape();
+        let vol = domain.cell_volume();
+        let mut ke = 0.0f64;
+        let mut max_mach = 0.0f64;
+        let mut min_rho = f64::INFINITY;
+        for k in 0..shape.nz as i32 {
+            for j in 0..shape.ny as i32 {
+                for i in 0..shape.nx as i32 {
+                    let pr = self.q.prim_at(i, j, k, eos);
+                    let rho = pr.rho().to_f64();
+                    let speed2 = pr.vel.iter().map(|v| v.to_f64().powi(2)).sum::<f64>();
+                    ke += 0.5 * rho * speed2;
+                    let c = pr.sound_speed(eos).to_f64();
+                    if c > 0.0 {
+                        max_mach = max_mach.max(speed2.sqrt() / c);
+                    }
+                    min_rho = min_rho.min(rho);
+                }
+            }
+        }
+        let t7 = self.q.totals(domain);
+        Sample {
+            step: SpeciesSolver::steps_taken(self),
+            t: self.t(),
+            totals: [
+                t7[I_R1] + t7[I_R2],
+                t7[I_MX],
+                t7[I_MX + 1],
+                t7[I_MX + 2],
+                t7[I_E],
+            ],
+            kinetic_energy: ke * vol,
+            max_mach,
+            min_rho,
+        }
+    }
+}
+
+impl<R, S> Checkpointable for SpeciesSolver<R, S>
+where
+    R: Real,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+{
+    fn capture(&self) -> Checkpoint {
+        Checkpoint::capture_fields(
+            &self.q.fields(),
+            Some(self.sigma()),
+            self.t(),
+            SpeciesSolver::steps_taken(self),
+            self.fixed_dt,
+        )
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        // Split the borrow: fields_mut() and sigma_mut() both take &mut self.
+        let (t, step, fixed_dt) = (ck.t, ck.step, ck.fixed_dt);
+        ck.restore_fields(&mut self.q.fields_mut(), None)?;
+        // `restore_fields` with `None` sigma succeeds on a sigma-carrying
+        // snapshot; pull Σ explicitly afterwards.
+        ck.restore_sigma_into(self.sigma_mut())?;
+        self.reset_clock(t, step);
+        self.fixed_dt = fixed_dt;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observers
+// ---------------------------------------------------------------------------
+
+/// How often an observer (or the progress hook) fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cadence {
+    /// After every step.
+    EveryStep,
+    /// Every `n` steps, aligned to the absolute step counter (so a resumed
+    /// run fires on the same steps the uninterrupted run would).
+    EverySteps(usize),
+    /// Whenever at least `Δt` of *simulation* time has passed since the
+    /// last firing.
+    EveryTime(f64),
+    /// Whenever at least this much wall-clock time has passed since the
+    /// last firing.
+    EveryWall(Duration),
+}
+
+/// Per-observer cadence bookkeeping.
+struct CadenceState {
+    last_t: f64,
+    last_wall: Instant,
+}
+
+impl Cadence {
+    fn validate(&self) {
+        match self {
+            Cadence::EverySteps(n) => assert!(*n >= 1, "EverySteps cadence needs n >= 1"),
+            Cadence::EveryTime(dt) => assert!(*dt > 0.0, "EveryTime cadence needs dt > 0"),
+            _ => {}
+        }
+    }
+
+    fn fires(&self, state: &mut CadenceState, info: &StepInfo) -> bool {
+        match self {
+            Cadence::EveryStep => true,
+            Cadence::EverySteps(n) => info.step % n == 0,
+            Cadence::EveryTime(dt) => {
+                if info.t >= state.last_t + dt {
+                    state.last_t = info.t;
+                    true
+                } else {
+                    false
+                }
+            }
+            Cadence::EveryWall(d) => {
+                if state.last_wall.elapsed() >= *d {
+                    state.last_wall = Instant::now();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Anything the driver can fail with.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The solver itself failed (NaN blow-up, degenerate dt).
+    Solver(SolverError),
+    /// An observer's I/O failed (VTK/CSV write).
+    Io(std::io::Error),
+    /// Checkpoint save/load/restore failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Solver(e) => write!(f, "solver: {e}"),
+            DriverError::Io(e) => write!(f, "observer I/O: {e}"),
+            DriverError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<SolverError> for DriverError {
+    fn from(e: SolverError) -> Self {
+        DriverError::Solver(e)
+    }
+}
+impl From<std::io::Error> for DriverError {
+    fn from(e: std::io::Error) -> Self {
+        DriverError::Io(e)
+    }
+}
+impl From<CheckpointError> for DriverError {
+    fn from(e: CheckpointError) -> Self {
+        DriverError::Checkpoint(e)
+    }
+}
+
+/// A composable run-loop instrument. Observers see the system immutably
+/// *after* each step they fire on; they mutate only their own sinks
+/// (history buffers, files on disk).
+pub trait Observer<P: ?Sized> {
+    /// Called after a step on which the observer's cadence fires.
+    fn on_step(&mut self, sys: &P, info: &StepInfo) -> Result<(), DriverError>;
+    /// Called once when the run ends (any stop reason; not on error).
+    fn on_finish(&mut self, sys: &P) -> Result<(), DriverError> {
+        let _ = sys;
+        Ok(())
+    }
+}
+
+/// Records a [`Sample`] time series into a caller-owned [`History`] — the
+/// in-flight diagnostics every long campaign run wants (conserved-total
+/// drift, kinetic energy, peak Mach, positivity watch).
+pub struct DiagnosticsObserver<'h> {
+    history: &'h mut History,
+}
+
+impl<'h> DiagnosticsObserver<'h> {
+    pub fn new(history: &'h mut History) -> Self {
+        DiagnosticsObserver { history }
+    }
+}
+
+impl<P: Probe + ?Sized> Observer<P> for DiagnosticsObserver<'_> {
+    fn on_step(&mut self, sys: &P, _info: &StepInfo) -> Result<(), DriverError> {
+        self.history.push(sys.probe());
+        Ok(())
+    }
+}
+
+/// Autosaves a restart file. Each firing captures a full bit-exact
+/// [`Checkpoint`] and replaces the file *atomically* (write to `<path>.tmp`,
+/// then rename), so a crash mid-save leaves the previous restart intact.
+pub struct CheckpointObserver {
+    path: PathBuf,
+    /// How many snapshots this observer has written.
+    pub saved: usize,
+}
+
+impl CheckpointObserver {
+    /// Autosave to `path`, overwriting (latest-wins restart-file semantics).
+    pub fn autosave(path: impl Into<PathBuf>) -> Self {
+        CheckpointObserver {
+            path: path.into(),
+            saved: 0,
+        }
+    }
+
+    /// The restart-file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl<P: Checkpointable + ?Sized> Observer<P> for CheckpointObserver {
+    fn on_step(&mut self, sys: &P, _info: &StepInfo) -> Result<(), DriverError> {
+        let tmp = self.path.with_extension("ckpt.tmp");
+        sys.capture().save(&tmp)?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.saved += 1;
+        Ok(())
+    }
+}
+
+/// Writes step-numbered VTK snapshots (`<stem>_NNNNNN.vtk`) for volume
+/// rendering — the Fig. 1 pipeline as an observer.
+pub struct VtkObserver {
+    dir: PathBuf,
+    stem: String,
+    title: String,
+    /// Paths written so far, in order.
+    pub written: Vec<PathBuf>,
+}
+
+impl VtkObserver {
+    pub fn new(dir: impl Into<PathBuf>, stem: impl Into<String>, title: impl Into<String>) -> Self {
+        VtkObserver {
+            dir: dir.into(),
+            stem: stem.into(),
+            title: title.into(),
+            written: Vec::new(),
+        }
+    }
+}
+
+impl<P: VtkSnapshot + ?Sized> Observer<P> for VtkObserver {
+    fn on_step(&mut self, sys: &P, info: &StepInfo) -> Result<(), DriverError> {
+        let path = self.dir.join(format!("{}_{:06}.vtk", self.stem, info.step));
+        sys.write_vtk(&path, &self.title)?;
+        self.written.push(path);
+        Ok(())
+    }
+}
+
+/// Adapter turning a closure into an observer — the escape hatch for
+/// bespoke per-run instrumentation (figure bins record custom series with
+/// this instead of hand-rolling a loop).
+pub struct FnObserver<F>(pub F);
+
+impl<P: ?Sized, F> Observer<P> for FnObserver<F>
+where
+    F: FnMut(&P, &StepInfo) -> Result<(), DriverError>,
+{
+    fn on_step(&mut self, sys: &P, info: &StepInfo) -> Result<(), DriverError> {
+        (self.0)(sys, info)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stop conditions
+// ---------------------------------------------------------------------------
+
+/// Why a run may end. All conditions on a driver are checked every step;
+/// the first that holds ends the run (its [`StopReason`] is reported).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StopCondition {
+    /// March to `t_end` exactly (the driver clips the last steps so the run
+    /// never overshoots, like the old `run_until`).
+    TimeReached(f64),
+    /// At most this many steps *in this run* (a resumed run gets a fresh
+    /// budget).
+    MaxSteps(usize),
+    /// Wall-clock budget for this run.
+    WallClock(Duration),
+    /// Scan the state for NaN/Inf every `every` steps and fail the run (as
+    /// [`SolverError::NonFinite`]) if any — the guard for benchmark-style
+    /// runs that disable the solver's own per-step check.
+    NanGuard {
+        /// Scan cadence in steps.
+        every: usize,
+    },
+    /// Declare steady state when the relative change of volume-integrated
+    /// kinetic energy between consecutive probes (taken every `every`
+    /// steps) drops below `tol`.
+    SteadyState {
+        /// Probe cadence in steps.
+        every: usize,
+        /// Relative-change threshold.
+        tol: f64,
+    },
+}
+
+/// How a completed run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// [`StopCondition::TimeReached`] was hit (exactly).
+    TimeReached,
+    /// [`StopCondition::MaxSteps`] exhausted.
+    MaxSteps,
+    /// [`StopCondition::WallClock`] exhausted.
+    WallClock,
+    /// [`StopCondition::SteadyState`] held.
+    SteadyState,
+    /// The progress hook returned `false`.
+    Aborted,
+}
+
+/// What a completed (non-error) run did.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Steps taken by this `run` call.
+    pub steps: usize,
+    /// Simulation time at the end.
+    pub t: f64,
+    /// Which condition ended the run.
+    pub stop: StopReason,
+    /// Wall-clock seconds spent inside `run`.
+    pub wall_s: f64,
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+type ProgressHook<'a, P> = Box<dyn FnMut(&P, &StepInfo) -> bool + 'a>;
+
+/// Composable run-loop: observers + stop conditions + progress hook over
+/// any [`Probe`]-capable solver. Build with the fluent methods, then call
+/// [`Driver::run`] (repeatedly, if marching in segments — cadence state
+/// resets per call, stop conditions persist).
+pub struct Driver<'a, P: ?Sized> {
+    observers: Vec<(Cadence, Box<dyn Observer<P> + 'a>)>,
+    stops: Vec<StopCondition>,
+    progress: Option<(Cadence, ProgressHook<'a, P>)>,
+}
+
+impl<'a, P: ?Sized> Default for Driver<'a, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, P: ?Sized> Driver<'a, P> {
+    pub fn new() -> Self {
+        Driver {
+            observers: Vec::new(),
+            stops: Vec::new(),
+            progress: None,
+        }
+    }
+
+    /// Attach an observer at a cadence.
+    pub fn observe(mut self, cadence: Cadence, obs: impl Observer<P> + 'a) -> Self {
+        cadence.validate();
+        self.observers.push((cadence, Box::new(obs)));
+        self
+    }
+
+    /// Add a stop condition (the first condition to hold ends the run).
+    pub fn stop_when(mut self, cond: StopCondition) -> Self {
+        if let StopCondition::NanGuard { every } | StopCondition::SteadyState { every, .. } = &cond
+        {
+            assert!(*every >= 1, "stop-condition cadence needs every >= 1");
+        }
+        self.stops.push(cond);
+        self
+    }
+
+    /// Sugar for [`StopCondition::TimeReached`].
+    pub fn until(self, t_end: f64) -> Self {
+        self.stop_when(StopCondition::TimeReached(t_end))
+    }
+
+    /// Sugar for [`StopCondition::MaxSteps`].
+    pub fn max_steps(self, n: usize) -> Self {
+        self.stop_when(StopCondition::MaxSteps(n))
+    }
+
+    /// Attach a progress hook. Return `false` to abort the run cleanly
+    /// (observers still see their `on_finish`; the summary reports
+    /// [`StopReason::Aborted`]).
+    pub fn on_progress(
+        mut self,
+        cadence: Cadence,
+        hook: impl FnMut(&P, &StepInfo) -> bool + 'a,
+    ) -> Self {
+        cadence.validate();
+        self.progress = Some((cadence, Box::new(hook)));
+        self
+    }
+
+    /// Restore `sys` from a restart file: conserved state (bit-exact), Σ,
+    /// march clock, and pinned dt. Returns the loaded snapshot so callers
+    /// can inspect `t`/`step`.
+    pub fn resume_from(sys: &mut P, path: impl AsRef<Path>) -> Result<Checkpoint, DriverError>
+    where
+        P: Checkpointable,
+    {
+        let ck = Checkpoint::load(path)?;
+        sys.restore(&ck)?;
+        Ok(ck)
+    }
+
+    /// March `sys` until a stop condition holds. Every driver needs at
+    /// least one of [`StopCondition::TimeReached`], [`StopCondition::MaxSteps`],
+    /// or [`StopCondition::WallClock`] — guards alone would loop forever.
+    pub fn run(&mut self, sys: &mut P) -> Result<RunSummary, DriverError>
+    where
+        P: Probe,
+    {
+        assert!(
+            self.stops.iter().any(|s| matches!(
+                s,
+                StopCondition::TimeReached(_)
+                    | StopCondition::MaxSteps(_)
+                    | StopCondition::WallClock(_)
+                    | StopCondition::SteadyState { .. }
+            )),
+            "driver needs a terminating stop condition"
+        );
+        let wall0 = Instant::now();
+        let now = Instant::now();
+        let mut cadences: Vec<CadenceState> = self
+            .observers
+            .iter()
+            .map(|_| CadenceState {
+                last_t: sys.time(),
+                last_wall: now,
+            })
+            .collect();
+        let mut progress_state = CadenceState {
+            last_t: sys.time(),
+            last_wall: now,
+        };
+        // The nearest t_end across TimeReached conditions bounds every dt.
+        let t_end = self
+            .stops
+            .iter()
+            .filter_map(|s| match s {
+                StopCondition::TimeReached(t) => Some(*t),
+                _ => None,
+            })
+            .fold(None::<f64>, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))));
+        let mut last_ke: Option<f64> = None;
+        let mut steps_this_run = 0usize;
+
+        let finish = |observers: &mut Vec<(Cadence, Box<dyn Observer<P> + 'a>)>,
+                      sys: &P,
+                      stop: StopReason,
+                      steps: usize,
+                      wall0: Instant|
+         -> Result<RunSummary, DriverError> {
+            for (_, obs) in observers.iter_mut() {
+                obs.on_finish(sys)?;
+            }
+            Ok(RunSummary {
+                steps,
+                t: sys.time(),
+                stop,
+                wall_s: wall0.elapsed().as_secs_f64(),
+            })
+        };
+
+        loop {
+            // Pre-step termination checks (a zero-step run is legal).
+            if let Some(te) = t_end {
+                if sys.time() >= te {
+                    return finish(
+                        &mut self.observers,
+                        sys,
+                        StopReason::TimeReached,
+                        steps_this_run,
+                        wall0,
+                    );
+                }
+            }
+            for s in &self.stops {
+                match s {
+                    StopCondition::MaxSteps(n) if steps_this_run >= *n => {
+                        return finish(
+                            &mut self.observers,
+                            sys,
+                            StopReason::MaxSteps,
+                            steps_this_run,
+                            wall0,
+                        );
+                    }
+                    StopCondition::WallClock(d) if wall0.elapsed() >= *d => {
+                        return finish(
+                            &mut self.observers,
+                            sys,
+                            StopReason::WallClock,
+                            steps_this_run,
+                            wall0,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+
+            // Step, clipping dt so a TimeReached run never overshoots
+            // (identical arithmetic to the old `run_until`: the pinned-or-CFL
+            // dt is min'ed against the remaining time).
+            let info = if let Some(te) = t_end {
+                let prev_fixed = sys.fixed_dt();
+                let dt = prev_fixed.unwrap_or_else(|| sys.stable_dt());
+                sys.set_fixed_dt(Some(dt.min(te - sys.time())));
+                let r = sys.step();
+                sys.set_fixed_dt(prev_fixed);
+                r?
+            } else {
+                sys.step()?
+            };
+            steps_this_run += 1;
+
+            // Observers fire after the step.
+            for ((cadence, obs), state) in self.observers.iter_mut().zip(&mut cadences) {
+                if cadence.fires(state, &info) {
+                    obs.on_step(sys, &info)?;
+                }
+            }
+            if let Some((cadence, hook)) = &mut self.progress {
+                if cadence.fires(&mut progress_state, &info) && !hook(sys, &info) {
+                    return finish(
+                        &mut self.observers,
+                        sys,
+                        StopReason::Aborted,
+                        steps_this_run,
+                        wall0,
+                    );
+                }
+            }
+
+            // Post-step guards and steady-state detection.
+            for s in &self.stops {
+                match s {
+                    StopCondition::NanGuard { every } if info.step % every == 0 => {
+                        if let Some((var, pos)) = sys.find_non_finite() {
+                            return Err(SolverError::NonFinite {
+                                step: info.step,
+                                var,
+                                pos,
+                            }
+                            .into());
+                        }
+                    }
+                    StopCondition::SteadyState { every, tol } if info.step % every == 0 => {
+                        let ke = sys.probe().kinetic_energy;
+                        if let Some(prev) = last_ke {
+                            let rel = (ke - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
+                            if rel < *tol {
+                                return finish(
+                                    &mut self.observers,
+                                    sys,
+                                    StopReason::SteadyState,
+                                    steps_this_run,
+                                    wall0,
+                                );
+                            }
+                        }
+                        last_ke = Some(ke);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+    use igr_prec::{StoreF32, StoreF64};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("igr_driver_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn until_hits_t_end_exactly_and_matches_run_until() {
+        let case = cases::steepening_wave(96, 0.3);
+        let mut a = case.igr_solver::<f64, StoreF64>();
+        let mut b = case.igr_solver::<f64, StoreF64>();
+        a.run_until(0.08, 10_000).unwrap();
+        let summary = Driver::new()
+            .until(0.08)
+            .max_steps(10_000)
+            .run(&mut b)
+            .unwrap();
+        assert_eq!(summary.stop, StopReason::TimeReached);
+        assert_eq!(
+            a.t().to_bits(),
+            b.t().to_bits(),
+            "same clipped-dt arithmetic"
+        );
+        assert_eq!(
+            a.q.max_diff(&b.q),
+            0.0,
+            "driver must replay run_until bitwise"
+        );
+    }
+
+    #[test]
+    fn observers_fire_on_their_cadence() {
+        let case = cases::steepening_wave(48, 0.2);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let mut hist = History::new();
+        let mut every_step = 0usize;
+        Driver::new()
+            .max_steps(12)
+            .observe(Cadence::EverySteps(4), DiagnosticsObserver::new(&mut hist))
+            .observe(
+                Cadence::EveryStep,
+                FnObserver(|_: &_, _: &StepInfo| {
+                    every_step += 1;
+                    Ok(())
+                }),
+            )
+            .run(&mut solver)
+            .unwrap();
+        assert_eq!(every_step, 12);
+        assert_eq!(hist.samples.len(), 3, "steps 4, 8, 12");
+        assert_eq!(hist.samples[0].step, 4);
+        assert_eq!(hist.samples[2].step, 12);
+    }
+
+    #[test]
+    fn sim_time_cadence_fires_at_intervals() {
+        let case = cases::steepening_wave(48, 0.2);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let mut fired: Vec<f64> = Vec::new();
+        Driver::new()
+            .until(0.05)
+            .max_steps(10_000)
+            .observe(
+                Cadence::EveryTime(0.01),
+                FnObserver(|_: &_, info: &StepInfo| {
+                    fired.push(info.t);
+                    Ok(())
+                }),
+            )
+            .run(&mut solver)
+            .unwrap();
+        assert!(
+            fired.len() >= 4 && fired.len() <= 6,
+            "~5 firings: {fired:?}"
+        );
+        for w in fired.windows(2) {
+            assert!(w[1] - w[0] >= 0.01 - 1e-12, "firings at least Δt apart");
+        }
+    }
+
+    #[test]
+    fn checkpoint_observer_resume_is_bitwise() {
+        let case = cases::steepening_wave(64, 0.25);
+        let path = tmp("driver_autosave.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let mut straight = case.igr_solver::<f64, StoreF64>();
+        Driver::new().max_steps(10).run(&mut straight).unwrap();
+
+        let mut first = case.igr_solver::<f64, StoreF64>();
+        let mut driver = Driver::new()
+            .max_steps(6)
+            .observe(Cadence::EverySteps(3), CheckpointObserver::autosave(&path));
+        driver.run(&mut first).unwrap();
+
+        let mut resumed = case.igr_solver::<f64, StoreF64>();
+        let ck = Driver::<_>::resume_from(&mut resumed, &path).unwrap();
+        assert_eq!(ck.step, 6, "autosave overwrote down to the latest step");
+        Driver::new().max_steps(4).run(&mut resumed).unwrap();
+        assert_eq!(resumed.steps_taken(), 10);
+        assert_eq!(
+            straight.q.max_diff(&resumed.q),
+            0.0,
+            "resume must reproduce the uninterrupted run bitwise"
+        );
+    }
+
+    #[test]
+    fn species_solver_drives_probes_and_resumes() {
+        use igr_core::config::EllipticKind;
+        use igr_grid::{Domain, GridShape};
+        use igr_species::eos::MixPrim;
+        use igr_species::{species_solver, SpeciesConfig, SpeciesState};
+
+        let shape = GridShape::new(48, 1, 1, 3);
+        let domain = Domain::unit(shape);
+        let cfg = SpeciesConfig {
+            elliptic: EllipticKind::GaussSeidel,
+            ..Default::default()
+        };
+        let make = || {
+            let mut q = SpeciesState::zeros(shape);
+            let w = 4.0 / 48.0;
+            q.set_prim_field(&domain, &cfg.eos, |p| {
+                let a = (0.5 * ((p[0] - 0.3) / w).tanh() - 0.5 * ((p[0] - 0.7) / w).tanh())
+                    .clamp(0.0, 1.0);
+                MixPrim::new([a, (1.0 - a) * 0.138], [0.5, 0.0, 0.0], 1.0, a)
+            });
+            species_solver::<f64, StoreF64>(cfg.clone(), domain, q)
+        };
+
+        let mut straight = make();
+        let mut hist = History::new();
+        Driver::new()
+            .max_steps(8)
+            .observe(Cadence::EverySteps(2), DiagnosticsObserver::new(&mut hist))
+            .run(&mut straight)
+            .unwrap();
+        assert_eq!(hist.samples.len(), 4);
+        assert!(hist.samples[0].kinetic_energy > 0.0);
+        assert!(hist.samples[0].min_rho > 0.0);
+        // Periodic box: mixture mass conserved across the series.
+        let (m0, m1) = (hist.samples[0].totals[0], hist.samples[3].totals[0]);
+        assert!((m1 - m0).abs() < 1e-12 * m0.abs());
+
+        // Mid-run snapshot → fresh solver → bitwise-equal final state.
+        let path = tmp("driver_species.ckpt");
+        let mut first = make();
+        let mut driver = Driver::new()
+            .max_steps(4)
+            .observe(Cadence::EverySteps(4), CheckpointObserver::autosave(&path));
+        driver.run(&mut first).unwrap();
+        let mut resumed = make();
+        Driver::<_>::resume_from(&mut resumed, &path).unwrap();
+        Driver::new().max_steps(4).run(&mut resumed).unwrap();
+        assert_eq!(straight.q.max_diff(&resumed.q), 0.0);
+    }
+
+    #[test]
+    fn f32_storage_resume_is_bitwise() {
+        let case = cases::steepening_wave(48, 0.25);
+        let path = tmp("driver_f32.ckpt");
+        let mut straight = case.igr_solver::<f32, StoreF32>();
+        Driver::new().max_steps(8).run(&mut straight).unwrap();
+
+        let mut first = case.igr_solver::<f32, StoreF32>();
+        let mut driver = Driver::new()
+            .max_steps(4)
+            .observe(Cadence::EverySteps(4), CheckpointObserver::autosave(&path));
+        driver.run(&mut first).unwrap();
+        let mut resumed = case.igr_solver::<f32, StoreF32>();
+        Driver::<_>::resume_from(&mut resumed, &path).unwrap();
+        Driver::new().max_steps(4).run(&mut resumed).unwrap();
+        assert_eq!(straight.q.max_diff(&resumed.q), 0.0);
+    }
+
+    #[test]
+    fn nan_guard_catches_injected_divergence() {
+        let case = cases::steepening_wave(48, 0.2);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        solver.nan_check_every = 0; // benchmark-style: solver's own check off
+        let mut poisoned = false;
+        let result = Driver::new()
+            .max_steps(50)
+            .observe(
+                Cadence::EverySteps(3),
+                FnObserver(|_: &_, _: &StepInfo| {
+                    poisoned = true;
+                    Ok(())
+                }),
+            )
+            .stop_when(StopCondition::NanGuard { every: 1 })
+            .run(&mut {
+                solver.q.en.set(5, 0, 0, f64::NAN);
+                solver
+            });
+        match result {
+            Err(DriverError::Solver(SolverError::NonFinite { .. })) => {}
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steady_state_stop_triggers_on_settled_flow() {
+        // A uniform-flow periodic box is exactly steady: KE never changes.
+        use igr_core::eos::Prim;
+        use igr_core::{IgrConfig, State};
+        use igr_grid::{Domain, GridShape};
+        let shape = GridShape::new(32, 1, 1, 3);
+        let domain = Domain::unit(shape);
+        let cfg = IgrConfig::default();
+        let mut q: State<f64, StoreF64> = State::zeros(shape);
+        q.set_prim_field(&domain, cfg.gamma, |_| Prim::new(1.0, [0.5, 0.0, 0.0], 1.0));
+        let mut solver = igr_core::solver::igr_solver(cfg, domain, q);
+        let summary = Driver::new()
+            .max_steps(1000)
+            .stop_when(StopCondition::SteadyState {
+                every: 2,
+                tol: 1e-12,
+            })
+            .run(&mut solver)
+            .unwrap();
+        assert_eq!(summary.stop, StopReason::SteadyState);
+        assert!(summary.steps <= 6, "two probes suffice: {}", summary.steps);
+    }
+
+    #[test]
+    fn progress_hook_can_abort() {
+        let case = cases::steepening_wave(48, 0.2);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let summary = Driver::new()
+            .max_steps(100)
+            .on_progress(Cadence::EveryStep, |_: &_, info: &StepInfo| info.step < 7)
+            .run(&mut solver)
+            .unwrap();
+        assert_eq!(summary.stop, StopReason::Aborted);
+        assert_eq!(summary.steps, 7);
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_the_run() {
+        let case = cases::steepening_wave(48, 0.2);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let summary = Driver::new()
+            .max_steps(1_000_000)
+            .stop_when(StopCondition::WallClock(Duration::from_millis(50)))
+            .run(&mut solver)
+            .unwrap();
+        assert_eq!(summary.stop, StopReason::WallClock);
+        assert!(summary.wall_s < 5.0);
+    }
+
+    #[test]
+    fn vtk_observer_writes_step_numbered_snapshots() {
+        let case = cases::steepening_wave(24, 0.2);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let dir = std::env::temp_dir().join("igr_driver_vtk");
+        std::fs::create_dir_all(&dir).unwrap();
+        let vtk = VtkObserver::new(&dir, "wave", "driver test");
+        let mut driver = Driver::new()
+            .max_steps(4)
+            .observe(Cadence::EverySteps(2), vtk);
+        driver.run(&mut solver).unwrap();
+        // Ownership moved into the driver; verify via the filesystem.
+        for step in [2, 4] {
+            let p = dir.join(format!("wave_{step:06}.vtk"));
+            assert!(p.exists(), "{p:?} missing");
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+}

@@ -298,6 +298,49 @@ impl GimbalSchedule {
         }
     }
 
+    /// A ramp whose *duration* is derived from an angular slew rate: start
+    /// at `from` at `t0` and reach `to` after `‖to − from‖ / rate` time
+    /// units — how flight software actually commands thrust vectoring
+    /// (actuators move at a rate, not to a deadline). A zero-length move
+    /// degenerates to a constant schedule.
+    pub fn ramp_at_rate(t0: f64, from: [f64; 2], to: [f64; 2], rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "slew rate must be positive");
+        let d = ((to[0] - from[0]).powi(2) + (to[1] - from[1]).powi(2)).sqrt();
+        if d == 0.0 {
+            return GimbalSchedule::constant(from);
+        }
+        GimbalSchedule::ramp(t0, from, t0 + d / rate, to)
+    }
+
+    /// Re-time a knot sequence so no segment's angular rate exceeds
+    /// `max_rate`: segments that demand a faster slew are stretched to the
+    /// limit-rate duration, and every later knot shifts by the accumulated
+    /// stretch. Angles are never altered — only when they are reached.
+    pub fn slew_limited(knots: Vec<(f64, [f64; 2])>, max_rate: f64) -> Self {
+        assert!(
+            max_rate > 0.0 && max_rate.is_finite(),
+            "slew limit must be positive"
+        );
+        let sched = GimbalSchedule::new(knots); // sorts by time
+        let mut out: Vec<(f64, [f64; 2])> = Vec::with_capacity(sched.knots.len());
+        let mut prev_in: Option<f64> = None;
+        for (t, a) in sched.knots {
+            match (prev_in, out.last().copied()) {
+                (Some(tp_in), Some((tp_out, a_prev))) => {
+                    let d = ((a[0] - a_prev[0]).powi(2) + (a[1] - a_prev[1]).powi(2)).sqrt();
+                    // The requested spacing (input timeline) is kept when
+                    // admissible; a segment demanding a faster slew is
+                    // stretched to the limit-rate duration.
+                    let dt = (t - tp_in).max(d / max_rate);
+                    out.push((tp_out + dt, a));
+                }
+                _ => out.push((t, a)),
+            }
+            prev_in = Some(t);
+        }
+        GimbalSchedule { knots: out }
+    }
+
     /// Gimbal angles at time `t`.
     pub fn at(&self, t: f64) -> [f64; 2] {
         let k = &self.knots;
@@ -360,6 +403,48 @@ impl InflowProfile for ScheduledJetInflow {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ramp_at_rate_derives_duration_from_distance() {
+        let s = GimbalSchedule::ramp_at_rate(0.5, [0.0, 0.0], [0.3, 0.4], 0.25);
+        // Distance 0.5 rad at 0.25 rad/t → 2 t; done at t = 2.5.
+        assert_eq!(s.knots.len(), 2);
+        assert!((s.knots[1].0 - 2.5).abs() < 1e-14);
+        let mid = s.at(1.5); // halfway through the ramp
+        assert!((mid[0] - 0.15).abs() < 1e-14 && (mid[1] - 0.2).abs() < 1e-14);
+        // Zero-length move degenerates to a constant.
+        let c = GimbalSchedule::ramp_at_rate(0.0, [0.1, 0.0], [0.1, 0.0], 1.0);
+        assert_eq!(c.knots.len(), 1);
+    }
+
+    #[test]
+    fn slew_limited_stretches_only_too_fast_segments() {
+        // Segment 1 (0→1, distance 0.05) is admissible at rate 0.1;
+        // segment 2 (1→1.1, distance 0.2) demands rate 2.0 → stretched to
+        // 2 t; segment 3 keeps its requested 1 t spacing, shifted.
+        let s = GimbalSchedule::slew_limited(
+            vec![
+                (0.0, [0.0, 0.0]),
+                (1.0, [0.05, 0.0]),
+                (1.1, [0.25, 0.0]),
+                (2.1, [0.25, 0.0]),
+            ],
+            0.1,
+        );
+        let times: Vec<f64> = s.knots.iter().map(|(t, _)| *t).collect();
+        assert!((times[0]).abs() < 1e-14);
+        assert!((times[1] - 1.0).abs() < 1e-14, "{times:?}");
+        assert!((times[2] - 3.0).abs() < 1e-14, "{times:?}");
+        assert!((times[3] - 4.0).abs() < 1e-14, "{times:?}");
+        // Angles untouched.
+        assert_eq!(s.knots[2].1, [0.25, 0.0]);
+        // No segment exceeds the limit.
+        for w in s.knots.windows(2) {
+            let d = ((w[1].1[0] - w[0].1[0]).powi(2) + (w[1].1[1] - w[0].1[1]).powi(2)).sqrt();
+            let dt = w[1].0 - w[0].0;
+            assert!(d / dt <= 0.1 + 1e-12, "segment rate {} too fast", d / dt);
+        }
+    }
     use igr_core::bc::InflowProfile;
 
     #[test]

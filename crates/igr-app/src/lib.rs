@@ -8,6 +8,12 @@
 //!   Super-Heavy-inspired 33-engine pattern, per-engine gimbal (thrust
 //!   vectoring), altitude (ambient-backpressure) conditions, and engine-out
 //!   scenarios;
+//! * [`driver`] — the unified run-loop: `Steppable`/`Probe`/`Checkpointable`
+//!   solvers driven by a `Driver` composing observers (diagnostics,
+//!   checkpoint autosave, VTK snapshots), cadences, stop conditions
+//!   (`t_end`, step/wall budgets, NaN guard, steady state), and
+//!   checkpoint/resume — every example, figure bin, and the campaign
+//!   executor march through it;
 //! * [`base`] — base-heating diagnostics (recirculation flux, thermal load,
 //!   heating footprint), the engineering quantity behind §3 of the paper;
 //! * [`parallel`] — the decomposed (multi-rank) solver driver: halo-
@@ -24,6 +30,7 @@ pub mod base;
 pub mod cases;
 pub mod checkpoint;
 pub mod diagnostics;
+pub mod driver;
 pub mod grind;
 pub mod io;
 pub mod jets;
@@ -34,5 +41,9 @@ pub use base::BaseHeatingReport;
 pub use cases::CaseSetup;
 pub use checkpoint::Checkpoint;
 pub use diagnostics::History;
+pub use driver::{
+    Cadence, CheckpointObserver, Checkpointable, DiagnosticsObserver, Driver, DriverError,
+    FnObserver, Observer, Probe, RunSummary, Steppable, StopCondition, StopReason, VtkObserver,
+};
 pub use grind::{measure_grind, GrindResult};
 pub use parallel::{run_decomposed, DecomposedRun};

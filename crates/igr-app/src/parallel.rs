@@ -8,7 +8,9 @@
 //! single-rank runs bit for bit in FP64, which the integration tests assert.
 
 use igr_comm::{CartComm, Comm, CommData, ReduceOp, Universe};
-use igr_core::bc::{fill_ghosts_axis, fill_scalar_ghosts_axis, BcSet, FaceMask};
+use igr_core::bc::{
+    fill_ghosts_axis_cached, fill_scalar_ghosts_axis, BcSet, FaceMask, InflowCache,
+};
 use igr_core::eos::Prim;
 use igr_core::solver::{GhostOps, Solver};
 use igr_core::{IgrConfig, IgrScheme, State, GHOST_WIDTH};
@@ -25,6 +27,11 @@ pub struct HaloGhostOps {
     wall_mask: FaceMask,
     send_lo: Vec<f64>, // staging reused across calls (never reallocates)
     send_hi: Vec<f64>,
+    /// Memoized static inflow planes for the wall faces this rank owns —
+    /// same contract as `BcGhostOps`: replayed values are bit-identical to
+    /// re-evaluating the profile. Call [`HaloGhostOps::invalidate_inflow_cache`]
+    /// after swapping `bcs` mid-run.
+    inflow_cache: InflowCache,
 }
 
 impl HaloGhostOps {
@@ -45,7 +52,15 @@ impl HaloGhostOps {
             wall_mask,
             send_lo: Vec::new(),
             send_hi: Vec::new(),
+            inflow_cache: InflowCache::new(),
         }
+    }
+
+    /// Drop memoized inflow planes (required after swapping `bcs` on ghost
+    /// ops that have already filled ghosts — cached planes are keyed by face
+    /// only and would otherwise keep replaying the old profile).
+    pub fn invalidate_inflow_cache(&mut self) {
+        self.inflow_cache.clear();
     }
 
     /// Exchange one field's halos along one axis (phase-tagged), then leave
@@ -92,7 +107,16 @@ impl<R: Real + CommData, S: Storage<R>> GhostOps<R, S> for HaloGhostOps {
             }
             let domain = self.domain;
             let bcs = self.bcs.clone();
-            fill_ghosts_axis(q, &domain, &bcs, self.gamma, t, axis, &self.wall_mask);
+            fill_ghosts_axis_cached(
+                q,
+                &domain,
+                &bcs,
+                self.gamma,
+                t,
+                axis,
+                &self.wall_mask,
+                &mut self.inflow_cache,
+            );
         }
     }
 
@@ -341,6 +365,25 @@ mod tests {
         let single = single_rank_reference(&cfg, &domain, 0, init);
         let multi = run_decomposed::<f64, StoreF64>(&cfg, &domain, 6, 0, init);
         assert_eq!(single.max_diff(&multi.state), 0.0);
+    }
+
+    /// The wall-face inflow fill now goes through the memoized plane cache;
+    /// replayed planes must leave decomposed runs bitwise rank-count
+    /// invariant (each rank caches its own slice of the engine-array plane).
+    #[test]
+    fn decomposed_jet_inflow_through_the_cache_matches_across_rank_counts() {
+        let case = cases::engine_row_2d(16, 3, crate::jets::JetConditions::mach10());
+        let cfg = case.igr_config();
+        let i1 = case.init.clone();
+        let i2 = case.init.clone();
+        let single =
+            run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 1, 4, move |p| i1(p)).state;
+        let multi = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, 2, 4, move |p| i2(p));
+        assert_eq!(
+            single.max_diff(&multi.state),
+            0.0,
+            "cached inflow planes must not perturb the decomposed run"
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use igr_core::bc::{fill_ghosts, BcSet, ALL_FACES};
 use igr_core::eos::Prim;
-use igr_core::sigma::{compute_igr_source, gauss_seidel_sweep, jacobi_sweep};
+use igr_core::sigma::{
+    compute_igr_source, compute_igr_source_reference, gauss_seidel_sweep, jacobi_sweep,
+};
 use igr_core::State;
 use igr_grid::{Axis, Domain, Field, GridShape};
 use igr_prec::StoreF64;
@@ -67,6 +69,12 @@ fn bench_sweeps(c: &mut Criterion) {
     group.bench_function("source_term", |bch| {
         let mut out = Field::zeros(shape);
         bch.iter(|| compute_igr_source(&q, &domain, alpha, &mut out));
+    });
+    // The pre-optimization kernel (6 redundant neighbour 1/ρ divisions per
+    // cell) — the rolling-row `source_term` above is measured against this.
+    group.bench_function("source_term_reference", |bch| {
+        let mut out = Field::zeros(shape);
+        bch.iter(|| compute_igr_source_reference(&q, &domain, alpha, &mut out));
     });
     group.finish();
 }

@@ -9,7 +9,7 @@
 //!     --addr 127.0.0.1:7171 --store target/campaign_store.jsonl --workers 4
 //!
 //! # poke it from a shell (one JSON object per line; see docs/PROTOCOL.md):
-//! printf '%s\n' '{"op":"hello","proto":1,"hash_v":2}' '{"op":"stats"}' \
+//! printf '%s\n' '{"op":"hello","proto":2,"hash_v":2}' '{"op":"stats"}' \
 //!     '{"op":"shutdown"}' | nc 127.0.0.1 7171
 //! ```
 //!
@@ -67,11 +67,11 @@ fn main() {
         None => ExecConfig::default(),
     };
 
+    let workers = cfg.workers;
     let server = CampaignServer::bind(&addr, cfg, store).expect("bind listen address");
     println!(
-        "campaign_serve: listening on {} (proto v{PROTO_VERSION}, {} workers)",
+        "campaign_serve: listening on {} (proto v{PROTO_VERSION}, {workers} workers)",
         server.local_addr(),
-        cfg.workers
     );
     println!("send {{\"op\":\"shutdown\"}} (after a hello) to stop gracefully");
 

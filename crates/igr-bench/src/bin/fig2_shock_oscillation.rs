@@ -11,6 +11,7 @@
 //!     (larger C_β) dissipates the oscillation amplitude; IGR preserves it.
 
 use igr_app::cases;
+use igr_app::driver::Driver;
 use igr_app::io::{csv_string, primitive_profiles};
 use igr_baseline::exact_riemann::{ExactRiemann, PrimitiveState};
 use igr_baseline::lad::Lad1d;
@@ -79,7 +80,11 @@ fn run_igr(n: usize, t_end: f64, alpha_factor: f64) -> Vec<f64> {
         Prim::new(r, [u, 0.0, 0.0], pr)
     });
     let mut solver = igr_core::solver::igr_solver(cfg, domain, q);
-    solver.run_until(t_end, 100_000).unwrap();
+    Driver::new()
+        .until(t_end)
+        .max_steps(100_000)
+        .run(&mut solver)
+        .unwrap();
     let (_, _, p) = primitive_profiles(&solver.q, GAMMA);
     p
 }
@@ -188,7 +193,11 @@ fn main() {
     let igr_amp = {
         let case = cases::acoustic_packet(n_osc, k, amp);
         let mut solver = case.igr_solver::<f64, StoreF64>();
-        solver.run_until(t_osc, 100_000).unwrap();
+        Driver::new()
+            .until(t_osc)
+            .max_steps(100_000)
+            .run(&mut solver)
+            .unwrap();
         let (rho, _, _) = primitive_profiles(&solver.q, GAMMA);
         amplitude(&rho)
     };

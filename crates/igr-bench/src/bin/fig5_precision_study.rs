@@ -8,6 +8,7 @@
 //! instability onset (growth of transverse kinetic energy), and stability.
 
 use igr_app::cases;
+use igr_app::driver::{Cadence, Driver, FnObserver};
 use igr_app::io::plane_slice;
 use igr_bench::{fmt_g, section, TextTable};
 use igr_core::solver::{GhostOps, RhsScheme, Solver};
@@ -48,6 +49,29 @@ fn max_abs_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
     m
 }
 
+/// March `steps` steps through the unified driver, recording the
+/// transverse-KE instability-onset series after every step. A diverging run
+/// reports how far it got (`ok = false`) — the sub-FP64 stability question
+/// is the point of the figure.
+fn run_onset<R: Real, S: Storage<R>, Sch: RhsScheme<R, S>, G: GhostOps<R, S>>(
+    solver: &mut Solver<R, S, Sch, G>,
+    steps: usize,
+) -> (Vec<f64>, bool) {
+    let mut onset = Vec::with_capacity(steps);
+    let ok = Driver::new()
+        .max_steps(steps)
+        .observe(
+            Cadence::EveryStep,
+            FnObserver(|s: &Solver<R, S, Sch, G>, _info: &_| {
+                onset.push(transverse_ke(s));
+                Ok(())
+            }),
+        )
+        .run(solver)
+        .is_ok();
+    (onset, ok)
+}
+
 fn main() {
     let n = std::env::args()
         .nth(1)
@@ -69,52 +93,22 @@ fn main() {
 
     // Reference: FP64 IGR.
     let mut ref64 = case.igr_solver::<f64, StoreF64>();
-    let mut onset64 = Vec::new();
-    let mut ok64 = true;
-    for _ in 0..steps {
-        if ref64.step().is_err() {
-            ok64 = false;
-            break;
-        }
-        onset64.push(transverse_ke(&ref64));
-    }
+    let (onset64, ok64) = run_onset(&mut ref64, steps);
     let slice64 = rho_slice_f64(&ref64);
 
     // FP32 IGR.
     let mut s32 = case.igr_solver::<f32, StoreF32>();
-    let mut onset32 = Vec::new();
-    let mut ok32 = true;
-    for _ in 0..steps {
-        if s32.step().is_err() {
-            ok32 = false;
-            break;
-        }
-        onset32.push(transverse_ke(&s32));
-    }
+    let (onset32, ok32) = run_onset(&mut s32, steps);
     let slice32 = rho_slice_f64(&s32);
 
     // FP16-storage IGR.
     let mut s16 = case.igr_solver::<f32, StoreF16>();
-    let mut onset16 = Vec::new();
-    let mut ok16 = true;
-    for _ in 0..steps {
-        if s16.step().is_err() {
-            ok16 = false;
-            break;
-        }
-        onset16.push(transverse_ke(&s16));
-    }
+    let (onset16, ok16) = run_onset(&mut s16, steps);
     let slice16 = rho_slice_f64(&s16);
 
     // FP64 baseline numerics.
     let mut sb = case.weno_solver::<f64, StoreF64>();
-    let mut okb = true;
-    for _ in 0..steps {
-        if sb.step().is_err() {
-            okb = false;
-            break;
-        }
-    }
+    let okb = Driver::new().max_steps(steps).run(&mut sb).is_ok();
     let slice_b = rho_slice_f64(&sb);
 
     let mut t = TextTable::new(vec![

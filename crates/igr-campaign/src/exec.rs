@@ -10,28 +10,41 @@
 //! decomposed scenarios (`ranks > 1`) additionally spread one run over
 //! `igr-comm` thread-ranks inside the worker's slot.
 
-use crate::report::{CampaignReport, ReportRow, RunStatus, ScenarioResult};
+use crate::report::{CampaignReport, ReportRow, RunStatus, ScenarioResult, ScenarioSeries};
 use crate::spec::{ScenarioSpec, SchemeKind};
 use crate::store::ResultStore;
 use igr_app::base::BaseHeatingReport;
 use igr_app::cases::CaseSetup;
-use igr_app::grind::try_measure_grind;
+use igr_app::checkpoint::CheckpointScalar;
+use igr_app::diagnostics::History;
+use igr_app::driver::{
+    Cadence, CheckpointObserver, Checkpointable, DiagnosticsObserver, Driver, DriverError,
+    StopCondition,
+};
 use igr_app::parallel::run_decomposed;
-use igr_core::solver::{BcGhostOps, RhsScheme, Solver};
+use igr_core::solver::{BcGhostOps, RhsScheme, Solver, SolverError};
 use igr_prec::{PrecisionMode, Real, Storage, StoreF16, StoreF32, StoreF64};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Executor configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecConfig {
     /// Concurrent scenario workers.
     pub workers: usize,
     /// `rayon` threads each worker's solver uses. 0 = machine parallelism
     /// divided evenly among workers (at least 1).
     pub threads_per_worker: usize,
+    /// Directory for per-scenario restart files (`<hash>.ckpt`). When set
+    /// and a spec asks for [`crate::spec::ScenarioSpec::checkpoint_every`],
+    /// workers autosave while running and *resume* from an existing file on
+    /// the next submission — an interrupted campaign re-enters mid-flight
+    /// instead of restarting every scenario. Files are removed once their
+    /// scenario completes (the result store takes over from there).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for ExecConfig {
@@ -42,6 +55,7 @@ impl Default for ExecConfig {
         ExecConfig {
             workers: cores.clamp(1, 8),
             threads_per_worker: 0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -170,7 +184,9 @@ impl Campaign {
                             // cannot take down the batch; a poisoned slot
                             // (a *previous* panic between lock and store)
                             // is recovered the same way.
-                            let result = pool.install(|| run_scenario_caught(&jobs[i].0));
+                            let ckpt_dir = self.cfg.checkpoint_dir.as_deref();
+                            let result =
+                                pool.install(|| run_scenario_caught_with(&jobs[i].0, ckpt_dir));
                             match slots[i].lock() {
                                 Ok(mut slot) => *slot = Some(result),
                                 Err(poisoned) => *poisoned.into_inner() = Some(result),
@@ -250,6 +266,8 @@ fn failed_result(spec: &ScenarioSpec, msg: String) -> ScenarioResult {
         mass_drift: 0.0,
         energy_drift: 0.0,
         base_heating: None,
+        series: None,
+        resumed_from: None,
     }
 }
 
@@ -258,10 +276,19 @@ fn failed_result(spec: &ScenarioSpec, msg: String) -> ScenarioResult {
 /// so one bad scenario degrades to one failed row instead of poisoning
 /// slot mutexes and killing the whole ensemble.
 pub fn run_scenario_caught(spec: &ScenarioSpec) -> ScenarioResult {
+    run_scenario_caught_with(spec, None)
+}
+
+/// [`run_scenario_caught`] with an optional restart-file directory (the
+/// executor threads [`ExecConfig::checkpoint_dir`] through here).
+pub fn run_scenario_caught_with(
+    spec: &ScenarioSpec,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> ScenarioResult {
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         #[cfg(test)]
         panic_injection(spec);
-        run_scenario(spec)
+        run_scenario_with(spec, checkpoint_dir)
     }));
     match caught {
         Ok(result) => result,
@@ -290,6 +317,16 @@ fn panic_injection(spec: &ScenarioSpec) {
 /// Run one scenario to completion (never panics on solver divergence: the
 /// failure becomes a `RunStatus::Failed` row).
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
+    run_scenario_with(spec, None)
+}
+
+/// [`run_scenario`] with an optional restart-file directory: when the spec
+/// enables checkpointing and `<dir>/<hash>.ckpt` exists, the run resumes
+/// from it bit-exactly instead of starting over.
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> ScenarioResult {
     let case = match spec.build_case() {
         Ok(c) => c,
         Err(e) => return failed_result(spec, e.to_string()),
@@ -297,45 +334,149 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
     if spec.ranks.is_some_and(|r| r > 1) {
         return run_decomposed_scenario(spec, &case);
     }
+    let ckpt = match (spec.checkpoint_every, checkpoint_dir) {
+        (Some(_), Some(dir)) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return failed_result(spec, format!("checkpoint dir {dir:?}: {e}"));
+            }
+            Some(dir.join(format!("{}.ckpt", spec.hash_hex())))
+        }
+        _ => None,
+    };
     match (spec.scheme, spec.precision) {
-        (SchemeKind::Igr, PrecisionMode::Fp64) => run_igr::<f64, StoreF64>(spec, &case),
-        (SchemeKind::Igr, PrecisionMode::Fp32) => run_igr::<f32, StoreF32>(spec, &case),
-        (SchemeKind::Igr, PrecisionMode::Fp16Fp32) => run_igr::<f32, StoreF16>(spec, &case),
-        (SchemeKind::WenoBaseline, PrecisionMode::Fp64) => run_weno::<f64, StoreF64>(spec, &case),
-        (SchemeKind::WenoBaseline, PrecisionMode::Fp32) => run_weno::<f32, StoreF32>(spec, &case),
+        (SchemeKind::Igr, PrecisionMode::Fp64) => run_igr::<f64, StoreF64>(spec, &case, ckpt),
+        (SchemeKind::Igr, PrecisionMode::Fp32) => run_igr::<f32, StoreF32>(spec, &case, ckpt),
+        (SchemeKind::Igr, PrecisionMode::Fp16Fp32) => run_igr::<f32, StoreF16>(spec, &case, ckpt),
+        (SchemeKind::WenoBaseline, PrecisionMode::Fp64) => {
+            run_weno::<f64, StoreF64>(spec, &case, ckpt)
+        }
+        (SchemeKind::WenoBaseline, PrecisionMode::Fp32) => {
+            run_weno::<f32, StoreF32>(spec, &case, ckpt)
+        }
         (SchemeKind::WenoBaseline, PrecisionMode::Fp16Fp32) => {
-            run_weno::<f32, StoreF16>(spec, &case)
+            run_weno::<f32, StoreF16>(spec, &case, ckpt)
         }
     }
 }
 
-fn run_igr<R: Real, S: Storage<R>>(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioResult {
+fn run_igr<R, S>(spec: &ScenarioSpec, case: &CaseSetup, ckpt: Option<PathBuf>) -> ScenarioResult
+where
+    R: Real,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+{
     let cfg = spec.igr_config(case);
     let mut solver = igr_core::solver::igr_solver::<R, S>(cfg, case.domain, case.init_state());
-    drive(spec, case, &mut solver)
+    drive(spec, case, &mut solver, ckpt)
 }
 
-fn run_weno<R: Real, S: Storage<R>>(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioResult {
+fn run_weno<R, S>(spec: &ScenarioSpec, case: &CaseSetup, ckpt: Option<PathBuf>) -> ScenarioResult
+where
+    R: Real,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+{
     let cfg = spec.weno_config(case);
     let mut solver = igr_baseline::scheme::weno_solver::<R, S>(cfg, case.domain, case.init_state());
-    drive(spec, case, &mut solver)
+    drive(spec, case, &mut solver, ckpt)
 }
 
-/// Shared measurement path: grind timing, conservation drift, base heating.
+/// Shared measurement path, marched through the unified [`Driver`]: grind
+/// timing, conservation drift, base heating, and — when the spec asks —
+/// an in-flight diagnostics series and checkpoint autosave/resume.
+///
+/// The timing contract matches `igr_app::grind`: untimed warm-up steps with
+/// the per-step NaN check on, then a frozen dt and a check-free timed
+/// region (observer cost rides inside it — it is part of running *this*
+/// scenario), then one explicit divergence scan.
 fn drive<R, S, Sch>(
     spec: &ScenarioSpec,
     case: &CaseSetup,
     solver: &mut Solver<R, S, Sch, BcGhostOps>,
+    ckpt: Option<PathBuf>,
 ) -> ScenarioResult
 where
     R: Real,
     S: Storage<R>,
     Sch: RhsScheme<R, S>,
+    Solver<R, S, Sch, BcGhostOps>: Checkpointable,
 {
     let totals0 = solver.q.totals(&case.domain);
     let cells = case.domain.shape.n_interior();
-    match try_measure_grind(solver, spec.warmup, spec.steps) {
-        Ok(g) => {
+    let total_steps = spec.warmup + spec.steps;
+
+    // Resume: an autosaved restart file re-enters the interrupted timeline
+    // (state, Σ, clock, and the frozen dt restore bit-exactly). The file is
+    // validated *before* the solver is touched — a foreign/stale snapshot
+    // (wrong precision, shape, or a clock outside this spec's window) must
+    // leave the fresh-start state unperturbed, not half-restored.
+    let mut resumed_from = None;
+    if let Some(path) = ckpt.as_ref().filter(|p| p.exists()) {
+        if let Ok(ck) = igr_app::Checkpoint::load(path) {
+            if ck.step >= spec.warmup && ck.step <= total_steps && solver.restore(&ck).is_ok() {
+                resumed_from = Some(ck.step);
+            }
+        }
+    }
+
+    let mut run = || -> Result<(ScenarioSeries, f64, usize), DriverError> {
+        if resumed_from.is_none() {
+            // Warm-up: adaptive dt, per-step NaN check (cheap insurance
+            // against bad initial data), no instrumentation.
+            solver.nan_check_every = 1;
+            if spec.warmup > 0 {
+                Driver::new().max_steps(spec.warmup).run(solver)?;
+            }
+            // Freeze dt so every timed step does identical work.
+            solver.fixed_dt = Some(solver.stable_dt());
+        }
+        solver.nan_check_every = 0;
+
+        let timed_remaining = total_steps.saturating_sub(solver.steps_taken());
+        let mut history = History::new();
+        let mut driver = Driver::new().stop_when(StopCondition::MaxSteps(timed_remaining));
+        if let Some(every) = spec.series_every {
+            driver = driver.observe(
+                Cadence::EverySteps(every),
+                DiagnosticsObserver::new(&mut history),
+            );
+        }
+        if let (Some(every), Some(path)) = (spec.checkpoint_every, ckpt.as_ref()) {
+            driver = driver.observe(
+                Cadence::EverySteps(every),
+                CheckpointObserver::autosave(path.clone()),
+            );
+        }
+        let t0 = Instant::now();
+        let summary = driver.run(solver)?;
+        let wall_s = t0.elapsed().as_secs_f64();
+        drop(driver);
+        // The timed region ran check-free; scan once at the end.
+        if let Some((var, pos)) = solver.q.find_non_finite() {
+            return Err(SolverError::NonFinite {
+                step: solver.steps_taken(),
+                var,
+                pos,
+            }
+            .into());
+        }
+        Ok((
+            ScenarioSeries {
+                every: spec.series_every.unwrap_or(0),
+                samples: history.samples,
+            },
+            wall_s,
+            summary.steps,
+        ))
+    };
+
+    match run() {
+        Ok((series, wall_s, steps_timed)) => {
+            // The scenario is done: its restart file is consumed (the
+            // result store serves every future submission).
+            if let Some(path) = ckpt.as_ref() {
+                let _ = std::fs::remove_file(path);
+            }
             let totals1 = solver.q.totals(&case.domain);
             let base_heating = case.jet_inflow.as_ref().map(|inflow| {
                 BaseHeatingReport::measure(&solver.q, &case.domain, case.gamma, inflow)
@@ -345,13 +486,15 @@ where
                 hash_hex: spec.hash_hex(),
                 status: RunStatus::Completed,
                 cells,
-                steps: g.steps,
+                steps: spec.steps,
                 ranks: 1,
-                wall_s: g.wall_s,
-                ns_per_cell_step: g.ns_per_cell_step,
+                wall_s,
+                ns_per_cell_step: wall_s * 1e9 / (steps_timed.max(1) as f64 * cells as f64),
                 mass_drift: rel_drift(totals0[0], totals1[0]),
                 energy_drift: rel_drift(totals0[4], totals1[4]),
                 base_heating,
+                series: spec.series_every.is_some().then_some(series),
+                resumed_from,
             }
         }
         Err(e) => ScenarioResult {
@@ -366,6 +509,8 @@ where
             mass_drift: 0.0,
             energy_drift: 0.0,
             base_heating: None,
+            series: None,
+            resumed_from,
         },
     }
 }
@@ -410,6 +555,8 @@ fn run_decomposed_scenario(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioRes
         mass_drift: rel_drift(totals0[0], totals1[0]),
         energy_drift: rel_drift(totals0[4], totals1[4]),
         base_heating,
+        series: None,
+        resumed_from: None,
     }
 }
 
@@ -434,6 +581,7 @@ mod tests {
         let mut campaign = Campaign::new(ExecConfig {
             workers: 2,
             threads_per_worker: 1,
+            ..Default::default()
         });
         let a = quick_spec();
         let mut b = quick_spec();
@@ -459,6 +607,7 @@ mod tests {
         let mut campaign = Campaign::new(ExecConfig {
             workers: 1,
             threads_per_worker: 1,
+            ..Default::default()
         });
         let spec = quick_spec();
         let first = campaign.run(std::slice::from_ref(&spec));
@@ -477,6 +626,7 @@ mod tests {
         let mut campaign = Campaign::new(ExecConfig {
             workers: 1,
             threads_per_worker: 1,
+            ..Default::default()
         });
         let report = campaign.run(std::slice::from_ref(&bad));
         assert_eq!(report.rows.len(), 1);
@@ -501,6 +651,7 @@ mod tests {
         let mut campaign = Campaign::new(ExecConfig {
             workers: 2,
             threads_per_worker: 1,
+            ..Default::default()
         });
         let report = campaign.run(&[panics.clone(), healthy.clone()]);
         assert_eq!(report.rows.len(), 2);
@@ -514,6 +665,102 @@ mod tests {
         let again = campaign.run(&[panics]);
         assert_eq!(again.executed, 0);
         assert!(again.rows[0].cached);
+    }
+
+    #[test]
+    fn series_request_rides_in_the_result_and_the_cache() {
+        let mut spec = quick_spec();
+        spec.warmup = 1;
+        spec.steps = 6;
+        spec.series_every = Some(2);
+        let mut campaign = Campaign::new(ExecConfig {
+            workers: 1,
+            threads_per_worker: 1,
+            ..Default::default()
+        });
+        let report = campaign.run(std::slice::from_ref(&spec));
+        let r = &report.rows[0].result;
+        assert!(r.status.is_ok(), "{:?}", r.status);
+        let series = r.series.as_ref().expect("series requested");
+        assert_eq!(series.every, 2);
+        // Timed steps are absolute steps 2..=7; cadence fires on 2, 4, 6.
+        let steps: Vec<usize> = series.samples.iter().map(|s| s.step).collect();
+        assert_eq!(steps, vec![2, 4, 6]);
+        assert!(series.samples.iter().all(|s| s.min_rho > 0.0));
+        // A cached resubmission serves the same series.
+        let again = campaign.run(std::slice::from_ref(&spec));
+        assert_eq!(again.executed, 0);
+        let cached = again.rows[0].result.series.as_ref().unwrap();
+        assert_eq!(cached.samples.len(), 3);
+        // And a spec without a series keys a *different* cache entry.
+        let mut plain = spec.clone();
+        plain.series_every = None;
+        assert_ne!(plain.content_hash(), spec.content_hash());
+    }
+
+    #[test]
+    fn interrupted_scenario_resumes_from_its_restart_file_bitwise() {
+        use igr_app::driver::{Checkpointable, Driver};
+
+        let dir = std::env::temp_dir().join("igr_exec_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = quick_spec();
+        spec.warmup = 2;
+        spec.steps = 3;
+        spec.checkpoint_every = Some(1);
+
+        // The ground truth: the same spec run start-to-finish.
+        let fresh = run_scenario(&spec);
+        assert!(fresh.status.is_ok());
+        assert!(fresh.resumed_from.is_none());
+
+        // Simulate an interrupted worker: march exactly as `drive` does
+        // (warm-up with NaN checks, freeze dt, one timed step), then
+        // "crash", leaving only the autosaved restart file behind.
+        let case = spec.build_case().unwrap();
+        let cfg = spec.igr_config(&case);
+        let mut solver =
+            igr_core::solver::igr_solver::<f64, StoreF64>(cfg, case.domain, case.init_state());
+        solver.nan_check_every = 1;
+        Driver::new()
+            .max_steps(spec.warmup)
+            .run(&mut solver)
+            .unwrap();
+        solver.fixed_dt = Some(solver.stable_dt());
+        solver.nan_check_every = 0;
+        Driver::new().max_steps(1).run(&mut solver).unwrap();
+        let path = dir.join(format!("{}.ckpt", spec.hash_hex()));
+        solver.capture().save(&path).unwrap();
+
+        // The resubmission resumes mid-flight...
+        let resumed = run_scenario_with(&spec, Some(&dir));
+        assert!(resumed.status.is_ok(), "{:?}", resumed.status);
+        assert_eq!(resumed.resumed_from, Some(spec.warmup + 1));
+        // ...reaches the identical final state (drift metrics are functions
+        // of the final state, so they must agree bit for bit)...
+        assert_eq!(resumed.mass_drift.to_bits(), fresh.mass_drift.to_bits());
+        assert_eq!(resumed.energy_drift.to_bits(), fresh.energy_drift.to_bits());
+        // ...and consumes the restart file on completion.
+        assert!(!path.exists(), "completed scenario keeps no restart file");
+
+        // A stale restart file whose clock is outside this spec's window
+        // must be ignored *without touching the solver*: the run starts
+        // from scratch and still reproduces the fresh result bit for bit.
+        let mut early = igr_core::solver::igr_solver::<f64, StoreF64>(
+            spec.igr_config(&case),
+            case.domain,
+            case.init_state(),
+        );
+        Driver::new().max_steps(1).run(&mut early).unwrap(); // step 1 < warmup
+        early.capture().save(&path).unwrap();
+        let scratch = run_scenario_with(&spec, Some(&dir));
+        assert!(scratch.status.is_ok(), "{:?}", scratch.status);
+        assert!(
+            scratch.resumed_from.is_none(),
+            "stale clock must not resume"
+        );
+        assert_eq!(scratch.mass_drift.to_bits(), fresh.mass_drift.to_bits());
+        assert_eq!(scratch.energy_drift.to_bits(), fresh.energy_drift.to_bits());
     }
 
     #[test]

@@ -205,6 +205,37 @@ pub(crate) fn encode_result_obj(hash: u64, r: &ScenarioResult) -> String {
             b.cells_sampled,
         )),
     }
+    // Trailing optional fields (absent keys decode as None, so stores
+    // written before these existed keep loading).
+    if let Some(rf) = r.resumed_from {
+        s.push_str(&format!(",\"resumed_from\":{rf}"));
+    }
+    if let Some(series) = &r.series {
+        s.push_str(&format!(
+            ",\"series\":{{\"every\":{},\"samples\":[",
+            series.every
+        ));
+        for (i, sm) in series.samples.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // Positional row: [step, t, m, mx, my, mz, E, ke, mach, min_rho].
+            s.push_str(&format!(
+                "[{},{},{},{},{},{},{},{},{},{}]",
+                sm.step,
+                json_f64(sm.t),
+                json_f64(sm.totals[0]),
+                json_f64(sm.totals[1]),
+                json_f64(sm.totals[2]),
+                json_f64(sm.totals[3]),
+                json_f64(sm.totals[4]),
+                json_f64(sm.kinetic_energy),
+                json_f64(sm.max_mach),
+                json_f64(sm.min_rho),
+            ));
+        }
+        s.push_str("]}");
+    }
     s.push('}');
     s
 }
@@ -330,6 +361,44 @@ pub(crate) fn decode_result_obj(obj: &[(String, Json)]) -> Result<(u64, Scenario
         mass_drift: num(obj, "mass_drift")?,
         energy_drift: num(obj, "energy_drift")?,
         base_heating,
+        resumed_from: match opt_get(obj, "resumed_from") {
+            Some(v) => Some(v.as_u64().ok_or("'resumed_from' is not an integer")? as usize),
+            None => None,
+        },
+        series: match opt_get(obj, "series") {
+            None | Some(Json::Null) => None,
+            Some(Json::Obj(fields)) => {
+                let every = get(fields, "every")?
+                    .as_u64()
+                    .ok_or("'series.every' is not an integer")?
+                    as usize;
+                let rows = get(fields, "samples")?
+                    .as_array()
+                    .ok_or("'series.samples' is not an array")?;
+                let mut samples = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let cells = row.as_array().ok_or("series sample is not an array")?;
+                    if cells.len() != 10 {
+                        return Err("series sample is not a 10-column row".into());
+                    }
+                    let f = |i: usize| -> Result<f64, String> {
+                        cells[i]
+                            .as_f64()
+                            .ok_or_else(|| format!("series column {i} is not a number"))
+                    };
+                    samples.push(igr_app::diagnostics::Sample {
+                        step: cells[0].as_u64().ok_or("series step is not an integer")? as usize,
+                        t: f(1)?,
+                        totals: [f(2)?, f(3)?, f(4)?, f(5)?, f(6)?],
+                        kinetic_energy: f(7)?,
+                        max_mach: f(8)?,
+                        min_rho: f(9)?,
+                    });
+                }
+                Some(crate::report::ScenarioSeries { every, samples })
+            }
+            Some(_) => return Err("'series' is neither object nor null".into()),
+        },
     };
     Ok((hash, result))
 }
@@ -340,6 +409,12 @@ pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, 
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Optional-field lookup: absent keys are `None` (fields added after the
+/// format shipped must tolerate their own absence in old store lines).
+pub(crate) fn opt_get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 /// Required-number field lookup (accepting the tagged non-finite strings).
@@ -612,6 +687,8 @@ mod tests {
             mass_drift: 1.0e-15,
             energy_drift: -0.0,
             base_heating: heating,
+            series: None,
+            resumed_from: None,
         }
     }
 
@@ -652,6 +729,54 @@ mod tests {
         );
         assert_eq!(a.footprint_centroid, b.footprint_centroid);
         assert_eq!(a.cells_sampled, b.cells_sampled);
+    }
+
+    #[test]
+    fn series_and_resume_marker_round_trip_bit_exactly() {
+        use crate::report::ScenarioSeries;
+        use igr_app::diagnostics::Sample;
+        let mut r = sample(RunStatus::Completed, None);
+        r.resumed_from = Some(17);
+        r.series = Some(ScenarioSeries {
+            every: 5,
+            samples: vec![
+                Sample {
+                    step: 5,
+                    t: 0.1,
+                    totals: [1.0, 1.0 / 3.0, -0.0, 0.0, 2.5],
+                    kinetic_energy: 0.25,
+                    max_mach: 9.9,
+                    min_rho: 0.125,
+                },
+                Sample {
+                    step: 10,
+                    t: 0.2,
+                    totals: [1.0, 0.3, 0.0, f64::NAN, 2.5],
+                    kinetic_energy: f64::INFINITY,
+                    max_mach: 10.1,
+                    min_rho: 1e-300,
+                },
+            ],
+        });
+        let (_, back) = decode_line(encode_line(7, &r).trim_end()).unwrap();
+        assert_eq!(back.resumed_from, Some(17));
+        let (a, b) = (back.series.unwrap(), r.series.unwrap());
+        assert_eq!(a.every, b.every);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.step, y.step);
+            assert_eq!(x.t.to_bits(), y.t.to_bits());
+            for (u, v) in x.totals.iter().zip(&y.totals) {
+                assert_eq!(u.to_bits(), v.to_bits(), "totals must be bit-exact");
+            }
+            assert_eq!(x.kinetic_energy.to_bits(), y.kinetic_energy.to_bits());
+            assert_eq!(x.max_mach.to_bits(), y.max_mach.to_bits());
+            assert_eq!(x.min_rho.to_bits(), y.min_rho.to_bits());
+        }
+        // Lines without the new keys (pre-upgrade stores) still decode.
+        let plain = sample(RunStatus::Completed, None);
+        let (_, old) = decode_line(encode_line(8, &plain).trim_end()).unwrap();
+        assert!(old.series.is_none() && old.resumed_from.is_none());
     }
 
     #[test]

@@ -49,7 +49,15 @@ use igr_prec::PrecisionMode;
 /// format can evolve alongside [`CONTENT_HASH_VERSION`] (which is
 /// negotiated in the same handshake — a client keyed to a different hash
 /// encoding would silently miss every cache entry).
-pub const PROTO_VERSION: u64 = 1;
+///
+/// History: **v1** — the original grammar. **v2** — the scenario-spec
+/// object gained `series_every` (which participates in the content hash
+/// when set) and `checkpoint_every`. A v1 peer would silently drop the
+/// fields and serve/compute the *plain* spec's cached result for an
+/// instrumented submission, so mixed v1/v2 pairs are refused at connect
+/// time rather than skewing at cache-hit time. (Decoders still tolerate
+/// the keys' absence within v2 — see `docs/PROTOCOL.md` §5.)
+pub const PROTO_VERSION: u64 = 2;
 
 /// Machine-readable failure categories carried by [`Response::Error`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -615,12 +623,15 @@ pub fn encode_spec(spec: &ScenarioSpec) -> String {
     let opt_f = |v: Option<f64>| v.map(f).unwrap_or_else(|| "null".into());
     let opt_u = |v: Option<usize>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
     s.push_str(&format!(
-        ",\"backpressure\":{},\"cfl\":{},\"elliptic_sweeps\":{},\"alpha_factor\":{},\"ranks\":{}}}",
+        ",\"backpressure\":{},\"cfl\":{},\"elliptic_sweeps\":{},\"alpha_factor\":{},\"ranks\":{},\
+         \"series_every\":{},\"checkpoint_every\":{}}}",
         opt_f(spec.backpressure),
         opt_f(spec.cfl),
         opt_u(spec.elliptic_sweeps),
         opt_f(spec.alpha_factor),
         opt_u(spec.ranks),
+        opt_u(spec.series_every),
+        opt_u(spec.checkpoint_every),
     ));
     s
 }
@@ -725,6 +736,8 @@ pub(crate) fn decode_spec_json(v: &Json) -> Result<ScenarioSpec, String> {
         elliptic_sweeps: opt_u64(obj, "elliptic_sweeps")?.map(|x| x as usize),
         alpha_factor: opt_f64(obj, "alpha_factor")?,
         ranks: opt_u64(obj, "ranks")?.map(|x| x as usize),
+        series_every: tolerant_u64(obj, "series_every")?.map(|x| x as usize),
+        checkpoint_every: tolerant_u64(obj, "checkpoint_every")?.map(|x| x as usize),
     })
 }
 
@@ -769,6 +782,19 @@ fn opt_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
     match get(obj, key)? {
         Json::Null => Ok(None),
         v => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("'{key}' is neither integer nor null")),
+    }
+}
+
+/// [`opt_u64`] that also tolerates a *missing* key — for fields added after
+/// `PROTO_VERSION` 1 shipped (an additive, backwards-compatible extension:
+/// older peers simply never send them).
+fn tolerant_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
+    match persist::opt_get(obj, key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
             .as_u64()
             .map(Some)
             .ok_or_else(|| format!("'{key}' is neither integer nor null")),
@@ -885,6 +911,18 @@ mod tests {
             mass_drift: f64::NAN,
             energy_drift: -0.0,
             base_heating: None,
+            series: Some(crate::report::ScenarioSeries {
+                every: 2,
+                samples: vec![igr_app::diagnostics::Sample {
+                    step: 2,
+                    t: 0.25,
+                    totals: [1.0, 0.1, -0.0, 0.0, 2.5],
+                    kinetic_energy: 0.05,
+                    max_mach: 3.0,
+                    min_rho: 0.125,
+                }],
+            }),
+            resumed_from: Some(1),
         };
         let resp = Response::Result(StreamedResult {
             job: 9,
@@ -900,6 +938,9 @@ mod tests {
                 assert_eq!(r.result.wall_s.to_bits(), result.wall_s.to_bits());
                 assert!(r.result.mass_drift.is_nan());
                 assert_eq!(r.result.ns_per_cell_step, f64::INFINITY);
+                assert_eq!(r.result.resumed_from, Some(1));
+                let series = r.result.series.as_ref().expect("series rides the wire");
+                assert_eq!(series, result.series.as_ref().unwrap());
             }
             other => panic!("expected Result, got {other:?}"),
         }

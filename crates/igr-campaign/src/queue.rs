@@ -27,8 +27,9 @@
 //!   cached)` in completion order; [`CampaignQueue::wait_all`] blocks until
 //!   the queue is drained.
 //!
-//! Workers recover from panicking scenarios ([`run_scenario_caught`]) and
-//! from poisoned locks, so one diverging run cannot wedge the queue.
+//! Workers recover from panicking scenarios
+//! ([`crate::exec::run_scenario_caught`]) and from poisoned locks, so one
+//! diverging run cannot wedge the queue.
 //!
 //! ```no_run
 //! use igr_campaign::{BaseCase, CampaignQueue, ExecConfig, ScenarioSpec};
@@ -42,7 +43,7 @@
 //! let store = queue.shutdown(); // join workers, keep every result
 //! ```
 
-use crate::exec::{run_scenario_caught, ExecConfig};
+use crate::exec::{run_scenario_caught_with, ExecConfig};
 use crate::report::ScenarioResult;
 use crate::spec::ScenarioSpec;
 use crate::store::ResultStore;
@@ -178,8 +179,9 @@ impl CampaignQueue {
         let solver_threads = cfg.solver_threads();
         for _ in 0..cfg.workers {
             let shared = Arc::clone(&queue.shared);
+            let ckpt_dir = cfg.checkpoint_dir.clone();
             queue.handles.push(std::thread::spawn(move || {
-                worker_loop(&shared, solver_threads)
+                worker_loop(&shared, solver_threads, ckpt_dir.as_deref())
             }));
         }
         queue
@@ -491,7 +493,7 @@ impl CampaignQueue {
             let first = g.executions[&hash].waiters.first().copied();
             (hash, spec, first)
         };
-        let result = run_scenario_caught(&spec);
+        let result = run_scenario_caught_with(&spec, None);
         complete_execution(&self.shared, hash, result);
         first
     }
@@ -620,7 +622,7 @@ fn complete_execution(shared: &Shared, hash: u64, result: ScenarioResult) {
     shared.done.notify_all();
 }
 
-fn worker_loop(shared: &Shared, solver_threads: usize) {
+fn worker_loop(shared: &Shared, solver_threads: usize, checkpoint_dir: Option<&std::path::Path>) {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(solver_threads)
         .build()
@@ -638,7 +640,7 @@ fn worker_loop(shared: &Shared, solver_threads: usize) {
                 g = shared.work.wait(g).unwrap_or_else(|p| p.into_inner());
             }
         };
-        let result = pool.install(|| run_scenario_caught(&spec));
+        let result = pool.install(|| run_scenario_caught_with(&spec, checkpoint_dir));
         complete_execution(shared, hash, result);
     }
 }
@@ -784,6 +786,7 @@ mod tests {
             ExecConfig {
                 workers: 2,
                 threads_per_worker: 1,
+                ..Default::default()
             },
             ResultStore::new(),
         );

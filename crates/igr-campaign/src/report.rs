@@ -8,6 +8,7 @@
 //! hand-rolled), CSV, and a fixed-width text table.
 
 use igr_app::base::BaseHeatingReport;
+use igr_app::diagnostics::Sample;
 use std::sync::Arc;
 
 /// How a scenario run ended.
@@ -26,6 +27,20 @@ impl RunStatus {
     pub fn is_ok(&self) -> bool {
         matches!(self, RunStatus::Completed)
     }
+}
+
+/// A per-scenario diagnostics time series: flow samples taken every
+/// `every` timed steps by the run driver's diagnostics observer
+/// ([`crate::spec::ScenarioSpec::series_every`]). Persists in the result
+/// store and rides the wire with the rest of the result.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioSeries {
+    /// Sampling cadence in timed steps.
+    pub every: usize,
+    /// The samples, in step order. A resumed run's series covers the steps
+    /// executed after the restore (earlier samples died with the
+    /// interrupted process).
+    pub samples: Vec<Sample>,
 }
 
 /// Everything measured about one scenario execution.
@@ -55,6 +70,11 @@ pub struct ScenarioResult {
     pub energy_drift: f64,
     /// Base-plane heating diagnostics (jet cases only).
     pub base_heating: Option<BaseHeatingReport>,
+    /// In-flight diagnostics series (when the spec asked for one).
+    pub series: Option<ScenarioSeries>,
+    /// Absolute step the run resumed from, when it restarted from an
+    /// autosaved checkpoint instead of running start-to-finish.
+    pub resumed_from: Option<usize>,
 }
 
 /// One report row: the result plus how it was obtained. The result is the
@@ -180,6 +200,32 @@ impl CampaignReport {
                     json_f64(b.footprint_centroid[1]),
                 ));
             }
+            if let Some(rf) = r.resumed_from {
+                s.push_str(&format!(", \"resumed_from\": {rf}"));
+            }
+            if let Some(series) = &r.series {
+                s.push_str(&format!(
+                    ", \"series\": {{\"every\": {}, \"samples\": [",
+                    series.every
+                ));
+                for (si, sm) in series.samples.iter().enumerate() {
+                    if si > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!(
+                        "{{\"step\": {}, \"t\": {}, \"mass\": {}, \"energy\": {}, \
+                         \"kinetic_energy\": {}, \"max_mach\": {}, \"min_rho\": {}}}",
+                        sm.step,
+                        json_f64(sm.t),
+                        json_f64(sm.totals[0]),
+                        json_f64(sm.totals[4]),
+                        json_f64(sm.kinetic_energy),
+                        json_f64(sm.max_mach),
+                        json_f64(sm.min_rho),
+                    ));
+                }
+                s.push_str("]}");
+            }
             s.push('}');
             if i + 1 < self.rows.len() {
                 s.push(',');
@@ -196,7 +242,7 @@ impl CampaignReport {
         let mut s = String::from(
             "name,hash,cached,status,cells,steps,ranks,wall_s,grind_ns_per_cell_step,\
              mass_drift,energy_drift,heated_fraction,recirc_flux,backflow_h0,peak_T,\
-             mean_p_base,centroid_a,centroid_b\n",
+             mean_p_base,centroid_a,centroid_b,resumed_from,series_samples\n",
         );
         for row in &self.rows {
             let r = &row.result;
@@ -219,7 +265,7 @@ impl CampaignReport {
             ));
             match &r.base_heating {
                 Some(b) => s.push_str(&format!(
-                    ",{},{},{},{},{},{},{}\n",
+                    ",{},{},{},{},{},{},{}",
                     b.heated_fraction,
                     b.recirculation_flux,
                     b.mean_backflow_enthalpy,
@@ -228,8 +274,16 @@ impl CampaignReport {
                     b.footprint_centroid[0],
                     b.footprint_centroid[1],
                 )),
-                None => s.push_str(",,,,,,,\n"),
+                None => s.push_str(",,,,,,,"),
             }
+            s.push_str(&format!(
+                ",{},{}\n",
+                r.resumed_from.map(|v| v.to_string()).unwrap_or_default(),
+                r.series
+                    .as_ref()
+                    .map(|se| se.samples.len().to_string())
+                    .unwrap_or_default(),
+            ));
         }
         s
     }
@@ -352,6 +406,8 @@ mod tests {
                 recirculation_flux: f,
                 ..Default::default()
             }),
+            series: None,
+            resumed_from: None,
         }
     }
 

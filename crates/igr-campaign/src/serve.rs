@@ -754,6 +754,7 @@ mod tests {
             ExecConfig {
                 workers: 1,
                 threads_per_worker: 1,
+                ..Default::default()
             },
             store,
         )

@@ -154,6 +154,19 @@ pub struct ScenarioSpec {
     /// Run decomposed over this many `igr-comm` thread-ranks (IGR/FP64
     /// only). None or Some(1) = single-block run.
     pub ranks: Option<usize>,
+    /// Record a diagnostics [`igr_app::diagnostics::Sample`] every `n`
+    /// timed steps; the series rides in the result
+    /// ([`crate::report::ScenarioResult::series`]) and persists in the
+    /// store. **Part of the content hash when set** (it changes what the
+    /// result record contains), encoded as a trailing optional tag so
+    /// `None` specs keep their pre-existing hashes.
+    pub series_every: Option<usize>,
+    /// Autosave a restart checkpoint every `n` timed steps (requires
+    /// [`crate::exec::ExecConfig::checkpoint_dir`]; single-block scenarios
+    /// only). **Excluded from the content hash**, like `label`: resume is
+    /// bitwise-identical to an uninterrupted run, so the policy does not
+    /// change the physics *or* the recorded result.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl ScenarioSpec {
@@ -186,6 +199,8 @@ impl ScenarioSpec {
             elliptic_sweeps: None,
             alpha_factor: None,
             ranks: None,
+            series_every: None,
+            checkpoint_every: None,
         }
     }
 
@@ -250,6 +265,17 @@ impl ScenarioSpec {
                     "decomposed runs support FP64 only (gather is FP64)".into(),
                 ));
             }
+        }
+        if self.series_every == Some(0) {
+            return Err(SpecError("series_every must be >= 1 when set".into()));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(SpecError("checkpoint_every must be >= 1 when set".into()));
+        }
+        if self.checkpoint_every.is_some() && self.ranks.is_some_and(|r| r > 1) {
+            return Err(SpecError(
+                "checkpointing supports single-block scenarios only".into(),
+            ));
         }
         Ok(())
     }
@@ -338,6 +364,15 @@ impl ScenarioSpec {
         h.opt_f64(self.alpha_factor);
         h.tag("ranks");
         h.opt_u64(self.ranks.map(|r| r as u64));
+        // Trailing optional tags: folded in only when set, so every spec
+        // without them hashes exactly as it did before the field existed
+        // (the on-disk store stays warm across the upgrade). Tags are
+        // length-prefixed, so present-vs-absent cannot collide.
+        if let Some(n) = self.series_every {
+            h.tag("series");
+            h.u64(n as u64);
+        }
+        // checkpoint_every is deliberately NOT hashed (see its field doc).
         h.finish()
     }
 
@@ -685,6 +720,14 @@ mod tests {
             ranks: Some(2),
             ..base.clone()
         });
+        variants.push(ScenarioSpec {
+            series_every: Some(2),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            series_every: Some(3),
+            ..base.clone()
+        });
         let mut seen = vec![h0];
         for v in &variants {
             let h = v.content_hash();
@@ -749,6 +792,27 @@ mod tests {
         assert_eq!(CONTENT_HASH_VERSION, 2);
         let h = ScenarioSpec::new(BaseCase::Sod, 64).content_hash();
         assert_eq!(h, 0xe62c_84ef_880f_ea33);
+    }
+
+    #[test]
+    fn checkpoint_policy_is_hash_neutral_like_labels() {
+        // Resume is bitwise-identical to an uninterrupted run, so the
+        // autosave cadence must not split the cache key: a resubmission
+        // with checkpointing enabled still hits the cached result.
+        let a = jet_spec();
+        let mut b = jet_spec();
+        b.checkpoint_every = Some(4);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // But invalid cadences are rejected before execution.
+        b.checkpoint_every = Some(0);
+        assert!(b.validate().is_err());
+        let mut c = jet_spec();
+        c.series_every = Some(0);
+        assert!(c.validate().is_err());
+        let mut d = jet_spec();
+        d.checkpoint_every = Some(2);
+        d.ranks = Some(2);
+        assert!(d.validate().is_err(), "decomposed runs cannot checkpoint");
     }
 
     #[test]

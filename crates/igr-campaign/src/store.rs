@@ -289,6 +289,8 @@ mod tests {
             mass_drift: 0.0,
             energy_drift: 0.0,
             base_heating: None,
+            series: None,
+            resumed_from: None,
         }
     }
 

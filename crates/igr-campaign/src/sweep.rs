@@ -47,6 +47,26 @@ pub enum Delta {
 }
 
 impl Delta {
+    /// A gimbal override ramping `engine` from neutral to `to` at a fixed
+    /// angular slew rate starting at t = 0 — the schedule-shaped axis value
+    /// for ramp-rate sweeps (see [`GimbalSchedule::ramp_at_rate`]).
+    pub fn gimbal_ramp(engine: usize, to: [f64; 2], rate: f64) -> Delta {
+        Delta::Gimbal(vec![(
+            engine,
+            GimbalSchedule::ramp_at_rate(0.0, [0.0, 0.0], to, rate),
+        )])
+    }
+
+    /// A gimbal override following `knots` re-timed to honour a slew limit
+    /// (see [`GimbalSchedule::slew_limited`]) — the axis value for
+    /// actuator-limit sweeps.
+    pub fn gimbal_slew(engine: usize, knots: Vec<(f64, [f64; 2])>, max_rate: f64) -> Delta {
+        Delta::Gimbal(vec![(
+            engine,
+            GimbalSchedule::slew_limited(knots, max_rate),
+        )])
+    }
+
     fn apply(&self, spec: &mut ScenarioSpec) {
         match self {
             Delta::Resolution(n) => spec.resolution = *n,
@@ -324,6 +344,35 @@ pub fn engine_out_gimbal_backpressure(
         )
 }
 
+/// A ramp-rate axis for the 3-engine steering configuration: each value
+/// ramps the outer pair inward to `angle` at one of the given slew rates
+/// (so the sweep covers "how fast can we vector?" rather than only "how
+/// far?"). Rate 0 is shorthand for the instantaneous (constant) gimbal.
+pub fn gimbal_ramp_rate_axis(angle: f64, rates: &[f64]) -> Vec<Delta> {
+    rates
+        .iter()
+        .map(|&r| {
+            if r == 0.0 {
+                Delta::Gimbal(vec![
+                    (0, GimbalSchedule::constant([angle, 0.0])),
+                    (2, GimbalSchedule::constant([-angle, 0.0])),
+                ])
+            } else {
+                Delta::Gimbal(vec![
+                    (
+                        0,
+                        GimbalSchedule::ramp_at_rate(0.0, [0.0, 0.0], [angle, 0.0], r),
+                    ),
+                    (
+                        2,
+                        GimbalSchedule::ramp_at_rate(0.0, [0.0, 0.0], [-angle, 0.0], r),
+                    ),
+                ])
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +500,57 @@ mod tests {
             assert_eq!(sorted.len(), total, "total={total}: {picks:?}");
             assert!(sorted.iter().all(|&i| i < total));
         }
+    }
+
+    /// The schedule-shaped axis expands like any other — every ramp rate is
+    /// a distinct scenario, the schedules survive into the expanded specs,
+    /// and scenario names flag the time variation.
+    #[test]
+    fn ramp_rate_axis_expands_to_distinct_time_varying_scenarios() {
+        let rates = [0.0, 0.05, 0.2];
+        let sweep = Sweep::cartesian(base())
+            .axis("ramp_rate", gimbal_ramp_rate_axis(0.1, &rates))
+            .axis(
+                "altitude",
+                vec![Delta::Backpressure(1.0), Delta::Backpressure(0.25)],
+            );
+        assert_eq!(sweep.len(), 6);
+        let specs = sweep.expand();
+        let mut hashes: Vec<u64> = specs.iter().map(|s| s.content_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 6, "every (rate, altitude) point is unique");
+        // Rate 0.05: the outer engines take 0.1/0.05 = 2 time units to
+        // reach full deflection; halfway through they are halfway there.
+        let slow = &specs[2]; // rates[1] × backpressure[0]
+        let sched = &slow.gimbal.iter().find(|(i, _)| *i == 0).unwrap().1;
+        assert_eq!(sched.knots.len(), 2);
+        assert!((sched.at(1.0)[0] - 0.05).abs() < 1e-14);
+        assert!((sched.at(10.0)[0] - 0.1).abs() < 1e-14);
+        assert!(
+            slow.scenario_name().contains('~'),
+            "time-varying marker: {}",
+            slow.scenario_name()
+        );
+        // Rate 0 collapses to the constant steering configuration.
+        assert_eq!(specs[0].gimbal[0].1.knots.len(), 1);
+    }
+
+    #[test]
+    fn slew_delta_applies_a_limited_schedule() {
+        let sweep = Sweep::cartesian(base()).axis(
+            "slew",
+            vec![Delta::gimbal_slew(
+                1,
+                vec![(0.0, [0.0, 0.0]), (0.1, [0.2, 0.0])],
+                0.5,
+            )],
+        );
+        let specs = sweep.expand();
+        let sched = &specs[0].gimbal[0].1;
+        // 0.2 rad at ≤ 0.5 rad/t needs ≥ 0.4 t (the requested 0.1 t is
+        // stretched).
+        assert!((sched.knots[1].0 - 0.4).abs() < 1e-14, "{:?}", sched.knots);
     }
 
     #[test]

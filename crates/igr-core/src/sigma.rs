@@ -20,7 +20,134 @@ use rayon::prelude::*;
 /// every interior cell. Velocity gradients use 2nd-order central differences
 /// (the paper reuses the viscous-flux gradients; they are the same
 /// discretization). Ghost cells of `q` must be filled.
+///
+/// This is the fused implementation: each stencil row's velocity `m/ρ` (one
+/// reciprocal per cell) is computed once into a contiguous row buffer and
+/// shared by every cell that reads it, with the three y-rows of the current
+/// k-plane carried in a rolling window as `j` advances. The reference kernel
+/// re-derives the velocity behind each stencil leg per cell — 6 redundant
+/// `1/ρ` divisions per cell in 3-D, 4 in 2-D. Per-cell arithmetic (and thus
+/// the result) is bitwise identical to [`compute_igr_source_reference`]:
+/// every buffered velocity is produced by exactly the expression the
+/// reference's `vel_at` evaluates.
 pub fn compute_igr_source<R: Real, S: Storage<R>>(
+    q: &State<R, S>,
+    domain: &Domain,
+    alpha: f64,
+    out: &mut Field<R, S>,
+) {
+    let shape = q.shape();
+    let al = R::from_f64(alpha);
+    let inv2dx: [R; 3] = [
+        R::from_f64(0.5 / domain.dx(Axis::X)),
+        R::from_f64(0.5 / domain.dx(Axis::Y)),
+        R::from_f64(0.5 / domain.dx(Axis::Z)),
+    ];
+    let active: [bool; 3] = [
+        shape.is_active(Axis::X),
+        shape.is_active(Axis::Y),
+        shape.is_active(Axis::Z),
+    ];
+
+    let sxy = shape.stride(Axis::Z);
+    let gz = shape.ghosts(Axis::Z);
+    let nx = shape.nx;
+    let ny = shape.ny;
+    let rho_p = q.rho.packed();
+    let mx_p = q.mx.packed();
+    let my_p = q.my.packed();
+    let mz_p = q.mz.packed();
+    // Rows extend one ghost cell past each x-end (the x-stencil legs) only
+    // when x is an active axis — degenerate axes carry no ghosts.
+    let ext = usize::from(active[0]);
+    // Velocity of row (j, k) over i = -ext..nx+ext: one reciprocal per
+    // cell, exactly the reference's `inv_rho = 1/ρ; u_a = m_a · inv_rho`.
+    let fill_row = |dst: &mut Vec<[R; 3]>, j: i32, k: i32| {
+        dst.clear();
+        let base = shape.idx(-(ext as i32), j, k);
+        dst.extend((0..nx + 2 * ext).map(|o| {
+            let lin = base + o;
+            let inv_rho = R::ONE / S::unpack(rho_p[lin]);
+            [
+                S::unpack(mx_p[lin]) * inv_rho,
+                S::unpack(my_p[lin]) * inv_rho,
+                S::unpack(mz_p[lin]) * inv_rho,
+            ]
+        }));
+    };
+
+    out.packed_mut()
+        .par_chunks_mut(sxy)
+        .enumerate()
+        .for_each(|(layer, chunk)| {
+            let k = layer as i32 - gz as i32;
+            if k < 0 || k >= shape.nz as i32 {
+                return;
+            }
+            // Rolling window over the k-plane: rows j−1, j, j+1. The z-rows
+            // (j, k±1) belong to other layers' windows and are refilled per j.
+            let mut c: Vec<[R; 3]> = Vec::with_capacity(nx + 2 * ext);
+            let mut jm: Vec<[R; 3]> = Vec::new();
+            let mut jp: Vec<[R; 3]> = Vec::new();
+            let mut km: Vec<[R; 3]> = Vec::new();
+            let mut kp: Vec<[R; 3]> = Vec::new();
+            fill_row(&mut c, 0, k);
+            if active[1] {
+                fill_row(&mut jm, -1, k);
+                fill_row(&mut jp, 1, k);
+            }
+            for j in 0..ny as i32 {
+                if j > 0 {
+                    // Roll: last step's centre row becomes j−1, its j+1 row
+                    // becomes the centre; only row j+1 is computed fresh.
+                    std::mem::swap(&mut jm, &mut c);
+                    std::mem::swap(&mut c, &mut jp);
+                    fill_row(&mut jp, j + 1, k);
+                }
+                if active[2] {
+                    fill_row(&mut km, j, k - 1);
+                    fill_row(&mut kp, j, k + 1);
+                }
+                for i in 0..nx as i32 {
+                    let o = i as usize + ext;
+                    let mut g = [[R::ZERO; 3]; 3];
+                    if active[0] {
+                        let (up, dn) = (c[o + 1], c[o - 1]);
+                        for a in 0..3 {
+                            g[a][0] = (up[a] - dn[a]) * inv2dx[0];
+                        }
+                    }
+                    if active[1] {
+                        let (up, dn) = (jp[o], jm[o]);
+                        for a in 0..3 {
+                            g[a][1] = (up[a] - dn[a]) * inv2dx[1];
+                        }
+                    }
+                    if active[2] {
+                        let (up, dn) = (kp[o], km[o]);
+                        for a in 0..3 {
+                            g[a][2] = (up[a] - dn[a]) * inv2dx[2];
+                        }
+                    }
+                    let mut tr_g2 = R::ZERO;
+                    for a in 0..3 {
+                        for b in 0..3 {
+                            tr_g2 += g[a][b] * g[b][a];
+                        }
+                    }
+                    let tr = g[0][0] + g[1][1] + g[2][2];
+                    let b_val = al * (tr_g2 + tr * tr);
+                    let lin = shape.idx(i, j, k);
+                    chunk[lin - layer * sxy] = S::pack(b_val);
+                }
+            }
+        });
+}
+
+/// [`compute_igr_source`] with the pre-optimization per-cell neighbour
+/// divisions — the kernel [`crate::config::KernelPath::Reference`] runs and
+/// the rolling-buffer path is pinned bitwise against.
+pub fn compute_igr_source_reference<R: Real, S: Storage<R>>(
     q: &State<R, S>,
     domain: &Domain,
     alpha: f64,
@@ -137,7 +264,11 @@ pub fn jacobi_sweep<R: Real, S: Storage<R>>(
 }
 
 /// Monomorphized row kernel of [`jacobi_sweep`]: `NA` is the active-axis
-/// count, so the per-cell stencil loop unrolls fully.
+/// count, so the per-cell stencil loop unrolls fully. 3-D grids parallelize
+/// over z-layers; 2-D grids (one interior z-layer — a single chunk) over
+/// y-rows instead, so the sweep actually spreads across the pool. Cells are
+/// updated independently with a fixed arithmetic order either way, so the
+/// result is bitwise independent of the chunking.
 fn jacobi_rows<R: Real, S: Storage<R>, const NA: usize>(
     rho: &Field<R, S>,
     b: &Field<R, S>,
@@ -155,6 +286,36 @@ fn jacobi_rows<R: Real, S: Storage<R>, const NA: usize>(
     let b_p = b.packed();
     let sig_p = sigma_old.packed();
 
+    if shape.nz == 1 && shape.ny > 1 {
+        // 2-D: one interior z-layer — chunking by layer would serialize the
+        // whole sweep. Parallelize over y-rows of that single plane.
+        let sy = shape.stride(Axis::Y);
+        let gy = shape.ghosts(Axis::Y);
+        sigma_new
+            .packed_mut()
+            .par_chunks_mut(sy)
+            .enumerate()
+            .for_each(|(row, chunk)| {
+                let j = row as i32 - gy as i32;
+                if j < 0 || j >= shape.ny as i32 {
+                    return;
+                }
+                let base = shape.idx(0, j, 0);
+                let off = base - row * sy;
+                jacobi_row_kernel::<R, S, NA>(
+                    rho_p,
+                    b_p,
+                    sig_p,
+                    &mut chunk[off..off + nx],
+                    base,
+                    nx,
+                    alpha,
+                    &c,
+                );
+            });
+        return;
+    }
+
     sigma_new
         .packed_mut()
         .par_chunks_mut(sxy)
@@ -166,32 +327,55 @@ fn jacobi_rows<R: Real, S: Storage<R>, const NA: usize>(
             }
             for j in 0..shape.ny as i32 {
                 let base = shape.idx(0, j, k);
-                // Center/neighbour rows as plain slices: one ghost-offset
-                // computation per row, unit stride across `i`.
-                let rc_s = &rho_p[base..base + nx];
-                let bc_s = &b_p[base..base + nx];
-                let rp_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &rho_p[base + c[a].0..]);
-                let rm_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &rho_p[base - c[a].0..]);
-                let sp_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &sig_p[base + c[a].0..]);
-                let sm_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &sig_p[base - c[a].0..]);
-                let out = &mut chunk[base - layer * sxy..base - layer * sxy + nx];
-                for (i, o) in out.iter_mut().enumerate() {
-                    let rc = S::unpack(rc_s[i]);
-                    let mut num = S::unpack(bc_s[i]);
-                    let mut den = R::ONE / rc;
-                    for a in 0..NA {
-                        let inv_dx2 = c[a].1;
-                        let rp = (rc + S::unpack(rp_s[a][i])) * R::HALF;
-                        let rm = (rc + S::unpack(rm_s[a][i])) * R::HALF;
-                        num += alpha
-                            * inv_dx2
-                            * (S::unpack(sp_s[a][i]) / rp + S::unpack(sm_s[a][i]) / rm);
-                        den += alpha * inv_dx2 * (R::ONE / rp + R::ONE / rm);
-                    }
-                    *o = S::pack(num / den);
-                }
+                let off = base - layer * sxy;
+                jacobi_row_kernel::<R, S, NA>(
+                    rho_p,
+                    b_p,
+                    sig_p,
+                    &mut chunk[off..off + nx],
+                    base,
+                    nx,
+                    alpha,
+                    &c,
+                );
             }
         });
+}
+
+/// One interior row of the fused Jacobi sweep. Center/neighbour rows are
+/// plain slices: one ghost-offset computation per row, unit stride across
+/// `i`, so the autovectorizer can batch the divisions.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn jacobi_row_kernel<R: Real, S: Storage<R>, const NA: usize>(
+    rho_p: &[S::Packed],
+    b_p: &[S::Packed],
+    sig_p: &[S::Packed],
+    out: &mut [S::Packed],
+    base: usize,
+    nx: usize,
+    alpha: R,
+    c: &[(usize, R); NA],
+) {
+    let rc_s = &rho_p[base..base + nx];
+    let bc_s = &b_p[base..base + nx];
+    let rp_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &rho_p[base + c[a].0..]);
+    let rm_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &rho_p[base - c[a].0..]);
+    let sp_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &sig_p[base + c[a].0..]);
+    let sm_s: [&[S::Packed]; NA] = std::array::from_fn(|a| &sig_p[base - c[a].0..]);
+    for (i, o) in out.iter_mut().enumerate() {
+        let rc = S::unpack(rc_s[i]);
+        let mut num = S::unpack(bc_s[i]);
+        let mut den = R::ONE / rc;
+        for a in 0..NA {
+            let inv_dx2 = c[a].1;
+            let rp = (rc + S::unpack(rp_s[a][i])) * R::HALF;
+            let rm = (rc + S::unpack(rm_s[a][i])) * R::HALF;
+            num += alpha * inv_dx2 * (S::unpack(sp_s[a][i]) / rp + S::unpack(sm_s[a][i]) / rm);
+            den += alpha * inv_dx2 * (R::ONE / rp + R::ONE / rm);
+        }
+        *o = S::pack(num / den);
+    }
 }
 
 /// [`jacobi_sweep`] with the pre-optimization per-cell indexing — the
@@ -630,6 +814,105 @@ mod tests {
         });
         let bcs = BcSet::all_periodic();
         (q, domain, bcs)
+    }
+
+    /// The rolling-row source kernel must agree with the per-cell reference
+    /// bit for bit on every grid dimensionality (the satellite's contract:
+    /// fewer divisions, identical arithmetic per value).
+    #[test]
+    fn rolling_buffer_source_matches_reference_bitwise() {
+        let mut setups: Vec<(St, Domain)> = Vec::new();
+        {
+            let (q, domain, _) = wavy_3d_state();
+            setups.push((q, domain));
+        }
+        for shape in [GridShape::new(24, 18, 1, 3), GridShape::new(48, 1, 1, 3)] {
+            let domain = Domain::unit(shape);
+            let mut q = St::zeros(shape);
+            let tau = std::f64::consts::TAU;
+            q.set_prim_field(&domain, 1.4, |p| {
+                Prim::new(
+                    1.0 + 0.25 * (tau * p[0]).sin() * (1.0 + 0.5 * (tau * p[1]).cos()),
+                    [0.6 * (tau * p[1]).sin(), -0.3 * (tau * p[0]).cos(), 0.1],
+                    1.0,
+                )
+            });
+            setups.push((q, domain));
+        }
+        for (mut q, domain) in setups {
+            let bcs = BcSet::all_periodic();
+            fill_ghosts(&mut q, &domain, &bcs, 1.4, 0.0, &ALL_FACES);
+            let shape = q.shape();
+            let alpha = 10.0 * domain.dx(Axis::X).powi(2);
+            let mut fused = F::zeros(shape);
+            let mut reference = F::zeros(shape);
+            compute_igr_source(&q, &domain, alpha, &mut fused);
+            compute_igr_source_reference(&q, &domain, alpha, &mut reference);
+            for lin in shape.interior_indices() {
+                assert_eq!(
+                    fused.at_lin(lin).to_bits(),
+                    reference.at_lin(lin).to_bits(),
+                    "shape {shape:?}: rolling-buffer source must equal the reference bitwise"
+                );
+            }
+        }
+    }
+
+    /// The 2-D Jacobi sweep now chunks over y-rows (a 2-D grid has a single
+    /// z-layer, which used to serialize it); the result must stay bitwise
+    /// independent of the thread count.
+    #[test]
+    fn jacobi_2d_row_parallelism_is_thread_count_independent_bitwise() {
+        let shape = GridShape::new(32, 24, 1, 3);
+        let domain = Domain::unit(shape);
+        let mut q = St::zeros(shape);
+        let tau = std::f64::consts::TAU;
+        q.set_prim_field(&domain, 1.4, |p| {
+            Prim::new(
+                1.0 + 0.3 * (tau * p[0]).sin() * (tau * p[1]).cos(),
+                [0.5 * (tau * p[1]).sin(), -0.2 * (tau * p[0]).cos(), 0.0],
+                1.0,
+            )
+        });
+        let bcs = BcSet::all_periodic();
+        fill_ghosts(&mut q, &domain, &bcs, 1.4, 0.0, &ALL_FACES);
+        let alpha = 10.0 * domain.dx(Axis::X).powi(2);
+        let mut b = F::zeros(shape);
+        compute_igr_source(&q, &domain, alpha, &mut b);
+
+        let run = |threads: usize| -> F {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut sigma = F::zeros(shape);
+                let mut tmp = F::zeros(shape);
+                for _ in 0..4 {
+                    fill_scalar_ghosts(&mut sigma, &bcs, &ALL_FACES);
+                    jacobi_sweep(&q.rho, &b, &sigma, &mut tmp, &domain, alpha);
+                    std::mem::swap(&mut sigma, &mut tmp);
+                }
+                sigma
+            })
+        };
+        let s1 = run(1);
+        let s6 = run(6);
+        let mut reference = F::zeros(shape);
+        let mut tmp = F::zeros(shape);
+        for _ in 0..4 {
+            fill_scalar_ghosts(&mut reference, &bcs, &ALL_FACES);
+            jacobi_sweep_reference(&q.rho, &b, &reference, &mut tmp, &domain, alpha);
+            std::mem::swap(&mut reference, &mut tmp);
+        }
+        for lin in shape.interior_indices() {
+            assert_eq!(s1.at_lin(lin), s6.at_lin(lin), "thread-count dependent");
+            assert_eq!(
+                s1.at_lin(lin),
+                reference.at_lin(lin),
+                "diverged from reference"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@ use crate::bc::{fill_ghosts_cached, fill_scalar_ghosts, BcSet, FaceMask, InflowC
 use crate::config::{EllipticKind, IgrConfig, KernelPath, RkOrder};
 use crate::memory::MemoryReport;
 use crate::rhs::{accumulate_fluxes, FluxParams};
-use crate::sigma::{compute_igr_source, gauss_seidel_sweep, jacobi_sweep, jacobi_sweep_reference};
+use crate::sigma::{
+    compute_igr_source, compute_igr_source_reference, gauss_seidel_sweep, jacobi_sweep,
+    jacobi_sweep_reference,
+};
 use crate::state::State;
 use crate::stepper::advance;
 use igr_grid::{Domain, Field};
@@ -174,7 +177,11 @@ impl<R: Real, S: Storage<R>> IgrScheme<R, S> {
     /// Relax the elliptic system (eq. 9) with the configured method,
     /// warm-starting from the previous Σ.
     fn solve_sigma(&mut self, q: &State<R, S>, ghost: &mut dyn GhostOps<R, S>) {
-        compute_igr_source(q, &self.domain, self.alpha, &mut self.igr_rhs);
+        let source = match self.cfg.kernel {
+            KernelPath::Fused => compute_igr_source,
+            KernelPath::Reference => compute_igr_source_reference,
+        };
+        source(q, &self.domain, self.alpha, &mut self.igr_rhs);
         let sweeps = if self.warm {
             self.cfg.sweeps
         } else {
@@ -347,6 +354,14 @@ impl<R: Real, S: Storage<R>, Sch: RhsScheme<R, S>, G: GhostOps<R, S>> Solver<R, 
 
     pub fn steps_taken(&self) -> usize {
         self.step_count
+    }
+
+    /// Reset the march clock (simulation time and step counter) — checkpoint
+    /// restore re-enters an interrupted run's timeline so that a resumed run
+    /// reports the same `t`/step trajectory as an uninterrupted one.
+    pub fn reset_clock(&mut self, t: f64, steps: usize) {
+        self.t = t;
+        self.step_count = steps;
     }
 
     pub fn domain(&self) -> &Domain {

@@ -214,6 +214,13 @@ impl<R: Real, S: Storage<R>> SpeciesSolver<R, S> {
         self.step_count
     }
 
+    /// Reset the march clock (simulation time and step counter) — checkpoint
+    /// restore re-enters an interrupted run's timeline.
+    pub fn reset_clock(&mut self, t: f64, steps: usize) {
+        self.t = t;
+        self.step_count = steps;
+    }
+
     /// The domain this solver marches on.
     pub fn domain(&self) -> &Domain {
         &self.domain
@@ -227,6 +234,15 @@ impl<R: Real, S: Storage<R>> SpeciesSolver<R, S> {
     /// Current entropic pressure field.
     pub fn sigma(&self) -> &Field<R, S> {
         &self.ws.sigma
+    }
+
+    /// Mutable access to Σ for checkpoint restore. Marks the workspace warm
+    /// so the next solve does ordinary warm-started sweeps instead of the
+    /// cold-start count — restoring both Σ and the flow state reproduces an
+    /// uninterrupted run bit for bit.
+    pub fn sigma_mut(&mut self) -> &mut Field<R, S> {
+        self.ws.warm = true;
+        &mut self.ws.sigma
     }
 
     /// CFL-limited time step for the current state.

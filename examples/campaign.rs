@@ -56,7 +56,13 @@ fn main() {
         recovered.loaded, recovered.skipped
     );
     let warm_start = store.len() > 0;
-    let mut campaign = Campaign::with_store(ExecConfig::default(), store);
+    // Restart files land here: an interrupted worker's scenario resumes
+    // mid-flight (bit-exactly) on the next submission.
+    let exec_cfg = ExecConfig {
+        checkpoint_dir: Some("target/campaign_ckpt".into()),
+        ..Default::default()
+    };
+    let mut campaign = Campaign::with_store(exec_cfg, store);
     let report = campaign.run(&scenarios);
     println!("{}", report.to_text());
     if warm_start {
@@ -83,6 +89,26 @@ fn main() {
     assert!(
         resubmit.cache_hits >= 1,
         "acceptance: >= 1 cache hit demonstrated"
+    );
+
+    // ---- 3b. Driver-instrumented scenarios: the unified run loop lets a
+    //          spec request an in-flight diagnostics series (persisted with
+    //          the result) and a restart-file autosave cadence. ----------
+    let mut instrumented = scenarios[0].clone();
+    instrumented.series_every = Some(12); // sample every 12 timed steps
+    instrumented.checkpoint_every = Some(20); // autosave cadence
+    let inst = campaign.run(std::slice::from_ref(&instrumented));
+    let r = &inst.rows[0].result;
+    let series = r.series.as_ref().expect("series requested in the spec");
+    let last = series.samples.last().expect("at least one sample");
+    println!(
+        "instrumented scenario: {} in-flight samples (every {} steps; cached={}) — \
+         final max Mach {:.2}, min rho {:.3}",
+        series.samples.len(),
+        series.every,
+        inst.rows[0].cached,
+        last.max_mach,
+        last.min_rho,
     );
 
     // ---- 4. The async front end: stream a follow-up batch through the

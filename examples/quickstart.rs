@@ -24,12 +24,34 @@ fn main() {
         solver.memory_report().entries.len(),
     );
 
-    // 3. March to t = 0.2 (the classic comparison time).
+    // 3. March to t = 0.2 (the classic comparison time) through the unified
+    //    run-loop, sampling in-flight diagnostics every 20 steps — the same
+    //    Driver/observer surface the campaign executor and figure bins use.
     let t_end = 0.2;
     let before = solver.q.totals(&case.domain);
-    let steps = solver.run_until(t_end, 100_000).expect("solve failed");
+    let mut history = History::new();
+    let summary = Driver::new()
+        .until(t_end)
+        .max_steps(100_000)
+        .observe(
+            Cadence::EverySteps(20),
+            DiagnosticsObserver::new(&mut history),
+        )
+        .run(&mut solver)
+        .expect("solve failed");
     let after = solver.q.totals(&case.domain);
-    println!("advanced {steps} steps to t = {:.3}", solver.t());
+    println!(
+        "advanced {} steps to t = {:.3} ({:?}; {} in-flight samples)",
+        summary.steps,
+        solver.t(),
+        summary.stop,
+        history.samples.len()
+    );
+    let last = history.samples.last().expect("sampled while marching");
+    println!(
+        "in-flight watch: max Mach {:.2}, min rho {:.3} (positivity held throughout)",
+        last.max_mach, last.min_rho
+    );
 
     // 4. Conservation check (machine precision for interior fluxes; the
     //    outflow boundaries let mass leave, so compare energy drift scale).

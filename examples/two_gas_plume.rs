@@ -73,14 +73,20 @@ fn main() {
         solver.memory_report().entries.len(),
     );
 
-    // March and report the exhaust inventory and plume front.
+    // March and report the exhaust inventory and plume front. The species
+    // solver goes through the same unified `Driver` as the single-fluid
+    // one — `until` clips the final step so each mark is hit exactly.
     let eos_c = solver.cfg.eos;
     println!(
         "\n{:>6} {:>8} {:>14} {:>12}",
         "t", "steps", "exhaust mass", "front y"
     );
     for mark in [0.02, 0.04, 0.06, 0.08, 0.10] {
-        solver.run_until(mark, 200_000).expect("plume solve failed");
+        Driver::new()
+            .until(mark)
+            .max_steps(200_000)
+            .run(&mut solver)
+            .expect("plume solve failed");
         let totals = solver.q.totals(solver.domain());
         // Plume front: highest y where exhaust fraction crosses 10%.
         let mut front = 0.0f64;

@@ -43,6 +43,11 @@ pub use igr_species as species;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use igr_app::cases::{self, CaseSetup};
+    pub use igr_app::diagnostics::History;
+    pub use igr_app::driver::{
+        Cadence, CheckpointObserver, DiagnosticsObserver, Driver, FnObserver, Probe, Steppable,
+        StopCondition, StopReason, VtkObserver,
+    };
     pub use igr_baseline::scheme::weno_solver;
     pub use igr_core::eos::Prim;
     pub use igr_core::solver::igr_solver;

@@ -32,6 +32,7 @@ fn small_exec() -> ExecConfig {
     ExecConfig {
         workers: 2,
         threads_per_worker: 1,
+        ..Default::default()
     }
 }
 
@@ -86,6 +87,7 @@ fn campaign_executes_dedups_and_reports_through_the_facade() {
     let mut campaign = Campaign::new(ExecConfig {
         workers: 2,
         threads_per_worker: 1,
+        ..Default::default()
     });
     let report = campaign.run(&batch);
     assert_eq!(report.rows.len(), 4);

@@ -37,6 +37,7 @@ fn one_worker() -> ExecConfig {
     ExecConfig {
         workers: 1,
         threads_per_worker: 1,
+        ..Default::default()
     }
 }
 

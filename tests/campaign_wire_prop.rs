@@ -72,12 +72,22 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
             (any::<bool>(), 1usize..9),
             (any::<bool>(), wild_f64()),
             (any::<bool>(), 1usize..5),
+            (any::<bool>(), 1usize..7),
+            (any::<bool>(), 1usize..7),
         ),
         0usize..3,
     )
         .prop_map(
             |(base, (resolution, prec, weno, warmup, steps), engine_out, gimbal, opts, label)| {
-                let ((bp_on, bp), (cfl_on, cfl), (sw_on, sw), (af_on, af), (rk_on, rk)) = opts;
+                let (
+                    (bp_on, bp),
+                    (cfl_on, cfl),
+                    (sw_on, sw),
+                    (af_on, af),
+                    (rk_on, rk),
+                    (se_on, se),
+                    (ck_on, ck),
+                ) = opts;
                 ScenarioSpec {
                     label: match label {
                         0 => None,
@@ -105,6 +115,8 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
                     elliptic_sweeps: sw_on.then_some(sw),
                     alpha_factor: af_on.then_some(af),
                     ranks: rk_on.then_some(rk),
+                    series_every: se_on.then_some(se),
+                    checkpoint_every: ck_on.then_some(ck),
                 }
             },
         )
@@ -149,6 +161,8 @@ proptest! {
         prop_assert_eq!(&back.engine_out, &spec.engine_out);
         prop_assert_eq!(back.elliptic_sweeps, spec.elliptic_sweeps);
         prop_assert_eq!(back.ranks, spec.ranks);
+        prop_assert_eq!(back.series_every, spec.series_every);
+        prop_assert_eq!(back.checkpoint_every, spec.checkpoint_every);
         prop_assert!(opt_bits_eq(back.backpressure, spec.backpressure));
         prop_assert!(opt_bits_eq(back.cfl, spec.cfl));
         prop_assert!(opt_bits_eq(back.alpha_factor, spec.alpha_factor));

@@ -1,0 +1,156 @@
+//! Integration coverage for the unified run-loop's checkpoint/resume
+//! contract: a run saved mid-flight and resumed into a fresh solver must
+//! finish **bit-for-bit** identical to an uninterrupted run — at f32 and
+//! f64 storage, for the IGR scheme (Σ rides the snapshot), the WENO
+//! baseline (stateless scheme), and with a pinned dt (grind-style runs).
+
+use igr::app::checkpoint::CheckpointScalar;
+use igr::app::driver::{Cadence, CheckpointObserver, Driver, StopCondition, StopReason};
+use igr::prec::{Real, Storage};
+use igr::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("igr_driver_resume_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Save at `cut` of `total` steps on a jet case (inflow boundaries, Σ under
+/// load), resume, compare bitwise.
+fn jet_resume_roundtrip<R, S>(name: &str)
+where
+    R: Real,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+{
+    let case = cases::engine_row_2d(24, 3, igr::app::jets::JetConditions::mach10());
+    let (total, cut) = (14usize, 9usize);
+    let path = tmp(name);
+
+    let mut straight = case.igr_solver::<R, S>();
+    Driver::new().max_steps(total).run(&mut straight).unwrap();
+
+    let mut first = case.igr_solver::<R, S>();
+    Driver::new()
+        .max_steps(cut)
+        .observe(Cadence::EverySteps(3), CheckpointObserver::autosave(&path))
+        .run(&mut first)
+        .unwrap();
+
+    let mut resumed = case.igr_solver::<R, S>();
+    let ck = Driver::<_>::resume_from(&mut resumed, &path).unwrap();
+    assert_eq!(ck.step, cut);
+    assert!(
+        (resumed.t() - first.t()).abs() == 0.0,
+        "clock restores exactly"
+    );
+    Driver::new()
+        .max_steps(total - cut)
+        .run(&mut resumed)
+        .unwrap();
+
+    assert_eq!(resumed.steps_taken(), total);
+    assert_eq!(
+        straight.q.max_diff(&resumed.q),
+        0.0,
+        "{name}: resumed jet run must equal the uninterrupted one bitwise"
+    );
+}
+
+#[test]
+fn igr_jet_resume_is_bitwise_at_f64_storage() {
+    jet_resume_roundtrip::<f64, StoreF64>("jet_f64.ckpt");
+}
+
+#[test]
+fn igr_jet_resume_is_bitwise_at_f32_storage() {
+    jet_resume_roundtrip::<f32, StoreF32>("jet_f32.ckpt");
+}
+
+#[test]
+fn weno_baseline_resume_is_bitwise() {
+    let case = cases::steepening_wave(64, 0.3);
+    let (total, cut) = (12usize, 7usize);
+    let path = tmp("weno.ckpt");
+
+    let mut straight = case.weno_solver::<f64, StoreF64>();
+    Driver::new().max_steps(total).run(&mut straight).unwrap();
+
+    let mut first = case.weno_solver::<f64, StoreF64>();
+    Driver::new()
+        .max_steps(cut)
+        .observe(Cadence::EverySteps(7), CheckpointObserver::autosave(&path))
+        .run(&mut first)
+        .unwrap();
+
+    let mut resumed = case.weno_solver::<f64, StoreF64>();
+    Driver::<_>::resume_from(&mut resumed, &path).unwrap();
+    Driver::new()
+        .max_steps(total - cut)
+        .run(&mut resumed)
+        .unwrap();
+    assert_eq!(straight.q.max_diff(&resumed.q), 0.0);
+}
+
+/// Grind-style runs pin dt; the pinned value must survive the snapshot so
+/// the resumed run replays identical step sizes.
+#[test]
+fn pinned_dt_survives_the_restart_file() {
+    let case = cases::steepening_wave(48, 0.25);
+    let path = tmp("pinned_dt.ckpt");
+
+    let mut straight = case.igr_solver::<f64, StoreF64>();
+    let dt = 0.5 * straight.stable_dt();
+    straight.fixed_dt = Some(dt);
+    Driver::new().max_steps(10).run(&mut straight).unwrap();
+
+    let mut first = case.igr_solver::<f64, StoreF64>();
+    first.fixed_dt = Some(dt);
+    Driver::new()
+        .max_steps(6)
+        .observe(Cadence::EverySteps(6), CheckpointObserver::autosave(&path))
+        .run(&mut first)
+        .unwrap();
+
+    let mut resumed = case.igr_solver::<f64, StoreF64>();
+    let ck = Driver::<_>::resume_from(&mut resumed, &path).unwrap();
+    assert_eq!(ck.fixed_dt.unwrap().to_bits(), dt.to_bits());
+    assert_eq!(resumed.fixed_dt.unwrap().to_bits(), dt.to_bits());
+    Driver::new().max_steps(4).run(&mut resumed).unwrap();
+    assert_eq!(straight.q.max_diff(&resumed.q), 0.0);
+    assert_eq!(straight.t().to_bits(), resumed.t().to_bits());
+}
+
+/// A stale restart file from a different precision is refused, not
+/// silently misread.
+#[test]
+fn cross_precision_restore_is_refused() {
+    let case = cases::steepening_wave(32, 0.2);
+    let path = tmp("precision_mismatch.ckpt");
+    let mut f64run = case.igr_solver::<f64, StoreF64>();
+    Driver::new()
+        .max_steps(2)
+        .observe(Cadence::EverySteps(2), CheckpointObserver::autosave(&path))
+        .run(&mut f64run)
+        .unwrap();
+    let mut f32run = case.igr_solver::<f32, StoreF32>();
+    assert!(Driver::<_>::resume_from(&mut f32run, &path).is_err());
+}
+
+/// `until` + wall-clock + steady-state compose across solver types; this
+/// pins the public stop-condition surface from outside the crate.
+#[test]
+fn stop_conditions_compose_from_the_public_api() {
+    let case = cases::steepening_wave(48, 0.2);
+    let mut solver = case.igr_solver::<f64, StoreF64>();
+    let summary = Driver::new()
+        .until(0.02)
+        .max_steps(50_000)
+        .stop_when(StopCondition::WallClock(std::time::Duration::from_secs(
+            600,
+        )))
+        .run(&mut solver)
+        .unwrap();
+    assert_eq!(summary.stop, StopReason::TimeReached);
+    assert!((solver.t() - 0.02).abs() < 1e-12);
+}
