@@ -25,10 +25,23 @@ pub struct Sample {
     pub min_rho: f64,
 }
 
-/// A growing time series of [`Sample`]s.
+/// Per-phase wall-time totals over one observation interval, as recorded
+/// by the driver's `MetricsObserver` from the `igr-obs` registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSample {
+    pub step: usize,
+    pub t: f64,
+    /// `(phase, seconds, spans)` accumulated since the previous phase
+    /// sample (or since the run started, for the first), name-sorted.
+    pub phases: Vec<(String, f64, u64)>,
+}
+
+/// A growing time series of [`Sample`]s, plus an optional parallel series
+/// of [`PhaseSample`]s when a run is instrumented.
 #[derive(Clone, Debug, Default)]
 pub struct History {
     pub samples: Vec<Sample>,
+    pub phase_samples: Vec<PhaseSample>,
 }
 
 /// Sample the flow quantities of a single-fluid state — the scan behind
@@ -73,9 +86,28 @@ pub fn sample_state<R: Real, S: Storage<R>>(
 
 impl History {
     pub fn new() -> Self {
-        History {
-            samples: Vec::new(),
+        History::default()
+    }
+
+    /// Append a per-phase timing record (the driver's `MetricsObserver`
+    /// feeds registry snapshots through this).
+    pub fn push_phases(&mut self, sample: PhaseSample) {
+        self.phase_samples.push(sample);
+    }
+
+    /// CSV rendering of the phase-timing series: one row per
+    /// `(sample, phase)` pair.
+    pub fn phases_to_csv(&self) -> String {
+        let mut out = String::from("step,t,phase,seconds,spans\n");
+        for ps in &self.phase_samples {
+            for (name, secs, spans) in &ps.phases {
+                out.push_str(&format!(
+                    "{},{:.9e},{},{:.9e},{}\n",
+                    ps.step, ps.t, name, secs, spans
+                ));
+            }
         }
+        out
     }
 
     /// Append an already-computed sample (the driver's

@@ -468,6 +468,114 @@ impl<P: Probe + ?Sized> Observer<P> for DiagnosticsObserver<'_> {
     }
 }
 
+/// Snapshots per-phase wall-time totals from the `igr-obs` registry into a
+/// caller-owned [`History`] at cadence: each firing records, per phase, the
+/// seconds and span count accumulated *since the previous firing* (so the
+/// series integrates to the run's phase breakdown). Construction enables
+/// span recording globally ([`igr_obs::enable`]); it is left on afterwards
+/// — instrumentation never perturbs FP results, only wall time.
+pub struct MetricsObserver<'h> {
+    history: &'h mut History,
+    /// Per-phase `(total_ns, count)` at the previous firing.
+    last: std::collections::BTreeMap<String, (u64, u64)>,
+}
+
+impl<'h> MetricsObserver<'h> {
+    pub fn new(history: &'h mut History) -> Self {
+        igr_obs::enable();
+        // Deltas are measured against the registry as it stands now, not
+        // against zero — a second instrumented run in the same process must
+        // not inherit the first run's totals.
+        let last = Self::totals(&igr_obs::Registry::global().snapshot());
+        MetricsObserver { history, last }
+    }
+
+    fn totals(snap: &igr_obs::Snapshot) -> std::collections::BTreeMap<String, (u64, u64)> {
+        snap.histograms
+            .iter()
+            .map(|h| (h.name.clone(), (h.total_ns, h.count)))
+            .collect()
+    }
+}
+
+impl<P: Steppable + ?Sized> Observer<P> for MetricsObserver<'_> {
+    fn on_step(&mut self, _sys: &P, info: &StepInfo) -> Result<(), DriverError> {
+        let now = Self::totals(&igr_obs::Registry::global().snapshot());
+        let mut phases = Vec::new();
+        for (name, (total_ns, count)) in &now {
+            let (prev_ns, prev_n) = self.last.get(name).copied().unwrap_or((0, 0));
+            let d_ns = total_ns.saturating_sub(prev_ns);
+            let d_n = count.saturating_sub(prev_n);
+            if d_n > 0 {
+                phases.push((name.clone(), d_ns as f64 * 1e-9, d_n));
+            }
+        }
+        self.last = now;
+        self.history.push_phases(crate::diagnostics::PhaseSample {
+            step: info.step,
+            t: info.t,
+            phases,
+        });
+        Ok(())
+    }
+}
+
+/// Streams the `igr-obs` event buffer to a trace file when the run ends.
+/// Construction enables span recording *and* event capture; `on_finish`
+/// writes either a `chrome://tracing`-compatible `trace.json` or an
+/// append-only JSONL event log, depending on the constructor used.
+pub struct TraceObserver {
+    path: PathBuf,
+    chrome: bool,
+}
+
+impl TraceObserver {
+    /// Write a `chrome://tracing` / Perfetto `trace.json` to `path` when
+    /// the run finishes.
+    pub fn chrome(path: impl Into<PathBuf>) -> Self {
+        igr_obs::enable();
+        igr_obs::Registry::global().set_capture_events(true);
+        TraceObserver {
+            path: path.into(),
+            chrome: true,
+        }
+    }
+
+    /// Write a JSON-lines event log to `path` when the run finishes.
+    pub fn jsonl(path: impl Into<PathBuf>) -> Self {
+        igr_obs::enable();
+        igr_obs::Registry::global().set_capture_events(true);
+        TraceObserver {
+            path: path.into(),
+            chrome: false,
+        }
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl<P: ?Sized> Observer<P> for TraceObserver {
+    fn on_step(&mut self, _sys: &P, _info: &StepInfo) -> Result<(), DriverError> {
+        Ok(())
+    }
+
+    fn on_finish(&mut self, _sys: &P) -> Result<(), DriverError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&self.path)?);
+        let reg = igr_obs::Registry::global();
+        if self.chrome {
+            reg.export_chrome_trace(&mut f)?;
+        } else {
+            reg.export_jsonl(&mut f)?;
+        }
+        use std::io::Write;
+        f.flush()?;
+        Ok(())
+    }
+}
+
 /// Autosaves a restart file. Each firing captures a full bit-exact
 /// [`Checkpoint`] and replaces the file *atomically* (write to `<path>.tmp`,
 /// then rename), so a crash mid-save leaves the previous restart intact.
@@ -1037,6 +1145,52 @@ mod tests {
         Driver::<_>::resume_from(&mut resumed, &path).unwrap();
         Driver::new().max_steps(4).run(&mut resumed).unwrap();
         assert_eq!(straight.q.max_diff(&resumed.q), 0.0);
+    }
+
+    #[test]
+    fn metrics_and_trace_observers_record_phase_timings() {
+        let case = cases::steepening_wave(48, 0.2);
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let mut hist = History::new();
+        let trace_path = tmp("driver_trace.json");
+        let _ = std::fs::remove_file(&trace_path);
+        Driver::new()
+            .max_steps(6)
+            .observe(Cadence::EverySteps(3), MetricsObserver::new(&mut hist))
+            .observe(Cadence::EveryStep, TraceObserver::chrome(&trace_path))
+            .run(&mut solver)
+            .unwrap();
+
+        assert_eq!(hist.phase_samples.len(), 2, "fired on steps 3 and 6");
+        let names: std::collections::BTreeSet<&str> = hist.phase_samples[0]
+            .phases
+            .iter()
+            .map(|(n, _, _)| n.as_str())
+            .collect();
+        for phase in [
+            "solver.step",
+            "ghost.fill_state",
+            "igr.source",
+            "sigma.sweep",
+            "flux.sweep",
+        ] {
+            assert!(names.contains(phase), "missing phase {phase}: {names:?}");
+        }
+        for (_, secs, spans) in &hist.phase_samples[0].phases {
+            assert!(*secs >= 0.0 && *spans > 0);
+        }
+        let csv = hist.phases_to_csv();
+        assert!(csv.starts_with("step,t,phase,seconds,spans\n"));
+        assert!(csv.contains("flux.sweep"));
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(
+            trace.trim_start().starts_with('['),
+            "chrome trace is a JSON array"
+        );
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("solver.step"));
+        igr_obs::Registry::global().set_capture_events(false);
     }
 
     #[test]

@@ -34,14 +34,23 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: campaign_serve [--addr HOST:PORT] [--store FILE.jsonl] [--workers N]\n\
+             \x20                     [--trace-out FILE.json]\n\
              \n\
-             --addr     listen address (default 127.0.0.1:7171; port 0 = OS-assigned)\n\
-             --store    JSON-lines result store to share (default: in-memory)\n\
-             --workers  background execution workers (default: ExecConfig::default())"
+             --addr       listen address (default 127.0.0.1:7171; port 0 = OS-assigned)\n\
+             --store      JSON-lines result store to share (default: in-memory)\n\
+             --workers    background execution workers (default: ExecConfig::default())\n\
+             --trace-out  write a chrome://tracing trace.json of every solver/queue\n\
+             \x20            phase on shutdown (enables span tracing for the whole run)"
         );
         return;
     }
     let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+
+    let trace_out = flag("--trace-out");
+    if trace_out.is_some() {
+        igr_obs::enable();
+        igr_obs::Registry::global().set_capture_events(true);
+    }
 
     let store = match flag("--store") {
         Some(path) => {
@@ -84,4 +93,16 @@ fn main() {
             .map(|p| format!(" ({} persisted)", p.display()))
             .unwrap_or_default()
     );
+
+    if let Some(path) = trace_out {
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        igr_obs::Registry::global()
+            .export_chrome_trace(&mut w)
+            .expect("write trace");
+        println!(
+            "trace: {} spans written to {path} (open in chrome://tracing or ui.perfetto.dev)",
+            igr_obs::Registry::global().event_count()
+        );
+    }
 }

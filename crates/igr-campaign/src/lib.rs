@@ -66,7 +66,10 @@ pub mod sweep;
 
 pub use exec::{run_scenario, run_scenario_caught, Campaign, ExecConfig};
 pub use persist::StoreRecovery;
-pub use protocol::{ErrorCode, ServerStats, StreamedResult, WireJobState, PROTO_VERSION};
+pub use protocol::{
+    ErrorCode, MetricHistogram, ServerMetrics, ServerStats, StreamedResult, WireJobState,
+    PROTO_VERSION,
+};
 pub use queue::{CampaignQueue, JobId, JobState};
 pub use report::{CampaignReport, ReportRow, RunStatus, ScenarioResult};
 pub use serve::{CampaignClient, CampaignServer, SubmitAck};

@@ -193,6 +193,10 @@ pub enum Request {
     },
     /// Request server/store statistics.
     Stats,
+    /// Request the server's telemetry registry: queue/server counters and
+    /// latency histograms. Additive v2 verb (see `docs/PROTOCOL.md` §6):
+    /// an older server answers `unknown-op`, which fails only the request.
+    Metrics,
     /// Compact the server's backing store file.
     Compact,
     /// Gracefully stop the server (it finishes by handing its store back
@@ -218,6 +222,7 @@ impl Request {
                 format!("{{\"op\":\"stream\",\"max\":{max},\"timeout_ms\":{timeout_ms}}}")
             }
             Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Metrics => "{\"op\":\"metrics\"}".to_string(),
             Request::Compact => "{\"op\":\"compact\"}".to_string(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
         };
@@ -259,6 +264,7 @@ impl Request {
                 timeout_ms: req_u64(obj, "timeout_ms").map_err(bad)?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "compact" => Ok(Request::Compact),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError::new(
@@ -307,6 +313,76 @@ pub struct ServerStats {
     pub executed: u64,
     /// Executions currently queued or running.
     pub outstanding: usize,
+}
+
+/// One named latency histogram in a `METRICS` response — the wire view of
+/// an `igr_obs::HistSnapshot` (log₂ nanosecond buckets).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricHistogram {
+    /// Histogram (phase/queue stage) name.
+    pub name: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations in nanoseconds. Travels as a decimal
+    /// string on the wire: a long-lived server's totals can exceed the
+    /// 2⁵³ range JSON numbers carry exactly.
+    pub total_ns: u64,
+    /// Smallest recorded duration, nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Largest recorded duration, nanoseconds.
+    pub max_ns: u64,
+    /// Non-empty buckets as `(lower_bound_ns, count)`, ascending. A bucket
+    /// spans `[lo, 2·max(lo,1))`; bounds are exact powers of two, so they
+    /// survive JSON's f64 numbers bit-exactly.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Server telemetry (`METRICS` responses): every counter and duration
+/// histogram the server's `igr-obs` registry holds — queue traffic
+/// (`queue.submit`, `queue.coalesce`, …), latency distributions
+/// (`queue.time_in_queue`, `queue.exec_latency`), and any solver phases
+/// recorded while executing scenarios.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Counters as `(name, value)`, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<MetricHistogram>,
+}
+
+impl ServerMetrics {
+    /// Snapshot the process-global `igr-obs` registry into the wire form.
+    pub fn from_global_registry() -> ServerMetrics {
+        let snap = igr_obs::Registry::global().snapshot();
+        ServerMetrics {
+            counters: snap.counters,
+            histograms: snap
+                .histograms
+                .into_iter()
+                .map(|h| MetricHistogram {
+                    name: h.name,
+                    count: h.count,
+                    total_ns: h.total_ns,
+                    min_ns: h.min_ns,
+                    max_ns: h.max_ns,
+                    buckets: h.buckets,
+                })
+                .collect(),
+        }
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&MetricHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
 }
 
 /// One streamed completion (`STREAM` responses).
@@ -364,6 +440,8 @@ pub enum Response {
     },
     /// `STATS` answer.
     Stats(ServerStats),
+    /// `METRICS` answer.
+    Metrics(ServerMetrics),
     /// `COMPACT` answer.
     Compacted {
         /// Live entries the rewritten store file holds.
@@ -439,6 +517,39 @@ impl Response {
                 st.executed,
                 st.outstanding
             ),
+            Response::Metrics(m) => {
+                let mut s = String::from("{\"ok\":true,\"op\":\"metrics\",\"counters\":{");
+                for (i, (name, v)) in m.counters.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("{}:{v}", persist::json_str(name)));
+                }
+                s.push_str("},\"histograms\":[");
+                for (i, h) in m.histograms.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"name\":{},\"count\":{},\"total_ns\":\"{}\",\"min_ns\":{},\
+                         \"max_ns\":{},\"buckets\":[",
+                        persist::json_str(&h.name),
+                        h.count,
+                        h.total_ns,
+                        h.min_ns,
+                        h.max_ns
+                    ));
+                    for (k, (lo, c)) in h.buckets.iter().enumerate() {
+                        if k > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&format!("[{lo},{c}]"));
+                    }
+                    s.push_str("]}");
+                }
+                s.push_str("]}");
+                s
+            }
             Response::Compacted {
                 live,
                 dropped_lines,
@@ -531,6 +642,55 @@ impl Response {
                 executed: req_u64(obj, "executed")?,
                 outstanding: req_u64(obj, "outstanding")? as usize,
             })),
+            "metrics" => {
+                let mut counters = Vec::new();
+                for (name, v) in get(obj, "counters")?
+                    .as_object()
+                    .ok_or("'counters' is not an object")?
+                {
+                    counters.push((name.clone(), v.as_u64().ok_or("counter not a u64")?));
+                }
+                let mut histograms = Vec::new();
+                for h in get(obj, "histograms")?
+                    .as_array()
+                    .ok_or("'histograms' is not an array")?
+                {
+                    let hobj = h.as_object().ok_or("histogram entry is not an object")?;
+                    let total_ns = get(hobj, "total_ns")?
+                        .as_str()
+                        .ok_or("'total_ns' is not a string")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad total_ns: {e}"))?;
+                    let mut buckets = Vec::new();
+                    for b in get(hobj, "buckets")?
+                        .as_array()
+                        .ok_or("'buckets' is not an array")?
+                    {
+                        let pair = b.as_array().ok_or("bucket is not an array")?;
+                        if pair.len() != 2 {
+                            return Err("bucket is not a 2-element array".into());
+                        }
+                        let lo = pair[0].as_u64().ok_or("bucket lo not a u64")?;
+                        let c = pair[1].as_u64().ok_or("bucket count not a u64")?;
+                        buckets.push((lo, c));
+                    }
+                    histograms.push(MetricHistogram {
+                        name: get(hobj, "name")?
+                            .as_str()
+                            .ok_or("histogram 'name' is not a string")?
+                            .to_string(),
+                        count: req_u64(hobj, "count")?,
+                        total_ns,
+                        min_ns: req_u64(hobj, "min_ns")?,
+                        max_ns: req_u64(hobj, "max_ns")?,
+                        buckets,
+                    });
+                }
+                Ok(Response::Metrics(ServerMetrics {
+                    counters,
+                    histograms,
+                }))
+            }
             "compact" => Ok(Response::Compacted {
                 live: req_u64(obj, "live")? as usize,
                 dropped_lines: req_u64(obj, "dropped")? as usize,
@@ -873,6 +1033,7 @@ mod tests {
                 timeout_ms: 2500,
             },
             Request::Stats,
+            Request::Metrics,
             Request::Compact,
             Request::Shutdown,
         ];
@@ -966,6 +1127,47 @@ mod tests {
         match Response::decode(stats.encode().trim_end()).unwrap() {
             Response::Stats(s) => assert_eq!(s.executed, 2),
             other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip_preserves_wide_nanosecond_totals() {
+        // total_ns travels as a decimal string because a long-lived server
+        // can accumulate past 2^53 ns; pin a value JSON numbers would mangle.
+        let wide = (1u64 << 53) + 3;
+        let metrics = Response::Metrics(ServerMetrics {
+            counters: vec![
+                ("queue.submit".into(), 4),
+                // Counters share the STATS dialect: plain JSON numbers,
+                // valid up to 2^53 (the codec rejects, never mangles, above).
+                ("queue.\"odd\" name".into(), 1u64 << 53),
+            ],
+            histograms: vec![
+                MetricHistogram {
+                    name: "queue.exec_latency".into(),
+                    count: 3,
+                    total_ns: wide,
+                    min_ns: 1024,
+                    max_ns: 1 << 40,
+                    buckets: vec![(1024, 2), (1 << 40, 1)],
+                },
+                MetricHistogram {
+                    name: "empty".into(),
+                    ..MetricHistogram::default()
+                },
+            ],
+        });
+        match Response::decode(metrics.encode().trim_end()).unwrap() {
+            Response::Metrics(m) => {
+                assert_eq!(m.counter("queue.submit"), Some(4));
+                assert_eq!(m.counter("queue.\"odd\" name"), Some(1u64 << 53));
+                let h = m.histogram("queue.exec_latency").expect("histogram");
+                assert_eq!(h.total_ns, wide);
+                assert_eq!(h.count, 3);
+                assert_eq!(h.buckets, vec![(1024, 2), (1 << 40, 1)]);
+                assert_eq!(m.histogram("empty").unwrap().count, 0);
+            }
+            other => panic!("expected Metrics, got {other:?}"),
         }
     }
 

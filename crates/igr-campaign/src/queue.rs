@@ -101,6 +101,11 @@ struct Execution {
     /// Highest priority among live waiters (heap entries are lazily
     /// superseded on escalation).
     priority: i32,
+    /// When the execution was planned — feeds the `queue.time_in_queue`
+    /// histogram when a worker claims it. Wall-clock only; never hashed.
+    enqueued: Instant,
+    /// When a worker claimed it — feeds `queue.exec_latency` on completion.
+    started: Option<Instant>,
 }
 
 /// Max-heap entry: higher priority first, then FIFO by submission sequence.
@@ -233,6 +238,7 @@ impl CampaignQueue {
         let mut spec = spec.clone();
         spec.normalize();
         let hash = spec.content_hash();
+        igr_obs::Registry::global().counter_add("queue.submit", 1);
         let mut g = lock(&self.shared);
         let id = g.next_job;
         g.next_job += 1;
@@ -250,6 +256,7 @@ impl CampaignQueue {
             );
             g.completed.push_back((id, result, true));
             drop(g);
+            igr_obs::Registry::global().counter_add("queue.cache_hit", 1);
             self.shared.done.notify_all();
             return (id, false);
         }
@@ -279,6 +286,8 @@ impl CampaignQueue {
                     hash,
                 });
             }
+            drop(g);
+            igr_obs::Registry::global().counter_add("queue.coalesce", 1);
             return (id, true);
         }
 
@@ -292,6 +301,8 @@ impl CampaignQueue {
                 waiters: vec![id],
                 running: false,
                 priority,
+                enqueued: Instant::now(),
+                started: None,
             },
         );
         g.jobs.insert(
@@ -322,6 +333,7 @@ impl CampaignQueue {
 
     /// Where is this job now? `None` for an unknown id.
     pub fn poll(&self, id: JobId) -> Option<JobState> {
+        igr_obs::Registry::global().counter_add("queue.poll", 1);
         let g = lock(&self.shared);
         let job = g.jobs.get(&id)?;
         Some(match &job.phase {
@@ -372,6 +384,7 @@ impl CampaignQueue {
             g.outstanding -= 1;
         }
         g.jobs.get_mut(&id).expect("checked above").phase = JobPhase::Cancelled;
+        igr_obs::Registry::global().counter_add("queue.cancel", 1);
         if drop_execution {
             drop(g);
             // Wake any wait_all() blocked on the outstanding count.
@@ -576,6 +589,9 @@ fn pop_execution(g: &mut Inner) -> Option<(u64, ScenarioSpec)> {
         if let Some(exec) = g.executions.get_mut(&entry.hash) {
             if !exec.running && entry.priority == exec.priority {
                 exec.running = true;
+                exec.started = Some(Instant::now());
+                igr_obs::Registry::global()
+                    .record_duration("queue.time_in_queue", exec.enqueued.elapsed());
                 return Some((entry.hash, exec.spec.clone()));
             }
         }
@@ -590,6 +606,24 @@ fn complete_execution(shared: &Shared, hash: u64, result: ScenarioResult) {
     let Some(exec) = g.executions.remove(&hash) else {
         return;
     };
+    let obs = igr_obs::Registry::global();
+    if let Some(started) = exec.started {
+        obs.record_duration("queue.exec_latency", started.elapsed());
+    }
+    if !result.status.is_ok() {
+        // run_scenario_caught_with turns worker panics into Failed results;
+        // a failure counter split by cause keeps the fleet dashboard honest.
+        let panicked = matches!(&result.status, crate::report::RunStatus::Failed(m)
+            if m.contains("panicked"));
+        obs.counter_add(
+            if panicked {
+                "queue.panic"
+            } else {
+                "queue.failed"
+            },
+            1,
+        );
+    }
     g.store.insert(hash, result);
     g.executed += 1;
     let arc = Arc::clone(g.store.peek(hash).expect("just inserted"));
@@ -725,6 +759,30 @@ mod tests {
         assert_eq!(len, 1);
         assert_eq!(misses, 1, "the first submission's planning miss");
         assert_eq!(hits, 1, "the coalesced waiter counts as a hit");
+    }
+
+    #[test]
+    fn queue_metrics_feed_the_global_registry() {
+        // The registry is process-global and cumulative, so assert on
+        // deltas — other tests in this binary also record into it.
+        let reg = igr_obs::Registry::global();
+        let before = reg.snapshot();
+        let q = CampaignQueue::manual(ResultStore::new());
+        let a = q.submit(&quick(40), 0);
+        let _b = q.submit(&quick(40), 0); // coalesces onto a's execution
+        q.run_next();
+        let _ = q.poll(a);
+        let after = reg.snapshot();
+        let dc = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        let dh = |name: &str| {
+            after.histogram(name).map_or(0, |h| h.count)
+                - before.histogram(name).map_or(0, |h| h.count)
+        };
+        assert!(dc("queue.submit") >= 2, "both submissions counted");
+        assert!(dc("queue.coalesce") >= 1, "the duplicate coalesced");
+        assert!(dc("queue.poll") >= 1);
+        assert!(dh("queue.time_in_queue") >= 1, "claimed execution timed");
+        assert!(dh("queue.exec_latency") >= 1, "completed execution timed");
     }
 
     #[test]

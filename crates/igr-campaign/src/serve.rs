@@ -47,8 +47,8 @@
 
 use crate::exec::ExecConfig;
 use crate::protocol::{
-    ErrorCode, Request, Response, ServerStats, StreamedResult, WireError, WireJobState,
-    PROTO_VERSION,
+    ErrorCode, Request, Response, ServerMetrics, ServerStats, StreamedResult, WireError,
+    WireJobState, PROTO_VERSION,
 };
 use crate::queue::{CampaignQueue, JobId, JobState};
 use crate::spec::{ScenarioSpec, CONTENT_HASH_VERSION};
@@ -499,6 +499,13 @@ fn handle_request(
             )?;
             Ok(Flow::Continue)
         }
+        Request::Metrics => {
+            send(
+                writer,
+                Response::Metrics(ServerMetrics::from_global_registry()),
+            )?;
+            Ok(Flow::Continue)
+        }
         Request::Compact => match queue.compact_store() {
             Ok(Some(stats)) => {
                 send(
@@ -659,6 +666,19 @@ impl CampaignClient {
     pub fn stats(&mut self) -> io::Result<ServerStats> {
         match self.rpc(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Live telemetry snapshot: queue counters plus latency histograms.
+    ///
+    /// METRICS is an additive v2 verb (see `docs/PROTOCOL.md` §6): against
+    /// an older server this fails with `unknown-op`, which is
+    /// request-fatal only — the connection survives.
+    pub fn metrics(&mut self) -> io::Result<ServerMetrics> {
+        match self.rpc(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
             Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
             other => Err(unexpected(&other)),
         }

@@ -51,6 +51,7 @@ impl CartComm {
         lo_send: &[T],
         hi_send: &[T],
     ) -> (Option<Vec<T>>, Option<Vec<T>>) {
+        let _sp = igr_obs::span!("comm.halo");
         let lo = self.neighbor(axis, -1);
         let hi = self.neighbor(axis, 1);
         // Tags are directional in *flight* direction: a message traveling

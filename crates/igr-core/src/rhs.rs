@@ -306,6 +306,7 @@ pub fn accumulate_fluxes<R: Real, S: Storage<R>>(p: &FluxParams<'_, R, S>, rhs: 
                 return;
             }
             let off = l0 as usize * sxy;
+            let _sp = igr_obs::span!("flux.slab");
             let mut scratch = Scratch::new(shape, p.kernel);
             process_block(p, chunks, off, 0..shape.ny as i32, k0..k1, &mut scratch);
         });
@@ -326,6 +327,7 @@ pub fn accumulate_fluxes<R: Real, S: Storage<R>>(p: &FluxParams<'_, R, S>, rhs: 
                 return;
             }
             let off = l0 as usize * sx;
+            let _sp = igr_obs::span!("flux.slab");
             let mut scratch = Scratch::new(shape, p.kernel);
             process_block(p, chunks, off, j0..j1, 0..1, &mut scratch);
         });
@@ -385,6 +387,9 @@ pub fn par_over_uneven_chunks<R: Real, S: Storage<R>>(
     sizes: &[usize],
     f: impl Fn(usize, [&mut [S::Packed]; NV]) + Sync,
 ) {
+    // The span covers the full fork-join, so (pool.dispatch − Σ flux.slab)
+    // is the scheduling + join overhead the scaling work needs to see.
+    let _sp = igr_obs::span!("pool.dispatch");
     let [r0, r1, r2, r3, r4] = rhs.split_mut_packed();
     r0.par_uneven_chunks_mut(sizes.to_vec())
         .zip(r1.par_uneven_chunks_mut(sizes.to_vec()))

@@ -181,7 +181,10 @@ impl<R: Real, S: Storage<R>> IgrScheme<R, S> {
             KernelPath::Fused => compute_igr_source,
             KernelPath::Reference => compute_igr_source_reference,
         };
-        source(q, &self.domain, self.alpha, &mut self.igr_rhs);
+        {
+            let _sp = igr_obs::span!("igr.source");
+            source(q, &self.domain, self.alpha, &mut self.igr_rhs);
+        }
         let sweeps = if self.warm {
             self.cfg.sweeps
         } else {
@@ -189,7 +192,11 @@ impl<R: Real, S: Storage<R>> IgrScheme<R, S> {
         };
         self.warm = true;
         for _ in 0..sweeps {
-            ghost.fill_scalar(&mut self.sigma);
+            {
+                let _sp = igr_obs::span!("ghost.sigma");
+                ghost.fill_scalar(&mut self.sigma);
+            }
+            let _sp = igr_obs::span!("sigma.sweep");
             match self.cfg.elliptic {
                 EllipticKind::Jacobi => {
                     let tmp = self.sigma_tmp.as_mut().expect("Jacobi requires sigma_tmp");
@@ -218,6 +225,7 @@ impl<R: Real, S: Storage<R>> IgrScheme<R, S> {
                 }
             }
         }
+        let _sp = igr_obs::span!("ghost.sigma");
         ghost.fill_scalar(&mut self.sigma);
     }
 }
@@ -244,9 +252,13 @@ impl<R: Real, S: Storage<R>> RhsScheme<R, S> for IgrScheme<R, S> {
         rhs: &mut State<R, S>,
         ghost: &mut dyn GhostOps<R, S>,
     ) {
-        ghost.fill_state(q, t);
+        {
+            let _sp = igr_obs::span!("ghost.fill_state");
+            ghost.fill_state(q, t);
+        }
         let use_sigma = self.alpha > 0.0;
         if use_sigma {
+            let _sp = igr_obs::span!("sigma.solve");
             self.solve_sigma(q, ghost);
         }
         rhs.zero();
@@ -261,6 +273,7 @@ impl<R: Real, S: Storage<R>> RhsScheme<R, S> for IgrScheme<R, S> {
             use_sigma,
         )
         .with_kernel(self.cfg.kernel);
+        let _sp = igr_obs::span!("flux.sweep");
         accumulate_fluxes(&params, rhs);
     }
 
@@ -376,7 +389,11 @@ impl<R: Real, S: Storage<R>, Sch: RhsScheme<R, S>, G: GhostOps<R, S>> Solver<R, 
 
     /// Advance one step. Returns the step record or the detected failure.
     pub fn step(&mut self) -> Result<StepInfo, SolverError> {
-        let dt = self.fixed_dt.unwrap_or_else(|| self.stable_dt());
+        let _sp_step = igr_obs::span!("solver.step");
+        let dt = self.fixed_dt.unwrap_or_else(|| {
+            let _sp = igr_obs::span!("solver.cfl");
+            self.stable_dt()
+        });
         if !(dt > 0.0 && dt.is_finite()) {
             return Err(SolverError::DegenerateDt {
                 step: self.step_count,

@@ -1,0 +1,645 @@
+#![deny(missing_docs)]
+//! Phase-scoped tracing and metrics for the IGR workspace.
+//!
+//! The paper grounds its scaling claims in phase-level timing (grind time
+//! per step, broken down by kernel). This crate is the workspace's
+//! equivalent: a zero-dependency tracing + metrics layer that every other
+//! crate can lean on without perturbing the numerics.
+//!
+//! Three pieces:
+//!
+//! * [`Span`] — an RAII phase timer. [`span!`] opens one; dropping it
+//!   records the elapsed wall time under the phase name. When tracing is
+//!   disabled (the default) entering a span is a single relaxed atomic
+//!   load and **no clock is read** — cheap enough for per-step hot paths.
+//! * [`Registry`] — a process-global, thread-safe store of named counters
+//!   and log₂-bucketed duration histograms, snapshot-able at any time.
+//! * Exporters — [`Registry::export_jsonl`] (append-only JSON-lines event
+//!   log) and [`Registry::export_chrome_trace`] (a `trace.json` loadable
+//!   in `chrome://tracing` / Perfetto).
+//!
+//! Gating contract: **spans** are gated by [`enable`]/[`disable`] so the
+//! solver hot path stays untouched by default. Direct [`Registry`] calls
+//! ([`Registry::counter_add`], [`Registry::record_duration`]) are always
+//! live — they sit on cold paths (queue bookkeeping, server verbs) where
+//! the cost is irrelevant and the data must always be servable over the
+//! wire. Nothing in this crate reads or writes solver state, so enabling
+//! tracing can never change a floating-point result; the determinism
+//! suite pins that.
+//!
+//! See `docs/OBSERVABILITY.md` for the span taxonomy and format specs.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Global gate for span recording. Relaxed is enough: the flag is a
+/// coarse on/off toggled around whole runs, not a synchronization edge.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic source for compact per-thread ids in trace output.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of log₂ buckets per histogram: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` nanoseconds, so 64 buckets span ns to centuries.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Hard cap on buffered trace events; beyond it events are counted as
+/// dropped rather than growing without bound.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+/// Turn span recording on. Idempotent; callable from any thread.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn span recording off (the default). Already-recorded data stays in
+/// the registry until [`Registry::reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Compact id of the calling thread, stable for the thread's lifetime.
+/// Ids are assigned in first-use order starting at 1.
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Open a phase span: `let _sp = igr_obs::span!("flux.sweep");`.
+///
+/// Bind the result to a named variable — `let _ = span!(..)` drops it
+/// immediately and times nothing. The argument must be a `&'static str`;
+/// phase names are interned by pointer-free static lifetime, not by a
+/// string table.
+#[macro_export]
+macro_rules! span {
+    ($phase:expr) => {
+        $crate::Span::enter($phase)
+    };
+}
+
+/// RAII phase timer. Created by [`span!`] / [`Span::enter`]; on drop,
+/// records the elapsed wall time into the global [`Registry`] histogram
+/// for its phase, plus a trace event when event capture is on.
+///
+/// When tracing is disabled at `enter` time the span is inert: no clock
+/// read, no allocation, and drop is a no-op.
+#[must_use = "a span dropped immediately times nothing; bind it to a named variable"]
+pub struct Span {
+    /// Phase name + entry instant; `None` for the disabled fast path.
+    armed: Option<(&'static str, Instant)>,
+}
+
+impl Span {
+    /// Start timing `phase` if tracing is enabled; otherwise return an
+    /// inert span. This is the compile-cheap entry point behind [`span!`].
+    #[inline]
+    pub fn enter(phase: &'static str) -> Span {
+        if !enabled() {
+            return Span { armed: None };
+        }
+        Span {
+            armed: Some((phase, Instant::now())),
+        }
+    }
+
+    /// Whether this span is actually timing (tracing was enabled when it
+    /// was entered).
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((phase, start)) = self.armed.take() {
+            Registry::global().finish_span(phase, start);
+        }
+    }
+}
+
+/// One completed span occurrence, as buffered for the exporters.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Phase name.
+    pub name: &'static str,
+    /// Start time in nanoseconds since the registry epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Compact id of the recording thread (see [`thread_id`]).
+    pub tid: u64,
+}
+
+/// A log₂-bucketed duration histogram (internal accumulation form).
+#[derive(Clone, Debug)]
+struct Hist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// Bucket index for a duration of `ns` nanoseconds: ⌊log₂ ns⌋, with 0 ns
+/// landing in bucket 0.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns <= 1 {
+        0
+    } else {
+        (63 - ns.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive lower bound of histogram bucket `i`, in nanoseconds.
+pub fn bucket_lo_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Point-in-time copy of one histogram, cheap to serialize.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSnapshot {
+    /// Histogram (phase) name.
+    pub name: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations, nanoseconds (saturating).
+    pub total_ns: u64,
+    /// Smallest recorded duration, nanoseconds.
+    pub min_ns: u64,
+    /// Largest recorded duration, nanoseconds.
+    pub max_ns: u64,
+    /// Non-empty buckets as `(lower_bound_ns, count)`, ascending. The
+    /// bucket spans `[lower_bound_ns, 2*max(lower_bound_ns,1))`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean recorded duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counters as `(name, value)`, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<HistSnapshot>,
+    /// Events dropped because the buffer hit [`MAX_EVENTS`].
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Everything mutable behind one lock: span recording is only on the hot
+/// path when tracing is *enabled*, where a short critical section is an
+/// acceptable price for a dependency-free implementation.
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+    events: Vec<Event>,
+    dropped_events: u64,
+}
+
+/// Thread-safe store of counters, histograms, and buffered trace events.
+///
+/// Use [`Registry::global`] — the process-wide instance every span and
+/// instrumented subsystem feeds. Fresh instances exist for tests.
+pub struct Registry {
+    epoch: Instant,
+    capture_events: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry with its epoch at "now". Event capture
+    /// starts off.
+    pub fn new() -> Registry {
+        Registry {
+            epoch: Instant::now(),
+            capture_events: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                hists: BTreeMap::new(),
+                events: Vec::new(),
+                dropped_events: 0,
+            }),
+        }
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// A metrics registry shrugs off poisoning: a panicking recorder
+    /// leaves at worst a torn-but-valid set of numbers, never torn data
+    /// structures (every mutation is a plain field update).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Turn buffered trace-event capture on or off. Only meaningful when
+    /// spans are enabled; capture costs one `Vec` push per span.
+    pub fn set_capture_events(&self, on: bool) {
+        self.capture_events.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether trace-event capture is on.
+    pub fn capturing_events(&self) -> bool {
+        self.capture_events.load(Ordering::Relaxed)
+    }
+
+    /// Add `n` to the named counter (creating it at 0). Always live —
+    /// not gated by [`enabled`]; see the crate docs for the contract.
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        let mut g = self.lock();
+        *g.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Record one duration into the named histogram. Always live.
+    pub fn record_duration(&self, name: &'static str, d: Duration) {
+        let ns = saturating_ns(d);
+        self.lock()
+            .hists
+            .entry(name)
+            .or_insert_with(Hist::new)
+            .record(ns);
+    }
+
+    /// Close the books on a span that started at `start`: histogram
+    /// update plus (when capturing) a buffered trace event.
+    fn finish_span(&self, phase: &'static str, start: Instant) {
+        let dur = start.elapsed();
+        let ns = saturating_ns(dur);
+        let capture = self.capturing_events();
+        // Resolve timestamps outside the lock; only map/buffer updates inside.
+        let ts_ns = if capture {
+            saturating_ns(start.duration_since(self.epoch))
+        } else {
+            0
+        };
+        let tid = if capture { thread_id() } else { 0 };
+        let mut g = self.lock();
+        g.hists.entry(phase).or_insert_with(Hist::new).record(ns);
+        if capture {
+            if g.events.len() < MAX_EVENTS {
+                g.events.push(Event {
+                    name: phase,
+                    ts_ns,
+                    dur_ns: ns,
+                    tid,
+                });
+            } else {
+                g.dropped_events += 1;
+            }
+        }
+    }
+
+    /// Copy out every counter and histogram. Events are *not* included —
+    /// they go through the exporters.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.lock();
+        Snapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: g
+                .hists
+                .iter()
+                .map(|(k, h)| HistSnapshot {
+                    name: k.to_string(),
+                    count: h.count,
+                    total_ns: h.total_ns,
+                    min_ns: if h.count == 0 { 0 } else { h.min_ns },
+                    max_ns: h.max_ns,
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| **c > 0)
+                        .map(|(i, c)| (bucket_lo_ns(i), *c))
+                        .collect(),
+                })
+                .collect(),
+            dropped_events: g.dropped_events,
+        }
+    }
+
+    /// Number of currently buffered trace events.
+    pub fn event_count(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Clear counters, histograms, buffered events, and the drop count.
+    /// The epoch and the capture/enable flags are left alone.
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        g.counters.clear();
+        g.hists.clear();
+        g.events.clear();
+        g.dropped_events = 0;
+    }
+
+    /// Write the buffered events as an append-only JSON-lines log: one
+    /// `{"type":"span",...}` object per event (timestamps/durations in
+    /// microseconds), then one `{"type":"counter",...}` line per counter,
+    /// and a final `{"type":"meta",...}` summary line.
+    pub fn export_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let g = self.lock();
+        for e in &g.events {
+            writeln!(
+                w,
+                "{{\"type\":\"span\",\"name\":{},\"ts_us\":{},\"dur_us\":{},\"tid\":{}}}",
+                json_str(e.name),
+                us(e.ts_ns),
+                us(e.dur_ns),
+                e.tid
+            )?;
+        }
+        for (name, v) in &g.counters {
+            writeln!(
+                w,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+                json_str(name),
+                v
+            )?;
+        }
+        writeln!(
+            w,
+            "{{\"type\":\"meta\",\"events\":{},\"dropped_events\":{}}}",
+            g.events.len(),
+            g.dropped_events
+        )
+    }
+
+    /// Write the buffered events as a `chrome://tracing`-compatible
+    /// `trace.json`: a JSON array of complete (`"ph":"X"`) duration
+    /// events with microsecond timestamps. Load it via `chrome://tracing`
+    /// or <https://ui.perfetto.dev>.
+    pub fn export_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let g = self.lock();
+        write!(w, "[")?;
+        for (i, e) in g.events.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(
+                w,
+                "\n{{\"name\":{},\"cat\":\"igr\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                json_str(e.name),
+                us(e.ts_ns),
+                us(e.dur_ns),
+                e.tid
+            )?;
+        }
+        writeln!(w, "\n]")
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+/// Nanoseconds of a `Duration`, saturating at `u64::MAX` (≈ 584 years —
+/// only reachable through clock bugs, which should not panic a solver).
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds → microseconds rendered with three decimals, as chrome
+/// trace viewers expect (`ts`/`dur` are in microseconds).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Minimal JSON string encoder for phase/counter names (quotes,
+/// backslashes, and control characters escaped).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Serialize tests that touch the global enable flag / registry.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _x = exclusive();
+        disable();
+        let s = Span::enter("test.phase");
+        assert!(!s.is_armed());
+    }
+
+    #[test]
+    fn disabled_span_overhead_is_near_zero() {
+        let _x = exclusive();
+        disable();
+        // The disabled path is one relaxed load + a None write. Budget it
+        // generously — 10M spans in under a second is 100 ns each, two
+        // orders of magnitude above the real cost, so the test is stable
+        // under CI noise while still catching an accidental clock read or
+        // lock acquisition on the fast path.
+        let n: u64 = 10_000_000;
+        let t0 = Instant::now();
+        for i in 0..n {
+            let sp = span!("overhead.probe");
+            // Keep the optimizer honest: observe the span.
+            if sp.is_armed() {
+                panic!("span armed while disabled at iter {i}");
+            }
+        }
+        let per = t0.elapsed().as_nanos() / n as u128;
+        assert!(per < 100, "disabled span cost {per} ns/call, want < 100");
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let _x = exclusive();
+        let reg = Registry::global();
+        reg.reset();
+        enable();
+        {
+            let _sp = span!("test.sleep");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        disable();
+        let snap = reg.snapshot();
+        let h = snap.histogram("test.sleep").expect("histogram recorded");
+        assert_eq!(h.count, 1);
+        assert!(h.total_ns >= 2_000_000, "slept 2 ms, saw {} ns", h.total_ns);
+        assert!(h.min_ns <= h.max_ns);
+        assert_eq!(h.buckets.iter().map(|(_, c)| c).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn counters_and_durations_are_always_live() {
+        let _x = exclusive();
+        let reg = Registry::global();
+        reg.reset();
+        disable(); // counters are not gated
+        reg.counter_add("test.counter", 3);
+        reg.counter_add("test.counter", 4);
+        reg.record_duration("test.dur", Duration::from_micros(5));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.counter"), Some(7));
+        assert_eq!(snap.histogram("test.dur").unwrap().count, 1);
+    }
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_lo_ns(0), 0);
+        assert_eq!(bucket_lo_ns(10), 1024);
+    }
+
+    #[test]
+    fn exporters_emit_valid_shapes() {
+        let _x = exclusive();
+        let reg = Registry::global();
+        reg.reset();
+        reg.set_capture_events(true);
+        enable();
+        for _ in 0..3 {
+            let _sp = span!("test.export");
+        }
+        disable();
+        reg.set_capture_events(false);
+
+        let mut jsonl = Vec::new();
+        reg.export_jsonl(&mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        let spans = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"span\""))
+            .count();
+        assert_eq!(spans, 3, "jsonl: {text}");
+        assert!(text.lines().last().unwrap().contains("\"type\":\"meta\""));
+
+        let mut trace = Vec::new();
+        reg.export_chrome_trace(&mut trace).unwrap();
+        let text = String::from_utf8(trace).unwrap();
+        assert!(text.trim_start().starts_with('['), "trace: {text}");
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(text.matches("\"name\":\"test.export\"").count(), 3);
+    }
+
+    #[test]
+    fn event_capture_off_buffers_nothing() {
+        let _x = exclusive();
+        let reg = Registry::global();
+        reg.reset();
+        reg.set_capture_events(false);
+        enable();
+        {
+            let _sp = span!("test.nocapture");
+        }
+        disable();
+        assert_eq!(reg.event_count(), 0);
+        // ...but the histogram still sees it.
+        assert_eq!(reg.snapshot().histogram("test.nocapture").unwrap().count, 1);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn microsecond_rendering() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1_234), "1.234");
+        assert_eq!(us(2_000_001), "2000.001");
+    }
+}

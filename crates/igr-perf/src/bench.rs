@@ -21,7 +21,8 @@
 //!       "cells": 32768, "precision": "fp32", "kernel": "fused",
 //!       "threads": 8, "warmup": 2, "steps": 10,
 //!       "ns_per_cell_step": 123.4, "cells_per_s": 8.1e6,
-//!       "speedup_vs_1t": 3.7, "speedup_vs_reference": 1.8
+//!       "speedup_vs_1t": 3.7, "speedup_vs_reference": 1.8,
+//!       "phases": {"flux.sweep": 0.81, "sigma.solve": 0.42}
 //!     }
 //!   ]
 //! }
@@ -30,7 +31,9 @@
 //! `speedup_vs_1t` is grind(1 thread)/grind(this record) at otherwise equal
 //! configuration; `speedup_vs_reference` is grind(reference kernel)/grind
 //! (this record) at equal configuration. Both are omitted (JSON `null`) when
-//! the partner measurement is not part of the run.
+//! the partner measurement is not part of the run. `phases` is an additive,
+//! fully optional key (see [`GrindRecord::phases`]): a per-phase wall-time
+//! breakdown written only by tracing-enabled runs and ignored when absent.
 
 use std::fmt::Write as _;
 
@@ -68,6 +71,12 @@ pub struct GrindRecord {
     pub speedup_vs_1t: Option<f64>,
     /// grind(reference kernel) / grind(self), same case/precision/threads.
     pub speedup_vs_reference: Option<f64>,
+    /// Optional per-phase wall-time breakdown of the timed window:
+    /// `(phase name, seconds)` pairs, name-sorted, from the `igr-obs` span
+    /// registry. Present only when the measuring run had tracing enabled
+    /// (`bench_grind --trace-out`); an **additive** schema key — documents
+    /// without it (including every pre-existing baseline) parse as `None`.
+    pub phases: Option<Vec<(String, f64)>>,
 }
 
 impl GrindRecord {
@@ -143,6 +152,16 @@ impl GrindReport {
                 "\"speedup_vs_reference\": {}",
                 json_opt(r.speedup_vs_reference)
             );
+            if let Some(phases) = &r.phases {
+                s.push_str(", \"phases\": {");
+                for (k, (name, secs)) in phases.iter().enumerate() {
+                    if k > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "{}: {}", json_str(name), json_f64(*secs));
+                }
+                s.push('}');
+            }
             s.push('}');
             if i + 1 < self.results.len() {
                 s.push(',');
@@ -186,6 +205,17 @@ impl GrindReport {
                 cells_per_s: get_f64(o, "cells_per_s")?,
                 speedup_vs_1t: get_opt_f64(o, "speedup_vs_1t"),
                 speedup_vs_reference: get_opt_f64(o, "speedup_vs_reference"),
+                // Tolerant decode: absent, null, or malformed → None, so
+                // older documents (and future writers that drop the key)
+                // keep parsing.
+                phases: find(o, "phases").and_then(Json::as_obj).map(|p| {
+                    p.iter()
+                        .filter_map(|(name, v)| match v {
+                            Json::Num(n) => Some((name.clone(), *n)),
+                            _ => None,
+                        })
+                        .collect()
+                }),
             });
         }
         Ok(GrindReport {
@@ -520,6 +550,7 @@ mod tests {
             cells_per_s: 1e9 / ns,
             speedup_vs_1t: (threads > 1).then_some(1.5),
             speedup_vs_reference: None,
+            phases: None,
         }
     }
 
@@ -553,6 +584,42 @@ mod tests {
         assert_eq!(r.results.len(), 1);
         assert_eq!(r.results[0].speedup_vs_1t, None);
         assert_eq!(r.results[0].speedup_vs_reference, Some(2.25));
+    }
+
+    #[test]
+    fn phase_breakdown_round_trips_and_stays_optional() {
+        let mut report = GrindReport::new(8, true);
+        let mut with = record("instrumented", "fused", 1, 100.0);
+        with.phases = Some(vec![
+            ("flux.sweep".into(), 0.8125),
+            ("sigma.solve".into(), 0.40625),
+            ("solver.step".into(), 1.5),
+        ]);
+        report.results.push(with.clone());
+        report.results.push(record("plain", "fused", 1, 100.0));
+
+        let text = report.to_json();
+        assert!(
+            text.contains("\"phases\""),
+            "instrumented record carries it"
+        );
+        let back = GrindReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.results[0].phases, with.phases);
+        assert_eq!(back.results[1].phases, None, "additive key stays optional");
+
+        // Tolerant decode: null and junk entries degrade, never fail.
+        let odd = r#"{
+            "version": 1, "host_threads": 1,
+            "results": [{"kernel": "fused", "case": "c", "nx": 8, "ny": 1,
+                "nz": 1, "cells": 8, "precision": "fp64", "threads": 1,
+                "warmup": 0, "steps": 3, "ns_per_cell_step": 5.5,
+                "cells_per_s": 1.0, "speedup_vs_1t": null,
+                "speedup_vs_reference": null,
+                "phases": {"good": 1.25, "bad": "not a number"}}]
+        }"#;
+        let r = GrindReport::parse(odd).unwrap();
+        assert_eq!(r.results[0].phases, Some(vec![("good".into(), 1.25)]));
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Tracing: run an instrumented three-engine plume, print the per-phase
+//! time breakdown, and emit a chrome://tracing `trace.json` — then validate
+//! the file so CI can gate on the whole observability path end to end.
+//!
+//! ```bash
+//! cargo run --release --example tracing [trace.json]
+//! # then open the file in chrome://tracing or https://ui.perfetto.dev
+//! ```
+
+use igr::obs::Registry;
+use igr::prelude::*;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".into());
+
+    // 1. A real multi-engine workload: three Mach-10 plumes on a 2-D slice.
+    let case = cases::three_engine_2d(64, 1e-3, 42);
+    let mut solver = case.igr_solver::<f64, StoreF64>();
+
+    // 2. Drive it with both observability observers attached. Their
+    //    constructors flip the global span switch on, so every phase of the
+    //    hot path (ghost fills, Σ sweeps, IGR source, flux slabs, pool
+    //    dispatch) starts timing itself from the first step.
+    let mut history = History::new();
+    let summary = Driver::new()
+        .max_steps(12)
+        .observe(Cadence::EverySteps(4), MetricsObserver::new(&mut history))
+        .observe(Cadence::EveryStep, TraceObserver::chrome(&out))
+        .run(&mut solver)
+        .expect("three-engine case stays finite");
+    println!("advanced {} steps ({:?})", summary.steps, summary.stop);
+
+    // 3. The registry now holds one duration histogram per phase; the
+    //    History holds the same breakdown sampled at observer cadence.
+    let snap = Registry::global().snapshot();
+    println!("\nper-phase totals (whole run):");
+    let mut hists: Vec<_> = snap.histograms.iter().collect();
+    hists.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
+    for h in &hists {
+        println!(
+            "  {:<18} {:>7} spans  {:>10.3} ms total  {:>9.1} us mean",
+            h.name,
+            h.count,
+            h.total_ns as f64 * 1e-6,
+            h.mean_ns() as f64 * 1e-3,
+        );
+    }
+    println!(
+        "\nobserver samples: {} (CSV below)",
+        history.phase_samples.len()
+    );
+    for line in history.phases_to_csv().lines().take(8) {
+        println!("  {line}");
+    }
+
+    // 4. Validate what CI archives: the trace file must be a JSON array of
+    //    complete ("ph":"X") events covering the expected hot-path phases,
+    //    and the registry must have seen at least five distinct phases.
+    let text = std::fs::read_to_string(&out).expect("trace file written");
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "trace.json must be a JSON array"
+    );
+    assert!(text.contains("\"ph\":\"X\""), "complete-event spans");
+    for phase in ["solver.step", "sigma.solve", "flux.sweep"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "trace must contain phase '{phase}'"
+        );
+    }
+    let live = hists.iter().filter(|h| h.count > 0).count();
+    assert!(live >= 5, "expected >= 5 live phase histograms, got {live}");
+    assert!(
+        !history.phase_samples.is_empty(),
+        "MetricsObserver must have sampled"
+    );
+    println!(
+        "\nOK: {} spans in {out} — open it in chrome://tracing or ui.perfetto.dev",
+        Registry::global().event_count()
+    );
+}

@@ -28,6 +28,7 @@
 //! | [`perf`] | `igr-perf` | machine models: grind time, scaling, energy, capacity |
 //! | [`species`] | `igr-species` | two-fluid five-equation model with IGR (advected α) |
 //! | [`campaign`] | `igr-campaign` | scenario DSL, sweeps, sharded cached ensemble execution |
+//! | [`obs`] | `igr-obs` | phase-scoped tracing, metrics registry, trace exporters |
 
 pub use igr_app as app;
 pub use igr_baseline as baseline;
@@ -36,6 +37,7 @@ pub use igr_comm as comm;
 pub use igr_core as core;
 pub use igr_grid as grid;
 pub use igr_mem as mem;
+pub use igr_obs as obs;
 pub use igr_perf as perf;
 pub use igr_prec as prec;
 pub use igr_species as species;
@@ -45,8 +47,8 @@ pub mod prelude {
     pub use igr_app::cases::{self, CaseSetup};
     pub use igr_app::diagnostics::History;
     pub use igr_app::driver::{
-        Cadence, CheckpointObserver, DiagnosticsObserver, Driver, FnObserver, Probe, Steppable,
-        StopCondition, StopReason, VtkObserver,
+        Cadence, CheckpointObserver, DiagnosticsObserver, Driver, FnObserver, MetricsObserver,
+        Probe, Steppable, StopCondition, StopReason, TraceObserver, VtkObserver,
     };
     pub use igr_baseline::scheme::weno_solver;
     pub use igr_core::eos::Prim;

@@ -6,7 +6,7 @@
 
 use igr::campaign::{
     sweep, BaseCase, Campaign, CampaignClient, CampaignServer, ExecConfig, ResultStore,
-    ScenarioSpec, WireJobState,
+    ScenarioSpec, ServerMetrics, WireJobState,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -203,6 +203,48 @@ fn torn_connection_detaches_jobs_and_the_server_recovers() {
     client.shutdown_server().unwrap();
     let store = server.join();
     assert_eq!(store.len(), 1, "the torn client's result still persisted");
+}
+
+/// The METRICS verb serves live queue telemetry: after real work flows
+/// through the server, the wire answer carries the submit counter plus
+/// non-empty time-in-queue and execution-latency histograms — without
+/// anyone having opted into span tracing.
+#[test]
+fn metrics_verb_returns_queue_latency_histograms() {
+    let server = CampaignServer::bind("127.0.0.1:0", one_worker(), ResultStore::new()).unwrap();
+    let mut client = CampaignClient::connect(server.local_addr()).unwrap();
+
+    // The registry is process-global and other tests in this binary also
+    // push work through queues, so assert on deltas, not absolutes.
+    let before = client.metrics().unwrap();
+    let base = |m: &ServerMetrics, name: &str| m.histogram(name).map(|h| h.count).unwrap_or(0);
+
+    let ack = client.submit(&quick(24), 0).unwrap();
+    let results = client.stream(1, Duration::from_secs(120)).unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].job, ack.job);
+
+    let after = client.metrics().unwrap();
+    assert!(
+        after.counter("queue.submit").unwrap_or(0) > before.counter("queue.submit").unwrap_or(0),
+        "submit counter advanced over the wire"
+    );
+    for name in ["queue.time_in_queue", "queue.exec_latency"] {
+        let h = after
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram '{name}' missing from METRICS answer"));
+        assert!(
+            h.count > base(&before, name),
+            "'{name}' recorded the execution"
+        );
+        assert!(h.total_ns > 0, "'{name}' accumulated real time");
+        assert!(!h.buckets.is_empty(), "'{name}' has occupied buckets");
+        let bucket_total: u64 = h.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(bucket_total, h.count, "bucket counts sum to the total");
+    }
+
+    client.shutdown_server().unwrap();
+    server.join();
 }
 
 /// The COMPACT verb rewrites a persistent store over the wire.

@@ -84,6 +84,31 @@ fn f32_storage_threads_and_kernel_paths_are_bitwise_identical() {
 }
 
 #[test]
+fn span_tracing_never_perturbs_the_solution() {
+    // Observability is read-only by contract: running the identical case
+    // with igr-obs span tracing (and event capture) enabled must produce a
+    // bitwise-identical state to the untraced run. Spans only bracket
+    // phases with timers — they touch no solver data and no FP arithmetic.
+    let untraced = run_case::<f64, StoreF64>(KernelPath::Fused, EllipticKind::Jacobi, 4);
+
+    igr::obs::enable();
+    igr::obs::Registry::global().set_capture_events(true);
+    let traced = run_case::<f64, StoreF64>(KernelPath::Fused, EllipticKind::Jacobi, 4);
+    igr::obs::Registry::global().set_capture_events(false);
+    igr::obs::disable();
+
+    assert_bitwise_equal(&untraced, &traced, "tracing disabled vs enabled");
+    // And the traced run really was traced — the registry saw the phases.
+    let snap = igr::obs::Registry::global().snapshot();
+    for phase in ["solver.step", "sigma.solve", "flux.sweep"] {
+        assert!(
+            snap.histogram(phase).is_some_and(|h| h.count > 0),
+            "phase '{phase}' must have recorded spans"
+        );
+    }
+}
+
+#[test]
 fn red_black_elliptic_solve_is_thread_count_independent() {
     // The red–black Gauss–Seidel sweep writes Σ in place from parallel
     // tasks; its two-color partition must keep the full solver run bitwise

@@ -1,0 +1,106 @@
+//! Integration tests for the `igr-obs` observability stack: span tracing
+//! through the full solver hot path on a real many-engine workload, the
+//! `MetricsObserver`/`TraceObserver` driver integration, and the exporter
+//! formats. The bitwise no-perturbation contract lives in
+//! `tests/determinism.rs`; the wire-served METRICS verb in
+//! `tests/campaign_serve.rs`.
+
+use igr::app::diagnostics::History;
+use igr::app::driver::{Cadence, Driver, MetricsObserver, TraceObserver};
+use igr::app::{cases, jets::JetConditions};
+use igr::prec::StoreF64;
+use std::collections::BTreeSet;
+
+/// The acceptance run: a 33-engine row (the paper's Super Heavy count)
+/// advanced under the driver must populate per-phase duration histograms
+/// for at least five distinct solver phases, and the driver-side
+/// `History` must carry the same breakdown.
+#[test]
+fn thirty_three_engine_run_yields_at_least_five_phase_histograms() {
+    let case = cases::engine_row_2d(32, 33, JetConditions::mach10());
+    let mut solver = case.igr_solver::<f64, StoreF64>();
+    let mut hist = History::new();
+
+    Driver::new()
+        .max_steps(4)
+        .observe(Cadence::EverySteps(2), MetricsObserver::new(&mut hist))
+        .run(&mut solver)
+        .unwrap();
+
+    // Driver-side: the observer snapshotted per-phase deltas into History.
+    assert_eq!(
+        hist.phase_samples.len(),
+        2,
+        "cadence fired on steps 2 and 4"
+    );
+    let sampled: BTreeSet<&str> = hist
+        .phase_samples
+        .iter()
+        .flat_map(|s| s.phases.iter().map(|(n, _, _)| n.as_str()))
+        .collect();
+    assert!(
+        sampled.len() >= 5,
+        "expected >= 5 distinct phases in History, got {sampled:?}"
+    );
+
+    // Registry-side: the global histograms carry the same phases, with
+    // real durations (count > 0, monotone totals, buckets that add up).
+    let snap = igr::obs::Registry::global().snapshot();
+    let phases: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|h| sampled.contains(h.name.as_str()) && h.count > 0)
+        .collect();
+    assert!(
+        phases.len() >= 5,
+        "expected >= 5 per-phase histograms, got {:?}",
+        phases.iter().map(|h| &h.name).collect::<Vec<_>>()
+    );
+    for h in &phases {
+        assert!(h.total_ns > 0, "{}: zero accumulated time", h.name);
+        assert!(h.min_ns <= h.max_ns, "{}: min/max inverted", h.name);
+        let bucket_sum: u64 = h.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(bucket_sum, h.count, "{}: bucket counts drift", h.name);
+        assert!(h.mean_ns() >= h.min_ns, "{}: mean below min", h.name);
+    }
+    // The expected hot-path taxonomy is present by name, not just "any 5".
+    for expected in [
+        "solver.step",
+        "ghost.fill_state",
+        "sigma.solve",
+        "igr.source",
+        "sigma.sweep",
+        "flux.sweep",
+    ] {
+        assert!(
+            snap.histogram(expected).is_some_and(|h| h.count > 0),
+            "hot-path phase '{expected}' missing from the registry"
+        );
+    }
+}
+
+/// The JSONL exporter emits one machine-readable line per captured span
+/// plus a trailing meta line, and the chrome exporter a valid JSON array —
+/// both driven through `TraceObserver` on a real (small) run.
+#[test]
+fn trace_observer_emits_valid_chrome_trace_for_a_driver_run() {
+    let case = cases::steepening_wave(32, 0.2);
+    let mut solver = case.igr_solver::<f64, StoreF64>();
+    let path = std::env::temp_dir().join(format!("igr-obs-it-trace-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    Driver::new()
+        .max_steps(2)
+        .observe(Cadence::EveryStep, TraceObserver::chrome(&path))
+        .run(&mut solver)
+        .unwrap();
+    igr::obs::Registry::global().set_capture_events(false);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+    assert!(text.contains("\"ph\":\"X\""), "complete-event phases");
+    assert!(text.contains("\"name\":\"solver.step\""));
+    assert!(text.contains("\"tid\":"), "spans carry thread ids");
+    let _ = std::fs::remove_file(&path);
+}
