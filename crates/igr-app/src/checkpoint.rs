@@ -10,18 +10,24 @@
 //! elliptic solve on the same trajectory) and metadata to refuse
 //! mismatched restarts.
 
+use crate::actions::ActionLog;
 use igr_core::State;
 use igr_grid::{Field, GridShape};
 use igr_prec::{f16, Real, Storage};
 use std::io::{Read as _, Write as _};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes + format version.
 ///
 /// v3 (this format): the conserved-field count is explicit in the header, so
 /// one format serves the 5-field single-fluid state and the 7-field
 /// two-fluid state, and the frozen time step (grind runs pin `dt`) rides
-/// along so a resumed run replays the identical step sizes.
+/// along so a resumed run replays the identical step sizes. A run whose
+/// boundary state was mutated mid-flight appends its [`ActionLog`] as an
+/// `ACTLOG` trailer after the field payload (additive: action-free files
+/// are byte-identical to before the trailer existed, and old payload-only
+/// files still load).
 const MAGIC: &[u8; 8] = b"IGRCKPT\x03";
 /// Header: magic(8) + width-tag(1) + n-fields(1) + has-sigma(1) + dims(4×8)
 /// + t(8) + step(8) + fixed-dt(8, NaN = none).
@@ -114,6 +120,13 @@ pub struct Checkpoint {
     /// freezes `dt`; restoring it keeps a resumed run on the identical step
     /// sizes).
     pub fixed_dt: Option<f64>,
+    /// Actions applied to the run before this snapshot, in application
+    /// order. A resume replays these against the freshly built solver to
+    /// reconstruct boundary state the field payload does not carry (engine
+    /// knock-outs, gimbal ramps, backpressure changes). Empty for
+    /// action-free runs — and then the on-disk file is byte-identical to a
+    /// trailer-less checkpoint.
+    pub actions: ActionLog,
     bytes: Vec<u8>,
 }
 
@@ -175,31 +188,93 @@ impl Checkpoint {
             t,
             step,
             fixed_dt,
+            actions: ActionLog::new(),
             bytes,
         }
     }
 
-    /// Write to disk.
+    /// Attach the run's action log; it rides along in the `ACTLOG` trailer
+    /// on save and is replayed by controlled resumes.
+    pub fn with_actions(mut self, actions: ActionLog) -> Self {
+        self.actions = actions;
+        self
+    }
+
+    /// Write to disk. The action log, when non-empty, follows the field
+    /// payload as the `ACTLOG` trailer.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let mut f = std::fs::File::create(path)?;
         f.write_all(&self.bytes)?;
+        if !self.actions.is_empty() {
+            f.write_all(&self.actions.encode())?;
+        }
         Ok(())
     }
 
-    /// Read from disk (validation happens at [`Checkpoint::restore`]).
+    /// Write to disk atomically: a uniquely named temporary in the target
+    /// directory, then `rename` into place. This is the one checkpoint
+    /// writer shared by the autosave observer and controller-requested
+    /// snapshots, so two writers racing on the same `<hash>.ckpt` can never
+    /// interleave bytes — the last rename wins with a complete file.
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = path.as_ref();
+        let tmp = path.with_extension(format!(
+            "ckpt.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        self.save(&tmp)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Read from disk. The field payload's size is computed from the header
+    /// (the width tag doubles as the scalar byte width), anything after it
+    /// must be a valid `ACTLOG` trailer; full payload validation happens at
+    /// [`Checkpoint::restore`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let mut bytes = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
         if bytes.len() < HEADER || &bytes[..8] != MAGIC {
             return Err(CheckpointError::BadMagic);
         }
+        let width = bytes[OFF_WIDTH] as usize;
+        if !matches!(width, 2 | 4 | 8) {
+            return Err(CheckpointError::BadMagic);
+        }
         let t = f64::from_le_bytes(bytes[OFF_T..OFF_T + 8].try_into().unwrap());
         let step = u64::from_le_bytes(bytes[OFF_STEP..OFF_STEP + 8].try_into().unwrap()) as usize;
         let dt = f64::from_le_bytes(bytes[OFF_FIXED_DT..OFF_FIXED_DT + 8].try_into().unwrap());
+        let dim = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap()) as usize;
+        let shape = GridShape::new(
+            dim(OFF_DIMS),
+            dim(OFF_DIMS + 8),
+            dim(OFF_DIMS + 16),
+            dim(OFF_DIMS + 24),
+        );
+        let n_fields = bytes[OFF_NFIELDS] as usize + usize::from(bytes[OFF_SIGMA] != 0);
+        let expected = HEADER + n_fields * shape.n_total() * width;
+        if bytes.len() < expected {
+            return Err(CheckpointError::Mismatch(format!(
+                "file holds {} bytes, field payload needs {expected}",
+                bytes.len()
+            )));
+        }
+        let actions = if bytes.len() > expected {
+            ActionLog::decode(&bytes[expected..]).map_err(CheckpointError::Mismatch)?
+        } else {
+            ActionLog::new()
+        };
+        bytes.truncate(expected);
         Ok(Checkpoint {
             t,
             step,
             fixed_dt: (!dt.is_nan()).then_some(dt),
+            actions,
             bytes,
         })
     }
@@ -492,6 +567,80 @@ mod tests {
             loaded.restore_fields(subset, None),
             Err(CheckpointError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn action_trailer_round_trips_and_empty_log_changes_nothing() {
+        use crate::actions::{Action, ActionLog};
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let plain = Checkpoint::capture(&solver.q, None, 0.25, 4);
+        let p_plain = tmp("trail_plain.ckpt");
+        plain.save(&p_plain).unwrap();
+
+        // Empty log → byte-identical file, loads with an empty log.
+        let p_empty = tmp("trail_empty.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .with_actions(ActionLog::new())
+            .save(&p_empty)
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&p_plain).unwrap(),
+            std::fs::read(&p_empty).unwrap()
+        );
+        assert!(Checkpoint::load(&p_plain).unwrap().actions.is_empty());
+
+        // Non-empty log rides the trailer and restores bit-exactly — and
+        // the field payload still restores untouched.
+        let mut log = ActionLog::new();
+        log.record(3, 0.125, Action::EngineOut { engine: 1 });
+        log.record(
+            4,
+            f64::NAN,
+            Action::SetGimbal {
+                engine: 0,
+                target: [f64::INFINITY, -0.0],
+                rate: 0.5,
+            },
+        );
+        let p_log = tmp("trail_log.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .with_actions(log.clone())
+            .save(&p_log)
+            .unwrap();
+        let loaded = Checkpoint::load(&p_log).unwrap();
+        assert_eq!(loaded.actions, log);
+        let mut q2: State<f64, StoreF64> = State::zeros(case.domain.shape);
+        loaded.restore(&mut q2, None).unwrap();
+        assert_eq!(solver.q.max_diff(&q2), 0.0);
+
+        // Garbage after the payload is refused at load.
+        let mut bytes = std::fs::read(&p_plain).unwrap();
+        bytes.extend_from_slice(b"junk");
+        let p_junk = tmp("trail_junk.ckpt");
+        std::fs::write(&p_junk, &bytes).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&p_junk),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn save_atomic_leaves_only_the_final_file() {
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let ck = Checkpoint::capture(&solver.q, None, 0.5, 2);
+        let dir = std::env::temp_dir().join("igr_ckpt_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.ckpt");
+        ck.save_atomic(&path).unwrap();
+        ck.save_atomic(&path).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec!["snap.ckpt".to_string()], "no tmp residue");
+        assert_eq!(Checkpoint::load(&path).unwrap().step, 2);
     }
 
     #[test]

@@ -18,7 +18,14 @@
 //! * [`StopCondition`]s — `t_end` (never overshooting — the driver clips
 //!   the final steps exactly like the old `run_until`), max steps,
 //!   wall-clock budget, NaN/divergence guard, steady-state residual;
-//! * a progress/abort hook ([`Driver::on_progress`]).
+//! * a progress/abort hook ([`Driver::on_progress`]);
+//! * [`Controller`]s — the **act** phase of the two-phase loop. Observers
+//!   stay read-only; controllers return typed [`Action`] requests after
+//!   observing a step, and [`Driver::run_controlled`] applies them at the
+//!   step boundary through [`crate::actions::Actuate`], appending every
+//!   applied action to the driver's [`ActionLog`]. The log rides in
+//!   checkpoints, so [`Driver::resume_controlled`] replays a mutated run
+//!   bitwise (see docs/DRIVER.md "Controllers & determinism").
 //!
 //! ```
 //! use igr_app::cases;
@@ -40,9 +47,10 @@
 //! # let _ = summary;
 //! ```
 
+use crate::actions::{installed_jet_state, Action, ActionLog, Actuate};
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointScalar};
 use crate::diagnostics::{sample_state, History, Sample};
-use igr_core::solver::{GhostOps, RhsScheme, Solver, SolverError, StepInfo};
+use igr_core::solver::{BcGhostOps, GhostOps, RhsScheme, Solver, SolverError, StepInfo};
 use igr_core::IgrScheme;
 use igr_grid::Domain;
 use igr_prec::{Real, Storage};
@@ -405,6 +413,10 @@ pub enum DriverError {
     Io(std::io::Error),
     /// Checkpoint save/load/restore failed.
     Checkpoint(CheckpointError),
+    /// A controller-requested action could not be applied (unsupported by
+    /// the solver, parameters out of range, or `RequestCheckpoint` without
+    /// a configured [`Driver::checkpoint_to`] path).
+    Action(String),
 }
 
 impl std::fmt::Display for DriverError {
@@ -413,6 +425,7 @@ impl std::fmt::Display for DriverError {
             DriverError::Solver(e) => write!(f, "solver: {e}"),
             DriverError::Io(e) => write!(f, "observer I/O: {e}"),
             DriverError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            DriverError::Action(m) => write!(f, "action: {m}"),
         }
     }
 }
@@ -577,8 +590,11 @@ impl<P: ?Sized> Observer<P> for TraceObserver {
 }
 
 /// Autosaves a restart file. Each firing captures a full bit-exact
-/// [`Checkpoint`] and replaces the file *atomically* (write to `<path>.tmp`,
-/// then rename), so a crash mid-save leaves the previous restart intact.
+/// [`Checkpoint`] and replaces the file atomically through the one shared
+/// writer ([`Checkpoint::save_atomic`]: uniquely named tmp + rename), so a
+/// crash mid-save leaves the previous restart intact and a concurrent
+/// controller-requested snapshot on the same path can never interleave
+/// bytes with an autosave.
 pub struct CheckpointObserver {
     path: PathBuf,
     /// How many snapshots this observer has written.
@@ -602,9 +618,7 @@ impl CheckpointObserver {
 
 impl<P: Checkpointable + ?Sized> Observer<P> for CheckpointObserver {
     fn on_step(&mut self, sys: &P, _info: &StepInfo) -> Result<(), DriverError> {
-        let tmp = self.path.with_extension("ckpt.tmp");
-        sys.capture().save(&tmp)?;
-        std::fs::rename(&tmp, &self.path)?;
+        sys.capture().save_atomic(&self.path)?;
         self.saved += 1;
         Ok(())
     }
@@ -651,6 +665,154 @@ where
 {
     fn on_step(&mut self, sys: &P, info: &StepInfo) -> Result<(), DriverError> {
         (self.0)(sys, info)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controllers — the act phase
+// ---------------------------------------------------------------------------
+
+/// The act phase of the two-phase loop: after observing a step (same
+/// immutable view as an [`Observer`]), a controller returns the [`Action`]s
+/// it wants applied. The driver applies them **at the step boundary**, in
+/// the order returned, through [`Actuate`], and appends each applied action
+/// to the run's [`ActionLog`].
+///
+/// Determinism: a controller fired at a deterministic cadence
+/// ([`Cadence::EverySteps`] is absolute-step aligned) whose decisions are a
+/// pure function of `(sys, info)` yields the same action sequence on every
+/// run — and because the log replays on resume, an interrupted controlled
+/// run matches the uninterrupted one bitwise. Wall-clock cadences or
+/// stateful controllers forfeit that.
+pub trait Controller<P: ?Sized> {
+    /// Observe the post-step state and return the actions to apply now.
+    fn control(&mut self, sys: &P, info: &StepInfo) -> Vec<Action>;
+}
+
+/// A scripted controller: emits each `(step, action)` entry the first time
+/// the run reaches (or passes) that absolute step. The injected-fault
+/// workhorse — engine-out cascades and backpressure transients for tests
+/// and examples.
+pub struct ScheduledActions {
+    schedule: Vec<(usize, Action)>,
+    next: usize,
+}
+
+impl ScheduledActions {
+    /// Build from `(absolute step, action)` pairs; entries are applied in
+    /// step order (stable for equal steps).
+    pub fn new(mut schedule: Vec<(usize, Action)>) -> Self {
+        schedule.sort_by_key(|(s, _)| *s);
+        ScheduledActions { schedule, next: 0 }
+    }
+
+    /// Drop entries at or before `step` — for resumed runs, where the
+    /// checkpoint's replayed log already covers everything up to the
+    /// snapshot step.
+    pub fn skip_through(mut self, step: usize) -> Self {
+        while self.next < self.schedule.len() && self.schedule[self.next].0 <= step {
+            self.next += 1;
+        }
+        self
+    }
+}
+
+impl<P: ?Sized> Controller<P> for ScheduledActions {
+    fn control(&mut self, _sys: &P, info: &StepInfo) -> Vec<Action> {
+        let mut out = Vec::new();
+        while self.next < self.schedule.len() && self.schedule[self.next].0 <= info.step {
+            out.push(self.schedule[self.next].1.clone());
+            self.next += 1;
+        }
+        out
+    }
+}
+
+/// Proportional feedback gimbal controller on the probe-sampled
+/// thrust-asymmetry cost.
+///
+/// The cost signal is the flux-weighted backflow centroid of the base
+/// plane ([`crate::base::BaseHeatingReport::footprint_centroid`]): on a
+/// symmetric engine array it sits at the array centroid; an engine-out or
+/// gimbal imbalance pushes it off-center. The controller steers every
+/// engine's gimbal proportionally against that offset
+/// (`target = clamp(-gain · offset, ±max_angle)`), emitting
+/// [`Action::SetGimbal`] only when the correction exceeds `deadband`.
+///
+/// The controller is **stateless**: its output is a pure function of the
+/// observed state and the installed inflow profile, so a resumed run (which
+/// reconstructs the profile by replaying the action log) recomputes the
+/// identical commands — controlled resume stays bitwise.
+pub struct GimbalFeedbackController {
+    /// Proportional gain mapping centroid offset (domain units) to gimbal
+    /// angle (radians).
+    pub gain: f64,
+    /// Slew rate forwarded to [`Action::SetGimbal`]; 0 = instant retarget.
+    pub rate: f64,
+    /// Minimum command change (radians, per axis) worth acting on.
+    pub deadband: f64,
+    /// Gimbal authority limit (radians, per axis).
+    pub max_angle: f64,
+}
+
+impl GimbalFeedbackController {
+    /// A controller with the given gain, instant retargets, and the default
+    /// deadband (1e-4 rad) and authority limit (0.35 rad ≈ 20°).
+    pub fn with_gain(gain: f64) -> Self {
+        GimbalFeedbackController {
+            gain,
+            rate: 0.0,
+            deadband: 1e-4,
+            max_angle: 0.35,
+        }
+    }
+}
+
+impl<R, S, Sch> Controller<Solver<R, S, Sch, BcGhostOps>> for GimbalFeedbackController
+where
+    R: Real,
+    S: Storage<R>,
+    Sch: RhsScheme<R, S>,
+{
+    fn control(&mut self, sys: &Solver<R, S, Sch, BcGhostOps>, info: &StepInfo) -> Vec<Action> {
+        let Some((jet, gimbals)) = installed_jet_state(&sys.ghost.bcs, info.t) else {
+            return Vec::new();
+        };
+        if jet.engines.is_empty() {
+            return Vec::new();
+        }
+        let gamma = sys.scheme.params().gamma;
+        let report =
+            crate::base::BaseHeatingReport::measure(&sys.q, Solver::domain(sys), gamma, &jet);
+        let n = jet.engines.len() as f64;
+        let center = jet.engines.iter().fold([0.0f64; 2], |acc, e| {
+            [acc[0] + e.center[0] / n, acc[1] + e.center[1] / n]
+        });
+        let offset = [
+            report.footprint_centroid[0] - center[0],
+            report.footprint_centroid[1] - center[1],
+        ];
+        if !(offset[0].is_finite() && offset[1].is_finite()) {
+            // No backflow sampled (zero-flux centroid is NaN): nothing to
+            // correct against yet.
+            return Vec::new();
+        }
+        let target = [
+            (-self.gain * offset[0]).clamp(-self.max_angle, self.max_angle),
+            (-self.gain * offset[1]).clamp(-self.max_angle, self.max_angle),
+        ];
+        let mut out = Vec::new();
+        for (i, g) in gimbals.iter().enumerate() {
+            let delta = (target[0] - g[0]).abs().max((target[1] - g[1]).abs());
+            if delta > self.deadband {
+                out.push(Action::SetGimbal {
+                    engine: i,
+                    target,
+                    rate: self.rate,
+                });
+            }
+        }
+        out
     }
 }
 
@@ -728,8 +890,12 @@ type ProgressHook<'a, P> = Box<dyn FnMut(&P, &StepInfo) -> bool + 'a>;
 /// resets per call, stop conditions persist).
 pub struct Driver<'a, P: ?Sized> {
     observers: Vec<(Cadence, Box<dyn Observer<P> + 'a>)>,
+    controllers: Vec<(Cadence, Box<dyn Controller<P> + 'a>)>,
     stops: Vec<StopCondition>,
     progress: Option<(Cadence, ProgressHook<'a, P>)>,
+    /// Controlled-run checkpoint target: `(path, optional autosave cadence)`.
+    checkpoint: Option<(PathBuf, Option<Cadence>)>,
+    action_log: ActionLog,
 }
 
 impl<'a, P: ?Sized> Default for Driver<'a, P> {
@@ -742,8 +908,11 @@ impl<'a, P: ?Sized> Driver<'a, P> {
     pub fn new() -> Self {
         Driver {
             observers: Vec::new(),
+            controllers: Vec::new(),
             stops: Vec::new(),
             progress: None,
+            checkpoint: None,
+            action_log: ActionLog::new(),
         }
     }
 
@@ -752,6 +921,51 @@ impl<'a, P: ?Sized> Driver<'a, P> {
         cadence.validate();
         self.observers.push((cadence, Box::new(obs)));
         self
+    }
+
+    /// Attach a controller at a cadence (requires [`Driver::run_controlled`]).
+    /// Controllers fire after all observers and the progress hook, in
+    /// attachment order; their actions apply at the step boundary, before
+    /// the next step begins. Use [`Cadence::EverySteps`] (absolute-step
+    /// aligned) for resume-deterministic control.
+    pub fn control(mut self, cadence: Cadence, ctrl: impl Controller<P> + 'a) -> Self {
+        cadence.validate();
+        self.controllers.push((cadence, Box::new(ctrl)));
+        self
+    }
+
+    /// Set the restart file controlled runs write: controller
+    /// [`Action::RequestCheckpoint`]s snapshot here, and with
+    /// `autosave = Some(cadence)` the driver also autosaves periodically.
+    /// Both paths embed the current [`ActionLog`] and go through the one
+    /// atomic writer ([`Checkpoint::save_atomic`]), so they can never race
+    /// each other on the file.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>, autosave: Option<Cadence>) -> Self {
+        if let Some(c) = &autosave {
+            c.validate();
+        }
+        self.checkpoint = Some((path.into(), autosave));
+        self
+    }
+
+    /// Seed the action log (builder-style resume path: callers that restore
+    /// and replay a snapshot themselves hand its log over here, so
+    /// subsequent autosaves and [`Action::RequestCheckpoint`]s carry the
+    /// full history).
+    pub fn seed_actions(mut self, log: ActionLog) -> Self {
+        self.action_log = log;
+        self
+    }
+
+    /// The actions applied so far (across `run_controlled` calls, plus any
+    /// seeded by [`Driver::resume_controlled`]).
+    pub fn action_log(&self) -> &ActionLog {
+        &self.action_log
+    }
+
+    /// Take ownership of the accumulated action log (leaves an empty one).
+    pub fn take_action_log(&mut self) -> ActionLog {
+        std::mem::take(&mut self.action_log)
     }
 
     /// Add a stop condition (the first condition to hold ends the run).
@@ -799,10 +1013,110 @@ impl<'a, P: ?Sized> Driver<'a, P> {
         Ok(ck)
     }
 
+    /// Resume a *controlled* run: restore the snapshot, then **replay** its
+    /// embedded action log against the freshly built solver (checkpoints
+    /// carry fields/Σ/clock but not boundary conditions — the replay
+    /// reconstructs engine knock-outs, gimbal ramps, and backpressure
+    /// changes bit-identically from their recorded application times), and
+    /// seed this driver's log so subsequent snapshots carry the full
+    /// history. Returns the loaded snapshot.
+    pub fn resume_controlled(
+        &mut self,
+        sys: &mut P,
+        path: impl AsRef<Path>,
+    ) -> Result<Checkpoint, DriverError>
+    where
+        P: Checkpointable + Actuate,
+    {
+        let ck = Checkpoint::load(path)?;
+        sys.restore(&ck)?;
+        crate::actions::replay(&ck.actions, sys).map_err(|e| DriverError::Action(e.to_string()))?;
+        self.action_log = ck.actions.clone();
+        Ok(ck)
+    }
+
     /// March `sys` until a stop condition holds. Every driver needs at
     /// least one of [`StopCondition::TimeReached`], [`StopCondition::MaxSteps`],
     /// or [`StopCondition::WallClock`] — guards alone would loop forever.
+    ///
+    /// Read-only entry point: panics if controllers are attached (they need
+    /// [`Driver::run_controlled`], whose solver bound can apply actions).
     pub fn run(&mut self, sys: &mut P) -> Result<RunSummary, DriverError>
+    where
+        P: Probe,
+    {
+        assert!(
+            self.controllers.is_empty(),
+            "controllers attached: use run_controlled (the solver must implement Actuate + Checkpointable)"
+        );
+        self.run_core(
+            sys,
+            &mut |_, _, _, _| unreachable!("no controllers in run()"),
+            &mut |_, _| Ok(()),
+        )
+    }
+
+    /// March `sys` with the full two-phase loop: observers (read-only),
+    /// then controllers, whose returned [`Action`]s are applied **at the
+    /// step boundary** in order — [`Action::RequestCheckpoint`] snapshots
+    /// to the [`Driver::checkpoint_to`] path with the log embedded, every
+    /// other action goes through [`Actuate::actuate`] — and appended to the
+    /// driver's [`ActionLog`]. With an autosave cadence configured, the
+    /// driver also snapshots periodically (same path, same atomic writer).
+    pub fn run_controlled(&mut self, sys: &mut P) -> Result<RunSummary, DriverError>
+    where
+        P: Probe + Actuate + Checkpointable,
+    {
+        let ck_path = self.checkpoint.as_ref().map(|(p, _)| p.clone());
+        let apply_path = ck_path.clone();
+        self.run_core(
+            sys,
+            &mut move |sys: &mut P, action: &Action, info: &StepInfo, log: &mut ActionLog| {
+                match action {
+                    Action::RequestCheckpoint => {
+                        let path = apply_path.as_ref().ok_or_else(|| {
+                            DriverError::Action(
+                                "RequestCheckpoint needs a checkpoint_to path".into(),
+                            )
+                        })?;
+                        // Record the request BEFORE capturing, so the
+                        // snapshot's embedded log covers it and a resumed
+                        // run's log matches the uninterrupted run's.
+                        log.record(info.step as u64, info.t, Action::RequestCheckpoint);
+                        sys.capture().with_actions(log.clone()).save_atomic(path)?;
+                    }
+                    other => {
+                        sys.actuate(other, info.t)
+                            .map_err(|e| DriverError::Action(e.to_string()))?;
+                        log.record(info.step as u64, info.t, other.clone());
+                    }
+                }
+                Ok(())
+            },
+            &mut move |sys: &mut P, log: &ActionLog| {
+                if let Some(path) = ck_path.as_ref() {
+                    sys.capture().with_actions(log.clone()).save_atomic(path)?;
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// The shared loop behind [`Driver::run`] and [`Driver::run_controlled`]:
+    /// `apply` handles one controller action, `autosave` writes the
+    /// periodic driver-level snapshot (both are no-ops / unreachable for
+    /// read-only runs).
+    fn run_core(
+        &mut self,
+        sys: &mut P,
+        apply: &mut dyn FnMut(
+            &mut P,
+            &Action,
+            &StepInfo,
+            &mut ActionLog,
+        ) -> Result<(), DriverError>,
+        autosave: &mut dyn FnMut(&mut P, &ActionLog) -> Result<(), DriverError>,
+    ) -> Result<RunSummary, DriverError>
     where
         P: Probe,
     {
@@ -827,6 +1141,18 @@ impl<'a, P: ?Sized> Driver<'a, P> {
             })
             .collect();
         let mut progress_state = CadenceState {
+            last_t: sys.time(),
+            last_wall: now,
+        };
+        let mut ctrl_states: Vec<CadenceState> = self
+            .controllers
+            .iter()
+            .map(|_| CadenceState {
+                last_t: sys.time(),
+                last_wall: now,
+            })
+            .collect();
+        let mut autosave_state = CadenceState {
             last_t: sys.time(),
             last_wall: now,
         };
@@ -926,6 +1252,26 @@ impl<'a, P: ?Sized> Driver<'a, P> {
                         steps_this_run,
                         wall0,
                     );
+                }
+            }
+
+            // Phase two: controllers observe, then their actions apply at
+            // this step boundary (before the next step begins) and are
+            // appended to the log.
+            if !self.controllers.is_empty() {
+                let mut pending: Vec<Action> = Vec::new();
+                for ((cadence, ctrl), state) in self.controllers.iter_mut().zip(&mut ctrl_states) {
+                    if cadence.fires(state, &info) {
+                        pending.extend(ctrl.control(sys, &info));
+                    }
+                }
+                for action in &pending {
+                    apply(sys, action, &info, &mut self.action_log)?;
+                }
+            }
+            if let Some((_, Some(cadence))) = &self.checkpoint {
+                if cadence.fires(&mut autosave_state, &info) {
+                    autosave(sys, &self.action_log)?;
                 }
             }
 
@@ -1267,6 +1613,135 @@ mod tests {
             .unwrap();
         assert_eq!(summary.stop, StopReason::WallClock);
         assert!(summary.wall_s < 5.0);
+    }
+
+    #[test]
+    fn controlled_run_applies_scheduled_actions_and_logs_them() {
+        let case = cases::engine_row_2d(48, 3, crate::jets::JetConditions::mach10());
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let mut driver = Driver::new().max_steps(6).control(
+            Cadence::EveryStep,
+            ScheduledActions::new(vec![
+                (2, Action::EngineOut { engine: 1 }),
+                (4, Action::SetFixedDt { dt: Some(1e-4) }),
+            ]),
+        );
+        driver.run_controlled(&mut solver).unwrap();
+        let log = driver.action_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].step, 2);
+        assert!(matches!(
+            log.records()[0].action,
+            Action::EngineOut { engine: 1 }
+        ));
+        assert_eq!(log.records()[1].step, 4);
+        assert_eq!(solver.fixed_dt, Some(1e-4), "dt policy applied");
+        // Run again: the same driver keeps accumulating into one log.
+        driver.run_controlled(&mut solver).unwrap();
+        assert_eq!(driver.action_log().len(), 2, "schedule already drained");
+    }
+
+    #[test]
+    fn run_panics_when_controllers_are_attached() {
+        let result = std::panic::catch_unwind(|| {
+            let case = cases::steepening_wave(32, 0.2);
+            let mut solver = case.igr_solver::<f64, StoreF64>();
+            Driver::new()
+                .max_steps(2)
+                .control(Cadence::EveryStep, ScheduledActions::new(vec![]))
+                .run(&mut solver)
+                .unwrap();
+        });
+        assert!(result.is_err(), "run() must direct to run_controlled");
+    }
+
+    #[test]
+    fn controlled_resume_replays_the_action_log_bitwise() {
+        let case = cases::engine_row_2d(48, 3, crate::jets::JetConditions::mach10());
+        let path = tmp("driver_controlled.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let schedule = || {
+            ScheduledActions::new(vec![
+                (
+                    2,
+                    Action::SetGimbal {
+                        engine: 0,
+                        target: [0.12, 0.0],
+                        rate: 2.0,
+                    },
+                ),
+                (3, Action::EngineOut { engine: 2 }),
+                (5, Action::RequestCheckpoint),
+                (7, Action::SetBackpressure { pressure: 0.6 }),
+            ])
+        };
+
+        // Uninterrupted controlled run: 10 steps, checkpoint at step 5.
+        let mut straight = case.igr_solver::<f64, StoreF64>();
+        let mut d1 = Driver::new()
+            .max_steps(10)
+            .checkpoint_to(&path, None)
+            .control(Cadence::EveryStep, schedule());
+        d1.run_controlled(&mut straight).unwrap();
+        assert_eq!(d1.action_log().len(), 4);
+
+        // Resume from the step-5 snapshot with the tail of the schedule.
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.step, 5);
+        assert_eq!(ck.actions.len(), 3, "log up to and incl. the request");
+        let mut resumed = case.igr_solver::<f64, StoreF64>();
+        let mut d2 = Driver::new()
+            .max_steps(5)
+            .control(Cadence::EveryStep, schedule().skip_through(5));
+        d2.resume_controlled(&mut resumed, &path).unwrap();
+        d2.run_controlled(&mut resumed).unwrap();
+
+        assert_eq!(resumed.steps_taken(), 10);
+        assert_eq!(
+            straight.q.max_diff(&resumed.q),
+            0.0,
+            "controlled resume must be bitwise"
+        );
+        assert_eq!(
+            d2.action_log(),
+            d1.action_log(),
+            "resumed log matches the uninterrupted log bit-exactly"
+        );
+    }
+
+    #[test]
+    fn gimbal_feedback_counters_an_engine_out() {
+        // After knocking out an outer engine the backflow centroid shifts;
+        // the proportional controller must emit gimbal commands steering
+        // against the offset (commands are clamped and deadbanded).
+        let case = cases::engine_row_2d(64, 3, crate::jets::JetConditions::mach10());
+        let mut solver = case.igr_solver::<f64, StoreF64>();
+        let mut driver = Driver::new()
+            .max_steps(30)
+            .control(
+                Cadence::EveryStep,
+                ScheduledActions::new(vec![(10, Action::EngineOut { engine: 0 })]),
+            )
+            .control(
+                Cadence::EverySteps(5),
+                GimbalFeedbackController::with_gain(1.5),
+            );
+        driver.run_controlled(&mut solver).unwrap();
+        let log = driver.action_log();
+        let gimbal_cmds: Vec<_> = log
+            .records()
+            .iter()
+            .filter(|r| matches!(r.action, Action::SetGimbal { .. }))
+            .collect();
+        assert!(
+            !gimbal_cmds.is_empty(),
+            "controller issued no commands: {log:?}"
+        );
+        for r in &gimbal_cmds {
+            if let Action::SetGimbal { target, .. } = r.action {
+                assert!(target[0].abs() <= 0.35 && target[1].abs() <= 0.35);
+            }
+        }
     }
 
     #[test]

@@ -171,6 +171,7 @@ pub fn super_heavy_33(r_outer: f64) -> Vec<Engine> {
 /// (e.g. `(0, 1)` for a z-normal plane), and the jet flows along
 /// `flow_dim`. A `tanh` lip profile `smoothing` cells wide avoids a
 /// zero-width shear layer.
+#[derive(Clone)]
 pub struct JetArrayInflow {
     pub engines: Vec<Engine>,
     pub conditions: JetConditions,
@@ -263,6 +264,12 @@ impl InflowProfile for JetArrayInflow {
     /// otherwise re-evaluated every RK stage).
     fn time_varying(&self) -> bool {
         false
+    }
+
+    /// Jet arrays are actuatable: mid-run actions (gimbal retargets,
+    /// engine-out, backpressure) clone-and-reinstall the profile.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -361,6 +368,7 @@ impl GimbalSchedule {
 /// An engine-array inflow whose gimbal angles follow per-engine
 /// [`GimbalSchedule`]s in time. Engines without a schedule keep their static
 /// gimbal from the base array.
+#[derive(Clone)]
 pub struct ScheduledJetInflow {
     pub base: JetArrayInflow,
     /// `(engine index, schedule)` pairs.
@@ -397,6 +405,11 @@ impl InflowProfile for ScheduledJetInflow {
     /// schedule list degenerates to the static array and may be memoized.
     fn time_varying(&self) -> bool {
         !self.schedules.is_empty()
+    }
+
+    /// Scheduled arrays are actuatable too (see [`JetArrayInflow::as_any`]).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

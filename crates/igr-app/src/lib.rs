@@ -14,6 +14,11 @@
 //!   (`t_end`, step/wall budgets, NaN guard, steady state), and
 //!   checkpoint/resume — every example, figure bin, and the campaign
 //!   executor march through it;
+//! * [`actions`] — the act phase of the two-phase control loop: typed
+//!   mid-run `Action`s (gimbal retarget/ramp, engine-out, backpressure,
+//!   inflow swap, dt policy, checkpoint request), the `Actuate` surface
+//!   that applies them at step boundaries, and the deterministic
+//!   `ActionLog` that checkpoints embed and resumes replay;
 //! * [`base`] — base-heating diagnostics (recirculation flux, thermal load,
 //!   heating footprint), the engineering quantity behind §3 of the paper;
 //! * [`parallel`] — the decomposed (multi-rank) solver driver: halo-
@@ -26,6 +31,7 @@
 //! * [`vtk`] — legacy-VTK structured-points writer for 3-D visualization
 //!   (the Fig. 1 rendering path at laptop scale).
 
+pub mod actions;
 pub mod base;
 pub mod cases;
 pub mod checkpoint;
@@ -37,13 +43,15 @@ pub mod jets;
 pub mod parallel;
 pub mod vtk;
 
+pub use actions::{Action, ActionLog, ActionRecord, Actuate, ActuateError};
 pub use base::BaseHeatingReport;
 pub use cases::CaseSetup;
 pub use checkpoint::Checkpoint;
 pub use diagnostics::History;
 pub use driver::{
-    Cadence, CheckpointObserver, Checkpointable, DiagnosticsObserver, Driver, DriverError,
-    FnObserver, Observer, Probe, RunSummary, Steppable, StopCondition, StopReason, VtkObserver,
+    Cadence, CheckpointObserver, Checkpointable, Controller, DiagnosticsObserver, Driver,
+    DriverError, FnObserver, GimbalFeedbackController, Observer, Probe, RunSummary,
+    ScheduledActions, Steppable, StopCondition, StopReason, VtkObserver,
 };
 pub use grind::{measure_grind, GrindResult};
 pub use parallel::{run_decomposed, DecomposedRun};

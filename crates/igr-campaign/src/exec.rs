@@ -13,13 +13,14 @@
 use crate::report::{CampaignReport, ReportRow, RunStatus, ScenarioResult, ScenarioSeries};
 use crate::spec::{ScenarioSpec, SchemeKind};
 use crate::store::ResultStore;
+use igr_app::actions::ActionLog;
 use igr_app::base::BaseHeatingReport;
 use igr_app::cases::CaseSetup;
 use igr_app::checkpoint::CheckpointScalar;
 use igr_app::diagnostics::History;
 use igr_app::driver::{
     Cadence, CheckpointObserver, Checkpointable, DiagnosticsObserver, Driver, DriverError,
-    StopCondition,
+    GimbalFeedbackController, StopCondition,
 };
 use igr_app::parallel::run_decomposed;
 use igr_core::solver::{BcGhostOps, RhsScheme, Solver, SolverError};
@@ -268,6 +269,7 @@ fn failed_result(spec: &ScenarioSpec, msg: String) -> ScenarioResult {
         base_heating: None,
         series: None,
         resumed_from: None,
+        actions: None,
     }
 }
 
@@ -411,15 +413,28 @@ where
     // (wrong precision, shape, or a clock outside this spec's window) must
     // leave the fresh-start state unperturbed, not half-restored.
     let mut resumed_from = None;
+    let mut seed_log = ActionLog::new();
     if let Some(path) = ckpt.as_ref().filter(|p| p.exists()) {
         if let Ok(ck) = igr_app::Checkpoint::load(path) {
             if ck.step >= spec.warmup && ck.step <= total_steps && solver.restore(&ck).is_ok() {
+                // The snapshot carries fields/Σ/clock but not boundary
+                // conditions: replay its embedded action log so controller
+                // mutations (gimbal ramps, knock-outs, backpressure) are
+                // re-installed bit-identically. No-op for open-loop runs
+                // (the log is empty).
+                if igr_app::actions::replay(&ck.actions, solver).is_err() {
+                    return failed_result(
+                        spec,
+                        "restart file's action log does not apply to this scenario".into(),
+                    );
+                }
+                seed_log = ck.actions.clone();
                 resumed_from = Some(ck.step);
             }
         }
     }
 
-    let mut run = || -> Result<(ScenarioSeries, f64, usize), DriverError> {
+    let mut run = || -> Result<(ScenarioSeries, f64, usize, Option<Vec<_>>), DriverError> {
         if resumed_from.is_none() {
             // Warm-up: adaptive dt, per-step NaN check (cheap insurance
             // against bad initial data), no instrumentation.
@@ -441,15 +456,40 @@ where
                 DiagnosticsObserver::new(&mut history),
             );
         }
-        if let (Some(every), Some(path)) = (spec.checkpoint_every, ckpt.as_ref()) {
+        if let Some(c) = &spec.controller {
+            // Closed loop: the feedback controller fires at its cadence and
+            // the driver applies + logs its actions at step boundaries.
+            // Snapshots go through checkpoint_to so they embed the log
+            // (CheckpointObserver would write a log-free snapshot).
+            driver = driver.seed_actions(seed_log.clone()).control(
+                Cadence::EverySteps(c.every),
+                GimbalFeedbackController {
+                    gain: c.gain,
+                    rate: c.rate,
+                    ..GimbalFeedbackController::with_gain(c.gain)
+                },
+            );
+            if let Some(path) = ckpt.as_ref() {
+                driver = driver
+                    .checkpoint_to(path.clone(), spec.checkpoint_every.map(Cadence::EverySteps));
+            }
+        } else if let (Some(every), Some(path)) = (spec.checkpoint_every, ckpt.as_ref()) {
             driver = driver.observe(
                 Cadence::EverySteps(every),
                 CheckpointObserver::autosave(path.clone()),
             );
         }
         let t0 = Instant::now();
-        let summary = driver.run(solver)?;
+        let summary = if spec.controller.is_some() {
+            driver.run_controlled(solver)?
+        } else {
+            driver.run(solver)?
+        };
         let wall_s = t0.elapsed().as_secs_f64();
+        let actions = spec
+            .controller
+            .is_some()
+            .then(|| driver.take_action_log().records().to_vec());
         drop(driver);
         // The timed region ran check-free; scan once at the end.
         if let Some((var, pos)) = solver.q.find_non_finite() {
@@ -467,11 +507,12 @@ where
             },
             wall_s,
             summary.steps,
+            actions,
         ))
     };
 
     match run() {
-        Ok((series, wall_s, steps_timed)) => {
+        Ok((series, wall_s, steps_timed, actions)) => {
             // The scenario is done: its restart file is consumed (the
             // result store serves every future submission).
             if let Some(path) = ckpt.as_ref() {
@@ -495,6 +536,7 @@ where
                 base_heating,
                 series: spec.series_every.is_some().then_some(series),
                 resumed_from,
+                actions,
             }
         }
         Err(e) => ScenarioResult {
@@ -511,6 +553,7 @@ where
             base_heating: None,
             series: None,
             resumed_from,
+            actions: None,
         },
     }
 }
@@ -557,6 +600,7 @@ fn run_decomposed_scenario(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioRes
         base_heating,
         series: None,
         resumed_from: None,
+        actions: None,
     }
 }
 
@@ -761,6 +805,61 @@ mod tests {
         );
         assert_eq!(scratch.mass_drift.to_bits(), fresh.mass_drift.to_bits());
         assert_eq!(scratch.energy_drift.to_bits(), fresh.energy_drift.to_bits());
+    }
+
+    #[test]
+    fn closed_loop_scenario_records_its_actions_and_caches_them() {
+        use crate::spec::ControllerSpec;
+
+        // Engine 0 is out from the start, so the base-heating centroid sits
+        // off-center and the proportional controller has an error signal.
+        let mut spec = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 32);
+        spec.warmup = 1;
+        spec.steps = 12;
+        spec.engine_out = vec![0];
+        spec.controller = Some(ControllerSpec {
+            gain: 1.5,
+            rate: 0.0,
+            every: 2,
+        });
+        let mut campaign = Campaign::new(ExecConfig {
+            workers: 1,
+            threads_per_worker: 1,
+            ..Default::default()
+        });
+        let report = campaign.run(std::slice::from_ref(&spec));
+        let r = &report.rows[0].result;
+        assert!(r.status.is_ok(), "{:?}", r.status);
+        let actions = r
+            .actions
+            .as_ref()
+            .expect("closed-loop result carries its log");
+        // Every applied action is a gimbal command (that is all this
+        // controller emits), clamped to its authority limit.
+        for rec in actions {
+            match &rec.action {
+                igr_app::Action::SetGimbal { target, .. } => {
+                    assert!(target[0].abs() <= 0.35 && target[1].abs() <= 0.35);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert!(
+            r.name.contains("+ctrl1.50"),
+            "controller shows in the name: {}",
+            r.name
+        );
+
+        // Cached resubmission serves the identical log.
+        let again = campaign.run(std::slice::from_ref(&spec));
+        assert_eq!(again.executed, 0);
+        let cached = again.rows[0].result.actions.as_ref().unwrap();
+        assert_eq!(cached.len(), actions.len());
+
+        // The open-loop point is distinct physics (and carries no log).
+        let mut open = spec.clone();
+        open.controller = None;
+        assert_ne!(open.content_hash(), spec.content_hash());
     }
 
     #[test]

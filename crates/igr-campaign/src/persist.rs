@@ -29,6 +29,7 @@
 
 use crate::report::{RunStatus, ScenarioResult};
 use crate::spec::CONTENT_HASH_VERSION;
+use igr_app::actions::{Action, ActionRecord};
 use igr_app::base::BaseHeatingReport;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
@@ -236,8 +237,129 @@ pub(crate) fn encode_result_obj(hash: u64, r: &ScenarioResult) -> String {
         }
         s.push_str("]}");
     }
+    if let Some(actions) = &r.actions {
+        s.push_str(",\"actions\":[");
+        for (i, rec) in actions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&encode_action_record(rec));
+        }
+        s.push(']');
+    }
     s.push('}');
     s
+}
+
+/// One applied action as a store-JSON object. Step counters are full u64
+/// and may exceed 2^53 (JSON numbers decode through f64 here), so they
+/// encode as decimal *strings*; floats use the tagged [`json_f64`] form,
+/// so every bit pattern — NaN payloads included — round-trips exactly.
+pub(crate) fn encode_action_record(rec: &ActionRecord) -> String {
+    let mut s = format!(
+        "{{\"step\":\"{}\",\"t\":{},\"kind\":\"{}\"",
+        rec.step,
+        json_f64(rec.t),
+        rec.action.kind_name()
+    );
+    match &rec.action {
+        Action::SetGimbal {
+            engine,
+            target,
+            rate,
+        } => s.push_str(&format!(
+            ",\"engine\":{},\"target\":[{},{}],\"rate\":{}",
+            engine,
+            json_f64(target[0]),
+            json_f64(target[1]),
+            json_f64(*rate)
+        )),
+        Action::EngineOut { engine } => s.push_str(&format!(",\"engine\":{engine}")),
+        Action::SetBackpressure { pressure } => {
+            s.push_str(&format!(",\"pressure\":{}", json_f64(*pressure)))
+        }
+        Action::SwapInflow {
+            ambient_rho,
+            ambient_p,
+            mach,
+            gamma,
+            pressure_ratio,
+            density_ratio,
+        } => s.push_str(&format!(
+            ",\"ambient_rho\":{},\"ambient_p\":{},\"mach\":{},\"gamma\":{},\
+             \"pressure_ratio\":{},\"density_ratio\":{}",
+            json_f64(*ambient_rho),
+            json_f64(*ambient_p),
+            json_f64(*mach),
+            json_f64(*gamma),
+            json_f64(*pressure_ratio),
+            json_f64(*density_ratio)
+        )),
+        Action::SetFixedDt { dt } => match dt {
+            Some(dt) => s.push_str(&format!(",\"dt\":{}", json_f64(*dt))),
+            None => s.push_str(",\"dt\":null"),
+        },
+        Action::RequestCheckpoint => {}
+    }
+    s.push('}');
+    s
+}
+
+/// Decode one action object written by [`encode_action_record`].
+pub(crate) fn decode_action_record(obj: &[(String, Json)]) -> Result<ActionRecord, String> {
+    let step = get(obj, "step")?
+        .as_str()
+        .ok_or("action 'step' is not a decimal string")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad action step: {e}"))?;
+    let t = num(obj, "t")?;
+    let engine = |key: &str| -> Result<usize, String> {
+        Ok(get(obj, key)?
+            .as_u64()
+            .ok_or_else(|| format!("action '{key}' is not an integer"))? as usize)
+    };
+    let action = match get(obj, "kind")?.as_str() {
+        Some("set_gimbal") => {
+            let target = get(obj, "target")?
+                .as_array()
+                .ok_or("action 'target' is not an array")?;
+            if target.len() != 2 {
+                return Err("action 'target' is not a pair".into());
+            }
+            Action::SetGimbal {
+                engine: engine("engine")?,
+                target: [
+                    target[0].as_f64().ok_or("target[0] is not a number")?,
+                    target[1].as_f64().ok_or("target[1] is not a number")?,
+                ],
+                rate: num(obj, "rate")?,
+            }
+        }
+        Some("engine_out") => Action::EngineOut {
+            engine: engine("engine")?,
+        },
+        Some("set_backpressure") => Action::SetBackpressure {
+            pressure: num(obj, "pressure")?,
+        },
+        Some("swap_inflow") => Action::SwapInflow {
+            ambient_rho: num(obj, "ambient_rho")?,
+            ambient_p: num(obj, "ambient_p")?,
+            mach: num(obj, "mach")?,
+            gamma: num(obj, "gamma")?,
+            pressure_ratio: num(obj, "pressure_ratio")?,
+            density_ratio: num(obj, "density_ratio")?,
+        },
+        Some("set_fixed_dt") => Action::SetFixedDt {
+            dt: match get(obj, "dt")? {
+                Json::Null => None,
+                v => Some(v.as_f64().ok_or("action 'dt' is not a number")?),
+            },
+        },
+        Some("request_checkpoint") => Action::RequestCheckpoint,
+        Some(other) => return Err(format!("unknown action kind '{other}'")),
+        None => return Err("action 'kind' is not a string".into()),
+    };
+    Ok(ActionRecord { step, t, action })
 }
 
 /// Exact float encoding: Rust's `Display` for finite f64 is the shortest
@@ -398,6 +520,18 @@ pub(crate) fn decode_result_obj(obj: &[(String, Json)]) -> Result<(u64, Scenario
                 Some(crate::report::ScenarioSeries { every, samples })
             }
             Some(_) => return Err("'series' is neither object nor null".into()),
+        },
+        actions: match opt_get(obj, "actions") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(items)) => {
+                let mut records = Vec::with_capacity(items.len());
+                for item in items {
+                    let fields = item.as_object().ok_or("action is not a JSON object")?;
+                    records.push(decode_action_record(fields)?);
+                }
+                Some(records)
+            }
+            Some(_) => return Err("'actions' is neither array nor null".into()),
         },
     };
     Ok((hash, result))
@@ -689,6 +823,7 @@ mod tests {
             base_heating: heating,
             series: None,
             resumed_from: None,
+            actions: None,
         }
     }
 
@@ -777,6 +912,88 @@ mod tests {
         let plain = sample(RunStatus::Completed, None);
         let (_, old) = decode_line(encode_line(8, &plain).trim_end()).unwrap();
         assert!(old.series.is_none() && old.resumed_from.is_none());
+    }
+
+    #[test]
+    fn action_log_round_trips_bit_exactly_with_u64_steps_and_nan_payloads() {
+        let mut r = sample(RunStatus::Completed, None);
+        r.actions = Some(vec![
+            ActionRecord {
+                step: u64::MAX, // > 2^53: must survive the f64-based parser
+                t: 0.1,
+                action: Action::SetGimbal {
+                    engine: 2,
+                    target: [f64::from_bits(0x7ff8_dead_beef_cafe), -0.0],
+                    rate: f64::INFINITY,
+                },
+            },
+            ActionRecord {
+                step: 9_007_199_254_740_993, // 2^53 + 1
+                t: f64::NEG_INFINITY,
+                action: Action::SwapInflow {
+                    ambient_rho: 1.0,
+                    ambient_p: f64::NAN,
+                    mach: 10.0,
+                    gamma: 1.4,
+                    pressure_ratio: 4.0,
+                    density_ratio: 1.0 / 3.0,
+                },
+            },
+            ActionRecord {
+                step: 3,
+                t: 0.3,
+                action: Action::SetFixedDt { dt: None },
+            },
+            ActionRecord {
+                step: 4,
+                t: 0.4,
+                action: Action::RequestCheckpoint,
+            },
+        ]);
+        let (_, back) = decode_line(encode_line(11, &r).trim_end()).unwrap();
+        let (a, b) = (back.actions.unwrap(), r.actions.unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.step, y.step, "u64 steps survive as decimal strings");
+            assert_eq!(x.t.to_bits(), y.t.to_bits());
+        }
+        match (&a[0].action, &b[0].action) {
+            (
+                Action::SetGimbal {
+                    engine: ea,
+                    target: ta,
+                    rate: ra,
+                },
+                Action::SetGimbal {
+                    engine: eb,
+                    target: tb,
+                    rate: rb,
+                },
+            ) => {
+                assert_eq!(ea, eb);
+                assert_eq!(ta[0].to_bits(), tb[0].to_bits(), "NaN payload bits");
+                assert_eq!(ta[1].to_bits(), tb[1].to_bits(), "-0.0 bits");
+                assert_eq!(ra.to_bits(), rb.to_bits());
+            }
+            other => panic!("kind mismatch: {other:?}"),
+        }
+        match &a[1].action {
+            Action::SwapInflow {
+                ambient_p,
+                density_ratio,
+                ..
+            } => {
+                assert!(ambient_p.is_nan());
+                assert_eq!(density_ratio.to_bits(), (1.0f64 / 3.0).to_bits());
+            }
+            other => panic!("kind mismatch: {other:?}"),
+        }
+        assert!(matches!(a[2].action, Action::SetFixedDt { dt: None }));
+        assert!(matches!(a[3].action, Action::RequestCheckpoint));
+        // Pre-upgrade lines (no 'actions' key) still decode to None.
+        let plain = sample(RunStatus::Completed, None);
+        let (_, old) = decode_line(encode_line(12, &plain).trim_end()).unwrap();
+        assert!(old.actions.is_none());
     }
 
     #[test]

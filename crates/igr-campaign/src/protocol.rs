@@ -40,7 +40,7 @@ use crate::queue::JobId;
 use crate::report::ScenarioResult;
 #[allow(unused_imports)] // referenced by doc links
 use crate::spec::CONTENT_HASH_VERSION;
-use crate::spec::{BaseCase, ScenarioSpec, SchemeKind};
+use crate::spec::{BaseCase, ControllerSpec, ScenarioSpec, SchemeKind};
 use igr_app::jets::GimbalSchedule;
 use igr_prec::PrecisionMode;
 
@@ -57,7 +57,14 @@ use igr_prec::PrecisionMode;
 /// instrumented submission, so mixed v1/v2 pairs are refused at connect
 /// time rather than skewing at cache-hit time. (Decoders still tolerate
 /// the keys' absence within v2 — see `docs/PROTOCOL.md` §5.)
-pub const PROTO_VERSION: u64 = 2;
+/// **v3** — the spec object gained `controller` (a closed-loop
+/// [`crate::ControllerSpec`], part of the content hash when set) and
+/// result payloads gained the optional `actions` key (the applied
+/// [`igr_app::actions::ActionLog`]). A v2 peer would strip the controller
+/// and serve the *open-loop* cached result for a closed-loop submission,
+/// so the same refuse-at-connect rule applies. (Decoders still tolerate
+/// the keys' absence within v3.)
+pub const PROTO_VERSION: u64 = 3;
 
 /// Machine-readable failure categories carried by [`Response::Error`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -784,7 +791,7 @@ pub fn encode_spec(spec: &ScenarioSpec) -> String {
     let opt_u = |v: Option<usize>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
     s.push_str(&format!(
         ",\"backpressure\":{},\"cfl\":{},\"elliptic_sweeps\":{},\"alpha_factor\":{},\"ranks\":{},\
-         \"series_every\":{},\"checkpoint_every\":{}}}",
+         \"series_every\":{},\"checkpoint_every\":{}",
         opt_f(spec.backpressure),
         opt_f(spec.cfl),
         opt_u(spec.elliptic_sweeps),
@@ -793,6 +800,16 @@ pub fn encode_spec(spec: &ScenarioSpec) -> String {
         opt_u(spec.series_every),
         opt_u(spec.checkpoint_every),
     ));
+    match &spec.controller {
+        None => s.push_str(",\"controller\":null"),
+        Some(c) => s.push_str(&format!(
+            ",\"controller\":{{\"gain\":{},\"rate\":{},\"every\":{}}}",
+            f(c.gain),
+            f(c.rate),
+            c.every
+        )),
+    }
+    s.push('}');
     s
 }
 
@@ -898,7 +915,24 @@ pub(crate) fn decode_spec_json(v: &Json) -> Result<ScenarioSpec, String> {
         ranks: opt_u64(obj, "ranks")?.map(|x| x as usize),
         series_every: tolerant_u64(obj, "series_every")?.map(|x| x as usize),
         checkpoint_every: tolerant_u64(obj, "checkpoint_every")?.map(|x| x as usize),
+        controller: decode_controller(obj)?,
     })
+}
+
+/// Decode the optional `controller` key — absent/null means open-loop.
+/// Added in `PROTO_VERSION` 3; tolerating the missing key keeps pre-v3
+/// store lines and spec objects decodable.
+fn decode_controller(obj: &[(String, Json)]) -> Result<Option<ControllerSpec>, String> {
+    let v = match persist::opt_get(obj, "controller") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(v) => v,
+    };
+    let cobj = v.as_object().ok_or("'controller' is not an object")?;
+    Ok(Some(ControllerSpec {
+        gain: num(cobj, "gain")?,
+        rate: num(cobj, "rate")?,
+        every: req_u64(cobj, "every")? as usize,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -979,6 +1013,11 @@ mod tests {
         s.elliptic_sweeps = Some(3);
         s.alpha_factor = Some(f64::INFINITY);
         s.ranks = Some(2);
+        s.controller = Some(ControllerSpec {
+            gain: 1.25,
+            rate: f64::NAN, // bit-exactness must cover non-finite gains too
+            every: 3,
+        });
         s
     }
 
@@ -989,6 +1028,15 @@ mod tests {
         assert_eq!(back.label, spec.label);
         assert_eq!(back.engine_out, spec.engine_out);
         assert_eq!(back.content_hash(), spec.content_hash());
+        let ctrl = back.controller.as_ref().expect("controller rides the wire");
+        assert_eq!(ctrl.gain, 1.25);
+        assert!(ctrl.rate.is_nan());
+        assert_eq!(ctrl.every, 3);
+        let mut open_loop = spec.clone();
+        open_loop.controller = None;
+        let open_back = decode_spec(&encode_spec(&open_loop)).unwrap();
+        assert!(open_back.controller.is_none());
+        assert_eq!(open_back.content_hash(), open_loop.content_hash());
         assert_eq!(
             back.gimbal[1].1.knots[0].1[1].to_bits(),
             spec.gimbal[1].1.knots[0].1[1].to_bits(),
@@ -1084,6 +1132,15 @@ mod tests {
                 }],
             }),
             resumed_from: Some(1),
+            actions: Some(vec![igr_app::actions::ActionRecord {
+                step: 2,
+                t: 0.25,
+                action: igr_app::actions::Action::SetGimbal {
+                    engine: 1,
+                    target: [0.1, f64::NAN],
+                    rate: 0.5,
+                },
+            }]),
         };
         let resp = Response::Result(StreamedResult {
             job: 9,
@@ -1102,6 +1159,22 @@ mod tests {
                 assert_eq!(r.result.resumed_from, Some(1));
                 let series = r.result.series.as_ref().expect("series rides the wire");
                 assert_eq!(series, result.series.as_ref().unwrap());
+                let actions = r.result.actions.as_ref().expect("actions ride the wire");
+                assert_eq!(actions.len(), 1);
+                assert_eq!(actions[0].step, 2);
+                match actions[0].action {
+                    igr_app::actions::Action::SetGimbal {
+                        engine,
+                        target,
+                        rate,
+                    } => {
+                        assert_eq!(engine, 1);
+                        assert_eq!(target[0], 0.1);
+                        assert!(target[1].is_nan());
+                        assert_eq!(rate, 0.5);
+                    }
+                    ref other => panic!("expected SetGimbal, got {other:?}"),
+                }
             }
             other => panic!("expected Result, got {other:?}"),
         }

@@ -7,6 +7,7 @@
 //! serialization crates exist in this environment, so the writer is
 //! hand-rolled), CSV, and a fixed-width text table.
 
+use igr_app::actions::{Action, ActionRecord};
 use igr_app::base::BaseHeatingReport;
 use igr_app::diagnostics::Sample;
 use std::sync::Arc;
@@ -75,6 +76,11 @@ pub struct ScenarioResult {
     /// Absolute step the run resumed from, when it restarted from an
     /// autosaved checkpoint instead of running start-to-finish.
     pub resumed_from: Option<usize>,
+    /// The applied action log, when the scenario ran closed-loop
+    /// ([`crate::spec::ScenarioSpec::controller`]): every mid-run mutation
+    /// the controller issued, in application order. Persists in the result
+    /// store and rides the wire as an additive optional key.
+    pub actions: Option<Vec<ActionRecord>>,
 }
 
 /// One report row: the result plus how it was obtained. The result is the
@@ -203,6 +209,16 @@ impl CampaignReport {
             if let Some(rf) = r.resumed_from {
                 s.push_str(&format!(", \"resumed_from\": {rf}"));
             }
+            if let Some(actions) = &r.actions {
+                s.push_str(", \"actions\": [");
+                for (ai, rec) in actions.iter().enumerate() {
+                    if ai > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&json_action_record(rec));
+                }
+                s.push(']');
+            }
             if let Some(series) = &r.series {
                 s.push_str(&format!(
                     ", \"series\": {{\"every\": {}, \"samples\": [",
@@ -242,7 +258,7 @@ impl CampaignReport {
         let mut s = String::from(
             "name,hash,cached,status,cells,steps,ranks,wall_s,grind_ns_per_cell_step,\
              mass_drift,energy_drift,heated_fraction,recirc_flux,backflow_h0,peak_T,\
-             mean_p_base,centroid_a,centroid_b,resumed_from,series_samples\n",
+             mean_p_base,centroid_a,centroid_b,resumed_from,series_samples,actions\n",
         );
         for row in &self.rows {
             let r = &row.result;
@@ -277,11 +293,15 @@ impl CampaignReport {
                 None => s.push_str(",,,,,,,"),
             }
             s.push_str(&format!(
-                ",{},{}\n",
+                ",{},{},{}\n",
                 r.resumed_from.map(|v| v.to_string()).unwrap_or_default(),
                 r.series
                     .as_ref()
                     .map(|se| se.samples.len().to_string())
+                    .unwrap_or_default(),
+                r.actions
+                    .as_ref()
+                    .map(|a| a.len().to_string())
                     .unwrap_or_default(),
             ));
         }
@@ -350,6 +370,59 @@ fn truncate(s: &str, n: usize) -> String {
     }
 }
 
+/// One applied action as a report-JSON object. This is the *human-facing*
+/// rendering (non-finite parameters become null like every other report
+/// float); the bit-exact round-trip form lives in [`crate::persist`].
+fn json_action_record(rec: &ActionRecord) -> String {
+    let mut s = format!(
+        "{{\"step\": {}, \"t\": {}, \"kind\": \"{}\"",
+        rec.step,
+        json_f64(rec.t),
+        rec.action.kind_name()
+    );
+    match &rec.action {
+        Action::SetGimbal {
+            engine,
+            target,
+            rate,
+        } => s.push_str(&format!(
+            ", \"engine\": {}, \"target\": [{}, {}], \"rate\": {}",
+            engine,
+            json_f64(target[0]),
+            json_f64(target[1]),
+            json_f64(*rate)
+        )),
+        Action::EngineOut { engine } => s.push_str(&format!(", \"engine\": {engine}")),
+        Action::SetBackpressure { pressure } => {
+            s.push_str(&format!(", \"pressure\": {}", json_f64(*pressure)))
+        }
+        Action::SwapInflow {
+            ambient_rho,
+            ambient_p,
+            mach,
+            gamma,
+            pressure_ratio,
+            density_ratio,
+        } => s.push_str(&format!(
+            ", \"ambient_rho\": {}, \"ambient_p\": {}, \"mach\": {}, \"gamma\": {}, \
+             \"pressure_ratio\": {}, \"density_ratio\": {}",
+            json_f64(*ambient_rho),
+            json_f64(*ambient_p),
+            json_f64(*mach),
+            json_f64(*gamma),
+            json_f64(*pressure_ratio),
+            json_f64(*density_ratio)
+        )),
+        Action::SetFixedDt { dt } => match dt {
+            Some(dt) => s.push_str(&format!(", \"dt\": {}", json_f64(*dt))),
+            None => s.push_str(", \"dt\": null"),
+        },
+        Action::RequestCheckpoint => {}
+    }
+    s.push('}');
+    s
+}
+
 /// JSON number formatting: finite floats print bare, non-finite become
 /// null (JSON has no NaN/Inf).
 fn json_f64(x: f64) -> String {
@@ -408,6 +481,7 @@ mod tests {
             }),
             series: None,
             resumed_from: None,
+            actions: None,
         }
     }
 
@@ -459,6 +533,45 @@ mod tests {
         let c = report().to_csv();
         assert_eq!(c.lines().count(), 4, "header + 3 rows");
         assert!(c.lines().nth(3).unwrap().starts_with("a,"));
+    }
+
+    #[test]
+    fn action_log_renders_in_json_and_counts_in_csv() {
+        let mut r = result("ctrl", 100.0, Some(0.5));
+        r.actions = Some(vec![
+            ActionRecord {
+                step: 3,
+                t: 0.1,
+                action: Action::EngineOut { engine: 1 },
+            },
+            ActionRecord {
+                step: 5,
+                t: 0.2,
+                action: Action::SetGimbal {
+                    engine: 0,
+                    target: [0.05, 0.0],
+                    rate: f64::INFINITY, // non-finite params render as null
+                },
+            },
+        ]);
+        let rep = CampaignReport {
+            rows: vec![ReportRow {
+                result: Arc::new(r),
+                cached: false,
+            }],
+            executed: 1,
+            cache_hits: 0,
+            workers: 1,
+            batch_wall_s: 0.1,
+        };
+        let j = rep.to_json();
+        assert!(j.contains("\"actions\": ["), "{j}");
+        assert!(j.contains("\"kind\": \"engine_out\""), "{j}");
+        assert!(j.contains("\"rate\": null"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let c = rep.to_csv();
+        assert!(c.lines().next().unwrap().ends_with(",actions"));
+        assert!(c.lines().nth(1).unwrap().ends_with(",2"), "{c}");
     }
 
     #[test]

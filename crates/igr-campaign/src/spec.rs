@@ -114,6 +114,38 @@ impl BaseCase {
     }
 }
 
+/// A closed-loop gimbal feedback controller riding on a scenario — the
+/// campaign-facing mirror of [`igr_app::driver::GimbalFeedbackController`].
+///
+/// The controller observes the probe-sampled thrust-asymmetry cost every
+/// `every` timed steps and issues `SetGimbal` actions proportional to the
+/// measured base-heating centroid offset. All three knobs are physics:
+/// they change the actions applied mid-run and therefore the result, so
+/// the whole struct is **part of the content hash** (as a trailing
+/// optional tag — specs without a controller keep their existing hashes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerSpec {
+    /// Proportional gain mapping centroid offset to commanded gimbal angle.
+    pub gain: f64,
+    /// Gimbal slew rate (rad per unit time) for the issued ramps; `0.0`
+    /// means snap instantly to the commanded angle.
+    pub rate: f64,
+    /// Fire the control law every `every` timed steps (>= 1).
+    pub every: usize,
+}
+
+impl ControllerSpec {
+    /// A proportional controller with the given gain, snapping gimbals
+    /// instantly and firing on every step.
+    pub fn proportional(gain: f64) -> Self {
+        ControllerSpec {
+            gain,
+            rate: 0.0,
+            every: 1,
+        }
+    }
+}
+
 /// A declarative description of one parameterized run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
@@ -167,6 +199,12 @@ pub struct ScenarioSpec {
     /// bitwise-identical to an uninterrupted run, so the policy does not
     /// change the physics *or* the recorded result.
     pub checkpoint_every: Option<usize>,
+    /// Closed-loop gimbal feedback controller (jet cases, IGR scheme,
+    /// single-block only). **Part of the content hash when set** — the
+    /// controller mutates boundary conditions mid-run, so its knobs are
+    /// physics. Encoded as a trailing optional tag after `series`, so every
+    /// controller-free spec keeps its pre-existing hash.
+    pub controller: Option<ControllerSpec>,
 }
 
 impl ScenarioSpec {
@@ -201,6 +239,7 @@ impl ScenarioSpec {
             ranks: None,
             series_every: None,
             checkpoint_every: None,
+            controller: None,
         }
     }
 
@@ -276,6 +315,38 @@ impl ScenarioSpec {
             return Err(SpecError(
                 "checkpointing supports single-block scenarios only".into(),
             ));
+        }
+        if let Some(c) = &self.controller {
+            if !self.base.is_jet() {
+                return Err(SpecError(format!(
+                    "base case '{}' has no engine array: a gimbal feedback \
+                     controller does not apply",
+                    self.base.name()
+                )));
+            }
+            if self.scheme != SchemeKind::Igr {
+                return Err(SpecError("controllers support the IGR scheme only".into()));
+            }
+            if self.ranks.is_some_and(|r| r > 1) {
+                return Err(SpecError(
+                    "controllers support single-block scenarios only".into(),
+                ));
+            }
+            if c.every == 0 {
+                return Err(SpecError("controller cadence must be >= 1".into()));
+            }
+            if !c.gain.is_finite() {
+                return Err(SpecError(format!(
+                    "controller gain must be finite, got {}",
+                    c.gain
+                )));
+            }
+            if !c.rate.is_finite() || c.rate < 0.0 {
+                return Err(SpecError(format!(
+                    "controller rate must be finite and non-negative, got {}",
+                    c.rate
+                )));
+            }
         }
         Ok(())
     }
@@ -372,6 +443,12 @@ impl ScenarioSpec {
             h.tag("series");
             h.u64(n as u64);
         }
+        if let Some(c) = &self.controller {
+            h.tag("ctrl");
+            h.f64(c.gain);
+            h.f64(c.rate);
+            h.u64(c.every as u64);
+        }
         // checkpoint_every is deliberately NOT hashed (see its field doc).
         h.finish()
     }
@@ -405,6 +482,15 @@ impl ScenarioSpec {
         }
         if let Some(p) = self.backpressure {
             s.push_str(&format!("+pamb{p:.3}"));
+        }
+        if let Some(c) = &self.controller {
+            s.push_str(&format!("+ctrl{:.2}", c.gain));
+            if c.rate != 0.0 {
+                s.push_str(&format!("r{:.2}", c.rate));
+            }
+            if c.every != 1 {
+                s.push_str(&format!("e{}", c.every));
+            }
         }
         s.push_str(match self.precision {
             PrecisionMode::Fp64 => "+fp64",
@@ -728,6 +814,30 @@ mod tests {
             series_every: Some(3),
             ..base.clone()
         });
+        variants.push(ScenarioSpec {
+            controller: Some(ControllerSpec::proportional(1.5)),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            controller: Some(ControllerSpec::proportional(2.0)),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            controller: Some(ControllerSpec {
+                gain: 1.5,
+                rate: 0.5,
+                every: 1,
+            }),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            controller: Some(ControllerSpec {
+                gain: 1.5,
+                rate: 0.0,
+                every: 5,
+            }),
+            ..base.clone()
+        });
         let mut seen = vec![h0];
         for v in &variants {
             let h = v.content_hash();
@@ -813,6 +923,55 @@ mod tests {
         d.checkpoint_every = Some(2);
         d.ranks = Some(2);
         assert!(d.validate().is_err(), "decomposed runs cannot checkpoint");
+    }
+
+    #[test]
+    fn controller_validation_gates_non_jet_schemes_and_ranks() {
+        let mut s = ScenarioSpec::new(BaseCase::Sod, 64);
+        s.controller = Some(ControllerSpec::proportional(1.0));
+        assert!(s.validate().is_err(), "controllers need an engine array");
+
+        let mut s = jet_spec();
+        s.controller = Some(ControllerSpec::proportional(1.0));
+        assert!(s.validate().is_ok());
+        s.scheme = SchemeKind::WenoBaseline;
+        assert!(s.validate().is_err(), "controllers are IGR-only");
+
+        let mut s = jet_spec();
+        s.controller = Some(ControllerSpec::proportional(1.0));
+        s.ranks = Some(2);
+        assert!(s.validate().is_err(), "controllers are single-block-only");
+
+        let mut s = jet_spec();
+        s.controller = Some(ControllerSpec {
+            gain: 1.0,
+            rate: 0.0,
+            every: 0,
+        });
+        assert!(s.validate().is_err(), "cadence 0 never fires");
+        let mut s = jet_spec();
+        s.controller = Some(ControllerSpec::proportional(f64::NAN));
+        assert!(s.validate().is_err(), "NaN gain is not a controller");
+        let mut s = jet_spec();
+        s.controller = Some(ControllerSpec {
+            gain: 1.0,
+            rate: -0.1,
+            every: 1,
+        });
+        assert!(s.validate().is_err(), "negative slew rate is invalid");
+    }
+
+    #[test]
+    fn controller_is_a_trailing_hash_tag() {
+        // None must hash exactly like the pre-controller encoding (the
+        // golden in hash_encoding_is_versioned pins this globally); Some
+        // must perturb it.
+        let a = jet_spec();
+        let mut b = jet_spec();
+        b.controller = Some(ControllerSpec::proportional(1.5));
+        assert_ne!(a.content_hash(), b.content_hash());
+        let name = b.scenario_name();
+        assert!(name.contains("+ctrl1.50"), "{name}");
     }
 
     #[test]

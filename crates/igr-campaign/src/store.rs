@@ -291,6 +291,7 @@ mod tests {
             base_heating: None,
             series: None,
             resumed_from: None,
+            actions: None,
         }
     }
 

@@ -8,7 +8,7 @@
 //! expand to the cartesian product (or a zip, or a seeded random sample of
 //! the product), and hand the resulting [`ScenarioSpec`]s to the executor.
 
-use crate::spec::{BaseCase, ScenarioSpec, SchemeKind};
+use crate::spec::{BaseCase, ControllerSpec, ScenarioSpec, SchemeKind};
 use igr_app::jets::GimbalSchedule;
 use igr_prec::PrecisionMode;
 
@@ -44,6 +44,10 @@ pub enum Delta {
     Ranks(usize),
     /// Replace the base case itself (e.g. sweep over workloads).
     Base(BaseCase),
+    /// Attach a closed-loop gimbal feedback controller.
+    Controller(ControllerSpec),
+    /// `None` removes the controller (the open-loop point of a gain sweep).
+    ControllerOff,
 }
 
 impl Delta {
@@ -83,6 +87,8 @@ impl Delta {
             Delta::AlphaFactor(a) => spec.alpha_factor = Some(*a),
             Delta::Ranks(r) => spec.ranks = Some(*r),
             Delta::Base(b) => spec.base = b.clone(),
+            Delta::Controller(c) => spec.controller = Some(c.clone()),
+            Delta::ControllerOff => spec.controller = None,
         }
     }
 }
@@ -373,6 +379,29 @@ pub fn gimbal_ramp_rate_axis(angle: f64, rates: &[f64]) -> Vec<Delta> {
         .collect()
 }
 
+/// A controller-gain axis for closed-loop campaigns: each value attaches a
+/// proportional gimbal feedback controller with one of the given gains
+/// (slewing at `rate`, firing every `every` timed steps). Gain 0 is
+/// shorthand for the open-loop point — no controller at all — so a gain
+/// sweep always brackets its uncontrolled baseline. Mirrors
+/// [`gimbal_ramp_rate_axis`] in shape.
+pub fn controller_gain_axis(gains: &[f64], rate: f64, every: usize) -> Vec<Delta> {
+    gains
+        .iter()
+        .map(|&g| {
+            if g == 0.0 {
+                Delta::ControllerOff
+            } else {
+                Delta::Controller(ControllerSpec {
+                    gain: g,
+                    rate,
+                    every,
+                })
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +563,61 @@ mod tests {
         );
         // Rate 0 collapses to the constant steering configuration.
         assert_eq!(specs[0].gimbal[0].1.knots.len(), 1);
+    }
+
+    /// The controller axis expands like the ramp-rate axis: every gain is a
+    /// distinct scenario, gain 0 is the open-loop baseline, and the
+    /// controller spec survives into the expanded specs (and their names).
+    #[test]
+    fn controller_gain_axis_expands_to_distinct_closed_loop_scenarios() {
+        let gains = [0.0, 0.5, 1.5];
+        let sweep = Sweep::cartesian(base())
+            .axis("gain", controller_gain_axis(&gains, 0.2, 5))
+            .axis(
+                "engine_out",
+                vec![Delta::EngineOut(vec![]), Delta::EngineOut(vec![1])],
+            );
+        assert_eq!(sweep.len(), 6);
+        let specs = sweep.expand();
+        let mut hashes: Vec<u64> = specs.iter().map(|s| s.content_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 6, "every (gain, out) point is unique");
+        // Gain 0 is the open-loop baseline — no controller attached.
+        assert_eq!(specs[0].controller, None);
+        // Non-zero gains carry the full controller spec through expansion.
+        let closed = &specs[2]; // gains[1] × engine_out[0]
+        let c = closed.controller.as_ref().expect("gain 0.5 is closed-loop");
+        assert_eq!(c.gain, 0.5);
+        assert_eq!(c.rate, 0.2);
+        assert_eq!(c.every, 5);
+        assert!(
+            closed.scenario_name().contains("+ctrl0.50"),
+            "{}",
+            closed.scenario_name()
+        );
+        // Every expanded point is executable (the axis respects validate()).
+        for s in &specs {
+            s.validate().expect("expanded controller specs are valid");
+        }
+    }
+
+    #[test]
+    fn controller_off_delta_clears_an_inherited_controller() {
+        // A zip sweep whose base already carries a controller: the axis can
+        // switch it off for specific points.
+        let mut b = base();
+        b.controller = Some(ControllerSpec::proportional(2.0));
+        let sweep = Sweep::zip(b).axis(
+            "gain",
+            vec![
+                Delta::ControllerOff,
+                Delta::Controller(ControllerSpec::proportional(1.0)),
+            ],
+        );
+        let specs = sweep.expand();
+        assert_eq!(specs[0].controller, None);
+        assert_eq!(specs[1].controller.as_ref().unwrap().gain, 1.0);
     }
 
     #[test]

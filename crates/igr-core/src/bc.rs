@@ -31,6 +31,15 @@ pub trait InflowProfile: Send + Sync {
     fn time_varying(&self) -> bool {
         true
     }
+
+    /// Downcast hook for run-time actuation: profiles that support being
+    /// mutated mid-run (gimbal retargets, engine-out, backpressure changes)
+    /// expose their concrete type here so an actuator can clone, mutate, and
+    /// reinstall them. Defaults to `None` (profile is opaque — actions that
+    /// need to rewrite it are refused).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 impl<F> InflowProfile for F

@@ -466,17 +466,27 @@ fn red_black_sweep<R: Real, S: Storage<R>, const NA: usize>(
     let b_p = b.packed();
     let sig = SendPtr(sigma.packed_mut().as_mut_ptr());
 
+    // Each range item sweeps a whole plane/row of interior cells — hint the
+    // actual cell count so small grids take the pool's serial fallback
+    // (per-color results are identical either way: rows are disjoint).
+    let interior = shape.nx * shape.ny * shape.nz;
     for color in 0..2usize {
         if shape.nz > 1 {
-            (0..shape.nz as i32).into_par_iter().for_each(|k| {
-                for j in 0..shape.ny as i32 {
-                    red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, j, k);
-                }
-            });
+            (0..shape.nz as i32)
+                .into_par_iter()
+                .with_elements_hint(interior)
+                .for_each(|k| {
+                    for j in 0..shape.ny as i32 {
+                        red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, j, k);
+                    }
+                });
         } else if shape.ny > 1 {
-            (0..shape.ny as i32).into_par_iter().for_each(|j| {
-                red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, j, 0)
-            });
+            (0..shape.ny as i32)
+                .into_par_iter()
+                .with_elements_hint(interior)
+                .for_each(|j| {
+                    red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, j, 0)
+                });
         } else {
             red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, 0, 0);
         }

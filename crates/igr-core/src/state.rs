@@ -196,6 +196,10 @@ impl<R: Real, S: Storage<R>> State<R, S> {
         let diff = mu.max(zeta); // diffusivity scale for the parabolic limit
         let max_signal = (0..shape.nz as i32)
             .into_par_iter()
+            // One range item scans a whole z-layer; hint the interior cell
+            // count so small grids reduce serially (max is order-free, so
+            // the result is bitwise identical either way).
+            .with_elements_hint(shape.nx * shape.ny * shape.nz)
             .map(|k| {
                 let mut local_max = 0.0f64;
                 for j in 0..shape.ny as i32 {

@@ -3,10 +3,19 @@
 //! seeds — round-trips through `protocol::{encode_spec, decode_spec}`
 //! bit-exactly and preserves its content hash (the cache key, so a lossy
 //! codec would silently re-execute or mis-serve scenarios across the wire).
+//!
+//! Also pins the [`ActionLog`] invariant the control loop lives on: any
+//! applied action sequence — NaN/±inf parameters, full-range u64 step
+//! indices — survives (a) the binary checkpoint trailer and (b) the wire
+//! framing (which embeds the store-line result object *verbatim*, so this
+//! simultaneously pins the store codec) bit-for-bit.
 
+use igr::app::actions::{Action, ActionLog, ActionRecord};
 use igr::app::jets::GimbalSchedule;
-use igr::campaign::protocol::{decode_spec, encode_spec, Request};
-use igr::campaign::{BaseCase, ScenarioSpec, SchemeKind};
+use igr::campaign::protocol::{decode_spec, encode_spec, Request, Response, StreamedResult};
+use igr::campaign::{
+    BaseCase, ControllerSpec, RunStatus, ScenarioResult, ScenarioSpec, SchemeKind,
+};
 use igr::prec::PrecisionMode;
 use proptest::prelude::*;
 
@@ -75,10 +84,19 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
             (any::<bool>(), 1usize..7),
             (any::<bool>(), 1usize..7),
         ),
+        (any::<bool>(), wild_f64(), wild_f64(), 1usize..5),
         0usize..3,
     )
         .prop_map(
-            |(base, (resolution, prec, weno, warmup, steps), engine_out, gimbal, opts, label)| {
+            |(
+                base,
+                (resolution, prec, weno, warmup, steps),
+                engine_out,
+                gimbal,
+                opts,
+                (ctrl_on, gain, rate, every),
+                label,
+            )| {
                 let (
                     (bp_on, bp),
                     (cfl_on, cfl),
@@ -117,9 +135,54 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
                     ranks: rk_on.then_some(rk),
                     series_every: se_on.then_some(se),
                     checkpoint_every: ck_on.then_some(ck),
+                    controller: ctrl_on.then_some(ControllerSpec { gain, rate, every }),
                 }
             },
         )
+}
+
+/// Any [`Action`] variant, with wild floats in every parameter slot.
+fn action() -> impl Strategy<Value = Action> {
+    (
+        0usize..6,
+        0usize..8,
+        (wild_f64(), wild_f64(), wild_f64()),
+        (wild_f64(), wild_f64(), wild_f64()),
+        any::<bool>(),
+    )
+        .prop_map(|(k, engine, (a, b, c), (d, e, f), dt_on)| match k {
+            0 => Action::SetGimbal {
+                engine,
+                target: [a, b],
+                rate: c,
+            },
+            1 => Action::EngineOut { engine },
+            2 => Action::SetBackpressure { pressure: a },
+            3 => Action::SwapInflow {
+                ambient_rho: a,
+                ambient_p: b,
+                mach: c,
+                gamma: d,
+                pressure_ratio: e,
+                density_ratio: f,
+            },
+            4 => Action::SetFixedDt {
+                dt: dt_on.then_some(a),
+            },
+            _ => Action::RequestCheckpoint,
+        })
+}
+
+/// A full action log: u64 steps spanning the whole range (so the codec's
+/// decimal-string step encoding is exercised past 2⁵³), wild times.
+fn action_log() -> impl Strategy<Value = ActionLog> {
+    prop::collection::vec((any::<u64>(), wild_f64(), action()), 0..6).prop_map(|entries| {
+        let mut log = ActionLog::new();
+        for (step, t, action) in entries {
+            log.record(step, t, action);
+        }
+        log
+    })
 }
 
 /// Bit-level float equality (NaN payloads included).
@@ -166,6 +229,15 @@ proptest! {
         prop_assert!(opt_bits_eq(back.backpressure, spec.backpressure));
         prop_assert!(opt_bits_eq(back.cfl, spec.cfl));
         prop_assert!(opt_bits_eq(back.alpha_factor, spec.alpha_factor));
+        match (&back.controller, &spec.controller) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert!(bits_eq(a.gain, b.gain));
+                prop_assert!(bits_eq(a.rate, b.rate));
+                prop_assert_eq!(a.every, b.every);
+            }
+            (a, b) => prop_assert!(false, "controller drift: {:?} vs {:?}", a, b),
+        }
 
         // Base-case payload floats, bit-for-bit.
         match (&back.base, &spec.base) {
@@ -193,6 +265,55 @@ proptest! {
                 prop_assert!(bits_eq(aa[1], ab[1]));
             }
         }
+    }
+
+    /// Any applied action sequence round-trips bit-exactly through both
+    /// serialized forms: the binary checkpoint trailer
+    /// (`ActionLog::{encode, decode}`) and the wire result framing — whose
+    /// embedded object is byte-identical to the store line, so the store
+    /// codec is pinned by the same assertion.
+    #[test]
+    fn action_logs_round_trip_bit_exactly(log in action_log()) {
+        // (a) Checkpoint trailer: binary, fixed-layout records.
+        let bytes = log.encode();
+        let back = ActionLog::decode(&bytes).unwrap_or_else(|e| {
+            panic!("trailer decode failed: {e}")
+        });
+        prop_assert!(back == log, "checkpoint trailer drift");
+
+        // (b) Wire framing (embeds the store-line object verbatim).
+        let result = ScenarioResult {
+            name: "prop".into(),
+            hash_hex: format!("{:016x}", 0xabcd_u64),
+            status: RunStatus::Completed,
+            cells: 1,
+            steps: 1,
+            ranks: 1,
+            wall_s: 0.0,
+            ns_per_cell_step: 0.0,
+            mass_drift: 0.0,
+            energy_drift: 0.0,
+            base_heating: None,
+            series: None,
+            resumed_from: None,
+            actions: (!log.is_empty()).then(|| log.records().to_vec()),
+        };
+        let line = Response::Result(StreamedResult {
+            job: 1,
+            cached: false,
+            hash: 0xabcd,
+            result,
+        })
+        .encode();
+        let decoded = match Response::decode(line.trim_end()) {
+            Ok(Response::Result(r)) => r.result,
+            other => return Err(TestCaseError::fail(format!("expected Result, got {other:?}"))),
+        };
+        let mut wire_log = ActionLog::new();
+        for ActionRecord { step, t, action } in decoded.actions.unwrap_or_default() {
+            wire_log.record(step, t, action);
+        }
+        prop_assert!(wire_log == log, "wire/store codec drift; line: {}", line);
     }
 
     /// The same invariant holds through the full SUBMIT request framing

@@ -109,6 +109,25 @@ fn span_tracing_never_perturbs_the_solution() {
 }
 
 #[test]
+fn serial_fallback_threshold_boundary_is_bitwise_neutral() {
+    // The pool-backed `for_each`/`reduce` drop to a serial drain whenever a
+    // kernel's interior-cell count sits below the granularity threshold.
+    // Crossing that boundary must never change a single bit: run the same
+    // case with the threshold forced far above the workload (everything
+    // serial) and disabled entirely (everything parallel) and compare.
+    let saved = rayon::serial_work_threshold();
+
+    rayon::set_serial_work_threshold(usize::MAX);
+    let all_serial = run_case::<f64, StoreF64>(KernelPath::Fused, EllipticKind::GaussSeidel, 4);
+
+    rayon::set_serial_work_threshold(0); // 0 disables the fallback
+    let all_parallel = run_case::<f64, StoreF64>(KernelPath::Fused, EllipticKind::GaussSeidel, 4);
+
+    rayon::set_serial_work_threshold(saved);
+    assert_bitwise_equal(&all_serial, &all_parallel, "serial fallback vs parallel");
+}
+
+#[test]
 fn red_black_elliptic_solve_is_thread_count_independent() {
     // The red–black Gauss–Seidel sweep writes Σ in place from parallel
     // tasks; its two-color partition must keep the full solver run bitwise

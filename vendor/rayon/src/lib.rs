@@ -28,7 +28,34 @@ pub mod pool;
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Per-operation element-count threshold below which `for_each`/`reduce`
+/// run serially even when a multi-thread pool is installed (not part of
+/// real rayon's API). Dispatching to the worker pool costs a few
+/// microseconds per call; on small grids that overhead exceeds the work
+/// itself and thread "speedups" drop below 1×. The fallback is
+/// bitwise-identical by construction: the serial drain visits items in
+/// index order, which is exactly the piece-order the parallel combine
+/// already guarantees.
+///
+/// The decision consults [`ParallelIterator::elements_hint`] — underlying
+/// scalar elements, not outer chunk count — so a 5-way zipped
+/// `par_chunks_mut` sweep over a 64×128 grid counts ~9 k cells, not 8
+/// chunks. Default: 16 Ki elements.
+static SERIAL_WORK_THRESHOLD: AtomicUsize = AtomicUsize::new(16 * 1024);
+
+/// The current serial-fallback threshold (elements per operation).
+pub fn serial_work_threshold() -> usize {
+    SERIAL_WORK_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Set the serial-fallback threshold. `0` disables the fallback (every
+/// multi-thread op dispatches to the pool, the pre-threshold behavior).
+pub fn set_serial_work_threshold(n: usize) {
+    SERIAL_WORK_THRESHOLD.store(n, Ordering::Relaxed)
+}
 
 thread_local! {
     /// 0 means "no override": use the machine's available parallelism.
@@ -119,6 +146,18 @@ pub trait ParallelIterator: Sized + Send {
     /// Pull the next item (sequential drain of one piece).
     fn next_item(&mut self) -> Option<Self::Item>;
 
+    /// Estimated count of underlying scalar elements this operation will
+    /// touch — the granularity signal for the serial fallback (see
+    /// [`serial_work_threshold`]). Slice-backed sources report their slice
+    /// length (so chunked sweeps count cells, not chunks); integer ranges
+    /// report `usize::MAX` because a range item's cost is unknowable here —
+    /// annotate range-driven kernels with
+    /// [`ParallelIterator::with_elements_hint`] to opt them into the
+    /// fallback.
+    fn elements_hint(&self) -> usize {
+        self.par_len()
+    }
+
     // --- combinators -----------------------------------------------------
 
     fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
@@ -150,6 +189,16 @@ pub trait ParallelIterator: Sized + Send {
         self
     }
 
+    /// Override [`ParallelIterator::elements_hint`] with an explicit
+    /// per-operation element count (not part of real rayon's API; real
+    /// rayon ignores it via the blanket `with_min_len`-style passthrough
+    /// semantics). Use on range-driven kernels, where the per-item cost is
+    /// invisible to the iterator: hint the cells one item processes times
+    /// the item count.
+    fn with_elements_hint(self, hint: usize) -> WithElementsHint<Self> {
+        WithElementsHint { inner: self, hint }
+    }
+
     // --- drivers ---------------------------------------------------------
 
     fn for_each<F>(self, f: F)
@@ -158,7 +207,7 @@ pub trait ParallelIterator: Sized + Send {
     {
         let threads = current_num_threads();
         let len = self.par_len();
-        if threads <= 1 || len <= 1 {
+        if threads <= 1 || len <= 1 || self.elements_hint() < serial_work_threshold() {
             let mut it = self;
             while let Some(x) = it.next_item() {
                 f(x);
@@ -190,7 +239,7 @@ pub trait ParallelIterator: Sized + Send {
     {
         let threads = current_num_threads();
         let len = self.par_len();
-        if threads <= 1 || len <= 1 {
+        if threads <= 1 || len <= 1 || self.elements_hint() < serial_work_threshold() {
             let mut acc = identity();
             let mut it = self;
             while let Some(x) = it.next_item() {
@@ -325,6 +374,11 @@ impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
         self.slice.len().div_ceil(self.size)
     }
 
+    fn elements_hint(&self) -> usize {
+        // Granularity is the cells under the chunks, not the chunk count.
+        self.slice.len()
+    }
+
     fn split_at(self, mid: usize) -> (Self, Self) {
         let cut = (mid * self.size).min(self.slice.len());
         let (a, b) = self.slice.split_at_mut(cut);
@@ -369,6 +423,10 @@ impl<'a, T: Send> ParallelIterator for ParUnevenChunksMut<'a, T> {
 
     fn par_len(&self) -> usize {
         self.sizes.len()
+    }
+
+    fn elements_hint(&self) -> usize {
+        self.slice.len()
     }
 
     fn split_at(mut self, mid: usize) -> (Self, Self) {
@@ -432,6 +490,13 @@ macro_rules! impl_par_range {
             fn next_item(&mut self) -> Option<Self::Item> {
                 self.range.next()
             }
+
+            fn elements_hint(&self) -> usize {
+                // A range item's cost is opaque (each index may drive a
+                // whole grid plane): never serialize on the raw count —
+                // kernels opt in via `with_elements_hint`.
+                usize::MAX
+            }
         }
 
         impl IntoParallelIterator for Range<$t> {
@@ -473,6 +538,11 @@ impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
             _ => None,
         }
     }
+
+    fn elements_hint(&self) -> usize {
+        // Either side alone is enough work to justify the pool.
+        self.a.elements_hint().max(self.b.elements_hint())
+    }
 }
 
 pub struct Enumerate<A> {
@@ -485,6 +555,10 @@ impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
 
     fn par_len(&self) -> usize {
         self.inner.par_len()
+    }
+
+    fn elements_hint(&self) -> usize {
+        self.inner.elements_hint()
     }
 
     fn split_at(self, mid: usize) -> (Self, Self) {
@@ -527,6 +601,10 @@ where
         self.inner.par_len()
     }
 
+    fn elements_hint(&self) -> usize {
+        self.inner.elements_hint()
+    }
+
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (a, b) = self.inner.split_at(mid);
         (
@@ -545,6 +623,45 @@ where
 
     fn next_item(&mut self) -> Option<Self::Item> {
         self.inner.next_item().map(|x| (self.f)(x))
+    }
+}
+
+/// Wrapper attaching an explicit element-count hint (see
+/// [`ParallelIterator::with_elements_hint`]). Everything else delegates to
+/// the inner iterator; the hint is consulted once, by the driver, before
+/// splitting, so both halves just keep it.
+pub struct WithElementsHint<A> {
+    inner: A,
+    hint: usize,
+}
+
+impl<A: ParallelIterator> ParallelIterator for WithElementsHint<A> {
+    type Item = A::Item;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            WithElementsHint {
+                inner: a,
+                hint: self.hint,
+            },
+            WithElementsHint {
+                inner: b,
+                hint: self.hint,
+            },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        self.inner.next_item()
+    }
+
+    fn elements_hint(&self) -> usize {
+        self.hint
     }
 }
 
@@ -682,6 +799,45 @@ mod tests {
         for i in 0..n {
             assert_eq!(a[i] + 10, b[i]);
         }
+    }
+
+    #[test]
+    fn serial_fallback_matches_parallel_results() {
+        // Small op (below the default threshold) runs serial, big op runs
+        // parallel — results identical either way, and an explicit range
+        // hint opts range kernels into the fallback.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let small = 100;
+            let mut a = vec![0u64; small];
+            a.par_chunks_mut(8)
+                .enumerate()
+                .for_each(|(ci, c)| c.iter_mut().for_each(|x| *x = ci as u64 + 1));
+            assert!(a.iter().all(|&x| x != 0));
+
+            let big = 3 * crate::serial_work_threshold();
+            let mut b = vec![0u64; big];
+            b.par_chunks_mut(big / 7)
+                .enumerate()
+                .for_each(|(ci, c)| c.iter_mut().for_each(|x| *x = ci as u64 + 1));
+            assert!(b.iter().all(|&x| x != 0));
+
+            // Range + hint: below threshold → serial; reduce agrees with
+            // the unhinted (parallel) path.
+            let hinted = (0..64i32)
+                .into_par_iter()
+                .with_elements_hint(64)
+                .map(|k| (k * k) as f64)
+                .reduce(|| 0.0, f64::max);
+            let unhinted = (0..64i32)
+                .into_par_iter()
+                .map(|k| (k * k) as f64)
+                .reduce(|| 0.0, f64::max);
+            assert_eq!(hinted, unhinted);
+        });
     }
 
     #[test]
