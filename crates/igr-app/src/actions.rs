@@ -503,6 +503,30 @@ fn apply_to_scheduled(
     Ok(())
 }
 
+/// The jet path shared by every solver flavor that owns a [`BcSet`]:
+/// find the installed inflow-profile face, rewrite it, reinstall.
+fn actuate_jet_on_bcs(
+    bcs: &mut igr_core::bc::BcSet,
+    action: &Action,
+    t: f64,
+) -> Result<(), ActuateError> {
+    let mut found = None;
+    'faces: for d in 0..3 {
+        for side in 0..2 {
+            if let Bc::InflowProfile(p) = &bcs.faces[d][side] {
+                found = Some((d, side, p.clone()));
+                break 'faces;
+            }
+        }
+    }
+    let (d, side, profile) = found.ok_or_else(|| {
+        ActuateError::Unsupported("no inflow-profile boundary face to actuate".into())
+    })?;
+    let replacement = mutate_jet_profile(profile.as_ref(), action, t)?;
+    bcs.faces[d][side] = Bc::InflowProfile(replacement);
+    Ok(())
+}
+
 /// The single-block solver applies every action kind: dt policy directly,
 /// jet actions by rewriting the installed inflow profile through the BC
 /// surface (and invalidating the memoized inflow planes so the next ghost
@@ -521,20 +545,34 @@ where
             }
             Action::RequestCheckpoint => Ok(()),
             jet_action => {
-                let mut found = None;
-                'faces: for d in 0..3 {
-                    for side in 0..2 {
-                        if let Bc::InflowProfile(p) = &self.ghost.bcs.faces[d][side] {
-                            found = Some((d, side, p.clone()));
-                            break 'faces;
-                        }
-                    }
-                }
-                let (d, side, profile) = found.ok_or_else(|| {
-                    ActuateError::Unsupported("no inflow-profile boundary face to actuate".into())
-                })?;
-                let replacement = mutate_jet_profile(profile.as_ref(), jet_action, t)?;
-                self.ghost.bcs.faces[d][side] = Bc::InflowProfile(replacement);
+                actuate_jet_on_bcs(&mut self.ghost.bcs, jet_action, t)?;
+                self.ghost.invalidate_inflow_cache();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Decomposed solvers apply the same action set: every rank holds the full
+/// [`igr_core::bc::BcSet`] and mutates it with identical parameters, so the
+/// actuated boundary state stays rank-count invariant (each rank's wall
+/// faces re-evaluate the same rewritten profile after its inflow cache is
+/// invalidated).
+impl<R, S, Sch> Actuate for Solver<R, S, Sch, crate::parallel::HaloGhostOps>
+where
+    R: Real + igr_comm::CommData,
+    S: Storage<R>,
+    Sch: RhsScheme<R, S>,
+{
+    fn actuate(&mut self, action: &Action, t: f64) -> Result<(), ActuateError> {
+        match action {
+            Action::SetFixedDt { dt } => {
+                self.fixed_dt = *dt;
+                Ok(())
+            }
+            Action::RequestCheckpoint => Ok(()),
+            jet_action => {
+                actuate_jet_on_bcs(&mut self.ghost.bcs, jet_action, t)?;
                 self.ghost.invalidate_inflow_cache();
                 Ok(())
             }

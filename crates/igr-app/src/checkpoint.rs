@@ -41,6 +41,87 @@ const OFF_T: usize = 43;
 const OFF_STEP: usize = 51;
 const OFF_FIXED_DT: usize = 59;
 
+/// Magic bytes + version of the rank-metadata trailer a decomposed run's
+/// per-rank snapshot carries (`<hash>.rank<N>.ckpt` files).
+const RANK_MAGIC: &[u8; 8] = b"IGRRANK\x01";
+/// Fixed trailer size: magic(8) + 14 u64 fields (rank, n_ranks,
+/// global[3], dims[3], offset[3], extent[3]).
+const RANK_META_BYTES: usize = 8 + 14 * 8;
+
+/// The decomposition identity of one rank's snapshot: which shard of which
+/// global run this file is.
+///
+/// Decomposed (`ranks > 1`) runs snapshot **per rank** — each rank writes
+/// `<stem>.rank<N>.ckpt` with its local block (interior + ghosts) and this
+/// trailer. A resume refuses a file whose decomposition does not match the
+/// solver being restored (different rank count, rank grid, or block
+/// placement), because a bitwise resume is only defined on the identical
+/// decomposition. All fields are u64 on disk so the codec is
+/// precision-free; the codec round-trips bit-exactly (pinned by the wire
+/// property test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankMeta {
+    /// This shard's rank index, `0..n_ranks`.
+    pub rank: u64,
+    /// Total ranks in the decomposition.
+    pub n_ranks: u64,
+    /// Global interior cell counts `[nx, ny, nz]`.
+    pub global: [u64; 3],
+    /// Rank-grid dimensions `[px, py, pz]` (`px·py·pz == n_ranks`).
+    pub dims: [u64; 3],
+    /// This rank's interior offset in global cells.
+    pub offset: [u64; 3],
+    /// This rank's interior extent in cells.
+    pub extent: [u64; 3],
+}
+
+impl RankMeta {
+    /// Encode as the fixed-size `IGRRANK` trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RANK_META_BYTES);
+        out.extend_from_slice(RANK_MAGIC);
+        for v in [self.rank, self.n_ranks]
+            .into_iter()
+            .chain(self.global)
+            .chain(self.dims)
+            .chain(self.offset)
+            .chain(self.extent)
+        {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a fixed-size `IGRRANK` trailer (exactly
+    /// [`RankMeta::encoded_len`] bytes).
+    pub fn decode(bytes: &[u8]) -> Result<RankMeta, String> {
+        if bytes.len() != RANK_META_BYTES {
+            return Err(format!(
+                "rank trailer is {} bytes, expected {RANK_META_BYTES}",
+                bytes.len()
+            ));
+        }
+        if &bytes[..8] != RANK_MAGIC {
+            return Err("bad rank-trailer magic".into());
+        }
+        let u = |i: usize| u64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap());
+        let triple = |i: usize| [u(i), u(i + 1), u(i + 2)];
+        Ok(RankMeta {
+            rank: u(0),
+            n_ranks: u(1),
+            global: triple(2),
+            dims: triple(5),
+            offset: triple(8),
+            extent: triple(11),
+        })
+    }
+
+    /// On-disk size of the trailer, bytes.
+    pub fn encoded_len() -> usize {
+        RANK_META_BYTES
+    }
+}
+
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -127,6 +208,10 @@ pub struct Checkpoint {
     /// action-free runs — and then the on-disk file is byte-identical to a
     /// trailer-less checkpoint.
     pub actions: ActionLog,
+    /// For per-rank snapshots of a decomposed run: which shard this file
+    /// is. `None` (no trailer on disk) for single-block snapshots — and
+    /// then the file is byte-identical to a pre-trailer checkpoint.
+    pub rank_meta: Option<RankMeta>,
     bytes: Vec<u8>,
 }
 
@@ -189,6 +274,7 @@ impl Checkpoint {
             step,
             fixed_dt,
             actions: ActionLog::new(),
+            rank_meta: None,
             bytes,
         }
     }
@@ -200,13 +286,24 @@ impl Checkpoint {
         self
     }
 
+    /// Mark this snapshot as one rank's shard of a decomposed run; the
+    /// metadata rides in the `IGRRANK` trailer and is validated on resume.
+    pub fn with_rank_meta(mut self, meta: RankMeta) -> Self {
+        self.rank_meta = Some(meta);
+        self
+    }
+
     /// Write to disk. The action log, when non-empty, follows the field
-    /// payload as the `ACTLOG` trailer.
+    /// payload as the `ACTLOG` trailer; a rank-shard snapshot then ends
+    /// with the fixed-size `IGRRANK` trailer.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let mut f = std::fs::File::create(path)?;
         f.write_all(&self.bytes)?;
         if !self.actions.is_empty() {
             f.write_all(&self.actions.encode())?;
+        }
+        if let Some(meta) = &self.rank_meta {
+            f.write_all(&meta.encode())?;
         }
         Ok(())
     }
@@ -264,17 +361,42 @@ impl Checkpoint {
                 bytes.len()
             )));
         }
-        let actions = if bytes.len() > expected {
-            ActionLog::decode(&bytes[expected..]).map_err(CheckpointError::Mismatch)?
-        } else {
-            ActionLog::new()
+        // Trailers after the payload: an optional ACTLOG, then an optional
+        // fixed-size IGRRANK. Try the rank-trailer split first; if the rest
+        // then fails to decode as an ACTLOG, fall back to reading the whole
+        // tail as one ACTLOG (a log whose last record happens to mimic the
+        // rank magic must still load).
+        let tail = &bytes[expected..];
+        let parse_tail = |tail: &[u8]| -> Result<(ActionLog, Option<RankMeta>), String> {
+            if tail.len() >= RANK_META_BYTES
+                && tail[tail.len() - RANK_META_BYTES..].starts_with(RANK_MAGIC)
+            {
+                let (rest, trailer) = tail.split_at(tail.len() - RANK_META_BYTES);
+                if let Ok(meta) = RankMeta::decode(trailer) {
+                    let actions = if rest.is_empty() {
+                        Ok(ActionLog::new())
+                    } else {
+                        ActionLog::decode(rest)
+                    };
+                    if let Ok(actions) = actions {
+                        return Ok((actions, Some(meta)));
+                    }
+                }
+            }
+            if tail.is_empty() {
+                Ok((ActionLog::new(), None))
+            } else {
+                ActionLog::decode(tail).map(|a| (a, None))
+            }
         };
+        let (actions, rank_meta) = parse_tail(tail).map_err(CheckpointError::Mismatch)?;
         bytes.truncate(expected);
         Ok(Checkpoint {
             t,
             step,
             fixed_dt: (!dt.is_nan()).then_some(dt),
             actions,
+            rank_meta,
             bytes,
         })
     }
@@ -621,6 +743,69 @@ mod tests {
         std::fs::write(&p_junk, &bytes).unwrap();
         assert!(matches!(
             Checkpoint::load(&p_junk),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rank_trailer_round_trips_and_composes_with_the_action_log() {
+        use crate::actions::{Action, ActionLog};
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let meta = RankMeta {
+            rank: 1,
+            n_ranks: u64::MAX, // codec must carry the full u64 range
+            global: [64, 1, 1],
+            dims: [2, 1, 1],
+            offset: [32, 0, 0],
+            extent: [32, 1, 1],
+        };
+        assert_eq!(RankMeta::decode(&meta.encode()).unwrap(), meta);
+
+        // No trailer on disk when rank_meta is None: file stays identical.
+        let p_plain = tmp("rank_plain.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .save(&p_plain)
+            .unwrap();
+        assert!(Checkpoint::load(&p_plain).unwrap().rank_meta.is_none());
+
+        // Rank trailer alone.
+        let p_rank = tmp("rank_only.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .with_rank_meta(meta)
+            .save(&p_rank)
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&p_rank).unwrap().len(),
+            std::fs::read(&p_plain).unwrap().len() + RankMeta::encoded_len()
+        );
+        let loaded = Checkpoint::load(&p_rank).unwrap();
+        assert_eq!(loaded.rank_meta, Some(meta));
+        assert!(loaded.actions.is_empty());
+        let mut q2: State<f64, StoreF64> = State::zeros(case.domain.shape);
+        loaded.restore(&mut q2, None).unwrap();
+        assert_eq!(solver.q.max_diff(&q2), 0.0);
+
+        // Both trailers: ACTLOG first, IGRRANK last.
+        let mut log = ActionLog::new();
+        log.record(2, 0.125, Action::EngineOut { engine: 0 });
+        let p_both = tmp("rank_actions.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .with_actions(log.clone())
+            .with_rank_meta(meta)
+            .save(&p_both)
+            .unwrap();
+        let loaded = Checkpoint::load(&p_both).unwrap();
+        assert_eq!(loaded.rank_meta, Some(meta));
+        assert_eq!(loaded.actions, log);
+
+        // A truncated rank trailer is still refused as garbage.
+        let mut bytes = std::fs::read(&p_rank).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        let p_torn = tmp("rank_torn.ckpt");
+        std::fs::write(&p_torn, &bytes).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&p_torn),
             Err(CheckpointError::Mismatch(_))
         ));
     }

@@ -7,6 +7,8 @@
 //! up identical to the single-block fill — decomposed runs reproduce
 //! single-rank runs bit for bit in FP64, which the integration tests assert.
 
+use crate::actions::{replay, Action, ActionLog, Actuate};
+use crate::checkpoint::{Checkpoint, CheckpointScalar, RankMeta};
 use igr_comm::{CartComm, Comm, CommData, ReduceOp, Universe};
 use igr_core::bc::{
     fill_ghosts_axis_cached, fill_scalar_ghosts_axis, BcSet, FaceMask, InflowCache,
@@ -16,6 +18,7 @@ use igr_core::solver::{GhostOps, Solver};
 use igr_core::{IgrConfig, IgrScheme, State, GHOST_WIDTH};
 use igr_grid::{Axis, Decomp, Domain, Field};
 use igr_prec::{Real, Storage};
+use std::path::{Path, PathBuf};
 
 /// Halo-exchanging ghost ops for one rank.
 pub struct HaloGhostOps {
@@ -293,6 +296,202 @@ where
     }
 }
 
+/// Per-rank restart policy for [`run_decomposed_resumable`].
+#[derive(Clone, Debug)]
+pub struct DecompCheckpointing {
+    /// Directory holding the per-rank restart files.
+    pub dir: PathBuf,
+    /// File stem: rank `N` snapshots to `<stem>.rank<N>.ckpt`.
+    pub stem: String,
+    /// Autosave cadence in completed steps (0 = never save; an existing
+    /// consistent restart set is still honored on start).
+    pub every: usize,
+}
+
+/// The naming contract for one rank's restart file: `<stem>.rank<N>.ckpt`
+/// under `dir`. Shared by the writer, the resume scan, and the campaign
+/// executor's cleanup, so the three can never drift apart.
+pub fn rank_ckpt_path(dir: &Path, stem: &str, rank: usize) -> PathBuf {
+    dir.join(format!("{stem}.rank{rank}.ckpt"))
+}
+
+/// What [`run_decomposed_resumable`] did: the run plus where it picked up.
+pub struct DecomposedResume<R: Real, S: Storage<R>> {
+    /// The completed run (gathered state, clock, traffic).
+    pub run: DecomposedRun<R, S>,
+    /// Step the ranks collectively resumed from (`None` = fresh from 0).
+    pub resumed_from: Option<usize>,
+}
+
+/// [`run_decomposed`] with per-rank checkpoint/resume and an optional
+/// scripted action schedule.
+///
+/// `steps` is the run's TOTAL step count. If `ckpt` is given and every rank
+/// finds a restart file written by the *same* decomposition (validated via
+/// the [`RankMeta`] trailer) at the *same* step — agreement reached through
+/// [`Comm::allreduce_u64`], because a split resume decision would deadlock
+/// the first halo exchange — all ranks restore (fields + Σ + clock + action
+/// log, replayed) and run only the remaining steps, bitwise-identical to an
+/// uninterrupted run. Any disagreement (missing file, foreign decomp, torn
+/// write) falls back to a fresh start on every rank.
+///
+/// `schedule` entries `(step, action)` are applied on every rank at the
+/// boundary before the given 0-based step, recorded into each rank's log,
+/// and replayed on resume. A `SetFixedDt` pin overrides the per-step global
+/// CFL reduction until unpinned.
+pub fn run_decomposed_resumable<R, S>(
+    cfg: &IgrConfig,
+    global_domain: &Domain,
+    n_ranks: usize,
+    steps: usize,
+    init: impl Fn([f64; 3]) -> Prim<f64> + Send + Sync,
+    ckpt: Option<DecompCheckpointing>,
+    schedule: &[(usize, Action)],
+) -> DecomposedResume<R, S>
+where
+    R: Real + CommData,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+{
+    let global = [
+        global_domain.shape.nx,
+        global_domain.shape.ny,
+        global_domain.shape.nz,
+    ];
+    let decomp = Decomp::auto(global, n_ranks, cfg.bc.periodic_axes());
+    let init = &init;
+    let ckpt = &ckpt;
+
+    let mut results = Universe::run(n_ranks, move |mut comm| {
+        let rank = comm.rank();
+        let sd = decomp.subdomain(rank);
+        let meta = RankMeta {
+            rank: rank as u64,
+            n_ranks: n_ranks as u64,
+            global: global.map(|x| x as u64),
+            dims: decomp.dims.map(|x| x as u64),
+            offset: sd.offset.map(|x| x as u64),
+            extent: sd.extent.map(|x| x as u64),
+        };
+        let path = ckpt.as_ref().map(|c| rank_ckpt_path(&c.dir, &c.stem, rank));
+
+        // Resume proposal: a restart file that loads, belongs to THIS shard
+        // of THIS decomposition, and restores bit-exactly into a scratch
+        // block. Anything less proposes the "fresh" sentinel.
+        let local_shape = decomp.local_shape(rank, GHOST_WIDTH);
+        let mut candidate: Option<(Checkpoint, State<R, S>)> = None;
+        if let Some(path) = &path {
+            if let Ok(ck) = Checkpoint::load(path) {
+                if ck.rank_meta == Some(meta) && ck.step > 0 && ck.step <= steps && ck.has_sigma() {
+                    let mut q: State<R, S> = State::zeros(local_shape);
+                    let mut sig: Field<R, S> = Field::zeros(local_shape);
+                    if ck.restore(&mut q, Some(&mut sig)).is_ok() {
+                        candidate = Some((ck, q));
+                    }
+                }
+            }
+        }
+        let proposal = candidate
+            .as_ref()
+            .map(|(ck, _)| ck.step as u64)
+            .unwrap_or(u64::MAX);
+        let lo = comm.allreduce_u64(proposal, ReduceOp::Min);
+        let hi = comm.allreduce_u64(proposal, ReduceOp::Max);
+        let resume = lo == hi && lo != u64::MAX;
+
+        let (restored, q) = if resume {
+            let (ck, q) = candidate
+                .take()
+                .expect("resume consensus implies a candidate");
+            (Some(ck), q)
+        } else {
+            let q = init_state_global::<R, S>(&decomp, rank, global_domain, cfg.gamma, init);
+            (None, q)
+        };
+        let local_domain = decomp.local_domain(rank, global_domain, GHOST_WIDTH);
+        let cart = CartComm::new(comm, decomp.clone());
+        let ghost = HaloGhostOps::new(cart, local_domain, cfg.bc.clone(), cfg.gamma);
+        let scheme = IgrScheme::new(cfg.clone(), local_domain);
+        let mut solver: Solver<R, S, _, _> = Solver::new(scheme, ghost, local_domain, q);
+        solver.nan_check_every = 0; // checked after gather
+
+        let mut t = 0.0;
+        let mut start = 0usize;
+        let mut log = ActionLog::new();
+        let mut pinned: Option<f64> = None;
+        if let Some(ck) = restored {
+            ck.restore_sigma_into(solver.scheme.sigma_mut())
+                .expect("sigma restore validated at proposal time");
+            replay(&ck.actions, &mut solver)
+                .unwrap_or_else(|e| panic!("rank {rank} action replay failed: {e}"));
+            solver.reset_clock(ck.t, ck.step);
+            t = ck.t;
+            start = ck.step;
+            log = ck.actions;
+            pinned = ck.fixed_dt;
+        }
+
+        for s in start..steps {
+            for (at, action) in schedule.iter().filter(|(at, _)| *at == s) {
+                solver
+                    .actuate(action, t)
+                    .unwrap_or_else(|e| panic!("rank {rank} action at step {at} failed: {e}"));
+                if let Action::SetFixedDt { dt } = action {
+                    pinned = *dt;
+                }
+                log.record(*at as u64, t, action.clone());
+            }
+            let dt = match pinned {
+                Some(d) => d,
+                None => {
+                    let local_dt = solver.stable_dt();
+                    solver
+                        .ghost
+                        .cart
+                        .comm
+                        .allreduce_f64(local_dt, ReduceOp::Min)
+                }
+            };
+            solver.fixed_dt = Some(dt);
+            match solver.step() {
+                Ok(info) => t = info.t,
+                Err(e) => panic!("rank {rank} failed: {e}"),
+            }
+            let done = s + 1;
+            if let (Some(c), Some(path)) = (ckpt.as_ref(), &path) {
+                if c.every != 0 && done % c.every == 0 {
+                    Checkpoint::capture_fields(
+                        &solver.q.fields(),
+                        Some(solver.scheme.sigma()),
+                        t,
+                        done,
+                        pinned,
+                    )
+                    .with_actions(log.clone())
+                    .with_rank_meta(meta)
+                    .save_atomic(path)
+                    .unwrap_or_else(|e| panic!("rank {rank} checkpoint save failed: {e}"));
+                }
+            }
+        }
+        let bytes = solver.ghost.cart.comm.bytes_sent();
+        let gathered = gather_state(&mut solver.ghost.cart.comm, &decomp, &solver.q);
+        (gathered, t, bytes, resume.then_some(start))
+    });
+
+    let total_bytes: u64 = results.iter().map(|(_, _, b, _)| *b).sum();
+    let (state, t, _, resumed_from) = results.swap_remove(0);
+    DecomposedResume {
+        run: DecomposedRun {
+            state: state.expect("rank 0 gathers"),
+            steps,
+            t,
+            total_bytes_sent: total_bytes,
+        },
+        resumed_from,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +583,100 @@ mod tests {
             0.0,
             "cached inflow planes must not perturb the decomposed run"
         );
+    }
+
+    #[test]
+    fn per_rank_checkpoint_resume_is_bitwise_with_actions() {
+        // An interrupted decomposed run (cut at step 6, snapshots every 3)
+        // resumed from its per-rank files matches the uninterrupted run bit
+        // for bit — including an engine knock-out applied before the cut
+        // (comes back via the replayed ActionLog) and one after (comes back
+        // via the live schedule).
+        let case = cases::engine_row_2d(16, 3, crate::jets::JetConditions::mach10());
+        let cfg = case.igr_config();
+        let schedule = vec![
+            (3usize, Action::EngineOut { engine: 1 }),
+            (8usize, Action::EngineOut { engine: 0 }),
+        ];
+        let dir = std::env::temp_dir().join("igr_parallel_resume_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = DecompCheckpointing {
+            dir: dir.clone(),
+            stem: "resume_case".into(),
+            every: 3,
+        };
+
+        let i1 = case.init.clone();
+        let straight = run_decomposed_resumable::<f64, StoreF64>(
+            &cfg,
+            &case.domain,
+            2,
+            10,
+            move |p| i1(p),
+            None,
+            &schedule,
+        );
+        assert_eq!(straight.resumed_from, None);
+
+        let i2 = case.init.clone();
+        let cut = run_decomposed_resumable::<f64, StoreF64>(
+            &cfg,
+            &case.domain,
+            2,
+            6,
+            move |p| i2(p),
+            Some(ckpt.clone()),
+            &schedule,
+        );
+        assert_eq!(cut.resumed_from, None, "no prior files: fresh start");
+        for rank in 0..2 {
+            assert!(
+                rank_ckpt_path(&dir, "resume_case", rank).exists(),
+                "rank {rank} must have snapshotted at the cut"
+            );
+        }
+
+        let i3 = case.init.clone();
+        let resumed = run_decomposed_resumable::<f64, StoreF64>(
+            &cfg,
+            &case.domain,
+            2,
+            10,
+            move |p| i3(p),
+            Some(ckpt.clone()),
+            &schedule,
+        );
+        assert_eq!(resumed.resumed_from, Some(6), "must pick up at the cut");
+        assert_eq!(
+            straight.run.state.max_diff(&resumed.run.state),
+            0.0,
+            "resumed decomposed run must be bitwise identical"
+        );
+        assert_eq!(straight.run.t.to_bits(), resumed.run.t.to_bits());
+
+        // A different decomposition refuses the files and falls back fresh
+        // (rank 2 of 3 has no file; consensus says start over) — and still
+        // lands on the same answer because decomposed runs are rank-count
+        // invariant.
+        let i4 = case.init.clone();
+        let other = run_decomposed_resumable::<f64, StoreF64>(
+            &cfg,
+            &case.domain,
+            3,
+            10,
+            move |p| i4(p),
+            Some(ckpt),
+            &schedule,
+        );
+        assert_eq!(other.resumed_from, None, "foreign decomp must not resume");
+        assert_eq!(straight.run.state.max_diff(&other.run.state), 0.0);
+
+        for rank in 0..2 {
+            let _ = std::fs::remove_file(rank_ckpt_path(&dir, "resume_case", rank));
+        }
+        for rank in 0..3 {
+            let _ = std::fs::remove_file(rank_ckpt_path(&dir, "resume_case", rank));
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! The server exits when a client sends the `shutdown` verb; the store file
 //! keeps every result computed while serving, ready for the next process.
 
-use igr_campaign::{CampaignServer, ExecConfig, ResultStore, PROTO_VERSION};
+use igr_campaign::{
+    AntiEntropy, CampaignServer, ExecConfig, FederationConfig, ResultStore, PROTO_VERSION,
+};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,11 +37,18 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: campaign_serve [--addr HOST:PORT] [--store FILE.jsonl] [--workers N]\n\
-             \x20                     [--trace-out FILE.json]\n\
+             \x20                     [--trace-out FILE.json] [--peers HOST:PORT,...]\n\
+             \x20                     [--sync-interval-ms N] [--checkpoint-dir DIR]\n\
              \n\
              --addr       listen address (default 127.0.0.1:7171; port 0 = OS-assigned)\n\
              --store      JSON-lines result store to share (default: in-memory)\n\
              --workers    background execution workers (default: ExecConfig::default())\n\
+             --peers      comma-separated peer servers to anti-entropy with (SYNC/PUSH;\n\
+             \x20            see docs/FEDERATION.md)\n\
+             --sync-interval-ms  gossip round interval with --peers (default 1000)\n\
+             --checkpoint-dir    directory for per-scenario restart files; scenarios\n\
+             \x20            with checkpoint_every autosave (`<hash>.ckpt`, or\n\
+             \x20            `<hash>.rank<N>.ckpt` per rank when ranks > 1) and resume\n\
              --trace-out  write a chrome://tracing trace.json of every solver/queue\n\
              \x20            phase on shutdown (enables span tracing for the whole run)"
         );
@@ -71,10 +81,14 @@ fn main() {
         }
     };
 
-    let cfg = match flag("--workers") {
+    let mut cfg = match flag("--workers") {
         Some(n) => ExecConfig::with_workers(n.parse().expect("--workers takes an integer")),
         None => ExecConfig::default(),
     };
+    if let Some(dir) = flag("--checkpoint-dir") {
+        std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+        cfg.checkpoint_dir = Some(dir.into());
+    }
 
     let workers = cfg.workers;
     let server = CampaignServer::bind(&addr, cfg, store).expect("bind listen address");
@@ -84,7 +98,32 @@ fn main() {
     );
     println!("send {{\"op\":\"shutdown\"}} (after a hello) to stop gracefully");
 
-    let store = server.join();
+    let agent = flag("--peers").map(|peers| {
+        let peers: Vec<String> = peers
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect();
+        let interval = Duration::from_millis(
+            flag("--sync-interval-ms")
+                .map(|n| n.parse().expect("--sync-interval-ms takes an integer"))
+                .unwrap_or(1000),
+        );
+        println!("anti-entropy: gossiping with {peers:?} every {interval:?}");
+        AntiEntropy::spawn(&server, peers, interval, FederationConfig::default())
+    });
+
+    let store = {
+        // The agent holds a queue handle; stop it before join() so the
+        // store comes back intact.
+        let server = server;
+        while !server.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        drop(agent);
+        server.join()
+    };
     println!(
         "shut down: {} results in the store{}",
         store.len(),

@@ -22,7 +22,7 @@ use igr_app::driver::{
     Cadence, CheckpointObserver, Checkpointable, DiagnosticsObserver, Driver, DriverError,
     GimbalFeedbackController, StopCondition,
 };
-use igr_app::parallel::run_decomposed;
+use igr_app::parallel::{rank_ckpt_path, run_decomposed_resumable, DecompCheckpointing};
 use igr_core::solver::{BcGhostOps, RhsScheme, Solver, SolverError};
 use igr_prec::{PrecisionMode, Real, Storage, StoreF16, StoreF32, StoreF64};
 use std::collections::HashMap;
@@ -334,7 +334,7 @@ pub fn run_scenario_with(
         Err(e) => return failed_result(spec, e.to_string()),
     };
     if spec.ranks.is_some_and(|r| r > 1) {
-        return run_decomposed_scenario(spec, &case);
+        return run_decomposed_scenario_with(spec, &case, checkpoint_dir);
     }
     let ckpt = match (spec.checkpoint_every, checkpoint_dir) {
         (Some(_), Some(dir)) => {
@@ -563,15 +563,48 @@ where
 /// included) is timed and the grind normalizes by that same total count.
 /// The timer necessarily wraps rank spawn/gather too, so the number is an
 /// upper bound relative to the single-block path.
-fn run_decomposed_scenario(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioResult {
+///
+/// Takes an optional restart-file directory.
+/// When the spec enables checkpointing, each rank autosaves its shard to
+/// `<dir>/<hash>.rank<N>.ckpt`; a resubmission whose per-rank file set is
+/// complete and consistent resumes mid-flight (on *any* node holding the
+/// files — the trailer pins the decomposition, not the machine), and the
+/// files are consumed on completion like the single-block `<hash>.ckpt`.
+fn run_decomposed_scenario_with(
+    spec: &ScenarioSpec,
+    case: &CaseSetup,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> ScenarioResult {
     let ranks = spec.ranks.unwrap_or(1);
     let cfg = spec.igr_config(case);
     let init = case.init.clone();
     let steps = spec.warmup + spec.steps;
     let cells = case.domain.shape.n_interior();
+    let ckpt = match (spec.checkpoint_every, checkpoint_dir) {
+        (Some(every), Some(dir)) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return failed_result(spec, format!("checkpoint dir {dir:?}: {e}"));
+            }
+            Some(DecompCheckpointing {
+                dir: dir.to_path_buf(),
+                stem: spec.hash_hex(),
+                every,
+            })
+        }
+        _ => None,
+    };
     let t0 = Instant::now();
-    let run = run_decomposed::<f64, StoreF64>(&cfg, &case.domain, ranks, steps, move |p| init(p));
+    let res = run_decomposed_resumable::<f64, StoreF64>(
+        &cfg,
+        &case.domain,
+        ranks,
+        steps,
+        move |p| init(p),
+        ckpt.clone(),
+        &[],
+    );
     let wall_s = t0.elapsed().as_secs_f64();
+    let run = res.run;
     let totals0: [f64; 5] = case.init_state::<f64, StoreF64>().totals(&case.domain);
     let totals1 = run.state.totals(&case.domain);
     let status = match run.state.find_non_finite() {
@@ -580,6 +613,13 @@ fn run_decomposed_scenario(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioRes
             "non-finite value in variable {var} at {pos:?} after decomposed run"
         )),
     };
+    if let (Some(c), RunStatus::Completed) = (&ckpt, &status) {
+        // Completed: the per-rank restart set is consumed, same contract as
+        // the single-block `<hash>.ckpt`.
+        for rank in 0..ranks {
+            let _ = std::fs::remove_file(rank_ckpt_path(&c.dir, &c.stem, rank));
+        }
+    }
     let base_heating = case
         .jet_inflow
         .as_ref()
@@ -599,7 +639,7 @@ fn run_decomposed_scenario(spec: &ScenarioSpec, case: &CaseSetup) -> ScenarioRes
         energy_drift: rel_drift(totals0[4], totals1[4]),
         base_heating,
         series: None,
-        resumed_from: None,
+        resumed_from: res.resumed_from,
         actions: None,
     }
 }
@@ -875,6 +915,65 @@ mod tests {
     }
 
     #[test]
+    fn preempted_decomposed_scenario_resumes_from_rank_files_bitwise() {
+        // A ranks=2 scenario preempted mid-flight leaves one restart file
+        // per rank; resubmitting the spec against that directory must pick
+        // up at the cut (not t = 0) and land on the identical physics. The
+        // rank files are decomposition-keyed, not machine-keyed, so this is
+        // exactly the cross-node failover path the federation tier uses.
+        let mut spec = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, 16);
+        spec.warmup = 0;
+        spec.steps = 4;
+        spec.ranks = Some(2);
+        spec.checkpoint_every = Some(1);
+        spec.validate().expect("decomposed checkpointing is legal");
+        let case = spec.build_case().unwrap();
+        let dir = std::env::temp_dir().join("igr_exec_rank_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let fresh = run_scenario(&spec);
+        assert!(fresh.status.is_ok(), "{:?}", fresh.status);
+        assert!(fresh.resumed_from.is_none());
+
+        // Preempt: march the same spec's physics for 2 of 4 steps with
+        // autosave on, as the worker on the dying node would have.
+        let cfg = spec.igr_config(&case);
+        let init = case.init.clone();
+        let cut = run_decomposed_resumable::<f64, StoreF64>(
+            &cfg,
+            &case.domain,
+            2,
+            2,
+            move |p| init(p),
+            Some(DecompCheckpointing {
+                dir: dir.clone(),
+                stem: spec.hash_hex(),
+                every: 1,
+            }),
+            &[],
+        );
+        assert!(cut.resumed_from.is_none());
+        for rank in 0..2 {
+            assert!(rank_ckpt_path(&dir, &spec.hash_hex(), rank).exists());
+        }
+
+        // Resubmission (on "another node" holding the files): resumes at
+        // the cut, reproduces the uninterrupted physics bit for bit, and
+        // consumes the restart set.
+        let resumed = run_scenario_with(&spec, Some(&dir));
+        assert!(resumed.status.is_ok(), "{:?}", resumed.status);
+        assert_eq!(resumed.resumed_from, Some(2), "must not restart from t=0");
+        assert_eq!(resumed.mass_drift.to_bits(), fresh.mass_drift.to_bits());
+        assert_eq!(resumed.energy_drift.to_bits(), fresh.energy_drift.to_bits());
+        for rank in 0..2 {
+            assert!(
+                !rank_ckpt_path(&dir, &spec.hash_hex(), rank).exists(),
+                "completed scenario keeps no rank restart files"
+            );
+        }
+    }
+
+    #[test]
     fn decomposed_scenario_is_rank_count_invariant() {
         // 1-rank and 2-rank decomposed runs take the identical adaptive-dt
         // path (rank-order reductions are deterministic), so the gathered
@@ -888,9 +987,9 @@ mod tests {
         let one = {
             let mut s = spec.clone();
             s.ranks = Some(1);
-            run_decomposed_scenario(&s, &case)
+            run_decomposed_scenario_with(&s, &case, None)
         };
-        let two = run_decomposed_scenario(&spec, &case);
+        let two = run_decomposed_scenario_with(&spec, &case, None);
         assert!(two.status.is_ok(), "{:?}", two.status);
         assert_eq!(two.ranks, 2);
         let (a, b) = (

@@ -1,0 +1,571 @@
+//! Federated campaign serving: client-side failover across several
+//! [`CampaignServer`] nodes, plus the server-side anti-entropy agent that
+//! keeps their stores converged.
+//!
+//! A single `campaign_serve` node is a single point of failure: kill it
+//! mid-sweep and every in-flight submission dies with it. Federation fixes
+//! that without inventing a consensus layer, by leaning on two properties
+//! the campaign stack already has:
+//!
+//! * **Scenarios are content-addressed.** A spec's identity is its
+//!   [`content_hash`](crate::spec::ScenarioSpec::content_hash), everywhere.
+//!   Re-submitting a job to a different node can at worst re-execute
+//!   physics the first node also ran — never produce a *different* result
+//!   row — and duplicate completions collapse by hash.
+//! * **Results are idempotent store lines.** The `SYNC`/`PUSH` verbs
+//!   ([`CampaignClient::sync`] / [`CampaignClient::push`]) move canonical
+//!   store lines between nodes; importing one is a no-op when the
+//!   receiving store already holds the hash.
+//!
+//! [`FederatedClient`] drives a sweep against N nodes: submissions
+//! round-robin across the live set, results stream back from every node
+//! and dedupe by hash, and a node that dies (connect/read timeout, torn
+//! socket) has its detached jobs re-submitted to survivors. The sweep
+//! completes as long as *one* node survives.
+//!
+//! [`AntiEntropy`] runs inside a serving process (`campaign_serve
+//! --peers`): a background thread that periodically offers each peer this
+//! node's store inventory, imports what the peer has that this node lacks,
+//! and pushes back what the peer wants — so a preempted scenario's result
+//! (or its per-rank checkpoint resume, executed on whichever node the
+//! client failed over to) propagates to the whole fleet. Topology and
+//! failure semantics are specified in `docs/FEDERATION.md`.
+
+use crate::queue::JobId;
+use crate::report::ScenarioResult;
+use crate::serve::{CampaignClient, CampaignServer};
+use crate::spec::ScenarioSpec;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Liveness bounds for federated connections.
+#[derive(Clone, Copy, Debug)]
+pub struct FederationConfig {
+    /// Cap on establishing a TCP connection to a node.
+    pub connect_timeout: Duration,
+    /// Cap on any single reply read; a node silent for longer is treated
+    /// as dead (see [`CampaignClient::connect_timeout`]).
+    pub read_timeout: Duration,
+    /// How long one `STREAM` exchange asks a node to wait for results.
+    /// Must be comfortably below `read_timeout`: during a stream the
+    /// server legitimately says nothing until a result finishes or this
+    /// window closes.
+    pub stream_slice: Duration,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            stream_slice: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One member of the federation, as the client sees it.
+struct Node {
+    addr: String,
+    client: Option<CampaignClient>,
+}
+
+impl Node {
+    fn is_live(&self) -> bool {
+        self.client.is_some()
+    }
+}
+
+/// One submission's bookkeeping: which node currently owns it, and under
+/// which per-node job id.
+struct Tracked {
+    spec: ScenarioSpec,
+    hash: u64,
+    node: usize,
+    job: JobId,
+    done: bool,
+}
+
+/// What a completed federated sweep reports beyond the results themselves.
+#[derive(Clone, Debug, Default)]
+pub struct FederationStats {
+    /// Nodes that died (timed out or tore their connection) during the run.
+    pub nodes_lost: usize,
+    /// Jobs re-submitted to a surviving node after their owner died.
+    pub resubmitted: usize,
+    /// Duplicate completions dropped by content-hash dedup (a re-submitted
+    /// job whose original owner had already streamed, or coalescing across
+    /// nodes).
+    pub deduped: usize,
+}
+
+/// A campaign client over several servers: round-robin submission,
+/// dead-node failover, hash-deduplicated result streaming.
+pub struct FederatedClient {
+    nodes: Vec<Node>,
+    cfg: FederationConfig,
+    rr: usize,
+    tracked: Vec<Tracked>,
+    stats: FederationStats,
+}
+
+impl FederatedClient {
+    /// Connect to `addrs`. Nodes that refuse or time out now are recorded
+    /// as dead (they get no second chance — federation is failover, not
+    /// membership management); at least one must be live.
+    pub fn connect(addrs: &[String], cfg: FederationConfig) -> io::Result<FederatedClient> {
+        let nodes: Vec<Node> = addrs
+            .iter()
+            .map(|addr| Node {
+                addr: addr.clone(),
+                client: CampaignClient::connect_timeout(
+                    addr.as_str(),
+                    cfg.connect_timeout,
+                    cfg.read_timeout,
+                )
+                .ok(),
+            })
+            .collect();
+        let dead = nodes.iter().filter(|n| !n.is_live()).count();
+        if dead == nodes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("no live node among {addrs:?}"),
+            ));
+        }
+        Ok(FederatedClient {
+            nodes,
+            cfg,
+            rr: 0,
+            tracked: Vec::new(),
+            stats: FederationStats {
+                nodes_lost: dead,
+                ..Default::default()
+            },
+        })
+    }
+
+    /// Addresses of the nodes currently considered live.
+    pub fn live_nodes(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_live())
+            .map(|n| n.addr.as_str())
+            .collect()
+    }
+
+    /// Failover accounting so far.
+    pub fn stats(&self) -> &FederationStats {
+        &self.stats
+    }
+
+    /// Submit one scenario to the next live node (round-robin). Returns the
+    /// spec's content hash — the federated ticket: node-local job ids are
+    /// an implementation detail that dies with a node, the hash does not.
+    /// A node that fails the exchange is marked dead and the submission
+    /// moves on; `Err` only when every node is gone.
+    pub fn submit(&mut self, spec: &ScenarioSpec) -> io::Result<u64> {
+        let mut spec = spec.clone();
+        spec.normalize();
+        let hash = spec.content_hash();
+        // Already tracked (sweep-level dedup): one execution serves both.
+        if self.tracked.iter().any(|t| t.hash == hash) {
+            self.stats.deduped += 1;
+            return Ok(hash);
+        }
+        loop {
+            let idx = self.next_live_node()?;
+            match self.nodes[idx]
+                .client
+                .as_mut()
+                .expect("next_live_node returned a live node")
+                .submit(&spec, 0)
+            {
+                Ok(ack) => {
+                    self.tracked.push(Tracked {
+                        spec,
+                        hash,
+                        node: idx,
+                        job: ack.job,
+                        done: false,
+                    });
+                    return Ok(hash);
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e), // spec rejected
+                Err(_) => self.mark_dead(idx),
+            }
+        }
+    }
+
+    /// Submit a batch in order; returns the content hashes.
+    pub fn submit_all(&mut self, specs: &[ScenarioSpec]) -> io::Result<Vec<u64>> {
+        specs.iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Drive every tracked submission to completion: stream from each live
+    /// node in short slices, fail dead nodes over by re-submitting their
+    /// unfinished jobs to survivors, dedupe completions by hash. Returns
+    /// `hash → result` for every tracked scenario, or an error when the
+    /// deadline passes or the last node dies with work outstanding.
+    pub fn collect(&mut self, timeout: Duration) -> io::Result<HashMap<u64, ScenarioResult>> {
+        let deadline = Instant::now() + timeout;
+        let mut out: HashMap<u64, ScenarioResult> = HashMap::new();
+        while out.len() < self.tracked.len() {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "federated collect timed out with {}/{} results",
+                        out.len(),
+                        self.tracked.len()
+                    ),
+                ));
+            }
+            // One streaming slice per live node that still owes results.
+            for idx in 0..self.nodes.len() {
+                let pending: Vec<JobId> = self
+                    .tracked
+                    .iter()
+                    .filter(|t| t.node == idx && !t.done)
+                    .map(|t| t.job)
+                    .collect();
+                if pending.is_empty() || !self.nodes[idx].is_live() {
+                    continue;
+                }
+                let streamed = self.nodes[idx]
+                    .client
+                    .as_mut()
+                    .expect("checked live")
+                    .stream(pending.len(), self.cfg.stream_slice);
+                match streamed {
+                    Ok(results) => {
+                        for r in results {
+                            self.absorb(idx, r.job, r.hash, r.result, &mut out);
+                        }
+                    }
+                    Err(_) => self.mark_dead(idx),
+                }
+            }
+            self.resubmit_orphans(&out)?;
+        }
+        Ok(out)
+    }
+
+    /// Record one streamed completion, deduplicating by content hash.
+    fn absorb(
+        &mut self,
+        node: usize,
+        job: JobId,
+        hash: u64,
+        result: ScenarioResult,
+        out: &mut HashMap<u64, ScenarioResult>,
+    ) {
+        // Mark every tracked entry for this hash done — after a failover
+        // race both the original and the re-submitted job may stream.
+        for t in self.tracked.iter_mut().filter(|t| t.hash == hash) {
+            if t.done && !(t.node == node && t.job == job) {
+                self.stats.deduped += 1;
+            }
+            t.done = true;
+        }
+        if out.insert(hash, result).is_some() {
+            self.stats.deduped += 1;
+        }
+    }
+
+    /// Re-home every unfinished job whose owner is dead. Jobs whose hash
+    /// already completed on another node are just marked done.
+    fn resubmit_orphans(&mut self, out: &HashMap<u64, ScenarioResult>) -> io::Result<()> {
+        let orphans: Vec<usize> = self
+            .tracked
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.done && !self.nodes[t.node].is_live())
+            .map(|(i, _)| i)
+            .collect();
+        for i in orphans {
+            if out.contains_key(&self.tracked[i].hash) {
+                self.tracked[i].done = true;
+                continue;
+            }
+            loop {
+                let idx = self.next_live_node()?;
+                let spec = self.tracked[i].spec.clone();
+                match self.nodes[idx]
+                    .client
+                    .as_mut()
+                    .expect("next_live_node returned a live node")
+                    .submit(&spec, 0)
+                {
+                    Ok(ack) => {
+                        self.tracked[i].node = idx;
+                        self.tracked[i].job = ack.job;
+                        self.stats.resubmitted += 1;
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+                    Err(_) => self.mark_dead(idx),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next_live_node(&mut self) -> io::Result<usize> {
+        for _ in 0..self.nodes.len() {
+            let idx = self.rr % self.nodes.len();
+            self.rr += 1;
+            if self.nodes[idx].is_live() {
+                return Ok(idx);
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "every federation node is dead",
+        ))
+    }
+
+    fn mark_dead(&mut self, idx: usize) {
+        if self.nodes[idx].client.take().is_some() {
+            self.stats.nodes_lost += 1;
+        }
+    }
+}
+
+/// Handle to a running anti-entropy agent; dropping it (or calling
+/// [`AntiEntropy::stop`]) stops the background thread.
+pub struct AntiEntropy {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AntiEntropy {
+    /// Spawn the agent inside `server`'s process: every `interval`, offer
+    /// each of `peers` this node's store inventory over `SYNC`, import the
+    /// results this node lacks, and `PUSH` back the ones the peer wants.
+    /// Unreachable peers are skipped and retried next round — anti-entropy
+    /// is eventually consistent by design, never blocking.
+    ///
+    /// The agent holds a handle on the server's queue, so **stop it before
+    /// [`CampaignServer::join`]** — join hands the store back only once the
+    /// queue has no other holder.
+    pub fn spawn(
+        server: &CampaignServer,
+        peers: Vec<String>,
+        interval: Duration,
+        cfg: FederationConfig,
+    ) -> AntiEntropy {
+        let queue = server.queue_handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                for peer in &peers {
+                    if flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let digests = queue.store_digests();
+                    let Ok(mut client) = CampaignClient::connect_timeout(
+                        peer.as_str(),
+                        cfg.connect_timeout,
+                        cfg.read_timeout,
+                    ) else {
+                        continue;
+                    };
+                    let Ok((results, want)) = client.sync(&digests) else {
+                        continue;
+                    };
+                    for (hash, result) in results {
+                        queue.import_result(hash, result);
+                    }
+                    if !want.is_empty() {
+                        let give: Vec<(u64, ScenarioResult)> = queue
+                            .export_results(&want)
+                            .into_iter()
+                            .map(|(h, r)| (h, (*r).clone()))
+                            .collect();
+                        let _ = client.push(give);
+                    }
+                }
+                // Sleep in short ticks so stop() stays responsive.
+                let until = Instant::now() + interval;
+                while Instant::now() < until && !flag.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(25).min(interval));
+                }
+            }
+        });
+        AntiEntropy {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the agent and join its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AntiEntropy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecConfig;
+    use crate::spec::BaseCase;
+    use crate::store::ResultStore;
+
+    fn quick(n: usize) -> ScenarioSpec {
+        let mut s = ScenarioSpec::new(BaseCase::SteepeningWave { amp: 0.2 }, n);
+        s.warmup = 0;
+        s.steps = 1;
+        s
+    }
+
+    fn small_server() -> CampaignServer {
+        CampaignServer::bind(
+            "127.0.0.1:0",
+            ExecConfig {
+                workers: 1,
+                threads_per_worker: 1,
+                ..Default::default()
+            },
+            ResultStore::new(),
+        )
+        .expect("bind")
+    }
+
+    fn fast_cfg() -> FederationConfig {
+        FederationConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            stream_slice: Duration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_a_sweep_and_dedupes_by_hash() {
+        let a = small_server();
+        let b = small_server();
+        let addrs = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+        let mut fed = FederatedClient::connect(&addrs, fast_cfg()).unwrap();
+        assert_eq!(fed.live_nodes().len(), 2);
+
+        let specs = [quick(40), quick(48), quick(56), quick(40)]; // one dup
+        let hashes = fed.submit_all(&specs).unwrap();
+        assert_eq!(hashes[0], hashes[3], "same physics, same ticket");
+        assert_eq!(fed.stats().deduped, 1, "duplicate never left the client");
+
+        let results = fed.collect(Duration::from_secs(120)).unwrap();
+        assert_eq!(results.len(), 3);
+        for h in &hashes {
+            assert!(results[h].status.is_ok());
+        }
+        assert_eq!(fed.stats().nodes_lost, 0);
+        assert_eq!(fed.stats().resubmitted, 0);
+
+        // Both nodes actually executed something (round-robin, not
+        // primary/backup).
+        let mut ca = CampaignClient::connect(a.local_addr()).unwrap();
+        let mut cb = CampaignClient::connect(b.local_addr()).unwrap();
+        assert!(ca.stats().unwrap().executed >= 1);
+        assert!(cb.stats().unwrap().executed >= 1);
+        ca.shutdown_server().unwrap();
+        cb.shutdown_server().unwrap();
+        a.join();
+        b.join();
+    }
+
+    #[test]
+    fn dead_node_at_connect_time_is_tolerated() {
+        let a = small_server();
+        // A port with nothing behind it: grab one, then drop the listener.
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let addrs = vec![dead_addr.clone(), a.local_addr().to_string()];
+        let mut fed = FederatedClient::connect(&addrs, fast_cfg()).unwrap();
+        assert_eq!(fed.live_nodes().len(), 1);
+        assert_eq!(fed.stats().nodes_lost, 1);
+
+        fed.submit(&quick(48)).unwrap();
+        let results = fed.collect(Duration::from_secs(120)).unwrap();
+        assert_eq!(results.len(), 1);
+
+        // Nothing live at all: connect refuses.
+        let err = match FederatedClient::connect(&[dead_addr], fast_cfg()) {
+            Ok(_) => panic!("connected to a federation with no live node"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+
+        let mut c = CampaignClient::connect(a.local_addr()).unwrap();
+        c.shutdown_server().unwrap();
+        a.join();
+    }
+
+    #[test]
+    fn anti_entropy_converges_two_nodes() {
+        let a = small_server();
+        let b = small_server();
+
+        // Node A computes a result node B has never seen.
+        let mut ca = CampaignClient::connect(a.local_addr()).unwrap();
+        let ack = ca.submit(&quick(48), 0).unwrap();
+        assert_eq!(ca.stream(1, Duration::from_secs(120)).unwrap().len(), 1);
+
+        // B's agent gossips with A.
+        let agent = AntiEntropy::spawn(
+            &b,
+            vec![a.local_addr().to_string()],
+            Duration::from_millis(50),
+            fast_cfg(),
+        );
+        let mut cb = CampaignClient::connect(b.local_addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if cb.stats().unwrap().entries >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "anti-entropy never converged");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // The backfilled result serves B's submissions with zero compute.
+        let again = cb.submit(&quick(48), 0).unwrap();
+        assert!(!again.queued);
+        assert_eq!(again.hash_hex, ack.hash_hex);
+        assert_eq!(cb.stats().unwrap().executed, 0);
+
+        // Now B computes something and the *push* half returns it to A:
+        // B's agent syncs against A, learns A wants it, and pushes.
+        let _ = cb.submit(&quick(64), 0).unwrap();
+        assert_eq!(cb.stream(1, Duration::from_secs(120)).unwrap().len(), 1);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if ca.stats().unwrap().entries >= 2 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "push half never converged");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        agent.stop();
+        ca.shutdown_server().unwrap();
+        cb.shutdown_server().unwrap();
+        assert_eq!(a.join().len(), 2);
+        assert_eq!(b.join().len(), 2);
+    }
+}

@@ -33,6 +33,10 @@
 //! * [`serve`] — [`CampaignServer`]/[`CampaignClient`]: the queue exposed
 //!   over TCP — campaigns submitted from other processes and machines,
 //!   coalesced across connections, sharing one store file;
+//! * [`federation`] — [`FederatedClient`]/[`AntiEntropy`]: several servers
+//!   as one failure-tolerant campaign fabric — round-robin submission with
+//!   client-side failover, and store anti-entropy over the `SYNC`/`PUSH`
+//!   verbs (topology in `docs/FEDERATION.md`);
 //! * [`report`] — [`CampaignReport`]: per-scenario grind, conservation
 //!   drift, and base-heating diagnostics aggregated into JSON/CSV/text.
 //!
@@ -55,6 +59,7 @@
 #![deny(missing_docs)]
 
 pub mod exec;
+pub mod federation;
 pub mod persist;
 pub mod protocol;
 pub mod queue;
@@ -65,7 +70,8 @@ pub mod store;
 pub mod sweep;
 
 pub use exec::{run_scenario, run_scenario_caught, Campaign, ExecConfig};
-pub use persist::StoreRecovery;
+pub use federation::{AntiEntropy, FederatedClient, FederationConfig, FederationStats};
+pub use persist::{result_digest, StoreRecovery};
 pub use protocol::{
     ErrorCode, MetricHistogram, ServerMetrics, ServerStats, StreamedResult, WireJobState,
     PROTO_VERSION,

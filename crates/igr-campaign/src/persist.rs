@@ -163,6 +163,22 @@ pub(crate) fn encode_line(hash: u64, r: &ScenarioResult) -> String {
     s
 }
 
+/// Stable 64-bit digest of one stored result: FNV-1a over the canonical
+/// store-line object (the same bytes the wire embeds and the store file
+/// persists). Two stores hold "the same" result for a hash exactly when
+/// their digests match bit for bit — the anti-entropy `SYNC` exchange
+/// compares these instead of shipping full lines, so a converged federation
+/// settles into digest-only traffic. Process- and platform-independent for
+/// the same reason the content hash is: the line encoding is bit-exact.
+pub fn result_digest(hash: u64, r: &ScenarioResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in encode_result_obj(hash, r).as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// One result as one JSON object (no trailing newline) — the store-line
 /// payload, also embedded verbatim in wire-protocol responses
 /// ([`crate::protocol`]), so the two formats can never drift apart.

@@ -91,6 +91,11 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The request panicked inside the server; the connection survives.
     Internal,
+    /// The peer did not answer within the client's deadline (connect or
+    /// read). Generated client-side — it never travels on the wire from a
+    /// server — so the federation layer can tell a dead node from a slow
+    /// request and fail over.
+    Timeout,
 }
 
 impl ErrorCode {
@@ -107,6 +112,7 @@ impl ErrorCode {
             ErrorCode::NotPersistent => "not-persistent",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Timeout => "timeout",
         }
     }
 
@@ -125,6 +131,7 @@ impl ErrorCode {
             "not-persistent" => ErrorCode::NotPersistent,
             "shutting-down" => ErrorCode::ShuttingDown,
             "internal" => ErrorCode::Internal,
+            "timeout" => ErrorCode::Timeout,
             _ => return None,
         })
     }
@@ -206,6 +213,24 @@ pub enum Request {
     Metrics,
     /// Compact the server's backing store file.
     Compact,
+    /// Anti-entropy exchange: the requester sends its store's
+    /// `(hash, digest)` inventory; the responder answers with the full
+    /// result lines the requester lacks (or holds a different digest for)
+    /// plus a `want` list of hashes the *responder* lacks. Additive v3 verb
+    /// (see `docs/PROTOCOL.md` §6): an older server answers `unknown-op`,
+    /// which fails only the request.
+    Sync {
+        /// The requester's inventory as `(content_hash, result_digest)`
+        /// pairs — see [`crate::persist::result_digest`].
+        digests: Vec<(u64, u64)>,
+    },
+    /// Anti-entropy backfill: push full result lines to the responder
+    /// (typically answering its `SYNC` `want` list). Additive v3 verb, like
+    /// `SYNC`.
+    Push {
+        /// Full results keyed by content hash, store-line encoding.
+        results: Vec<(u64, ScenarioResult)>,
+    },
     /// Gracefully stop the server (it finishes by handing its store back
     /// to whoever started it).
     Shutdown,
@@ -231,6 +256,31 @@ impl Request {
             Request::Stats => "{\"op\":\"stats\"}".to_string(),
             Request::Metrics => "{\"op\":\"metrics\"}".to_string(),
             Request::Compact => "{\"op\":\"compact\"}".to_string(),
+            Request::Sync { digests } => {
+                // Hashes and digests are 16-hex strings (the store's hash
+                // spelling; digests use it too so the full u64 range
+                // survives JSON's 2^53 number window).
+                let mut s = String::from("{\"op\":\"sync\",\"digests\":[");
+                for (i, (hash, digest)) in digests.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("[\"{hash:016x}\",\"{digest:016x}\"]"));
+                }
+                s.push_str("]}");
+                s
+            }
+            Request::Push { results } => {
+                let mut s = String::from("{\"op\":\"push\",\"results\":[");
+                for (i, (hash, result)) in results.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&persist::encode_result_obj(*hash, result));
+                }
+                s.push_str("]}");
+                s
+            }
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
         };
         s.push('\n');
@@ -273,6 +323,40 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "compact" => Ok(Request::Compact),
+            "sync" => {
+                let mut digests = Vec::new();
+                for pair in get(obj, "digests")
+                    .map_err(bad)?
+                    .as_array()
+                    .ok_or_else(|| bad("'digests' is not an array".into()))?
+                {
+                    let pair = pair
+                        .as_array()
+                        .ok_or_else(|| bad("digest entry is not an array".into()))?;
+                    if pair.len() != 2 {
+                        return Err(bad("digest entry is not [hash, digest]".into()));
+                    }
+                    digests.push((
+                        hex_u64(&pair[0], "hash").map_err(bad)?,
+                        hex_u64(&pair[1], "digest").map_err(bad)?,
+                    ));
+                }
+                Ok(Request::Sync { digests })
+            }
+            "push" => {
+                let mut results = Vec::new();
+                for entry in get(obj, "results")
+                    .map_err(bad)?
+                    .as_array()
+                    .ok_or_else(|| bad("'results' is not an array".into()))?
+                {
+                    let robj = entry
+                        .as_object()
+                        .ok_or_else(|| bad("result entry is not an object".into()))?;
+                    results.push(persist::decode_result_obj(robj).map_err(bad)?);
+                }
+                Ok(Request::Push { results })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError::new(
                 ErrorCode::UnknownOp,
@@ -456,6 +540,20 @@ pub enum Response {
         /// Dead lines the rewrite dropped.
         dropped_lines: usize,
     },
+    /// `SYNC` answer: the responder's side of the anti-entropy exchange.
+    Synced {
+        /// Full results the requester lacks (absent hash, or a hash whose
+        /// digest differs — last-write-wins is resolved by the requester).
+        results: Vec<(u64, ScenarioResult)>,
+        /// Hashes the *responder* lacks; the requester answers with `PUSH`.
+        want: Vec<u64>,
+    },
+    /// `PUSH` answer.
+    Pushed {
+        /// Results the responder imported (already-known hashes are
+        /// counted as accepted — the exchange is idempotent).
+        accepted: usize,
+    },
     /// `SHUTDOWN` acknowledged; the server closes the connection next.
     ShuttingDown,
     /// The request failed; the connection stays usable (except
@@ -563,6 +661,27 @@ impl Response {
             } => format!(
                 "{{\"ok\":true,\"op\":\"compact\",\"live\":{live},\"dropped\":{dropped_lines}}}"
             ),
+            Response::Synced { results, want } => {
+                let mut s = String::from("{\"ok\":true,\"op\":\"sync\",\"results\":[");
+                for (i, (hash, result)) in results.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&persist::encode_result_obj(*hash, result));
+                }
+                s.push_str("],\"want\":[");
+                for (i, hash) in want.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("\"{hash:016x}\""));
+                }
+                s.push_str("]}");
+                s
+            }
+            Response::Pushed { accepted } => {
+                format!("{{\"ok\":true,\"op\":\"push\",\"accepted\":{accepted}}}")
+            }
             Response::ShuttingDown => "{\"ok\":true,\"op\":\"shutdown\"}".to_string(),
             Response::Error(e) => format!(
                 "{{\"ok\":false,\"code\":\"{}\",\"detail\":{}}}",
@@ -701,6 +820,27 @@ impl Response {
             "compact" => Ok(Response::Compacted {
                 live: req_u64(obj, "live")? as usize,
                 dropped_lines: req_u64(obj, "dropped")? as usize,
+            }),
+            "sync" => {
+                let mut results = Vec::new();
+                for entry in get(obj, "results")?
+                    .as_array()
+                    .ok_or("'results' is not an array")?
+                {
+                    let robj = entry.as_object().ok_or("result entry is not an object")?;
+                    results.push(persist::decode_result_obj(robj)?);
+                }
+                let mut want = Vec::new();
+                for h in get(obj, "want")?
+                    .as_array()
+                    .ok_or("'want' is not an array")?
+                {
+                    want.push(hex_u64(h, "want entry")?);
+                }
+                Ok(Response::Synced { results, want })
+            }
+            "push" => Ok(Response::Pushed {
+                accepted: req_u64(obj, "accepted")? as usize,
             }),
             "shutdown" => Ok(Response::ShuttingDown),
             other => Err(format!("unknown response op '{other}'")),
@@ -939,6 +1079,15 @@ fn decode_controller(obj: &[(String, Json)]) -> Result<Option<ControllerSpec>, S
 // Field helpers
 // ---------------------------------------------------------------------------
 
+/// A u64 carried as a 16-hex-digit string (hashes, digests): the store's
+/// spelling, immune to JSON's 2^53 number window.
+fn hex_u64(v: &Json, what: &str) -> Result<u64, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| format!("{what} is not a string"))?;
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad {what} '{s}': {e}"))
+}
+
 fn req_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
     get(obj, key)?
         .as_u64()
@@ -1083,6 +1232,10 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Compact,
+            Request::Sync {
+                digests: vec![(0, u64::MAX), (0xfeed, 0xdead_beef)],
+            },
+            Request::Push { results: vec![] },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -1100,6 +1253,9 @@ mod tests {
                 ) => {
                     assert_eq!(spec.content_hash(), s2.content_hash());
                     assert_eq!(priority, p2);
+                }
+                (Request::Sync { digests }, Request::Sync { digests: d2 }) => {
+                    assert_eq!(digests, d2, "u64 extremes survive the hex strings");
                 }
                 _ => assert_eq!(std::mem::discriminant(&req), std::mem::discriminant(&back)),
             }
@@ -1200,6 +1356,82 @@ mod tests {
         match Response::decode(stats.encode().trim_end()).unwrap() {
             Response::Stats(s) => assert_eq!(s.executed, 2),
             other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_and_push_payloads_round_trip_bit_exactly() {
+        // The anti-entropy verbs move full store lines and 64-bit digests;
+        // nothing may be lossy or the digest comparison itself lies.
+        let mut result = ScenarioResult {
+            name: "synced".into(),
+            hash_hex: format!("{:016x}", u64::MAX),
+            status: RunStatus::Completed,
+            cells: 99,
+            steps: 12,
+            ranks: 2,
+            wall_s: 0.1,
+            ns_per_cell_step: f64::NEG_INFINITY,
+            mass_drift: f64::NAN,
+            energy_drift: -0.0,
+            base_heating: None,
+            series: None,
+            resumed_from: Some(6),
+            actions: None,
+        };
+
+        let req = Request::Push {
+            results: vec![(u64::MAX, result.clone()), (0, result.clone())],
+        };
+        match Request::decode(req.encode().trim_end()).unwrap() {
+            Request::Push { results } => {
+                assert_eq!(results.len(), 2);
+                assert_eq!(results[0].0, u64::MAX);
+                assert_eq!(results[1].0, 0);
+                assert!(results[0].1.mass_drift.is_nan());
+                assert_eq!(results[0].1.ns_per_cell_step, f64::NEG_INFINITY);
+                assert_eq!(results[0].1.energy_drift.to_bits(), (-0.0f64).to_bits());
+                assert_eq!(results[0].1.resumed_from, Some(6));
+            }
+            other => panic!("expected Push, got {other:?}"),
+        }
+
+        result.name = "served-back".into();
+        let resp = Response::Synced {
+            results: vec![(0xfeed, result.clone())],
+            want: vec![u64::MAX, 0, 7],
+        };
+        match Response::decode(resp.encode().trim_end()).unwrap() {
+            Response::Synced { results, want } => {
+                assert_eq!(results.len(), 1);
+                assert_eq!(results[0].0, 0xfeed);
+                assert_eq!(results[0].1.name, "served-back");
+                assert!(results[0].1.mass_drift.is_nan());
+                assert_eq!(want, vec![u64::MAX, 0, 7]);
+            }
+            other => panic!("expected Synced, got {other:?}"),
+        }
+
+        // Empty exchanges (fully converged peers) stay well-formed.
+        match Response::decode(
+            Response::Synced {
+                results: vec![],
+                want: vec![],
+            }
+            .encode()
+            .trim_end(),
+        )
+        .unwrap()
+        {
+            Response::Synced { results, want } => {
+                assert!(results.is_empty());
+                assert!(want.is_empty());
+            }
+            other => panic!("expected Synced, got {other:?}"),
+        }
+        match Response::decode(Response::Pushed { accepted: 3 }.encode().trim_end()).unwrap() {
+            Response::Pushed { accepted } => assert_eq!(accepted, 3),
+            other => panic!("expected Pushed, got {other:?}"),
         }
     }
 

@@ -547,6 +547,73 @@ impl CampaignQueue {
         lock(&self.shared).store.compact()
     }
 
+    /// Anti-entropy inventory of the underlying store: `(hash, digest)` for
+    /// every successful result (see [`ResultStore::digests`]). The wire
+    /// protocol's `SYNC` verb exchanges these.
+    pub fn store_digests(&self) -> Vec<(u64, u64)> {
+        lock(&self.shared).store.digests()
+    }
+
+    /// Full results for `hashes` from the underlying store; unknown hashes
+    /// and failed results are skipped (see [`ResultStore::export`]).
+    pub fn export_results(&self, hashes: &[u64]) -> Vec<(u64, Arc<ScenarioResult>)> {
+        lock(&self.shared).store.export(hashes)
+    }
+
+    /// Import a result executed elsewhere (the `SYNC`/`PUSH` receive path).
+    ///
+    /// Returns `true` when the result was accepted into the store. Failed
+    /// results are rejected (they never travel), and a hash the local store
+    /// already holds a successful result for is left untouched — imports
+    /// are idempotent and never clobber local compute. An accepted import
+    /// also completes any *queued* execution of the same hash: its waiters
+    /// stream out as cache hits and the pending execution is dropped, so a
+    /// backfilled result saves local compute, not just disk. A *running*
+    /// execution is left alone — its own completion supersedes harmlessly
+    /// (same content hash, same physics).
+    pub fn import_result(&self, hash: u64, result: ScenarioResult) -> bool {
+        if !result.status.is_ok() {
+            return false;
+        }
+        let mut g = lock(&self.shared);
+        if g.store.peek(hash).is_some_and(|r| r.status.is_ok()) {
+            return false;
+        }
+        g.store.insert(hash, result);
+        igr_obs::Registry::global().counter_add("queue.import", 1);
+        // A queued (not yet claimed) execution of this hash is now
+        // redundant: complete its waiters from the imported result. Heap
+        // entries for it go stale and are skipped on pop.
+        let mut notified = false;
+        if g.executions.get(&hash).is_some_and(|e| !e.running) {
+            let exec = g.executions.remove(&hash).expect("checked above");
+            let arc = Arc::clone(g.store.peek(hash).expect("just inserted"));
+            for id in exec.waiters {
+                let Some(job) = g.jobs.get_mut(&id) else {
+                    continue;
+                };
+                if matches!(job.phase, JobPhase::Cancelled) {
+                    continue;
+                }
+                let detached = job.detached;
+                job.phase = JobPhase::Done { cached: true };
+                let _ = g.store.fetch(hash); // served from cache: count the hit
+                if detached {
+                    g.jobs.remove(&id);
+                } else {
+                    g.completed.push_back((id, Arc::clone(&arc), true));
+                }
+            }
+            g.outstanding -= 1;
+            notified = true;
+        }
+        drop(g);
+        if notified {
+            self.shared.done.notify_all();
+        }
+        true
+    }
+
     fn stop_workers(&mut self) {
         lock(&self.shared).shutdown = true;
         self.shared.work.notify_all();
@@ -836,6 +903,71 @@ mod tests {
             s => panic!("expected Done, got {s:?}"),
         }
         assert!(matches!(q.poll(good_id), Some(JobState::Done { .. })));
+    }
+
+    #[test]
+    fn imported_results_complete_queued_executions_as_cache_hits() {
+        let q = CampaignQueue::manual(ResultStore::new());
+        let mut spec = quick(48);
+        spec.normalize();
+        let hash = spec.content_hash();
+        let id = q.submit(&spec, 0);
+        assert_eq!(q.outstanding(), 1);
+
+        // A peer's result for the same hash arrives before a worker claims
+        // the execution: the queued job completes as a cache hit and the
+        // pending execution evaporates.
+        let peer_result = {
+            let mut r = crate::report::ScenarioResult {
+                name: "peer".into(),
+                hash_hex: format!("{hash:016x}"),
+                status: RunStatus::Completed,
+                cells: 1,
+                steps: 1,
+                ranks: 1,
+                wall_s: 0.0,
+                ns_per_cell_step: 0.0,
+                mass_drift: 0.0,
+                energy_drift: 0.0,
+                base_heating: None,
+                series: None,
+                resumed_from: None,
+                actions: None,
+            };
+            r.steps = 7;
+            r
+        };
+        assert!(q.import_result(hash, peer_result.clone()));
+        assert!(
+            !q.import_result(hash, peer_result.clone()),
+            "imports never clobber a successful local entry"
+        );
+        assert_eq!(q.outstanding(), 0);
+        assert!(q.run_next().is_none(), "stale heap entry is skipped");
+        match q.poll(id) {
+            Some(JobState::Done { result, cached }) => {
+                assert!(cached);
+                assert_eq!(result.name, "peer");
+            }
+            s => panic!("expected Done, got {s:?}"),
+        }
+        let (jid, _, cached) = q.next_completed(Duration::from_secs(1)).unwrap();
+        assert_eq!(jid, id);
+        assert!(cached);
+        assert_eq!(q.executed(), 0, "no local compute was spent");
+
+        // Failed results are rejected outright.
+        let mut failed = peer_result;
+        failed.status = RunStatus::Failed("peer blew up".into());
+        assert!(!q.import_result(999, failed));
+
+        // The inventory reflects what a SYNC would advertise.
+        let digests = q.store_digests();
+        assert_eq!(digests.len(), 1);
+        assert_eq!(digests[0].0, hash);
+        let exported = q.export_results(&[hash, 999]);
+        assert_eq!(exported.len(), 1, "unknown hashes are skipped");
+        assert_eq!(exported[0].1.steps, 7);
     }
 
     #[test]

@@ -140,6 +140,12 @@ impl CampaignServer {
         self.addr
     }
 
+    /// The shared queue, for in-process agents (the anti-entropy thread
+    /// reads inventories and imports peer results through this).
+    pub(crate) fn queue_handle(&self) -> Arc<CampaignQueue> {
+        Arc::clone(&self.queue)
+    }
+
     /// True once a `SHUTDOWN` verb (or [`Self::request_shutdown`]) has been
     /// seen.
     pub fn is_shutting_down(&self) -> bool {
@@ -538,6 +544,45 @@ fn handle_request(
                 Ok(Flow::Continue)
             }
         },
+        Request::Sync { digests } => {
+            // Anti-entropy exchange: the requester sent its full (hash,
+            // digest) inventory. Ship back every successful result it lacks
+            // outright, and name the hashes we lack so it can PUSH them. A
+            // shared hash whose digests differ is left alone on both sides:
+            // content-hash equality means the physics matched, and the
+            // byte-level divergence is timing fields (wall_s) that neither
+            // store should clobber the other's compute over.
+            let theirs: std::collections::HashSet<u64> = digests.iter().map(|&(h, _)| h).collect();
+            let local = queue.store_digests();
+            let ours: std::collections::HashSet<u64> = local.iter().map(|&(h, _)| h).collect();
+            let missing: Vec<u64> = local
+                .iter()
+                .filter(|(h, _)| !theirs.contains(h))
+                .map(|&(h, _)| h)
+                .collect();
+            let results: Vec<(u64, crate::report::ScenarioResult)> = queue
+                .export_results(&missing)
+                .into_iter()
+                .map(|(h, r)| (h, (*r).clone()))
+                .collect();
+            let want: Vec<u64> = digests
+                .iter()
+                .filter(|(h, _)| !ours.contains(h))
+                .map(|&(h, _)| h)
+                .collect();
+            send(writer, Response::Synced { results, want })?;
+            Ok(Flow::Continue)
+        }
+        Request::Push { results } => {
+            let mut accepted = 0usize;
+            for (hash, result) in results {
+                if queue.import_result(hash, result) {
+                    accepted += 1;
+                }
+            }
+            send(writer, Response::Pushed { accepted })?;
+            Ok(Flow::Continue)
+        }
         Request::Shutdown => {
             send(writer, Response::ShuttingDown)?;
             shutdown.store(true, Ordering::SeqCst);
@@ -575,6 +620,41 @@ impl CampaignClient {
     /// content-hash version.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<CampaignClient> {
         let stream = TcpStream::connect(addr)?;
+        Self::finish_connect(stream)
+    }
+
+    /// [`Self::connect`] with explicit liveness bounds: `connect` caps how
+    /// long each resolved address may take to accept, and `read` caps how
+    /// long any single reply may take to arrive. A dead or wedged node then
+    /// fails fast with a typed [`ErrorCode::Timeout`] error
+    /// ([`Self::is_timeout`]) instead of blocking the caller on OS TCP
+    /// timeouts — the detection primitive federation failover is built on.
+    ///
+    /// The read timeout applies per read for the connection's lifetime;
+    /// [`Self::set_read_timeout`] adjusts it (e.g. widen it around a long
+    /// `STREAM` wait, where the server legitimately stays silent until a
+    /// result finishes).
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        connect: Duration,
+        read: Duration,
+    ) -> io::Result<CampaignClient> {
+        let mut last_err = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, connect) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(read))?;
+                    return Self::finish_connect(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn finish_connect(stream: TcpStream) -> io::Result<CampaignClient> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         let mut client = CampaignClient {
@@ -589,6 +669,21 @@ impl CampaignClient {
             Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Adjust (or clear) the per-read timeout on the live connection.
+    pub fn set_read_timeout(&self, read: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(read)
+    }
+
+    /// True when `err` is a client-side read/connect timeout produced by
+    /// this client (carries an [`ErrorCode::Timeout`] [`WireError`]) — the
+    /// "treat this node as dead and fail over" signal, as distinct from a
+    /// server-sent error or a closed socket.
+    pub fn is_timeout(err: &io::Error) -> bool {
+        err.get_ref()
+            .and_then(|inner| inner.downcast_ref::<WireError>())
+            .is_some_and(|w| w.code == ErrorCode::Timeout)
     }
 
     /// Submit one scenario at `priority` (higher runs first).
@@ -696,6 +791,39 @@ impl CampaignClient {
         }
     }
 
+    /// Anti-entropy exchange (SYNC, an additive v3 verb — `unknown-op`
+    /// against older servers, request-fatal only): send this store's full
+    /// `(hash, digest)` inventory, get back every successful result the
+    /// server holds that the inventory lacks, plus the hashes the server
+    /// `want`s pushed back. See `docs/FEDERATION.md`.
+    pub fn sync(
+        &mut self,
+        digests: &[(u64, u64)],
+    ) -> io::Result<(Vec<(u64, crate::report::ScenarioResult)>, Vec<u64>)> {
+        match self.rpc(&Request::Sync {
+            digests: digests.to_vec(),
+        })? {
+            Response::Synced { results, want } => Ok((results, want)),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Push full results to the server (PUSH, additive v3 — the other half
+    /// of anti-entropy). Returns how many the server accepted; it never
+    /// clobbers a successful result it already holds, so pushing is
+    /// idempotent.
+    pub fn push(
+        &mut self,
+        results: Vec<(u64, crate::report::ScenarioResult)>,
+    ) -> io::Result<usize> {
+        match self.rpc(&Request::Push { results })? {
+            Response::Pushed { accepted } => Ok(accepted),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Ask the server to shut down gracefully (it hands its store back to
     /// the process hosting it — see [`CampaignServer::join`]).
     pub fn shutdown_server(&mut self) -> io::Result<()> {
@@ -723,14 +851,29 @@ impl CampaignClient {
 
     fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(io::Error::new(
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ));
+            )),
+            Ok(_) => Ok(line.trim_end_matches(['\n', '\r']).to_string()),
+            // SO_RCVTIMEO surfaces as WouldBlock on Unix and TimedOut on
+            // Windows; both mean "the node went silent". Wrap them in a
+            // typed Timeout WireError so callers can tell liveness failures
+            // from protocol errors without string matching.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    WireError::new(
+                        ErrorCode::Timeout,
+                        "server did not reply within the read timeout",
+                    ),
+                ))
+            }
+            Err(e) => Err(e),
         }
-        Ok(line.trim_end_matches(['\n', '\r']).to_string())
     }
 
     fn recv(&mut self) -> io::Result<Response> {
@@ -864,6 +1007,106 @@ mod tests {
         assert_eq!(stats.outstanding, 0, "nothing was queued");
         client.shutdown_server().unwrap();
         server.join();
+    }
+
+    #[test]
+    fn silent_sockets_fail_fast_with_a_typed_timeout() {
+        // A "server" that accepts the TCP connection and then never says a
+        // word — the shape of a wedged or half-dead node. The plain client
+        // would block in the HELLO read indefinitely; the timeout-configured
+        // one must fail fast with a typed Timeout error, distinguishable
+        // from protocol errors without string matching.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            let _held = listener.accept().unwrap();
+            let _ = rx.recv(); // keep the socket open (silent) until told
+        });
+        let t0 = Instant::now();
+        let err = match CampaignClient::connect_timeout(
+            addr,
+            Duration::from_secs(5),
+            Duration::from_millis(150),
+        ) {
+            Ok(_) => panic!("handshake against a silent socket succeeded"),
+            Err(e) => e,
+        };
+        assert!(t0.elapsed() < Duration::from_secs(4), "failed fast");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(CampaignClient::is_timeout(&err), "{err}");
+        drop(tx);
+        let _ = hold.join();
+
+        // Contrast: a server-sent error and a dead socket are NOT timeouts.
+        let server = small_server(ResultStore::new());
+        let mut client = CampaignClient::connect_timeout(
+            server.local_addr(),
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let err = client.compact().unwrap_err(); // not-persistent WireError
+        assert!(!CampaignClient::is_timeout(&err), "{err}");
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn sync_and_push_converge_two_stores_over_the_wire() {
+        // Node A and node B each executed a scenario the other lacks. One
+        // SYNC + PUSH round against A (driven with B's inventory, as B's
+        // anti-entropy agent would) must leave A holding both results.
+        let server_a = small_server(ResultStore::new());
+        let mut ca = CampaignClient::connect(server_a.local_addr()).unwrap();
+        let ack_a = ca.submit(&quick(48), 0).unwrap();
+        let r_a = ca.stream(1, Duration::from_secs(120)).unwrap().remove(0);
+
+        let server_b = small_server(ResultStore::new());
+        let mut cb = CampaignClient::connect(server_b.local_addr()).unwrap();
+        let ack_b = cb.submit(&quick(64), 0).unwrap();
+        let r_b = cb.stream(1, Duration::from_secs(120)).unwrap().remove(0);
+        let hash_a = u64::from_str_radix(&ack_a.hash_hex, 16).unwrap();
+        let hash_b = u64::from_str_radix(&ack_b.hash_hex, 16).unwrap();
+        assert_ne!(hash_a, hash_b);
+
+        // SYNC with B's inventory: A ships back what B lacks and names what
+        // it wants from B.
+        let inventory_b = vec![(hash_b, crate::persist::result_digest(hash_b, &r_b.result))];
+        let (results, want) = ca.sync(&inventory_b).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, hash_a);
+        assert_eq!(
+            crate::persist::result_digest(hash_a, &results[0].1),
+            crate::persist::result_digest(hash_a, &r_a.result),
+            "the synced line is bitwise the stored line"
+        );
+        assert_eq!(want, vec![hash_b]);
+
+        // PUSH the wanted result: accepted once, idempotent after.
+        assert_eq!(ca.push(vec![(hash_b, r_b.result.clone())]).unwrap(), 1);
+        assert_eq!(ca.push(vec![(hash_b, r_b.result.clone())]).unwrap(), 0);
+
+        // A now serves B's scenario from its store: zero compute.
+        let again = ca.submit(&quick(64), 0).unwrap();
+        assert!(!again.queued, "backfilled result is a cache hit");
+        let stats = ca.stats().unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.executed, 1, "A never executed B's scenario");
+
+        // Converged peers exchange nothing.
+        let inv: Vec<(u64, u64)> = vec![
+            (hash_a, crate::persist::result_digest(hash_a, &r_a.result)),
+            (hash_b, crate::persist::result_digest(hash_b, &r_b.result)),
+        ];
+        let (results, want) = ca.sync(&inv).unwrap();
+        assert!(results.is_empty());
+        assert!(want.is_empty());
+
+        ca.shutdown_server().unwrap();
+        cb.shutdown_server().unwrap();
+        assert_eq!(server_a.join().len(), 2);
+        assert_eq!(server_b.join().len(), 1);
     }
 
     #[test]

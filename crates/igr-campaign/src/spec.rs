@@ -194,8 +194,10 @@ pub struct ScenarioSpec {
     /// `None` specs keep their pre-existing hashes.
     pub series_every: Option<usize>,
     /// Autosave a restart checkpoint every `n` timed steps (requires
-    /// [`crate::exec::ExecConfig::checkpoint_dir`]; single-block scenarios
-    /// only). **Excluded from the content hash**, like `label`: resume is
+    /// [`crate::exec::ExecConfig::checkpoint_dir`]). Single-block scenarios
+    /// write one `<hash>.ckpt`; decomposed (`ranks > 1`) scenarios write one
+    /// `<hash>.rank<N>.ckpt` per rank, validated as a set on resume.
+    /// **Excluded from the content hash**, like `label`: resume is
     /// bitwise-identical to an uninterrupted run, so the policy does not
     /// change the physics *or* the recorded result.
     pub checkpoint_every: Option<usize>,
@@ -310,11 +312,6 @@ impl ScenarioSpec {
         }
         if self.checkpoint_every == Some(0) {
             return Err(SpecError("checkpoint_every must be >= 1 when set".into()));
-        }
-        if self.checkpoint_every.is_some() && self.ranks.is_some_and(|r| r > 1) {
-            return Err(SpecError(
-                "checkpointing supports single-block scenarios only".into(),
-            ));
         }
         if let Some(c) = &self.controller {
             if !self.base.is_jet() {
@@ -922,7 +919,20 @@ mod tests {
         let mut d = jet_spec();
         d.checkpoint_every = Some(2);
         d.ranks = Some(2);
-        assert!(d.validate().is_err(), "decomposed runs cannot checkpoint");
+        assert!(
+            d.validate().is_ok(),
+            "decomposed runs checkpoint per rank: {:?}",
+            d.validate()
+        );
+        assert_eq!(
+            d.content_hash(),
+            {
+                let mut plain = jet_spec();
+                plain.ranks = Some(2);
+                plain.content_hash()
+            },
+            "per-rank checkpointing stays hash-neutral too"
+        );
     }
 
     #[test]

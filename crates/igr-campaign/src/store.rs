@@ -221,6 +221,38 @@ impl ResultStore {
         }
     }
 
+    /// Anti-entropy inventory: `(content_hash, line_digest)` for every
+    /// cached `Completed` result, in ascending hash order. The digest is
+    /// [`persist::result_digest`] — FNV-1a over the canonical store line —
+    /// so two stores hold bitwise-identical results for a hash exactly when
+    /// their digests match. Failed results are excluded, mirroring what
+    /// persists to disk.
+    pub fn digests(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .map
+            .iter()
+            .filter(|(_, r)| r.status.is_ok())
+            .map(|(h, r)| (*h, persist::result_digest(*h, r)))
+            .collect();
+        v.sort_unstable_by_key(|(h, _)| *h);
+        v
+    }
+
+    /// Full results for `hashes`, counter-free (sync traffic is not cache
+    /// traffic). Unknown hashes and failed results are silently skipped —
+    /// only what would persist to disk travels between stores.
+    pub fn export(&self, hashes: &[u64]) -> Vec<(u64, Arc<ScenarioResult>)> {
+        hashes
+            .iter()
+            .filter_map(|&h| {
+                self.map
+                    .get(&h)
+                    .filter(|r| r.status.is_ok())
+                    .map(|r| (h, Arc::clone(r)))
+            })
+            .collect()
+    }
+
     /// Cached results.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -72,6 +72,14 @@ impl ReduceOp {
             ReduceOp::Max => a.max(b),
         }
     }
+
+    fn apply_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
 }
 
 pub(crate) struct Packet {
@@ -217,6 +225,30 @@ impl Comm {
         }
     }
 
+    /// [`Self::allreduce_f64`] for integer scalars: reduce over all ranks
+    /// in deterministic rank order and broadcast the result. The collective
+    /// every rank uses to reach *one* decision (e.g. whether a decomposed
+    /// run resumes from per-rank restart files or starts fresh — all ranks
+    /// must agree, or they would deadlock in the first halo exchange).
+    pub fn allreduce_u64(&mut self, x: u64, op: ReduceOp) -> u64 {
+        const TAG_GATHER: u64 = INTERNAL | 5;
+        const TAG_RESULT: u64 = INTERNAL | 6;
+        if self.rank == 0 {
+            let mut acc = x;
+            for src in 1..self.size {
+                let v = u64::from_bytes(&self.recv_raw(src, TAG_GATHER))[0];
+                acc = op.apply_u64(acc, v);
+            }
+            for dst in 1..self.size {
+                self.send_raw(dst, TAG_RESULT, u64::to_bytes(&[acc]));
+            }
+            acc
+        } else {
+            self.send_raw(0, TAG_GATHER, u64::to_bytes(&[x]));
+            u64::from_bytes(&self.recv_raw(0, TAG_RESULT))[0]
+        }
+    }
+
     /// Broadcast a buffer from `root` to all ranks.
     pub fn broadcast<T: CommData>(&mut self, root: usize, data: &[T]) -> Vec<T> {
         const TAG_BCAST: u64 = INTERNAL | 3;
@@ -278,6 +310,30 @@ mod tests {
         assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
         assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
         assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Sum.apply_u64(2, 3), 5);
+        assert_eq!(ReduceOp::Min.apply_u64(u64::MAX, 3), 3);
+        assert_eq!(ReduceOp::Max.apply_u64(u64::MAX, 3), u64::MAX);
+    }
+
+    #[test]
+    fn allreduce_u64_agrees_on_every_rank() {
+        use crate::universe::Universe;
+        // The resume-consensus pattern: every rank proposes a step (or the
+        // u64::MAX "no restart file" sentinel) and min/max must agree
+        // everywhere, full u64 range included.
+        let proposals = [7u64, u64::MAX, 7, 7];
+        let out = Universe::run(4, move |mut comm| {
+            let x = proposals[comm.rank()];
+            let lo = comm.allreduce_u64(x, ReduceOp::Min);
+            let hi = comm.allreduce_u64(x, ReduceOp::Max);
+            let n = comm.allreduce_u64(1, ReduceOp::Sum);
+            (lo, hi, n)
+        });
+        for &(lo, hi, n) in &out {
+            assert_eq!(lo, 7);
+            assert_eq!(hi, u64::MAX);
+            assert_eq!(n, 4);
+        }
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Federated campaign serving end to end, with a node killed mid-sweep:
+//! three campaign servers act as one failure-tolerant fabric, a
+//! `FederatedClient` round-robins an engine-out × backpressure sweep
+//! across them, one node dies while its jobs are still running, and the
+//! sweep still completes — zero lost jobs, physics bitwise-identical to a
+//! run that never saw a failure. The client then backfills the survivors
+//! over the `PUSH` verb so every live store holds the full sweep.
+//!
+//! ```bash
+//! # self-contained chaos drill (in-process nodes; kills one itself):
+//! cargo run --release --example federation
+//!
+//! # against external `campaign_serve` processes (CI SIGKILLs one):
+//! cargo run --release --example federation -- HOST:PORT HOST:PORT HOST:PORT
+//! ```
+//!
+//! Prints `OK: federated sweep survived chaos ...` only when every
+//! acceptance check passed — CI greps for it after injecting a real
+//! SIGKILL (see `.github/workflows/ci.yml`, job `federation-smoke`).
+
+use igr::campaign::{
+    run_scenario, AntiEntropy, BaseCase, CampaignClient, CampaignServer, ExecConfig,
+    FederatedClient, FederationConfig, ResultStore, ScenarioResult, ScenarioSpec,
+};
+use std::time::{Duration, Instant};
+
+/// The sweep: every engine-out set of the 3-engine row, at sea level and
+/// high altitude. Small enough for a laptop, long enough that a node
+/// killed a few hundred milliseconds in still owns unfinished jobs.
+fn sweep(resolution: usize, steps: usize) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for out in [
+        vec![],
+        vec![0],
+        vec![1],
+        vec![2],
+        vec![0, 1],
+        vec![0, 2],
+        vec![1, 2],
+    ] {
+        for backpressure in [None, Some(0.25)] {
+            let mut s = ScenarioSpec::new(BaseCase::EngineRow2d { engines: 3 }, resolution);
+            s.warmup = 1;
+            s.steps = steps;
+            s.engine_out = out.clone();
+            s.backpressure = backpressure;
+            specs.push(s);
+        }
+    }
+    specs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let external = !args.is_empty();
+
+    // ---- 1. The fabric: external nodes (CI) or three in-process ones. ----
+    let mut local: Vec<CampaignServer> = Vec::new();
+    let mut agents: Vec<AntiEntropy> = Vec::new();
+    let addrs: Vec<String> = if external {
+        println!("federation: {} external nodes {args:?}", args.len());
+        args
+    } else {
+        for _ in 0..3 {
+            // Serial nodes: execution order (and the window a kill can hit)
+            // stays deterministic.
+            let cfg = ExecConfig {
+                workers: 1,
+                threads_per_worker: 1,
+                ..Default::default()
+            };
+            local.push(
+                CampaignServer::bind("127.0.0.1:0", cfg, ResultStore::new()).expect("bind node"),
+            );
+        }
+        let addrs: Vec<String> = local.iter().map(|s| s.local_addr().to_string()).collect();
+        // Each node gossips with the other two, like `campaign_serve --peers`.
+        for (i, server) in local.iter().enumerate() {
+            let peers: Vec<String> = (0..local.len())
+                .filter(|&j| j != i)
+                .map(|j| addrs[j].clone())
+                .collect();
+            agents.push(AntiEntropy::spawn(
+                server,
+                peers,
+                Duration::from_millis(250),
+                FederationConfig::default(),
+            ));
+        }
+        println!("federation: 3 in-process nodes at {addrs:?}");
+        addrs
+    };
+
+    // ---- 2. Submit the sweep through the federated client. --------------
+    // External mode runs heavier scenarios so the harness's SIGKILL has a
+    // wide mid-sweep window to land in.
+    let specs = if external {
+        sweep(64, 60)
+    } else {
+        sweep(24, 10)
+    };
+    let mut fed =
+        FederatedClient::connect(&addrs, FederationConfig::default()).expect("connect federation");
+    let mut hashes = fed.submit_all(&specs).expect("submit sweep");
+    // One duplicate on top: the client dedupes it before it touches a node.
+    let dup = fed.submit(&specs[0]).expect("submit duplicate");
+    assert_eq!(dup, hashes[0], "acceptance: same physics, same ticket");
+    hashes.sort_unstable();
+    hashes.dedup();
+    println!(
+        "sweep: {} scenarios submitted ({} unique) across {} node(s)",
+        specs.len() + 1,
+        hashes.len(),
+        fed.live_nodes().len()
+    );
+
+    // ---- 3. Chaos: self-contained mode kills node C itself — after the
+    //         submissions landed, before a single result streamed, so its
+    //         jobs are guaranteed orphans. In external mode the harness
+    //         SIGKILLs a `campaign_serve` process mid-sweep instead. ------
+    if !external {
+        let mut assassin =
+            CampaignClient::connect(addrs[2].as_str()).expect("connect to the victim");
+        assassin.shutdown_server().expect("shutdown verb");
+        // Give its connection handlers a beat to tear their sockets.
+        std::thread::sleep(Duration::from_millis(300));
+        println!("chaos: node C killed with its jobs still queued");
+    }
+
+    // ---- 4. Collect: the sweep completes despite the dead node. ---------
+    let t0 = Instant::now();
+    let results = fed.collect(Duration::from_secs(600)).expect("collect");
+    assert_eq!(
+        results.len(),
+        hashes.len(),
+        "acceptance: zero lost jobs — every unique scenario has a result"
+    );
+    let stats = fed.stats().clone();
+    if !external {
+        assert_eq!(stats.nodes_lost, 1, "acceptance: the kill was observed");
+        assert!(
+            stats.resubmitted >= 1,
+            "acceptance: the dead node's jobs were re-homed"
+        );
+    }
+    println!(
+        "collect: {}/{} results in {:.1?} — lost {} node(s), re-homed {} job(s), \
+         deduped {} completion(s)",
+        results.len(),
+        hashes.len(),
+        t0.elapsed(),
+        stats.nodes_lost,
+        stats.resubmitted,
+        stats.deduped,
+    );
+
+    // ---- 5. Validate: failover changed *where* things ran, never *what*
+    //         they computed. Physics fields must match an in-process run of
+    //         the same specs bit for bit (timing fields are machine noise).
+    for spec in &specs {
+        let mut s = spec.clone();
+        s.normalize();
+        let reference = run_scenario(&s);
+        let got = &results[&s.content_hash()];
+        assert!(got.status.is_ok(), "{}: failed under chaos", got.name);
+        assert_eq!(
+            got.mass_drift.to_bits(),
+            reference.mass_drift.to_bits(),
+            "{}: mass drift diverged across the federation",
+            got.name
+        );
+        assert_eq!(
+            got.energy_drift.to_bits(),
+            reference.energy_drift.to_bits(),
+            "{}: energy drift diverged across the federation",
+            got.name
+        );
+    }
+    println!(
+        "validate: all {} results bitwise-identical to a chaos-free run",
+        results.len()
+    );
+
+    // ---- 6. Backfill the survivors over PUSH: whatever the dead node
+    //         computed (and streamed before dying) lives only in the
+    //         client's hands now — hand it to every live store so the
+    //         fleet converges on the complete sweep. ----------------------
+    let lines: Vec<(u64, ScenarioResult)> = results.iter().map(|(h, r)| (*h, r.clone())).collect();
+    let mut converged = 0usize;
+    for addr in fed.live_nodes() {
+        // A node can still die under us here (the harness's kill landing
+        // late is chaos too) — skip it; the sweep itself already completed.
+        let Ok(mut client) = CampaignClient::connect(addr) else {
+            continue;
+        };
+        let (accepted, entries) = match client
+            .push(lines.clone())
+            .and_then(|accepted| client.stats().map(|stats| (accepted, stats.entries)))
+        {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        assert!(
+            entries >= hashes.len(),
+            "acceptance: node {addr} holds the full sweep after backfill"
+        );
+        println!("backfill: node {addr} accepted {accepted} line(s), store at {entries} entries");
+        converged += 1;
+    }
+    assert!(
+        converged >= 1,
+        "acceptance: at least one survivor converged"
+    );
+
+    // ---- 7. Tear down local nodes (external ones belong to the harness).
+    drop(agents); // agents hold queue handles; stop them before join()
+    for server in &local {
+        server.request_shutdown();
+    }
+    for server in local {
+        server.join();
+    }
+
+    println!(
+        "\nOK: federated sweep survived chaos — {}/{} results, {} node(s) lost, \
+         {} job(s) re-homed, {} store(s) converged",
+        results.len(),
+        hashes.len(),
+        stats.nodes_lost,
+        stats.resubmitted,
+        converged,
+    );
+}

@@ -11,6 +11,7 @@
 //! simultaneously pins the store codec) bit-for-bit.
 
 use igr::app::actions::{Action, ActionLog, ActionRecord};
+use igr::app::checkpoint::{Checkpoint, RankMeta};
 use igr::app::jets::GimbalSchedule;
 use igr::campaign::protocol::{decode_spec, encode_spec, Request, Response, StreamedResult};
 use igr::campaign::{
@@ -329,5 +330,104 @@ proptest! {
             }
             other => prop_assert!(false, "expected Submit, got {:?}", other),
         }
+    }
+
+    /// The anti-entropy SYNC framing moves full-range u64 (hash, digest)
+    /// pairs and `want` lists without loss — a mangled digest would make
+    /// two converged stores look divergent (or worse, vice versa).
+    #[test]
+    fn sync_digests_round_trip_exactly(
+        digests in prop::collection::vec((any::<u64>(), any::<u64>()), 0..24),
+        want in prop::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let line = Request::Sync { digests: digests.clone() }.encode();
+        prop_assert_eq!(line.matches('\n').count(), 1, "one line per request");
+        match Request::decode(line.trim_end()) {
+            Ok(Request::Sync { digests: back }) => prop_assert_eq!(back, digests),
+            other => prop_assert!(false, "expected Sync, got {:?}", other),
+        }
+        let resp = Response::Synced { results: vec![], want: want.clone() }.encode();
+        match Response::decode(resp.trim_end()) {
+            Ok(Response::Synced { results, want: back }) => {
+                prop_assert!(results.is_empty());
+                prop_assert_eq!(back, want);
+            }
+            other => prop_assert!(false, "expected Synced, got {:?}", other),
+        }
+    }
+
+    /// The per-rank checkpoint trailer codec (`IGRRANK`) is lossless over
+    /// the full u64 range of every decomposition field.
+    #[test]
+    fn rank_meta_trailers_round_trip_exactly(
+        rank in any::<u64>(), n_ranks in any::<u64>(),
+        global in (any::<u64>(), any::<u64>(), any::<u64>()),
+        dims in (any::<u64>(), any::<u64>(), any::<u64>()),
+        offset in (any::<u64>(), any::<u64>(), any::<u64>()),
+        extent in (any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let meta = RankMeta {
+            rank,
+            n_ranks,
+            global: [global.0, global.1, global.2],
+            dims: [dims.0, dims.1, dims.2],
+            offset: [offset.0, offset.1, offset.2],
+            extent: [extent.0, extent.1, extent.2],
+        };
+        let bytes = meta.encode();
+        prop_assert_eq!(bytes.len(), RankMeta::encoded_len());
+        let back = RankMeta::decode(&bytes).unwrap();
+        prop_assert_eq!(back, meta);
+    }
+
+    /// A rank-shard checkpoint *file* preserves its header through save +
+    /// load: time and pinned dt at f64 bit level (±inf included), u64-wide
+    /// step indices, and the rank trailer — with the ACTLOG trailer present
+    /// or not, so the tail-splitting parser is pinned from the outside.
+    #[test]
+    fn rank_checkpoint_headers_survive_disk_bit_exactly(
+        t in wild_f64(),
+        fixed_dt in (any::<bool>(), wild_f64()).prop_map(|(on, dt)| on.then_some(dt)),
+        step in any::<usize>(),
+        rank in 0u64..64, n_ranks in 1u64..64,
+        with_actions in any::<bool>(),
+    ) {
+        let case = igr::app::cases::steepening_wave(8, 0.3);
+        let solver = case.igr_solver::<f64, igr::prec::StoreF64>();
+        let meta = RankMeta {
+            rank,
+            n_ranks,
+            global: [8, 1, 1],
+            dims: [n_ranks, 1, 1],
+            offset: [rank, 0, 0],
+            extent: [1, 1, 1],
+        };
+        let mut ck = Checkpoint::capture_fields(&solver.q.fields(), None, t, step, fixed_dt)
+            .with_rank_meta(meta);
+        if with_actions {
+            let mut log = ActionLog::new();
+            log.record(u64::MAX, f64::NAN, Action::RequestCheckpoint);
+            ck = ck.with_actions(log);
+        }
+        let path = std::env::temp_dir().join(format!(
+            "igr-wireprop-rank-{}-{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(loaded.t.to_bits(), t.to_bits());
+        prop_assert_eq!(loaded.step, step);
+        // A NaN pin is indistinguishable from "no pin" in the fixed-size
+        // header slot — by design (the sentinel); everything else is exact.
+        match (loaded.fixed_dt, fixed_dt) {
+            (None, None) => {}
+            (None, Some(dt)) => prop_assert!(dt.is_nan(), "pin lost: {dt}"),
+            (Some(a), Some(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+            (a, b) => prop_assert!(false, "pin drift: {:?} vs {:?}", a, b),
+        }
+        prop_assert_eq!(loaded.rank_meta, Some(meta));
+        prop_assert_eq!(!loaded.actions.is_empty(), with_actions);
     }
 }

@@ -121,6 +121,97 @@ fn pinned_dt_survives_the_restart_file() {
     assert_eq!(straight.t().to_bits(), resumed.t().to_bits());
 }
 
+/// Decomposed (`ranks > 1`) runs snapshot per rank and resume from the
+/// file *set*: interrupt at the cut, restart from `<stem>.rank<N>.ckpt`,
+/// finish bitwise-identical to the uninterrupted run — with an active
+/// action schedule (engine knock-outs before and after the cut, plus a
+/// pinned-dt override), so the replayed ActionLog and the live schedule
+/// are both under test.
+fn decomposed_resume_roundtrip<R, S>(name: &str)
+where
+    R: Real + igr::comm::CommData,
+    S: Storage<R>,
+    S::Packed: CheckpointScalar,
+{
+    use igr::app::actions::Action;
+    use igr::app::parallel::{rank_ckpt_path, run_decomposed_resumable, DecompCheckpointing};
+
+    let case = cases::engine_row_2d(16, 3, igr::app::jets::JetConditions::mach10());
+    let cfg = case.igr_config();
+    let (total, cut, ranks) = (10usize, 6usize, 2usize);
+    // The pin makes steps 4.. integrate on a frozen dt — it must survive
+    // the snapshot (header slot) exactly like the single-block path.
+    let schedule = vec![
+        (2usize, Action::EngineOut { engine: 1 }),
+        (4usize, Action::SetFixedDt { dt: Some(1e-6) }),
+        (8usize, Action::EngineOut { engine: 0 }),
+    ];
+    let dir = std::env::temp_dir().join("igr_driver_resume_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = DecompCheckpointing {
+        dir: dir.clone(),
+        stem: name.to_string(),
+        every: 3,
+    };
+
+    let i1 = case.init.clone();
+    let straight = run_decomposed_resumable::<R, S>(
+        &cfg,
+        &case.domain,
+        ranks,
+        total,
+        move |p| i1(p),
+        None,
+        &schedule,
+    );
+
+    let i2 = case.init.clone();
+    let interrupted = run_decomposed_resumable::<R, S>(
+        &cfg,
+        &case.domain,
+        ranks,
+        cut,
+        move |p| i2(p),
+        Some(ckpt.clone()),
+        &schedule,
+    );
+    assert_eq!(interrupted.resumed_from, None, "no prior files");
+    for rank in 0..ranks {
+        assert!(rank_ckpt_path(&dir, name, rank).exists());
+    }
+
+    let i3 = case.init.clone();
+    let resumed = run_decomposed_resumable::<R, S>(
+        &cfg,
+        &case.domain,
+        ranks,
+        total,
+        move |p| i3(p),
+        Some(ckpt),
+        &schedule,
+    );
+    assert_eq!(resumed.resumed_from, Some(cut), "picked up at the cut");
+    assert_eq!(
+        straight.run.state.max_diff(&resumed.run.state),
+        0.0,
+        "{name}: resumed decomposed run must equal the straight one bitwise"
+    );
+    assert_eq!(straight.run.t.to_bits(), resumed.run.t.to_bits());
+    for rank in 0..ranks {
+        let _ = std::fs::remove_file(rank_ckpt_path(&dir, name, rank));
+    }
+}
+
+#[test]
+fn decomposed_resume_is_bitwise_at_f64_storage() {
+    decomposed_resume_roundtrip::<f64, StoreF64>("decomp_f64");
+}
+
+#[test]
+fn decomposed_resume_is_bitwise_at_f32_storage() {
+    decomposed_resume_roundtrip::<f32, StoreF32>("decomp_f32");
+}
+
 /// A stale restart file from a different precision is refused, not
 /// silently misread.
 #[test]
