@@ -183,13 +183,31 @@ impl ActionLog {
     /// Parse a trailer produced by [`ActionLog::encode`]. The byte slice
     /// must contain exactly one trailer (no slack).
     pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let (log, used) = Self::decode_prefix(bytes)?;
+        if used != bytes.len() {
+            return Err(format!(
+                "action-log trailer has {} trailing bytes",
+                bytes.len() - used
+            ));
+        }
+        Ok(log)
+    }
+
+    /// Parse one trailer from the front of `bytes`, returning the log and
+    /// the number of bytes consumed — the entry point for the multi-trailer
+    /// checkpoint parser (an `ACTLOG` may be followed by a `RECLOG`).
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), String> {
         if bytes.len() < 16 || &bytes[..8] != ACTLOG_MAGIC {
             return Err("bad action-log magic".into());
         }
         let count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-        if bytes.len() != 16 + count * RECORD_BYTES {
+        let total = 16
+            + count
+                .checked_mul(RECORD_BYTES)
+                .ok_or("action-log count overflows")?;
+        if bytes.len() < total {
             return Err(format!(
-                "action-log length {} does not match {count} records",
+                "action-log holds {} bytes, {count} records need {total}",
                 bytes.len()
             ));
         }
@@ -207,7 +225,7 @@ impl ActionLog {
             let action = decode_action(kind, idx, &p)?;
             records.push(ActionRecord { step, t, action });
         }
-        Ok(ActionLog { records })
+        Ok((ActionLog { records }, total))
     }
 }
 

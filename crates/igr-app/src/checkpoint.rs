@@ -11,6 +11,7 @@
 //! mismatched restarts.
 
 use crate::actions::ActionLog;
+use crate::recovery::RecoveryLog;
 use igr_core::State;
 use igr_grid::{Field, GridShape};
 use igr_prec::{f16, Real, Storage};
@@ -25,9 +26,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// two-fluid state, and the frozen time step (grind runs pin `dt`) rides
 /// along so a resumed run replays the identical step sizes. A run whose
 /// boundary state was mutated mid-flight appends its [`ActionLog`] as an
-/// `ACTLOG` trailer after the field payload (additive: action-free files
-/// are byte-identical to before the trailer existed, and old payload-only
-/// files still load).
+/// `ACTLOG` trailer after the field payload, and a run that rolled back
+/// through divergence recovery appends its [`RecoveryLog`] as a `RECLOG`
+/// trailer after that (both additive: trailer-free files are byte-identical
+/// to before the trailers existed, and old payload-only files still load).
 const MAGIC: &[u8; 8] = b"IGRCKPT\x03";
 /// Header: magic(8) + width-tag(1) + n-fields(1) + has-sigma(1) + dims(4×8)
 /// + t(8) + step(8) + fixed-dt(8, NaN = none).
@@ -208,6 +210,12 @@ pub struct Checkpoint {
     /// action-free runs — and then the on-disk file is byte-identical to a
     /// trailer-less checkpoint.
     pub actions: ActionLog,
+    /// Rollbacks the recovered run performed before this snapshot. A resume
+    /// seeds the driver's recovery log from it so the dt backoff schedule
+    /// replays bit-exactly and the chaos injection does not re-fire. Empty
+    /// for recovery-free runs — and then the on-disk file is byte-identical
+    /// to a trailer-less checkpoint.
+    pub recoveries: RecoveryLog,
     /// For per-rank snapshots of a decomposed run: which shard this file
     /// is. `None` (no trailer on disk) for single-block snapshots — and
     /// then the file is byte-identical to a pre-trailer checkpoint.
@@ -274,6 +282,7 @@ impl Checkpoint {
             step,
             fixed_dt,
             actions: ActionLog::new(),
+            recoveries: RecoveryLog::new(),
             rank_meta: None,
             bytes,
         }
@@ -286,6 +295,14 @@ impl Checkpoint {
         self
     }
 
+    /// Attach the run's recovery log; it rides along in the `RECLOG`
+    /// trailer on save and seeds the driver's log on resume so the dt
+    /// backoff schedule replays bit-exactly.
+    pub fn with_recoveries(mut self, recoveries: RecoveryLog) -> Self {
+        self.recoveries = recoveries;
+        self
+    }
+
     /// Mark this snapshot as one rank's shard of a decomposed run; the
     /// metadata rides in the `IGRRANK` trailer and is validated on resume.
     pub fn with_rank_meta(mut self, meta: RankMeta) -> Self {
@@ -293,14 +310,17 @@ impl Checkpoint {
         self
     }
 
-    /// Write to disk. The action log, when non-empty, follows the field
-    /// payload as the `ACTLOG` trailer; a rank-shard snapshot then ends
-    /// with the fixed-size `IGRRANK` trailer.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        let mut f = std::fs::File::create(path)?;
+    /// The one serializer behind [`Checkpoint::save`] and
+    /// [`Checkpoint::save_atomic`]: payload, then (when non-empty) the
+    /// `ACTLOG` trailer, then (when non-empty) the `RECLOG` trailer, then
+    /// (for rank shards) the fixed-size `IGRRANK` trailer.
+    fn write_to(&self, f: &mut std::fs::File) -> Result<(), CheckpointError> {
         f.write_all(&self.bytes)?;
         if !self.actions.is_empty() {
             f.write_all(&self.actions.encode())?;
+        }
+        if !self.recoveries.is_empty() {
+            f.write_all(&self.recoveries.encode())?;
         }
         if let Some(meta) = &self.rank_meta {
             f.write_all(&meta.encode())?;
@@ -308,11 +328,23 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Write to disk atomically: a uniquely named temporary in the target
-    /// directory, then `rename` into place. This is the one checkpoint
-    /// writer shared by the autosave observer and controller-requested
-    /// snapshots, so two writers racing on the same `<hash>.ckpt` can never
-    /// interleave bytes — the last rename wins with a complete file.
+    /// Write to disk (non-atomic, non-durable — tests and tooling; restart
+    /// files go through [`Checkpoint::save_atomic`]).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)
+    }
+
+    /// Write to disk atomically *and durably*: a uniquely named temporary
+    /// in the target directory, fsync'd before `rename` into place, with
+    /// the containing directory fsync'd after — so an autosave survives
+    /// power loss, not just process death (a rename alone only orders the
+    /// name change, not the data, and the new name itself lives in the
+    /// directory). This is the one checkpoint writer shared by the autosave
+    /// observer, controller-requested snapshots, recovered-run boundary
+    /// saves, and the per-rank `<hash>.rank<N>.ckpt` writer, so two writers
+    /// racing on the same path can never interleave bytes — the last rename
+    /// wins with a complete, durable file.
     pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let path = path.as_ref();
@@ -321,18 +353,34 @@ impl Checkpoint {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        self.save(&tmp)?;
+        let written = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            self.write_to(&mut f)?;
+            f.sync_all().map_err(CheckpointError::from)
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         if let Err(e) = std::fs::rename(&tmp, path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(e.into());
+        }
+        #[cfg(unix)]
+        {
+            let dir = path
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+                .unwrap_or_else(|| Path::new("."));
+            std::fs::File::open(dir)?.sync_all()?;
         }
         Ok(())
     }
 
     /// Read from disk. The field payload's size is computed from the header
-    /// (the width tag doubles as the scalar byte width), anything after it
-    /// must be a valid `ACTLOG` trailer; full payload validation happens at
-    /// [`Checkpoint::restore`].
+    /// (the width tag doubles as the scalar byte width); anything after it
+    /// must be valid trailers (`ACTLOG`, then `RECLOG`, then `IGRRANK`).
+    /// Full payload validation happens at [`Checkpoint::restore`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let mut bytes = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
@@ -362,40 +410,55 @@ impl Checkpoint {
             )));
         }
         // Trailers after the payload: an optional ACTLOG, then an optional
-        // fixed-size IGRRANK. Try the rank-trailer split first; if the rest
-        // then fails to decode as an ACTLOG, fall back to reading the whole
-        // tail as one ACTLOG (a log whose last record happens to mimic the
-        // rank magic must still load).
+        // RECLOG, then an optional fixed-size IGRRANK. Each log block is
+        // dispatched by its magic and must consume exactly its own bytes.
+        // Try the rank-trailer split first; if the rest then fails to parse
+        // as log blocks, fall back to reading the whole tail as logs (a log
+        // whose last record happens to mimic the rank magic must still
+        // load).
         let tail = &bytes[expected..];
-        let parse_tail = |tail: &[u8]| -> Result<(ActionLog, Option<RankMeta>), String> {
-            if tail.len() >= RANK_META_BYTES
-                && tail[tail.len() - RANK_META_BYTES..].starts_with(RANK_MAGIC)
-            {
-                let (rest, trailer) = tail.split_at(tail.len() - RANK_META_BYTES);
-                if let Ok(meta) = RankMeta::decode(trailer) {
-                    let actions = if rest.is_empty() {
-                        Ok(ActionLog::new())
-                    } else {
-                        ActionLog::decode(rest)
-                    };
-                    if let Ok(actions) = actions {
-                        return Ok((actions, Some(meta)));
+        let parse_logs = |tail: &[u8]| -> Result<(ActionLog, RecoveryLog), String> {
+            let mut rest = tail;
+            let mut actions = ActionLog::new();
+            let mut recoveries = RecoveryLog::new();
+            if rest.starts_with(crate::actions::ACTLOG_MAGIC) {
+                let (log, used) = ActionLog::decode_prefix(rest)?;
+                actions = log;
+                rest = &rest[used..];
+            }
+            if rest.starts_with(crate::recovery::RECLOG_MAGIC) {
+                let (log, used) = RecoveryLog::decode_prefix(rest)?;
+                recoveries = log;
+                rest = &rest[used..];
+            }
+            if !rest.is_empty() {
+                return Err(format!("{} unrecognized trailer bytes", rest.len()));
+            }
+            Ok((actions, recoveries))
+        };
+        let parse_tail =
+            |tail: &[u8]| -> Result<(ActionLog, RecoveryLog, Option<RankMeta>), String> {
+                if tail.len() >= RANK_META_BYTES
+                    && tail[tail.len() - RANK_META_BYTES..].starts_with(RANK_MAGIC)
+                {
+                    let (rest, trailer) = tail.split_at(tail.len() - RANK_META_BYTES);
+                    if let Ok(meta) = RankMeta::decode(trailer) {
+                        if let Ok((actions, recoveries)) = parse_logs(rest) {
+                            return Ok((actions, recoveries, Some(meta)));
+                        }
                     }
                 }
-            }
-            if tail.is_empty() {
-                Ok((ActionLog::new(), None))
-            } else {
-                ActionLog::decode(tail).map(|a| (a, None))
-            }
-        };
-        let (actions, rank_meta) = parse_tail(tail).map_err(CheckpointError::Mismatch)?;
+                parse_logs(tail).map(|(a, r)| (a, r, None))
+            };
+        let (actions, recoveries, rank_meta) =
+            parse_tail(tail).map_err(CheckpointError::Mismatch)?;
         bytes.truncate(expected);
         Ok(Checkpoint {
             t,
             step,
             fixed_dt: (!dt.is_nan()).then_some(dt),
             actions,
+            recoveries,
             rank_meta,
             bytes,
         })
@@ -743,6 +806,86 @@ mod tests {
         std::fs::write(&p_junk, &bytes).unwrap();
         assert!(matches!(
             Checkpoint::load(&p_junk),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_trailer_round_trips_and_empty_log_changes_nothing() {
+        use crate::recovery::{RecoveryLog, RecoveryRecord};
+        let case = cases::steepening_wave(32, 0.2);
+        let solver = case.igr_solver::<f64, StoreF64>();
+        let plain = Checkpoint::capture(&solver.q, None, 0.25, 4);
+        let p_plain = tmp("rec_plain.ckpt");
+        plain.save(&p_plain).unwrap();
+
+        // Empty log → byte-identical file, loads with an empty log.
+        let p_empty = tmp("rec_empty.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .with_recoveries(RecoveryLog::new())
+            .save(&p_empty)
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&p_plain).unwrap(),
+            std::fs::read(&p_empty).unwrap()
+        );
+        assert!(Checkpoint::load(&p_plain).unwrap().recoveries.is_empty());
+
+        // Non-empty log (with non-finite dt values) rides the trailer and
+        // restores bit-exactly; the field payload restores untouched.
+        let mut log = RecoveryLog::new();
+        log.push(RecoveryRecord {
+            trip_step: 37,
+            rollback_step: 32,
+            rollback_t: 0.125,
+            prev_dt: f64::NAN,
+            backoff_dt: 1.5e-4,
+            hold_until: 64,
+            retry: 1,
+        });
+        let p_log = tmp("rec_log.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .with_recoveries(log.clone())
+            .save(&p_log)
+            .unwrap();
+        let loaded = Checkpoint::load(&p_log).unwrap();
+        assert_eq!(loaded.recoveries, log);
+        assert!(loaded.actions.is_empty());
+        let mut q2: State<f64, StoreF64> = State::zeros(case.domain.shape);
+        loaded.restore(&mut q2, None).unwrap();
+        assert_eq!(solver.q.max_diff(&q2), 0.0);
+
+        // All three trailers compose: ACTLOG, then RECLOG, then IGRRANK.
+        use crate::actions::{Action, ActionLog};
+        let mut actions = ActionLog::new();
+        actions.record(2, 0.125, Action::EngineOut { engine: 0 });
+        let meta = RankMeta {
+            rank: 0,
+            n_ranks: 2,
+            global: [64, 1, 1],
+            dims: [2, 1, 1],
+            offset: [0, 0, 0],
+            extent: [32, 1, 1],
+        };
+        let p_all = tmp("rec_all.ckpt");
+        Checkpoint::capture(&solver.q, None, 0.25, 4)
+            .with_actions(actions.clone())
+            .with_recoveries(log.clone())
+            .with_rank_meta(meta)
+            .save(&p_all)
+            .unwrap();
+        let loaded = Checkpoint::load(&p_all).unwrap();
+        assert_eq!(loaded.actions, actions);
+        assert_eq!(loaded.recoveries, log);
+        assert_eq!(loaded.rank_meta, Some(meta));
+
+        // A torn RECLOG trailer is refused at load.
+        let mut bytes = std::fs::read(&p_log).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        let p_torn = tmp("rec_torn.ckpt");
+        std::fs::write(&p_torn, &bytes).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&p_torn),
             Err(CheckpointError::Mismatch(_))
         ));
     }

@@ -50,6 +50,7 @@
 use crate::actions::{installed_jet_state, Action, ActionLog, Actuate};
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointScalar};
 use crate::diagnostics::{sample_state, History, Sample};
+use crate::recovery::RecoveryLog;
 use igr_core::solver::{BcGhostOps, GhostOps, RhsScheme, Solver, SolverError, StepInfo};
 use igr_core::IgrScheme;
 use igr_grid::Domain;
@@ -417,6 +418,26 @@ pub enum DriverError {
     /// the solver, parameters out of range, or `RequestCheckpoint` without
     /// a configured [`Driver::checkpoint_to`] path).
     Action(String),
+    /// [`StopCondition::DivergenceGuard`] tripped: the flow is blowing up
+    /// (KE growth or positivity loss) even though every value is still
+    /// finite. Recoverable via [`Driver::run_recovered`].
+    Diverged {
+        /// Absolute step the guard tripped at.
+        step: usize,
+        /// Kinetic energy at the trip.
+        kinetic_energy: f64,
+        /// Kinetic energy at the previous probe (NaN if none).
+        prev: f64,
+    },
+    /// A recovered run rolled back `retries` times within one backoff
+    /// chain without getting past the trip — the divergence is persistent,
+    /// not transient.
+    RetriesExhausted {
+        /// Absolute step the final trip happened at.
+        step: usize,
+        /// The policy's retry budget that was exhausted.
+        retries: usize,
+    },
 }
 
 impl std::fmt::Display for DriverError {
@@ -426,6 +447,18 @@ impl std::fmt::Display for DriverError {
             DriverError::Io(e) => write!(f, "observer I/O: {e}"),
             DriverError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             DriverError::Action(m) => write!(f, "action: {m}"),
+            DriverError::Diverged {
+                step,
+                kinetic_energy,
+                prev,
+            } => write!(
+                f,
+                "diverged at step {step}: kinetic energy {kinetic_energy:e} (was {prev:e})"
+            ),
+            DriverError::RetriesExhausted { step, retries } => write!(
+                f,
+                "recovery retries exhausted: still diverged at step {step} after {retries} rollbacks"
+            ),
         }
     }
 }
@@ -830,6 +863,11 @@ pub enum StopCondition {
     /// At most this many steps *in this run* (a resumed run gets a fresh
     /// budget).
     MaxSteps(usize),
+    /// March to this **absolute** step count (`Steppable::steps_taken`),
+    /// checked before each step — the recovery loop's window boundary,
+    /// which must land on the same absolute steps whether the run is
+    /// fresh, re-run after a rollback, or resumed from a checkpoint.
+    StepReached(usize),
     /// Wall-clock budget for this run.
     WallClock(Duration),
     /// Scan the state for NaN/Inf every `every` steps and fail the run (as
@@ -848,6 +886,18 @@ pub enum StopCondition {
         /// Relative-change threshold.
         tol: f64,
     },
+    /// Probe every `every` steps and fail the run
+    /// ([`DriverError::Diverged`]) when the flow is blowing up *before*
+    /// the NaNs arrive: kinetic energy non-finite or growing faster than
+    /// `max_growth`× between consecutive probes, or density no longer
+    /// positive. Catching the spike early keeps the recovery rollback
+    /// window short.
+    DivergenceGuard {
+        /// Probe cadence in steps.
+        every: usize,
+        /// Maximum allowed KE ratio between consecutive probes (> 1).
+        max_growth: f64,
+    },
 }
 
 /// How a completed run ended.
@@ -861,6 +911,8 @@ pub enum StopReason {
     WallClock,
     /// [`StopCondition::SteadyState`] held.
     SteadyState,
+    /// [`StopCondition::StepReached`] was hit (absolute step count).
+    StepReached,
     /// The progress hook returned `false`.
     Aborted,
 }
@@ -890,12 +942,18 @@ type ProgressHook<'a, P> = Box<dyn FnMut(&P, &StepInfo) -> bool + 'a>;
 /// resets per call, stop conditions persist).
 pub struct Driver<'a, P: ?Sized> {
     observers: Vec<(Cadence, Box<dyn Observer<P> + 'a>)>,
-    controllers: Vec<(Cadence, Box<dyn Controller<P> + 'a>)>,
-    stops: Vec<StopCondition>,
+    pub(crate) controllers: Vec<(Cadence, Box<dyn Controller<P> + 'a>)>,
+    pub(crate) stops: Vec<StopCondition>,
     progress: Option<(Cadence, ProgressHook<'a, P>)>,
     /// Controlled-run checkpoint target: `(path, optional autosave cadence)`.
-    checkpoint: Option<(PathBuf, Option<Cadence>)>,
-    action_log: ActionLog,
+    pub(crate) checkpoint: Option<(PathBuf, Option<Cadence>)>,
+    pub(crate) action_log: ActionLog,
+    /// Rollbacks performed so far (filled by `run_recovered`, seeded on
+    /// resume so the dt schedule replays bit-exactly).
+    pub(crate) recovery_log: RecoveryLog,
+    /// Chaos hook: poison one cell with NaN at this absolute step boundary
+    /// (once, while the recovery log is empty).
+    pub(crate) nan_injection: Option<usize>,
 }
 
 impl<'a, P: ?Sized> Default for Driver<'a, P> {
@@ -913,6 +971,8 @@ impl<'a, P: ?Sized> Driver<'a, P> {
             progress: None,
             checkpoint: None,
             action_log: ActionLog::new(),
+            recovery_log: RecoveryLog::new(),
+            nan_injection: None,
         }
     }
 
@@ -968,11 +1028,47 @@ impl<'a, P: ?Sized> Driver<'a, P> {
         std::mem::take(&mut self.action_log)
     }
 
+    /// Seed the recovery log (resume path for recovered runs: hand over the
+    /// checkpoint's embedded log so [`Driver::run_recovered`] replays the
+    /// identical dt schedule and does not re-fire the chaos injection).
+    pub fn seed_recoveries(mut self, log: RecoveryLog) -> Self {
+        self.recovery_log = log;
+        self
+    }
+
+    /// Chaos-engineering hook: poison one cell with NaN when the run first
+    /// reaches absolute step `step` (an injection, not physics — see
+    /// [`crate::recovery::InjectNan`]). Fires once, and only while the
+    /// recovery log is empty, so resumed mid-recovery runs stay bitwise.
+    pub fn inject_nan_at(mut self, step: usize) -> Self {
+        self.nan_injection = Some(step);
+        self
+    }
+
+    /// The rollbacks performed so far (across `run_recovered` calls, plus
+    /// any seeded for resume).
+    pub fn recovery_log(&self) -> &RecoveryLog {
+        &self.recovery_log
+    }
+
+    /// Take ownership of the accumulated recovery log (leaves an empty one).
+    pub fn take_recovery_log(&mut self) -> RecoveryLog {
+        std::mem::take(&mut self.recovery_log)
+    }
+
     /// Add a stop condition (the first condition to hold ends the run).
     pub fn stop_when(mut self, cond: StopCondition) -> Self {
-        if let StopCondition::NanGuard { every } | StopCondition::SteadyState { every, .. } = &cond
+        if let StopCondition::NanGuard { every }
+        | StopCondition::SteadyState { every, .. }
+        | StopCondition::DivergenceGuard { every, .. } = &cond
         {
             assert!(*every >= 1, "stop-condition cadence needs every >= 1");
+        }
+        if let StopCondition::DivergenceGuard { max_growth, .. } = &cond {
+            assert!(
+                *max_growth > 1.0 && max_growth.is_finite(),
+                "DivergenceGuard needs a finite max_growth > 1"
+            );
         }
         self.stops.push(cond);
         self
@@ -1032,6 +1128,7 @@ impl<'a, P: ?Sized> Driver<'a, P> {
         sys.restore(&ck)?;
         crate::actions::replay(&ck.actions, sys).map_err(|e| DriverError::Action(e.to_string()))?;
         self.action_log = ck.actions.clone();
+        self.recovery_log = ck.recoveries.clone();
         Ok(ck)
     }
 
@@ -1069,6 +1166,11 @@ impl<'a, P: ?Sized> Driver<'a, P> {
     {
         let ck_path = self.checkpoint.as_ref().map(|(p, _)| p.clone());
         let apply_path = ck_path.clone();
+        // Recovery log is immutable during a controlled run; clone it into
+        // the save closures so resumed-then-controlled runs keep carrying
+        // their rollback history (empty log ⇒ no trailer ⇒ unchanged bytes).
+        let rec_log = self.recovery_log.clone();
+        let rec_log_auto = rec_log.clone();
         self.run_core(
             sys,
             &mut move |sys: &mut P, action: &Action, info: &StepInfo, log: &mut ActionLog| {
@@ -1083,7 +1185,10 @@ impl<'a, P: ?Sized> Driver<'a, P> {
                         // snapshot's embedded log covers it and a resumed
                         // run's log matches the uninterrupted run's.
                         log.record(info.step as u64, info.t, Action::RequestCheckpoint);
-                        sys.capture().with_actions(log.clone()).save_atomic(path)?;
+                        sys.capture()
+                            .with_actions(log.clone())
+                            .with_recoveries(rec_log.clone())
+                            .save_atomic(path)?;
                     }
                     other => {
                         sys.actuate(other, info.t)
@@ -1095,7 +1200,10 @@ impl<'a, P: ?Sized> Driver<'a, P> {
             },
             &mut move |sys: &mut P, log: &ActionLog| {
                 if let Some(path) = ck_path.as_ref() {
-                    sys.capture().with_actions(log.clone()).save_atomic(path)?;
+                    sys.capture()
+                        .with_actions(log.clone())
+                        .with_recoveries(rec_log_auto.clone())
+                        .save_atomic(path)?;
                 }
                 Ok(())
             },
@@ -1106,7 +1214,7 @@ impl<'a, P: ?Sized> Driver<'a, P> {
     /// `apply` handles one controller action, `autosave` writes the
     /// periodic driver-level snapshot (both are no-ops / unreachable for
     /// read-only runs).
-    fn run_core(
+    pub(crate) fn run_core(
         &mut self,
         sys: &mut P,
         apply: &mut dyn FnMut(
@@ -1125,6 +1233,7 @@ impl<'a, P: ?Sized> Driver<'a, P> {
                 s,
                 StopCondition::TimeReached(_)
                     | StopCondition::MaxSteps(_)
+                    | StopCondition::StepReached(_)
                     | StopCondition::WallClock(_)
                     | StopCondition::SteadyState { .. }
             )),
@@ -1166,6 +1275,7 @@ impl<'a, P: ?Sized> Driver<'a, P> {
             })
             .fold(None::<f64>, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))));
         let mut last_ke: Option<f64> = None;
+        let mut last_div_ke: Option<f64> = None;
         let mut steps_this_run = 0usize;
 
         let finish = |observers: &mut Vec<(Cadence, Box<dyn Observer<P> + 'a>)>,
@@ -1205,6 +1315,15 @@ impl<'a, P: ?Sized> Driver<'a, P> {
                             &mut self.observers,
                             sys,
                             StopReason::MaxSteps,
+                            steps_this_run,
+                            wall0,
+                        );
+                    }
+                    StopCondition::StepReached(n) if sys.steps_taken() >= *n => {
+                        return finish(
+                            &mut self.observers,
+                            sys,
+                            StopReason::StepReached,
                             steps_this_run,
                             wall0,
                         );
@@ -1303,6 +1422,24 @@ impl<'a, P: ?Sized> Driver<'a, P> {
                             }
                         }
                         last_ke = Some(ke);
+                    }
+                    StopCondition::DivergenceGuard { every, max_growth }
+                        if info.step % every == 0 =>
+                    {
+                        let sample = sys.probe();
+                        let ke = sample.kinetic_energy;
+                        let blown = !ke.is_finite()
+                            || !sample.min_rho.is_finite()
+                            || sample.min_rho <= 0.0
+                            || matches!(last_div_ke, Some(prev) if prev > 0.0 && ke > prev * max_growth);
+                        if blown {
+                            return Err(DriverError::Diverged {
+                                step: info.step,
+                                kinetic_energy: ke,
+                                prev: last_div_ke.unwrap_or(f64::NAN),
+                            });
+                        }
+                        last_div_ke = Some(ke);
                     }
                     _ => {}
                 }

@@ -19,6 +19,10 @@
 //!   inflow swap, dt policy, checkpoint request), the `Actuate` surface
 //!   that applies them at step boundaries, and the deterministic
 //!   `ActionLog` that checkpoints embed and resumes replay;
+//! * [`recovery`] — self-healing runs: a snapshot ring plus dt backoff that
+//!   rolls a diverging march back to the last healthy boundary and re-runs
+//!   the window, with every rollback recorded in a deterministic
+//!   `RecoveryLog` that checkpoints embed and resumes replay;
 //! * [`base`] — base-heating diagnostics (recirculation flux, thermal load,
 //!   heating footprint), the engineering quantity behind §3 of the paper;
 //! * [`parallel`] — the decomposed (multi-rank) solver driver: halo-
@@ -41,6 +45,7 @@ pub mod grind;
 pub mod io;
 pub mod jets;
 pub mod parallel;
+pub mod recovery;
 pub mod vtk;
 
 pub use actions::{Action, ActionLog, ActionRecord, Actuate, ActuateError};
@@ -55,3 +60,4 @@ pub use driver::{
 };
 pub use grind::{measure_grind, GrindResult};
 pub use parallel::{run_decomposed, DecomposedRun};
+pub use recovery::{InjectNan, RecoveryLog, RecoveryPolicy, RecoveryRecord};

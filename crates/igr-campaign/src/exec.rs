@@ -23,6 +23,7 @@ use igr_app::driver::{
     GimbalFeedbackController, StopCondition,
 };
 use igr_app::parallel::{rank_ckpt_path, run_decomposed_resumable, DecompCheckpointing};
+use igr_app::recovery::{RecoveryLog, RecoveryRecord};
 use igr_core::solver::{BcGhostOps, RhsScheme, Solver, SolverError};
 use igr_prec::{PrecisionMode, Real, Storage, StoreF16, StoreF32, StoreF64};
 use std::collections::HashMap;
@@ -146,11 +147,14 @@ impl Campaign {
             })
             .collect();
 
-        // Plan: first uncached occurrence of each hash becomes a job.
+        // Plan: first unsettled occurrence of each hash becomes a job. A
+        // settled entry (completed, or a quarantined/permanent failure) is
+        // served from the cache; a transient failure with retry budget
+        // left is treated as absent and re-executed (see docs/RECOVERY.md).
         let mut first_occurrence: HashMap<u64, usize> = HashMap::new();
         let mut jobs: Vec<(ScenarioSpec, u64)> = Vec::new();
         for (spec, hash) in &submissions {
-            if self.store.contains(*hash) || first_occurrence.contains_key(hash) {
+            if self.store.settled(*hash) || first_occurrence.contains_key(hash) {
                 continue;
             }
             first_occurrence.insert(*hash, jobs.len());
@@ -270,6 +274,7 @@ fn failed_result(spec: &ScenarioSpec, msg: String) -> ScenarioResult {
         series: None,
         resumed_from: None,
         actions: None,
+        recoveries: None,
     }
 }
 
@@ -314,6 +319,21 @@ fn panic_injection(spec: &ScenarioSpec) {
     if spec.label.as_deref() == Some("__panic_injection__") {
         panic!("injected panic (test hook)");
     }
+}
+
+/// Test-only chaos injection: a label of `__nan_inject_<step>__` arms the
+/// driver's one-shot NaN injection at that absolute step, so the recovery
+/// tests can poison a run mid-flight through the public executor path.
+/// Labels are hash-excluded, so the armed and clean submissions share a
+/// cache key — which is exactly what the chaos tests exercise.
+#[cfg(test)]
+fn nan_inject_step(spec: &ScenarioSpec) -> Option<usize> {
+    spec.label
+        .as_deref()?
+        .strip_prefix("__nan_inject_")?
+        .strip_suffix("__")?
+        .parse()
+        .ok()
 }
 
 /// Run one scenario to completion (never panics on solver divergence: the
@@ -414,6 +434,7 @@ where
     // leave the fresh-start state unperturbed, not half-restored.
     let mut resumed_from = None;
     let mut seed_log = ActionLog::new();
+    let mut seed_recoveries = RecoveryLog::new();
     if let Some(path) = ckpt.as_ref().filter(|p| p.exists()) {
         if let Ok(ck) = igr_app::Checkpoint::load(path) {
             if ck.step >= spec.warmup && ck.step <= total_steps && solver.restore(&ck).is_ok() {
@@ -429,12 +450,27 @@ where
                     );
                 }
                 seed_log = ck.actions.clone();
+                // Likewise the recovery log: seeding it replays the dt
+                // schedule (backoff pins, hold expiries) bit-exactly, and
+                // keeps a mid-recovery resume from re-firing the chaos
+                // injection. Empty for recovery-free runs.
+                seed_recoveries = ck.recoveries.clone();
                 resumed_from = Some(ck.step);
             }
         }
     }
 
-    let mut run = || -> Result<(ScenarioSeries, f64, usize, Option<Vec<_>>), DriverError> {
+    #[allow(clippy::type_complexity)]
+    let mut run = || -> Result<
+        (
+            ScenarioSeries,
+            f64,
+            usize,
+            Option<Vec<_>>,
+            Option<Vec<RecoveryRecord>>,
+        ),
+        DriverError,
+    > {
         if resumed_from.is_none() {
             // Warm-up: adaptive dt, per-step NaN check (cheap insurance
             // against bad initial data), no instrumentation.
@@ -449,12 +485,64 @@ where
 
         let timed_remaining = total_steps.saturating_sub(solver.steps_taken());
         let mut history = History::new();
-        let mut driver = Driver::new().stop_when(StopCondition::MaxSteps(timed_remaining));
+        let mut driver = Driver::new();
+        if spec.recovery.is_none() {
+            // run_recovered marches to an absolute step target through its
+            // own window stops; a standing MaxSteps stop would cut windows
+            // short of their snapshot boundaries.
+            driver = driver.stop_when(StopCondition::MaxSteps(timed_remaining));
+        }
         if let Some(every) = spec.series_every {
             driver = driver.observe(
                 Cadence::EverySteps(every),
                 DiagnosticsObserver::new(&mut history),
             );
+        }
+        if let Some(rspec) = &spec.recovery {
+            // Self-healing: snapshots ring in memory, rollback + dt backoff
+            // on divergence, every rollback logged. Autosaves (when the spec
+            // checkpoints) go through checkpoint_to so the restart file
+            // embeds the recovery log.
+            driver = driver.seed_recoveries(seed_recoveries.clone());
+            if let Some(path) = ckpt.as_ref() {
+                driver = driver
+                    .checkpoint_to(path.clone(), spec.checkpoint_every.map(Cadence::EverySteps));
+            }
+            #[cfg(test)]
+            if let Some(step) = nan_inject_step(spec) {
+                driver = driver.inject_nan_at(step);
+            }
+            let t0 = Instant::now();
+            let summary = driver.run_recovered(solver, &rspec.to_policy(), total_steps)?;
+            let wall_s = t0.elapsed().as_secs_f64();
+            let recoveries = driver.take_recovery_log().records().to_vec();
+            drop(driver);
+            if let Some((var, pos)) = solver.q.find_non_finite() {
+                return Err(SolverError::NonFinite {
+                    step: solver.steps_taken(),
+                    var,
+                    pos,
+                }
+                .into());
+            }
+            // Re-run windows re-fire the series observer; keep the last
+            // sample per step (the one from the surviving timeline) so the
+            // recorded series matches an uninterrupted replay.
+            let mut last: std::collections::BTreeMap<usize, igr_app::diagnostics::Sample> =
+                std::collections::BTreeMap::new();
+            for sm in history.samples.drain(..) {
+                last.insert(sm.step, sm);
+            }
+            return Ok((
+                ScenarioSeries {
+                    every: spec.series_every.unwrap_or(0),
+                    samples: last.into_values().collect(),
+                },
+                wall_s,
+                summary.steps,
+                None,
+                Some(recoveries),
+            ));
         }
         if let Some(c) = &spec.controller {
             // Closed loop: the feedback controller fires at its cadence and
@@ -508,11 +596,12 @@ where
             wall_s,
             summary.steps,
             actions,
+            None,
         ))
     };
 
     match run() {
-        Ok((series, wall_s, steps_timed, actions)) => {
+        Ok((series, wall_s, steps_timed, actions, recoveries)) => {
             // The scenario is done: its restart file is consumed (the
             // result store serves every future submission).
             if let Some(path) = ckpt.as_ref() {
@@ -537,6 +626,7 @@ where
                 series: spec.series_every.is_some().then_some(series),
                 resumed_from,
                 actions,
+                recoveries,
             }
         }
         Err(e) => ScenarioResult {
@@ -554,6 +644,7 @@ where
             series: None,
             resumed_from,
             actions: None,
+            recoveries: None,
         },
     }
 }
@@ -641,6 +732,7 @@ fn run_decomposed_scenario_with(
         series: None,
         resumed_from: res.resumed_from,
         actions: None,
+        recoveries: None,
     }
 }
 
@@ -744,11 +836,17 @@ mod tests {
             s => panic!("expected Failed, got {s:?}"),
         }
         assert!(report.rows[1].result.status.is_ok());
-        // The failure is cached like any result: resubmission does not
-        // re-trigger the panic path.
-        let again = campaign.run(&[panics]);
-        assert_eq!(again.executed, 0);
-        assert!(again.rows[0].cached);
+        // A worker panic is a *transient* failure: resubmission re-executes
+        // (the retry could land on a healthy worker) until the quarantine
+        // budget runs out, after which the cached failure is served.
+        for attempt in 2..=crate::store::QUARANTINE_AFTER {
+            let again = campaign.run(std::slice::from_ref(&panics));
+            assert_eq!(again.executed, 1, "attempt {attempt} re-executes");
+            assert!(!again.rows[0].cached);
+        }
+        let quarantined = campaign.run(&[panics]);
+        assert_eq!(quarantined.executed, 0, "quarantined: no more compute");
+        assert!(quarantined.rows[0].cached);
     }
 
     #[test]
@@ -1009,5 +1107,238 @@ mod tests {
             a.recirculation_flux,
             b.recirculation_flux
         );
+    }
+
+    fn recovery_spec() -> crate::spec::RecoverySpec {
+        crate::spec::RecoverySpec {
+            snapshot_ring_depth: 2,
+            snapshot_every: 4,
+            max_retries: 3,
+            dt_backoff_factor: 0.5,
+            backoff_hold_steps: 4,
+        }
+    }
+
+    /// `quick_spec` stretched to 12 total steps with recovery armed: room
+    /// for a snapshot at 4, the chaos injection at 6, and a full backoff
+    /// hold before the end.
+    fn armed_spec() -> ScenarioSpec {
+        let mut s = quick_spec();
+        s.warmup = 2;
+        s.steps = 10;
+        s.recovery = Some(recovery_spec());
+        s
+    }
+
+    /// `RecoveryRecord` carries NaN-able floats, so it has no `PartialEq`;
+    /// compare the logs field by field at bit granularity.
+    fn assert_recoveries_bit_equal(a: &[RecoveryRecord], b: &[RecoveryRecord]) {
+        assert_eq!(a.len(), b.len(), "recovery log lengths differ");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.trip_step, y.trip_step, "record {i}");
+            assert_eq!(x.rollback_step, y.rollback_step, "record {i}");
+            assert_eq!(x.rollback_t.to_bits(), y.rollback_t.to_bits(), "record {i}");
+            assert_eq!(x.prev_dt.to_bits(), y.prev_dt.to_bits(), "record {i}");
+            assert_eq!(x.backoff_dt.to_bits(), y.backoff_dt.to_bits(), "record {i}");
+            assert_eq!(x.hold_until, y.hold_until, "record {i}");
+            assert_eq!(x.retry, y.retry, "record {i}");
+        }
+    }
+
+    #[test]
+    fn chaos_nan_injection_self_heals_with_zero_failed_rows() {
+        // One scenario is poisoned mid-flight (via the test-only label
+        // hook); both have recovery armed. The campaign must come back
+        // with zero Failed rows: the poisoned run rolls back, backs off,
+        // and completes — and its row carries the rollback history.
+        let mut poisoned = armed_spec();
+        poisoned.label = Some("__nan_inject_6__".into());
+        // Distinct physics so the two specs don't dedup onto one job
+        // (labels are hash-excluded).
+        let mut healthy = armed_spec();
+        healthy.resolution = 64;
+        let mut campaign = Campaign::new(ExecConfig {
+            workers: 2,
+            threads_per_worker: 1,
+            ..Default::default()
+        });
+        let report = campaign.run(&[poisoned, healthy]);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(
+                row.result.status.is_ok(),
+                "self-healing run must not fail: {:?}",
+                row.result.status
+            );
+        }
+        let recs = report.rows[0].result.recoveries.as_ref().unwrap();
+        assert!(!recs.is_empty(), "the poisoned run logs its rollback");
+        assert_eq!(recs[0].trip_step, 6, "trip at the injection boundary");
+        assert_eq!(recs[0].rollback_step, 4, "rollback to the last snapshot");
+        // Armed but never tripped: the log is present and empty — the
+        // report distinguishes "no divergence" from "recovery off".
+        let clean = report.rows[1].result.recoveries.as_ref().unwrap();
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn recovered_runs_are_bitwise_deterministic_across_reruns() {
+        // The dt schedule is a pure function of the recovery log, so
+        // re-running the identical poisoned scenario must reproduce the
+        // healed trajectory — and the log itself — bit for bit, at both
+        // f64 and f32.
+        for precision in [PrecisionMode::Fp64, PrecisionMode::Fp32] {
+            let mut spec = armed_spec();
+            spec.precision = precision;
+            spec.label = Some("__nan_inject_6__".into());
+            let a = run_scenario(&spec);
+            let b = run_scenario(&spec);
+            assert!(a.status.is_ok(), "{precision:?}: {:?}", a.status);
+            assert!(b.status.is_ok(), "{precision:?}: {:?}", b.status);
+            let ra = a.recoveries.as_ref().unwrap();
+            assert!(!ra.is_empty(), "{precision:?}: injection must trip");
+            assert_recoveries_bit_equal(ra, b.recoveries.as_ref().unwrap());
+            assert_eq!(
+                a.mass_drift.to_bits(),
+                b.mass_drift.to_bits(),
+                "{precision:?}"
+            );
+            assert_eq!(
+                a.energy_drift.to_bits(),
+                b.energy_drift.to_bits(),
+                "{precision:?}"
+            );
+        }
+    }
+
+    macro_rules! mid_recovery_resume_test {
+        ($name:ident, $real:ty, $store:ty, $prec:expr) => {
+            #[test]
+            fn $name() {
+                let dir = std::env::temp_dir().join(stringify!($name));
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir).unwrap();
+                let mut spec = armed_spec();
+                spec.precision = $prec;
+                spec.checkpoint_every = Some(4);
+                spec.label = Some("__nan_inject_6__".into());
+
+                // Ground truth: the poisoned run, uninterrupted.
+                let fresh = run_scenario(&spec);
+                assert!(fresh.status.is_ok(), "{:?}", fresh.status);
+                let fresh_recs = fresh.recoveries.as_ref().unwrap();
+                assert!(!fresh_recs.is_empty(), "injection must trip");
+
+                // Crash *mid-recovery*: march exactly as `drive` does to
+                // absolute step 6 — past the injection, rollback, and
+                // re-run, inside the backoff hold — then die, leaving the
+                // autosave (recovery log embedded) behind.
+                let case = spec.build_case().unwrap();
+                let cfg = spec.igr_config(&case);
+                let mut solver = igr_core::solver::igr_solver::<$real, $store>(
+                    cfg,
+                    case.domain,
+                    case.init_state(),
+                );
+                solver.nan_check_every = 1;
+                Driver::new()
+                    .max_steps(spec.warmup)
+                    .run(&mut solver)
+                    .unwrap();
+                solver.fixed_dt = Some(solver.stable_dt());
+                solver.nan_check_every = 0;
+                let path = dir.join(format!("{}.ckpt", spec.hash_hex()));
+                let policy = spec.recovery.as_ref().unwrap().to_policy();
+                let mut driver = Driver::new()
+                    .checkpoint_to(path.clone(), None)
+                    .inject_nan_at(6);
+                driver.run_recovered(&mut solver, &policy, 6).unwrap();
+                assert!(
+                    !driver.take_recovery_log().is_empty(),
+                    "the crash happens mid-recovery, after the rollback"
+                );
+                assert!(path.exists(), "autosave written at the cut");
+
+                // The resubmission re-enters inside the backoff hold. It
+                // must not re-fire the injection (the seeded log
+                // suppresses it), replays the dt schedule from the log,
+                // and lands on the identical final state and history.
+                let resumed = run_scenario_with(&spec, Some(&dir));
+                assert!(resumed.status.is_ok(), "{:?}", resumed.status);
+                assert_eq!(resumed.resumed_from, Some(6));
+                assert_recoveries_bit_equal(fresh_recs, resumed.recoveries.as_ref().unwrap());
+                assert_eq!(resumed.mass_drift.to_bits(), fresh.mass_drift.to_bits());
+                assert_eq!(resumed.energy_drift.to_bits(), fresh.energy_drift.to_bits());
+                assert!(!path.exists(), "completed scenario keeps no restart file");
+            }
+        };
+    }
+    mid_recovery_resume_test!(
+        mid_recovery_interrupt_resumes_bitwise_f64,
+        f64,
+        StoreF64,
+        PrecisionMode::Fp64
+    );
+    mid_recovery_resume_test!(
+        mid_recovery_interrupt_resumes_bitwise_f32,
+        f32,
+        StoreF32,
+        PrecisionMode::Fp32
+    );
+
+    #[test]
+    fn arming_recovery_without_divergence_is_physically_inert() {
+        // The windowed recovered path must be a bit-identical
+        // re-expression of the plain timed run when nothing trips: same
+        // frozen dt, same step sequence — snapshots and NaN scans are
+        // observers, never actors. This pins the recovery-disabled
+        // contract too: a spec without `recovery` takes the pre-existing
+        // path untouched and carries no log.
+        let mut plain = quick_spec();
+        plain.warmup = 2;
+        plain.steps = 10;
+        let mut armed = plain.clone();
+        armed.recovery = Some(recovery_spec());
+        assert_ne!(
+            plain.content_hash(),
+            armed.content_hash(),
+            "recovery is an execution axis in the cache key"
+        );
+        let p = run_scenario(&plain);
+        let a = run_scenario(&armed);
+        assert!(p.status.is_ok(), "{:?}", p.status);
+        assert!(a.status.is_ok(), "{:?}", a.status);
+        assert!(p.recoveries.is_none(), "recovery-free runs carry no log");
+        assert!(a.recoveries.as_ref().unwrap().is_empty());
+        assert_eq!(p.mass_drift.to_bits(), a.mass_drift.to_bits());
+        assert_eq!(p.energy_drift.to_bits(), a.energy_drift.to_bits());
+    }
+
+    #[test]
+    fn super_heavy_chaos_run_self_heals_and_reproduces_bitwise() {
+        // The acceptance scenario: a mid-run NaN on the 33-engine 3-D
+        // case completes Ok with a non-empty recovery log, and a rerun
+        // reproduces the healed trajectory bit for bit.
+        let mut spec = ScenarioSpec::new(BaseCase::SuperHeavy3d, 8);
+        spec.warmup = 1;
+        spec.steps = 5;
+        spec.recovery = Some(crate::spec::RecoverySpec {
+            snapshot_ring_depth: 2,
+            snapshot_every: 2,
+            max_retries: 3,
+            dt_backoff_factor: 0.5,
+            backoff_hold_steps: 2,
+        });
+        spec.label = Some("__nan_inject_3__".into());
+        spec.validate().expect("recovery on the hero case is legal");
+        let a = run_scenario(&spec);
+        assert!(a.status.is_ok(), "{:?}", a.status);
+        let recs = a.recoveries.as_ref().unwrap();
+        assert!(!recs.is_empty(), "injection must trip");
+        let b = run_scenario(&spec);
+        assert!(b.status.is_ok(), "{:?}", b.status);
+        assert_recoveries_bit_equal(recs, b.recoveries.as_ref().unwrap());
+        assert_eq!(a.mass_drift.to_bits(), b.mass_drift.to_bits());
+        assert_eq!(a.energy_drift.to_bits(), b.energy_drift.to_bits());
     }
 }

@@ -80,7 +80,8 @@ pub use queue::{CampaignQueue, JobId, JobState};
 pub use report::{CampaignReport, ReportRow, RunStatus, ScenarioResult};
 pub use serve::{CampaignClient, CampaignServer, SubmitAck};
 pub use spec::{
-    BaseCase, ControllerSpec, ScenarioSpec, SchemeKind, SpecError, CONTENT_HASH_VERSION,
+    BaseCase, ControllerSpec, RecoverySpec, ScenarioSpec, SchemeKind, SpecError,
+    CONTENT_HASH_VERSION,
 };
 pub use store::{CompactStats, ResultStore, COMPACT_MIN_LINES};
 pub use sweep::{Delta, ExpandMode, ParamAxis, Sweep};

@@ -31,6 +31,7 @@ use crate::report::{RunStatus, ScenarioResult};
 use crate::spec::CONTENT_HASH_VERSION;
 use igr_app::actions::{Action, ActionRecord};
 use igr_app::base::BaseHeatingReport;
+use igr_app::recovery::RecoveryRecord;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -263,6 +264,16 @@ pub(crate) fn encode_result_obj(hash: u64, r: &ScenarioResult) -> String {
         }
         s.push(']');
     }
+    if let Some(recs) = &r.recoveries {
+        s.push_str(",\"recoveries\":[");
+        for (i, rec) in recs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&encode_recovery_record(rec));
+        }
+        s.push(']');
+    }
     s.push('}');
     s
 }
@@ -319,6 +330,45 @@ pub(crate) fn encode_action_record(rec: &ActionRecord) -> String {
     }
     s.push('}');
     s
+}
+
+/// One recovery rollback as a store-JSON object. Same conventions as
+/// [`encode_action_record`]: step counters are full u64 and encode as
+/// decimal strings; the dts use the tagged [`json_f64`] form, so the NaN
+/// "was adaptive" sentinel in `prev_dt` — payload bits and all — round-trips
+/// exactly.
+pub(crate) fn encode_recovery_record(rec: &RecoveryRecord) -> String {
+    format!(
+        "{{\"trip_step\":\"{}\",\"rollback_step\":\"{}\",\"rollback_t\":{},\
+         \"prev_dt\":{},\"backoff_dt\":{},\"hold_until\":\"{}\",\"retry\":\"{}\"}}",
+        rec.trip_step,
+        rec.rollback_step,
+        json_f64(rec.rollback_t),
+        json_f64(rec.prev_dt),
+        json_f64(rec.backoff_dt),
+        rec.hold_until,
+        rec.retry
+    )
+}
+
+/// Decode one recovery object written by [`encode_recovery_record`].
+pub(crate) fn decode_recovery_record(obj: &[(String, Json)]) -> Result<RecoveryRecord, String> {
+    let step = |key: &str| -> Result<u64, String> {
+        get(obj, key)?
+            .as_str()
+            .ok_or_else(|| format!("recovery '{key}' is not a decimal string"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad recovery {key}: {e}"))
+    };
+    Ok(RecoveryRecord {
+        trip_step: step("trip_step")?,
+        rollback_step: step("rollback_step")?,
+        rollback_t: num(obj, "rollback_t")?,
+        prev_dt: num(obj, "prev_dt")?,
+        backoff_dt: num(obj, "backoff_dt")?,
+        hold_until: step("hold_until")?,
+        retry: step("retry")?,
+    })
 }
 
 /// Decode one action object written by [`encode_action_record`].
@@ -548,6 +598,18 @@ pub(crate) fn decode_result_obj(obj: &[(String, Json)]) -> Result<(u64, Scenario
                 Some(records)
             }
             Some(_) => return Err("'actions' is neither array nor null".into()),
+        },
+        recoveries: match opt_get(obj, "recoveries") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(items)) => {
+                let mut records = Vec::with_capacity(items.len());
+                for item in items {
+                    let fields = item.as_object().ok_or("recovery is not a JSON object")?;
+                    records.push(decode_recovery_record(fields)?);
+                }
+                Some(records)
+            }
+            Some(_) => return Err("'recoveries' is neither array nor null".into()),
         },
     };
     Ok((hash, result))
@@ -840,6 +902,7 @@ mod tests {
             series: None,
             resumed_from: None,
             actions: None,
+            recoveries: None,
         }
     }
 
@@ -1010,6 +1073,70 @@ mod tests {
         let plain = sample(RunStatus::Completed, None);
         let (_, old) = decode_line(encode_line(12, &plain).trim_end()).unwrap();
         assert!(old.actions.is_none());
+    }
+
+    #[test]
+    fn recovery_log_round_trips_bit_exactly_with_u64_steps_and_nonfinite_dts() {
+        let mut r = sample(RunStatus::Completed, None);
+        r.recoveries = Some(vec![
+            RecoveryRecord {
+                trip_step: u64::MAX,                  // > 2^53: must survive the f64-based parser
+                rollback_step: 9_007_199_254_740_993, // 2^53 + 1
+                rollback_t: 1.0 / 3.0,
+                prev_dt: f64::NAN, // the "was adaptive" sentinel
+                backoff_dt: 1e-300,
+                hold_until: u64::MAX - 1,
+                retry: 1,
+            },
+            RecoveryRecord {
+                trip_step: 48,
+                rollback_step: 32,
+                rollback_t: -0.0,
+                prev_dt: f64::from_bits(0x7ff8_dead_beef_cafe), // NaN payload
+                backoff_dt: f64::INFINITY,
+                hold_until: 64,
+                retry: 2,
+            },
+            RecoveryRecord {
+                trip_step: 50,
+                rollback_step: 32,
+                rollback_t: 0.25,
+                prev_dt: f64::NEG_INFINITY,
+                backoff_dt: 0.125,
+                hold_until: 80,
+                retry: 3,
+            },
+        ]);
+        let (_, back) = decode_line(encode_line(13, &r).trim_end()).unwrap();
+        let (a, b) = (back.recoveries.unwrap(), r.recoveries.clone().unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trip_step, y.trip_step, "u64 steps survive as strings");
+            assert_eq!(x.rollback_step, y.rollback_step);
+            assert_eq!(x.hold_until, y.hold_until);
+            assert_eq!(x.retry, y.retry);
+            assert_eq!(x.rollback_t.to_bits(), y.rollback_t.to_bits());
+            assert_eq!(x.prev_dt.to_bits(), y.prev_dt.to_bits(), "NaN payloads");
+            assert_eq!(x.backoff_dt.to_bits(), y.backoff_dt.to_bits());
+        }
+        // An armed-but-untripped run persists as an *empty* array, which is
+        // distinct from the key being absent.
+        let mut armed = sample(RunStatus::Completed, None);
+        armed.recoveries = Some(vec![]);
+        let (_, back) = decode_line(encode_line(14, &armed).trim_end()).unwrap();
+        assert!(matches!(&back.recoveries, Some(v) if v.is_empty()));
+        // Pre-upgrade lines (no 'recoveries' key) still decode to None.
+        let plain = sample(RunStatus::Completed, None);
+        let (_, old) = decode_line(encode_line(15, &plain).trim_end()).unwrap();
+        assert!(old.recoveries.is_none());
+        // And the digest distinguishes the three forms.
+        let with = {
+            let mut x = sample(RunStatus::Completed, None);
+            x.recoveries = r.recoveries.clone();
+            x
+        };
+        assert_ne!(result_digest(1, &plain), result_digest(1, &armed));
+        assert_ne!(result_digest(1, &armed), result_digest(1, &with));
     }
 
     #[test]

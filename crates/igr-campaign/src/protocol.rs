@@ -40,7 +40,7 @@ use crate::queue::JobId;
 use crate::report::ScenarioResult;
 #[allow(unused_imports)] // referenced by doc links
 use crate::spec::CONTENT_HASH_VERSION;
-use crate::spec::{BaseCase, ControllerSpec, ScenarioSpec, SchemeKind};
+use crate::spec::{BaseCase, ControllerSpec, RecoverySpec, ScenarioSpec, SchemeKind};
 use igr_app::jets::GimbalSchedule;
 use igr_prec::PrecisionMode;
 
@@ -64,7 +64,15 @@ use igr_prec::PrecisionMode;
 /// and serve the *open-loop* cached result for a closed-loop submission,
 /// so the same refuse-at-connect rule applies. (Decoders still tolerate
 /// the keys' absence within v3.)
-pub const PROTO_VERSION: u64 = 3;
+/// **v4** — the spec object gained `recovery` (a self-healing
+/// [`crate::RecoverySpec`], part of the content hash when set), result
+/// payloads gained the optional `recoveries` key (the rollback log a
+/// recovered run accumulated), and `STATS` gained `quarantined`. A v3 peer
+/// would strip the recovery policy and serve the *unguarded* cached result
+/// for a self-healing submission — the same silent-cache-skew hazard as v2
+/// and v3 — so mixed v3/v4 pairs are refused at connect time. (Decoders
+/// still tolerate the keys' absence within v4.)
+pub const PROTO_VERSION: u64 = 4;
 
 /// Machine-readable failure categories carried by [`Response::Error`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -404,6 +412,9 @@ pub struct ServerStats {
     pub executed: u64,
     /// Executions currently queued or running.
     pub outstanding: usize,
+    /// Failed scenarios whose transient-retry budget is exhausted — they
+    /// will not be re-executed on resubmission (see `docs/RECOVERY.md`).
+    pub quarantined: usize,
 }
 
 /// One named latency histogram in a `METRICS` response — the wire view of
@@ -613,14 +624,16 @@ impl Response {
             }
             Response::Stats(st) => format!(
                 "{{\"ok\":true,\"op\":\"stats\",\"proto\":{},\"hash_v\":{},\"entries\":{},\
-                 \"hits\":{},\"misses\":{},\"executed\":{},\"outstanding\":{}}}",
+                 \"hits\":{},\"misses\":{},\"executed\":{},\"outstanding\":{},\
+                 \"quarantined\":{}}}",
                 st.proto,
                 st.hash_version,
                 st.entries,
                 st.hits,
                 st.misses,
                 st.executed,
-                st.outstanding
+                st.outstanding,
+                st.quarantined
             ),
             Response::Metrics(m) => {
                 let mut s = String::from("{\"ok\":true,\"op\":\"metrics\",\"counters\":{");
@@ -767,6 +780,7 @@ impl Response {
                 misses: req_u64(obj, "misses")?,
                 executed: req_u64(obj, "executed")?,
                 outstanding: req_u64(obj, "outstanding")? as usize,
+                quarantined: tolerant_u64(obj, "quarantined")?.unwrap_or(0) as usize,
             })),
             "metrics" => {
                 let mut counters = Vec::new();
@@ -949,6 +963,18 @@ pub fn encode_spec(spec: &ScenarioSpec) -> String {
             c.every
         )),
     }
+    match &spec.recovery {
+        None => s.push_str(",\"recovery\":null"),
+        Some(r) => s.push_str(&format!(
+            ",\"recovery\":{{\"snapshot_ring_depth\":{},\"snapshot_every\":{},\
+             \"max_retries\":{},\"dt_backoff_factor\":{},\"backoff_hold_steps\":{}}}",
+            r.snapshot_ring_depth,
+            r.snapshot_every,
+            r.max_retries,
+            f(r.dt_backoff_factor),
+            r.backoff_hold_steps
+        )),
+    }
     s.push('}');
     s
 }
@@ -1056,6 +1082,7 @@ pub(crate) fn decode_spec_json(v: &Json) -> Result<ScenarioSpec, String> {
         series_every: tolerant_u64(obj, "series_every")?.map(|x| x as usize),
         checkpoint_every: tolerant_u64(obj, "checkpoint_every")?.map(|x| x as usize),
         controller: decode_controller(obj)?,
+        recovery: decode_recovery(obj)?,
     })
 }
 
@@ -1072,6 +1099,24 @@ fn decode_controller(obj: &[(String, Json)]) -> Result<Option<ControllerSpec>, S
         gain: num(cobj, "gain")?,
         rate: num(cobj, "rate")?,
         every: req_u64(cobj, "every")? as usize,
+    }))
+}
+
+/// Decode the optional `recovery` key — absent/null means no self-healing.
+/// Added in `PROTO_VERSION` 4; tolerating the missing key keeps pre-v4
+/// store lines and spec objects decodable.
+fn decode_recovery(obj: &[(String, Json)]) -> Result<Option<RecoverySpec>, String> {
+    let v = match persist::opt_get(obj, "recovery") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(v) => v,
+    };
+    let robj = v.as_object().ok_or("'recovery' is not an object")?;
+    Ok(Some(RecoverySpec {
+        snapshot_ring_depth: req_u64(robj, "snapshot_ring_depth")? as usize,
+        snapshot_every: req_u64(robj, "snapshot_every")? as usize,
+        max_retries: req_u64(robj, "max_retries")? as usize,
+        dt_backoff_factor: num(robj, "dt_backoff_factor")?,
+        backoff_hold_steps: req_u64(robj, "backoff_hold_steps")? as usize,
     }))
 }
 
@@ -1170,6 +1215,21 @@ mod tests {
         s
     }
 
+    fn rich_recovered_spec() -> ScenarioSpec {
+        let mut s = rich_spec();
+        // Recovery excludes controllers (validate() rejects the combo), so
+        // the recovery-armed wire fixture drops the closed loop.
+        s.controller = None;
+        s.recovery = Some(RecoverySpec {
+            snapshot_ring_depth: 3,
+            snapshot_every: 8,
+            max_retries: 5,
+            dt_backoff_factor: 0.375, // exactly representable
+            backoff_hold_steps: 17,
+        });
+        s
+    }
+
     #[test]
     fn spec_round_trips_bit_exactly_and_preserves_the_hash() {
         let spec = rich_spec();
@@ -1186,6 +1246,16 @@ mod tests {
         let open_back = decode_spec(&encode_spec(&open_loop)).unwrap();
         assert!(open_back.controller.is_none());
         assert_eq!(open_back.content_hash(), open_loop.content_hash());
+        let recovered = rich_recovered_spec();
+        let rec_back = decode_spec(&encode_spec(&recovered)).unwrap();
+        let r = rec_back.recovery.as_ref().expect("recovery rides the wire");
+        assert_eq!(r.snapshot_ring_depth, 3);
+        assert_eq!(r.snapshot_every, 8);
+        assert_eq!(r.max_retries, 5);
+        assert_eq!(r.dt_backoff_factor, 0.375);
+        assert_eq!(r.backoff_hold_steps, 17);
+        assert_eq!(rec_back.content_hash(), recovered.content_hash());
+        assert_ne!(rec_back.content_hash(), open_loop.content_hash());
         assert_eq!(
             back.gimbal[1].1.knots[0].1[1].to_bits(),
             spec.gimbal[1].1.knots[0].1[1].to_bits(),
@@ -1297,6 +1367,15 @@ mod tests {
                     rate: 0.5,
                 },
             }]),
+            recoveries: Some(vec![igr_app::recovery::RecoveryRecord {
+                trip_step: 5,
+                rollback_step: 4,
+                rollback_t: 0.5,
+                prev_dt: f64::NAN, // "was adaptive" sentinel
+                backoff_dt: 1e-4,
+                hold_until: 36,
+                retry: 1,
+            }]),
         };
         let resp = Response::Result(StreamedResult {
             job: 9,
@@ -1315,6 +1394,12 @@ mod tests {
                 assert_eq!(r.result.resumed_from, Some(1));
                 let series = r.result.series.as_ref().expect("series rides the wire");
                 assert_eq!(series, result.series.as_ref().unwrap());
+                let recs = r.result.recoveries.as_ref().expect("recoveries ride");
+                assert_eq!(recs.len(), 1);
+                assert_eq!(recs[0].trip_step, 5);
+                assert!(recs[0].prev_dt.is_nan());
+                assert_eq!(recs[0].backoff_dt.to_bits(), (1e-4f64).to_bits());
+                assert_eq!(recs[0].hold_until, 36);
                 let actions = r.result.actions.as_ref().expect("actions ride the wire");
                 assert_eq!(actions.len(), 1);
                 assert_eq!(actions[0].step, 2);
@@ -1352,9 +1437,13 @@ mod tests {
             misses: 2,
             executed: 2,
             outstanding: 1,
+            quarantined: 3,
         });
         match Response::decode(stats.encode().trim_end()).unwrap() {
-            Response::Stats(s) => assert_eq!(s.executed, 2),
+            Response::Stats(s) => {
+                assert_eq!(s.executed, 2);
+                assert_eq!(s.quarantined, 3);
+            }
             other => panic!("expected Stats, got {other:?}"),
         }
     }
@@ -1378,6 +1467,7 @@ mod tests {
             series: None,
             resumed_from: Some(6),
             actions: None,
+            recoveries: None,
         };
 
         let req = Request::Push {

@@ -131,6 +131,10 @@ impl PartialOrd for HeapEntry {
 
 struct Inner {
     store: ResultStore,
+    /// Restart-file directory the workers checkpoint into — also where
+    /// orphaned `<hash>.ckpt` / `<hash>.rank<N>.ckpt` files are swept when
+    /// a scenario fails permanently or its last waiter is cancelled.
+    ckpt_dir: Option<std::path::PathBuf>,
     jobs: HashMap<JobId, Job>,
     /// Queued/running executions by content hash.
     executions: HashMap<u64, Execution>,
@@ -180,7 +184,7 @@ impl CampaignQueue {
     /// A queue over an existing store (e.g. a persistent one from
     /// [`ResultStore::open`], so submissions hit the cross-process cache).
     pub fn with_store(cfg: ExecConfig, store: ResultStore) -> Self {
-        let mut queue = Self::build(store);
+        let mut queue = Self::build(store, cfg.checkpoint_dir.clone());
         let solver_threads = cfg.solver_threads();
         for _ in 0..cfg.workers {
             let shared = Arc::clone(&queue.shared);
@@ -197,14 +201,22 @@ impl CampaignQueue {
     /// what the ordering/cancellation tests (and single-threaded embedders)
     /// want.
     pub fn manual(store: ResultStore) -> Self {
-        Self::build(store)
+        Self::build(store, None)
     }
 
-    fn build(store: ResultStore) -> Self {
+    /// [`Self::manual`] with a restart-file directory: driven runs
+    /// checkpoint into (and resume from) `dir`, and the queue sweeps
+    /// orphaned restart files on permanent failure or cancellation.
+    pub fn manual_with_checkpoints(store: ResultStore, dir: impl Into<std::path::PathBuf>) -> Self {
+        Self::build(store, Some(dir.into()))
+    }
+
+    fn build(store: ResultStore, ckpt_dir: Option<std::path::PathBuf>) -> Self {
         CampaignQueue {
             shared: Arc::new(Shared {
                 inner: Mutex::new(Inner {
                     store,
+                    ckpt_dir,
                     jobs: HashMap::new(),
                     executions: HashMap::new(),
                     heap: BinaryHeap::new(),
@@ -243,9 +255,11 @@ impl CampaignQueue {
         let id = g.next_job;
         g.next_job += 1;
 
-        // Already cached: the job is born Done.
-        if g.store.contains(hash) {
-            let result = g.store.fetch(hash).expect("contains() just said so");
+        // Already settled (completed, or a quarantined/permanent failure):
+        // the job is born Done. A transient failure with retry budget left
+        // falls through and re-executes (see docs/RECOVERY.md).
+        if g.store.settled(hash) {
+            let result = g.store.fetch(hash).expect("settled() just said so");
             g.jobs.insert(
                 id,
                 Job {
@@ -291,9 +305,13 @@ impl CampaignQueue {
             return (id, true);
         }
 
-        // Fresh work: plan the execution. The failed lookup above *is* the
-        // cache miss — count it the way Campaign::run does.
-        let _ = g.store.fetch(hash);
+        // Fresh work: plan the execution. For a truly absent hash the
+        // failed lookup above *is* the cache miss — count it the way
+        // Campaign::run does. A retryable failure being re-executed is
+        // neither hit nor miss: no counter traffic.
+        if !g.store.contains(hash) {
+            let _ = g.store.fetch(hash);
+        }
         g.executions.insert(
             hash,
             Execution {
@@ -386,7 +404,13 @@ impl CampaignQueue {
         g.jobs.get_mut(&id).expect("checked above").phase = JobPhase::Cancelled;
         igr_obs::Registry::global().counter_add("queue.cancel", 1);
         if drop_execution {
+            // Nobody is waiting and nothing will run: a restart file left
+            // by an earlier interrupted/failed attempt is now an orphan.
+            let sweep = g.ckpt_dir.clone();
             drop(g);
+            if let Some(dir) = sweep {
+                remove_orphan_checkpoints(&dir, hash);
+            }
             // Wake any wait_all() blocked on the outstanding count.
             self.shared.done.notify_all();
         }
@@ -500,13 +524,13 @@ impl CampaignQueue {
     /// workers). Returns the execution's first waiter, or `None` when
     /// nothing is queued.
     pub fn run_next(&self) -> Option<JobId> {
-        let (hash, spec, first) = {
+        let (hash, spec, first, ckpt_dir) = {
             let mut g = lock(&self.shared);
             let (hash, spec) = pop_execution(&mut g)?;
             let first = g.executions[&hash].waiters.first().copied();
-            (hash, spec, first)
+            (hash, spec, first, g.ckpt_dir.clone())
         };
-        let result = run_scenario_caught_with(&spec, None);
+        let result = run_scenario_caught_with(&spec, ckpt_dir.as_deref());
         complete_execution(&self.shared, hash, result);
         first
     }
@@ -532,6 +556,13 @@ impl CampaignQueue {
     pub fn store_stats(&self) -> (usize, u64, u64) {
         let g = lock(&self.shared);
         (g.store.len(), g.store.hits(), g.store.misses())
+    }
+
+    /// Cached failures that will never re-execute (permanent failures plus
+    /// transient ones past their retry budget) — the wire protocol's
+    /// `STATS` reports this; see [`ResultStore::quarantined`].
+    pub fn quarantined(&self) -> usize {
+        lock(&self.shared).store.quarantined()
     }
 
     /// Compact the underlying store's backing file (see
@@ -693,6 +724,16 @@ fn complete_execution(shared: &Shared, hash: u64, result: ScenarioResult) {
     }
     g.store.insert(hash, result);
     g.executed += 1;
+    // A failure that is now settled (structural, or transient past its
+    // retry budget) will never re-execute: its restart files are orphans,
+    // and the quarantine is worth a counter on the fleet dashboard.
+    let quarantine_sweep = match g.store.peek(hash) {
+        Some(r) if !r.status.is_ok() && !g.store.is_retryable(hash) => {
+            obs.counter_add("queue.quarantine", 1);
+            g.ckpt_dir.clone()
+        }
+        _ => None,
+    };
     let arc = Arc::clone(g.store.peek(hash).expect("just inserted"));
     let mut fresh_given = false;
     for id in exec.waiters {
@@ -720,7 +761,31 @@ fn complete_execution(shared: &Shared, hash: u64, result: ScenarioResult) {
     }
     g.outstanding -= 1;
     drop(g);
+    if let Some(dir) = quarantine_sweep {
+        remove_orphan_checkpoints(&dir, hash);
+    }
     shared.done.notify_all();
+}
+
+/// Sweep the restart files a scenario can have left in `dir`: the
+/// single-block `<hash>.ckpt` and any decomposed `<hash>.rank<N>.ckpt`
+/// set. Called when the files can never be consumed again — the scenario
+/// failed permanently or its last waiter was cancelled. Best-effort:
+/// missing files and IO errors are ignored (the files are only disk
+/// weight, never a correctness hazard).
+fn remove_orphan_checkpoints(dir: &std::path::Path, hash: u64) {
+    let stem = format!("{hash:016x}");
+    let _ = std::fs::remove_file(dir.join(format!("{stem}.ckpt")));
+    let rank_prefix = format!("{stem}.rank");
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(&rank_prefix) && name.ends_with(".ckpt") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared, solver_threads: usize, checkpoint_dir: Option<&std::path::Path>) {
@@ -906,6 +971,81 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_settles_transient_failures_and_sweeps_their_restart_files() {
+        let dir = std::env::temp_dir().join("igr_queue_quarantine_sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let q = CampaignQueue::manual_with_checkpoints(ResultStore::new(), dir.clone());
+
+        let mut bad = quick(48);
+        bad.label = Some("__panic_injection__".into());
+        let mut normalized = bad.clone();
+        normalized.normalize();
+        let hash = normalized.content_hash();
+
+        // Orphans a dying worker could have left: the single-block restart
+        // file and a rank shard — plus a *foreign* scenario's file that the
+        // sweep must leave alone.
+        let mine = dir.join(format!("{hash:016x}.ckpt"));
+        let mine_rank = dir.join(format!("{hash:016x}.rank1.ckpt"));
+        let foreign = dir.join("00000000deadbeef.ckpt");
+        for p in [&mine, &mine_rank, &foreign] {
+            std::fs::write(p, b"stale").unwrap();
+        }
+
+        // Transient failures burn retry attempts; while retry budget
+        // remains the scenario might still complete on a future attempt,
+        // so its restart files stay.
+        for attempt in 1..crate::store::QUARANTINE_AFTER {
+            let id = q.submit(&bad, 0);
+            assert_eq!(q.run_next(), Some(id), "attempt {attempt} re-executes");
+            assert!(mine.exists(), "retryable failure keeps restart files");
+            assert!(mine_rank.exists());
+        }
+        assert_eq!(q.quarantined(), 0, "retry budget not exhausted yet");
+
+        // The final attempt quarantines the scenario: the failure settles
+        // and its orphaned restart files are swept.
+        let last = q.submit(&bad, 0);
+        assert_eq!(q.run_next(), Some(last));
+        assert_eq!(q.quarantined(), 1);
+        assert!(!mine.exists(), "quarantine sweeps the restart file");
+        assert!(!mine_rank.exists(), "quarantine sweeps rank shards too");
+        assert!(foreign.exists(), "other scenarios' files are untouched");
+
+        // Settled: a resubmission is served the cached failure, no compute.
+        let done = q.submit(&bad, 0);
+        assert!(matches!(
+            q.poll(done),
+            Some(JobState::Done { cached: true, .. })
+        ));
+        assert!(q.run_next().is_none());
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_sweeps_its_restart_files() {
+        let dir = std::env::temp_dir().join("igr_queue_cancel_sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let q = CampaignQueue::manual_with_checkpoints(ResultStore::new(), dir.clone());
+
+        let mut spec = quick(48);
+        spec.normalize();
+        let hash = spec.content_hash();
+        let mine = dir.join(format!("{hash:016x}.ckpt"));
+        let foreign = dir.join("00000000deadbeef.ckpt");
+        std::fs::write(&mine, b"stale").unwrap();
+        std::fs::write(&foreign, b"stale").unwrap();
+
+        // Cancelling the last waiter drops the pending execution — nothing
+        // will ever consume its restart file, so it goes too.
+        let id = q.submit(&spec, 0);
+        assert!(q.cancel(id));
+        assert!(!mine.exists(), "cancelled execution keeps no restart file");
+        assert!(foreign.exists(), "other scenarios' files are untouched");
+    }
+
+    #[test]
     fn imported_results_complete_queued_executions_as_cache_hits() {
         let q = CampaignQueue::manual(ResultStore::new());
         let mut spec = quick(48);
@@ -933,6 +1073,7 @@ mod tests {
                 series: None,
                 resumed_from: None,
                 actions: None,
+                recoveries: None,
             };
             r.steps = 7;
             r

@@ -10,6 +10,7 @@
 use igr_app::actions::{Action, ActionRecord};
 use igr_app::base::BaseHeatingReport;
 use igr_app::diagnostics::Sample;
+use igr_app::recovery::RecoveryRecord;
 use std::sync::Arc;
 
 /// How a scenario run ended.
@@ -81,6 +82,12 @@ pub struct ScenarioResult {
     /// the controller issued, in application order. Persists in the result
     /// store and rides the wire as an additive optional key.
     pub actions: Option<Vec<ActionRecord>>,
+    /// The recovery log, when the scenario ran self-healing
+    /// ([`crate::spec::ScenarioSpec::recovery`]): one record per checkpoint
+    /// rollback, in trip order. `Some(vec![])` means recovery was armed and
+    /// the run never diverged. Persists in the result store and rides the
+    /// wire as an additive optional key.
+    pub recoveries: Option<Vec<RecoveryRecord>>,
 }
 
 /// One report row: the result plus how it was obtained. The result is the
@@ -219,6 +226,16 @@ impl CampaignReport {
                 }
                 s.push(']');
             }
+            if let Some(recs) = &r.recoveries {
+                s.push_str(", \"recoveries\": [");
+                for (ri, rec) in recs.iter().enumerate() {
+                    if ri > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&json_recovery_record(rec));
+                }
+                s.push(']');
+            }
             if let Some(series) = &r.series {
                 s.push_str(&format!(
                     ", \"series\": {{\"every\": {}, \"samples\": [",
@@ -258,7 +275,8 @@ impl CampaignReport {
         let mut s = String::from(
             "name,hash,cached,status,cells,steps,ranks,wall_s,grind_ns_per_cell_step,\
              mass_drift,energy_drift,heated_fraction,recirc_flux,backflow_h0,peak_T,\
-             mean_p_base,centroid_a,centroid_b,resumed_from,series_samples,actions\n",
+             mean_p_base,centroid_a,centroid_b,resumed_from,series_samples,actions,\
+             recoveries\n",
         );
         for row in &self.rows {
             let r = &row.result;
@@ -293,13 +311,17 @@ impl CampaignReport {
                 None => s.push_str(",,,,,,,"),
             }
             s.push_str(&format!(
-                ",{},{},{}\n",
+                ",{},{},{},{}\n",
                 r.resumed_from.map(|v| v.to_string()).unwrap_or_default(),
                 r.series
                     .as_ref()
                     .map(|se| se.samples.len().to_string())
                     .unwrap_or_default(),
                 r.actions
+                    .as_ref()
+                    .map(|a| a.len().to_string())
+                    .unwrap_or_default(),
+                r.recoveries
                     .as_ref()
                     .map(|a| a.len().to_string())
                     .unwrap_or_default(),
@@ -423,6 +445,23 @@ fn json_action_record(rec: &ActionRecord) -> String {
     s
 }
 
+/// One recovery rollback as a report-JSON object. Human-facing like
+/// [`json_action_record`]: a NaN `prev_dt` (the "restore adaptive stepping"
+/// sentinel) renders as null; the bit-exact form lives in [`crate::persist`].
+fn json_recovery_record(rec: &RecoveryRecord) -> String {
+    format!(
+        "{{\"trip_step\": {}, \"rollback_step\": {}, \"rollback_t\": {}, \
+         \"prev_dt\": {}, \"backoff_dt\": {}, \"hold_until\": {}, \"retry\": {}}}",
+        rec.trip_step,
+        rec.rollback_step,
+        json_f64(rec.rollback_t),
+        json_f64(rec.prev_dt),
+        json_f64(rec.backoff_dt),
+        rec.hold_until,
+        rec.retry
+    )
+}
+
 /// JSON number formatting: finite floats print bare, non-finite become
 /// null (JSON has no NaN/Inf).
 fn json_f64(x: f64) -> String {
@@ -482,6 +521,7 @@ mod tests {
             series: None,
             resumed_from: None,
             actions: None,
+            recoveries: None,
         }
     }
 
@@ -570,8 +610,41 @@ mod tests {
         assert!(j.contains("\"rate\": null"), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let c = rep.to_csv();
-        assert!(c.lines().next().unwrap().ends_with(",actions"));
-        assert!(c.lines().nth(1).unwrap().ends_with(",2"), "{c}");
+        assert!(c.lines().next().unwrap().ends_with(",actions,recoveries"));
+        // 2 actions; no recovery log → empty trailing field.
+        assert!(c.lines().nth(1).unwrap().ends_with(",2,"), "{c}");
+    }
+
+    #[test]
+    fn recovery_log_renders_in_json_and_counts_in_csv() {
+        let mut r = result("healed", 100.0, None);
+        r.recoveries = Some(vec![igr_app::recovery::RecoveryRecord {
+            trip_step: 40,
+            rollback_step: 32,
+            rollback_t: 0.4,
+            prev_dt: f64::NAN, // "was adaptive" renders as null
+            backoff_dt: 5e-5,
+            hold_until: 64,
+            retry: 1,
+        }]);
+        let rep = CampaignReport {
+            rows: vec![ReportRow {
+                result: Arc::new(r),
+                cached: false,
+            }],
+            executed: 1,
+            cache_hits: 0,
+            workers: 1,
+            batch_wall_s: 0.1,
+        };
+        let j = rep.to_json();
+        assert!(j.contains("\"recoveries\": ["), "{j}");
+        assert!(j.contains("\"trip_step\": 40"), "{j}");
+        assert!(j.contains("\"prev_dt\": null"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let c = rep.to_csv();
+        // No action log → empty field; 1 recovery.
+        assert!(c.lines().nth(1).unwrap().ends_with(",,1"), "{c}");
     }
 
     #[test]

@@ -501,6 +501,7 @@ fn handle_request(
                     misses,
                     executed: queue.executed(),
                     outstanding: queue.outstanding(),
+                    quarantined: queue.quarantined(),
                 }),
             )?;
             Ok(Flow::Continue)

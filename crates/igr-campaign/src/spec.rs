@@ -146,6 +146,55 @@ impl ControllerSpec {
     }
 }
 
+/// A self-healing recovery policy riding on a scenario — the campaign-facing
+/// mirror of [`igr_app::RecoveryPolicy`].
+///
+/// When set, the executor drives the run through the recovering run-loop: a
+/// ring of in-memory snapshots, rollback on divergence, and a backed-off
+/// fixed dt held for a window after each rollback. The knobs are **physics**:
+/// once a rollback fires, the dt schedule (and therefore the trajectory)
+/// depends on them, so the whole struct is part of the content hash — as a
+/// trailing optional tag, so recovery-free specs keep their existing hashes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverySpec {
+    /// How many healthy snapshots the in-memory ring retains (>= 1).
+    pub snapshot_ring_depth: usize,
+    /// Snapshot (and divergence-scan) cadence in absolute steps (>= 1).
+    pub snapshot_every: usize,
+    /// Rollbacks tolerated per divergence chain before the run fails (>= 1).
+    pub max_retries: usize,
+    /// Each retry multiplies the backed-off dt by this factor (in (0, 1)).
+    pub dt_backoff_factor: f64,
+    /// Steps the backed-off dt is pinned after a rollback (>= 1).
+    pub backoff_hold_steps: usize,
+}
+
+impl Default for RecoverySpec {
+    /// Mirrors [`igr_app::RecoveryPolicy::default`].
+    fn default() -> Self {
+        RecoverySpec {
+            snapshot_ring_depth: 2,
+            snapshot_every: 16,
+            max_retries: 3,
+            dt_backoff_factor: 0.5,
+            backoff_hold_steps: 32,
+        }
+    }
+}
+
+impl RecoverySpec {
+    /// The driver-level policy this spec configures.
+    pub fn to_policy(&self) -> igr_app::RecoveryPolicy {
+        igr_app::RecoveryPolicy {
+            snapshot_ring_depth: self.snapshot_ring_depth,
+            snapshot_every: self.snapshot_every,
+            max_retries: self.max_retries,
+            dt_backoff_factor: self.dt_backoff_factor,
+            backoff_hold_steps: self.backoff_hold_steps,
+        }
+    }
+}
+
 /// A declarative description of one parameterized run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
@@ -207,6 +256,12 @@ pub struct ScenarioSpec {
     /// physics. Encoded as a trailing optional tag after `series`, so every
     /// controller-free spec keeps its pre-existing hash.
     pub controller: Option<ControllerSpec>,
+    /// Self-healing recovery policy (IGR scheme, single-block only).
+    /// **Part of the content hash when set** — after a rollback the dt
+    /// schedule depends on these knobs, so they are physics. Encoded as a
+    /// trailing optional tag after `ctrl`, so every recovery-free spec keeps
+    /// its pre-existing hash.
+    pub recovery: Option<RecoverySpec>,
 }
 
 impl ScenarioSpec {
@@ -242,6 +297,7 @@ impl ScenarioSpec {
             series_every: None,
             checkpoint_every: None,
             controller: None,
+            recovery: None,
         }
     }
 
@@ -345,6 +401,41 @@ impl ScenarioSpec {
                 )));
             }
         }
+        if let Some(r) = &self.recovery {
+            if self.scheme != SchemeKind::Igr {
+                return Err(SpecError("recovery supports the IGR scheme only".into()));
+            }
+            if self.ranks.is_some_and(|n| n > 1) {
+                return Err(SpecError(
+                    "recovery supports single-block scenarios only".into(),
+                ));
+            }
+            if self.controller.is_some() {
+                return Err(SpecError(
+                    "recovery re-runs windows after rollback; combining it with a \
+                     feedback controller would double-apply control actions"
+                        .into(),
+                ));
+            }
+            if r.snapshot_ring_depth == 0 {
+                return Err(SpecError("recovery ring depth must be >= 1".into()));
+            }
+            if r.snapshot_every == 0 {
+                return Err(SpecError("recovery snapshot cadence must be >= 1".into()));
+            }
+            if r.max_retries == 0 {
+                return Err(SpecError("recovery max_retries must be >= 1".into()));
+            }
+            if !(r.dt_backoff_factor > 0.0 && r.dt_backoff_factor < 1.0) {
+                return Err(SpecError(format!(
+                    "recovery dt backoff factor must be in (0, 1), got {}",
+                    r.dt_backoff_factor
+                )));
+            }
+            if r.backoff_hold_steps == 0 {
+                return Err(SpecError("recovery backoff hold must be >= 1".into()));
+            }
+        }
         Ok(())
     }
 
@@ -446,6 +537,14 @@ impl ScenarioSpec {
             h.f64(c.rate);
             h.u64(c.every as u64);
         }
+        if let Some(r) = &self.recovery {
+            h.tag("recovery");
+            h.u64(r.snapshot_ring_depth as u64);
+            h.u64(r.snapshot_every as u64);
+            h.u64(r.max_retries as u64);
+            h.f64(r.dt_backoff_factor);
+            h.u64(r.backoff_hold_steps as u64);
+        }
         // checkpoint_every is deliberately NOT hashed (see its field doc).
         h.finish()
     }
@@ -488,6 +587,9 @@ impl ScenarioSpec {
             if c.every != 1 {
                 s.push_str(&format!("e{}", c.every));
             }
+        }
+        if let Some(r) = &self.recovery {
+            s.push_str(&format!("+rec{}x{:.2}", r.max_retries, r.dt_backoff_factor));
         }
         s.push_str(match self.precision {
             PrecisionMode::Fp64 => "+fp64",
@@ -835,6 +937,45 @@ mod tests {
             }),
             ..base.clone()
         });
+        variants.push(ScenarioSpec {
+            recovery: Some(RecoverySpec::default()),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            recovery: Some(RecoverySpec {
+                max_retries: 5,
+                ..RecoverySpec::default()
+            }),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            recovery: Some(RecoverySpec {
+                dt_backoff_factor: 0.25,
+                ..RecoverySpec::default()
+            }),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            recovery: Some(RecoverySpec {
+                snapshot_every: 8,
+                ..RecoverySpec::default()
+            }),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            recovery: Some(RecoverySpec {
+                snapshot_ring_depth: 3,
+                ..RecoverySpec::default()
+            }),
+            ..base.clone()
+        });
+        variants.push(ScenarioSpec {
+            recovery: Some(RecoverySpec {
+                backoff_hold_steps: 16,
+                ..RecoverySpec::default()
+            }),
+            ..base.clone()
+        });
         let mut seen = vec![h0];
         for v in &variants {
             let h = v.content_hash();
@@ -982,6 +1123,75 @@ mod tests {
         assert_ne!(a.content_hash(), b.content_hash());
         let name = b.scenario_name();
         assert!(name.contains("+ctrl1.50"), "{name}");
+    }
+
+    #[test]
+    fn recovery_is_a_trailing_hash_tag() {
+        // None hashes exactly like the pre-recovery encoding (the golden in
+        // hash_encoding_is_versioned pins this globally); Some perturbs it.
+        let a = jet_spec();
+        let mut b = jet_spec();
+        b.recovery = Some(RecoverySpec::default());
+        assert_ne!(a.content_hash(), b.content_hash());
+        let name = b.scenario_name();
+        assert!(name.contains("+rec3x0.50"), "{name}");
+    }
+
+    #[test]
+    fn recovery_validation_gates_schemes_ranks_controllers_and_knobs() {
+        let mut s = jet_spec();
+        s.recovery = Some(RecoverySpec::default());
+        assert!(s.validate().is_ok());
+        s.scheme = SchemeKind::WenoBaseline;
+        assert!(s.validate().is_err(), "recovery is IGR-only");
+
+        let mut s = jet_spec();
+        s.recovery = Some(RecoverySpec::default());
+        s.ranks = Some(2);
+        assert!(s.validate().is_err(), "recovery is single-block-only");
+
+        let mut s = jet_spec();
+        s.recovery = Some(RecoverySpec::default());
+        s.controller = Some(ControllerSpec::proportional(1.0));
+        assert!(
+            s.validate().is_err(),
+            "re-run windows would double-apply control actions"
+        );
+
+        for bad in [
+            RecoverySpec {
+                snapshot_ring_depth: 0,
+                ..RecoverySpec::default()
+            },
+            RecoverySpec {
+                snapshot_every: 0,
+                ..RecoverySpec::default()
+            },
+            RecoverySpec {
+                max_retries: 0,
+                ..RecoverySpec::default()
+            },
+            RecoverySpec {
+                dt_backoff_factor: 0.0,
+                ..RecoverySpec::default()
+            },
+            RecoverySpec {
+                dt_backoff_factor: 1.0,
+                ..RecoverySpec::default()
+            },
+            RecoverySpec {
+                dt_backoff_factor: f64::NAN,
+                ..RecoverySpec::default()
+            },
+            RecoverySpec {
+                backoff_hold_steps: 0,
+                ..RecoverySpec::default()
+            },
+        ] {
+            let mut s = jet_spec();
+            s.recovery = Some(bad.clone());
+            assert!(s.validate().is_err(), "knob set {bad:?} must be rejected");
+        }
     }
 
     #[test]

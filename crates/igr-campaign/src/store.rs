@@ -47,6 +47,26 @@ pub struct CompactStats {
 /// many file lines — tiny stores are not worth rewriting.
 pub const COMPACT_MIN_LINES: usize = 64;
 
+/// Transient failures stop being retryable after this many failed
+/// executions of the same content hash: the scenario is *quarantined* and
+/// resubmissions are served the cached failure instead of burning more
+/// compute (see `docs/RECOVERY.md`).
+pub const QUARANTINE_AFTER: u64 = 3;
+
+/// Is this failure message one that a retry could plausibly clear?
+///
+/// Worker panics, non-finite blowups, divergence-guard trips, and
+/// exhausted recovery budgets are all *environmental or numerical*
+/// failures: a rerun (possibly on a healthier worker, possibly past a
+/// transient) can succeed. Spec-validation failures are *structural* —
+/// the same spec fails the same way forever — so anything not matching a
+/// transient marker is permanent from the first failure.
+pub(crate) fn is_transient_failure(msg: &str) -> bool {
+    ["panicked", "non-finite", "diverg", "recovery"]
+        .iter()
+        .any(|marker| msg.contains(marker))
+}
+
 /// Result cache with hit/miss accounting and optional file persistence.
 #[derive(Default)]
 pub struct ResultStore {
@@ -63,6 +83,10 @@ pub struct ResultStore {
     /// Cache entries with `Completed` status — the ones a compaction pass
     /// would keep (failed results are never persisted).
     live_persistable: usize,
+    /// Failed-execution attempts per content hash (transient failures
+    /// only); drives the [`QUARANTINE_AFTER`] retry budget. In-memory
+    /// only, like the failures themselves.
+    attempts: HashMap<u64, u64>,
 }
 
 impl ResultStore {
@@ -102,6 +126,7 @@ impl ResultStore {
             persist_errors: 0,
             file_lines,
             live_persistable,
+            attempts: HashMap::new(),
         })
     }
 
@@ -125,6 +150,43 @@ impl ResultStore {
         self.map.contains_key(&hash)
     }
 
+    /// Is this hash's cached entry *settled* — i.e. should a planner serve
+    /// it from the cache rather than re-execute? Completed results and
+    /// quarantined/permanent failures are settled; a transient failure
+    /// with retry budget left ([`Self::is_retryable`]) is not, and an
+    /// absent hash trivially is not.
+    pub fn settled(&self, hash: u64) -> bool {
+        self.map.contains_key(&hash) && !self.is_retryable(hash)
+    }
+
+    /// True when the cached entry for `hash` is a *transient* failure that
+    /// has not yet exhausted its [`QUARANTINE_AFTER`] retry budget —
+    /// planning passes treat such entries as absent so resubmission gets
+    /// the scenario re-executed. Completed results, permanent (structural)
+    /// failures, and quarantined hashes all return `false`.
+    pub fn is_retryable(&self, hash: u64) -> bool {
+        match self.map.get(&hash) {
+            Some(r) => match &r.status {
+                crate::report::RunStatus::Failed(msg) => {
+                    is_transient_failure(msg)
+                        && self.attempts.get(&hash).copied().unwrap_or(0) < QUARANTINE_AFTER
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Cached failures that will never re-execute: permanent (structural)
+    /// failures plus transient ones whose retry budget is exhausted. The
+    /// wire protocol's `STATS` reports this.
+    pub fn quarantined(&self) -> usize {
+        self.map
+            .iter()
+            .filter(|(h, r)| !r.status.is_ok() && !self.is_retryable(**h))
+            .count()
+    }
+
     /// Counter-free lookup: reading back a result the caller just executed
     /// and inserted is not cache traffic.
     pub fn peek(&self, hash: u64) -> Option<&Arc<ScenarioResult>> {
@@ -141,6 +203,16 @@ impl ResultStore {
     /// or a killed worker would block that scenario in every future
     /// process with no retry path. Restarting the process *is* the retry.
     pub fn insert(&mut self, hash: u64, result: ScenarioResult) {
+        match &result.status {
+            crate::report::RunStatus::Failed(msg) if is_transient_failure(msg) => {
+                *self.attempts.entry(hash).or_insert(0) += 1;
+            }
+            // A success (or a permanent failure, which never retries)
+            // resets the transient-attempt history for the hash.
+            _ => {
+                self.attempts.remove(&hash);
+            }
+        }
         if result.status.is_ok() {
             if let Some(log) = &mut self.log {
                 match log.append(hash, &result) {
@@ -324,7 +396,46 @@ mod tests {
             series: None,
             resumed_from: None,
             actions: None,
+            recoveries: None,
         }
+    }
+
+    #[test]
+    fn transient_failures_retry_until_quarantined_but_permanent_ones_settle() {
+        let mut store = ResultStore::new();
+        let fail = |msg: &str| {
+            let mut r = dummy("flaky");
+            r.status = RunStatus::Failed(msg.into());
+            r
+        };
+
+        // A structural failure settles on the first insert: no retry path.
+        store.insert(1, fail("invalid scenario spec: resolution 2"));
+        assert!(!store.is_retryable(1));
+        assert!(store.settled(1));
+        assert_eq!(store.quarantined(), 1);
+
+        // A transient failure stays retryable until the budget runs out…
+        for attempt in 1..=QUARANTINE_AFTER {
+            store.insert(2, fail("scenario worker panicked: boom"));
+            let expect_retry = attempt < QUARANTINE_AFTER;
+            assert_eq!(store.is_retryable(2), expect_retry, "attempt {attempt}");
+            assert_eq!(store.settled(2), !expect_retry, "attempt {attempt}");
+        }
+        assert_eq!(store.quarantined(), 2, "budget exhausted: quarantined");
+
+        // …and a success wipes the attempt history clean.
+        store.insert(3, fail("non-finite rho at step 5"));
+        assert!(store.is_retryable(3));
+        store.insert(3, dummy("recovered"));
+        assert!(store.settled(3));
+        assert_eq!(store.quarantined(), 2);
+        store.insert(3, fail("solver diverged"));
+        assert!(store.is_retryable(3), "attempts restart after a success");
+
+        // Absent hashes are neither settled nor retryable.
+        assert!(!store.settled(99));
+        assert!(!store.is_retryable(99));
     }
 
     #[test]

@@ -124,6 +124,37 @@ impl<R: Real, S: Storage<R>> Field<R, S> {
         acc
     }
 
+    /// First non-finite interior value, if any, in x-fastest interior order
+    /// (instability detection).
+    ///
+    /// Same row-slice iteration as [`Field::sum_interior`], but the common
+    /// (healthy) case is branch-free: `x * 0.0` is `0.0` for every finite
+    /// `x` and NaN for NaN/±inf, so a whole row reduces to one accumulator
+    /// check with no per-cell compare — and, unlike summing the values
+    /// themselves, the accumulator cannot overflow into a false positive.
+    /// Only a poisoned row pays the per-cell search for the offending cell.
+    /// Recovery-armed runs scan every field at every snapshot boundary, so
+    /// this sits on the steady-state hot path, not just the failure path.
+    pub fn find_non_finite_interior(&self) -> Option<(i32, i32, i32)> {
+        let nx = self.shape.nx;
+        let packed = self.data.packed();
+        for start in self.shape.interior_row_starts() {
+            let row = &packed[start..start + nx];
+            let mut acc = 0.0f64;
+            for &p in row {
+                acc += S::unpack(p).to_f64() * 0.0;
+            }
+            if acc != 0.0 {
+                for (off, &p) in row.iter().enumerate() {
+                    if !S::unpack(p).is_finite() {
+                        return Some(self.shape.coords(start + off));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// Number of cells in one halo slab of `depth` layers on `axis`.
     pub fn slab_len(&self, axis: Axis, depth: usize) -> usize {
         let s = self.shape;
@@ -402,6 +433,26 @@ mod tests {
         f.map_interior(|_, _, _, _| 2.0);
         assert_eq!(f.sum_interior(|x| x), 18.0);
         assert_eq!(f.max_interior(|x| x), 2.0);
+    }
+
+    #[test]
+    fn non_finite_scan_sees_interior_only_and_reports_the_first_cell() {
+        let shape = GridShape::new(4, 3, 2, 2);
+        let mut f: Field<f64, StoreF64> = Field::zeros(shape);
+        // Poisoned ghosts must be invisible to the scan.
+        f.set(-1, 0, 0, f64::NAN);
+        f.set(4, 2, 1, f64::INFINITY);
+        assert_eq!(f.find_non_finite_interior(), None);
+        // Huge-but-finite values must not trip it either (the row check
+        // cannot overflow into a false positive).
+        f.map_interior(|_, _, _, _| f64::MAX);
+        assert_eq!(f.find_non_finite_interior(), None);
+        // Two poisoned interior cells: the first in x-fastest order wins.
+        f.set(3, 2, 1, f64::NEG_INFINITY);
+        f.set(1, 1, 1, f64::NAN);
+        assert_eq!(f.find_non_finite_interior(), Some((1, 1, 1)));
+        f.set(1, 1, 1, 0.0);
+        assert_eq!(f.find_non_finite_interior(), Some((3, 2, 1)));
     }
 
     #[test]

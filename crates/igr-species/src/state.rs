@@ -192,16 +192,13 @@ impl<R: Real, S: Storage<R>> SpeciesState<R, S> {
     }
 
     /// First non-finite interior value, if any (instability detection).
+    /// Row-slice scan with a branch-free healthy path — see
+    /// [`igr_grid::Field::find_non_finite_interior`].
     pub fn find_non_finite(&self) -> Option<(usize, (i32, i32, i32))> {
-        let shape = self.shape;
-        for (v, f) in self.fields.iter().enumerate() {
-            for lin in shape.interior_indices() {
-                if !f.at_lin(lin).is_finite() {
-                    return Some((v, shape.coords(lin)));
-                }
-            }
-        }
-        None
+        self.fields
+            .iter()
+            .enumerate()
+            .find_map(|(v, f)| f.find_non_finite_interior().map(|pos| (v, pos)))
     }
 
     /// Interior range of the volume fraction `(min, max)` — the boundedness

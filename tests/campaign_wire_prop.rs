@@ -13,9 +13,10 @@
 use igr::app::actions::{Action, ActionLog, ActionRecord};
 use igr::app::checkpoint::{Checkpoint, RankMeta};
 use igr::app::jets::GimbalSchedule;
+use igr::app::recovery::RecoveryRecord;
 use igr::campaign::protocol::{decode_spec, encode_spec, Request, Response, StreamedResult};
 use igr::campaign::{
-    BaseCase, ControllerSpec, RunStatus, ScenarioResult, ScenarioSpec, SchemeKind,
+    BaseCase, ControllerSpec, RecoverySpec, RunStatus, ScenarioResult, ScenarioSpec, SchemeKind,
 };
 use igr::prec::PrecisionMode;
 use proptest::prelude::*;
@@ -86,6 +87,14 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
             (any::<bool>(), 1usize..7),
         ),
         (any::<bool>(), wild_f64(), wild_f64(), 1usize..5),
+        (
+            any::<bool>(),
+            1usize..5,
+            1usize..24,
+            1usize..6,
+            wild_f64(),
+            1usize..48,
+        ),
         0usize..3,
     )
         .prop_map(
@@ -96,6 +105,7 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
                 gimbal,
                 opts,
                 (ctrl_on, gain, rate, every),
+                (rec_on, ring, snap_every, retries, factor, hold),
                 label,
             )| {
                 let (
@@ -137,6 +147,15 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
                     series_every: se_on.then_some(se),
                     checkpoint_every: ck_on.then_some(ck),
                     controller: ctrl_on.then_some(ControllerSpec { gain, rate, every }),
+                    // The codec must be total even over specs validate()
+                    // would reject (wild factors, controller+recovery).
+                    recovery: rec_on.then_some(RecoverySpec {
+                        snapshot_ring_depth: ring,
+                        snapshot_every: snap_every,
+                        max_retries: retries,
+                        dt_backoff_factor: factor,
+                        backoff_hold_steps: hold,
+                    }),
                 }
             },
         )
@@ -184,6 +203,51 @@ fn action_log() -> impl Strategy<Value = ActionLog> {
         }
         log
     })
+}
+
+/// Recovery records with full-range u64 step fields and wild float dts —
+/// the rollback log must survive every serialized form losslessly or a
+/// resumed run would replay a different dt schedule (breaking bitwise
+/// determinism).
+fn recovery_records() -> impl Strategy<Value = Vec<RecoveryRecord>> {
+    prop::collection::vec(
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (wild_f64(), wild_f64(), wild_f64()),
+        ),
+        0..5,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(
+                |(
+                    (trip_step, rollback_step, hold_until, retry),
+                    (rollback_t, prev_dt, backoff_dt),
+                )| {
+                    RecoveryRecord {
+                        trip_step,
+                        rollback_step,
+                        rollback_t,
+                        prev_dt,
+                        backoff_dt,
+                        hold_until,
+                        retry,
+                    }
+                },
+            )
+            .collect()
+    })
+}
+
+fn recovery_eq(a: &RecoveryRecord, b: &RecoveryRecord) -> bool {
+    a.trip_step == b.trip_step
+        && a.rollback_step == b.rollback_step
+        && a.rollback_t.to_bits() == b.rollback_t.to_bits()
+        && a.prev_dt.to_bits() == b.prev_dt.to_bits()
+        && a.backoff_dt.to_bits() == b.backoff_dt.to_bits()
+        && a.hold_until == b.hold_until
+        && a.retry == b.retry
 }
 
 /// Bit-level float equality (NaN payloads included).
@@ -239,6 +303,17 @@ proptest! {
             }
             (a, b) => prop_assert!(false, "controller drift: {:?} vs {:?}", a, b),
         }
+        match (&back.recovery, &spec.recovery) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.snapshot_ring_depth, b.snapshot_ring_depth);
+                prop_assert_eq!(a.snapshot_every, b.snapshot_every);
+                prop_assert_eq!(a.max_retries, b.max_retries);
+                prop_assert!(bits_eq(a.dt_backoff_factor, b.dt_backoff_factor));
+                prop_assert_eq!(a.backoff_hold_steps, b.backoff_hold_steps);
+            }
+            (a, b) => prop_assert!(false, "recovery drift: {:?} vs {:?}", a, b),
+        }
 
         // Base-case payload floats, bit-for-bit.
         match (&back.base, &spec.base) {
@@ -274,13 +349,24 @@ proptest! {
     /// embedded object is byte-identical to the store line, so the store
     /// codec is pinned by the same assertion.
     #[test]
-    fn action_logs_round_trip_bit_exactly(log in action_log()) {
-        // (a) Checkpoint trailer: binary, fixed-layout records.
+    fn action_logs_round_trip_bit_exactly(log in action_log(), recs in recovery_records()) {
+        // (a) Checkpoint trailers: binary, fixed-layout records — the
+        // ACTLOG and RECLOG codecs both.
         let bytes = log.encode();
         let back = ActionLog::decode(&bytes).unwrap_or_else(|e| {
             panic!("trailer decode failed: {e}")
         });
         prop_assert!(back == log, "checkpoint trailer drift");
+        let mut rec_log = igr::app::recovery::RecoveryLog::new();
+        for r in &recs {
+            rec_log.push(*r);
+        }
+        let rec_back = igr::app::recovery::RecoveryLog::decode(&rec_log.encode())
+            .unwrap_or_else(|e| panic!("RECLOG decode failed: {e}"));
+        prop_assert_eq!(rec_back.len(), recs.len());
+        for (a, b) in rec_back.records().iter().zip(&recs) {
+            prop_assert!(recovery_eq(a, b), "RECLOG drift: {:?} vs {:?}", a, b);
+        }
 
         // (b) Wire framing (embeds the store-line object verbatim).
         let result = ScenarioResult {
@@ -298,6 +384,7 @@ proptest! {
             series: None,
             resumed_from: None,
             actions: (!log.is_empty()).then(|| log.records().to_vec()),
+            recoveries: Some(recs.clone()),
         };
         let line = Response::Result(StreamedResult {
             job: 1,
@@ -310,6 +397,11 @@ proptest! {
             Ok(Response::Result(r)) => r.result,
             other => return Err(TestCaseError::fail(format!("expected Result, got {other:?}"))),
         };
+        let wire_recs = decoded.recoveries.unwrap_or_default();
+        prop_assert_eq!(wire_recs.len(), recs.len());
+        for (a, b) in wire_recs.iter().zip(&recs) {
+            prop_assert!(recovery_eq(a, b), "wire recovery drift: {:?} vs {:?}", a, b);
+        }
         let mut wire_log = ActionLog::new();
         for ActionRecord { step, t, action } in decoded.actions.unwrap_or_default() {
             wire_log.record(step, t, action);
