@@ -1,0 +1,114 @@
+//! Workspace invariant checker — the CI gate for the rules in
+//! `crates/igr-lint` (see `docs/ANALYSIS.md` for the rule catalog and the
+//! allowlist justification policy).
+//!
+//! ```bash
+//! # interactive run from anywhere in the workspace:
+//! cargo run --release -p igr-bench --bin igr_lint
+//!
+//! # CI gate: nonzero exit on any unallowlisted finding or stale
+//! # lint.allow entry, JSON-lines findings written for artifact upload:
+//! cargo run --release -p igr-bench --bin igr_lint -- --ci --out lint_findings.jsonl
+//! ```
+//!
+//! Output is one JSON object per finding (allowlisted findings carry their
+//! justification; stale allowlist entries are findings too, under the
+//! `stale-allow` rule), so the artifact diffs cleanly across runs.
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: igr_lint [--ci] [--root DIR] [--out FILE.jsonl]\n\
+             \n\
+             --ci    exit 1 on any unallowlisted finding or stale lint.allow entry\n\
+             --root  workspace root to lint (default: autodetected from the\n\
+             \x20       manifest dir / current dir by looking for Cargo.toml + crates/)\n\
+             --out   write JSON-lines findings (always includes allowlisted\n\
+             \x20       findings and stale allowlist entries)"
+        );
+        return;
+    }
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("{name} takes a value");
+                    std::process::exit(2);
+                })
+            })
+            .cloned()
+    };
+    let ci = args.iter().any(|a| a == "--ci");
+    let root = flag("--root").map(PathBuf::from).unwrap_or_else(|| {
+        find_workspace_root().unwrap_or_else(|| {
+            eprintln!("igr_lint: could not locate the workspace root (use --root)");
+            std::process::exit(2);
+        })
+    });
+
+    let report = match igr_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("igr_lint: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(out) = flag("--out") {
+        if let Err(e) = std::fs::write(&out, report.to_jsonl()) {
+            eprintln!("igr_lint: write {out}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let allowed = report.findings.iter().filter(|f| f.allowed).count();
+    let violations: Vec<_> = report.violations().collect();
+    for f in &violations {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet);
+        }
+    }
+    for e in &report.stale_allow {
+        println!(
+            "lint.allow:{}: [stale-allow] entry `{} | {} | {}` matched no finding — delete it",
+            e.line, e.rule, e.path_suffix, e.pattern
+        );
+    }
+    println!(
+        "igr_lint: {} file(s) scanned, {} violation(s), {} allowlisted, {} stale allow entr{}",
+        report.files_scanned,
+        violations.len(),
+        allowed,
+        report.stale_allow.len(),
+        if report.stale_allow.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+
+    if ci && !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
+/// Find the workspace root: walk up from `CARGO_MANIFEST_DIR` (when built
+/// by cargo) or the current dir, looking for a `Cargo.toml` next to a
+/// `crates/` directory.
+fn find_workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        dir = dir.parent()?;
+    }
+}

@@ -150,13 +150,17 @@ impl CampaignReport {
     /// The completed scenario with the highest recirculation flux — the
     /// campaign's answer to "which configuration heats the base worst?".
     pub fn worst_base_heating(&self) -> Option<&ReportRow> {
+        // Filtered to Some below; the None arm is unreachable and orders
+        // last either way.
+        let flux = |r: &ReportRow| {
+            r.result
+                .base_heating
+                .as_ref()
+                .map_or(f64::NEG_INFINITY, |h| h.recirculation_flux)
+        };
         self.completed()
             .filter(|r| r.result.base_heating.is_some())
-            .max_by(|a, b| {
-                let fa = a.result.base_heating.as_ref().unwrap().recirculation_flux;
-                let fb = b.result.base_heating.as_ref().unwrap().recirculation_flux;
-                fa.total_cmp(&fb)
-            })
+            .max_by(|a, b| flux(a).total_cmp(&flux(b)))
     }
 
     /// Machine-readable JSON: `{"summary": {...}, "scenarios": [...]}`.

@@ -390,6 +390,12 @@ pub fn par_over_uneven_chunks<R: Real, S: Storage<R>>(
     // The span covers the full fork-join, so (pool.dispatch − Σ flux.slab)
     // is the scheduling + join overhead the scaling work needs to see.
     let _sp = igr_obs::span!("pool.dispatch");
+    // Race-check builds: the chunk iterators record every handed-out range
+    // (all five variable arrays share one scope — identical offsets under
+    // the same piece id merge; a bookkeeping slip in `sizes` shows up as a
+    // cross-piece overlap when the fork-join completes).
+    #[cfg(igr_race_check)]
+    rayon::shadow::scope_begin("rhs.uneven_chunks");
     let [r0, r1, r2, r3, r4] = rhs.split_mut_packed();
     r0.par_uneven_chunks_mut(sizes.to_vec())
         .zip(r1.par_uneven_chunks_mut(sizes.to_vec()))
@@ -398,6 +404,8 @@ pub fn par_over_uneven_chunks<R: Real, S: Storage<R>>(
         .zip(r4.par_uneven_chunks_mut(sizes.to_vec()))
         .enumerate()
         .for_each(|(ci, ((((c0, c1), c2), c3), c4))| f(ci, [c0, c1, c2, c3, c4]));
+    #[cfg(igr_race_check)]
+    rayon::shadow::scope_end();
 }
 
 /// One unpacked cell row: the five conservative variables plus Σ in compute

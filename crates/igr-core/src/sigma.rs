@@ -419,7 +419,13 @@ pub fn jacobi_sweep_reference<R: Real, S: Storage<R>>(
 /// so tasks never touch overlapping memory.
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced inside one fork-join batch whose
+// pieces write disjoint (color-partitioned) cells, and `run_batch` blocks the
+// submitting thread until every piece finishes — the pointee outlives every
+// use and no two threads ever write the same cell. See `red_black_row`.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across threads only copies the raw pointer
+// value; all dereferences are governed by the disjointness argument above.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// One in-place Gauss–Seidel sweep in red–black (two-color) ordering,
@@ -471,12 +477,21 @@ fn red_black_sweep<R: Real, S: Storage<R>, const NA: usize>(
     // (per-color results are identical either way: rows are disjoint).
     let interior = shape.nx * shape.ny * shape.nz;
     for color in 0..2usize {
+        // Race-check builds: each color pass is one recorded scope — every
+        // task claims the rows it writes (conservatively, the full row span;
+        // both parities of a row belong to the same piece), and the recorder
+        // asserts the claims of different pieces never overlap. A bad slab
+        // split of the outer axis is caught at the end of the fork-join.
+        #[cfg(igr_race_check)]
+        rayon::shadow::scope_begin("sigma.red_black");
         if shape.nz > 1 {
             (0..shape.nz as i32)
                 .into_par_iter()
                 .with_elements_hint(interior)
                 .for_each(|k| {
                     for j in 0..shape.ny as i32 {
+                        #[cfg(igr_race_check)]
+                        rayon::shadow::record(k as usize, shape.idx(0, j, k), shape.nx);
                         red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, j, k);
                     }
                 });
@@ -485,11 +500,15 @@ fn red_black_sweep<R: Real, S: Storage<R>, const NA: usize>(
                 .into_par_iter()
                 .with_elements_hint(interior)
                 .for_each(|j| {
+                    #[cfg(igr_race_check)]
+                    rayon::shadow::record(j as usize, shape.idx(0, j, 0), shape.nx);
                     red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, j, 0)
                 });
         } else {
             red_black_row::<R, S, NA>(rho_p, b_p, sig, shape, alpha, &c, color, 0, 0);
         }
+        #[cfg(igr_race_check)]
+        rayon::shadow::scope_end();
     }
 }
 
@@ -517,15 +536,23 @@ fn red_black_row<R: Real, S: Storage<R>, const NA: usize>(
         for &(stride, inv_dx2) in coefs.iter() {
             let rp = (rc + S::unpack(rho_p[lin + stride])) * R::HALF;
             let rm = (rc + S::unpack(rho_p[lin - stride])) * R::HALF;
-            // SAFETY: `lin ± stride` are stored cells of the opposite color;
-            // this pass writes only `color`-parity cells, so these reads
-            // never race with a write, and `lin` itself is written by exactly
-            // one task (rows are partitioned over tasks).
-            let sp = S::unpack(unsafe { *sig.0.add(lin + stride) });
-            let sm = S::unpack(unsafe { *sig.0.add(lin - stride) });
+            // SAFETY: `lin ± stride` are in-bounds stored cells (interior
+            // cell ± one axis stride stays inside the ghosted allocation) of
+            // the *opposite* color; this pass writes only `color`-parity
+            // cells, so these reads never race with a write.
+            let (sp, sm) = unsafe {
+                (
+                    S::unpack(*sig.0.add(lin + stride)),
+                    S::unpack(*sig.0.add(lin - stride)),
+                )
+            };
             num += alpha * inv_dx2 * (sp / rp + sm / rm);
             den += alpha * inv_dx2 * (R::ONE / rp + R::ONE / rm);
         }
+        // SAFETY: `lin` is an interior cell of `color` parity in row (j, k);
+        // rows are partitioned disjointly across the batch's tasks and the
+        // opposite-color reads above never touch `color`-parity cells, so
+        // exactly one task writes this cell and nobody concurrently reads it.
         unsafe { *sig.0.add(lin) = S::pack(num / den) };
         i += 2;
     }

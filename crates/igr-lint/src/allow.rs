@@ -1,0 +1,171 @@
+//! The checked-in allowlist: `lint.allow` at the workspace root.
+//!
+//! Every entry suppresses a specific class of finding *and must say why* —
+//! an entry without a justification is itself an error. Format, one entry
+//! per line (blank lines and `#` comments ignored):
+//!
+//! ```text
+//! rule | path-suffix | line-pattern | justification
+//! ```
+//!
+//! * `rule` — the rule id the entry applies to (exact match);
+//! * `path-suffix` — matches findings whose root-relative path *ends with*
+//!   this suffix (so entries survive a repo rename; `*` matches any file);
+//! * `line-pattern` — a substring the finding's snippet must contain
+//!   (`*` matches any snippet) — pinning entries to the offending
+//!   expression instead of a brittle line number;
+//! * `justification` — free text, mandatory, shown in findings output.
+//!
+//! Unused entries are reported as `stale-allow` warnings so the file cannot
+//! silently rot as code is fixed.
+
+use crate::findings::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule id this entry suppresses.
+    pub rule: String,
+    /// Root-relative path suffix (`*` = any file).
+    pub path_suffix: String,
+    /// Snippet substring (`*` = any snippet).
+    pub pattern: String,
+    /// Mandatory one-line justification.
+    pub justification: String,
+    /// 1-based line in `lint.allow` (for stale-entry reporting).
+    pub line: usize,
+}
+
+impl AllowEntry {
+    /// Does this entry cover `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule
+            && (self.path_suffix == "*" || f.file.ends_with(&self.path_suffix))
+            && (self.pattern == "*" || f.snippet.contains(&self.pattern))
+    }
+}
+
+/// Parse the allowlist text. Returns the entries or a list of per-line
+/// syntax errors (missing fields, empty justification).
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() != 4 {
+            errors.push(format!(
+                "lint.allow:{}: expected `rule | path-suffix | pattern | justification`, got {} field(s)",
+                idx + 1,
+                parts.len()
+            ));
+            continue;
+        }
+        if parts[3].is_empty() {
+            errors.push(format!(
+                "lint.allow:{}: entry for rule `{}` has an empty justification — every exception must say why",
+                idx + 1,
+                parts[0]
+            ));
+            continue;
+        }
+        if parts[0].is_empty() || parts[1].is_empty() || parts[2].is_empty() {
+            errors.push(format!("lint.allow:{}: empty field", idx + 1));
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule: parts[0].to_string(),
+            path_suffix: parts[1].replace('\\', "/"),
+            pattern: parts[2].to_string(),
+            justification: parts[3].to_string(),
+            line: idx + 1,
+        });
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Mark findings covered by an entry as `allowed` (attaching the
+/// justification) and return the indices of entries that matched nothing —
+/// stale entries the caller should surface.
+pub fn apply_allowlist(entries: &[AllowEntry], findings: &mut [Finding]) -> Vec<usize> {
+    let mut used = vec![false; entries.len()];
+    for f in findings.iter_mut() {
+        for (i, e) in entries.iter().enumerate() {
+            if e.matches(f) {
+                f.allowed = true;
+                f.justification = Some(e.justification.clone());
+                used[i] = true;
+                break;
+            }
+        }
+    }
+    used.iter()
+        .enumerate()
+        .filter_map(|(i, &u)| (!u).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            snippet: snippet.into(),
+            message: String::new(),
+            allowed: false,
+            justification: None,
+        }
+    }
+
+    #[test]
+    fn entry_without_justification_is_an_error() {
+        let err = parse_allowlist("panic-policy | a.rs | unwrap |  ").unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("empty justification"), "{}", err[0]);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let err = parse_allowlist("panic-policy | a.rs").unwrap_err();
+        assert!(err[0].contains("expected"), "{}", err[0]);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let entries = parse_allowlist("# header\n\n  # more\n").unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn matching_marks_allowed_and_reports_stale() {
+        let entries = parse_allowlist(
+            "panic-policy | src/q.rs | .expect( | invariant documented\n\
+             docs-policy | * | * | never matches anything here\n",
+        )
+        .unwrap();
+        let mut fs = vec![
+            finding(
+                "panic-policy",
+                "crates/x/src/q.rs",
+                "g.lock().expect(\"ok\")",
+            ),
+            finding("panic-policy", "crates/x/src/q.rs", "v.unwrap()"),
+        ];
+        let stale = apply_allowlist(&entries, &mut fs);
+        assert!(fs[0].allowed);
+        assert_eq!(fs[0].justification.as_deref(), Some("invariant documented"));
+        assert!(!fs[1].allowed, "pattern must not cover unwrap()");
+        assert_eq!(stale, vec![1]);
+    }
+}

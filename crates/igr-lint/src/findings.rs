@@ -1,0 +1,87 @@
+//! Findings: what a rule reports, and the JSON-lines serialization.
+//!
+//! One finding per line, hand-rolled JSON in the workspace tradition (the
+//! build environment has no serde). The schema is append-only: consumers
+//! must tolerate unknown keys.
+
+/// One rule violation (or allowlisted exception) at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier (kebab-case, e.g. `unsafe-requires-safety`).
+    pub rule: &'static str,
+    /// Path relative to the lint root, with forward slashes.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The offending source line (or a synthetic description for
+    /// whole-file findings), trimmed.
+    pub snippet: String,
+    /// Human-readable explanation of what the rule demands.
+    pub message: String,
+    /// `true` when a `lint.allow` entry covers this finding.
+    pub allowed: bool,
+    /// The allowlist entry's justification, when `allowed`.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    /// Encode as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str("{\"rule\":");
+        json_str(&mut s, self.rule);
+        s.push_str(",\"file\":");
+        json_str(&mut s, &self.file);
+        s.push_str(&format!(",\"line\":{}", self.line));
+        s.push_str(",\"snippet\":");
+        json_str(&mut s, &self.snippet);
+        s.push_str(",\"message\":");
+        json_str(&mut s, &self.message);
+        s.push_str(&format!(",\"allowed\":{}", self.allowed));
+        if let Some(j) = &self.justification {
+            s.push_str(",\"justification\":");
+            json_str(&mut s, j);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Append `v` to `out` as a JSON string literal.
+pub fn json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        let f = Finding {
+            rule: "panic-policy",
+            file: "a/b.rs".into(),
+            line: 3,
+            snippet: "x.expect(\"bad\\n\")".into(),
+            message: "no unwrap".into(),
+            allowed: true,
+            justification: Some("it's fine\t really".into()),
+        };
+        let j = f.to_json();
+        assert!(j.contains("\\\"bad\\\\n\\\")"), "{j}");
+        assert!(j.contains("\\t really"), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

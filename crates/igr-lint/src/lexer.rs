@@ -1,0 +1,314 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! This is *not* a full Rust tokenizer: the rule engine only needs to know,
+//! for every byte of a source file, whether it is **code**, a **comment**, or
+//! the interior of a **string/char literal** — so that a rule looking for
+//! `unsafe` never fires on `"unsafe"` inside a string literal, a `// SAFETY:`
+//! requirement is satisfied only by real comments, and `.unwrap()` in a doc
+//! example does not count as library code. The tricky Rust lexical features
+//! are all handled:
+//!
+//! * line comments (`//`, `///`, `//!`) to end of line;
+//! * block comments (`/* … */`), **nested** as in real Rust;
+//! * string literals with escapes (`"…\"…"`), including multi-line strings;
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * byte strings (`b"…"`) and byte/char literals (`b'{'`, `'x'`, `'\n'`);
+//! * lifetimes (`'a`, `'static`) and labels, which start with `'` but are
+//!   *not* char literals.
+
+/// Classification of one contiguous span of source bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Ordinary code: identifiers, punctuation, keywords, whitespace.
+    Code,
+    /// A `//` comment including its introducer, excluding the newline.
+    LineComment,
+    /// A `/* … */` comment (possibly nested), including delimiters.
+    BlockComment,
+    /// A string, raw string, byte string, char, or byte literal, including
+    /// quotes, prefix (`r`, `b`, `br`) and raw-string hashes.
+    Literal,
+}
+
+/// One lexed span: `src[start..end]` is uniformly of kind `kind`.
+#[derive(Clone, Copy, Debug)]
+pub struct Span {
+    /// Span classification.
+    pub kind: SpanKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// Lex `src` into a complete, contiguous span cover (spans never overlap,
+/// and every byte belongs to exactly one span).
+pub fn lex(src: &str) -> Vec<Span> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut spans: Vec<Span> = Vec::new();
+    let mut code_start = 0usize;
+    let mut i = 0usize;
+
+    // Close the current run of code bytes (if any) before a non-code span.
+    let flush_code = |spans: &mut Vec<Span>, code_start: usize, here: usize| {
+        if here > code_start {
+            spans.push(Span {
+                kind: SpanKind::Code,
+                start: code_start,
+                end: here,
+            });
+        }
+    };
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            flush_code(&mut spans, code_start, i);
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            spans.push(Span {
+                kind: SpanKind::LineComment,
+                start,
+                end: i,
+            });
+            code_start = i;
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            flush_code(&mut spans, code_start, i);
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            spans.push(Span {
+                kind: SpanKind::BlockComment,
+                start,
+                end: i,
+            });
+            code_start = i;
+            continue;
+        }
+        // Raw string (r"…", r#"…"#) possibly byte-prefixed (br#"…"#).
+        if c == b'r' || (c == b'b' && i + 1 < n && b[i + 1] == b'r') {
+            let prefix = if c == b'b' { 2 } else { 1 };
+            let mut j = i + prefix;
+            let mut hashes = 0usize;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == b'"' && is_token_boundary(b, i) {
+                flush_code(&mut spans, code_start, i);
+                let start = i;
+                j += 1; // past the opening quote
+                'raw: while j < n {
+                    if b[j] == b'"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                spans.push(Span {
+                    kind: SpanKind::Literal,
+                    start,
+                    end: j,
+                });
+                i = j;
+                code_start = i;
+                continue;
+            }
+            // Not a raw string (`r` starting an identifier): fall through.
+        }
+        // Plain or byte string.
+        if c == b'"' || (c == b'b' && i + 1 < n && b[i + 1] == b'"' && is_token_boundary(b, i)) {
+            flush_code(&mut spans, code_start, i);
+            let start = i;
+            i += if c == b'b' { 2 } else { 1 };
+            while i < n {
+                match b[i] {
+                    b'\\' => i = (i + 2).min(n),
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            spans.push(Span {
+                kind: SpanKind::Literal,
+                start,
+                end: i,
+            });
+            code_start = i;
+            continue;
+        }
+        // Char / byte literal vs. lifetime.
+        if c == b'\'' || (c == b'b' && i + 1 < n && b[i + 1] == b'\'' && is_token_boundary(b, i)) {
+            let q = if c == b'b' { i + 1 } else { i };
+            if let Some(end) = char_literal_end(b, q) {
+                flush_code(&mut spans, code_start, i);
+                spans.push(Span {
+                    kind: SpanKind::Literal,
+                    start: i,
+                    end,
+                });
+                i = end;
+                code_start = i;
+                continue;
+            }
+            // A lifetime or label: consume the quote + identifier as code.
+            i = q + 1;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            continue;
+        }
+        // Skip identifiers wholesale so a trailing `r`/`b` inside one never
+        // gets mistaken for a raw/byte-string prefix.
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            i += 1;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    flush_code(&mut spans, code_start, n);
+    spans
+}
+
+/// `true` when position `i` starts a fresh token (not the tail of an
+/// identifier like `habr"x"` — impossible in valid Rust, but cheap to guard).
+fn is_token_boundary(b: &[u8], i: usize) -> bool {
+    i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// If a char/byte literal opens at the `'` at `q`, return the offset one
+/// past its closing quote; `None` when `'` introduces a lifetime instead.
+fn char_literal_end(b: &[u8], q: usize) -> Option<usize> {
+    let n = b.len();
+    if q + 1 >= n {
+        return None;
+    }
+    if b[q + 1] == b'\\' {
+        // Escaped char: scan to the next unescaped quote.
+        let mut j = q + 2;
+        while j < n {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    // `'x'`: exactly one (possibly multi-byte UTF-8) char then a quote.
+    let mut j = q + 1;
+    if b[j] == b'\'' {
+        return None; // `''` is not a literal
+    }
+    // Advance one UTF-8 scalar.
+    j += 1;
+    while j < n && (b[j] & 0xC0) == 0x80 {
+        j += 1;
+    }
+    if j < n && b[j] == b'\'' {
+        // `'a'` is a char literal; but `'a'` where `a` continues as an
+        // identifier (`'ab'` is invalid Rust anyway) — accept the simple case.
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// The source with every non-code byte replaced by a space (newlines kept),
+/// so byte offsets and line numbers stay aligned with the original. Rules
+/// search this mask for code patterns without ever matching comments or
+/// literal contents.
+pub fn code_mask(src: &str, spans: &[Span]) -> String {
+    let mut out = src.as_bytes().to_vec();
+    for sp in spans {
+        if sp.kind != SpanKind::Code {
+            for byte in &mut out[sp.start..sp.end] {
+                if *byte != b'\n' {
+                    *byte = b' ';
+                }
+            }
+        }
+    }
+    // Lexing never splits UTF-8 sequences across kinds in a way that leaves
+    // broken bytes: non-ASCII can only appear inside comments/literals, which
+    // are blanked wholesale, or in identifiers, which stay intact.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// The source with everything *except* comment bytes blanked (newlines
+/// kept) — the view rules search for `SAFETY:` markers.
+pub fn comment_mask(src: &str, spans: &[Span]) -> String {
+    let mut out = src.as_bytes().to_vec();
+    for sp in spans {
+        let keep = matches!(sp.kind, SpanKind::LineComment | SpanKind::BlockComment);
+        if !keep {
+            for byte in &mut out[sp.start..sp.end] {
+                if *byte != b'\n' {
+                    *byte = b' ';
+                }
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// 1-based line number of byte offset `pos` in `src`.
+pub fn line_of(src: &str, pos: usize) -> usize {
+    src.as_bytes()[..pos.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Byte offsets at which every word-boundary occurrence of `word` starts in
+/// `hay` (a word byte is `[A-Za-z0-9_]`).
+pub fn find_word(hay: &str, word: &str) -> Vec<usize> {
+    let h = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = hay[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_word_byte(h[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= h.len() || !is_word_byte(h[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    out
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}

@@ -1,0 +1,196 @@
+#![deny(missing_docs)]
+//! `igr-lint` — the workspace-wide invariant checker.
+//!
+//! The reproduction's load-bearing guarantees — bitwise determinism across
+//! thread counts and kernel paths, hash-neutrality of wall-clock fields,
+//! disjointness of the red–black raw-pointer writes — are contracts that a
+//! single silent violation (an un-audited `unsafe` block, an `Instant`
+//! leaking into a content-hashed struct, a `HashMap` iteration feeding a
+//! codec) would corrupt quietly. This crate makes those conventions
+//! *checked artifacts*, the same discipline the grind-bench gate applies to
+//! performance:
+//!
+//! * **Layer 1 (this crate)** — a hand-rolled, zero-dependency static
+//!   analysis pass: a comment/string/raw-string-aware lexer
+//!   ([`lexer`]) feeds a rule engine ([`rules`]) whose findings are
+//!   filtered through a checked-in, justification-mandatory allowlist
+//!   ([`allow`]) and emitted as JSON lines ([`findings`]). Run it via the
+//!   `igr_lint` binary in `igr-bench`, or [`lint_workspace`] directly.
+//! * **Layer 2 (dynamic)** — the `cfg(igr_race_check)` shadow write-set
+//!   recorder in `vendor/rayon` and `igr-core`, which turns the red–black
+//!   sweep's "raw-pointer writes are disjoint" safety argument into an
+//!   executed assertion. See `rayon::shadow` and `docs/ANALYSIS.md`.
+//!
+//! The offline build environment has no `syn`/`clippy`, so everything here
+//! follows the workspace's hand-rolled-JSON tradition: plain `std`, no
+//! dependencies, deterministic output.
+
+pub mod allow;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+pub use allow::{apply_allowlist, parse_allowlist, AllowEntry};
+pub use findings::Finding;
+pub use rules::{RuleConfig, SourceFile};
+
+use std::path::{Path, PathBuf};
+
+/// Name of the checked-in allowlist file at the workspace root.
+pub const ALLOW_FILE: &str = "lint.allow";
+
+/// Directory names the workspace walker never descends into: build output,
+/// VCS metadata, lint-rule *test fixtures* (which deliberately contain
+/// seeded violations), and the `docs/` tree (prose, plus rendered vendored
+/// documentation).
+pub const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "docs"];
+
+/// The outcome of a full lint run.
+pub struct LintReport {
+    /// Every finding, allowlisted or not, in deterministic (path, line)
+    /// order.
+    pub findings: Vec<Finding>,
+    /// `lint.allow` entries that matched no finding — stale entries that
+    /// must be pruned so the allowlist cannot rot as code is fixed.
+    pub stale_allow: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings *not* covered by the allowlist — the ones that fail CI.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// `true` when there is nothing to fail on: no unallowlisted finding
+    /// and no stale allowlist entry.
+    pub fn is_clean(&self) -> bool {
+        self.violations().next().is_none() && self.stale_allow.is_empty()
+    }
+
+    /// The whole report as JSON lines: one object per finding, plus one
+    /// `"rule":"stale-allow"` object per unused allowlist entry. Consumers
+    /// must tolerate unknown keys (append-only schema).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_json());
+            out.push('\n');
+        }
+        for e in &self.stale_allow {
+            let f = Finding {
+                rule: "stale-allow",
+                file: ALLOW_FILE.to_string(),
+                line: e.line,
+                snippet: format!("{} | {} | {}", e.rule, e.path_suffix, e.pattern),
+                message: "allowlist entry matched no finding — the exception it covered \
+                          has been fixed; delete the entry"
+                    .to_string(),
+                allowed: false,
+                justification: None,
+            };
+            out.push_str(&f.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Recursively collect every `.rs` file under `root`, skipping
+/// [`SKIP_DIRS`], in sorted (deterministic) order. Paths returned are
+/// root-relative with forward slashes.
+pub fn collect_rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?;
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Lint already-lexed sources against `cfg` and `entries`. The pure core of
+/// [`lint_workspace`], shared by the fixture tests (which feed synthetic
+/// files and allowlists without touching the real tree).
+pub fn lint_sources(files: &[SourceFile], cfg: &RuleConfig, entries: &[AllowEntry]) -> LintReport {
+    let mut findings = Vec::new();
+    rules::run_all(files, cfg, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let stale = apply_allowlist(entries, &mut findings);
+    LintReport {
+        findings,
+        stale_allow: stale.into_iter().map(|i| entries[i].clone()).collect(),
+        files_scanned: files.len(),
+    }
+}
+
+/// Lint the workspace rooted at `root` with the default [`RuleConfig`] and
+/// the allowlist at `<root>/lint.allow` (absent file = empty allowlist).
+///
+/// Errors are I/O or allowlist-syntax problems, formatted one per line —
+/// a malformed `lint.allow` (missing field, empty justification) is a hard
+/// error, never a silent skip.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let allow_path = root.join(ALLOW_FILE);
+    let entries = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text).map_err(|errs| errs.join("\n"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("read {}: {e}", allow_path.display())),
+    };
+    let rel_paths = collect_rust_files(root)?;
+    let mut files = Vec::with_capacity(rel_paths.len());
+    for rel in &rel_paths {
+        let abs = root.join(rel);
+        let text =
+            std::fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::new(rel_str, text));
+    }
+    Ok(lint_sources(&files, &RuleConfig::default(), &entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_jsonl_includes_stale_entries() {
+        let entries = parse_allowlist("panic-policy | nowhere.rs | * | obsolete\n").unwrap();
+        let report = lint_sources(&[], &RuleConfig::default(), &entries);
+        assert!(!report.is_clean(), "stale entry must dirty the report");
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"rule\":\"stale-allow\""), "{jsonl}");
+        assert!(jsonl.contains("nowhere.rs"), "{jsonl}");
+    }
+
+    #[test]
+    fn empty_sources_with_empty_allowlist_are_clean() {
+        let report = lint_sources(&[], &RuleConfig::default(), &[]);
+        assert!(report.is_clean());
+        assert_eq!(report.to_jsonl(), "");
+    }
+}

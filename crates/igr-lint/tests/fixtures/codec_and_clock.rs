@@ -1,0 +1,19 @@
+//! Fixture: scanned under a codec-module path, `HashMap`/`HashSet` and
+//! wall-clock types must fire; the same identifiers inside comments and
+//! strings must not.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+// A comment mentioning HashMap and Instant: not code, no finding.
+
+fn encode(m: &HashMap<u64, u64>) -> Vec<u8> {
+    let _msg = "Instant and HashMap in a string are fine";
+    let _t = Instant::now();
+    let mut out = Vec::new();
+    for (k, v) in m {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}

@@ -1,0 +1,21 @@
+//! Fixture: `.unwrap()`/`.expect(` in library code fire; the same calls
+//! inside a `#[cfg(test)]` region do not.
+
+pub fn library_code(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn library_expect(v: Option<u32>) -> u32 {
+    v.expect("fixture message")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Option<u32> = Some(4);
+        assert_eq!(w.expect("fine in tests"), 4);
+    }
+}

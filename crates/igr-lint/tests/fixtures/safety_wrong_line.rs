@@ -1,0 +1,24 @@
+//! Fixture: a `SAFETY:` comment separated from its `unsafe` by a real code
+//! line does not count — the link is broken. Attributes and blanks in
+//! between are fine.
+
+fn broken_link(p: *mut f64) {
+    // SAFETY: this comment is orphaned by the statement below.
+    let offset = 3usize;
+    unsafe {
+        *p.add(offset) = 1.0;
+    }
+}
+
+fn attribute_between(p: *mut f64) {
+    // SAFETY: attributes and blank lines do not break the link.
+    #[allow(clippy::identity_op)]
+
+    unsafe {
+        *p.add(1 * 1) = 2.0;
+    }
+}
+
+fn trailing_same_line(p: *mut f64) {
+    unsafe { *p = 3.0 } // SAFETY: same-line trailing comment counts.
+}

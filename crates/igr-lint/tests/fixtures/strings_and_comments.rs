@@ -1,0 +1,26 @@
+//! Fixture: `unsafe` inside literals and comments must never fire; a bare
+//! `unsafe` in code must. (This file is lint input, never compiled.)
+
+fn literals() {
+    let _a = "this string says unsafe but is not code";
+    let _b = r#"raw string with unsafe and .unwrap() inside"#;
+    let _c = r##"nested raw "#"# with unsafe"##;
+    let _d = 'u'; // char literal, not a lifetime
+    /* block comment saying unsafe
+       /* nested block comment, also unsafe */
+       still inside the outer comment: unsafe */
+    let _e = b"byte string with unsafe";
+}
+
+fn audited(p: *mut f64) {
+    // SAFETY: fixture — p is valid by construction of the test harness.
+    unsafe {
+        *p = 1.0;
+    }
+}
+
+fn unaudited(p: *mut f64) {
+    unsafe {
+        *p = 2.0;
+    }
+}

@@ -1,0 +1,48 @@
+//! The live workspace must lint clean — the same gate CI applies via
+//! `igr_lint --ci`, run here as a plain test so a violating change fails
+//! `cargo test` locally before it ever reaches CI.
+
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    // crates/igr-lint/ -> workspace root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("igr-lint lives two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file() && root.join("crates").is_dir(),
+        "workspace root not found at {}",
+        root.display()
+    );
+
+    let report = igr_lint::lint_workspace(&root).expect("lint run must not error");
+    let violations: Vec<String> = report
+        .violations()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.snippet))
+        .collect();
+    let stale: Vec<String> = report
+        .stale_allow
+        .iter()
+        .map(|e| {
+            format!(
+                "lint.allow:{}: {} | {} | {}",
+                e.line, e.rule, e.path_suffix, e.pattern
+            )
+        })
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace must be lint-clean; fix or allowlist (with a justification) in lint.allow.\n\
+         violations:\n  {}\nstale allow entries:\n  {}",
+        violations.join("\n  "),
+        stale.join("\n  "),
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+}

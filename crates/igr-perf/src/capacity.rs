@@ -13,6 +13,7 @@ use crate::systems::System;
 /// Persistent-array layout of a scheme under a memory mode.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MemoryLayout {
+    /// Human-readable layout label (scheme + mode + array count).
     pub name: &'static str,
     /// Arrays resident in device memory.
     pub device_arrays: f64,
@@ -69,10 +70,12 @@ impl MemoryLayout {
         }
     }
 
+    /// Persistent device-resident bytes per grid cell.
     pub fn device_bytes_per_cell(&self) -> f64 {
         self.device_arrays * self.bytes_per_scalar
     }
 
+    /// Persistent host-resident bytes per grid cell (unified mode).
     pub fn host_bytes_per_cell(&self) -> f64 {
         self.host_arrays * self.bytes_per_scalar
     }
@@ -81,6 +84,7 @@ impl MemoryLayout {
 /// Capacity calculator for one device type.
 #[derive(Clone, Copy, Debug)]
 pub struct CapacityModel {
+    /// Which scheme/mode's persistent arrays occupy the pools.
     pub layout: MemoryLayout,
     /// Fraction of memory available to field arrays (the rest: halo buffers,
     /// MPI staging, code, driver). The paper's per-device grid sizes imply
@@ -89,6 +93,7 @@ pub struct CapacityModel {
 }
 
 impl CapacityModel {
+    /// Model with every byte of both pools usable (the §7.2 record bound).
     pub fn new(layout: MemoryLayout) -> Self {
         CapacityModel {
             layout,
@@ -96,6 +101,7 @@ impl CapacityModel {
         }
     }
 
+    /// Derate the pools to `f` of their capacity (halo buffers, staging).
     pub fn with_usable_fraction(mut self, f: f64) -> Self {
         self.usable_fraction = f;
         self

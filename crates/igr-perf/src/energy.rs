@@ -19,6 +19,7 @@ use crate::grind::{GrindModel, MemoryMode, Precision, Scheme};
 /// Per-device power model.
 #[derive(Clone, Copy, Debug)]
 pub struct EnergyModel {
+    /// The device's grind-time model (energy = power × grind time).
     pub grind: GrindModel,
     /// Average device power while running the IGR kernel, watts.
     pub igr_power_w: f64,
@@ -70,6 +71,7 @@ impl EnergyModel {
         }
     }
 
+    /// The three devices Table 4 reports, in its row order.
     pub fn paper_devices() -> [EnergyModel; 3] {
         [Self::mi300a(), Self::mi250x_gcd(), Self::gh200()]
     }

@@ -16,12 +16,16 @@ use igr_mem::{DeviceSpec, StepTraffic, TrafficModel};
 /// Storage/compute precision configurations of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Precision {
+    /// 8-byte storage and compute.
     Fp64,
+    /// 4-byte storage and compute.
     Fp32,
+    /// 2-byte storage promoted to FP32 compute (§7.1).
     Fp16Fp32,
 }
 
 impl Precision {
+    /// Bytes per stored scalar (the byte-traffic scaling knob).
     pub fn storage_bytes(self) -> f64 {
         match self {
             Precision::Fp64 => 8.0,
@@ -30,6 +34,7 @@ impl Precision {
         }
     }
 
+    /// Table 3 column label.
     pub fn label(self) -> &'static str {
         match self {
             Precision::Fp64 => "FP64",
@@ -42,20 +47,25 @@ impl Precision {
 /// The two schemes of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
+    /// Information geometric regularization (this repo's solver).
     Igr,
+    /// The WENO5+HLLC state-of-the-art baseline.
     WenoBaseline,
 }
 
 /// In-core vs unified-memory execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MemoryMode {
+    /// All arrays resident in device HBM.
     InCore,
+    /// Arrays spill to host memory over the CPU–GPU link (`igr-mem`).
     Unified,
 }
 
 /// Grind-time model for one device.
 #[derive(Clone, Copy, Debug)]
 pub struct GrindModel {
+    /// The device being modeled (bandwidths, memory pools — `igr-mem`).
     pub spec: DeviceSpec,
     /// Measured IGR FP64 in-core grind time on this device (the anchor),
     /// ns/cell/step. Table 3: GH200 3.83, MI250X GCD 13.01, MI300A 7.21.
@@ -89,6 +99,7 @@ impl GrindModel {
         }
     }
 
+    /// Table 3-calibrated MI250X (one GCD, the paper's rank unit).
     pub fn mi250x_gcd() -> Self {
         GrindModel {
             spec: DeviceSpec::MI250X_GCD,
@@ -102,6 +113,7 @@ impl GrindModel {
         }
     }
 
+    /// Table 3-calibrated MI300A (unified single-pool APU).
     pub fn mi300a() -> Self {
         GrindModel {
             spec: DeviceSpec::MI300A,
@@ -113,6 +125,7 @@ impl GrindModel {
         }
     }
 
+    /// The three devices Table 3 reports, in its row order.
     pub fn paper_devices() -> [GrindModel; 3] {
         [Self::gh200(), Self::mi250x_gcd(), Self::mi300a()]
     }

@@ -24,6 +24,7 @@
 //! EXPERIMENTS.md. Laptop-scale *measured* runs from `igr-bench` anchor the
 //! scheme-to-scheme ratios independently.
 
+#![deny(missing_docs)]
 pub mod bench;
 pub mod capacity;
 pub mod energy;

@@ -20,7 +20,9 @@ use crate::systems::System;
 /// One point of a scaling study.
 #[derive(Clone, Copy, Debug)]
 pub struct ScalingPoint {
+    /// Node count at this point of the curve.
     pub nodes: usize,
+    /// Modeled wall-clock seconds per time step.
     pub step_time_s: f64,
     /// Speedup relative to the base configuration.
     pub speedup: f64,
@@ -31,10 +33,15 @@ pub struct ScalingPoint {
 /// Scaling model for a (system, scheme, precision) configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ScalingModel {
+    /// The machine being scaled over (Table 2 parameters).
     pub system: System,
+    /// Per-device grind-time model (the compute term).
     pub grind: GrindModel,
+    /// Scheme whose step cost is scaled.
     pub scheme: Scheme,
+    /// Storage/compute precision of the runs.
     pub precision: Precision,
+    /// In-core vs unified-memory execution.
     pub mode: MemoryMode,
     /// Ghost width (bytes per halo cell ~ width × 5 vars × storage bytes).
     pub ghost_width: usize,
@@ -49,6 +56,7 @@ pub struct ScalingModel {
 }
 
 impl ScalingModel {
+    /// Fig. 6–8 defaults: 3-ghost halos, 80 % overlap, per-system κ.
     pub fn new(system: System, grind: GrindModel, scheme: Scheme, precision: Precision) -> Self {
         let kappa = match system.name {
             "OLCF Frontier" => 7.7e-4,

@@ -5,12 +5,14 @@ use igr_mem::DeviceSpec;
 /// A full system: nodes of identical devices plus interconnect parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct System {
+    /// Display name (facility + machine, as Table 2 lists them).
     pub name: &'static str,
     /// Total nodes (Table 2).
     pub nodes: usize,
     /// Devices per node as the paper counts them (4 MI300A, 8 MI250X GCDs
     /// as 4 GPUs — we count GCDs for Frontier since each GCD is a rank).
     pub devices_per_node: usize,
+    /// The node's device type (bandwidths, memory — `igr-mem`).
     pub device: DeviceSpec,
     /// Injection bandwidth per node, bytes/s (4×200 GB/s Slingshot NICs on
     /// El Capitan/Frontier; 200 GB/s per GH200 superchip on Alps ⇒ 800).
@@ -28,6 +30,7 @@ pub struct System {
 const GBS: f64 = 1e9;
 
 impl System {
+    /// LLNL El Capitan (Table 2, TOP500 #1): 11 136 MI300A nodes.
     pub const EL_CAPITAN: System = System {
         name: "LLNL El Capitan",
         nodes: 11136,
@@ -40,6 +43,7 @@ impl System {
         top500_rank: 1,
     };
 
+    /// OLCF Frontier (Table 2, TOP500 #2): 9 472 MI250X nodes (8 GCDs each).
     pub const FRONTIER: System = System {
         name: "OLCF Frontier",
         nodes: 9472,
@@ -52,6 +56,7 @@ impl System {
         top500_rank: 2,
     };
 
+    /// CSCS Alps (Table 2, TOP500 #8): 2 688 GH200 quad-superchip nodes.
     pub const ALPS: System = System {
         name: "CSCS Alps",
         nodes: 2688,
@@ -78,8 +83,10 @@ impl System {
         top500_rank: 4,
     };
 
+    /// The three machines the paper ran on, in Table 2 order.
     pub const PAPER_SYSTEMS: [System; 3] = [System::EL_CAPITAN, System::FRONTIER, System::ALPS];
 
+    /// Total device count (= MPI ranks at full scale).
     pub fn total_devices(&self) -> usize {
         self.nodes * self.devices_per_node
     }

@@ -30,6 +30,7 @@
 //! | [`campaign`] | `igr-campaign` | scenario DSL, sweeps, sharded cached ensemble execution |
 //! | [`obs`] | `igr-obs` | phase-scoped tracing, metrics registry, trace exporters |
 
+#![deny(missing_docs)]
 pub use igr_app as app;
 pub use igr_baseline as baseline;
 pub use igr_campaign as campaign;

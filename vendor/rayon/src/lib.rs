@@ -25,6 +25,8 @@
 //! pool and is identical to a plain serial loop.
 
 pub mod pool;
+#[cfg(igr_race_check)]
+pub mod shadow;
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -416,6 +418,13 @@ impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
 pub struct ParUnevenChunksMut<'a, T> {
     slice: &'a mut [T],
     sizes: Vec<usize>,
+    /// Offset of `slice[0]` in the original allocation — lets race-check
+    /// builds record each handed-out chunk as an absolute write interval.
+    #[cfg(igr_race_check)]
+    base: usize,
+    /// Index of the first remaining chunk (the shadow recorder's piece id).
+    #[cfg(igr_race_check)]
+    index: usize,
 }
 
 impl<'a, T: Send> ParallelIterator for ParUnevenChunksMut<'a, T> {
@@ -432,15 +441,24 @@ impl<'a, T: Send> ParallelIterator for ParUnevenChunksMut<'a, T> {
     fn split_at(mut self, mid: usize) -> (Self, Self) {
         let tail_sizes = self.sizes.split_off(mid);
         let cut: usize = self.sizes.iter().sum();
-        let (a, b) = self.slice.split_at_mut(cut.min(self.slice.len()));
+        let cut = cut.min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(cut);
         (
             ParUnevenChunksMut {
                 slice: a,
                 sizes: self.sizes,
+                #[cfg(igr_race_check)]
+                base: self.base,
+                #[cfg(igr_race_check)]
+                index: self.index,
             },
             ParUnevenChunksMut {
                 slice: b,
                 sizes: tail_sizes,
+                #[cfg(igr_race_check)]
+                base: self.base + cut,
+                #[cfg(igr_race_check)]
+                index: self.index + mid,
             },
         )
     }
@@ -453,6 +471,15 @@ impl<'a, T: Send> ParallelIterator for ParUnevenChunksMut<'a, T> {
         let slice = std::mem::take(&mut self.slice);
         let (head, rest) = slice.split_at_mut(size.min(slice.len()));
         self.slice = rest;
+        #[cfg(igr_race_check)]
+        {
+            // Each handed-out chunk is a write claim by piece `index`; the
+            // recorder asserts the decomposition's bookkeeping (sizes,
+            // prefix offsets) really partitions the slice.
+            shadow::record(self.index, self.base, head.len());
+            self.base += head.len();
+            self.index += 1;
+        }
         Some(head)
     }
 }
@@ -708,7 +735,14 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
             self.len(),
             "uneven chunk sizes must cover the slice exactly"
         );
-        ParUnevenChunksMut { slice: self, sizes }
+        ParUnevenChunksMut {
+            slice: self,
+            sizes,
+            #[cfg(igr_race_check)]
+            base: 0,
+            #[cfg(igr_race_check)]
+            index: 0,
+        }
     }
 }
 

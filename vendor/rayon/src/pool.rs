@@ -152,11 +152,27 @@ pub fn run_batch<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
         return;
     }
     let n = jobs.len();
-    // SAFETY: `run_batch` blocks until `remaining == 0`, i.e. until every job
-    // has finished executing (or unwound). No job can outlive this call, so
-    // promoting the closure lifetimes to 'static never lets a borrow dangle.
+    // Race-check builds: jobs inherit the submitting thread's shadow scope,
+    // so write intervals recorded on whichever worker runs a piece land in
+    // the scope of the kernel that forked it (see `crate::shadow`).
+    #[cfg(igr_race_check)]
+    let scope = crate::shadow::current_scope();
+    #[cfg(igr_race_check)]
+    let jobs: Vec<Box<dyn FnOnce() + Send + 'scope>> = jobs
+        .into_iter()
+        .map(|j| {
+            Box::new(move || {
+                let _guard = crate::shadow::enter(scope);
+                j()
+            }) as Box<dyn FnOnce() + Send + 'scope>
+        })
+        .collect();
     let jobs: Vec<Job> = jobs
         .into_iter()
+        // SAFETY: `run_batch` blocks until `remaining == 0`, i.e. until every
+        // job has finished executing (or unwound). No job can outlive this
+        // call, so promoting the closure lifetimes to 'static never lets a
+        // borrow dangle.
         .map(|j| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(j) })
         .collect();
     let batch = Arc::new(Batch {
@@ -187,6 +203,14 @@ pub fn run_batch<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     let payload = batch.panic.lock().unwrap().take();
     if let Some(payload) = payload {
         resume_unwind(payload);
+    }
+
+    // Race-check builds: verify the batch's recorded write sets are
+    // cross-piece disjoint the moment the fork-join completes, not only at
+    // scope end — pinpoints the offending batch when a scope spans several.
+    #[cfg(igr_race_check)]
+    if let Some(id) = scope {
+        crate::shadow::check_scope(id);
     }
 }
 

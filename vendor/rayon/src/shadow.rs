@@ -1,0 +1,259 @@
+//! Shadow write-set recorder for `--cfg igr_race_check` builds.
+//!
+//! The solver's in-place parallel kernels (the red–black sweep, the uneven
+//! chunk decomposition) are safe because every batch's pieces write disjoint
+//! index ranges — an argument that lives in `// SAFETY:` comments and cannot
+//! be checked by the compiler. This module makes it checkable at runtime:
+//! kernels open a [`scope_begin`]/[`scope_end`] scope around each fork-join
+//! region and [`record`] the interval each piece intends to write. At scope
+//! end (and at every [`crate::pool::run_batch`] completion, via
+//! [`check_scope`]) the recorder asserts that intervals from *different*
+//! pieces never overlap; intervals from the same piece may overlap freely
+//! (a piece re-visiting its own cells is not a race).
+//!
+//! Scopes are routed by thread lineage, not by a single global: the opener
+//! pushes the scope onto a thread-local stack, and [`crate::pool::run_batch`]
+//! captures the submitting thread's innermost scope and re-enters it around
+//! each job on whichever worker runs it ([`enter`]). Records from unrelated
+//! threads (a concurrent solver instance, another test) land in *their*
+//! scope or nowhere — never in someone else's — so the checker cannot
+//! produce cross-talk false positives.
+//!
+//! The whole module only exists under `cfg(igr_race_check)`; production
+//! builds compile none of it and the kernels' recording calls vanish with
+//! it. Run the checked configuration with:
+//!
+//! ```bash
+//! RUSTFLAGS="--cfg igr_race_check" cargo test --release --test race_check
+//! ```
+//!
+//! Recording is a global `Mutex` push per piece-interval — catastrophic for
+//! throughput and entirely acceptable for a correctness harness.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One recorded write interval: piece `piece` claims `[start, end)`.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    piece: usize,
+    start: usize,
+    end: usize,
+}
+
+/// One live recording scope in the registry.
+struct Scope {
+    id: u64,
+    label: &'static str,
+    entries: Vec<Entry>,
+}
+
+fn registry() -> &'static Mutex<Vec<Scope>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Scope>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Scope ids this thread is currently inside, innermost last. Workers
+    /// inherit the submitter's innermost scope for the span of each job.
+    static CURRENT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a recording scope on this thread. Every [`record`] on this thread
+/// (and on workers running jobs this thread submits) lands here until the
+/// matching [`scope_end`]. Scopes nest LIFO per thread.
+pub fn scope_begin(label: &'static str) {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    registry().lock().unwrap().push(Scope {
+        id,
+        label,
+        entries: Vec::new(),
+    });
+    CURRENT.with(|c| c.borrow_mut().push(id));
+}
+
+/// Close this thread's innermost scope and assert its pieces' write sets
+/// are pairwise disjoint. Panics with both offending intervals on overlap.
+pub fn scope_end() {
+    let id = CURRENT
+        .with(|c| c.borrow_mut().pop())
+        .expect("shadow::scope_end without a matching scope_begin");
+    let scope = {
+        let mut reg = registry().lock().unwrap();
+        let at = reg
+            .iter()
+            .position(|s| s.id == id)
+            .expect("scope missing from registry");
+        reg.swap_remove(at)
+    };
+    check_entries(scope.label, &scope.entries);
+}
+
+/// Total intervals recorded into live scopes since process start. Tests
+/// assert this grows across an instrumented run — guarding against the
+/// recorder silently rotting into a no-op (in which case every
+/// disjointness "check" would pass vacuously).
+pub fn recorded_total() -> u64 {
+    RECORDED.load(Ordering::Relaxed)
+}
+
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+
+/// Record that piece `piece` writes `[start, start + len)` in this thread's
+/// innermost scope. No-op when the thread is in no scope or `len == 0`.
+pub fn record(piece: usize, start: usize, len: usize) {
+    if len == 0 {
+        return;
+    }
+    let Some(id) = current_scope() else { return };
+    let mut reg = registry().lock().unwrap();
+    if let Some(scope) = reg.iter_mut().find(|s| s.id == id) {
+        scope.entries.push(Entry {
+            piece,
+            start,
+            end: start + len,
+        });
+        RECORDED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// This thread's innermost scope id, if any (what `run_batch` captures).
+pub fn current_scope() -> Option<u64> {
+    CURRENT.with(|c| c.borrow().last().copied())
+}
+
+/// Re-enter `scope` on the current thread for the guard's lifetime; workers
+/// wrap each job in this so piece records reach the submitter's scope.
+pub fn enter(scope: Option<u64>) -> EnterGuard {
+    if let Some(id) = scope {
+        CURRENT.with(|c| c.borrow_mut().push(id));
+    }
+    EnterGuard {
+        entered: scope.is_some(),
+    }
+}
+
+/// RAII token from [`enter`]; pops the inherited scope on drop (including
+/// panic unwinds, so a panicking job cannot leak its scope onto a pooled
+/// worker thread).
+pub struct EnterGuard {
+    entered: bool,
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        if self.entered {
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Non-clearing disjointness check of scope `id`, if it is still live.
+/// [`crate::pool::run_batch`] calls this as each batch completes, so a racy
+/// split is caught at the end of the fork-join that performed it even when
+/// the enclosing scope covers several batches.
+pub fn check_scope(id: u64) {
+    let cloned = {
+        let reg = registry().lock().unwrap();
+        reg.iter()
+            .find(|s| s.id == id)
+            .map(|s| (s.label, s.entries.clone()))
+    };
+    if let Some((label, entries)) = cloned {
+        check_entries(label, &entries);
+    }
+}
+
+/// Assert no two intervals from *different* pieces overlap. Same-piece
+/// intervals are first merged into a disjoint union, then a single sweep
+/// over the merged set finds any cross-piece overlap.
+fn check_entries(label: &str, entries: &[Entry]) {
+    // Merge per piece: sort by (piece, start) and coalesce touching or
+    // overlapping intervals of the same piece.
+    let mut sorted: Vec<Entry> = entries.to_vec();
+    sorted.sort_by_key(|e| (e.piece, e.start));
+    let mut merged: Vec<Entry> = Vec::with_capacity(sorted.len());
+    for e in sorted {
+        match merged.last_mut() {
+            Some(last) if last.piece == e.piece && e.start <= last.end => {
+                last.end = last.end.max(e.end);
+            }
+            _ => merged.push(e),
+        }
+    }
+    // Cross-piece sweep: in global start order, every interval must begin
+    // at or after the previous one's end (the merged set has no same-piece
+    // overlaps left, so any violation is a race between two pieces).
+    merged.sort_by_key(|e| (e.start, e.end));
+    for w in merged.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b.start < a.end {
+            panic!(
+                "shadow race check [{label}]: piece {} writes [{}, {}) and piece {} \
+                 writes [{}, {}) — overlapping cells [{}, {})",
+                a.piece,
+                a.start,
+                a.end,
+                b.piece,
+                b.start,
+                b.end,
+                b.start,
+                a.end.min(b.end),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn disjoint_pieces_pass_and_overlap_fires() {
+        scope_begin("disjoint");
+        record(0, 0, 64);
+        record(1, 64, 64);
+        record(0, 16, 8); // same-piece revisit: allowed
+        scope_end();
+
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            scope_begin("overlap");
+            record(0, 0, 60);
+            record(1, 50, 50);
+            scope_end();
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("overlapping cells [50, 60)"), "{msg}");
+        // The panicking scope_end popped its scope; this thread's stack is
+        // balanced again.
+        assert!(current_scope().is_none());
+    }
+
+    #[test]
+    fn records_without_a_scope_are_dropped() {
+        record(7, 0, 1_000_000);
+        assert!(current_scope().is_none());
+    }
+
+    #[test]
+    fn worker_inheritance_routes_records_to_the_submitter() {
+        scope_begin("inherited");
+        let scope = current_scope();
+        let t = std::thread::spawn(move || {
+            let _g = enter(scope);
+            record(0, 0, 10);
+            record(1, 5, 10); // overlaps piece 0 — must be caught at scope_end
+        });
+        t.join().unwrap();
+        let err = catch_unwind(AssertUnwindSafe(scope_end)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("inherited"), "{msg}");
+    }
+}
